@@ -1,0 +1,66 @@
+// Ablation: burn-in length vs estimator bias.
+//
+// §5.1: "the nodes or edges encountered in the random walk before the mixing
+// time are not included in the sample set." This bench shows what ignoring
+// that rule costs: NS-HH / NE-HH NRMSE on the slow-mixing Facebook analog
+// with burn-in 0, 10, 100, and the dataset's mixing-time recommendation.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::FacebookLike(flags.seed + 1), "FacebookLike");
+  bench::PrintDatasetHeader(ds);
+  std::printf("Ablation: burn-in length (reps=%lld)\n\n",
+              static_cast<long long>(flags.reps));
+
+  TextTable table;
+  table.AddRow({"burn-in", "NS-HH NRMSE @2%|V|", "NS-HH bias",
+                "NE-HH NRMSE @2%|V|", "NE-HH bias"});
+  CsvWriter csv;
+  csv.SetHeader({"burn_in", "algorithm", "nrmse", "relative_bias"});
+
+  const int64_t burnins[] = {0, 10, 100, ds.burn_in};
+  for (int64_t burn_in : burnins) {
+    eval::SweepConfig config;
+    config.sample_fractions = {0.02};
+    config.reps = flags.reps;
+    config.threads = flags.threads;
+    config.seed = flags.seed;
+    config.burn_in = burn_in;
+    config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
+                         estimators::AlgorithmId::kNeighborExplorationHH};
+    const eval::SweepResult result = bench::CheckedValue(
+        eval::RunSweep(ds.graph, ds.labels, ds.targets[0].target, config),
+        "RunSweep");
+    char bias0[32], bias1[32];
+    std::snprintf(bias0, sizeof(bias0), "%+.3f",
+                  result.cells[0][0].relative_bias);
+    std::snprintf(bias1, sizeof(bias1), "%+.3f",
+                  result.cells[1][0].relative_bias);
+    table.AddRow({std::to_string(burn_in),
+                  FormatNrmse(result.cells[0][0].nrmse), bias0,
+                  FormatNrmse(result.cells[1][0].nrmse), bias1});
+    for (size_t a = 0; a < result.algorithms.size(); ++a) {
+      char nrmse[32], bias[32];
+      std::snprintf(nrmse, sizeof(nrmse), "%.6f", result.cells[a][0].nrmse);
+      std::snprintf(bias, sizeof(bias), "%.6f",
+                    result.cells[a][0].relative_bias);
+      bench::CheckOk(
+          csv.AddRow({std::to_string(burn_in),
+                      estimators::AlgorithmName(result.algorithms[a]), nrmse,
+                      bias}),
+          "csv row");
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  bench::CheckOk(csv.WriteFile(flags.out_dir + "/ablation_burnin.csv"),
+                 "CSV write");
+  std::printf("Expected: short burn-in inflates bias on this slow-mixing "
+              "topology; the mixing-time recommendation removes it.\n");
+  return 0;
+}

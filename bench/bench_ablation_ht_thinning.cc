@@ -1,0 +1,78 @@
+// Ablation: the Horvitz-Thompson independence strategy of §4.1.3.
+//
+// The paper prescribes keeping draws r = 2.5%k steps apart to approximate
+// independence, but under a fixed API budget that retains only 40 draws.
+// This bench quantifies the trade-off on the Facebook analog: NS-HT and
+// NE-HT with (a) no thinning (our default), (b) the paper's 2.5%k spacing,
+// (c) aggressive 10%k spacing.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::FacebookLike(flags.seed + 1), "FacebookLike");
+  bench::PrintDatasetHeader(ds);
+  std::printf("Ablation: HT thinning strategy (reps=%lld)\n\n",
+              static_cast<long long>(flags.reps));
+
+  struct Variant {
+    const char* name;
+    estimators::HtThinning thinning;
+    double fraction;
+  };
+  const Variant variants[] = {
+      {"all draws (default)", estimators::HtThinning::kNone, 0.025},
+      {"spacing r=2.5%k (paper)", estimators::HtThinning::kSpacing, 0.025},
+      {"spacing r=10%k", estimators::HtThinning::kSpacing, 0.10},
+  };
+
+  TextTable table;
+  table.AddRow({"Variant", "Algorithm", "NRMSE @1%|V|", "NRMSE @5%|V|"});
+  CsvWriter csv;
+  csv.SetHeader({"variant", "algorithm", "fraction", "nrmse"});
+
+  for (const auto& variant : variants) {
+    eval::SweepConfig config;
+    config.sample_fractions = {0.01, 0.05};
+    config.reps = flags.reps;
+    config.threads = flags.threads;
+    config.seed = flags.seed;
+    config.burn_in = ds.burn_in;
+    config.ht_thinning = variant.thinning;
+    config.ht_spacing_fraction = variant.fraction;
+    config.algorithms = {estimators::AlgorithmId::kNeighborSampleHT,
+                         estimators::AlgorithmId::kNeighborExplorationHT};
+    const eval::SweepResult result = bench::CheckedValue(
+        eval::RunSweep(ds.graph, ds.labels, ds.targets[0].target, config),
+        "RunSweep");
+    for (size_t a = 0; a < result.algorithms.size(); ++a) {
+      table.AddRow({variant.name,
+                    estimators::AlgorithmName(result.algorithms[a]),
+                    FormatNrmse(result.cells[a][0].nrmse),
+                    FormatNrmse(result.cells[a][1].nrmse)});
+      for (size_t s = 0; s < result.sample_sizes.size(); ++s) {
+        char frac[32], nrmse[32];
+        std::snprintf(frac, sizeof(frac), "%.3f",
+                      result.sample_fractions[s]);
+        std::snprintf(nrmse, sizeof(nrmse), "%.6f",
+                      result.cells[a][s].nrmse);
+        bench::CheckOk(
+            csv.AddRow({variant.name,
+                        estimators::AlgorithmName(result.algorithms[a]), frac,
+                        nrmse}),
+            "csv row");
+      }
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  bench::CheckOk(csv.WriteFile(flags.out_dir + "/ablation_ht_thinning.csv"),
+                 "CSV write");
+  std::printf("Expected: spacing throws away most of the budget (only "
+              "1/r of the draws retained) and inflates NRMSE; the all-draw "
+              "default matches the paper's reported accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension bench (paper §6 future work): labeled wedge and triangle count
+// estimation on the Facebook analog, NRMSE vs sample size.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "extensions/labeled_motifs.h"
+#include "osn/local_api.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::FacebookLike(flags.seed + 1), "FacebookLike");
+  bench::PrintDatasetHeader(ds);
+
+  const graph::TargetLabel endpoints{1, 2};
+  const extensions::TriangleLabel triangle{1, 1, 2};
+  const double wedge_truth = static_cast<double>(
+      extensions::CountLabeledWedges(ds.graph, ds.labels, endpoints));
+  const double triangle_truth = static_cast<double>(
+      extensions::CountLabeledTriangles(ds.graph, ds.labels, triangle));
+  std::printf("Extension (paper Section 6): labeled motifs on %s\n",
+              ds.name.c_str());
+  std::printf("  exact labeled wedges (1,*,2):   %.0f\n", wedge_truth);
+  std::printf("  exact labeled triangles {1,1,2}: %.0f\n\n", triangle_truth);
+
+  const auto stats = graph::ComputeDegreeStats(ds.graph);
+  osn::GraphPriors priors{ds.graph.num_nodes(), ds.graph.num_edges(),
+                          stats.max_degree, stats.max_line_degree};
+
+  TextTable table;
+  table.AddRow({"motif", "k=1%|V|", "k=2%|V|", "k=5%|V|"});
+  CsvWriter csv;
+  csv.SetHeader({"motif", "fraction", "nrmse"});
+
+  // Triangle probes are expensive (adjacency tests per neighbor pair), so
+  // this extension bench uses a reduced repetition count.
+  const int64_t reps = std::max<int64_t>(10, flags.reps / 3);
+  const double fractions[] = {0.01, 0.02, 0.05};
+
+  for (const bool is_triangle : {false, true}) {
+    std::vector<std::string> row = {is_triangle ? "triangles {1,1,2}"
+                                                : "wedges (1,*,2)"};
+    for (double fraction : fractions) {
+      const auto k = static_cast<int64_t>(
+          fraction * static_cast<double>(ds.graph.num_nodes()));
+      NrmseAccumulator acc(is_triangle ? triangle_truth : wedge_truth);
+      for (int64_t rep = 0; rep < reps; ++rep) {
+        estimators::EstimateOptions options;
+        options.sample_size = k;
+        options.burn_in = ds.burn_in;
+        options.seed = DeriveSeed(flags.seed, is_triangle,
+                                  static_cast<uint64_t>(fraction * 1000),
+                                  static_cast<uint64_t>(rep));
+        osn::LocalGraphApi api(ds.graph, ds.labels);
+        if (is_triangle) {
+          const auto est = bench::CheckedValue(
+              extensions::EstimateLabeledTriangles(api, triangle, priors,
+                                                   options),
+              "EstimateLabeledTriangles");
+          acc.Add(est.estimate);
+        } else {
+          const auto est = bench::CheckedValue(
+              extensions::EstimateLabeledWedges(api, endpoints, priors,
+                                                options),
+              "EstimateLabeledWedges");
+          acc.Add(est.estimate);
+        }
+      }
+      row.push_back(FormatNrmse(acc.Nrmse()));
+      char frac[32], nrmse[32];
+      std::snprintf(frac, sizeof(frac), "%.3f", fraction);
+      std::snprintf(nrmse, sizeof(nrmse), "%.6f", acc.Nrmse());
+      bench::CheckOk(csv.AddRow({row[0], frac, nrmse}), "csv row");
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  bench::CheckOk(csv.WriteFile(flags.out_dir + "/ext_labeled_motifs.csv"),
+                 "CSV write");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Extension bench: multi-target estimation — all four Pokec targets from
+// one shared crawl vs four independent crawls, at equal total accuracy.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "estimators/multi_target.h"
+#include "osn/local_api.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::PokecLike(flags.seed + 3), "PokecLike");
+  bench::PrintDatasetHeader(ds);
+  std::printf("Extension: multi-target estimation, %zu targets, "
+              "NeighborExploration-HH (reps=%lld)\n\n",
+              ds.targets.size(), static_cast<long long>(flags.reps));
+
+  std::vector<graph::TargetLabel> targets;
+  for (const auto& t : ds.targets) targets.push_back(t.target);
+  const auto budget = static_cast<int64_t>(0.05 * ds.graph.num_nodes());
+
+  const int64_t reps = std::max<int64_t>(10, flags.reps / 2);
+  std::vector<NrmseAccumulator> shared_err;
+  for (const auto& t : ds.targets) {
+    shared_err.emplace_back(static_cast<double>(t.count));
+  }
+  RunningStats shared_calls;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    estimators::EstimateOptions options;
+    options.api_budget = budget;
+    options.burn_in = ds.burn_in;
+    options.seed = DeriveSeed(flags.seed, 91, 0, static_cast<uint64_t>(rep));
+    osn::LocalGraphApi api(ds.graph, ds.labels);
+    const osn::GraphPriors priors{ds.graph.num_nodes(), ds.graph.num_edges(),
+                                  0, 0};
+    const auto result = bench::CheckedValue(
+        estimators::MultiTargetNeighborExploration(api, targets, priors,
+                                                   options),
+        "MultiTargetNeighborExploration");
+    for (size_t p = 0; p < targets.size(); ++p) {
+      shared_err[p].Add(result.estimates[p]);
+    }
+    shared_calls.Add(static_cast<double>(result.api_calls));
+  }
+
+  std::vector<NrmseAccumulator> separate_err;
+  for (const auto& t : ds.targets) {
+    separate_err.emplace_back(static_cast<double>(t.count));
+  }
+  RunningStats separate_calls;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    int64_t calls = 0;
+    for (size_t p = 0; p < targets.size(); ++p) {
+      estimators::EstimateOptions options;
+      options.api_budget = budget;
+      options.burn_in = ds.burn_in;
+      options.seed =
+          DeriveSeed(flags.seed, 92, p, static_cast<uint64_t>(rep));
+      osn::LocalGraphApi api(ds.graph, ds.labels);
+      osn::GraphPriors priors{ds.graph.num_nodes(), ds.graph.num_edges(), 0,
+                              0};
+      const auto result = bench::CheckedValue(
+          estimators::Estimate(
+              estimators::AlgorithmId::kNeighborExplorationHH, api,
+              targets[p], priors, options),
+          "Estimate");
+      separate_err[p].Add(result.estimate);
+      calls += result.api_calls;
+    }
+    separate_calls.Add(static_cast<double>(calls));
+  }
+
+  TextTable table;
+  table.AddRow({"target", "F", "NRMSE shared crawl", "NRMSE separate crawls"});
+  for (size_t p = 0; p < targets.size(); ++p) {
+    table.AddRow({eval::TargetName(targets[p]),
+                  FormatCount(ds.targets[p].count),
+                  FormatNrmse(shared_err[p].Nrmse()),
+                  FormatNrmse(separate_err[p].Nrmse())});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("mean API calls: shared %.0f vs separate %.0f (%.1fx saving)\n",
+              shared_calls.mean(), separate_calls.mean(),
+              separate_calls.mean() / shared_calls.mean());
+
+  CsvWriter csv;
+  csv.SetHeader({"target", "shared_nrmse", "separate_nrmse", "shared_calls",
+                 "separate_calls"});
+  for (size_t p = 0; p < targets.size(); ++p) {
+    char a[32], b[32];
+    std::snprintf(a, sizeof(a), "%.6f", shared_err[p].Nrmse());
+    std::snprintf(b, sizeof(b), "%.6f", separate_err[p].Nrmse());
+    bench::CheckOk(csv.AddRow({eval::TargetName(targets[p]), a, b,
+                               std::to_string(static_cast<int64_t>(
+                                   shared_calls.mean())),
+                               std::to_string(static_cast<int64_t>(
+                                   separate_calls.mean()))}),
+                   "csv row");
+  }
+  bench::CheckOk(csv.WriteFile(flags.out_dir + "/ext_multi_target.csv"),
+                 "CSV write");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 1: NRMSE vs number of target edges in the Orkut analog
+// when 5%|V| API calls are used (five proposed algorithms only, as in the
+// paper — the baselines were already shown non-competitive).
+
+#include "bench/bench_fig_frequency.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::OrkutLike(flags.seed + 4), "OrkutLike");
+  bench::RunFrequencyFigure(ds, flags, "fig1");
+  return 0;
+}

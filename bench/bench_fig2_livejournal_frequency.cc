@@ -1,0 +1,13 @@
+// Reproduces Figure 2: NRMSE vs number of target edges in the LiveJournal
+// analog when 5%|V| API calls are used.
+
+#include "bench/bench_fig_frequency.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds = bench::CheckedValue(
+      synth::LivejournalLike(flags.seed + 5), "LivejournalLike");
+  bench::RunFrequencyFigure(ds, flags, "fig2");
+  return 0;
+}

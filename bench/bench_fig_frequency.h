@@ -1,0 +1,105 @@
+// Shared implementation for Figures 1 and 2: NRMSE of the five proposed
+// algorithms vs the relative count of target edges (F/|E|), at a budget of
+// 5%|V| API calls. Label pairs are chosen log-spaced across the frequency
+// spectrum of the dataset (the paper plots one point per label pair).
+
+#ifndef LABELRW_BENCH_BENCH_FIG_FREQUENCY_H_
+#define LABELRW_BENCH_BENCH_FIG_FREQUENCY_H_
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/oracle.h"
+
+namespace labelrw::bench {
+
+inline std::vector<graph::LabelPairCount> LogSpacedPairs(
+    const synth::Dataset& ds, int64_t min_count, int how_many) {
+  const auto pairs = graph::CountAllLabelPairs(ds.graph, ds.labels);
+  std::vector<graph::LabelPairCount> eligible;
+  for (const auto& p : pairs) {
+    if (p.count >= min_count) eligible.push_back(p);
+  }
+  std::vector<graph::LabelPairCount> picked;
+  if (eligible.empty()) return picked;
+  const double lo = std::log(static_cast<double>(eligible.front().count));
+  const double hi = std::log(static_cast<double>(eligible.back().count));
+  size_t cursor = 0;
+  for (int i = 0; i < how_many; ++i) {
+    const double want =
+        std::exp(lo + (hi - lo) * static_cast<double>(i) /
+                          std::max(1, how_many - 1));
+    while (cursor + 1 < eligible.size() &&
+           static_cast<double>(eligible[cursor].count) < want) {
+      ++cursor;
+    }
+    if (picked.empty() || !(picked.back().target == eligible[cursor].target)) {
+      picked.push_back(eligible[cursor]);
+    }
+  }
+  return picked;
+}
+
+inline void RunFrequencyFigure(const synth::Dataset& ds,
+                               const BenchFlags& flags,
+                               const std::string& figure_tag) {
+  PrintDatasetHeader(ds);
+  std::printf("%s: NRMSE vs relative count of target edges at 5%%|V| API "
+              "calls (reps=%lld)\n\n",
+              figure_tag.c_str(), static_cast<long long>(flags.reps));
+
+  const auto pairs = LogSpacedPairs(ds, /*min_count=*/30, /*how_many=*/10);
+  const auto algorithms = estimators::ProposedAlgorithms();
+
+  TextTable table;
+  std::vector<std::string> header = {"target", "F", "F/|E|"};
+  for (auto id : algorithms) header.push_back(estimators::AlgorithmName(id));
+  table.AddRow(header);
+
+  CsvWriter csv;
+  csv.SetHeader({"dataset", "target", "count", "fraction", "algorithm",
+                 "nrmse"});
+
+  for (const auto& pair : pairs) {
+    eval::SweepConfig config;
+    config.sample_fractions = {0.05};
+    config.reps = flags.reps;
+    config.threads = flags.threads;
+    config.seed = flags.seed;
+    config.burn_in = ds.burn_in;
+    config.algorithms = algorithms;
+    const eval::SweepResult result = CheckedValue(
+        eval::RunSweep(ds.graph, ds.labels, pair.target, config), "RunSweep");
+
+    const double fraction = static_cast<double>(pair.count) /
+                            static_cast<double>(ds.graph.num_edges());
+    std::vector<std::string> row = {eval::TargetName(pair.target),
+                                    FormatCount(pair.count),
+                                    FormatPercent(fraction)};
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      row.push_back(FormatNrmse(result.cells[a][0].nrmse));
+      char frac[32], nrmse[32];
+      std::snprintf(frac, sizeof(frac), "%.8f", fraction);
+      std::snprintf(nrmse, sizeof(nrmse), "%.6f",
+                    result.cells[a][0].nrmse);
+      CheckOk(csv.AddRow({ds.name, eval::TargetName(pair.target),
+                          std::to_string(pair.count), frac,
+                          estimators::AlgorithmName(algorithms[a]), nrmse}),
+              "csv row");
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  CheckOk(csv.WriteFile(flags.out_dir + "/" + figure_tag + "_" + ds.name +
+                        ".csv"),
+          "CSV write");
+  std::printf("Expected shape: NRMSE decreases as F/|E| grows; "
+              "NeighborExploration leads at the rare end, NeighborSample "
+              "catches up at the frequent end.\n\n");
+}
+
+}  // namespace labelrw::bench
+
+#endif  // LABELRW_BENCH_BENCH_FIG_FREQUENCY_H_

@@ -1,0 +1,57 @@
+// Microbenchmarks: end-to-end cost of one estimate per algorithm at a fixed
+// sample size (k = 500) on a BA graph, including burn-in.
+
+#include <benchmark/benchmark.h>
+
+#include "estimators/estimator.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "synth/generators.h"
+#include "synth/labelers.h"
+
+namespace {
+
+using namespace labelrw;
+
+struct Env {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  osn::GraphPriors priors;
+
+  static const Env& Get() {
+    static const Env* env = [] {
+      auto* e = new Env();
+      e->graph = std::move(synth::BarabasiAlbert(20000, 10, 1)).value();
+      e->labels =
+          std::move(synth::GenderLabels(e->graph.num_nodes(), 0.3, 2)).value();
+      const auto stats = graph::ComputeDegreeStats(e->graph);
+      e->priors = {e->graph.num_nodes(), e->graph.num_edges(),
+                   stats.max_degree, stats.max_line_degree};
+      return e;
+    }();
+    return *env;
+  }
+};
+
+void BM_Estimate(benchmark::State& state) {
+  const Env& env = Env::Get();
+  const auto id = static_cast<estimators::AlgorithmId>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    estimators::EstimateOptions options;
+    options.sample_size = 500;
+    options.burn_in = 100;
+    options.seed = ++seed;
+    osn::LocalGraphApi api(env.graph, env.labels);
+    auto result = estimators::Estimate(id, api, {1, 2}, env.priors, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(estimators::AlgorithmName(id));
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Estimate)->DenseRange(0, 9)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

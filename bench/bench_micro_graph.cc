@@ -1,0 +1,88 @@
+// Microbenchmarks: graph-substrate primitives — CSR construction, LCC
+// extraction, exact oracle scans, generator throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/connected.h"
+#include "graph/oracle.h"
+#include "synth/generators.h"
+#include "synth/labelers.h"
+
+namespace {
+
+using namespace labelrw;
+
+void BM_BarabasiAlbertGenerate(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto g = synth::BarabasiAlbert(n, 10, ++seed);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 10);  // edges built
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto base = std::move(synth::BarabasiAlbert(n, 10, 3)).value();
+  // Re-add all edges each iteration to measure Build.
+  for (auto _ : state) {
+    graph::GraphBuilder builder;
+    builder.ReserveNodes(n);
+    base.ForEachEdge(
+        [&](graph::NodeId u, graph::NodeId v) { builder.AddEdge(u, v); });
+    auto g = builder.Build();
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * base.num_edges());
+}
+
+void BM_LargestComponent(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto g = std::move(synth::ErdosRenyi(n, n * 2, 5)).value();
+  const auto labels =
+      std::move(synth::GenderLabels(g.num_nodes(), 0.3, 6)).value();
+  for (auto _ : state) {
+    auto lcc = graph::ExtractLargestComponent(g, labels);
+    benchmark::DoNotOptimize(lcc);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+
+void BM_CountTargetEdges(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto g = std::move(synth::BarabasiAlbert(n, 10, 7)).value();
+  const auto labels =
+      std::move(synth::GenderLabels(g.num_nodes(), 0.3, 8)).value();
+  for (auto _ : state) {
+    const int64_t f = graph::CountTargetEdges(g, labels, {1, 2});
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+
+void BM_IncidentTargetCounts(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto g = std::move(synth::BarabasiAlbert(n, 10, 9)).value();
+  const auto labels =
+      std::move(synth::GenderLabels(g.num_nodes(), 0.3, 10)).value();
+  for (auto _ : state) {
+    auto t = graph::ComputeIncidentTargetCounts(g, labels, {1, 2});
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+
+}  // namespace
+
+BENCHMARK(BM_BarabasiAlbertGenerate)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CsrBuild)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LargestComponent)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CountTargetEdges)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IncidentTargetCounts)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Microbenchmarks: walk-step throughput per walker kind, node space and
+// line-graph (edge) space, on a BA graph served through the cached API.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "rw/edge_walk.h"
+#include "rw/node_walk.h"
+#include "synth/generators.h"
+#include "synth/labelers.h"
+
+namespace {
+
+using namespace labelrw;
+
+struct Env {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  int64_t max_degree;
+  int64_t max_line_degree;
+
+  static const Env& Get() {
+    static const Env* env = [] {
+      auto* e = new Env();
+      e->graph = std::move(synth::BarabasiAlbert(20000, 10, 1)).value();
+      e->labels =
+          std::move(synth::GenderLabels(e->graph.num_nodes(), 0.3, 2)).value();
+      const auto stats = graph::ComputeDegreeStats(e->graph);
+      e->max_degree = stats.max_degree;
+      e->max_line_degree = stats.max_line_degree;
+      return e;
+    }();
+    return *env;
+  }
+};
+
+rw::WalkParams ParamsFor(rw::WalkKind kind, bool edge_space) {
+  const Env& env = Env::Get();
+  rw::WalkParams params;
+  params.kind = kind;
+  params.max_degree_prior =
+      edge_space ? env.max_line_degree : env.max_degree;
+  return params;
+}
+
+void BM_NodeWalkStep(benchmark::State& state) {
+  const Env& env = Env::Get();
+  const auto kind = static_cast<rw::WalkKind>(state.range(0));
+  osn::LocalGraphApi api(env.graph, env.labels);
+  rw::NodeWalk walk(&api, ParamsFor(kind, false));
+  Rng rng(7);
+  if (!walk.Reset(0).ok()) {
+    state.SkipWithError("reset failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto step = walk.Step(rng);
+    benchmark::DoNotOptimize(step);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EdgeWalkStep(benchmark::State& state) {
+  const Env& env = Env::Get();
+  const auto kind = static_cast<rw::WalkKind>(state.range(0));
+  osn::LocalGraphApi api(env.graph, env.labels);
+  rw::EdgeWalk walk(&api, ParamsFor(kind, true));
+  Rng rng(7);
+  const graph::NodeId u = 0;
+  const graph::NodeId v = env.graph.NeighborAt(0, 0);
+  if (!walk.Reset(graph::Edge::Make(u, v)).ok()) {
+    state.SkipWithError("reset failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto step = walk.Step(rng);
+    benchmark::DoNotOptimize(step);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_NodeWalkStep)
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kSimple))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kMetropolisHastings))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kMaxDegree))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kRcmh))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kGmd))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kNonBacktracking));
+
+BENCHMARK(BM_EdgeWalkStep)
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kSimple))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kMetropolisHastings))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kMaxDegree))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kRcmh))
+    ->Arg(static_cast<int>(labelrw::rw::WalkKind::kGmd));
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Reproduces Table 1 (dataset statistics) for the paper-analog datasets,
+// alongside the original snapshots' sizes for comparison, plus each
+// dataset's evaluation targets (caption data of Tables 4-17).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double v;
+  double e;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"Facebook", 4.0e3, 8.82e4},   {"Google+", 1.08e5, 1.22e7},
+    {"Pokec", 1.6e6, 2.23e7},      {"Orkut", 3.08e6, 1.17e8},
+    {"Livejournal", 4.8e6, 4.28e7},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  std::printf("Table 1: Statistics of datasets (paper snapshot vs generated "
+              "analog, largest connected component)\n\n");
+
+  const auto datasets =
+      bench::CheckedValue(synth::AllDatasets(flags.seed), "AllDatasets");
+
+  TextTable table;
+  table.AddRow({"Network", "paper |V|", "paper |E|", "analog |V|",
+                "analog |E|", "analog mean degree", "burn-in"});
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    const auto& ds = datasets[i];
+    const double mean_degree = 2.0 * static_cast<double>(ds.graph.num_edges()) /
+                               static_cast<double>(ds.graph.num_nodes());
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), "%.1f", mean_degree);
+    table.AddRow({ds.name, FormatSci(kPaperRows[i].v),
+                  FormatSci(kPaperRows[i].e),
+                  FormatCount(ds.graph.num_nodes()),
+                  FormatCount(ds.graph.num_edges()), mean,
+                  std::to_string(ds.burn_in)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Evaluation targets per dataset (the paper's caption data):\n");
+  CsvWriter csv;
+  csv.SetHeader({"dataset", "target", "count", "fraction"});
+  for (const auto& ds : datasets) {
+    for (const auto& t : ds.targets) {
+      const double fraction = static_cast<double>(t.count) /
+                              static_cast<double>(ds.graph.num_edges());
+      std::printf("  %-18s target=%-10s F=%-10s (%s of |E|)\n",
+                  ds.name.c_str(), eval::TargetName(t.target).c_str(),
+                  FormatCount(t.count).c_str(),
+                  FormatPercent(fraction).c_str());
+      char frac[32];
+      std::snprintf(frac, sizeof(frac), "%.8f", fraction);
+      bench::CheckOk(csv.AddRow({ds.name, eval::TargetName(t.target),
+                                 std::to_string(t.count), frac}),
+                     "csv row");
+    }
+  }
+  bench::CheckOk(csv.WriteFile(flags.out_dir + "/table01_datasets.csv"),
+                 "CSV write");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Table 4: NRMSE of all ten algorithms on the Facebook analog,
+// target label (1,2) (cross-gender edges, ~42% of |E|), sample sizes
+// 0.5%|V| .. 5%|V|.
+//
+// Expected shape (paper): NeighborSample variants win (the target is
+// abundant, so exploration buys nothing), NeighborExploration-RW is the
+// worst of the proposed five, EX-MDRW is far off.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::FacebookLike(flags.seed + 1), "FacebookLike");
+  bench::PrintDatasetHeader(ds);
+  bench::RunAndPrintPaperTable(ds, ds.targets[0], flags, "table04");
+  return 0;
+}

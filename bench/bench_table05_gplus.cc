@@ -1,0 +1,16 @@
+// Reproduces Table 5: NRMSE on the Google+ analog, target label (1,2)
+// (~27% of |E|). Expected shape: NeighborSample-HH/HT clearly best;
+// NeighborExploration variants notably worse than on rare-label datasets;
+// EX-MDRW/EX-GMD weak.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::GplusLike(flags.seed + 2), "GplusLike");
+  bench::PrintDatasetHeader(ds);
+  bench::RunAndPrintPaperTable(ds, ds.targets[0], flags, "table05");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Tables 6-9: NRMSE on the Pokec analog for four location-label
+// pairs spanning the rare-frequency spectrum (the paper: 0.001%..0.03% of
+// |E|), picked by the paper's ascending-count quartile protocol.
+//
+// Expected shape: NeighborExploration variants dominate everywhere (rare
+// targets), NeighborSample far behind, EX-MDRW/EX-GMD often wildly off.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::PokecLike(flags.seed + 3), "PokecLike");
+  bench::PrintDatasetHeader(ds);
+  const char* tags[] = {"table06", "table07", "table08", "table09"};
+  for (size_t i = 0; i < ds.targets.size() && i < 4; ++i) {
+    bench::RunAndPrintPaperTable(ds, ds.targets[i], flags, tags[i]);
+  }
+  return 0;
+}

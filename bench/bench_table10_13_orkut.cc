@@ -1,0 +1,20 @@
+// Reproduces Tables 10-13: NRMSE on the Orkut analog for four degree-class
+// label pairs (paper frequencies 0.001%..0.657% of |E|), quartile-picked.
+//
+// Expected shape: NeighborExploration wins for the rare pairs; by the most
+// frequent pair NeighborSample becomes competitive (the paper's crossover).
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      bench::CheckedValue(synth::OrkutLike(flags.seed + 4), "OrkutLike");
+  bench::PrintDatasetHeader(ds);
+  const char* tags[] = {"table10", "table11", "table12", "table13"};
+  for (size_t i = 0; i < ds.targets.size() && i < 4; ++i) {
+    bench::RunAndPrintPaperTable(ds, ds.targets[i], flags, tags[i]);
+  }
+  return 0;
+}

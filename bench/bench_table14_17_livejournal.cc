@@ -1,0 +1,19 @@
+// Reproduces Tables 14-17: NRMSE on the LiveJournal analog for four
+// degree-class label pairs (paper frequencies 0.001%..4.1% of |E|),
+// quartile-picked. Expected shape as in Tables 10-13, with NeighborSample
+// overtaking on the most frequent pair.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const synth::Dataset ds = bench::CheckedValue(
+      synth::LivejournalLike(flags.seed + 5), "LivejournalLike");
+  bench::PrintDatasetHeader(ds);
+  const char* tags[] = {"table14", "table15", "table16", "table17"};
+  for (size_t i = 0; i < ds.targets.size() && i < 4; ++i) {
+    bench::RunAndPrintPaperTable(ds, ds.targets[i], flags, tags[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Tables 18-22: the theoretical sample-size bounds of Theorems
+// 4.1-4.5 for a (0.1, 0.1)-approximation, per dataset and target label.
+// The paper's observation to verify: the bounds are orders of magnitude
+// above the samples that empirically suffice (Tables 4-17), and the NE-HH
+// bound sits far below the NS-HH bound for rare labels.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "theory/bounds.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  std::printf("Tables 18-22: bounds on the number of samples for an "
+              "(0.1,0.1)-approximation (Theorems 4.1-4.5)\n\n");
+
+  const auto datasets =
+      bench::CheckedValue(synth::AllDatasets(flags.seed), "AllDatasets");
+  theory::ApproximationSpec spec;  // epsilon = delta = 0.1
+
+  CsvWriter csv;
+  csv.SetHeader({"dataset", "target", "ns_hh", "ns_ht", "ne_hh", "ne_ht",
+                 "ne_rw"});
+  for (const auto& ds : datasets) {
+    TextTable table;
+    table.set_caption("Bounds on the number of samples in " + ds.name);
+    table.AddRow({"target", "NeighborSample-HH", "NeighborSample-HT",
+                  "NeighborExploration-HH", "NeighborExploration-HT",
+                  "NeighborExploration-RW"});
+    for (const auto& t : ds.targets) {
+      const theory::SampleBounds bounds = bench::CheckedValue(
+          theory::ComputeSampleBounds(ds.graph, ds.labels, t.target, spec),
+          "ComputeSampleBounds");
+      table.AddRow({eval::TargetName(t.target), FormatSci(bounds.ns_hh),
+                    FormatSci(bounds.ns_ht), FormatSci(bounds.ne_hh),
+                    FormatSci(bounds.ne_ht), FormatSci(bounds.ne_rw)});
+      char b1[32], b2[32], b3[32], b4[32], b5[32];
+      std::snprintf(b1, sizeof(b1), "%.3e", bounds.ns_hh);
+      std::snprintf(b2, sizeof(b2), "%.3e", bounds.ns_ht);
+      std::snprintf(b3, sizeof(b3), "%.3e", bounds.ne_hh);
+      std::snprintf(b4, sizeof(b4), "%.3e", bounds.ne_ht);
+      std::snprintf(b5, sizeof(b5), "%.3e", bounds.ne_rw);
+      bench::CheckOk(csv.AddRow({ds.name, eval::TargetName(t.target), b1, b2,
+                                 b3, b4, b5}),
+                     "csv row");
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  bench::CheckOk(csv.WriteFile(flags.out_dir + "/table18_22_bounds.csv"),
+                 "CSV write");
+  return 0;
+}

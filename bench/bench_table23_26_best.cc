@@ -1,0 +1,54 @@
+// Reproduces Tables 23-26: the best algorithm and its NRMSE for every
+// dataset and target when 5%|V| API calls are used.
+//
+// Expected shape (paper): NeighborSample best on the abundant gender
+// targets (Facebook/Google+-like); NeighborExploration variants best on all
+// rare targets; every winner is one of the five proposed algorithms.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace labelrw;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  std::printf("Tables 23-26: best algorithm per dataset/target using "
+              "5%%|V| API calls (reps=%lld)\n\n",
+              static_cast<long long>(flags.reps));
+
+  const auto datasets =
+      bench::CheckedValue(synth::AllDatasets(flags.seed), "AllDatasets");
+
+  TextTable table;
+  table.AddRow({"Social Network", "Label", "Best algorithm", "NRMSE"});
+  CsvWriter csv;
+  csv.SetHeader({"dataset", "target", "best_algorithm", "nrmse"});
+
+  for (const auto& ds : datasets) {
+    for (const auto& t : ds.targets) {
+      eval::SweepConfig config;
+      config.sample_fractions = {0.05};
+      config.reps = flags.reps;
+      config.threads = flags.threads;
+      config.seed = flags.seed;
+      config.burn_in = ds.burn_in;
+      config.algorithms = estimators::AllAlgorithms();
+      const eval::SweepResult result = bench::CheckedValue(
+          eval::RunSweep(ds.graph, ds.labels, t.target, config), "RunSweep");
+      const eval::BestAtBudget best = eval::BestAtLargestBudget(result);
+      table.AddRow({ds.name, eval::TargetName(t.target),
+                    estimators::AlgorithmName(best.algorithm),
+                    FormatNrmse(best.nrmse)});
+      bench::CheckOk(
+          csv.AddRow({ds.name, eval::TargetName(t.target),
+                      estimators::AlgorithmName(best.algorithm),
+                      FormatNrmse(best.nrmse)}),
+          "csv row");
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  bench::CheckOk(csv.WriteFile(flags.out_dir + "/table23_26_best.csv"),
+                 "CSV write");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Shared plumbing for the table-reproduction benchmark binaries.
+//
+// Every bench accepts:
+//   --reps=N      independent simulations per cell (default 60; the paper
+//                 uses 200 — pass --reps=200 for the full protocol)
+//   --threads=N   worker threads (default: all cores)
+//   --out=DIR     directory for raw CSV dumps (default: bench_results)
+//   --seed=N      base seed (default 42)
+
+#ifndef LABELRW_BENCH_BENCH_UTIL_H_
+#define LABELRW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "synth/datasets.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace labelrw::bench {
+
+struct BenchFlags {
+  int64_t reps = 60;
+  int threads = 0;  // 0 = hardware concurrency
+  std::string out_dir = "bench_results";
+  uint64_t seed = 42;
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--reps=", 7) == 0) {
+      flags.reps = std::atoll(arg + 7);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      flags.threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      flags.out_dir = arg + 6;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(flags.out_dir, ec);
+  return flags;
+}
+
+/// Aborts the bench with a message if `status` is an error.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckedValue(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Runs the paper's 0.5%..5% sweep for one dataset/target and prints the
+/// table; dumps raw CSV into the output directory.
+inline void RunAndPrintPaperTable(const synth::Dataset& dataset,
+                                  const graph::LabelPairCount& target,
+                                  const BenchFlags& flags,
+                                  const std::string& table_tag) {
+  eval::SweepConfig config;
+  config.sample_fractions = eval::SweepConfig::PaperFractions();
+  config.reps = flags.reps;
+  config.threads = flags.threads;
+  config.seed = flags.seed;
+  config.burn_in = dataset.burn_in;
+  config.algorithms = estimators::AllAlgorithms();
+
+  const eval::SweepResult result = CheckedValue(
+      eval::RunSweep(dataset.graph, dataset.labels, target.target, config),
+      "RunSweep");
+
+  char caption[256];
+  std::snprintf(caption, sizeof(caption),
+                "%s: %s, target label=%s, number of target edges=%lld, "
+                "percentage=%s (reps=%lld)",
+                table_tag.c_str(), dataset.name.c_str(),
+                eval::TargetName(target.target).c_str(),
+                static_cast<long long>(result.truth),
+                FormatPercent(static_cast<double>(result.truth) /
+                              static_cast<double>(dataset.graph.num_edges()))
+                    .c_str(),
+                static_cast<long long>(flags.reps));
+  std::printf("%s\n", eval::RenderPaperTable(result, caption).c_str());
+
+  const CsvWriter csv = eval::ToCsv(result, dataset.name,
+                                    eval::TargetName(target.target));
+  const std::string path = flags.out_dir + "/" + table_tag + "_" +
+                           dataset.name + ".csv";
+  CheckOk(csv.WriteFile(path), "CSV write");
+
+  const eval::BestAtBudget best = eval::BestAtLargestBudget(result);
+  std::printf("Best at 5.0%%|V|: %s (NRMSE %s)\n\n",
+              estimators::AlgorithmName(best.algorithm),
+              FormatNrmse(best.nrmse).c_str());
+}
+
+inline void PrintDatasetHeader(const synth::Dataset& dataset) {
+  std::printf("dataset %s: |V|=%s |E|=%s burn-in=%lld\n",
+              dataset.name.c_str(), FormatCount(dataset.graph.num_nodes()).c_str(),
+              FormatCount(dataset.graph.num_edges()).c_str(),
+              static_cast<long long>(dataset.burn_in));
+}
+
+}  // namespace labelrw::bench
+
+#endif  // LABELRW_BENCH_BENCH_UTIL_H_

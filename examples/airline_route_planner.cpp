@@ -1,0 +1,82 @@
+// The paper's motivating scenario #2 (Introduction): an airline considers a
+// new China <-> Austria route. The number of friendships between users in
+// the two countries indicates how much the populations interact.
+//
+// This example exercises the budget/accuracy trade-off: it runs the
+// auto-selecting core::TargetEdgeCounter at increasing API budgets and shows
+// the estimate stabilizing — the workflow an analyst would actually use to
+// decide "have I crawled enough?".
+
+#include <cstdio>
+
+#include "core/target_edge_counter.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "synth/generators.h"
+#include "synth/labelers.h"
+#include "util/stats.h"
+
+namespace {
+
+constexpr labelrw::graph::Label kChina = 0;    // biggest community
+constexpr labelrw::graph::Label kAustria = 25; // mid-size community
+
+}  // namespace
+
+int main() {
+  using namespace labelrw;
+
+  const graph::Graph graph =
+      std::move(synth::BarabasiAlbert(60000, 15, 777)).value();
+  const graph::LabelStore labels = std::move(
+      synth::ZipfLocationLabels(graph.num_nodes(), 80, 0.9, 778)).value();
+
+  const graph::TargetLabel target{kChina, kAustria};
+  const int64_t truth = graph::CountTargetEdges(graph, labels, target);
+  osn::LocalGraphApi probe(graph, labels);
+  const osn::GraphPriors priors = probe.Priors();
+
+  std::printf("Airline route planner: China <-> Austria friendships\n");
+  std::printf("  network: |V|=%lld |E|=%lld, exact F=%lld (%.3f%% of |E|)\n\n",
+              static_cast<long long>(priors.num_nodes),
+              static_cast<long long>(priors.num_edges),
+              static_cast<long long>(truth),
+              100.0 * static_cast<double>(truth) /
+                  static_cast<double>(priors.num_edges));
+
+  std::printf("  %-10s %-26s %12s %12s %10s\n", "budget", "algorithm chosen",
+              "mean est.", "NRMSE(15x)", "rel. err");
+  for (const double fraction : {0.005, 0.01, 0.02, 0.05, 0.10}) {
+    const auto budget = static_cast<int64_t>(
+        fraction * static_cast<double>(priors.num_nodes));
+    NrmseAccumulator acc(static_cast<double>(truth));
+    const char* chosen = "?";
+    for (int rep = 0; rep < 15; ++rep) {
+      osn::LocalGraphApi api(graph, labels);
+      core::TargetEdgeCounter counter(&api, priors);
+      core::CountOptions options;
+      options.budget = budget;
+      options.burn_in = 150;
+      options.seed = DeriveSeed(31000, static_cast<uint64_t>(budget), 0, rep);
+      auto report = counter.Count(target, options);
+      if (!report.ok()) {
+        std::fprintf(stderr, "count failed: %s\n",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      acc.Add(report->estimate);
+      chosen = estimators::AlgorithmName(report->algorithm);
+    }
+    char budget_label[32];
+    std::snprintf(budget_label, sizeof(budget_label), "%.1f%%|V|",
+                  fraction * 100.0);
+    std::printf("  %-10s %-26s %12.0f %12.3f %9.1f%%\n", budget_label, chosen,
+                acc.MeanEstimate(), acc.Nrmse(),
+                100.0 * acc.RelativeBias());
+  }
+
+  std::printf("\n  Reading: once successive budget levels agree within a few "
+              "percent, stop crawling — for this network ~2%%|V| suffices "
+              "for a go/no-go route decision.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The paper's motivating scenario #1 (Introduction): an education institute
+// wants to know whether a new Spanish course in Hong Kong has enough
+// potential demand. A proxy: the number of friendships between users living
+// in Hong Kong and users living in Spain — users with Spanish friends are
+// likely interested in learning Spanish.
+//
+// The target edges are *rare* (two specific locations out of hundreds), so
+// this example demonstrates the NeighborExploration family — the paper's
+// recommended tool for rare labels — and compares all three NE estimators.
+
+#include <cstdio>
+
+#include "estimators/estimator.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "synth/generators.h"
+#include "synth/labelers.h"
+#include "util/stats.h"
+
+namespace {
+
+// Location codes in this synthetic OSN (Zipf-ranked: 0 is the biggest city).
+constexpr labelrw::graph::Label kHongKong = 3;
+constexpr labelrw::graph::Label kSpain = 11;
+
+}  // namespace
+
+int main() {
+  using namespace labelrw;
+
+  // An 80k-user OSN with Zipf-distributed home locations.
+  const graph::Graph graph =
+      std::move(synth::BarabasiAlbert(80000, 12, 555)).value();
+  const graph::LabelStore labels = std::move(
+      synth::ZipfLocationLabels(graph.num_nodes(), 150, 1.2, 556)).value();
+
+  osn::LocalGraphApi api(graph, labels);
+  const osn::GraphPriors priors = api.Priors();
+  const graph::TargetLabel target{kHongKong, kSpain};
+  const int64_t truth = graph::CountTargetEdges(graph, labels, target);
+
+  std::printf("Language-course planner: HK <-> Spain friendships\n");
+  std::printf("  network: |V|=%lld |E|=%lld\n",
+              static_cast<long long>(priors.num_nodes),
+              static_cast<long long>(priors.num_edges));
+  std::printf("  exact F=%lld (%.4f%% of |E|) -- rare target\n\n",
+              static_cast<long long>(truth),
+              100.0 * static_cast<double>(truth) /
+                  static_cast<double>(priors.num_edges));
+
+  const estimators::AlgorithmId algorithms[] = {
+      estimators::AlgorithmId::kNeighborExplorationHH,
+      estimators::AlgorithmId::kNeighborExplorationHT,
+      estimators::AlgorithmId::kNeighborExplorationRW,
+      estimators::AlgorithmId::kNeighborSampleHH,  // for contrast
+  };
+
+  std::printf("  %-26s %12s %12s %10s\n", "algorithm", "mean est.",
+              "NRMSE(20x)", "API calls");
+  for (const auto id : algorithms) {
+    NrmseAccumulator acc(static_cast<double>(truth));
+    int64_t calls = 0;
+    for (int rep = 0; rep < 20; ++rep) {
+      estimators::EstimateOptions options;
+      options.api_budget = priors.num_nodes / 20;  // 5% |V| API calls
+      options.burn_in = 200;
+      options.seed = DeriveSeed(9000, static_cast<uint64_t>(id), 0, rep);
+      osn::LocalGraphApi fresh(graph, labels);
+      auto result = estimators::Estimate(id, fresh, target, priors, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "estimate failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      acc.Add(result->estimate);
+      calls += result->api_calls;
+    }
+    std::printf("  %-26s %12.0f %12.3f %10lld\n",
+                estimators::AlgorithmName(id), acc.MeanEstimate(),
+                acc.Nrmse(), static_cast<long long>(calls / 20));
+  }
+
+  std::printf("\n  Decision guidance: with F in the hundreds, demand exists "
+              "but is niche; NeighborExploration reaches usable accuracy at "
+              "5%%|V| budget while plain NeighborSample does not.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "core/target_edge_counter.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace labelrw::core {
+
+Status CountOptions::Validate() const {
+  if (budget <= 0) return InvalidArgumentError("budget must be positive");
+  if (burn_in < 0) return InvalidArgumentError("burn_in must be >= 0");
+  if (pilot_fraction <= 0.0 || pilot_fraction >= 1.0) {
+    return InvalidArgumentError("pilot_fraction must lie in (0, 1)");
+  }
+  if (rare_threshold <= 0.0 || rare_threshold >= 1.0) {
+    return InvalidArgumentError("rare_threshold must lie in (0, 1)");
+  }
+  return Status::Ok();
+}
+
+Result<CountReport> TargetEdgeCounter::Count(
+    const graph::TargetLabel& target, const CountOptions& options) const {
+  LABELRW_RETURN_IF_ERROR(options.Validate());
+
+  CountReport report;
+
+  if (options.algorithm.has_value()) {
+    estimators::EstimateOptions est;
+    est.api_budget = options.budget;
+    est.burn_in = options.burn_in;
+    est.seed = options.seed;
+    LABELRW_ASSIGN_OR_RETURN(
+        estimators::EstimateResult result,
+        estimators::Estimate(*options.algorithm, *api_, target, priors_, est));
+    report.estimate = result.estimate;
+    report.algorithm = *options.algorithm;
+    report.api_calls = result.api_calls;
+    report.samples_used = result.samples_used;
+    return report;
+  }
+
+  // Pilot: cheap NeighborSample-HH probe of the target-edge frequency.
+  const int64_t pilot_budget = std::max<int64_t>(
+      1, static_cast<int64_t>(options.pilot_fraction *
+                              static_cast<double>(options.budget)));
+  estimators::EstimateOptions pilot;
+  pilot.api_budget = pilot_budget;
+  pilot.burn_in = options.burn_in;
+  pilot.seed = DeriveSeed(options.seed, /*a=*/1);
+  LABELRW_ASSIGN_OR_RETURN(
+      estimators::EstimateResult pilot_result,
+      estimators::Estimate(estimators::AlgorithmId::kNeighborSampleHH, *api_,
+                           target, priors_, pilot));
+  report.pilot_estimate = pilot_result.estimate;
+
+  // Routing rule (§5.2 finding (4), §5.3): rare targets -> explore
+  // neighborhoods; abundant targets -> plain edge sampling.
+  const double frequency =
+      pilot_result.estimate / static_cast<double>(priors_.num_edges);
+  const estimators::AlgorithmId chosen =
+      frequency < options.rare_threshold
+          ? estimators::AlgorithmId::kNeighborExplorationHH
+          : estimators::AlgorithmId::kNeighborSampleHH;
+
+  estimators::EstimateOptions main;
+  main.api_budget =
+      std::max<int64_t>(1, options.budget - pilot_result.api_calls);
+  // The pilot walk already mixed; reuse a short burn-in for the main phase.
+  main.burn_in = options.burn_in;
+  main.seed = DeriveSeed(options.seed, /*a=*/2);
+  LABELRW_ASSIGN_OR_RETURN(
+      estimators::EstimateResult main_result,
+      estimators::Estimate(chosen, *api_, target, priors_, main));
+
+  report.estimate = main_result.estimate;
+  report.algorithm = chosen;
+  report.api_calls = pilot_result.api_calls + main_result.api_calls;
+  report.samples_used = main_result.samples_used;
+  return report;
+}
+
+}  // namespace labelrw::core

@@ -1,0 +1,72 @@
+// TargetEdgeCounter: the high-level public API of labelrw.
+//
+// A downstream user points it at an OSN API, states the target label pair
+// and an API budget, and receives an estimate of the number of target edges.
+// By default the counter implements the paper's operational guidance (§5.2
+// finding (4), §5.3): NeighborExploration dominates when target edges are
+// rare, NeighborSample when they are abundant — so it spends a small pilot
+// fraction of the budget on a NeighborSample-HH probe of the target-edge
+// frequency and then routes the remaining budget to the right sampler.
+
+#ifndef LABELRW_CORE_TARGET_EDGE_COUNTER_H_
+#define LABELRW_CORE_TARGET_EDGE_COUNTER_H_
+
+#include <optional>
+
+#include "estimators/estimator.h"
+#include "graph/labels.h"
+#include "osn/api.h"
+#include "util/status.h"
+
+namespace labelrw::core {
+
+struct CountOptions {
+  /// Total sampling iterations to spend (the paper's sample size k).
+  int64_t budget = 0;
+  /// Walk steps discarded before sampling; use the network's mixing time.
+  int64_t burn_in = 0;
+  uint64_t seed = 0;
+  /// Force a specific algorithm instead of auto-selection.
+  std::optional<estimators::AlgorithmId> algorithm;
+  /// Fraction of the budget spent on the pilot probe when auto-selecting.
+  double pilot_fraction = 0.1;
+  /// Pilot estimate of F/|E| below which NeighborExploration is selected.
+  /// The paper's crossover sits around a fraction of a percent to a few
+  /// percent of |E| (Figures 1-2); 0.02 is a serviceable default.
+  double rare_threshold = 0.02;
+
+  Status Validate() const;
+};
+
+struct CountReport {
+  /// Final estimate of the number of target edges.
+  double estimate = 0.0;
+  /// Algorithm that produced the final estimate.
+  estimators::AlgorithmId algorithm;
+  /// Pilot-phase estimate of F (only set when auto-selection ran).
+  std::optional<double> pilot_estimate;
+  int64_t api_calls = 0;
+  int64_t samples_used = 0;
+};
+
+class TargetEdgeCounter {
+ public:
+  /// `api` must outlive the counter. `priors` supplies |V| and |E| (§3
+  /// assumption (2)); see extensions/size_estimator.h when they are unknown.
+  TargetEdgeCounter(osn::OsnApi* api, osn::GraphPriors priors)
+      : api_(api), priors_(priors) {}
+
+  /// Estimates the number of edges whose endpoint labels match `target`.
+  Result<CountReport> Count(const graph::TargetLabel& target,
+                            const CountOptions& options) const;
+
+  const osn::GraphPriors& priors() const { return priors_; }
+
+ private:
+  osn::OsnApi* api_;
+  osn::GraphPriors priors_;
+};
+
+}  // namespace labelrw::core
+
+#endif  // LABELRW_CORE_TARGET_EDGE_COUNTER_H_

@@ -1,0 +1,29 @@
+// Baseline algorithms (Section 5.1, "Adaptations of Existing Algorithms").
+//
+// Li et al. [ICDE'15] give random-walk estimators for the relative count of
+// target *nodes*. Counting target edges in G equals counting target nodes in
+// the line graph G', so each baseline runs its walk on G' (implicitly, via
+// rw::EdgeWalk) and computes the self-normalized importance-sampling
+// estimate
+//
+//   F = |E| * (sum_i I(e_i)/w(e_i)) / (sum_i 1/w(e_i))
+//
+// with w the stationary weight of the walk kind (see rw/walk.h). For the
+// uniform-stationary walks (MHRW, MDRW) this reduces to |E| * (1/k) sum I.
+
+#ifndef LABELRW_ESTIMATORS_BASELINES_H_
+#define LABELRW_ESTIMATORS_BASELINES_H_
+
+#include "estimators/estimator.h"
+#include "rw/walk.h"
+
+namespace labelrw::estimators {
+
+Result<EstimateResult> LineGraphBaselineEstimate(
+    osn::OsnApi& api, const graph::TargetLabel& target,
+    const osn::GraphPriors& priors, const EstimateOptions& options,
+    rw::WalkKind walk_kind);
+
+}  // namespace labelrw::estimators
+
+#endif  // LABELRW_ESTIMATORS_BASELINES_H_

@@ -1,0 +1,41 @@
+#include "estimators/common.h"
+
+namespace labelrw::estimators {
+
+Result<bool> UserHasLabel(osn::OsnApi& api, graph::NodeId user,
+                          graph::Label l) {
+  LABELRW_ASSIGN_OR_RETURN(auto labels, api.GetLabels(user));
+  return SpanHasLabel(labels, l);
+}
+
+Result<bool> IsTargetEdge(osn::OsnApi& api, graph::NodeId u, graph::NodeId v,
+                          const graph::TargetLabel& target) {
+  LABELRW_ASSIGN_OR_RETURN(auto labels_u, api.GetLabels(u));
+  LABELRW_ASSIGN_OR_RETURN(auto labels_v, api.GetLabels(v));
+  const bool u1 = SpanHasLabel(labels_u, target.t1);
+  const bool u2 = SpanHasLabel(labels_u, target.t2);
+  const bool v1 = SpanHasLabel(labels_v, target.t1);
+  const bool v2 = SpanHasLabel(labels_v, target.t2);
+  return (u1 && v2) || (u2 && v1);
+}
+
+Result<int64_t> ExploreIncidentTargetEdges(osn::OsnApi& api,
+                                           graph::NodeId user,
+                                           const graph::TargetLabel& target) {
+  LABELRW_ASSIGN_OR_RETURN(auto labels_u, api.GetLabels(user));
+  const bool u1 = SpanHasLabel(labels_u, target.t1);
+  const bool u2 = SpanHasLabel(labels_u, target.t2);
+  if (!u1 && !u2) return static_cast<int64_t>(0);
+
+  LABELRW_ASSIGN_OR_RETURN(auto neighbors, api.GetNeighbors(user));
+  int64_t count = 0;
+  for (graph::NodeId v : neighbors) {
+    LABELRW_ASSIGN_OR_RETURN(auto labels_v, api.GetLabels(v));
+    const bool v1 = SpanHasLabel(labels_v, target.t1);
+    const bool v2 = SpanHasLabel(labels_v, target.t2);
+    if ((u1 && v2) || (u2 && v1)) ++count;
+  }
+  return count;
+}
+
+}  // namespace labelrw::estimators

@@ -1,0 +1,198 @@
+// Shared helpers for the estimation algorithms: API-side label probing and
+// the numerically careful inclusion-probability term of the HT estimators.
+
+#ifndef LABELRW_ESTIMATORS_COMMON_H_
+#define LABELRW_ESTIMATORS_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "osn/api.h"
+#include "util/status.h"
+
+namespace labelrw::estimators {
+
+/// Binary search in a sorted label span.
+inline bool SpanHasLabel(std::span<const graph::Label> labels,
+                         graph::Label l) {
+  return std::binary_search(labels.begin(), labels.end(), l);
+}
+
+/// True iff `user` carries label `l` (one profile probe, cached by the API).
+Result<bool> UserHasLabel(osn::OsnApi& api, graph::NodeId user,
+                          graph::Label l);
+
+/// True iff the edge {u, v} is a target edge under `target`, probing both
+/// profiles through the API.
+Result<bool> IsTargetEdge(osn::OsnApi& api, graph::NodeId u, graph::NodeId v,
+                          const graph::TargetLabel& target);
+
+/// T(u): the number of target edges incident to `user`, computed by
+/// exploring all of `user`'s neighbors (the NeighborExploration probe).
+/// Fetches user's neighbor list and every neighbor's profile.
+Result<int64_t> ExploreIncidentTargetEdges(osn::OsnApi& api,
+                                           graph::NodeId user,
+                                           const graph::TargetLabel& target);
+
+/// Computes 1 - (1 - p)^k without catastrophic cancellation for small p*k.
+inline double InclusionProbability(double p, int64_t k) {
+  if (p >= 1.0) return 1.0;
+  if (p <= 0.0 || k <= 0) return 0.0;
+  return -std::expm1(static_cast<double>(k) * std::log1p(-p));
+}
+
+/// The thinning stride for HT estimators: max(1, round(fraction * k)).
+inline int64_t ThinningStride(double fraction, int64_t k) {
+  const int64_t stride =
+      static_cast<int64_t>(std::llround(fraction * static_cast<double>(k)));
+  return stride < 1 ? 1 : stride;
+}
+
+/// Drives a sampling loop under either an iteration count or an API-call
+/// budget (the paper's protocol). Construct after burn-in, then test
+/// KeepGoing(api, i) before each iteration i.
+class LoopControl {
+ public:
+  LoopControl(const osn::OsnApi& api, int64_t sample_size, int64_t api_budget)
+      : budget_(api_budget), start_calls_(api.api_calls()) {
+    if (api_budget > 0) {
+      // Cached re-fetches are free, so iterations can exceed the budget;
+      // cap them to keep the loop finite on fully cached subgraphs.
+      max_iterations_ =
+          sample_size > 0 ? sample_size : 64 * api_budget + 1000;
+    } else {
+      max_iterations_ = sample_size;
+    }
+  }
+
+  bool KeepGoing(const osn::OsnApi& api, int64_t iteration) const {
+    if (iteration >= max_iterations_) return false;
+    if (budget_ > 0 && api.api_calls() - start_calls_ >= budget_) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Nominal sample-size k for thinning-stride purposes: the budget when
+  /// budget-driven (one call ~ one draw for walk sampling), else the
+  /// iteration count.
+  int64_t NominalSize() const {
+    return budget_ > 0 ? budget_ : max_iterations_;
+  }
+
+ private:
+  int64_t budget_;
+  int64_t start_calls_;
+  int64_t max_iterations_;
+};
+
+/// Batch-means standard error for the mean of *correlated* draws (walk
+/// samples are Markov-dependent, so the naive iid stderr is too small).
+/// The draws are split into B = floor(sqrt(n)) contiguous batches; batches
+/// are approximately independent once they span several mixing times, and
+/// stderr = sd(batch means) / sqrt(B).
+class BatchMeans {
+ public:
+  void Add(double value) { values_.push_back(value); }
+
+  int64_t count() const { return static_cast<int64_t>(values_.size()); }
+
+  double Mean() const {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+  /// 0 when fewer than 4 draws (no meaningful batching).
+  double StdErrorOfMean() const {
+    const int64_t n = count();
+    if (n < 4) return 0.0;
+    const auto b = static_cast<int64_t>(std::sqrt(static_cast<double>(n)));
+    const int64_t batch_len = n / b;  // trailing remainder draws dropped
+    double mean_of_means = 0.0;
+    std::vector<double> batch_means(b);
+    for (int64_t i = 0; i < b; ++i) {
+      double sum = 0.0;
+      for (int64_t j = i * batch_len; j < (i + 1) * batch_len; ++j) {
+        sum += values_[j];
+      }
+      batch_means[i] = sum / static_cast<double>(batch_len);
+      mean_of_means += batch_means[i];
+    }
+    mean_of_means /= static_cast<double>(b);
+    double var = 0.0;
+    for (double m : batch_means) {
+      var += (m - mean_of_means) * (m - mean_of_means);
+    }
+    var /= static_cast<double>(b - 1);
+    return std::sqrt(var / static_cast<double>(b));
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Batch jackknife standard error for a ratio estimator
+/// R = (sum numerators) / (sum denominators) over correlated draws.
+class BatchRatio {
+ public:
+  void Add(double numerator, double denominator) {
+    numerators_.push_back(numerator);
+    denominators_.push_back(denominator);
+  }
+
+  int64_t count() const { return static_cast<int64_t>(numerators_.size()); }
+
+  double Ratio() const {
+    double num = 0.0, den = 0.0;
+    for (double v : numerators_) num += v;
+    for (double v : denominators_) den += v;
+    return den != 0.0 ? num / den : 0.0;
+  }
+
+  /// Leave-one-batch-out jackknife stderr of Ratio(); 0 if < 4 draws.
+  double StdErrorOfRatio() const {
+    const int64_t n = count();
+    if (n < 4) return 0.0;
+    const auto b = static_cast<int64_t>(std::sqrt(static_cast<double>(n)));
+    const int64_t batch_len = n / b;
+    std::vector<double> batch_num(b, 0.0);
+    std::vector<double> batch_den(b, 0.0);
+    double total_num = 0.0, total_den = 0.0;
+    for (int64_t i = 0; i < b; ++i) {
+      for (int64_t j = i * batch_len; j < (i + 1) * batch_len; ++j) {
+        batch_num[i] += numerators_[j];
+        batch_den[i] += denominators_[j];
+      }
+      total_num += batch_num[i];
+      total_den += batch_den[i];
+    }
+    if (total_den == 0.0) return 0.0;
+    const double full = total_num / total_den;
+    double var = 0.0;
+    int64_t used = 0;
+    for (int64_t i = 0; i < b; ++i) {
+      const double den_i = total_den - batch_den[i];
+      if (den_i == 0.0) continue;
+      const double leave_out = (total_num - batch_num[i]) / den_i;
+      var += (leave_out - full) * (leave_out - full);
+      ++used;
+    }
+    if (used < 2) return 0.0;
+    var *= static_cast<double>(used - 1) / static_cast<double>(used);
+    return std::sqrt(var);
+  }
+
+ private:
+  std::vector<double> numerators_;
+  std::vector<double> denominators_;
+};
+
+}  // namespace labelrw::estimators
+
+#endif  // LABELRW_ESTIMATORS_COMMON_H_

@@ -1,0 +1,119 @@
+// Public entry point for the ten target-edge-count estimation algorithms
+// evaluated in the paper (Table 2):
+//
+//   proposed:  NeighborSample-{HH,HT}, NeighborExploration-{HH,HT,RW}
+//   baselines: EX-RW, EX-MHRW, EX-MDRW, EX-RCMH, EX-GMD  (Li et al. adapted
+//              to the line graph G')
+//
+// All algorithms access the network exclusively through osn::OsnApi and use
+// only the prior knowledge in osn::GraphPriors (|V|, |E|, degree maxima),
+// matching the paper's access model.
+
+#ifndef LABELRW_ESTIMATORS_ESTIMATOR_H_
+#define LABELRW_ESTIMATORS_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/labels.h"
+#include "osn/api.h"
+#include "rw/walk.h"
+#include "util/status.h"
+
+namespace labelrw::estimators {
+
+enum class AlgorithmId {
+  kNeighborSampleHH,
+  kNeighborSampleHT,
+  kNeighborExplorationHH,
+  kNeighborExplorationHT,
+  kNeighborExplorationRW,
+  kExRW,
+  kExMHRW,
+  kExMDRW,
+  kExRCMH,
+  kExGMD,
+};
+
+/// Paper-style display name, e.g. "NeighborSample-HH".
+const char* AlgorithmName(AlgorithmId id);
+
+/// Parses a display name back to an id.
+Result<AlgorithmId> AlgorithmFromName(const std::string& name);
+
+/// All ten algorithms, in the paper's table row order.
+std::vector<AlgorithmId> AllAlgorithms();
+
+/// The five algorithms proposed by the paper (used in Figures 1-2).
+std::vector<AlgorithmId> ProposedAlgorithms();
+
+/// True for the five EX-* baselines.
+bool IsBaseline(AlgorithmId id);
+
+/// How the Horvitz-Thompson estimators address sample dependence (§4.1.3).
+enum class HtThinning {
+  /// Use every draw from the single walk (default; see DESIGN.md §6).
+  kNone,
+  /// Keep only draws spaced `ht_spacing_fraction * k` steps apart.
+  kSpacing,
+};
+
+struct EstimateOptions {
+  /// Number of sampling iterations k. Ignored (treated as an iteration cap)
+  /// when `api_budget` is set. At least one of the two must be positive.
+  int64_t sample_size = 0;
+  /// API-call budget for the sampling phase (burn-in is not counted).
+  /// When positive, the estimator keeps sampling until the budget is spent —
+  /// the paper's "x% |V| API calls" protocol. Cached re-fetches are free, so
+  /// the number of iterations may exceed the budget; `sample_size` (if set)
+  /// additionally caps iterations.
+  int64_t api_budget = 0;
+  /// Walk steps discarded before sampling ("the nodes or edges encountered
+  /// in the random walk before the mixing time are not included", §5.1).
+  int64_t burn_in = 0;
+  /// Seed for the walk and all sampling decisions.
+  uint64_t seed = 0;
+  HtThinning ht_thinning = HtThinning::kNone;
+  double ht_spacing_fraction = 0.025;  // the paper's r = 2.5% k
+  /// Baseline parameters; the paper's source suggests alpha in [0,0.3] and
+  /// delta in [0.3,0.7].
+  double rcmh_alpha = 0.15;
+  double gmd_delta = 0.5;
+  /// Walk driving NeighborSample / NeighborExploration. kSimple is the
+  /// paper's choice; kNonBacktracking implements the related-work
+  /// alternative [Lee, Xu & Eun, SIGMETRICS'12], which has the same
+  /// stationary distribution but lower asymptotic variance. Other kinds are
+  /// rejected (the estimator weights assume a degree-proportional walk).
+  rw::WalkKind ns_walk_kind = rw::WalkKind::kSimple;
+
+  Status Validate() const;
+};
+
+struct EstimateResult {
+  /// The estimate F-hat of the target edge count.
+  double estimate = 0.0;
+  /// API calls charged during this estimate (including burn-in).
+  int64_t api_calls = 0;
+  /// Sampling iterations actually performed.
+  int64_t iterations = 0;
+  /// Draws retained by the estimator (== iterations except for HT thinning).
+  int64_t samples_used = 0;
+  /// NeighborExploration only: nodes whose full neighborhood was explored.
+  int64_t explored_nodes = 0;
+  /// Batch-means standard error of `estimate` (0 when unavailable: HT
+  /// estimators, or too few draws). Valid under walk-sample correlation;
+  /// estimate +/- 2*std_error is an approximate 95% interval.
+  double std_error = 0.0;
+};
+
+/// Runs `algorithm` against `api` and returns the estimate of the number of
+/// target edges for `target`.
+Result<EstimateResult> Estimate(AlgorithmId algorithm, osn::OsnApi& api,
+                                const graph::TargetLabel& target,
+                                const osn::GraphPriors& priors,
+                                const EstimateOptions& options);
+
+}  // namespace labelrw::estimators
+
+#endif  // LABELRW_ESTIMATORS_ESTIMATOR_H_

@@ -1,0 +1,137 @@
+#include "estimators/multi_target.h"
+
+#include "estimators/common.h"
+#include "rw/node_walk.h"
+
+namespace labelrw::estimators {
+namespace {
+
+bool SpanMatchesTarget(std::span<const graph::Label> lu,
+                       std::span<const graph::Label> lv,
+                       const graph::TargetLabel& t) {
+  const bool u1 = SpanHasLabel(lu, t.t1);
+  const bool u2 = SpanHasLabel(lu, t.t2);
+  const bool v1 = SpanHasLabel(lv, t.t1);
+  const bool v2 = SpanHasLabel(lv, t.t2);
+  return (u1 && v2) || (u2 && v1);
+}
+
+}  // namespace
+
+Result<MultiTargetResult> MultiTargetNeighborSample(
+    osn::OsnApi& api, const std::vector<graph::TargetLabel>& targets,
+    const osn::GraphPriors& priors, const EstimateOptions& options) {
+  LABELRW_RETURN_IF_ERROR(options.Validate());
+  if (targets.empty()) {
+    return InvalidArgumentError("MultiTargetNeighborSample: no targets");
+  }
+  if (priors.num_edges <= 0) {
+    return InvalidArgumentError("MultiTargetNeighborSample: need |E| prior");
+  }
+  const double m = static_cast<double>(priors.num_edges);
+  const int64_t calls_before = api.api_calls();
+
+  Rng rng(options.seed);
+  rw::WalkParams walk_params;
+  walk_params.kind = options.ns_walk_kind;
+  rw::NodeWalk walk(&api, walk_params);
+  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
+  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+
+  std::vector<BatchMeans> draws(targets.size());
+  int64_t iterations = 0;
+  const LoopControl loop(api, options.sample_size, options.api_budget);
+  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
+    const graph::NodeId from = walk.current();
+    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId to, walk.Step(rng));
+    ++iterations;
+    LABELRW_ASSIGN_OR_RETURN(auto lu, api.GetLabels(from));
+    LABELRW_ASSIGN_OR_RETURN(auto lv, api.GetLabels(to));
+    for (size_t p = 0; p < targets.size(); ++p) {
+      draws[p].Add(SpanMatchesTarget(lu, lv, targets[p]) ? m : 0.0);
+    }
+  }
+  if (iterations == 0) {
+    return FailedPreconditionError("MultiTargetNeighborSample: budget too small");
+  }
+
+  MultiTargetResult result;
+  result.iterations = iterations;
+  result.api_calls = api.api_calls() - calls_before;
+  for (const auto& d : draws) {
+    result.estimates.push_back(d.Mean());
+    result.std_errors.push_back(d.StdErrorOfMean());
+  }
+  return result;
+}
+
+Result<MultiTargetResult> MultiTargetNeighborExploration(
+    osn::OsnApi& api, const std::vector<graph::TargetLabel>& targets,
+    const osn::GraphPriors& priors, const EstimateOptions& options) {
+  LABELRW_RETURN_IF_ERROR(options.Validate());
+  if (targets.empty()) {
+    return InvalidArgumentError("MultiTargetNeighborExploration: no targets");
+  }
+  if (priors.num_edges <= 0 || priors.num_nodes <= 0) {
+    return InvalidArgumentError(
+        "MultiTargetNeighborExploration: need |V|,|E| priors");
+  }
+  const double m = static_cast<double>(priors.num_edges);
+  const int64_t calls_before = api.api_calls();
+
+  Rng rng(options.seed);
+  rw::WalkParams walk_params;
+  walk_params.kind = options.ns_walk_kind;
+  rw::NodeWalk walk(&api, walk_params);
+  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
+  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+
+  std::vector<BatchMeans> draws(targets.size());
+  std::vector<int64_t> t_u(targets.size());
+  MultiTargetResult result;
+  int64_t iterations = 0;
+  const LoopControl loop(api, options.sample_size, options.api_budget);
+  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
+    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId u, walk.Step(rng));
+    ++iterations;
+    LABELRW_ASSIGN_OR_RETURN(const int64_t degree, api.GetDegree(u));
+    LABELRW_ASSIGN_OR_RETURN(auto lu, api.GetLabels(u));
+
+    bool touches_any = false;
+    for (const auto& t : targets) {
+      if (SpanHasLabel(lu, t.t1) || SpanHasLabel(lu, t.t2)) {
+        touches_any = true;
+        break;
+      }
+    }
+    std::fill(t_u.begin(), t_u.end(), 0);
+    if (touches_any) {
+      ++result.explored_nodes;
+      LABELRW_ASSIGN_OR_RETURN(auto nbrs, api.GetNeighbors(u));
+      for (graph::NodeId v : nbrs) {
+        LABELRW_ASSIGN_OR_RETURN(auto lv, api.GetLabels(v));
+        for (size_t p = 0; p < targets.size(); ++p) {
+          if (SpanMatchesTarget(lu, lv, targets[p])) ++t_u[p];
+        }
+      }
+    }
+    for (size_t p = 0; p < targets.size(); ++p) {
+      draws[p].Add(m * static_cast<double>(t_u[p]) /
+                   static_cast<double>(degree));
+    }
+  }
+  if (iterations == 0) {
+    return FailedPreconditionError(
+        "MultiTargetNeighborExploration: budget too small");
+  }
+
+  result.iterations = iterations;
+  result.api_calls = api.api_calls() - calls_before;
+  for (const auto& d : draws) {
+    result.estimates.push_back(d.Mean());
+    result.std_errors.push_back(d.StdErrorOfMean());
+  }
+  return result;
+}
+
+}  // namespace labelrw::estimators

@@ -1,0 +1,46 @@
+// Multi-target estimation: amortize one crawl over many target label pairs.
+//
+// A production user rarely wants a single pair ("HK-Spain") — marketing
+// teams sweep dozens of label combinations. Since the walk dominates the
+// API cost and label checks against already-fetched pages are free, all
+// pairs can share one NeighborSample (or NeighborExploration) pass:
+//
+//   * NS-HH: one edge sample stream; per pair p, F_p = mean of m * I_p(e_i).
+//   * NE-HH: explore a sampled node if it touches ANY pair's label; record
+//     T_p(u) for every pair p it touches.
+//
+// Estimates are identical in distribution to running each pair alone with
+// the same walk — but the API cost is paid once (plus the union of
+// exploration triggers for NE).
+
+#ifndef LABELRW_ESTIMATORS_MULTI_TARGET_H_
+#define LABELRW_ESTIMATORS_MULTI_TARGET_H_
+
+#include <vector>
+
+#include "estimators/estimator.h"
+
+namespace labelrw::estimators {
+
+struct MultiTargetResult {
+  /// estimates[p] and std_errors[p] correspond to targets[p].
+  std::vector<double> estimates;
+  std::vector<double> std_errors;
+  int64_t api_calls = 0;
+  int64_t iterations = 0;
+  int64_t explored_nodes = 0;  // NE only
+};
+
+/// All pairs through one NeighborSample pass (Hansen-Hurwitz per pair).
+Result<MultiTargetResult> MultiTargetNeighborSample(
+    osn::OsnApi& api, const std::vector<graph::TargetLabel>& targets,
+    const osn::GraphPriors& priors, const EstimateOptions& options);
+
+/// All pairs through one NeighborExploration pass (Hansen-Hurwitz per pair).
+Result<MultiTargetResult> MultiTargetNeighborExploration(
+    osn::OsnApi& api, const std::vector<graph::TargetLabel>& targets,
+    const osn::GraphPriors& priors, const EstimateOptions& options);
+
+}  // namespace labelrw::estimators
+
+#endif  // LABELRW_ESTIMATORS_MULTI_TARGET_H_

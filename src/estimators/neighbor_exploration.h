@@ -1,0 +1,31 @@
+// NeighborExploration (Algorithm 2, Section 4.2): samples k nodes with one
+// simple random walk; whenever the sampled node u carries t1 or t2, all of
+// u's neighbors are explored and T(u) — the number of target edges incident
+// to u — is recorded. Exploring boosts the probability of observing target
+// edges, which is why this sampler wins when target edges are rare (§5.3).
+//
+// Three estimators are built on the sample (pi_u = d(u)/2|E|):
+//
+//   Hansen-Hurwitz   (Thm 4.3): F = (1/k) sum_i |E| T(u_i) / d(u_i)
+//   Horvitz-Thompson (Thm 4.4): F = 1/2 sum_{distinct u} T(u)/Pr(u),
+//                               Pr(u) = 1 - (1 - d(u)/2|E|)^s
+//   Re-weighted      (Thm 4.5): F = |V| (sum_i T(u_i)/d(u_i)) /
+//                                   (2 sum_i 1/d(u_i))
+
+#ifndef LABELRW_ESTIMATORS_NEIGHBOR_EXPLORATION_H_
+#define LABELRW_ESTIMATORS_NEIGHBOR_EXPLORATION_H_
+
+#include "estimators/estimator.h"
+
+namespace labelrw::estimators {
+
+enum class NeEstimatorKind { kHansenHurwitz, kHorvitzThompson, kReweighted };
+
+Result<EstimateResult> NeighborExplorationEstimate(
+    osn::OsnApi& api, const graph::TargetLabel& target,
+    const osn::GraphPriors& priors, const EstimateOptions& options,
+    NeEstimatorKind kind);
+
+}  // namespace labelrw::estimators
+
+#endif  // LABELRW_ESTIMATORS_NEIGHBOR_EXPLORATION_H_

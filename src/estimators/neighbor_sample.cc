@@ -1,0 +1,74 @@
+#include "estimators/neighbor_sample.h"
+
+#include <unordered_set>
+
+#include "estimators/common.h"
+#include "rw/node_walk.h"
+
+namespace labelrw::estimators {
+
+Result<EstimateResult> NeighborSampleEstimate(
+    osn::OsnApi& api, const graph::TargetLabel& target,
+    const osn::GraphPriors& priors, const EstimateOptions& options,
+    NsEstimatorKind kind) {
+  LABELRW_RETURN_IF_ERROR(options.Validate());
+  if (priors.num_edges <= 0) {
+    return InvalidArgumentError("NeighborSample: |E| prior must be positive");
+  }
+  const double m = static_cast<double>(priors.num_edges);
+  const int64_t calls_before = api.api_calls();
+
+  Rng rng(options.seed);
+  rw::WalkParams walk_params;
+  walk_params.kind = options.ns_walk_kind;
+  rw::NodeWalk walk(&api, walk_params);
+  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
+  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+
+  const LoopControl loop(api, options.sample_size, options.api_budget);
+  const int64_t stride =
+      options.ht_thinning == HtThinning::kSpacing
+          ? ThinningStride(options.ht_spacing_fraction, loop.NominalSize())
+          : 1;
+
+  std::unordered_set<graph::Edge, graph::EdgeHash> distinct_targets;  // HT
+  BatchMeans draws;  // HH: per-draw unbiased estimates m * I(e_i)
+  int64_t retained = 0;
+  int64_t iterations = 0;
+
+  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
+    const graph::NodeId from = walk.current();
+    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId to, walk.Step(rng));
+    ++iterations;
+    if (kind == NsEstimatorKind::kHorvitzThompson && i % stride != 0) {
+      continue;  // thinning keeps every stride-th draw
+    }
+    ++retained;
+    LABELRW_ASSIGN_OR_RETURN(const bool is_target,
+                             IsTargetEdge(api, from, to, target));
+    if (kind == NsEstimatorKind::kHansenHurwitz) {
+      draws.Add(is_target ? m : 0.0);
+    } else if (is_target) {
+      distinct_targets.insert(graph::Edge::Make(from, to));
+    }
+  }
+  if (iterations == 0) {
+    return FailedPreconditionError("NeighborSample: budget too small");
+  }
+
+  EstimateResult result;
+  result.iterations = iterations;
+  result.samples_used = retained;
+  result.api_calls = api.api_calls() - calls_before;
+  if (kind == NsEstimatorKind::kHansenHurwitz) {
+    result.estimate = draws.Mean();
+    result.std_error = draws.StdErrorOfMean();
+  } else {
+    const double pr = InclusionProbability(1.0 / m, retained);
+    result.estimate =
+        pr > 0 ? static_cast<double>(distinct_targets.size()) / pr : 0.0;
+  }
+  return result;
+}
+
+}  // namespace labelrw::estimators

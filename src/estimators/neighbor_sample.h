@@ -1,0 +1,28 @@
+// NeighborSample (Algorithm 1, Section 4.1): samples k edges with one simple
+// random walk — after burn-in, each further walk step traverses one edge,
+// and at stationarity every specific edge is hit with probability 1/|E| per
+// step. Two estimators are built on the sample:
+//
+//   Hansen-Hurwitz  (Thm 4.1):  F = (|E|/k) * sum_i I(e_i)
+//   Horvitz-Thompson (Thm 4.2): F = sum_{distinct e in S} I(e) / Pr(e),
+//                               Pr(e) = 1 - (1 - 1/|E|)^s
+//
+// where s is the number of retained draws (= k without thinning).
+
+#ifndef LABELRW_ESTIMATORS_NEIGHBOR_SAMPLE_H_
+#define LABELRW_ESTIMATORS_NEIGHBOR_SAMPLE_H_
+
+#include "estimators/estimator.h"
+
+namespace labelrw::estimators {
+
+enum class NsEstimatorKind { kHansenHurwitz, kHorvitzThompson };
+
+Result<EstimateResult> NeighborSampleEstimate(
+    osn::OsnApi& api, const graph::TargetLabel& target,
+    const osn::GraphPriors& priors, const EstimateOptions& options,
+    NsEstimatorKind kind);
+
+}  // namespace labelrw::estimators
+
+#endif  // LABELRW_ESTIMATORS_NEIGHBOR_SAMPLE_H_

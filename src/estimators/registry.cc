@@ -1,0 +1,139 @@
+#include "estimators/estimator.h"
+
+#include "estimators/baselines.h"
+#include "estimators/neighbor_exploration.h"
+#include "estimators/neighbor_sample.h"
+
+namespace labelrw::estimators {
+
+const char* AlgorithmName(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kNeighborSampleHH:
+      return "NeighborSample-HH";
+    case AlgorithmId::kNeighborSampleHT:
+      return "NeighborSample-HT";
+    case AlgorithmId::kNeighborExplorationHH:
+      return "NeighborExploration-HH";
+    case AlgorithmId::kNeighborExplorationHT:
+      return "NeighborExploration-HT";
+    case AlgorithmId::kNeighborExplorationRW:
+      return "NeighborExploration-RW";
+    case AlgorithmId::kExRW:
+      return "EX-RW";
+    case AlgorithmId::kExMHRW:
+      return "EX-MHRW";
+    case AlgorithmId::kExMDRW:
+      return "EX-MDRW";
+    case AlgorithmId::kExRCMH:
+      return "EX-RCMH";
+    case AlgorithmId::kExGMD:
+      return "EX-GMD";
+  }
+  return "unknown";
+}
+
+Result<AlgorithmId> AlgorithmFromName(const std::string& name) {
+  for (AlgorithmId id : AllAlgorithms()) {
+    if (name == AlgorithmName(id)) return id;
+  }
+  return NotFoundError("unknown algorithm: " + name);
+}
+
+std::vector<AlgorithmId> AllAlgorithms() {
+  return {
+      AlgorithmId::kNeighborSampleHH,      AlgorithmId::kNeighborSampleHT,
+      AlgorithmId::kNeighborExplorationHH, AlgorithmId::kNeighborExplorationHT,
+      AlgorithmId::kNeighborExplorationRW, AlgorithmId::kExMDRW,
+      AlgorithmId::kExMHRW,                AlgorithmId::kExRW,
+      AlgorithmId::kExRCMH,                AlgorithmId::kExGMD,
+  };
+}
+
+std::vector<AlgorithmId> ProposedAlgorithms() {
+  return {
+      AlgorithmId::kNeighborSampleHH,      AlgorithmId::kNeighborSampleHT,
+      AlgorithmId::kNeighborExplorationHH, AlgorithmId::kNeighborExplorationHT,
+      AlgorithmId::kNeighborExplorationRW,
+  };
+}
+
+bool IsBaseline(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kExRW:
+    case AlgorithmId::kExMHRW:
+    case AlgorithmId::kExMDRW:
+    case AlgorithmId::kExRCMH:
+    case AlgorithmId::kExGMD:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status EstimateOptions::Validate() const {
+  if (sample_size <= 0 && api_budget <= 0) {
+    return InvalidArgumentError(
+        "one of sample_size / api_budget must be positive");
+  }
+  if (sample_size < 0 || api_budget < 0) {
+    return InvalidArgumentError("sample_size/api_budget must be >= 0");
+  }
+  if (burn_in < 0) return InvalidArgumentError("burn_in must be >= 0");
+  if (ht_spacing_fraction <= 0.0 || ht_spacing_fraction > 1.0) {
+    return InvalidArgumentError("ht_spacing_fraction must lie in (0, 1]");
+  }
+  if (rcmh_alpha < 0.0 || rcmh_alpha > 1.0) {
+    return InvalidArgumentError("rcmh_alpha must lie in [0, 1]");
+  }
+  if (gmd_delta <= 0.0 || gmd_delta > 1.0) {
+    return InvalidArgumentError("gmd_delta must lie in (0, 1]");
+  }
+  if (ns_walk_kind != rw::WalkKind::kSimple &&
+      ns_walk_kind != rw::WalkKind::kNonBacktracking) {
+    return InvalidArgumentError(
+        "ns_walk_kind must be kSimple or kNonBacktracking (the estimator "
+        "weights assume a degree-proportional stationary distribution)");
+  }
+  return Status::Ok();
+}
+
+Result<EstimateResult> Estimate(AlgorithmId algorithm, osn::OsnApi& api,
+                                const graph::TargetLabel& target,
+                                const osn::GraphPriors& priors,
+                                const EstimateOptions& options) {
+  switch (algorithm) {
+    case AlgorithmId::kNeighborSampleHH:
+      return NeighborSampleEstimate(api, target, priors, options,
+                                    NsEstimatorKind::kHansenHurwitz);
+    case AlgorithmId::kNeighborSampleHT:
+      return NeighborSampleEstimate(api, target, priors, options,
+                                    NsEstimatorKind::kHorvitzThompson);
+    case AlgorithmId::kNeighborExplorationHH:
+      return NeighborExplorationEstimate(api, target, priors, options,
+                                         NeEstimatorKind::kHansenHurwitz);
+    case AlgorithmId::kNeighborExplorationHT:
+      return NeighborExplorationEstimate(api, target, priors, options,
+                                         NeEstimatorKind::kHorvitzThompson);
+    case AlgorithmId::kNeighborExplorationRW:
+      return NeighborExplorationEstimate(api, target, priors, options,
+                                         NeEstimatorKind::kReweighted);
+    case AlgorithmId::kExRW:
+      return LineGraphBaselineEstimate(api, target, priors, options,
+                                       rw::WalkKind::kSimple);
+    case AlgorithmId::kExMHRW:
+      return LineGraphBaselineEstimate(api, target, priors, options,
+                                       rw::WalkKind::kMetropolisHastings);
+    case AlgorithmId::kExMDRW:
+      return LineGraphBaselineEstimate(api, target, priors, options,
+                                       rw::WalkKind::kMaxDegree);
+    case AlgorithmId::kExRCMH:
+      return LineGraphBaselineEstimate(api, target, priors, options,
+                                       rw::WalkKind::kRcmh);
+    case AlgorithmId::kExGMD:
+      return LineGraphBaselineEstimate(api, target, priors, options,
+                                       rw::WalkKind::kGmd);
+  }
+  return InvalidArgumentError("unknown algorithm id");
+}
+
+}  // namespace labelrw::estimators

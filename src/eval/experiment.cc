@@ -1,0 +1,154 @@
+#include "eval/experiment.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace labelrw::eval {
+
+std::vector<double> SweepConfig::PaperFractions() {
+  std::vector<double> fractions;
+  for (int i = 1; i <= 10; ++i) fractions.push_back(0.005 * i);
+  return fractions;
+}
+
+Status SweepConfig::Validate() const {
+  if (sample_fractions.empty()) {
+    return InvalidArgumentError("sample_fractions must be non-empty");
+  }
+  for (double f : sample_fractions) {
+    if (f <= 0.0 || f > 1.0) {
+      return InvalidArgumentError("sample fractions must lie in (0, 1]");
+    }
+  }
+  if (reps <= 0) return InvalidArgumentError("reps must be positive");
+  if (algorithms.empty()) {
+    return InvalidArgumentError("algorithms must be non-empty");
+  }
+  if (burn_in < 0) return InvalidArgumentError("burn_in must be >= 0");
+  return Status::Ok();
+}
+
+Result<SweepResult> RunSweep(const graph::Graph& graph,
+                             const graph::LabelStore& labels,
+                             const graph::TargetLabel& target,
+                             const SweepConfig& config) {
+  LABELRW_RETURN_IF_ERROR(config.Validate());
+  if (labels.num_nodes() != graph.num_nodes()) {
+    return InvalidArgumentError("RunSweep: label store size mismatch");
+  }
+
+  SweepResult result;
+  result.algorithms = config.algorithms;
+  result.sample_fractions = config.sample_fractions;
+  result.truth = graph::CountTargetEdges(graph, labels, target);
+  if (result.truth == 0) {
+    return FailedPreconditionError("RunSweep: target has no edges (F = 0)");
+  }
+  for (double f : config.sample_fractions) {
+    const auto k = static_cast<int64_t>(
+        f * static_cast<double>(graph.num_nodes()) + 0.5);
+    result.sample_sizes.push_back(k < 1 ? 1 : k);
+  }
+
+  // Shared priors (computing max_line_degree once costs O(m)).
+  const graph::DegreeStats degree_stats = graph::ComputeDegreeStats(graph);
+  osn::GraphPriors priors;
+  priors.num_nodes = graph.num_nodes();
+  priors.num_edges = graph.num_edges();
+  priors.max_degree = degree_stats.max_degree;
+  priors.max_line_degree = degree_stats.max_line_degree;
+
+  const size_t num_algos = config.algorithms.size();
+  const size_t num_sizes = result.sample_sizes.size();
+  struct CellAccumulator {
+    NrmseAccumulator nrmse;
+    RunningStats api_calls;
+    explicit CellAccumulator(double truth) : nrmse(truth) {}
+  };
+  std::vector<std::vector<CellAccumulator>> accumulators;
+  accumulators.reserve(num_algos);
+  for (size_t a = 0; a < num_algos; ++a) {
+    std::vector<CellAccumulator> row;
+    row.reserve(num_sizes);
+    for (size_t s = 0; s < num_sizes; ++s) {
+      row.emplace_back(static_cast<double>(result.truth));
+    }
+    accumulators.push_back(std::move(row));
+  }
+
+  // Work queue: flattened (algorithm, size, rep) triples.
+  const int64_t total_tasks = static_cast<int64_t>(num_algos) *
+                              static_cast<int64_t>(num_sizes) * config.reps;
+  std::atomic<int64_t> next_task{0};
+  std::mutex merge_mutex;
+  Status first_error;
+
+  int threads = config.threads > 0
+                    ? config.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+
+  auto worker = [&]() {
+    while (true) {
+      const int64_t task = next_task.fetch_add(1, std::memory_order_relaxed);
+      if (task >= total_tasks) return;
+      const auto rep = task % config.reps;
+      const auto cell = task / config.reps;
+      const size_t size_idx = static_cast<size_t>(cell) % num_sizes;
+      const size_t algo_idx = static_cast<size_t>(cell) / num_sizes;
+
+      estimators::EstimateOptions options;
+      // The paper's protocol: the budget axis is API calls ("x% |V| API
+      // calls"), not iterations.
+      options.api_budget = result.sample_sizes[size_idx];
+      options.burn_in = config.burn_in;
+      options.seed = DeriveSeed(config.seed, algo_idx, size_idx,
+                                static_cast<uint64_t>(rep));
+      options.ht_thinning = config.ht_thinning;
+      options.ht_spacing_fraction = config.ht_spacing_fraction;
+      options.ns_walk_kind = config.ns_walk_kind;
+      options.rcmh_alpha = config.rcmh_alpha;
+      options.gmd_delta = config.gmd_delta;
+
+      osn::LocalGraphApi api(graph, labels);
+      auto estimate = estimators::Estimate(config.algorithms[algo_idx], api,
+                                           target, priors, options);
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      if (!estimate.ok()) {
+        if (first_error.ok()) first_error = estimate.status();
+        continue;
+      }
+      accumulators[algo_idx][size_idx].nrmse.Add(estimate->estimate);
+      accumulators[algo_idx][size_idx].api_calls.Add(
+          static_cast<double>(estimate->api_calls));
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (!first_error.ok()) return first_error;
+
+  result.cells.assign(num_algos, std::vector<CellResult>(num_sizes));
+  for (size_t a = 0; a < num_algos; ++a) {
+    for (size_t s = 0; s < num_sizes; ++s) {
+      const auto& acc = accumulators[a][s];
+      CellResult& out = result.cells[a][s];
+      out.nrmse = acc.nrmse.Nrmse();
+      out.mean_estimate = acc.nrmse.MeanEstimate();
+      out.relative_bias = acc.nrmse.RelativeBias();
+      out.mean_api_calls = acc.api_calls.mean();
+    }
+  }
+  return result;
+}
+
+}  // namespace labelrw::eval

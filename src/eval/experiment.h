@@ -1,0 +1,71 @@
+// The experiment harness behind every result table: runs R independent
+// simulations of each (algorithm, sample size) cell against a fresh
+// restricted-access API, and aggregates NRMSE against the exact ground
+// truth. Simulations are sharded over worker threads; per-simulation seeds
+// are derived deterministically from (base seed, algorithm, size, rep), so
+// results are independent of the thread count.
+
+#ifndef LABELRW_EVAL_EXPERIMENT_H_
+#define LABELRW_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace labelrw::eval {
+
+struct SweepConfig {
+  /// Sample sizes as fractions of |V| (the paper sweeps 0.5%..5%).
+  std::vector<double> sample_fractions;
+  /// Independent simulations per cell (the paper uses 200).
+  int64_t reps = 60;
+  /// Worker threads; <= 0 means hardware concurrency.
+  int threads = 0;
+  uint64_t seed = 42;
+  /// Burn-in walk steps (use the dataset's mixing-time recommendation).
+  int64_t burn_in = 0;
+  std::vector<estimators::AlgorithmId> algorithms;
+  /// Estimator knobs forwarded to every run.
+  estimators::HtThinning ht_thinning = estimators::HtThinning::kNone;
+  double ht_spacing_fraction = 0.025;
+  double rcmh_alpha = 0.15;
+  double gmd_delta = 0.5;
+  /// Walk kind for the proposed samplers (kSimple or kNonBacktracking).
+  rw::WalkKind ns_walk_kind = rw::WalkKind::kSimple;
+
+  /// The paper's ten sizes 0.5%|V| .. 5.0%|V|.
+  static std::vector<double> PaperFractions();
+
+  Status Validate() const;
+};
+
+/// Aggregates for one (algorithm, sample size) cell.
+struct CellResult {
+  double nrmse = 0.0;
+  double mean_estimate = 0.0;
+  double relative_bias = 0.0;
+  double mean_api_calls = 0.0;
+};
+
+struct SweepResult {
+  std::vector<estimators::AlgorithmId> algorithms;
+  std::vector<int64_t> sample_sizes;  // absolute API budget per fraction
+  std::vector<double> sample_fractions;
+  /// cells[a][s] for algorithms[a] at sample_sizes[s].
+  std::vector<std::vector<CellResult>> cells;
+  int64_t truth = 0;  // exact F
+};
+
+/// Runs the sweep for `target` on the labeled graph.
+Result<SweepResult> RunSweep(const graph::Graph& graph,
+                             const graph::LabelStore& labels,
+                             const graph::TargetLabel& target,
+                             const SweepConfig& config);
+
+}  // namespace labelrw::eval
+
+#endif  // LABELRW_EVAL_EXPERIMENT_H_

@@ -1,0 +1,88 @@
+#include "eval/report.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace labelrw::eval {
+
+std::string TargetName(const graph::TargetLabel& target) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%d,%d)", target.t1, target.t2);
+  return buf;
+}
+
+std::string RenderPaperTable(const SweepResult& result,
+                             const std::string& caption) {
+  TextTable table;
+  table.set_caption(caption);
+
+  std::vector<std::string> header = {"Algorithm"};
+  for (double f : result.sample_fractions) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%|V|", f * 100.0);
+    header.push_back(buf);
+  }
+  table.AddRow(std::move(header));
+
+  for (size_t a = 0; a < result.algorithms.size(); ++a) {
+    std::vector<std::string> row = {
+        estimators::AlgorithmName(result.algorithms[a])};
+    for (const CellResult& cell : result.cells[a]) {
+      row.push_back(FormatNrmse(cell.nrmse));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  // Mark the best NRMSE per sample-size column.
+  for (size_t s = 0; s < result.sample_sizes.size(); ++s) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_row = 0;
+    for (size_t a = 0; a < result.algorithms.size(); ++a) {
+      if (result.cells[a][s].nrmse < best) {
+        best = result.cells[a][s].nrmse;
+        best_row = a;
+      }
+    }
+    table.MarkBest(static_cast<int>(best_row) + 1, static_cast<int>(s) + 1);
+  }
+  return table.Render();
+}
+
+CsvWriter ToCsv(const SweepResult& result, const std::string& dataset,
+                const std::string& target_name) {
+  CsvWriter csv;
+  csv.SetHeader({"dataset", "target", "algorithm", "fraction", "k", "nrmse",
+                 "mean_estimate", "relative_bias", "mean_api_calls", "truth"});
+  for (size_t a = 0; a < result.algorithms.size(); ++a) {
+    for (size_t s = 0; s < result.sample_sizes.size(); ++s) {
+      const CellResult& cell = result.cells[a][s];
+      char frac[32], nrmse[32], mean[32], bias[32], calls[32];
+      std::snprintf(frac, sizeof(frac), "%.4f", result.sample_fractions[s]);
+      std::snprintf(nrmse, sizeof(nrmse), "%.6f", cell.nrmse);
+      std::snprintf(mean, sizeof(mean), "%.3f", cell.mean_estimate);
+      std::snprintf(bias, sizeof(bias), "%.6f", cell.relative_bias);
+      std::snprintf(calls, sizeof(calls), "%.1f", cell.mean_api_calls);
+      // Row widths match the header; AddRow cannot fail here.
+      (void)csv.AddRow({dataset, target_name,
+                        estimators::AlgorithmName(result.algorithms[a]), frac,
+                        std::to_string(result.sample_sizes[s]), nrmse, mean,
+                        bias, calls, std::to_string(result.truth)});
+    }
+  }
+  return csv;
+}
+
+BestAtBudget BestAtLargestBudget(const SweepResult& result) {
+  BestAtBudget best;
+  best.nrmse = std::numeric_limits<double>::infinity();
+  const size_t last = result.sample_sizes.size() - 1;
+  for (size_t a = 0; a < result.algorithms.size(); ++a) {
+    if (result.cells[a][last].nrmse < best.nrmse) {
+      best.nrmse = result.cells[a][last].nrmse;
+      best.algorithm = result.algorithms[a];
+    }
+  }
+  return best;
+}
+
+}  // namespace labelrw::eval

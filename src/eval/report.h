@@ -1,0 +1,37 @@
+// Rendering of sweep results in the paper's table format, plus CSV export
+// and the "best algorithm" summaries of Tables 23-26.
+
+#ifndef LABELRW_EVAL_REPORT_H_
+#define LABELRW_EVAL_REPORT_H_
+
+#include <string>
+
+#include "eval/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace labelrw::eval {
+
+/// Renders the sweep like Tables 4-17: one row per algorithm, one column per
+/// sample size (as % of |V|), best NRMSE per column marked with *asterisks*.
+std::string RenderPaperTable(const SweepResult& result,
+                             const std::string& caption);
+
+/// Raw CSV dump: algorithm, fraction, k, nrmse, mean_estimate, bias, calls.
+CsvWriter ToCsv(const SweepResult& result, const std::string& dataset,
+                const std::string& target_name);
+
+/// The best algorithm and its NRMSE at the largest sample size (the paper's
+/// Tables 23-26 summary line).
+struct BestAtBudget {
+  estimators::AlgorithmId algorithm;
+  double nrmse = 0.0;
+};
+BestAtBudget BestAtLargestBudget(const SweepResult& result);
+
+/// "(t1,t2)" display form.
+std::string TargetName(const graph::TargetLabel& target);
+
+}  // namespace labelrw::eval
+
+#endif  // LABELRW_EVAL_REPORT_H_

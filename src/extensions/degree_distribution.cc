@@ -1,0 +1,69 @@
+#include "extensions/degree_distribution.h"
+
+#include <algorithm>
+#include <map>
+
+#include "estimators/common.h"
+#include "rw/node_walk.h"
+
+namespace labelrw::extensions {
+
+double DegreeDistributionEstimate::FractionOf(int64_t degree) const {
+  const auto it = std::lower_bound(
+      fractions.begin(), fractions.end(), degree,
+      [](const std::pair<int64_t, double>& p, int64_t d) {
+        return p.first < d;
+      });
+  if (it == fractions.end() || it->first != degree) return 0.0;
+  return it->second;
+}
+
+double DegreeDistributionEstimate::MeanDegree() const {
+  double mean = 0.0;
+  for (const auto& [degree, fraction] : fractions) {
+    mean += static_cast<double>(degree) * fraction;
+  }
+  return mean;
+}
+
+Result<DegreeDistributionEstimate> EstimateDegreeDistribution(
+    osn::OsnApi& api, const estimators::EstimateOptions& options) {
+  LABELRW_RETURN_IF_ERROR(options.Validate());
+  const int64_t calls_before = api.api_calls();
+
+  Rng rng(options.seed);
+  rw::WalkParams params;
+  params.kind = options.ns_walk_kind;
+  rw::NodeWalk walk(&api, params);
+  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
+  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+
+  std::map<int64_t, double> weight_by_degree;
+  double total_weight = 0.0;
+  int64_t iterations = 0;
+  const estimators::LoopControl loop(api, options.sample_size,
+                                     options.api_budget);
+  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
+    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId u, walk.Step(rng));
+    ++iterations;
+    LABELRW_ASSIGN_OR_RETURN(const int64_t degree, api.GetDegree(u));
+    const double w = 1.0 / static_cast<double>(degree);
+    weight_by_degree[degree] += w;
+    total_weight += w;
+  }
+  if (iterations == 0 || total_weight <= 0.0) {
+    return FailedPreconditionError(
+        "EstimateDegreeDistribution: budget too small");
+  }
+
+  DegreeDistributionEstimate result;
+  result.iterations = iterations;
+  result.api_calls = api.api_calls() - calls_before;
+  result.fractions.reserve(weight_by_degree.size());
+  for (const auto& [degree, weight] : weight_by_degree) {
+    result.fractions.emplace_back(degree, weight / total_weight);
+  }
+  return result;
+}
+
+}  // namespace labelrw::extensions

@@ -1,0 +1,43 @@
+// Extension: estimating the degree distribution via random walk — the
+// classic restricted-access task of the paper's related work ([7] Gjoka et
+// al., [14] Lee/Xu/Eun, [16] Li et al.). Included both as a substrate
+// sanity-check for the walk machinery and because practitioners invariably
+// want it from the same crawl.
+//
+// With stationary samples u_i (pi_u proportional to d(u)), the fraction of
+// nodes with degree d is estimated by re-weighting:
+//
+//   p_d = (sum_{i : d(u_i)=d} 1/d(u_i)) / (sum_i 1/d(u_i)).
+
+#ifndef LABELRW_EXTENSIONS_DEGREE_DISTRIBUTION_H_
+#define LABELRW_EXTENSIONS_DEGREE_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "osn/api.h"
+#include "util/status.h"
+
+namespace labelrw::extensions {
+
+struct DegreeDistributionEstimate {
+  /// Estimated fraction of nodes per degree, ascending by degree; fractions
+  /// sum to 1 over the observed degrees.
+  std::vector<std::pair<int64_t, double>> fractions;
+  int64_t api_calls = 0;
+  int64_t iterations = 0;
+
+  /// Estimated fraction for one degree (0 if never observed).
+  double FractionOf(int64_t degree) const;
+  /// Estimated mean degree under the estimated distribution.
+  double MeanDegree() const;
+};
+
+/// Estimates the degree distribution with a simple (or non-backtracking,
+/// via options.ns_walk_kind) random walk.
+Result<DegreeDistributionEstimate> EstimateDegreeDistribution(
+    osn::OsnApi& api, const estimators::EstimateOptions& options);
+
+}  // namespace labelrw::extensions
+
+#endif  // LABELRW_EXTENSIONS_DEGREE_DISTRIBUTION_H_

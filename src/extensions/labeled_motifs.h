@@ -1,0 +1,66 @@
+// Extension (the paper's Section 6 future work): estimating counts of
+// *wedges* and *triangles* refined by node labels, via the same
+// NeighborExploration machinery.
+//
+// Labeled wedge (t1, t2): a path v-u-w whose endpoints carry t1 and t2
+// (center label unconstrained). Every wedge is counted exactly once at its
+// center, so with W(u) = #labeled wedges centered at u and a stationary
+// node sample,
+//
+//   W-hat = (1/k) sum_i 2|E| W(u_i) / d(u_i).
+//
+// Labeled triangle (t1, t2, t3): a triangle whose three nodes carry the
+// label multiset {t1,t2,t3}. Each triangle is counted at each of its three
+// corners, so with D(u) = #matching triangles incident to u,
+//
+//   T-hat = (1/3k) sum_i 2|E| D(u_i) / d(u_i).
+//
+// Probing D(u) needs adjacency tests between neighbors, i.e. one extra
+// neighbor-list fetch per neighbor — triangles are intrinsically pricier
+// than edges, as expected.
+
+#ifndef LABELRW_EXTENSIONS_LABELED_MOTIFS_H_
+#define LABELRW_EXTENSIONS_LABELED_MOTIFS_H_
+
+#include "estimators/estimator.h"
+#include "graph/labels.h"
+#include "osn/api.h"
+#include "util/status.h"
+
+namespace labelrw::extensions {
+
+struct MotifEstimate {
+  double estimate = 0.0;
+  int64_t api_calls = 0;
+};
+
+/// Estimates the number of wedges whose endpoints carry (t1, t2).
+Result<MotifEstimate> EstimateLabeledWedges(
+    osn::OsnApi& api, const graph::TargetLabel& endpoints,
+    const osn::GraphPriors& priors,
+    const estimators::EstimateOptions& options);
+
+/// A triangle label: unordered multiset {t1, t2, t3}.
+struct TriangleLabel {
+  graph::Label t1 = 0;
+  graph::Label t2 = 0;
+  graph::Label t3 = 0;
+};
+
+/// Estimates the number of triangles whose nodes carry {t1, t2, t3}.
+Result<MotifEstimate> EstimateLabeledTriangles(
+    osn::OsnApi& api, const TriangleLabel& target,
+    const osn::GraphPriors& priors,
+    const estimators::EstimateOptions& options);
+
+/// Exact full-access oracles for evaluation.
+int64_t CountLabeledWedges(const graph::Graph& graph,
+                           const graph::LabelStore& labels,
+                           const graph::TargetLabel& endpoints);
+int64_t CountLabeledTriangles(const graph::Graph& graph,
+                              const graph::LabelStore& labels,
+                              const TriangleLabel& target);
+
+}  // namespace labelrw::extensions
+
+#endif  // LABELRW_EXTENSIONS_LABELED_MOTIFS_H_

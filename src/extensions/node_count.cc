@@ -1,0 +1,59 @@
+#include "extensions/node_count.h"
+
+#include "estimators/common.h"
+#include "rw/node_walk.h"
+
+namespace labelrw::extensions {
+
+Result<NodeCountEstimate> EstimateLabeledNodeCount(
+    osn::OsnApi& api, graph::Label label, const osn::GraphPriors& priors,
+    const estimators::EstimateOptions& options, rw::WalkKind walk_kind) {
+  LABELRW_RETURN_IF_ERROR(options.Validate());
+  if (priors.num_nodes <= 0) {
+    return InvalidArgumentError("EstimateLabeledNodeCount: need |V| prior");
+  }
+  const int64_t calls_before = api.api_calls();
+
+  Rng rng(options.seed);
+  rw::WalkParams params;
+  params.kind = walk_kind;
+  params.rcmh_alpha = options.rcmh_alpha;
+  params.gmd_delta = options.gmd_delta;
+  params.max_degree_prior = priors.max_degree;
+  rw::NodeWalk walk(&api, params);
+  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
+  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+
+  double weighted_hits = 0.0;  // sum I(u)/w(u)
+  double weight_sum = 0.0;     // sum 1/w(u)
+  int64_t iterations = 0;
+  const estimators::LoopControl loop(api, options.sample_size,
+                                     options.api_budget);
+  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
+    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId u, walk.Step(rng));
+    ++iterations;
+    LABELRW_ASSIGN_OR_RETURN(const int64_t degree, api.GetDegree(u));
+    LABELRW_ASSIGN_OR_RETURN(auto labels_u, api.GetLabels(u));
+    const double weight =
+        rw::StationaryWeight(params, static_cast<double>(degree));
+    if (estimators::SpanHasLabel(labels_u, label)) {
+      weighted_hits += 1.0 / weight;
+    }
+    weight_sum += 1.0 / weight;
+  }
+  if (iterations == 0) {
+    return FailedPreconditionError(
+        "EstimateLabeledNodeCount: budget too small");
+  }
+
+  NodeCountEstimate result;
+  result.iterations = iterations;
+  result.api_calls = api.api_calls() - calls_before;
+  result.estimate =
+      weight_sum > 0
+          ? static_cast<double>(priors.num_nodes) * weighted_hits / weight_sum
+          : 0.0;
+  return result;
+}
+
+}  // namespace labelrw::extensions

@@ -1,0 +1,91 @@
+#include "extensions/size_estimator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "rw/node_walk.h"
+
+namespace labelrw::extensions {
+namespace {
+
+// Number of index pairs (i < j) drawn from 0..k-1 with j - i >= lag.
+int64_t AdmissiblePairs(int64_t k, int64_t lag) {
+  if (lag <= 1) return k * (k - 1) / 2;
+  const int64_t span = k - lag;  // pairs exist only if j >= i + lag
+  if (span <= 0) return 0;
+  return span * (span + 1) / 2;
+}
+
+// Collisions with lag >= `lag` for one node's sorted visit positions:
+// all pairs minus the close pairs (two-pointer window).
+int64_t LaggedCollisions(const std::vector<int64_t>& positions, int64_t lag) {
+  const int64_t c = static_cast<int64_t>(positions.size());
+  int64_t total = c * (c - 1) / 2;
+  int64_t close = 0;
+  size_t lo = 0;
+  for (size_t hi = 1; hi < positions.size(); ++hi) {
+    while (positions[hi] - positions[lo] >= lag) ++lo;
+    close += static_cast<int64_t>(hi - lo);
+  }
+  return total - close;
+}
+
+}  // namespace
+
+Result<SizeEstimate> EstimateGraphSize(osn::OsnApi& api,
+                                       const SizeEstimateOptions& options) {
+  if (options.sample_size <= 1) {
+    return InvalidArgumentError("EstimateGraphSize: need sample_size >= 2");
+  }
+  if (options.burn_in < 0) {
+    return InvalidArgumentError("EstimateGraphSize: burn_in must be >= 0");
+  }
+  if (options.min_collision_lag < 1) {
+    return InvalidArgumentError(
+        "EstimateGraphSize: min_collision_lag must be >= 1");
+  }
+  const int64_t calls_before = api.api_calls();
+  const int64_t k = options.sample_size;
+  const int64_t lag = options.min_collision_lag;
+
+  Rng rng(options.seed);
+  rw::WalkParams params;
+  params.kind = rw::WalkKind::kSimple;
+  rw::NodeWalk walk(&api, params);
+  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
+  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+
+  double psi_1 = 0.0;
+  double psi_minus_1 = 0.0;
+  std::unordered_map<graph::NodeId, std::vector<int64_t>> visits;
+  for (int64_t i = 0; i < k; ++i) {
+    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId u, walk.Step(rng));
+    LABELRW_ASSIGN_OR_RETURN(const int64_t degree, api.GetDegree(u));
+    psi_1 += static_cast<double>(degree);
+    psi_minus_1 += 1.0 / static_cast<double>(degree);
+    visits[u].push_back(i);
+  }
+
+  int64_t collisions = 0;
+  for (const auto& [node, positions] : visits) {
+    collisions += LaggedCollisions(positions, lag);
+  }
+  const int64_t admissible = AdmissiblePairs(k, lag);
+  if (collisions == 0 || admissible == 0) {
+    return FailedPreconditionError(
+        "EstimateGraphSize: no admissible collisions; increase sample_size");
+  }
+
+  SizeEstimate estimate;
+  estimate.collisions = collisions;
+  estimate.num_nodes = psi_1 * psi_minus_1 * static_cast<double>(admissible) /
+                       (static_cast<double>(k) * static_cast<double>(k) *
+                        static_cast<double>(collisions));
+  estimate.num_edges = estimate.num_nodes * static_cast<double>(k) /
+                       (2.0 * psi_minus_1);
+  estimate.api_calls = api.api_calls() - calls_before;
+  return estimate;
+}
+
+}  // namespace labelrw::extensions

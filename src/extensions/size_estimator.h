@@ -1,0 +1,54 @@
+// Extension: random-walk estimation of |V| and |E| (Katzir, Liberty &
+// Somekh, WWW'11; Hardiman & Katzir, WWW'13).
+//
+// The paper assumes |V| and |E| are prior knowledge and points at exactly
+// these estimators when they are not (§3, assumption (2)). With k stationary
+// samples u_1..u_k (pi_u = d(u)/2|E|), let
+//
+//   Psi_1 = sum d(u_i),  Psi_-1 = sum 1/d(u_i),
+//   C     = #{(i,j), i<j : u_i == u_j}   (node collisions)
+//
+// then  |V|-hat = Psi_1 * Psi_-1 / (2C)   and   |E|-hat = |V|-hat * k /
+// (2 * Psi_-1)  (since E[(1/k) Psi_-1] = |V| / 2|E|).
+//
+// Nearby walk positions are strongly dependent (the walk lingers in one
+// region), which inflates C and biases |V|-hat low. Following Katzir et al.
+// we therefore only count collisions between samples at least
+// `min_collision_lag` steps apart, scaling the estimator by the number of
+// admissible pairs P:  |V|-hat = Psi_1 * Psi_-1 * P / (k^2 * C_lag).
+
+#ifndef LABELRW_EXTENSIONS_SIZE_ESTIMATOR_H_
+#define LABELRW_EXTENSIONS_SIZE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "osn/api.h"
+#include "util/status.h"
+
+namespace labelrw::extensions {
+
+struct SizeEstimateOptions {
+  int64_t sample_size = 0;
+  int64_t burn_in = 0;
+  uint64_t seed = 0;
+  /// Collisions between samples closer than this many walk steps are
+  /// ignored (they reflect walk locality, not the birthday effect).
+  int64_t min_collision_lag = 25;
+};
+
+struct SizeEstimate {
+  double num_nodes = 0.0;
+  double num_edges = 0.0;
+  int64_t collisions = 0;
+  int64_t api_calls = 0;
+};
+
+/// Estimates |V| and |E| from one random walk of `sample_size` steps.
+/// Returns FailedPrecondition if the walk produced no collisions (the
+/// sample is too small relative to sqrt(|V|); retry with a larger budget).
+Result<SizeEstimate> EstimateGraphSize(osn::OsnApi& api,
+                                       const SizeEstimateOptions& options);
+
+}  // namespace labelrw::extensions
+
+#endif  // LABELRW_EXTENSIONS_SIZE_ESTIMATOR_H_

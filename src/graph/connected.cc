@@ -1,0 +1,87 @@
+#include "graph/connected.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace labelrw::graph {
+
+ComponentInfo FindComponents(const Graph& graph) {
+  const int64_t n = graph.num_nodes();
+  ComponentInfo info;
+  info.component_of.assign(n, -1);
+
+  std::vector<NodeId> frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (info.component_of[start] != -1) continue;
+    const int32_t comp = static_cast<int32_t>(info.sizes.size());
+    int64_t size = 0;
+    frontier.clear();
+    frontier.push_back(start);
+    info.component_of[start] = comp;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.back();
+      frontier.pop_back();
+      ++size;
+      for (NodeId v : graph.neighbors(u)) {
+        if (info.component_of[v] == -1) {
+          info.component_of[v] = comp;
+          frontier.push_back(v);
+        }
+      }
+    }
+    info.sizes.push_back(size);
+  }
+
+  info.largest = 0;
+  for (size_t c = 1; c < info.sizes.size(); ++c) {
+    if (info.sizes[c] > info.sizes[info.largest]) {
+      info.largest = static_cast<int32_t>(c);
+    }
+  }
+  return info;
+}
+
+Result<LccResult> ExtractLargestComponent(const Graph& graph,
+                                          const LabelStore& labels) {
+  if (labels.num_nodes() != graph.num_nodes()) {
+    return InvalidArgumentError(
+        "ExtractLargestComponent: label store size mismatch");
+  }
+  if (graph.num_nodes() == 0) {
+    return InvalidArgumentError("ExtractLargestComponent: empty graph");
+  }
+
+  const ComponentInfo info = FindComponents(graph);
+  const int32_t keep = info.largest;
+
+  LccResult result;
+  std::vector<NodeId> new_id_of(graph.num_nodes(), -1);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (info.component_of[u] == keep) {
+      new_id_of[u] = static_cast<NodeId>(result.old_id_of.size());
+      result.old_id_of.push_back(u);
+    }
+  }
+
+  GraphBuilder builder;
+  builder.ReserveNodes(static_cast<int64_t>(result.old_id_of.size()));
+  graph.ForEachEdge([&](NodeId u, NodeId v) {
+    if (new_id_of[u] != -1 && new_id_of[v] != -1) {
+      builder.AddEdge(new_id_of[u], new_id_of[v]);
+    }
+  });
+  LABELRW_ASSIGN_OR_RETURN(result.graph, builder.Build());
+
+  LabelStoreBuilder label_builder(
+      static_cast<int64_t>(result.old_id_of.size()));
+  for (size_t new_id = 0; new_id < result.old_id_of.size(); ++new_id) {
+    for (Label l : labels.labels(result.old_id_of[new_id])) {
+      LABELRW_RETURN_IF_ERROR(
+          label_builder.AddLabel(static_cast<NodeId>(new_id), l));
+    }
+  }
+  result.labels = label_builder.Build();
+  return result;
+}
+
+}  // namespace labelrw::graph

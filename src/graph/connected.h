@@ -1,0 +1,45 @@
+// Connected-component extraction.
+//
+// The paper evaluates on the largest connected component (LCC) of each
+// network; ExtractLargestComponent reproduces that preprocessing, remapping
+// node ids densely and carrying the label store along.
+
+#ifndef LABELRW_GRAPH_CONNECTED_H_
+#define LABELRW_GRAPH_CONNECTED_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace labelrw::graph {
+
+/// Component id per node (0-based, in discovery order) plus the component
+/// sizes. Computed by BFS.
+struct ComponentInfo {
+  std::vector<int32_t> component_of;  // size num_nodes
+  std::vector<int64_t> sizes;         // size num_components
+  int32_t largest = 0;                // id of the largest component
+};
+
+/// Labels every node with its connected component.
+ComponentInfo FindComponents(const Graph& graph);
+
+/// A graph restricted to its largest connected component, with densely
+/// remapped node ids.
+struct LccResult {
+  Graph graph;
+  LabelStore labels;
+  /// old_id_of[new_id] = node id in the original graph.
+  std::vector<NodeId> old_id_of;
+};
+
+/// Extracts the LCC of `graph` and remaps `labels` accordingly.
+/// `labels.num_nodes()` must equal `graph.num_nodes()`.
+Result<LccResult> ExtractLargestComponent(const Graph& graph,
+                                          const LabelStore& labels);
+
+}  // namespace labelrw::graph
+
+#endif  // LABELRW_GRAPH_CONNECTED_H_

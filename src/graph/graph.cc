@@ -1,0 +1,72 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace labelrw::graph {
+
+Graph::Graph(std::vector<int64_t> offsets, std::vector<NodeId> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  num_edges_ = static_cast<int64_t>(adjacency_.size()) / 2;
+  for (int64_t u = 0; u + 1 < static_cast<int64_t>(offsets_.size()); ++u) {
+    max_degree_ = std::max(max_degree_, offsets_[u + 1] - offsets_[u]);
+  }
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (!IsValidNode(u) || !IsValidNode(v)) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void GraphBuilder::ReserveNodes(int64_t n) {
+  min_nodes_ = std::max(min_nodes_, n);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u < 0 || v < 0) {
+    saw_negative_ = true;
+    return;
+  }
+  if (u == v) return;  // self-loop: dropped eagerly
+  edges_.push_back(Edge::Make(u, v));
+}
+
+Result<Graph> GraphBuilder::Build() {
+  if (saw_negative_) {
+    edges_.clear();
+    saw_negative_ = false;
+    return InvalidArgumentError("negative node id passed to AddEdge");
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  int64_t num_nodes = min_nodes_;
+  for (const Edge& e : edges_) {
+    num_nodes = std::max<int64_t>(num_nodes, e.v + 1);
+  }
+
+  std::vector<int64_t> offsets(num_nodes + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (int64_t i = 1; i <= num_nodes; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> adjacency(static_cast<size_t>(edges_.size()) * 2);
+  std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency[cursor[e.u]++] = e.v;
+    adjacency[cursor[e.v]++] = e.u;
+  }
+  // Edges were processed in sorted order but the second endpoint insertions
+  // interleave, so sort each adjacency list.
+  for (int64_t u = 0; u < num_nodes; ++u) {
+    std::sort(adjacency.begin() + offsets[u], adjacency.begin() + offsets[u + 1]);
+  }
+
+  edges_.clear();
+  min_nodes_ = 0;
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace labelrw::graph

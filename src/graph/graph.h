@@ -1,0 +1,140 @@
+// Immutable undirected graph in compressed-sparse-row (CSR) form.
+//
+// This is the full-access, in-memory representation used (a) to *simulate*
+// an online social network behind the restricted osn::OsnApi, and (b) by the
+// full-access oracles that compute exact ground truth for evaluation.
+// Estimation algorithms never touch Graph directly — they only see OsnApi.
+
+#ifndef LABELRW_GRAPH_GRAPH_H_
+#define LABELRW_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace labelrw::graph {
+
+using NodeId = int32_t;
+
+/// An undirected edge as an (unordered) node pair, stored canonically with
+/// u <= v. Value type, hashable, comparable.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  /// Canonicalizes so that u <= v.
+  static Edge Make(NodeId a, NodeId b) {
+    return a <= b ? Edge{a, b} : Edge{b, a};
+  }
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+/// Hash functor for Edge (for unordered containers).
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(e.u)) << 32) |
+                 static_cast<uint32_t>(e.v);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// Immutable simple undirected graph (no self-loops, no multi-edges) with
+/// sorted adjacency lists. Construct through graph::GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes |V| (ids are 0..num_nodes()-1).
+  int64_t num_nodes() const {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+  /// Number of undirected edges |E|.
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Degree of `u` (number of distinct neighbors).
+  int64_t degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  /// Sorted neighbor list of `u`.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return std::span<const NodeId>(adjacency_.data() + offsets_[u],
+                                   adjacency_.data() + offsets_[u + 1]);
+  }
+
+  /// The `i`-th neighbor of `u` (0 <= i < degree(u)).
+  NodeId NeighborAt(NodeId u, int64_t i) const {
+    return adjacency_[offsets_[u] + i];
+  }
+
+  /// True iff the edge {u,v} exists. O(log degree(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Maximum degree over all nodes; 0 for an empty graph.
+  int64_t max_degree() const { return max_degree_; }
+
+  /// True iff `u` is a valid node id.
+  bool IsValidNode(NodeId u) const { return u >= 0 && u < num_nodes(); }
+
+  /// Iterates every undirected edge exactly once (u < v), invoking
+  /// fn(u, v). Template to keep the hot loop inlined.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    const auto n = num_nodes();
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : neighbors(u)) {
+        if (v > u) fn(u, v);
+      }
+    }
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  Graph(std::vector<int64_t> offsets, std::vector<NodeId> adjacency);
+
+  std::vector<int64_t> offsets_;   // size num_nodes+1
+  std::vector<NodeId> adjacency_;  // size 2*num_edges, sorted per node
+  int64_t num_edges_ = 0;
+  int64_t max_degree_ = 0;
+};
+
+/// Accumulates edges and produces a clean Graph: self-loops dropped,
+/// duplicate/multi-edges collapsed, adjacency sorted. Node ids must be
+/// non-negative; the node count is max id + 1 (or an explicit minimum).
+class GraphBuilder {
+ public:
+  /// Pre-declares at least `n` nodes (useful for isolated trailing nodes).
+  void ReserveNodes(int64_t n);
+
+  /// Adds the undirected edge {u,v}. Self-loops and duplicates are permitted
+  /// here and removed at Build time.
+  void AddEdge(NodeId u, NodeId v);
+
+  int64_t num_added_edges() const {
+    return static_cast<int64_t>(edges_.size());
+  }
+
+  /// Builds the graph. Returns InvalidArgument on negative node ids.
+  /// The builder is left empty afterwards.
+  Result<Graph> Build();
+
+ private:
+  std::vector<Edge> edges_;
+  int64_t min_nodes_ = 0;
+  bool saw_negative_ = false;
+};
+
+}  // namespace labelrw::graph
+
+#endif  // LABELRW_GRAPH_GRAPH_H_

@@ -1,0 +1,98 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace labelrw::graph {
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return NotFoundError("LoadEdgeList: cannot open " + path);
+  }
+  GraphBuilder builder;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    int64_t u = -1;
+    int64_t v = -1;
+    if (!(fields >> u >> v)) {
+      return InvalidArgumentError("LoadEdgeList: malformed line " +
+                                  std::to_string(line_no) + " in " + path);
+    }
+    if (u < 0 || v < 0 || u > INT32_MAX || v > INT32_MAX) {
+      return InvalidArgumentError("LoadEdgeList: node id out of range at line " +
+                                  std::to_string(line_no));
+    }
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InternalError("SaveEdgeList: cannot open " + path);
+  }
+  out << "# labelrw edge list: " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges\n";
+  graph.ForEachEdge([&](NodeId u, NodeId v) { out << u << ' ' << v << '\n'; });
+  out.flush();
+  if (!out.good()) return InternalError("SaveEdgeList: write failed");
+  return Status::Ok();
+}
+
+Result<LabelStore> LoadLabels(const std::string& path, int64_t num_nodes) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return NotFoundError("LoadLabels: cannot open " + path);
+  }
+  LabelStoreBuilder builder(num_nodes);
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    int64_t u = -1;
+    if (!(fields >> u)) {
+      return InvalidArgumentError("LoadLabels: malformed line " +
+                                  std::to_string(line_no) + " in " + path);
+    }
+    int64_t label = 0;
+    while (fields >> label) {
+      if (u < 0 || u >= num_nodes) {
+        return OutOfRangeError("LoadLabels: node id out of range at line " +
+                               std::to_string(line_no));
+      }
+      LABELRW_RETURN_IF_ERROR(builder.AddLabel(static_cast<NodeId>(u),
+                                               static_cast<Label>(label)));
+    }
+  }
+  return builder.Build();
+}
+
+Status SaveLabels(const LabelStore& labels, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InternalError("SaveLabels: cannot open " + path);
+  }
+  out << "# labelrw labels: " << labels.num_nodes() << " nodes\n";
+  for (NodeId u = 0; u < labels.num_nodes(); ++u) {
+    const auto ls = labels.labels(u);
+    if (ls.empty()) continue;
+    out << u;
+    for (Label l : ls) out << ' ' << l;
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return InternalError("SaveLabels: write failed");
+  return Status::Ok();
+}
+
+}  // namespace labelrw::graph

@@ -1,0 +1,34 @@
+// Plain-text graph and label I/O.
+//
+// Edge list format (SNAP-style): one "u v" pair per line, whitespace
+// separated, '#'-prefixed comment lines ignored. Label format: one
+// "node label1 [label2 ...]" line per node that has labels.
+
+#ifndef LABELRW_GRAPH_IO_H_
+#define LABELRW_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace labelrw::graph {
+
+/// Loads an undirected edge list. Directions, self-loops and multi-edges are
+/// collapsed/removed (the paper's preprocessing).
+Result<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes the graph as an edge list (one line per undirected edge, u < v).
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Loads node labels for a graph with `num_nodes` nodes. Nodes absent from
+/// the file end up with an empty label set.
+Result<LabelStore> LoadLabels(const std::string& path, int64_t num_nodes);
+
+/// Writes labels ("node label..." per non-empty node).
+Status SaveLabels(const LabelStore& labels, const std::string& path);
+
+}  // namespace labelrw::graph
+
+#endif  // LABELRW_GRAPH_IO_H_

@@ -1,0 +1,79 @@
+#include "graph/labels.h"
+
+#include <algorithm>
+
+namespace labelrw::graph {
+
+LabelStore LabelStore::FromSingleLabels(const std::vector<Label>& labels) {
+  LabelStoreBuilder builder(static_cast<int64_t>(labels.size()));
+  for (size_t u = 0; u < labels.size(); ++u) {
+    // Single-label construction is infallible for valid inputs; ignore the
+    // status for negative labels the same way AddLabel reports it.
+    (void)builder.AddLabel(static_cast<NodeId>(u), labels[u]);
+  }
+  return builder.Build();
+}
+
+bool LabelStore::HasLabel(NodeId u, Label l) const {
+  const auto ls = labels(u);
+  return std::binary_search(ls.begin(), ls.end(), l);
+}
+
+int64_t LabelStore::LabelFrequency(Label l) const {
+  auto it = std::lower_bound(
+      frequency_.begin(), frequency_.end(), l,
+      [](const std::pair<Label, int64_t>& p, Label key) { return p.first < key; });
+  if (it == frequency_.end() || it->first != l) return 0;
+  return it->second;
+}
+
+std::vector<Label> LabelStore::DistinctLabels() const {
+  std::vector<Label> out;
+  out.reserve(frequency_.size());
+  for (const auto& [label, count] : frequency_) out.push_back(label);
+  return out;
+}
+
+void LabelStore::BuildFrequencyIndex() {
+  frequency_.clear();
+  std::vector<Label> all(labels_.begin(), labels_.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size();) {
+    size_t j = i;
+    while (j < all.size() && all[j] == all[i]) ++j;
+    frequency_.emplace_back(all[i], static_cast<int64_t>(j - i));
+    i = j;
+  }
+  num_distinct_ = static_cast<int64_t>(frequency_.size());
+}
+
+Status LabelStoreBuilder::AddLabel(NodeId u, Label l) {
+  if (u < 0 || u >= static_cast<NodeId>(node_labels_.size())) {
+    return OutOfRangeError("AddLabel: node id out of range");
+  }
+  if (l < 0) {
+    return InvalidArgumentError("AddLabel: labels must be non-negative");
+  }
+  node_labels_[u].push_back(l);
+  return Status::Ok();
+}
+
+LabelStore LabelStoreBuilder::Build() {
+  LabelStore store;
+  store.offsets_.assign(node_labels_.size() + 1, 0);
+  for (size_t u = 0; u < node_labels_.size(); ++u) {
+    auto& ls = node_labels_[u];
+    std::sort(ls.begin(), ls.end());
+    ls.erase(std::unique(ls.begin(), ls.end()), ls.end());
+    store.offsets_[u + 1] = store.offsets_[u] + static_cast<int64_t>(ls.size());
+  }
+  store.labels_.reserve(store.offsets_.back());
+  for (const auto& ls : node_labels_) {
+    store.labels_.insert(store.labels_.end(), ls.begin(), ls.end());
+  }
+  store.BuildFrequencyIndex();
+  node_labels_.clear();
+  return store;
+}
+
+}  // namespace labelrw::graph

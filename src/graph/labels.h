@@ -1,0 +1,106 @@
+// Per-node label sets.
+//
+// Each OSN user carries a set of integer labels (gender, location,
+// degree-class, ...). The store is CSR-packed and immutable after
+// construction. Labels are opaque int32 identifiers, as in the paper's
+// experiments ("all the labels are denoted by integers").
+
+#ifndef LABELRW_GRAPH_LABELS_H_
+#define LABELRW_GRAPH_LABELS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace labelrw::graph {
+
+using Label = int32_t;
+
+/// Immutable per-node label sets. Build with LabelStoreBuilder or the
+/// single-label convenience factory.
+class LabelStore {
+ public:
+  LabelStore() = default;
+
+  /// Builds a store where node `u` has exactly one label `labels[u]`.
+  static LabelStore FromSingleLabels(const std::vector<Label>& labels);
+
+  int64_t num_nodes() const {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+
+  /// The (sorted) label set of node `u`.
+  std::span<const Label> labels(NodeId u) const {
+    return std::span<const Label>(labels_.data() + offsets_[u],
+                                  labels_.data() + offsets_[u + 1]);
+  }
+
+  /// True iff node `u` carries label `l`. O(log #labels(u)).
+  bool HasLabel(NodeId u, Label l) const;
+
+  /// Number of distinct labels across all nodes.
+  int64_t num_distinct_labels() const { return num_distinct_; }
+
+  /// Number of nodes carrying label `l` (0 for unknown labels).
+  int64_t LabelFrequency(Label l) const;
+
+  /// All distinct labels in ascending order.
+  std::vector<Label> DistinctLabels() const;
+
+ private:
+  friend class LabelStoreBuilder;
+
+  std::vector<int64_t> offsets_;  // size num_nodes+1
+  std::vector<Label> labels_;     // sorted within each node
+  std::vector<std::pair<Label, int64_t>> frequency_;  // sorted by label
+  int64_t num_distinct_ = 0;
+
+  void BuildFrequencyIndex();
+};
+
+/// Mutable accumulator for label sets.
+class LabelStoreBuilder {
+ public:
+  explicit LabelStoreBuilder(int64_t num_nodes) : node_labels_(num_nodes) {}
+
+  /// Adds label `l` to node `u`'s set (duplicates collapse at Build).
+  /// Returns OutOfRange for invalid node ids, InvalidArgument for negative
+  /// labels.
+  Status AddLabel(NodeId u, Label l);
+
+  /// Builds the immutable store; the builder is left empty.
+  LabelStore Build();
+
+ private:
+  std::vector<std::vector<Label>> node_labels_;
+};
+
+/// The target edge label (t1, t2) of the estimation problem. Unordered:
+/// (a,b) and (b,a) denote the same target.
+struct TargetLabel {
+  Label t1 = 0;
+  Label t2 = 0;
+
+  /// True iff edge {u,v} is a target edge:
+  /// (t1∈L(u) ∧ t2∈L(v)) ∨ (t2∈L(u) ∧ t1∈L(v)).
+  bool Matches(const LabelStore& store, NodeId u, NodeId v) const {
+    return (store.HasLabel(u, t1) && store.HasLabel(v, t2)) ||
+           (store.HasLabel(u, t2) && store.HasLabel(v, t1));
+  }
+
+  /// True iff node `u` carries t1 or t2 — the NeighborExploration trigger.
+  bool TouchesNode(const LabelStore& store, NodeId u) const {
+    return store.HasLabel(u, t1) || store.HasLabel(u, t2);
+  }
+
+  friend bool operator==(const TargetLabel& a, const TargetLabel& b) {
+    return (a.t1 == b.t1 && a.t2 == b.t2) || (a.t1 == b.t2 && a.t2 == b.t1);
+  }
+};
+
+}  // namespace labelrw::graph
+
+#endif  // LABELRW_GRAPH_LABELS_H_

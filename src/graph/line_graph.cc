@@ -1,0 +1,49 @@
+#include "graph/line_graph.h"
+
+#include <algorithm>
+
+namespace labelrw::graph {
+namespace {
+
+// Index of `v` within the sorted neighbor list of `u`; -1 if absent.
+int64_t IndexOfNeighbor(const Graph& graph, NodeId u, NodeId v) {
+  const auto nbrs = graph.neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return -1;
+  return it - nbrs.begin();
+}
+
+}  // namespace
+
+Result<Edge> LineNeighborAt(const Graph& graph, const Edge& e, int64_t j) {
+  if (!graph.IsValidNode(e.u) || !graph.IsValidNode(e.v)) {
+    return InvalidArgumentError("LineNeighborAt: invalid edge endpoints");
+  }
+  const int64_t du = graph.degree(e.u);
+  const int64_t dv = graph.degree(e.v);
+  if (j < 0 || j >= du + dv - 2) {
+    return OutOfRangeError("LineNeighborAt: neighbor index out of range");
+  }
+  if (j < du - 1) {
+    const int64_t pos_v = IndexOfNeighbor(graph, e.u, e.v);
+    if (pos_v < 0) return InvalidArgumentError("LineNeighborAt: not an edge");
+    const NodeId w = graph.NeighborAt(e.u, j < pos_v ? j : j + 1);
+    return Edge::Make(e.u, w);
+  }
+  const int64_t k = j - (du - 1);
+  const int64_t pos_u = IndexOfNeighbor(graph, e.v, e.u);
+  if (pos_u < 0) return InvalidArgumentError("LineNeighborAt: not an edge");
+  const NodeId w = graph.NeighborAt(e.v, k < pos_u ? k : k + 1);
+  return Edge::Make(e.v, w);
+}
+
+int64_t CountLineEdges(const Graph& graph) {
+  int64_t total = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int64_t d = graph.degree(u);
+    total += d * (d - 1) / 2;
+  }
+  return total;
+}
+
+}  // namespace labelrw::graph

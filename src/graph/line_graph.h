@@ -1,0 +1,39 @@
+// Full-access view of the line graph G' = (H, R) of G = (V, E):
+//   * each edge of G is a node of G'              (|H| = |E|)
+//   * two nodes of G' are adjacent iff the edges share an endpoint in G.
+//
+// The baselines of Section 5.1 run node-sampling random walks on G'. Walks
+// never materialize G'; they use the closed forms below. The degree of edge
+// e=(u,v) in G' is d(u)+d(v)-2, and its neighbors are enumerable by index.
+//
+// This header is the *full-access* flavor (used by oracles and tests). The
+// restricted-access equivalent that walks G' through the OSN API lives in
+// rw/edge_walk.h.
+
+#ifndef LABELRW_GRAPH_LINE_GRAPH_H_
+#define LABELRW_GRAPH_LINE_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace labelrw::graph {
+
+/// Degree of edge `e` in the line graph: d(u)+d(v)-2.
+inline int64_t LineDegree(const Graph& graph, const Edge& e) {
+  return graph.degree(e.u) + graph.degree(e.v) - 2;
+}
+
+/// The `j`-th neighbor of edge `e` in the line graph,
+/// 0 <= j < LineDegree(graph, e). Neighbors 0..d(u)-2 are the other edges at
+/// endpoint u (in adjacency order, skipping v); the rest are the other edges
+/// at endpoint v. Returns OutOfRange for an invalid index.
+Result<Edge> LineNeighborAt(const Graph& graph, const Edge& e, int64_t j);
+
+/// Number of edges |R| of the line graph: sum_u C(d(u), 2).
+int64_t CountLineEdges(const Graph& graph);
+
+}  // namespace labelrw::graph
+
+#endif  // LABELRW_GRAPH_LINE_GRAPH_H_

@@ -1,0 +1,78 @@
+#include "graph/oracle.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace labelrw::graph {
+
+int64_t CountTargetEdges(const Graph& graph, const LabelStore& labels,
+                         const TargetLabel& target) {
+  int64_t count = 0;
+  graph.ForEachEdge([&](NodeId u, NodeId v) {
+    if (target.Matches(labels, u, v)) ++count;
+  });
+  return count;
+}
+
+std::vector<int64_t> ComputeIncidentTargetCounts(const Graph& graph,
+                                                 const LabelStore& labels,
+                                                 const TargetLabel& target) {
+  std::vector<int64_t> t(graph.num_nodes(), 0);
+  graph.ForEachEdge([&](NodeId u, NodeId v) {
+    if (target.Matches(labels, u, v)) {
+      ++t[u];
+      ++t[v];
+    }
+  });
+  return t;
+}
+
+std::vector<LabelPairCount> CountAllLabelPairs(const Graph& graph,
+                                               const LabelStore& labels) {
+  // Key: packed unordered pair (min << 32 | max).
+  std::unordered_map<uint64_t, int64_t> counts;
+  graph.ForEachEdge([&](NodeId u, NodeId v) {
+    for (Label a : labels.labels(u)) {
+      for (Label b : labels.labels(v)) {
+        const Label lo = std::min(a, b);
+        const Label hi = std::max(a, b);
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+            static_cast<uint32_t>(hi);
+        ++counts[key];
+      }
+    }
+  });
+  std::vector<LabelPairCount> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    LabelPairCount entry;
+    entry.target.t1 = static_cast<Label>(key >> 32);
+    entry.target.t2 = static_cast<Label>(key & 0xffffffffULL);
+    entry.count = count;
+    out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LabelPairCount& a, const LabelPairCount& b) {
+              if (a.count != b.count) return a.count < b.count;
+              if (a.target.t1 != b.target.t1) return a.target.t1 < b.target.t1;
+              return a.target.t2 < b.target.t2;
+            });
+  return out;
+}
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  stats.max_degree = graph.max_degree();
+  graph.ForEachEdge([&](NodeId u, NodeId v) {
+    stats.max_line_degree = std::max(
+        stats.max_line_degree, graph.degree(u) + graph.degree(v) - 2);
+  });
+  if (graph.num_nodes() > 0) {
+    stats.mean_degree = 2.0 * static_cast<double>(graph.num_edges()) /
+                        static_cast<double>(graph.num_nodes());
+  }
+  return stats;
+}
+
+}  // namespace labelrw::graph

@@ -1,0 +1,52 @@
+// Full-access ground-truth oracles.
+//
+// These require the whole graph in memory and are used only for (a) NRMSE
+// evaluation against the true F, (b) the theoretical sample-size bounds of
+// Theorems 4.1-4.5, and (c) tests. Estimators themselves never call these.
+
+#ifndef LABELRW_GRAPH_ORACLE_H_
+#define LABELRW_GRAPH_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace labelrw::graph {
+
+/// Exact number of target edges F for (t1,t2). O(m log L).
+int64_t CountTargetEdges(const Graph& graph, const LabelStore& labels,
+                         const TargetLabel& target);
+
+/// Exact T(u) = number of target edges incident to u, for every node.
+/// Satisfies sum_u T(u) == 2F. O(m log L).
+std::vector<int64_t> ComputeIncidentTargetCounts(const Graph& graph,
+                                                 const LabelStore& labels,
+                                                 const TargetLabel& target);
+
+/// One (t1,t2) pair together with its exact target-edge count.
+struct LabelPairCount {
+  TargetLabel target;
+  int64_t count = 0;
+};
+
+/// Exact counts for *every* unordered label pair that occurs on at least one
+/// edge. Used by the frequency-quartile pair picker (the paper's label
+/// selection protocol) and by the Figure 1/2 sweeps. O(m * L_u * L_v).
+std::vector<LabelPairCount> CountAllLabelPairs(const Graph& graph,
+                                               const LabelStore& labels);
+
+/// Degree statistics needed as "prior knowledge" by some baselines.
+struct DegreeStats {
+  int64_t max_degree = 0;        // max over nodes of d(u)
+  int64_t max_line_degree = 0;   // max over edges of d(u)+d(v)-2
+  double mean_degree = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+}  // namespace labelrw::graph
+
+#endif  // LABELRW_GRAPH_ORACLE_H_

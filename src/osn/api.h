@@ -1,0 +1,87 @@
+// The restricted access model of the paper (Section 3):
+//
+//   "we have no full access to the graph G(V,E) but only some limited access
+//    via APIs each of which can be used to retrieve the list of
+//    friends/neighbors of a given user"
+//
+// Estimation algorithms interact with the network exclusively through
+// OsnApi. The API *charges* calls according to a CostModel so that the
+// evaluation harness can express budgets in API calls, exactly like the
+// paper's "x% |V| API calls" axes.
+
+#ifndef LABELRW_OSN_API_H_
+#define LABELRW_OSN_API_H_
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::osn {
+
+/// The page-fetch cost model. One API call retrieves a user's *page*, which
+/// carries both the friend list and the profile labels; any further access
+/// to that user is served from the crawler's cache for free. This matches
+/// the paper's accounting: one random-walk step = one API call, and
+/// NeighborExploration's probe of a sampled node's neighborhood costs one
+/// call per not-yet-fetched neighbor (which is what makes exploration
+/// expensive on abundant labels and nearly free on rare ones).
+struct CostModel {
+  /// Cost of the first fetch of a user's page.
+  int64_t page_cost = 1;
+  /// Whether previously fetched users are served from cache for free.
+  /// Disable for worst-case accounting (every touch charges).
+  bool cache_fetches = true;
+};
+
+/// Prior knowledge available to the estimators (Section 3, assumption (2)):
+/// |V| and |E| from the OSN owner's reports, plus the degree maxima that the
+/// maximum-degree baseline walks require.
+struct GraphPriors {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  /// Max node degree (needed by node-space max-degree walks).
+  int64_t max_degree = 0;
+  /// Max line-graph degree max_e d(u)+d(v)-2 (needed by EX-MDRW / EX-GMD).
+  int64_t max_line_degree = 0;
+};
+
+/// Abstract OSN access interface. Implementations must guarantee that the
+/// returned spans stay valid for the lifetime of the API object.
+class OsnApi {
+ public:
+  virtual ~OsnApi() = default;
+
+  /// The friend list of `user`, sorted ascending. Charges
+  /// neighbor_list_cost (once, if caching).
+  virtual Result<std::span<const graph::NodeId>> GetNeighbors(
+      graph::NodeId user) = 0;
+
+  /// The number of friends of `user`. Charged like GetNeighbors (most OSN
+  /// APIs expose the count only on the profile/friend-list page).
+  virtual Result<int64_t> GetDegree(graph::NodeId user) = 0;
+
+  /// The labels on `user`'s profile. Charges profile_cost (once, if caching).
+  virtual Result<std::span<const graph::Label>> GetLabels(
+      graph::NodeId user) = 0;
+
+  /// A seed user for starting a crawl. Free: seed users come from out-of-band
+  /// sources (public directories, the crawler's own account).
+  virtual Result<graph::NodeId> RandomNode(Rng& rng) = 0;
+
+  /// Total API calls charged so far.
+  virtual int64_t api_calls() const = 0;
+
+  /// Resets the call counter (not the cache).
+  virtual void ResetCallCount() = 0;
+
+  /// Remaining budget; a negative value means unlimited.
+  virtual int64_t remaining_budget() const = 0;
+};
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_API_H_

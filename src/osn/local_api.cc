@@ -1,0 +1,77 @@
+#include "osn/local_api.h"
+
+#include "graph/oracle.h"
+
+namespace labelrw::osn {
+
+LocalGraphApi::LocalGraphApi(const graph::Graph& graph,
+                             const graph::LabelStore& labels,
+                             CostModel cost_model, int64_t budget)
+    : graph_(graph),
+      labels_(labels),
+      cost_model_(cost_model),
+      budget_(budget),
+      touched_(graph.num_nodes(), false) {}
+
+Status LocalGraphApi::Charge(graph::NodeId user) {
+  if (cost_model_.cache_fetches && touched_[user]) return Status::Ok();
+  if (budget_ >= 0 && api_calls_ + cost_model_.page_cost > budget_) {
+    return ResourceExhaustedError("API budget exhausted");
+  }
+  api_calls_ += cost_model_.page_cost;
+  if (!touched_[user]) {
+    touched_[user] = true;
+    ++distinct_fetched_;
+  }
+  return Status::Ok();
+}
+
+Result<std::span<const graph::NodeId>> LocalGraphApi::GetNeighbors(
+    graph::NodeId user) {
+  if (!graph_.IsValidNode(user)) {
+    return NotFoundError("GetNeighbors: unknown user");
+  }
+  LABELRW_RETURN_IF_ERROR(Charge(user));
+  return graph_.neighbors(user);
+}
+
+Result<int64_t> LocalGraphApi::GetDegree(graph::NodeId user) {
+  if (!graph_.IsValidNode(user)) {
+    return NotFoundError("GetDegree: unknown user");
+  }
+  LABELRW_RETURN_IF_ERROR(Charge(user));
+  return graph_.degree(user);
+}
+
+Result<std::span<const graph::Label>> LocalGraphApi::GetLabels(
+    graph::NodeId user) {
+  if (!graph_.IsValidNode(user)) {
+    return NotFoundError("GetLabels: unknown user");
+  }
+  LABELRW_RETURN_IF_ERROR(Charge(user));
+  return labels_.labels(user);
+}
+
+Result<graph::NodeId> LocalGraphApi::RandomNode(Rng& rng) {
+  if (graph_.num_nodes() == 0) {
+    return FailedPreconditionError("RandomNode: empty graph");
+  }
+  return static_cast<graph::NodeId>(rng.UniformInt(graph_.num_nodes()));
+}
+
+int64_t LocalGraphApi::remaining_budget() const {
+  if (budget_ < 0) return -1;
+  return budget_ - api_calls_;
+}
+
+GraphPriors LocalGraphApi::Priors() const {
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(graph_);
+  GraphPriors priors;
+  priors.num_nodes = graph_.num_nodes();
+  priors.num_edges = graph_.num_edges();
+  priors.max_degree = stats.max_degree;
+  priors.max_line_degree = stats.max_line_degree;
+  return priors;
+}
+
+}  // namespace labelrw::osn

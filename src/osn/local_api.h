@@ -1,0 +1,56 @@
+// LocalGraphApi: serves the OsnApi from an in-memory Graph + LabelStore,
+// with API-call accounting, crawler-style caching, and an optional hard
+// budget. This is the simulation substrate for all experiments ("we simulate
+// the scenario where we only have accesses to the graphs via APIs", §5.1).
+
+#ifndef LABELRW_OSN_LOCAL_API_H_
+#define LABELRW_OSN_LOCAL_API_H_
+
+#include <vector>
+
+#include "osn/api.h"
+
+namespace labelrw::osn {
+
+class LocalGraphApi : public OsnApi {
+ public:
+  /// Both references must outlive the API object. `budget` < 0 = unlimited.
+  LocalGraphApi(const graph::Graph& graph, const graph::LabelStore& labels,
+                CostModel cost_model = CostModel(), int64_t budget = -1);
+
+  Result<std::span<const graph::NodeId>> GetNeighbors(
+      graph::NodeId user) override;
+  Result<int64_t> GetDegree(graph::NodeId user) override;
+  Result<std::span<const graph::Label>> GetLabels(graph::NodeId user) override;
+  Result<graph::NodeId> RandomNode(Rng& rng) override;
+
+  int64_t api_calls() const override { return api_calls_; }
+  void ResetCallCount() override { api_calls_ = 0; }
+  int64_t remaining_budget() const override;
+
+  /// Derives the prior-knowledge block the estimators receive. In a real
+  /// deployment these come from owner reports or the size estimators of
+  /// extensions/size_estimator.h; in simulation we read them off the graph.
+  GraphPriors Priors() const;
+
+  /// Number of distinct users whose neighbor list was fetched (unique
+  /// coverage, useful for crawl diagnostics).
+  int64_t distinct_users_fetched() const { return distinct_fetched_; }
+
+ private:
+  /// Charges the page cost for touching `user` (free if cached).
+  /// Returns ResourceExhausted when the budget would be exceeded.
+  Status Charge(graph::NodeId user);
+
+  const graph::Graph& graph_;
+  const graph::LabelStore& labels_;
+  CostModel cost_model_;
+  int64_t budget_;
+  int64_t api_calls_ = 0;
+  int64_t distinct_fetched_ = 0;
+  std::vector<bool> touched_;
+};
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_LOCAL_API_H_

@@ -1,0 +1,143 @@
+#include "rw/edge_walk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace labelrw::rw {
+namespace {
+
+// Position of `v` in the sorted span `nbrs`, or -1.
+int64_t IndexOf(std::span<const graph::NodeId> nbrs, graph::NodeId v) {
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return -1;
+  return it - nbrs.begin();
+}
+
+}  // namespace
+
+EdgeWalk::EdgeWalk(osn::OsnApi* api, WalkParams params)
+    : api_(api), params_(params) {}
+
+Status EdgeWalk::Reset(graph::Edge start) {
+  LABELRW_RETURN_IF_ERROR(params_.Validate());
+  if (params_.kind == WalkKind::kNonBacktracking) {
+    return UnimplementedError("non-backtracking edge walks are not supported");
+  }
+  current_ = graph::Edge::Make(start.u, start.v);
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Status EdgeWalk::ResetRandom(Rng& rng) {
+  // Pick seed nodes until one with a neighbor is found, then a uniform
+  // incident edge. (Burn-in washes out the seed bias.)
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    LABELRW_ASSIGN_OR_RETURN(graph::NodeId seed, api_->RandomNode(rng));
+    LABELRW_ASSIGN_OR_RETURN(auto nbrs, api_->GetNeighbors(seed));
+    if (nbrs.empty()) continue;
+    const graph::NodeId other =
+        nbrs[rng.UniformInt(static_cast<int64_t>(nbrs.size()))];
+    return Reset(graph::Edge::Make(seed, other));
+  }
+  return FailedPreconditionError(
+      "EdgeWalk::ResetRandom: could not find a seed edge");
+}
+
+Result<int64_t> EdgeWalk::LineDegreeOf(graph::Edge e) {
+  LABELRW_ASSIGN_OR_RETURN(int64_t du, api_->GetDegree(e.u));
+  LABELRW_ASSIGN_OR_RETURN(int64_t dv, api_->GetDegree(e.v));
+  return du + dv - 2;
+}
+
+Result<int64_t> EdgeWalk::CurrentLineDegree() {
+  if (!initialized_) {
+    return FailedPreconditionError("EdgeWalk used before Reset");
+  }
+  return LineDegreeOf(current_);
+}
+
+Result<graph::Edge> EdgeWalk::UniformLineNeighbor(graph::Edge e,
+                                                  int64_t line_degree,
+                                                  Rng& rng) {
+  LABELRW_ASSIGN_OR_RETURN(auto nbrs_u, api_->GetNeighbors(e.u));
+  const int64_t du = static_cast<int64_t>(nbrs_u.size());
+  const int64_t j = rng.UniformInt(line_degree);
+  if (j < du - 1) {
+    const int64_t pos_v = IndexOf(nbrs_u, e.v);
+    if (pos_v < 0) return InternalError("EdgeWalk: current edge vanished");
+    const graph::NodeId w = nbrs_u[j < pos_v ? j : j + 1];
+    return graph::Edge::Make(e.u, w);
+  }
+  LABELRW_ASSIGN_OR_RETURN(auto nbrs_v, api_->GetNeighbors(e.v));
+  const int64_t k = j - (du - 1);
+  const int64_t pos_u = IndexOf(nbrs_v, e.u);
+  if (pos_u < 0) return InternalError("EdgeWalk: current edge vanished");
+  const graph::NodeId w = nbrs_v[k < pos_u ? k : k + 1];
+  return graph::Edge::Make(e.v, w);
+}
+
+Result<graph::Edge> EdgeWalk::Step(Rng& rng) {
+  if (!initialized_) {
+    return FailedPreconditionError("EdgeWalk::Step before Reset");
+  }
+  LABELRW_ASSIGN_OR_RETURN(int64_t degree, LineDegreeOf(current_));
+  if (degree <= 0) {
+    // The only edge of a K2 component: the walk cannot move.
+    return current_;
+  }
+
+  switch (params_.kind) {
+    case WalkKind::kSimple: {
+      LABELRW_ASSIGN_OR_RETURN(current_,
+                               UniformLineNeighbor(current_, degree, rng));
+      break;
+    }
+    case WalkKind::kMetropolisHastings:
+    case WalkKind::kRcmh: {
+      LABELRW_ASSIGN_OR_RETURN(graph::Edge proposal,
+                               UniformLineNeighbor(current_, degree, rng));
+      LABELRW_ASSIGN_OR_RETURN(int64_t proposal_degree,
+                               LineDegreeOf(proposal));
+      if (proposal_degree <= 0) break;  // reject unwalkable states
+      const double ratio = static_cast<double>(degree) /
+                           static_cast<double>(proposal_degree);
+      const double exponent =
+          params_.kind == WalkKind::kMetropolisHastings ? 1.0
+                                                        : params_.rcmh_alpha;
+      const double accept = ratio >= 1.0 ? 1.0 : std::pow(ratio, exponent);
+      if (rng.UniformDouble() < accept) current_ = proposal;
+      break;
+    }
+    case WalkKind::kMaxDegree: {
+      const double move_prob = static_cast<double>(degree) /
+                               static_cast<double>(params_.max_degree_prior);
+      if (rng.UniformDouble() < move_prob) {
+        LABELRW_ASSIGN_OR_RETURN(current_,
+                                 UniformLineNeighbor(current_, degree, rng));
+      }
+      break;
+    }
+    case WalkKind::kGmd: {
+      const double c = params_.GmdC();
+      if (static_cast<double>(degree) >= c ||
+          rng.UniformDouble() < static_cast<double>(degree) / c) {
+        LABELRW_ASSIGN_OR_RETURN(current_,
+                                 UniformLineNeighbor(current_, degree, rng));
+      }
+      break;
+    }
+    case WalkKind::kNonBacktracking:
+      return UnimplementedError("non-backtracking edge walks");
+  }
+  return current_;
+}
+
+Status EdgeWalk::Advance(int64_t steps, Rng& rng) {
+  for (int64_t i = 0; i < steps; ++i) {
+    LABELRW_ASSIGN_OR_RETURN(graph::Edge unused, Step(rng));
+    (void)unused;
+  }
+  return Status::Ok();
+}
+
+}  // namespace labelrw::rw

@@ -1,0 +1,64 @@
+// Random walks over the *line graph* G' of the OSN, driven through the
+// restricted OsnApi.
+//
+// The baselines of Section 5.1 transform the target-edge counting problem
+// into target-node counting on G' (each edge of G is a node of G'; two are
+// adjacent iff they share an endpoint). A walk state is an undirected edge
+// (u,v); its line-graph degree is d(u)+d(v)-2, and its j-th line-neighbor is
+// enumerable from the two endpoint neighbor lists, so G' never needs to be
+// materialized — the defining property that makes these baselines runnable
+// against an API-only OSN.
+
+#ifndef LABELRW_RW_EDGE_WALK_H_
+#define LABELRW_RW_EDGE_WALK_H_
+
+#include "graph/graph.h"
+#include "osn/api.h"
+#include "rw/walk.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::rw {
+
+class EdgeWalk {
+ public:
+  /// `api` must outlive the walk. `params.max_degree_prior` must bound the
+  /// *line-graph* maximum degree for kMaxDegree/kGmd.
+  EdgeWalk(osn::OsnApi* api, WalkParams params);
+
+  /// Places the walk at edge {start.u, start.v}; the edge must exist.
+  Status Reset(graph::Edge start);
+
+  /// Starts from a random endpoint node's random incident edge (a valid seed
+  /// for any connected graph with >= 1 edge).
+  Status ResetRandom(Rng& rng);
+
+  graph::Edge current() const { return current_; }
+
+  /// Line-graph degree of the current edge.
+  Result<int64_t> CurrentLineDegree();
+
+  /// Advances one iteration; returns the (possibly unchanged) edge.
+  Result<graph::Edge> Step(Rng& rng);
+
+  Status Advance(int64_t steps, Rng& rng);
+
+  const WalkParams& params() const { return params_; }
+
+ private:
+  /// deg'(e) = d(e.u)+d(e.v)-2 via the API (cached fetches are free).
+  Result<int64_t> LineDegreeOf(graph::Edge e);
+
+  /// Uniform random line-neighbor of `e`; requires deg'(e) > 0.
+  Result<graph::Edge> UniformLineNeighbor(graph::Edge e, int64_t line_degree,
+                                          Rng& rng);
+
+  osn::OsnApi* api_;
+  WalkParams params_;
+  graph::Edge current_;
+  bool initialized_ = false;
+};
+
+}  // namespace labelrw::rw
+
+#endif  // LABELRW_RW_EDGE_WALK_H_

@@ -1,0 +1,164 @@
+#include "rw/mixing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace labelrw::rw {
+namespace {
+
+// One step of the simple-random-walk distribution: out[v] = sum_{u ~ v}
+// in[u] / d(u). O(m).
+void EvolveDistribution(const graph::Graph& graph,
+                        const std::vector<double>& in,
+                        std::vector<double>* out) {
+  std::fill(out->begin(), out->end(), 0.0);
+  const int64_t n = graph.num_nodes();
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const double mass = in[u];
+    if (mass == 0.0) continue;
+    const double share = mass / static_cast<double>(graph.degree(u));
+    for (graph::NodeId v : graph.neighbors(u)) {
+      (*out)[v] += share;
+    }
+  }
+}
+
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q) {
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+}  // namespace
+
+Result<MixingResult> ExactMixingTime(const graph::Graph& graph,
+                                     const MixingOptions& options) {
+  const int64_t n = graph.num_nodes();
+  if (n == 0) return InvalidArgumentError("ExactMixingTime: empty graph");
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (graph.degree(u) == 0) {
+      return FailedPreconditionError(
+          "ExactMixingTime: graph has isolated nodes");
+    }
+  }
+
+  // Stationary distribution pi(u) = d(u) / 2m.
+  std::vector<double> pi(n);
+  const double two_m = 2.0 * static_cast<double>(graph.num_edges());
+  for (graph::NodeId u = 0; u < n; ++u) {
+    pi[u] = static_cast<double>(graph.degree(u)) / two_m;
+  }
+
+  MixingResult result;
+  // Probe starts: max-degree node, min-degree node, plus random nodes.
+  graph::NodeId max_node = 0;
+  graph::NodeId min_node = 0;
+  for (graph::NodeId u = 1; u < n; ++u) {
+    if (graph.degree(u) > graph.degree(max_node)) max_node = u;
+    if (graph.degree(u) < graph.degree(min_node)) min_node = u;
+  }
+  result.starts = {max_node, min_node};
+  Rng rng(options.seed);
+  for (int64_t i = 0; i < options.num_random_starts; ++i) {
+    result.starts.push_back(static_cast<graph::NodeId>(rng.UniformInt(n)));
+  }
+  std::sort(result.starts.begin(), result.starts.end());
+  result.starts.erase(
+      std::unique(result.starts.begin(), result.starts.end()),
+      result.starts.end());
+
+  std::vector<double> dist(n);
+  std::vector<double> next(n);
+  int64_t worst = 0;
+  for (graph::NodeId start : result.starts) {
+    std::fill(dist.begin(), dist.end(), 0.0);
+    dist[start] = 1.0;
+    int64_t t = 0;
+    int64_t reached = -1;
+    while (t <= options.max_steps) {
+      if (TotalVariation(dist, pi) < options.epsilon) {
+        reached = t;
+        break;
+      }
+      EvolveDistribution(graph, dist, &next);
+      dist.swap(next);
+      ++t;
+    }
+    result.per_start.push_back(reached);
+    if (reached < 0) {
+      result.mixing_time = -1;
+      return result;  // did not converge from this start
+    }
+    worst = std::max(worst, reached);
+  }
+  result.mixing_time = worst;
+  return result;
+}
+
+Result<SpectralBound> SpectralMixingBound(const graph::Graph& graph,
+                                          double epsilon,
+                                          int64_t power_iterations,
+                                          uint64_t seed) {
+  const int64_t n = graph.num_nodes();
+  if (n < 2) return InvalidArgumentError("SpectralMixingBound: graph too small");
+  const double two_m = 2.0 * static_cast<double>(graph.num_edges());
+
+  std::vector<double> pi(n);
+  double pi_min = 1.0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (graph.degree(u) == 0) {
+      return FailedPreconditionError(
+          "SpectralMixingBound: graph has isolated nodes");
+    }
+    pi[u] = static_cast<double>(graph.degree(u)) / two_m;
+    pi_min = std::min(pi_min, pi[u]);
+  }
+
+  // Power iteration on the lazy chain Q = (I+P)/2 restricted to the
+  // complement of the top eigenvector. For the reversible chain, the right
+  // eigenvector of eigenvalue 1 is the all-ones vector; we deflate with the
+  // pi-weighted projection <x, 1>_pi = sum_u pi_u x_u.
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.UniformDouble() - 0.5;
+  std::vector<double> px(n);
+
+  double lambda = 0.0;
+  for (int64_t it = 0; it < power_iterations; ++it) {
+    // Deflate against the stationary component.
+    double dot = 0.0;
+    for (int64_t u = 0; u < n; ++u) dot += pi[u] * x[u];
+    for (int64_t u = 0; u < n; ++u) x[u] -= dot;
+
+    // px = P x (note: for functions, (Pf)(u) = avg over neighbors of f).
+    for (graph::NodeId u = 0; u < n; ++u) {
+      double acc = 0.0;
+      for (graph::NodeId v : graph.neighbors(u)) acc += x[v];
+      px[u] = acc / static_cast<double>(graph.degree(u));
+    }
+    // Lazy chain: Q x = (x + Px) / 2.
+    double norm = 0.0;
+    for (int64_t u = 0; u < n; ++u) {
+      px[u] = 0.5 * (x[u] + px[u]);
+      norm += pi[u] * px[u] * px[u];
+    }
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;
+
+    double xnorm = 0.0;
+    for (int64_t u = 0; u < n; ++u) xnorm += pi[u] * x[u] * x[u];
+    xnorm = std::sqrt(xnorm);
+    lambda = xnorm > 0 ? norm / xnorm : 0.0;
+    for (int64_t u = 0; u < n; ++u) x[u] = px[u] / norm;
+  }
+
+  SpectralBound bound;
+  bound.lambda = std::min(lambda, 1.0 - 1e-12);
+  bound.relaxation = 1.0 / (1.0 - bound.lambda);
+  bound.t_mix_upper = static_cast<int64_t>(
+      std::ceil(bound.relaxation * std::log(1.0 / (epsilon * pi_min))));
+  return bound;
+}
+
+}  // namespace labelrw::rw

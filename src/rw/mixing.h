@@ -1,0 +1,66 @@
+// Mixing-time computation for the simple random walk on G (Section 5.1).
+//
+// The paper defines T(eps) = max_i min{ t : || pi - pi_i P^t ||_TV < eps }
+// and reports T(1e-3) per dataset; samples drawn before the mixing time are
+// discarded (burn-in). Taking the exact max over all starting nodes costs
+// O(n * m * T) and is infeasible beyond small graphs, so we provide:
+//
+//  * ExactMixingTime      — TV-distance power iteration from a set of start
+//                           nodes (max-degree node, min-degree node, random
+//                           nodes), full O(m) sparse multiply per step;
+//  * SpectralMixingBound  — relaxation-time estimate
+//                           t(eps) <= log(1/(eps*pi_min)) / (1 - lambda*)
+//                           with lambda* estimated by power iteration on the
+//                           lazy chain (I+P)/2 (whose spectrum is
+//                           non-negative, so the estimate is well defined).
+
+#ifndef LABELRW_RW_MIXING_H_
+#define LABELRW_RW_MIXING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::rw {
+
+struct MixingOptions {
+  double epsilon = 1e-3;      // the paper's variation-distance parameter
+  int64_t max_steps = 100000; // give up beyond this many steps
+  int64_t num_random_starts = 4;
+  uint64_t seed = 1;
+};
+
+struct MixingResult {
+  /// min t with TV < eps, maximized over the probed starts; -1 if max_steps
+  /// was hit first.
+  int64_t mixing_time = -1;
+  /// Per-start mixing times, same order as `starts`.
+  std::vector<int64_t> per_start;
+  std::vector<graph::NodeId> starts;
+};
+
+/// Exact (up to the probed starts) TV mixing time of the simple random walk.
+/// The graph must be connected and non-bipartite for convergence; on
+/// bipartite graphs the TV distance does not converge and max_steps is hit.
+Result<MixingResult> ExactMixingTime(const graph::Graph& graph,
+                                     const MixingOptions& options);
+
+struct SpectralBound {
+  double lambda = 0.0;     // second eigenvalue estimate of the lazy chain
+  double relaxation = 0.0; // 1 / (1 - lambda)
+  int64_t t_mix_upper = 0; // ceil(relaxation * log(1/(eps*pi_min)))
+};
+
+/// Upper-bound estimate of the eps-mixing time via the spectral gap of the
+/// lazy chain. `power_iterations` controls the eigenvalue accuracy.
+Result<SpectralBound> SpectralMixingBound(const graph::Graph& graph,
+                                          double epsilon,
+                                          int64_t power_iterations = 200,
+                                          uint64_t seed = 1);
+
+}  // namespace labelrw::rw
+
+#endif  // LABELRW_RW_MIXING_H_

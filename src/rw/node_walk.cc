@@ -1,0 +1,102 @@
+#include "rw/node_walk.h"
+
+#include <cmath>
+
+namespace labelrw::rw {
+
+NodeWalk::NodeWalk(osn::OsnApi* api, WalkParams params)
+    : api_(api), params_(params) {}
+
+Status NodeWalk::Reset(graph::NodeId start) {
+  LABELRW_RETURN_IF_ERROR(params_.Validate());
+  current_ = start;
+  previous_ = -1;
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Status NodeWalk::ResetRandom(Rng& rng) {
+  LABELRW_ASSIGN_OR_RETURN(graph::NodeId seed, api_->RandomNode(rng));
+  return Reset(seed);
+}
+
+Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
+  if (!initialized_) {
+    return FailedPreconditionError("NodeWalk::Step before Reset");
+  }
+  LABELRW_ASSIGN_OR_RETURN(auto nbrs, api_->GetNeighbors(current_));
+  const int64_t degree = static_cast<int64_t>(nbrs.size());
+  if (degree == 0) {
+    return FailedPreconditionError("walk reached an isolated node");
+  }
+
+  switch (params_.kind) {
+    case WalkKind::kSimple: {
+      previous_ = current_;
+      current_ = nbrs[rng.UniformInt(degree)];
+      break;
+    }
+    case WalkKind::kNonBacktracking: {
+      graph::NodeId next;
+      if (degree == 1) {
+        next = nbrs[0];  // dead end: backtracking is the only move
+      } else if (previous_ < 0) {
+        next = nbrs[rng.UniformInt(degree)];
+      } else {
+        // Uniform over neighbors excluding `previous_`.
+        int64_t j = rng.UniformInt(degree - 1);
+        graph::NodeId candidate = nbrs[j];
+        if (candidate == previous_) candidate = nbrs[degree - 1];
+        next = candidate;
+      }
+      previous_ = current_;
+      current_ = next;
+      break;
+    }
+    case WalkKind::kMetropolisHastings:
+    case WalkKind::kRcmh: {
+      const graph::NodeId proposal = nbrs[rng.UniformInt(degree)];
+      LABELRW_ASSIGN_OR_RETURN(int64_t proposal_degree,
+                               api_->GetDegree(proposal));
+      const double ratio = static_cast<double>(degree) /
+                           static_cast<double>(proposal_degree);
+      const double exponent =
+          params_.kind == WalkKind::kMetropolisHastings ? 1.0
+                                                        : params_.rcmh_alpha;
+      const double accept =
+          ratio >= 1.0 ? 1.0 : std::pow(ratio, exponent);
+      previous_ = current_;
+      if (rng.UniformDouble() < accept) current_ = proposal;
+      break;
+    }
+    case WalkKind::kMaxDegree: {
+      const double move_prob = static_cast<double>(degree) /
+                               static_cast<double>(params_.max_degree_prior);
+      previous_ = current_;
+      if (rng.UniformDouble() < move_prob) {
+        current_ = nbrs[rng.UniformInt(degree)];
+      }
+      break;
+    }
+    case WalkKind::kGmd: {
+      const double c = params_.GmdC();
+      previous_ = current_;
+      if (static_cast<double>(degree) >= c ||
+          rng.UniformDouble() < static_cast<double>(degree) / c) {
+        current_ = nbrs[rng.UniformInt(degree)];
+      }
+      break;
+    }
+  }
+  return current_;
+}
+
+Status NodeWalk::Advance(int64_t steps, Rng& rng) {
+  for (int64_t i = 0; i < steps; ++i) {
+    LABELRW_ASSIGN_OR_RETURN(graph::NodeId unused, Step(rng));
+    (void)unused;
+  }
+  return Status::Ok();
+}
+
+}  // namespace labelrw::rw

@@ -1,0 +1,48 @@
+// Random walks over the node set of the OSN, driven purely through the
+// restricted OsnApi. One Step() = one walk iteration (which may be a
+// self-loop for max-degree style walks, or a rejected proposal for MH-style
+// walks, exactly as those chains define an iteration).
+
+#ifndef LABELRW_RW_NODE_WALK_H_
+#define LABELRW_RW_NODE_WALK_H_
+
+#include "graph/graph.h"
+#include "osn/api.h"
+#include "rw/walk.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::rw {
+
+class NodeWalk {
+ public:
+  /// `api` must outlive the walk.
+  NodeWalk(osn::OsnApi* api, WalkParams params);
+
+  /// Places the walk at `start`. Must be called before Step().
+  Status Reset(graph::NodeId start);
+
+  /// Places the walk at a random seed node.
+  Status ResetRandom(Rng& rng);
+
+  graph::NodeId current() const { return current_; }
+
+  /// Advances one iteration and returns the (possibly unchanged) position.
+  Result<graph::NodeId> Step(Rng& rng);
+
+  /// Convenience: advances `steps` iterations (burn-in).
+  Status Advance(int64_t steps, Rng& rng);
+
+  const WalkParams& params() const { return params_; }
+
+ private:
+  osn::OsnApi* api_;
+  WalkParams params_;
+  graph::NodeId current_ = -1;
+  graph::NodeId previous_ = -1;  // for non-backtracking
+  bool initialized_ = false;
+};
+
+}  // namespace labelrw::rw
+
+#endif  // LABELRW_RW_NODE_WALK_H_

@@ -1,0 +1,39 @@
+#include "rw/walk.h"
+
+namespace labelrw::rw {
+
+const char* WalkKindName(WalkKind kind) {
+  switch (kind) {
+    case WalkKind::kSimple:
+      return "simple";
+    case WalkKind::kMetropolisHastings:
+      return "mhrw";
+    case WalkKind::kMaxDegree:
+      return "mdrw";
+    case WalkKind::kRcmh:
+      return "rcmh";
+    case WalkKind::kGmd:
+      return "gmd";
+    case WalkKind::kNonBacktracking:
+      return "nbrw";
+  }
+  return "unknown";
+}
+
+Status WalkParams::Validate() const {
+  if (kind == WalkKind::kRcmh &&
+      (rcmh_alpha < 0.0 || rcmh_alpha > 1.0)) {
+    return InvalidArgumentError("rcmh_alpha must lie in [0, 1]");
+  }
+  if (kind == WalkKind::kGmd && (gmd_delta <= 0.0 || gmd_delta > 1.0)) {
+    return InvalidArgumentError("gmd_delta must lie in (0, 1]");
+  }
+  if ((kind == WalkKind::kMaxDegree || kind == WalkKind::kGmd) &&
+      max_degree_prior <= 0) {
+    return InvalidArgumentError(
+        "max-degree style walks need a positive max_degree_prior");
+  }
+  return Status::Ok();
+}
+
+}  // namespace labelrw::rw

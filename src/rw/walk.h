@@ -1,0 +1,90 @@
+// Random-walk kinds shared by node-space walks (on V) and edge-space walks
+// (on the nodes of the line graph G').
+//
+// Each kind is a reversible Markov chain over the state space with a known
+// stationary distribution, which the estimators re-weight against:
+//
+//   kind                  transition                        stationary weight
+//   ------------------    ------------------------------    -----------------
+//   kSimple               uniform neighbor                  d(x)
+//   kMetropolisHastings   propose uniform nbr, accept       1 (uniform)
+//                         min(1, d(x)/d(y))
+//   kMaxDegree            each nbr w.p. 1/D, else self      1 (uniform)
+//   kRcmh(alpha)          propose uniform nbr, accept       d(x)^(1-alpha)
+//                         min(1, (d(x)/d(y))^alpha)
+//   kGmd(C)               each nbr w.p. 1/max(C,d(x)),      max(d(x), C)
+//                         else self
+//   kNonBacktracking      uniform neighbor except the one   d(x)
+//                         just left (degree-1 nodes may
+//                         backtrack)
+//
+// RCMH interpolates between kSimple (alpha=0) and kMetropolisHastings
+// (alpha=1); GMD interpolates between kSimple (C<=min degree) and
+// kMaxDegree (C=D). [Li et al., ICDE 2015]
+
+#ifndef LABELRW_RW_WALK_H_
+#define LABELRW_RW_WALK_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace labelrw::rw {
+
+enum class WalkKind {
+  kSimple,
+  kMetropolisHastings,
+  kMaxDegree,
+  kRcmh,
+  kGmd,
+  kNonBacktracking,
+};
+
+/// Short stable name, e.g. "simple", "mhrw".
+const char* WalkKindName(WalkKind kind);
+
+/// Parameters for a walk. `max_degree_prior` is the D used by kMaxDegree
+/// and to derive C = gmd_delta * D for kGmd; it must be an upper bound on
+/// the true maximum degree of the walked space.
+struct WalkParams {
+  WalkKind kind = WalkKind::kSimple;
+  /// RCMH acceptance exponent; the paper's source suggests [0, 0.3].
+  double rcmh_alpha = 0.15;
+  /// GMD fraction of the maximum degree; suggested [0.3, 0.7].
+  double gmd_delta = 0.5;
+  /// Upper bound on the maximum degree of the state space.
+  int64_t max_degree_prior = 0;
+
+  /// C = gmd_delta * max_degree_prior, at least 1.
+  double GmdC() const {
+    const double c = gmd_delta * static_cast<double>(max_degree_prior);
+    return c < 1.0 ? 1.0 : c;
+  }
+
+  /// Validates parameter ranges for the chosen kind.
+  Status Validate() const;
+};
+
+/// The (unnormalized) stationary probability of a state with degree `degree`
+/// under `params`. Estimators divide by this to importance-reweight.
+inline double StationaryWeight(const WalkParams& params, double degree) {
+  switch (params.kind) {
+    case WalkKind::kSimple:
+    case WalkKind::kNonBacktracking:
+      return degree;
+    case WalkKind::kMetropolisHastings:
+    case WalkKind::kMaxDegree:
+      return 1.0;
+    case WalkKind::kRcmh:
+      return std::pow(degree, 1.0 - params.rcmh_alpha);
+    case WalkKind::kGmd:
+      return degree > params.GmdC() ? degree : params.GmdC();
+  }
+  return degree;
+}
+
+}  // namespace labelrw::rw
+
+#endif  // LABELRW_RW_WALK_H_

@@ -1,0 +1,162 @@
+#include "synth/datasets.h"
+
+#include <algorithm>
+
+#include "graph/connected.h"
+#include "rw/mixing.h"
+#include "synth/generators.h"
+#include "synth/labelers.h"
+#include "util/log.h"
+
+namespace labelrw::synth {
+namespace {
+
+// Derives a burn-in from the spectral mixing bound of the generated graph,
+// clamped to a practical range. Stands in for the paper's measured T(1e-3)
+// (their values: 100..3200).
+Result<int64_t> RecommendBurnIn(const graph::Graph& graph) {
+  LABELRW_ASSIGN_OR_RETURN(
+      rw::SpectralBound bound,
+      rw::SpectralMixingBound(graph, /*epsilon=*/1e-3,
+                              /*power_iterations=*/60));
+  return std::clamp<int64_t>(bound.t_mix_upper, 50, 5000);
+}
+
+// Assembles a Dataset from a raw graph + label assignment, extracting the
+// LCC and computing the burn-in.
+Result<Dataset> Assemble(std::string name, graph::Graph raw,
+                         const graph::LabelStore& raw_labels) {
+  Dataset ds;
+  ds.name = std::move(name);
+  LABELRW_ASSIGN_OR_RETURN(graph::LccResult lcc,
+                           graph::ExtractLargestComponent(raw, raw_labels));
+  ds.graph = std::move(lcc.graph);
+  ds.labels = std::move(lcc.labels);
+  LABELRW_ASSIGN_OR_RETURN(ds.burn_in, RecommendBurnIn(ds.graph));
+  return ds;
+}
+
+// Fills ds.targets with the exact count of one explicit pair.
+Status AddExplicitTarget(Dataset* ds, graph::Label t1, graph::Label t2) {
+  graph::LabelPairCount entry;
+  entry.target = {t1, t2};
+  entry.count = graph::CountTargetEdges(ds->graph, ds->labels, entry.target);
+  if (entry.count == 0) {
+    return FailedPreconditionError("explicit target has no edges");
+  }
+  ds->targets.push_back(entry);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<graph::LabelPairCount>> PickQuartileTargets(
+    const std::vector<graph::LabelPairCount>& sorted_pairs, int64_t min_count,
+    int parts, double position) {
+  if (parts < 1) return InvalidArgumentError("PickQuartileTargets: parts >= 1");
+  if (position < 0.0 || position > 1.0) {
+    return InvalidArgumentError("PickQuartileTargets: position in [0,1]");
+  }
+  std::vector<graph::LabelPairCount> eligible;
+  for (const auto& p : sorted_pairs) {
+    if (p.count >= min_count) eligible.push_back(p);
+  }
+  if (static_cast<int64_t>(eligible.size()) < parts) {
+    return FailedPreconditionError(
+        "PickQuartileTargets: fewer eligible pairs than parts");
+  }
+  std::vector<graph::LabelPairCount> picked;
+  const double part_size =
+      static_cast<double>(eligible.size()) / static_cast<double>(parts);
+  for (int i = 0; i < parts; ++i) {
+    const auto idx = static_cast<size_t>(
+        (static_cast<double>(i) + position) * part_size);
+    picked.push_back(eligible[std::min(idx, eligible.size() - 1)]);
+  }
+  return picked;
+}
+
+Result<Dataset> FacebookLike(uint64_t seed) {
+  LABELRW_ASSIGN_OR_RETURN(
+      graph::Graph raw,
+      PowerlawCluster(/*n=*/4000, /*attach=*/22, /*triad_prob=*/0.7, seed));
+  LABELRW_ASSIGN_OR_RETURN(graph::LabelStore labels,
+                           GenderLabels(raw.num_nodes(), /*p=*/0.3, seed + 1));
+  LABELRW_ASSIGN_OR_RETURN(Dataset ds,
+                           Assemble("facebook_like", std::move(raw), labels));
+  LABELRW_RETURN_IF_ERROR(AddExplicitTarget(&ds, 1, 2));
+  return ds;
+}
+
+Result<Dataset> GplusLike(uint64_t seed) {
+  LABELRW_ASSIGN_OR_RETURN(graph::Graph raw,
+                           BarabasiAlbert(/*n=*/30000, /*attach=*/40, seed));
+  LABELRW_ASSIGN_OR_RETURN(
+      graph::LabelStore labels,
+      GenderLabels(raw.num_nodes(), /*p=*/0.155, seed + 1));
+  LABELRW_ASSIGN_OR_RETURN(Dataset ds,
+                           Assemble("gplus_like", std::move(raw), labels));
+  LABELRW_RETURN_IF_ERROR(AddExplicitTarget(&ds, 1, 2));
+  return ds;
+}
+
+Result<Dataset> PokecLike(uint64_t seed) {
+  LABELRW_ASSIGN_OR_RETURN(graph::Graph raw,
+                           BarabasiAlbert(/*n=*/80000, /*attach=*/14, seed));
+  LABELRW_ASSIGN_OR_RETURN(
+      graph::LabelStore labels,
+      ZipfLocationLabels(raw.num_nodes(), /*num_locations=*/240, /*s=*/1.25,
+                         seed + 1));
+  LABELRW_ASSIGN_OR_RETURN(Dataset ds,
+                           Assemble("pokec_like", std::move(raw), labels));
+  const auto pairs = graph::CountAllLabelPairs(ds.graph, ds.labels);
+  // Eligibility floor scales with |E| so that the rarest picked pair stays
+  // estimable at bench scale (the paper's 22M-edge Pokec could afford
+  // 0.001% pairs; a 1M-edge analog cannot).
+  const int64_t min_count = std::max<int64_t>(60, ds.graph.num_edges() / 8000);
+  LABELRW_ASSIGN_OR_RETURN(ds.targets, PickQuartileTargets(pairs, min_count));
+  return ds;
+}
+
+Result<Dataset> OrkutLike(uint64_t seed) {
+  LABELRW_ASSIGN_OR_RETURN(graph::Graph raw,
+                           BarabasiAlbert(/*n=*/100000, /*attach=*/38, seed));
+  LABELRW_ASSIGN_OR_RETURN(graph::LabelStore labels,
+                           DegreeClassLabels(raw, /*cap=*/300));
+  LABELRW_ASSIGN_OR_RETURN(Dataset ds,
+                           Assemble("orkut_like", std::move(raw), labels));
+  const auto pairs = graph::CountAllLabelPairs(ds.graph, ds.labels);
+  const int64_t min_count = std::max<int64_t>(60, ds.graph.num_edges() / 8000);
+  LABELRW_ASSIGN_OR_RETURN(ds.targets, PickQuartileTargets(pairs, min_count));
+  return ds;
+}
+
+Result<Dataset> LivejournalLike(uint64_t seed) {
+  LABELRW_ASSIGN_OR_RETURN(graph::Graph raw,
+                           BarabasiAlbert(/*n=*/120000, /*attach=*/9, seed));
+  LABELRW_ASSIGN_OR_RETURN(graph::LabelStore labels,
+                           DegreeClassLabels(raw, /*cap=*/200));
+  LABELRW_ASSIGN_OR_RETURN(
+      Dataset ds, Assemble("livejournal_like", std::move(raw), labels));
+  const auto pairs = graph::CountAllLabelPairs(ds.graph, ds.labels);
+  const int64_t min_count = std::max<int64_t>(60, ds.graph.num_edges() / 8000);
+  LABELRW_ASSIGN_OR_RETURN(ds.targets, PickQuartileTargets(pairs, min_count));
+  return ds;
+}
+
+Result<std::vector<Dataset>> AllDatasets(uint64_t seed) {
+  std::vector<Dataset> all;
+  LABELRW_ASSIGN_OR_RETURN(Dataset fb, FacebookLike(seed + 1));
+  all.push_back(std::move(fb));
+  LABELRW_ASSIGN_OR_RETURN(Dataset gp, GplusLike(seed + 2));
+  all.push_back(std::move(gp));
+  LABELRW_ASSIGN_OR_RETURN(Dataset pk, PokecLike(seed + 3));
+  all.push_back(std::move(pk));
+  LABELRW_ASSIGN_OR_RETURN(Dataset ok, OrkutLike(seed + 4));
+  all.push_back(std::move(ok));
+  LABELRW_ASSIGN_OR_RETURN(Dataset lj, LivejournalLike(seed + 5));
+  all.push_back(std::move(lj));
+  return all;
+}
+
+}  // namespace labelrw::synth

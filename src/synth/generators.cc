@@ -1,0 +1,158 @@
+#include "synth/generators.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace labelrw::synth {
+
+Result<graph::Graph> BarabasiAlbert(int64_t n, int64_t attach,
+                                    uint64_t seed) {
+  if (attach < 1 || n <= attach) {
+    return InvalidArgumentError("BarabasiAlbert: need n > attach >= 1");
+  }
+  Rng rng(seed);
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(n);
+
+  // `stubs` holds one entry per unit of degree; sampling it uniformly is
+  // preferential attachment.
+  std::vector<graph::NodeId> stubs;
+  stubs.reserve(static_cast<size_t>(2 * n * attach));
+
+  // Seed: a path over the first attach+1 nodes (connected, minimal bias).
+  for (graph::NodeId u = 0; u < attach; ++u) {
+    builder.AddEdge(u, u + 1);
+    stubs.push_back(u);
+    stubs.push_back(u + 1);
+  }
+
+  std::unordered_set<graph::NodeId> chosen;
+  for (graph::NodeId u = static_cast<graph::NodeId>(attach) + 1; u < n; ++u) {
+    chosen.clear();
+    while (static_cast<int64_t>(chosen.size()) < attach) {
+      const graph::NodeId t =
+          stubs[rng.UniformInt(static_cast<int64_t>(stubs.size()))];
+      chosen.insert(t);  // distinct targets: resample on collision
+    }
+    for (graph::NodeId t : chosen) {
+      builder.AddEdge(u, t);
+      stubs.push_back(u);
+      stubs.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Result<graph::Graph> PowerlawCluster(int64_t n, int64_t attach,
+                                     double triad_prob, uint64_t seed) {
+  if (attach < 1 || n <= attach) {
+    return InvalidArgumentError("PowerlawCluster: need n > attach >= 1");
+  }
+  if (triad_prob < 0.0 || triad_prob > 1.0) {
+    return InvalidArgumentError("PowerlawCluster: triad_prob in [0,1]");
+  }
+  Rng rng(seed);
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(n);
+
+  std::vector<graph::NodeId> stubs;
+  stubs.reserve(static_cast<size_t>(2 * n * attach));
+  // Adjacency under construction, for triangle closure and duplicate checks.
+  std::vector<std::vector<graph::NodeId>> adj(n);
+
+  auto connect = [&](graph::NodeId u, graph::NodeId t) {
+    builder.AddEdge(u, t);
+    adj[u].push_back(t);
+    adj[t].push_back(u);
+    stubs.push_back(u);
+    stubs.push_back(t);
+  };
+  auto already_linked = [&](graph::NodeId u, graph::NodeId t) {
+    for (graph::NodeId w : adj[u]) {
+      if (w == t) return true;
+    }
+    return false;
+  };
+
+  // Seed path over the first attach+1 nodes.
+  for (graph::NodeId u = 0; u < attach; ++u) connect(u, u + 1);
+
+  for (graph::NodeId u = static_cast<graph::NodeId>(attach) + 1; u < n; ++u) {
+    graph::NodeId last_target = -1;
+    int64_t linked = 0;
+    int64_t guard = 0;
+    while (linked < attach && guard < 64 * attach) {
+      ++guard;
+      graph::NodeId t = -1;
+      if (last_target >= 0 && !adj[last_target].empty() &&
+          rng.Bernoulli(triad_prob)) {
+        // Triangle closure: a random neighbor of the previous target.
+        t = adj[last_target][rng.UniformInt(
+            static_cast<int64_t>(adj[last_target].size()))];
+      } else {
+        t = stubs[rng.UniformInt(static_cast<int64_t>(stubs.size()))];
+      }
+      if (t == u || already_linked(u, t)) continue;
+      connect(u, t);
+      last_target = t;
+      ++linked;
+    }
+  }
+  return builder.Build();
+}
+
+Result<graph::Graph> ErdosRenyi(int64_t n, int64_t num_edges, uint64_t seed) {
+  if (n < 2) return InvalidArgumentError("ErdosRenyi: need n >= 2");
+  const double max_edges = 0.5 * static_cast<double>(n) *
+                           static_cast<double>(n - 1);
+  if (num_edges < 0 || static_cast<double>(num_edges) > max_edges) {
+    return InvalidArgumentError("ErdosRenyi: num_edges out of range");
+  }
+  if (static_cast<double>(num_edges) > 0.4 * max_edges) {
+    return InvalidArgumentError(
+        "ErdosRenyi: rejection sampler needs num_edges <= 0.4 * C(n,2)");
+  }
+  Rng rng(seed);
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(n);
+  std::unordered_set<graph::Edge, graph::EdgeHash> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+  while (static_cast<int64_t>(seen.size()) < num_edges) {
+    const auto u = static_cast<graph::NodeId>(rng.UniformInt(n));
+    const auto v = static_cast<graph::NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    const graph::Edge e = graph::Edge::Make(u, v);
+    if (seen.insert(e).second) builder.AddEdge(e.u, e.v);
+  }
+  return builder.Build();
+}
+
+Result<graph::Graph> WattsStrogatz(int64_t n, int64_t k, double beta,
+                                   uint64_t seed) {
+  if (k < 2 || k % 2 != 0) {
+    return InvalidArgumentError("WattsStrogatz: k must be even and >= 2");
+  }
+  if (n <= k) return InvalidArgumentError("WattsStrogatz: need n > k");
+  if (beta < 0.0 || beta > 1.0) {
+    return InvalidArgumentError("WattsStrogatz: beta must lie in [0,1]");
+  }
+  Rng rng(seed);
+  // Start from the ring lattice, then rewire the far endpoint of each edge
+  // with probability beta. Collisions/self-loops are collapsed by the
+  // builder (a negligible fraction for sparse graphs).
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (int64_t j = 1; j <= k / 2; ++j) {
+      graph::NodeId v = static_cast<graph::NodeId>((u + j) % n);
+      if (rng.UniformDouble() < beta) {
+        v = static_cast<graph::NodeId>(rng.UniformInt(n));
+        if (v == u) continue;  // dropped rewire; keeps expectation close
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace labelrw::synth

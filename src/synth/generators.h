@@ -1,0 +1,47 @@
+// Synthetic graph generators. The experiments substitute offline-unavailable
+// SNAP/KONECT snapshots with generated analogs (DESIGN.md §5); the three
+// classic families below cover the structural regimes the estimators care
+// about: heavy-tailed degrees (BA), homogeneous degrees (ER), and
+// high-clustering slow-mixing topologies (WS).
+
+#ifndef LABELRW_SYNTH_GENERATORS_H_
+#define LABELRW_SYNTH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::synth {
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `attach` existing nodes chosen proportionally to degree. The result is
+/// connected with a power-law-ish degree tail, like OSN friendship graphs.
+/// Requires n > attach >= 1.
+Result<graph::Graph> BarabasiAlbert(int64_t n, int64_t attach, uint64_t seed);
+
+/// Erdős–Rényi G(n, M): exactly `num_edges` distinct uniform edges.
+/// Requires 0 <= num_edges <= C(n,2); the graph may be disconnected
+/// (callers typically extract the LCC).
+Result<graph::Graph> ErdosRenyi(int64_t n, int64_t num_edges, uint64_t seed);
+
+/// Holme–Kim powerlaw-cluster graph: Barabási–Albert attachment where each
+/// additional link closes a triangle with probability `triad_prob`
+/// (connecting to a random neighbor of the previously chosen target).
+/// Combines the heavy-tailed degrees of BA with the high clustering of real
+/// friendship graphs — the regime of the paper's Facebook snapshot.
+/// Requires n > attach >= 1, triad_prob in [0,1].
+Result<graph::Graph> PowerlawCluster(int64_t n, int64_t attach,
+                                     double triad_prob, uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// node (k even), each edge rewired with probability `beta`. Low beta gives
+/// high clustering and slow mixing — the regime of the paper's Facebook
+/// snapshot (mixing time 3200). Requires n > k >= 2.
+Result<graph::Graph> WattsStrogatz(int64_t n, int64_t k, double beta,
+                                   uint64_t seed);
+
+}  // namespace labelrw::synth
+
+#endif  // LABELRW_SYNTH_GENERATORS_H_

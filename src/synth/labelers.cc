@@ -1,0 +1,82 @@
+#include "synth/labelers.h"
+
+#include <cmath>
+#include <vector>
+
+namespace labelrw::synth {
+
+Result<graph::LabelStore> GenderLabels(int64_t num_nodes, double p,
+                                       uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    return InvalidArgumentError("GenderLabels: p must lie in [0,1]");
+  }
+  Rng rng(seed);
+  std::vector<graph::Label> labels(num_nodes);
+  for (auto& l : labels) l = rng.Bernoulli(p) ? 1 : 2;
+  return graph::LabelStore::FromSingleLabels(labels);
+}
+
+Result<graph::LabelStore> HomophilousGenderLabels(const graph::Graph& graph,
+                                                  double p, double strength,
+                                                  int sweeps, uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    return InvalidArgumentError("HomophilousGenderLabels: p must lie in [0,1]");
+  }
+  if (strength < 0.0 || strength > 1.0) {
+    return InvalidArgumentError(
+        "HomophilousGenderLabels: strength must lie in [0,1]");
+  }
+  if (sweeps < 0) {
+    return InvalidArgumentError("HomophilousGenderLabels: sweeps must be >= 0");
+  }
+  Rng rng(seed);
+  std::vector<graph::Label> labels(graph.num_nodes());
+  for (auto& l : labels) l = rng.Bernoulli(p) ? 1 : 2;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (graph::NodeId u = 0; u < graph.num_nodes(); ++u) {
+      const int64_t degree = graph.degree(u);
+      if (degree == 0 || !rng.Bernoulli(strength)) continue;
+      labels[u] = labels[graph.NeighborAt(u, rng.UniformInt(degree))];
+    }
+  }
+  return graph::LabelStore::FromSingleLabels(labels);
+}
+
+Result<graph::LabelStore> ZipfLocationLabels(int64_t num_nodes,
+                                             int64_t num_locations, double s,
+                                             uint64_t seed) {
+  if (num_locations < 1) {
+    return InvalidArgumentError("ZipfLocationLabels: need >= 1 location");
+  }
+  if (s < 0.0) {
+    return InvalidArgumentError("ZipfLocationLabels: exponent must be >= 0");
+  }
+  // Cumulative Zipf weights for inverse-CDF sampling.
+  std::vector<double> cdf(num_locations);
+  double total = 0.0;
+  for (int64_t r = 0; r < num_locations; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = total;
+  }
+  Rng rng(seed);
+  std::vector<graph::Label> labels(num_nodes);
+  for (auto& l : labels) {
+    const double x = rng.UniformDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), x);
+    l = static_cast<graph::Label>(it - cdf.begin());
+  }
+  return graph::LabelStore::FromSingleLabels(labels);
+}
+
+Result<graph::LabelStore> DegreeClassLabels(const graph::Graph& graph,
+                                            int64_t cap) {
+  if (cap < 1) return InvalidArgumentError("DegreeClassLabels: cap >= 1");
+  std::vector<graph::Label> labels(graph.num_nodes());
+  for (graph::NodeId u = 0; u < graph.num_nodes(); ++u) {
+    labels[u] = static_cast<graph::Label>(
+        std::min<int64_t>(graph.degree(u), cap));
+  }
+  return graph::LabelStore::FromSingleLabels(labels);
+}
+
+}  // namespace labelrw::synth

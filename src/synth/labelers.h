@@ -1,0 +1,50 @@
+// Label assignment models mirroring the paper's three label regimes:
+//   gender labels (Facebook/Google+), location labels (Pokec, Zipf-skewed),
+//   degree-class labels (Orkut/LiveJournal, "the node degree is considered
+//   as the node label").
+
+#ifndef LABELRW_SYNTH_LABELERS_H_
+#define LABELRW_SYNTH_LABELERS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::synth {
+
+/// Two-valued labels {1, 2} ("female"/"male"): label 1 with probability p.
+/// With independent assignment the expected cross-label edge fraction is
+/// 2p(1-p), which is how the paper-analog datasets tune their target-edge
+/// frequencies (42.4% -> p=0.3, 26.9% -> p=0.155).
+Result<graph::LabelStore> GenderLabels(int64_t num_nodes, double p,
+                                       uint64_t seed);
+
+/// Gender labels with *homophily*: after an independent Bernoulli(p)
+/// assignment, `sweeps` label-propagation passes run over the graph; in
+/// each pass every node adopts the gender of a uniformly random neighbor
+/// with probability `strength`. This clusters genders along the topology
+/// and — crucially for the estimators — disperses the per-node cross-gender
+/// neighbor ratio T(u)/d(u), reproducing the heterogeneous mixing of real
+/// OSNs (independent labels make T(u)/d(u) nearly constant, which
+/// unrealistically favors NeighborExploration; see DESIGN.md §5).
+Result<graph::LabelStore> HomophilousGenderLabels(const graph::Graph& graph,
+                                                  double p, double strength,
+                                                  int sweeps, uint64_t seed);
+
+/// Zipf-distributed location labels 0..num_locations-1 with exponent s:
+/// P(location r) proportional to 1/(r+1)^s. Produces the broad frequency
+/// spectrum of Pokec's Slovak regions.
+Result<graph::LabelStore> ZipfLocationLabels(int64_t num_nodes,
+                                             int64_t num_locations, double s,
+                                             uint64_t seed);
+
+/// Degree-class labels: node u gets label min(d(u), cap). Deterministic.
+Result<graph::LabelStore> DegreeClassLabels(const graph::Graph& graph,
+                                            int64_t cap);
+
+}  // namespace labelrw::synth
+
+#endif  // LABELRW_SYNTH_LABELERS_H_

@@ -1,0 +1,107 @@
+#include "theory/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/oracle.h"
+
+namespace labelrw::theory {
+
+Status ApproximationSpec::Validate() const {
+  if (epsilon <= 0.0 || epsilon > 1.0) {
+    return InvalidArgumentError("epsilon must lie in (0, 1]");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return InvalidArgumentError("delta must lie in (0, 1)");
+  }
+  return Status::Ok();
+}
+
+Result<SampleBounds> ComputeSampleBounds(const graph::Graph& graph,
+                                         const graph::LabelStore& labels,
+                                         const graph::TargetLabel& target,
+                                         const ApproximationSpec& spec) {
+  LABELRW_RETURN_IF_ERROR(spec.Validate());
+  if (labels.num_nodes() != graph.num_nodes()) {
+    return InvalidArgumentError("ComputeSampleBounds: label store mismatch");
+  }
+  const double m = static_cast<double>(graph.num_edges());
+  const double n = static_cast<double>(graph.num_nodes());
+  const double f =
+      static_cast<double>(graph::CountTargetEdges(graph, labels, target));
+  if (f <= 0) {
+    return FailedPreconditionError(
+        "ComputeSampleBounds: no target edges (F = 0)");
+  }
+  const std::vector<int64_t> t =
+      graph::ComputeIncidentTargetCounts(graph, labels, target);
+  const double eps2 = spec.epsilon * spec.epsilon;
+  const double delta = spec.delta;
+
+  SampleBounds bounds;
+
+  // Theorem 4.1: (sum_{X in E} m I(X) - F^2) / (eps^2 F^2 delta)
+  //            = (m F - F^2) / (eps^2 F^2 delta) = (m/F - 1) / (eps^2 delta).
+  bounds.ns_hh = (m / f - 1.0) / (eps2 * delta);
+
+  // Theorem 4.2: max_e log((I(e)^2+B)/B) / log(1/A), A = 1 - 1/m,
+  // B = delta eps^2 F^2 / m. Only target edges (I=1) contribute.
+  {
+    const double b = delta * eps2 * f * f / m;
+    const double log_inv_a = -std::log1p(-1.0 / m);
+    bounds.ns_ht = std::log((1.0 + b) / b) / log_inv_a;
+  }
+
+  // Theorem 4.3: (sum_u 2m T(u)^2 / d(u) - 4F^2) / (4 eps^2 F^2 delta).
+  {
+    double sum = 0.0;
+    for (graph::NodeId u = 0; u < graph.num_nodes(); ++u) {
+      if (t[u] == 0) continue;
+      sum += 2.0 * m * static_cast<double>(t[u]) * static_cast<double>(t[u]) /
+             static_cast<double>(graph.degree(u));
+    }
+    bounds.ne_hh = (sum - 4.0 * f * f) / (4.0 * eps2 * f * f * delta);
+  }
+
+  // Theorem 4.4: max_y log((T(y)^2+B)/B) / log(1/(1-pi_y)),
+  // pi_y = d(y)/2m, B = 4 delta eps^2 F^2 / n.
+  {
+    const double b = 4.0 * delta * eps2 * f * f / n;
+    double worst = 0.0;
+    for (graph::NodeId y = 0; y < graph.num_nodes(); ++y) {
+      if (t[y] == 0) continue;
+      const double pi_y = static_cast<double>(graph.degree(y)) / (2.0 * m);
+      const double t2 = static_cast<double>(t[y]) * static_cast<double>(t[y]);
+      const double bound = std::log((t2 + b) / b) / (-std::log1p(-pi_y));
+      worst = std::max(worst, bound);
+    }
+    bounds.ne_ht = worst;
+  }
+
+  // Theorem 4.5: max of the T-moment term and the degree-moment term.
+  {
+    double sum_t = 0.0;   // sum T(y)^2 / pi_y
+    double sum_pi = 0.0;  // sum 1 / pi_y
+    for (graph::NodeId y = 0; y < graph.num_nodes(); ++y) {
+      const double pi_y = static_cast<double>(graph.degree(y)) / (2.0 * m);
+      if (pi_y <= 0) continue;
+      sum_pi += 1.0 / pi_y;
+      if (t[y] != 0) {
+        sum_t += static_cast<double>(t[y]) * static_cast<double>(t[y]) / pi_y;
+      }
+    }
+    const double term1 = 18.0 * (sum_t - 4.0 * f * f) / (4.0 * eps2 * f * f * delta);
+    const double term2 = 18.0 * (sum_pi - n * n) / (eps2 * n * n * delta);
+    bounds.ne_rw = std::max(term1, term2);
+  }
+
+  // A bound below 1 means a single sample suffices; clamp for presentation.
+  bounds.ns_hh = std::max(bounds.ns_hh, 1.0);
+  bounds.ns_ht = std::max(bounds.ns_ht, 1.0);
+  bounds.ne_hh = std::max(bounds.ne_hh, 1.0);
+  bounds.ne_ht = std::max(bounds.ne_ht, 1.0);
+  bounds.ne_rw = std::max(bounds.ne_rw, 1.0);
+  return bounds;
+}
+
+}  // namespace labelrw::theory

@@ -1,0 +1,45 @@
+// Closed-form sample-size bounds of Theorems 4.1-4.5: the minimum number of
+// sampling iterations k that guarantees an (epsilon, delta)-approximation
+//
+//   P[(1-eps) F < F-hat < (1+eps) F] >= 1 - delta
+//
+// via Chebyshev's inequality. Evaluating the bounds needs full access (they
+// depend on F and the T(u) profile), so this module is evaluation-side only
+// — exactly how the paper uses them in Tables 18-22.
+
+#ifndef LABELRW_THEORY_BOUNDS_H_
+#define LABELRW_THEORY_BOUNDS_H_
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace labelrw::theory {
+
+struct ApproximationSpec {
+  double epsilon = 0.1;
+  double delta = 0.1;
+
+  Status Validate() const;
+};
+
+/// Minimum k per algorithm (fractional; callers ceil as needed).
+struct SampleBounds {
+  double ns_hh = 0;  // Theorem 4.1
+  double ns_ht = 0;  // Theorem 4.2
+  double ne_hh = 0;  // Theorem 4.3
+  double ne_ht = 0;  // Theorem 4.4
+  double ne_rw = 0;  // Theorem 4.5
+};
+
+/// Computes all five bounds for `target` on the labeled graph. Returns
+/// FailedPrecondition if the graph contains no target edge (F = 0), for
+/// which no multiplicative guarantee exists.
+Result<SampleBounds> ComputeSampleBounds(const graph::Graph& graph,
+                                         const graph::LabelStore& labels,
+                                         const graph::TargetLabel& target,
+                                         const ApproximationSpec& spec);
+
+}  // namespace labelrw::theory
+
+#endif  // LABELRW_THEORY_BOUNDS_H_

@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace labelrw {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendRow(const std::vector<std::string>& row, std::string* out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendField(row[i], out);
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
+void CsvWriter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+Status CsvWriter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    return InvalidArgumentError("CSV row width does not match header");
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  if (!header_.empty()) AppendRow(header_, &out);
+  for (const auto& row : rows_) AppendRow(row, &out);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open for writing: " + path);
+  }
+  const std::string data = ToString();
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return InternalError("short write to: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace labelrw

@@ -1,0 +1,41 @@
+// Minimal CSV writer used by the benchmark harness to dump raw results
+// alongside the formatted tables.
+
+#ifndef LABELRW_UTIL_CSV_H_
+#define LABELRW_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace labelrw {
+
+/// Accumulates rows in memory and writes an RFC-4180-ish CSV file. Fields
+/// containing commas, quotes or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  /// Sets the header row; must be called before any AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one row. Returns InvalidArgument if the column count does not
+  /// match the header (when a header was set).
+  Status AddRow(std::vector<std::string> row);
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Serializes header + rows to a string.
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`, overwriting. Returns an error Status if the
+  /// file cannot be opened or written.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace labelrw
+
+#endif  // LABELRW_UTIL_CSV_H_

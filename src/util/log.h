@@ -1,0 +1,28 @@
+// Tiny leveled logger for the harness binaries. Not a general logging
+// framework: single process, stderr only, printf formatting.
+
+#ifndef LABELRW_UTIL_LOG_H_
+#define LABELRW_UTIL_LOG_H_
+
+#include <cstdarg>
+
+namespace labelrw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging; a newline is appended automatically.
+void Logf(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace labelrw
+
+#define LABELRW_DLOG(...) ::labelrw::Logf(::labelrw::LogLevel::kDebug, __VA_ARGS__)
+#define LABELRW_ILOG(...) ::labelrw::Logf(::labelrw::LogLevel::kInfo, __VA_ARGS__)
+#define LABELRW_WLOG(...) ::labelrw::Logf(::labelrw::LogLevel::kWarning, __VA_ARGS__)
+#define LABELRW_ELOG(...) ::labelrw::Logf(::labelrw::LogLevel::kError, __VA_ARGS__)
+
+#endif  // LABELRW_UTIL_LOG_H_

@@ -1,0 +1,16 @@
+#include "util/rng.h"
+
+namespace labelrw {
+
+uint64_t DeriveSeed(uint64_t base, uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t s = base;
+  (void)SplitMix64(&s);
+  s ^= a * 0x9e3779b97f4a7c15ULL;
+  (void)SplitMix64(&s);
+  s ^= b * 0xc2b2ae3d27d4eb4fULL;
+  (void)SplitMix64(&s);
+  s ^= c * 0x165667b19e3779f9ULL;
+  return SplitMix64(&s);
+}
+
+}  // namespace labelrw

@@ -1,0 +1,99 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of labelrw draw from labelrw::Rng, a
+// xoshiro256** generator seeded through SplitMix64. We implement the
+// primitives ourselves (rather than using <random> distributions) so that
+// results are bit-identical across standard libraries and platforms —
+// a requirement for reproducible experiment tables.
+
+#ifndef LABELRW_UTIL_RNG_H_
+#define LABELRW_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace labelrw {
+
+/// One step of the SplitMix64 sequence; also usable as a mixing function for
+/// deriving child seeds.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Fast (sub-ns per draw), 256-bit state, passes BigCrush.
+/// Not cryptographically secure; fine for Monte-Carlo sampling.
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64. Any seed,
+  /// including 0, yields a valid (non-zero) state.
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&sm);
+  }
+
+  /// Next 64 uniformly random bits.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t UniformU64(uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(NextU64()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  int64_t UniformInt(int64_t bound) {
+    return static_cast<int64_t>(UniformU64(static_cast<uint64_t>(bound)));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Derives an independent child generator; `stream` distinguishes children
+  /// of the same parent deterministically.
+  Rng Child(uint64_t stream) {
+    uint64_t mix = s_[0] ^ (stream * 0x9e3779b97f4a7c15ULL);
+    uint64_t sm = mix;
+    (void)SplitMix64(&sm);
+    return Rng(SplitMix64(&sm) ^ stream);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+/// Deterministically combines a base seed with coordinates (e.g. repetition
+/// index, algorithm id) into a new seed. Used by the multi-threaded harness
+/// so results do not depend on scheduling.
+uint64_t DeriveSeed(uint64_t base, uint64_t a, uint64_t b = 0, uint64_t c = 0);
+
+}  // namespace labelrw
+
+#endif  // LABELRW_UTIL_RNG_H_

@@ -1,0 +1,90 @@
+// Streaming summary statistics and the paper's error measure (NRMSE).
+
+#ifndef LABELRW_UTIL_STATS_H_
+#define LABELRW_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace labelrw {
+
+/// Welford's online algorithm for mean and variance. Numerically stable,
+/// single pass, O(1) memory.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  /// Mean of the added values; 0 if empty.
+  double mean() const { return mean_; }
+  /// Population variance (divides by n); 0 if fewer than 2 values.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Sample variance (divides by n-1); 0 if fewer than 2 values.
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Accumulates independent estimates of a known ground truth and reports the
+/// paper's normalized root mean square error:
+///
+///   NRMSE(F̂) = sqrt(E[(F̂ − F)²]) / F
+///
+/// which folds together the estimator's variance and bias (Eq. 24).
+class NrmseAccumulator {
+ public:
+  /// `truth` must be nonzero (the paper always targets labels with F > 0).
+  explicit NrmseAccumulator(double truth) : truth_(truth) {}
+
+  void Add(double estimate) {
+    const double err = estimate - truth_;
+    squared_error_.Add(err * err);
+    estimates_.Add(estimate);
+  }
+
+  double truth() const { return truth_; }
+  int64_t count() const { return squared_error_.count(); }
+  /// sqrt(mean squared error) / truth.
+  double Nrmse() const {
+    return std::sqrt(squared_error_.mean()) / std::abs(truth_);
+  }
+  /// Mean of the estimates (for bias inspection).
+  double MeanEstimate() const { return estimates_.mean(); }
+  /// (mean estimate − truth) / truth.
+  double RelativeBias() const {
+    return (estimates_.mean() - truth_) / truth_;
+  }
+
+  void Merge(const NrmseAccumulator& other);
+
+ private:
+  double truth_;
+  RunningStats squared_error_;
+  RunningStats estimates_;
+};
+
+/// Returns the q-th quantile (0 <= q <= 1) of `values` by linear
+/// interpolation. `values` need not be sorted; the function copies and sorts.
+/// Returns 0 for an empty input.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace labelrw
+
+#endif  // LABELRW_UTIL_STATS_H_

@@ -1,0 +1,146 @@
+// Status and Result<T>: the error-handling vocabulary of labelrw.
+//
+// labelrw does not use C++ exceptions. Every fallible operation returns a
+// Status (for functions with no payload) or a Result<T> (a value-or-Status
+// union, analogous to absl::StatusOr<T>). Helper macros mirror the Abseil
+// conventions:
+//
+//   LABELRW_RETURN_IF_ERROR(expr);            // propagate a bad Status
+//   LABELRW_ASSIGN_OR_RETURN(auto v, expr);   // unwrap a Result or propagate
+
+#ifndef LABELRW_UTIL_STATUS_H_
+#define LABELRW_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace labelrw {
+
+// Canonical error space, a subset of the gRPC/Abseil code set that this
+// library actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 3,
+  kNotFound = 5,
+  kOutOfRange = 11,
+  kFailedPrecondition = 9,
+  kResourceExhausted = 8,
+  kUnimplemented = 12,
+  kInternal = 13,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...), suitable for logs and test failure messages.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no message
+/// allocation). Statuses are values; they are never thrown.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Factory helpers, mirroring absl::InvalidArgumentError et al.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// Value-or-Status. Accessing value() on an error aborts the process (the
+/// caller is expected to check ok() or use LABELRW_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse (`return 42;` / `return InvalidArgumentError(...);`), matching the
+  // absl::StatusOr convention.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result<T>::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace labelrw
+
+#define LABELRW_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::labelrw::Status labelrw_status_ = (expr);   \
+    if (!labelrw_status_.ok()) return labelrw_status_; \
+  } while (false)
+
+#define LABELRW_CONCAT_IMPL(x, y) x##y
+#define LABELRW_CONCAT(x, y) LABELRW_CONCAT_IMPL(x, y)
+
+#define LABELRW_ASSIGN_OR_RETURN(decl, expr)                       \
+  auto LABELRW_CONCAT(labelrw_result_, __LINE__) = (expr);         \
+  if (!LABELRW_CONCAT(labelrw_result_, __LINE__).ok())             \
+    return LABELRW_CONCAT(labelrw_result_, __LINE__).status();     \
+  decl = std::move(LABELRW_CONCAT(labelrw_result_, __LINE__)).value()
+
+#endif  // LABELRW_UTIL_STATUS_H_

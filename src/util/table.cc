@@ -1,0 +1,114 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace labelrw {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells_.push_back(std::move(cells));
+  best_.emplace_back(cells_.back().size(), false);
+}
+
+void TextTable::MarkBest(int row, int col) {
+  if (row < 0 || row >= static_cast<int>(cells_.size())) return;
+  if (col < 0 || col >= static_cast<int>(cells_[row].size())) return;
+  best_[row][col] = true;
+}
+
+std::string TextTable::Render() const {
+  // Decorated copies (best cells wrapped in asterisks).
+  std::vector<std::vector<std::string>> rows = cells_;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (best_[r][c]) rows[r][c] = "*" + rows[r][c] + "*";
+    }
+  }
+
+  size_t num_cols = 0;
+  for (const auto& row : rows) num_cols = std::max(num_cols, row.size());
+  std::vector<size_t> width(num_cols, 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  if (!caption_.empty()) {
+    out += caption_;
+    out += '\n';
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = c < rows[r].size() ? rows[r][c] : "";
+      out += cell;
+      if (c + 1 < num_cols) {
+        out.append(width[c] - cell.size() + 2, ' ');
+      }
+    }
+    out += '\n';
+    if (r == 0) {
+      size_t rule = 0;
+      for (size_t c = 0; c < num_cols; ++c) rule += width[c] + 2;
+      out.append(rule > 2 ? rule - 2 : rule, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string FormatNrmse(double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%s", v > 0 ? "inf" : "nan");
+  } else if (std::abs(v) >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  } else if (std::abs(v) >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+std::string FormatCount(int64_t v) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%lld", static_cast<long long>(v));
+  std::string raw = digits;
+  bool negative = !raw.empty() && raw[0] == '-';
+  std::string body = negative ? raw.substr(1) : raw;
+  std::string out;
+  int count = 0;
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return negative ? "-" + out : out;
+}
+
+std::string FormatSci(double v) {
+  if (v == 0) return "0";
+  const double exponent = std::floor(std::log10(std::abs(v)));
+  const double mantissa = v / std::pow(10.0, exponent);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f x 10^%d", mantissa,
+                static_cast<int>(exponent));
+  return buf;
+}
+
+std::string FormatPercent(double fraction) {
+  char buf[64];
+  const double pct = fraction * 100.0;
+  if (pct >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.1f%%", pct);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g%%", pct);
+  }
+  return buf;
+}
+
+}  // namespace labelrw

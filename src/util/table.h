@@ -1,0 +1,54 @@
+// ASCII table renderer that mimics the layout of the paper's result tables:
+// a caption, a header row of sample sizes, and one row per algorithm.
+
+#ifndef LABELRW_UTIL_TABLE_H_
+#define LABELRW_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace labelrw {
+
+/// Column-aligned plain-text table. Rows may have fewer cells than the
+/// widest row; missing cells render empty. Cells can be flagged "best" and
+/// are then rendered inside asterisks, mirroring the paper's bold+underline
+/// marks for the best NRMSE per column.
+class TextTable {
+ public:
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Appends a row of cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Marks cell (row, col) as the best in its column; it renders as *value*.
+  void MarkBest(int row, int col);
+
+  int num_rows() const { return static_cast<int>(cells_.size()); }
+
+  /// Renders the table with single-space column padding and a separator rule
+  /// under the first row (treated as the header).
+  std::string Render() const;
+
+ private:
+  std::string caption_;
+  std::vector<std::vector<std::string>> cells_;
+  std::vector<std::vector<bool>> best_;
+};
+
+/// Formats `v` with `digits` significant-looking decimals the way the paper
+/// prints NRMSE (e.g. 0.104, 2.339, 104.73). Values >= 100 drop to 2
+/// decimals, >= 10 to 3.
+std::string FormatNrmse(double v);
+
+/// Formats an integer with thousands separators, e.g. 1234567 -> 1,234,567.
+std::string FormatCount(int64_t v);
+
+/// Formats in the paper's bound notation, e.g. 7.56e7 -> "7.56 x 10^7".
+std::string FormatSci(double v);
+
+/// Formats a percentage with up to 3 decimals, e.g. 0.424 -> "42.4%".
+std::string FormatPercent(double fraction);
+
+}  // namespace labelrw
+
+#endif  // LABELRW_UTIL_TABLE_H_

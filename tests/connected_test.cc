@@ -1,0 +1,92 @@
+#include "graph/connected.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace labelrw::graph {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+TEST(FindComponentsTest, SingleComponent) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const ComponentInfo info = FindComponents(g);
+  EXPECT_EQ(info.sizes.size(), 1u);
+  EXPECT_EQ(info.sizes[0], 4);
+  EXPECT_EQ(info.largest, 0);
+}
+
+TEST(FindComponentsTest, MultipleComponents) {
+  // Components: {0,1,2}, {3,4}, {5} (isolated).
+  GraphBuilder builder;
+  builder.ReserveNodes(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  ASSERT_OK_AND_ASSIGN(const Graph g, builder.Build());
+  const ComponentInfo info = FindComponents(g);
+  EXPECT_EQ(info.sizes.size(), 3u);
+  EXPECT_EQ(info.sizes[info.largest], 3);
+  EXPECT_EQ(info.component_of[0], info.component_of[2]);
+  EXPECT_NE(info.component_of[0], info.component_of[3]);
+  EXPECT_NE(info.component_of[3], info.component_of[5]);
+}
+
+TEST(ExtractLargestComponentTest, KeepsLabelsAligned) {
+  // LCC = {2,3,4,5} (sizes 4 vs 2).
+  GraphBuilder builder;
+  builder.ReserveNodes(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(2, 5);
+  ASSERT_OK_AND_ASSIGN(const Graph g, builder.Build());
+  const LabelStore labels =
+      LabelStore::FromSingleLabels({10, 11, 12, 13, 14, 15});
+
+  ASSERT_OK_AND_ASSIGN(const LccResult lcc, ExtractLargestComponent(g, labels));
+  EXPECT_EQ(lcc.graph.num_nodes(), 4);
+  EXPECT_EQ(lcc.graph.num_edges(), 4);
+  ASSERT_EQ(lcc.old_id_of.size(), 4u);
+  // Every new node's label matches its original node's label.
+  for (NodeId new_id = 0; new_id < lcc.graph.num_nodes(); ++new_id) {
+    const NodeId old_id = lcc.old_id_of[new_id];
+    ASSERT_EQ(lcc.labels.labels(new_id).size(), 1u);
+    EXPECT_EQ(lcc.labels.labels(new_id)[0], 10 + old_id);
+  }
+  // Edges survive the remap.
+  int64_t edges = 0;
+  lcc.graph.ForEachEdge([&](NodeId u, NodeId v) {
+    EXPECT_TRUE(g.HasEdge(lcc.old_id_of[u], lcc.old_id_of[v]));
+    ++edges;
+  });
+  EXPECT_EQ(edges, 4);
+}
+
+TEST(ExtractLargestComponentTest, AlreadyConnectedIsIdentitySized) {
+  const Graph g = testing::RandomConnectedGraph(30, 40, 5);
+  const LabelStore labels = testing::RandomLabels(30, 3, 6);
+  ASSERT_OK_AND_ASSIGN(const LccResult lcc, ExtractLargestComponent(g, labels));
+  EXPECT_EQ(lcc.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(lcc.graph.num_edges(), g.num_edges());
+}
+
+TEST(ExtractLargestComponentTest, RejectsMismatchedLabels) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const LabelStore labels = LabelStore::FromSingleLabels({1, 2});  // size 2
+  EXPECT_EQ(ExtractLargestComponent(g, labels).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExtractLargestComponentTest, RejectsEmptyGraph) {
+  GraphBuilder builder;
+  ASSERT_OK_AND_ASSIGN(const Graph g, builder.Build());
+  const LabelStore labels = LabelStore::FromSingleLabels({});
+  EXPECT_EQ(ExtractLargestComponent(g, labels).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace labelrw::graph

@@ -1,0 +1,120 @@
+#include "core/target_edge_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+
+namespace labelrw::core {
+namespace {
+
+using estimators::AlgorithmId;
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  osn::GraphPriors priors;
+};
+
+// Gender-style labels: (1,2) is abundant (~half of all edges).
+Fixture AbundantFixture() {
+  Fixture f;
+  f.graph = testing::RandomConnectedGraph(400, 1600, 31);
+  f.labels = testing::RandomLabels(400, 2, 32);
+  const auto stats = graph::ComputeDegreeStats(f.graph);
+  f.priors = {f.graph.num_nodes(), f.graph.num_edges(), stats.max_degree,
+              stats.max_line_degree};
+  return f;
+}
+
+// 20-letter alphabet: any single pair is rare (~0.5% of edges).
+Fixture RareFixture() {
+  Fixture f;
+  f.graph = testing::RandomConnectedGraph(400, 1600, 33);
+  f.labels = testing::RandomLabels(400, 20, 34);
+  const auto stats = graph::ComputeDegreeStats(f.graph);
+  f.priors = {f.graph.num_nodes(), f.graph.num_edges(), stats.max_degree,
+              stats.max_line_degree};
+  return f;
+}
+
+TEST(CountOptionsTest, Validation) {
+  CountOptions options;
+  EXPECT_FALSE(options.Validate().ok());  // budget 0
+  options.budget = 100;
+  EXPECT_OK(options.Validate());
+  options.pilot_fraction = 1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.pilot_fraction = 0.1;
+  options.rare_threshold = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(TargetEdgeCounterTest, ForcedAlgorithmIsUsed) {
+  const Fixture f = AbundantFixture();
+  osn::LocalGraphApi api(f.graph, f.labels);
+  TargetEdgeCounter counter(&api, f.priors);
+  CountOptions options;
+  options.budget = 200;
+  options.burn_in = 50;
+  options.seed = 1;
+  options.algorithm = AlgorithmId::kNeighborExplorationRW;
+  ASSERT_OK_AND_ASSIGN(const CountReport report,
+                       counter.Count({0, 1}, options));
+  EXPECT_EQ(report.algorithm, AlgorithmId::kNeighborExplorationRW);
+  EXPECT_FALSE(report.pilot_estimate.has_value());
+  EXPECT_GT(report.estimate, 0.0);
+}
+
+TEST(TargetEdgeCounterTest, AutoSelectsNsForAbundantTargets) {
+  const Fixture f = AbundantFixture();
+  osn::LocalGraphApi api(f.graph, f.labels);
+  TargetEdgeCounter counter(&api, f.priors);
+  CountOptions options;
+  options.budget = 400;
+  options.burn_in = 50;
+  options.seed = 2;
+  ASSERT_OK_AND_ASSIGN(const CountReport report,
+                       counter.Count({0, 1}, options));
+  ASSERT_TRUE(report.pilot_estimate.has_value());
+  EXPECT_EQ(report.algorithm, AlgorithmId::kNeighborSampleHH);
+}
+
+TEST(TargetEdgeCounterTest, AutoSelectsNeForRareTargets) {
+  const Fixture f = RareFixture();
+  osn::LocalGraphApi api(f.graph, f.labels);
+  TargetEdgeCounter counter(&api, f.priors);
+  CountOptions options;
+  options.budget = 400;
+  options.burn_in = 50;
+  options.seed = 3;
+  ASSERT_OK_AND_ASSIGN(const CountReport report,
+                       counter.Count({0, 1}, options));
+  EXPECT_EQ(report.algorithm, AlgorithmId::kNeighborExplorationHH);
+}
+
+TEST(TargetEdgeCounterTest, EstimateIsReasonablyClose) {
+  const Fixture f = AbundantFixture();
+  const int64_t truth =
+      graph::CountTargetEdges(f.graph, f.labels, {0, 1});
+  // Average over several budgeted runs: the facade estimate should land in
+  // the right ballpark (generous tolerance; small budgets are noisy).
+  double sum = 0.0;
+  constexpr int kReps = 30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    osn::LocalGraphApi api(f.graph, f.labels);
+    TargetEdgeCounter counter(&api, f.priors);
+    CountOptions options;
+    options.budget = 600;
+    options.burn_in = 60;
+    options.seed = DeriveSeed(77, 0, 0, rep);
+    ASSERT_OK_AND_ASSIGN(const CountReport report,
+                         counter.Count({0, 1}, options));
+    sum += report.estimate;
+  }
+  EXPECT_NEAR(sum / kReps, static_cast<double>(truth), 0.15 * truth);
+}
+
+}  // namespace
+}  // namespace labelrw::core

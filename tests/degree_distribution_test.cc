@@ -1,0 +1,113 @@
+#include "extensions/degree_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+
+namespace labelrw::extensions {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+// Exact degree fractions from full access.
+std::map<int64_t, double> ExactFractions(const graph::Graph& g) {
+  std::map<int64_t, double> counts;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    counts[g.degree(u)] += 1.0;
+  }
+  for (auto& [d, c] : counts) c /= static_cast<double>(g.num_nodes());
+  return counts;
+}
+
+TEST(DegreeDistributionTest, ExactOnRegularGraph) {
+  // Cycle: every node has degree 2; the estimate must be exactly {2: 1.0}.
+  graph::GraphBuilder builder;
+  for (int u = 0; u < 21; ++u) builder.AddEdge(u, (u + 1) % 21);
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, builder.Build());
+  const graph::LabelStore labels = testing::RandomLabels(21, 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  estimators::EstimateOptions options;
+  options.sample_size = 200;
+  options.burn_in = 30;
+  options.seed = 2;
+  ASSERT_OK_AND_ASSIGN(const DegreeDistributionEstimate est,
+                       EstimateDegreeDistribution(api, options));
+  ASSERT_EQ(est.fractions.size(), 1u);
+  EXPECT_EQ(est.fractions[0].first, 2);
+  EXPECT_DOUBLE_EQ(est.fractions[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(est.MeanDegree(), 2.0);
+}
+
+TEST(DegreeDistributionTest, MatchesExactFractionsOnRandomGraph) {
+  const graph::Graph g = testing::RandomConnectedGraph(80, 240, 3);
+  const graph::LabelStore labels = testing::RandomLabels(80, 2, 4);
+  const auto exact = ExactFractions(g);
+
+  // Average over repetitions for stability.
+  std::map<int64_t, double> mean_fraction;
+  constexpr int kReps = 60;
+  for (int rep = 0; rep < kReps; ++rep) {
+    osn::LocalGraphApi api(g, labels);
+    estimators::EstimateOptions options;
+    options.sample_size = 2000;
+    options.burn_in = 50;
+    options.seed = DeriveSeed(71, 0, 0, rep);
+    ASSERT_OK_AND_ASSIGN(const DegreeDistributionEstimate est,
+                         EstimateDegreeDistribution(api, options));
+    for (const auto& [d, f] : est.fractions) {
+      mean_fraction[d] += f / kReps;
+    }
+  }
+  for (const auto& [d, exact_f] : exact) {
+    if (exact_f < 0.03) continue;  // skip sparsely populated degrees
+    EXPECT_NEAR(mean_fraction[d], exact_f, 0.35 * exact_f + 0.01)
+        << "degree " << d;
+  }
+}
+
+TEST(DegreeDistributionTest, FractionsSumToOne) {
+  const graph::Graph g = testing::RandomConnectedGraph(50, 150, 5);
+  const graph::LabelStore labels = testing::RandomLabels(50, 2, 6);
+  osn::LocalGraphApi api(g, labels);
+  estimators::EstimateOptions options;
+  options.sample_size = 500;
+  options.burn_in = 40;
+  options.seed = 7;
+  ASSERT_OK_AND_ASSIGN(const DegreeDistributionEstimate est,
+                       EstimateDegreeDistribution(api, options));
+  double sum = 0.0;
+  for (const auto& [d, f] : est.fractions) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DegreeDistributionTest, FractionOfUnseenDegreeIsZero) {
+  const graph::Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const graph::LabelStore labels = testing::RandomLabels(3, 2, 8);
+  osn::LocalGraphApi api(g, labels);
+  estimators::EstimateOptions options;
+  options.sample_size = 50;
+  options.seed = 9;
+  ASSERT_OK_AND_ASSIGN(const DegreeDistributionEstimate est,
+                       EstimateDegreeDistribution(api, options));
+  EXPECT_EQ(est.FractionOf(999), 0.0);
+}
+
+TEST(DegreeDistributionTest, BudgetMode) {
+  const graph::Graph g = testing::RandomConnectedGraph(100, 300, 10);
+  const graph::LabelStore labels = testing::RandomLabels(100, 2, 11);
+  osn::LocalGraphApi api(g, labels);
+  estimators::EstimateOptions options;
+  options.api_budget = 60;
+  options.burn_in = 20;
+  options.seed = 12;
+  ASSERT_OK_AND_ASSIGN(const DegreeDistributionEstimate est,
+                       EstimateDegreeDistribution(api, options));
+  EXPECT_GT(est.iterations, 0);
+  EXPECT_LE(est.api_calls, 20 + 60 + 4);
+}
+
+}  // namespace
+}  // namespace labelrw::extensions

@@ -1,0 +1,139 @@
+#include "rw/edge_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/line_graph.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+
+namespace labelrw::rw {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+graph::Graph TestGraph() {
+  return MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+                       {0, 2}, {1, 4}});
+}
+
+TEST(EdgeWalkTest, StepBeforeResetFails) {
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  EdgeWalk walk(&api, WalkParams{});
+  Rng rng(1);
+  EXPECT_EQ(walk.Step(rng).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EdgeWalkTest, StatesAreAlwaysRealEdges) {
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  EdgeWalk walk(&api, WalkParams{});
+  Rng rng(5);
+  ASSERT_OK(walk.ResetRandom(rng));
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::Edge e, walk.Step(rng));
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));
+    EXPECT_LE(e.u, e.v);  // canonical
+  }
+}
+
+TEST(EdgeWalkTest, ConsecutiveStatesShareAnEndpoint) {
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  EdgeWalk walk(&api, WalkParams{});
+  Rng rng(9);
+  ASSERT_OK(walk.Reset(graph::Edge::Make(0, 1)));
+  graph::Edge prev = walk.current();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::Edge cur, walk.Step(rng));
+    const bool adjacent = cur.u == prev.u || cur.u == prev.v ||
+                          cur.v == prev.u || cur.v == prev.v;
+    EXPECT_TRUE(adjacent);
+    prev = cur;
+  }
+}
+
+TEST(EdgeWalkTest, CurrentLineDegreeMatchesOracle) {
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  EdgeWalk walk(&api, WalkParams{});
+  ASSERT_OK(walk.Reset(graph::Edge::Make(0, 1)));
+  ASSERT_OK_AND_ASSIGN(const int64_t deg, walk.CurrentLineDegree());
+  EXPECT_EQ(deg, graph::LineDegree(g, graph::Edge::Make(0, 1)));
+}
+
+TEST(EdgeWalkTest, NonBacktrackingUnsupported) {
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  WalkParams params;
+  params.kind = WalkKind::kNonBacktracking;
+  EdgeWalk walk(&api, params);
+  EXPECT_EQ(walk.Reset(graph::Edge::Make(0, 1)).code(),
+            StatusCode::kUnimplemented);
+}
+
+// Stationary checks on the line graph: simple edge walk visits edge e with
+// probability proportional to deg'(e); MH edge walk uniformly.
+class EdgeStationaryTest : public ::testing::TestWithParam<WalkKind> {};
+
+TEST_P(EdgeStationaryTest, EmpiricalMatchesTheoretical) {
+  const WalkKind kind = GetParam();
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+
+  WalkParams params;
+  params.kind = kind;
+  params.rcmh_alpha = 0.3;
+  params.gmd_delta = 0.5;
+  params.max_degree_prior = graph::ComputeDegreeStats(g).max_line_degree;
+
+  EdgeWalk walk(&api, params);
+  Rng rng(777);
+  ASSERT_OK(walk.ResetRandom(rng));
+  ASSERT_OK(walk.Advance(300, rng));
+
+  constexpr int64_t kSteps = 300000;
+  std::map<graph::Edge, int64_t> visits;
+  for (int64_t i = 0; i < kSteps; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::Edge e, walk.Step(rng));
+    ++visits[e];
+  }
+
+  double total_weight = 0.0;
+  std::map<graph::Edge, double> expected;
+  g.ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+    const graph::Edge e = graph::Edge::Make(u, v);
+    const double w = StationaryWeight(
+        params, static_cast<double>(graph::LineDegree(g, e)));
+    expected[e] = w;
+    total_weight += w;
+  });
+
+  for (const auto& [e, w] : expected) {
+    const double expected_freq = w / total_weight;
+    const double actual_freq =
+        static_cast<double>(visits[e]) / static_cast<double>(kSteps);
+    EXPECT_NEAR(actual_freq, expected_freq, 0.012)
+        << "edge (" << e.u << "," << e.v << ") kind " << WalkKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, EdgeStationaryTest,
+    ::testing::Values(WalkKind::kSimple, WalkKind::kMetropolisHastings,
+                      WalkKind::kRcmh, WalkKind::kGmd, WalkKind::kMaxDegree),
+    [](const ::testing::TestParamInfo<WalkKind>& info) {
+      return WalkKindName(info.param);
+    });
+
+}  // namespace
+}  // namespace labelrw::rw

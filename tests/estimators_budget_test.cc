@@ -1,0 +1,287 @@
+// Tests of the API-budget protocol (the paper's "x% |V| API calls" axis):
+// LoopControl semantics, budget adherence, exploration cost accounting, the
+// non-backtracking walk option, and the batch-means confidence machinery.
+
+#include <gtest/gtest.h>
+
+#include "estimators/common.h"
+#include "estimators/estimator.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace labelrw::estimators {
+namespace {
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  osn::GraphPriors priors;
+
+  static Fixture Make(uint64_t seed, int64_t n = 200, int64_t extra = 600,
+                      int alphabet = 2) {
+    Fixture f;
+    f.graph = testing::RandomConnectedGraph(n, extra, seed);
+    f.labels = testing::RandomLabels(n, alphabet, seed + 1);
+    const auto stats = graph::ComputeDegreeStats(f.graph);
+    f.priors = {f.graph.num_nodes(), f.graph.num_edges(), stats.max_degree,
+                stats.max_line_degree};
+    return f;
+  }
+};
+
+TEST(LoopControlTest, IterationMode) {
+  const Fixture f = Fixture::Make(1);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  const LoopControl loop(api, /*sample_size=*/5, /*api_budget=*/0);
+  EXPECT_TRUE(loop.KeepGoing(api, 0));
+  EXPECT_TRUE(loop.KeepGoing(api, 4));
+  EXPECT_FALSE(loop.KeepGoing(api, 5));
+  EXPECT_EQ(loop.NominalSize(), 5);
+}
+
+TEST(LoopControlTest, BudgetModeStopsWhenSpent) {
+  const Fixture f = Fixture::Make(2);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  const LoopControl loop(api, /*sample_size=*/0, /*api_budget=*/3);
+  EXPECT_TRUE(loop.KeepGoing(api, 0));
+  ASSERT_TRUE(api.GetNeighbors(0).ok());
+  ASSERT_TRUE(api.GetNeighbors(1).ok());
+  EXPECT_TRUE(loop.KeepGoing(api, 1));
+  ASSERT_TRUE(api.GetNeighbors(2).ok());
+  EXPECT_FALSE(loop.KeepGoing(api, 2));  // 3 calls spent
+  EXPECT_EQ(loop.NominalSize(), 3);
+}
+
+TEST(LoopControlTest, BudgetModeCountsFromConstruction) {
+  const Fixture f = Fixture::Make(3);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  ASSERT_TRUE(api.GetNeighbors(0).ok());  // burn-in style pre-spend
+  const LoopControl loop(api, 0, /*api_budget=*/2);
+  ASSERT_TRUE(api.GetNeighbors(1).ok());
+  EXPECT_TRUE(loop.KeepGoing(api, 1));  // only 1 charged since construction
+}
+
+TEST(LoopControlTest, SampleSizeCapsBudgetMode) {
+  const Fixture f = Fixture::Make(4);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  const LoopControl loop(api, /*sample_size=*/2, /*api_budget=*/1000000);
+  EXPECT_FALSE(loop.KeepGoing(api, 2));
+}
+
+class BudgetAdherenceTest : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(BudgetAdherenceTest, SpendsCloseToBudget) {
+  const AlgorithmId id = GetParam();
+  const Fixture f = Fixture::Make(10);
+  const graph::TargetLabel target{0, 1};
+  EstimateOptions options;
+  options.api_budget = 120;
+  options.burn_in = 30;
+  options.seed = 5;
+  osn::LocalGraphApi api(f.graph, f.labels);
+  const int64_t before = api.api_calls();
+  ASSERT_OK_AND_ASSIGN(const EstimateResult r,
+                       Estimate(id, api, target, f.priors, options));
+  const int64_t sampling_calls = api.api_calls() - before - r.api_calls +
+                                 r.api_calls;  // total including burn-in
+  EXPECT_GT(r.iterations, 0) << AlgorithmName(id);
+  // The sampling phase spends at most the budget plus one iteration's
+  // overshoot (an NE exploration can exceed it by the explored degree).
+  const int64_t slack = f.priors.max_degree + 4;
+  EXPECT_LE(r.api_calls, options.burn_in + options.api_budget + slack)
+      << AlgorithmName(id);
+  EXPECT_GE(sampling_calls, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, BudgetAdherenceTest, ::testing::ValuesIn(AllAlgorithms()),
+    [](const ::testing::TestParamInfo<AlgorithmId>& info) {
+      std::string name = AlgorithmName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(BudgetModeTest, ExplorationConsumesBudgetOnAbundantLabels) {
+  // With 2 labels every node triggers exploration, so NE performs far fewer
+  // iterations per call than NS at the same budget — the mechanism behind
+  // the paper's Facebook/Google+ results.
+  const Fixture f = Fixture::Make(11, /*n=*/400, /*extra=*/2000);
+  EstimateOptions options;
+  options.api_budget = 200;
+  options.burn_in = 40;
+  options.seed = 6;
+  osn::LocalGraphApi api_ns(f.graph, f.labels);
+  osn::LocalGraphApi api_ne(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult ns,
+      Estimate(AlgorithmId::kNeighborSampleHH, api_ns, {0, 1}, f.priors,
+               options));
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult ne,
+      Estimate(AlgorithmId::kNeighborExplorationHH, api_ne, {0, 1}, f.priors,
+               options));
+  EXPECT_GT(ns.iterations, 2 * ne.iterations);
+  EXPECT_GT(ne.explored_nodes, 0);
+}
+
+TEST(BudgetModeTest, RareLabelsExploreAlmostFree) {
+  // With a 40-letter alphabet, exploration triggers on ~5% of samples.
+  const Fixture f = Fixture::Make(12, 400, 2000, 40);
+  EstimateOptions options;
+  options.api_budget = 200;
+  options.burn_in = 40;
+  options.seed = 7;
+  osn::LocalGraphApi api(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult ne,
+      Estimate(AlgorithmId::kNeighborExplorationHH, api, {0, 1}, f.priors,
+               options));
+  // Iterations should be close to the budget (most steps cost ~1 call).
+  EXPECT_GT(ne.iterations, 100);
+}
+
+TEST(BudgetModeTest, EstimateStillUnbiasedUnderBudget) {
+  const Fixture f = Fixture::Make(13, 100, 400, 2);
+  const graph::TargetLabel target{0, 1};
+  const double truth =
+      static_cast<double>(graph::CountTargetEdges(f.graph, f.labels, target));
+  RunningStats stats;
+  for (int rep = 0; rep < 200; ++rep) {
+    EstimateOptions options;
+    options.api_budget = 150;
+    options.burn_in = 40;
+    options.seed = DeriveSeed(888, 0, 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const EstimateResult r,
+        Estimate(AlgorithmId::kNeighborSampleHH, api, target, f.priors,
+                 options));
+    stats.Add(r.estimate);
+  }
+  EXPECT_NEAR(stats.mean(), truth, 0.1 * truth);
+}
+
+TEST(NonBacktrackingTest, WorksForNsAndNe) {
+  const Fixture f = Fixture::Make(14);
+  const graph::TargetLabel target{0, 1};
+  const double truth =
+      static_cast<double>(graph::CountTargetEdges(f.graph, f.labels, target));
+  for (const AlgorithmId id : {AlgorithmId::kNeighborSampleHH,
+                               AlgorithmId::kNeighborExplorationHH}) {
+    RunningStats stats;
+    for (int rep = 0; rep < 120; ++rep) {
+      EstimateOptions options;
+      options.sample_size = 300;
+      options.burn_in = 50;
+      options.seed = DeriveSeed(999, static_cast<uint64_t>(id), 0, rep);
+      options.ns_walk_kind = rw::WalkKind::kNonBacktracking;
+      osn::LocalGraphApi api(f.graph, f.labels);
+      ASSERT_OK_AND_ASSIGN(const EstimateResult r,
+                           Estimate(id, api, target, f.priors, options));
+      stats.Add(r.estimate);
+    }
+    EXPECT_NEAR(stats.mean(), truth, 0.1 * truth) << AlgorithmName(id);
+  }
+}
+
+TEST(NonBacktrackingTest, RejectedForOtherKinds) {
+  EstimateOptions options;
+  options.sample_size = 10;
+  options.ns_walk_kind = rw::WalkKind::kMetropolisHastings;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(BatchMeansTest, MatchesIidStdErrorOnIndependentDraws) {
+  Rng rng(1);
+  BatchMeans bm;
+  RunningStats stats;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.UniformDouble();
+    bm.Add(v);
+    stats.Add(v);
+  }
+  const double iid = std::sqrt(stats.sample_variance() / kDraws);
+  EXPECT_NEAR(bm.StdErrorOfMean(), iid, 0.35 * iid);
+  EXPECT_NEAR(bm.Mean(), 0.5, 0.02);
+}
+
+TEST(BatchMeansTest, TooFewDrawsGiveZero) {
+  BatchMeans bm;
+  bm.Add(1.0);
+  bm.Add(2.0);
+  EXPECT_EQ(bm.StdErrorOfMean(), 0.0);
+}
+
+TEST(BatchRatioTest, RecoverRatioAndError) {
+  Rng rng(2);
+  BatchRatio br;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = 1.0 + rng.UniformDouble();
+    br.Add(0.5 * d, d);  // ratio exactly 0.5
+  }
+  EXPECT_NEAR(br.Ratio(), 0.5, 1e-12);
+  EXPECT_NEAR(br.StdErrorOfRatio(), 0.0, 1e-9);  // deterministic ratio
+}
+
+TEST(BatchRatioTest, NoisyRatioHasPositiveError) {
+  Rng rng(3);
+  BatchRatio br;
+  for (int i = 0; i < 5000; ++i) {
+    br.Add(rng.UniformDouble(), 1.0 + rng.UniformDouble());
+  }
+  EXPECT_GT(br.StdErrorOfRatio(), 0.0);
+  EXPECT_LT(br.StdErrorOfRatio(), 0.05);
+}
+
+TEST(ConfidenceTest, IntervalCoversTruth) {
+  // estimate +/- 3*std_error should cover the truth in the vast majority of
+  // runs (it is a ~99% interval; allow a few misses).
+  const Fixture f = Fixture::Make(15, 150, 500, 2);
+  const graph::TargetLabel target{0, 1};
+  const double truth =
+      static_cast<double>(graph::CountTargetEdges(f.graph, f.labels, target));
+  int covered = 0;
+  constexpr int kReps = 60;
+  for (int rep = 0; rep < kReps; ++rep) {
+    EstimateOptions options;
+    options.sample_size = 600;
+    options.burn_in = 60;
+    options.seed = DeriveSeed(777, 0, 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const EstimateResult r,
+        Estimate(AlgorithmId::kNeighborSampleHH, api, target, f.priors,
+                 options));
+    ASSERT_GT(r.std_error, 0.0);
+    if (std::abs(r.estimate - truth) <= 3.0 * r.std_error) ++covered;
+  }
+  EXPECT_GE(covered, kReps - 8);
+}
+
+TEST(ConfidenceTest, StdErrorShrinksWithSampleSize) {
+  const Fixture f = Fixture::Make(16, 150, 500, 2);
+  auto stderr_at = [&](int64_t k) {
+    RunningStats acc;
+    for (int rep = 0; rep < 30; ++rep) {
+      EstimateOptions options;
+      options.sample_size = k;
+      options.burn_in = 60;
+      options.seed = DeriveSeed(778, static_cast<uint64_t>(k), 0, rep);
+      osn::LocalGraphApi api(f.graph, f.labels);
+      auto r = Estimate(AlgorithmId::kNeighborSampleHH, api, {0, 1}, f.priors,
+                        options);
+      EXPECT_TRUE(r.ok());
+      acc.Add(r->std_error);
+    }
+    return acc.mean();
+  };
+  EXPECT_LT(stderr_at(2000), stderr_at(200));
+}
+
+}  // namespace
+}  // namespace labelrw::estimators

@@ -1,0 +1,329 @@
+#include "estimators/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "estimators/common.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace labelrw::estimators {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+using ::labelrw::testing::RandomConnectedGraph;
+using ::labelrw::testing::RandomLabels;
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  osn::GraphPriors priors;
+
+  static Fixture Make(uint64_t seed, int64_t n = 40, int64_t extra = 120,
+                      int alphabet = 3) {
+    Fixture f;
+    f.graph = RandomConnectedGraph(n, extra, seed);
+    f.labels = RandomLabels(n, alphabet, seed + 1);
+    const auto stats = graph::ComputeDegreeStats(f.graph);
+    f.priors.num_nodes = f.graph.num_nodes();
+    f.priors.num_edges = f.graph.num_edges();
+    f.priors.max_degree = stats.max_degree;
+    f.priors.max_line_degree = stats.max_line_degree;
+    return f;
+  }
+};
+
+TEST(EstimatorNamesTest, RoundTrip) {
+  for (AlgorithmId id : AllAlgorithms()) {
+    ASSERT_OK_AND_ASSIGN(const AlgorithmId parsed,
+                         AlgorithmFromName(AlgorithmName(id)));
+    EXPECT_EQ(parsed, id);
+  }
+  EXPECT_FALSE(AlgorithmFromName("NoSuchAlgorithm").ok());
+}
+
+TEST(EstimatorNamesTest, TenAlgorithmsFiveProposed) {
+  EXPECT_EQ(AllAlgorithms().size(), 10u);
+  EXPECT_EQ(ProposedAlgorithms().size(), 5u);
+  for (AlgorithmId id : ProposedAlgorithms()) {
+    EXPECT_FALSE(IsBaseline(id)) << AlgorithmName(id);
+  }
+  EXPECT_TRUE(IsBaseline(AlgorithmId::kExGMD));
+}
+
+TEST(EstimateOptionsTest, Validation) {
+  EstimateOptions options;
+  EXPECT_FALSE(options.Validate().ok());  // sample_size = 0
+  options.sample_size = 10;
+  EXPECT_OK(options.Validate());
+  options.burn_in = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.burn_in = 0;
+  options.rcmh_alpha = 2.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.rcmh_alpha = 0.15;
+  options.gmd_delta = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(EstimateTest, DeterministicForSameSeed) {
+  const Fixture f = Fixture::Make(100);
+  const graph::TargetLabel target{0, 1};
+  EstimateOptions options;
+  options.sample_size = 100;
+  options.burn_in = 50;
+  options.seed = 9;
+  for (AlgorithmId id : AllAlgorithms()) {
+    osn::LocalGraphApi api1(f.graph, f.labels);
+    osn::LocalGraphApi api2(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(const EstimateResult r1,
+                         Estimate(id, api1, target, f.priors, options));
+    ASSERT_OK_AND_ASSIGN(const EstimateResult r2,
+                         Estimate(id, api2, target, f.priors, options));
+    EXPECT_EQ(r1.estimate, r2.estimate) << AlgorithmName(id);
+  }
+}
+
+TEST(EstimateTest, CountsApiCalls) {
+  const Fixture f = Fixture::Make(101);
+  const graph::TargetLabel target{0, 1};
+  EstimateOptions options;
+  options.sample_size = 50;
+  options.burn_in = 20;
+  options.seed = 4;
+  osn::LocalGraphApi api(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult r,
+      Estimate(AlgorithmId::kNeighborSampleHH, api, target, f.priors, options));
+  EXPECT_GT(r.api_calls, 0);
+  EXPECT_EQ(r.samples_used, 50);
+}
+
+TEST(EstimateTest, RejectsBadPriors) {
+  const Fixture f = Fixture::Make(102);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  EstimateOptions options;
+  options.sample_size = 10;
+  osn::GraphPriors bad;  // zeros
+  EXPECT_FALSE(Estimate(AlgorithmId::kNeighborSampleHH, api, {0, 1}, bad,
+                        options)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Statistical correctness: the mean over many independent runs must approach
+// the exact count (all ten estimators are (asymptotically) unbiased), and
+// each run must be in a sane range.
+
+class UnbiasednessTest : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(UnbiasednessTest, MeanApproachesTruth) {
+  const AlgorithmId id = GetParam();
+  const Fixture f = Fixture::Make(200, /*n=*/30, /*extra=*/90, /*alphabet=*/2);
+  const graph::TargetLabel target{0, 1};
+  const double truth = static_cast<double>(
+      graph::CountTargetEdges(f.graph, f.labels, target));
+  ASSERT_GT(truth, 0);
+
+  RunningStats stats;
+  constexpr int kReps = 220;
+  for (int rep = 0; rep < kReps; ++rep) {
+    EstimateOptions options;
+    options.sample_size = 300;
+    options.burn_in = 60;
+    options.seed = DeriveSeed(31337, static_cast<uint64_t>(id), 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(const EstimateResult r,
+                         Estimate(id, api, target, f.priors, options));
+    stats.Add(r.estimate);
+  }
+  // Allow 4 standard errors of slack plus a small absolute epsilon.
+  const double stderr_mean =
+      std::sqrt(stats.sample_variance() / static_cast<double>(kReps));
+  EXPECT_NEAR(stats.mean(), truth, 4.0 * stderr_mean + 0.05 * truth)
+      << AlgorithmName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, UnbiasednessTest, ::testing::ValuesIn(AllAlgorithms()),
+    [](const ::testing::TestParamInfo<AlgorithmId>& info) {
+      std::string name = AlgorithmName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(NeighborSampleTest, ExactOnUniformLabels) {
+  // All nodes share label 7: every edge is a (7,7) target, so NS-HH must
+  // return exactly |E| regardless of the walk.
+  const Fixture base = Fixture::Make(300);
+  const graph::LabelStore labels = graph::LabelStore::FromSingleLabels(
+      std::vector<graph::Label>(base.graph.num_nodes(), 7));
+  osn::LocalGraphApi api(base.graph, labels);
+  EstimateOptions options;
+  options.sample_size = 200;
+  options.seed = 5;
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult r,
+      Estimate(AlgorithmId::kNeighborSampleHH, api, {7, 7}, base.priors,
+               options));
+  EXPECT_DOUBLE_EQ(r.estimate, static_cast<double>(base.priors.num_edges));
+}
+
+TEST(NeighborSampleTest, ZeroWhenTargetAbsent) {
+  const Fixture f = Fixture::Make(301);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  EstimateOptions options;
+  options.sample_size = 100;
+  options.seed = 6;
+  // Label 99 exists nowhere.
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult r,
+      Estimate(AlgorithmId::kNeighborSampleHH, api, {99, 0}, f.priors,
+               options));
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(NeighborSampleTest, HtThinningReducesRetainedSamples) {
+  const Fixture f = Fixture::Make(302);
+  EstimateOptions options;
+  options.sample_size = 400;
+  options.seed = 7;
+  options.ht_thinning = HtThinning::kSpacing;
+  options.ht_spacing_fraction = 0.025;  // stride 10 -> 40 retained
+  osn::LocalGraphApi api(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult r,
+      Estimate(AlgorithmId::kNeighborSampleHT, api, {0, 1}, f.priors,
+               options));
+  EXPECT_EQ(r.samples_used, 40);
+}
+
+TEST(NeighborExplorationTest, ExploresOnlyTouchedNodes) {
+  // Labels: node 0 has the rare label 5, everyone else label 1.
+  const graph::Graph g = RandomConnectedGraph(30, 60, 555);
+  std::vector<graph::Label> raw(g.num_nodes(), 1);
+  raw[0] = 5;
+  const graph::LabelStore labels = graph::LabelStore::FromSingleLabels(raw);
+  const auto stats = graph::ComputeDegreeStats(g);
+  osn::GraphPriors priors{g.num_nodes(), g.num_edges(), stats.max_degree,
+                          stats.max_line_degree};
+  osn::LocalGraphApi api(g, labels);
+  EstimateOptions options;
+  options.sample_size = 500;
+  options.seed = 8;
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult r,
+      Estimate(AlgorithmId::kNeighborExplorationHH, api, {5, 5}, priors,
+               options));
+  // Only visits to node 0 trigger exploration; the walk revisits it some
+  // number of times well below the sample size.
+  EXPECT_LT(r.explored_nodes, 200);
+  // No (5,5) edge exists (only one node carries 5): estimate must be 0.
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(NeighborExplorationTest, SameLabelPairIsHandled) {
+  const Fixture f = Fixture::Make(303, 30, 80, 2);
+  const graph::TargetLabel target{1, 1};
+  const double truth = static_cast<double>(
+      graph::CountTargetEdges(f.graph, f.labels, target));
+  ASSERT_GT(truth, 0);
+  RunningStats stats;
+  for (int rep = 0; rep < 150; ++rep) {
+    EstimateOptions options;
+    options.sample_size = 250;
+    options.burn_in = 50;
+    options.seed = DeriveSeed(17, 0, 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const EstimateResult r,
+        Estimate(AlgorithmId::kNeighborExplorationHH, api, target, f.priors,
+                 options));
+    stats.Add(r.estimate);
+  }
+  EXPECT_NEAR(stats.mean(), truth, 0.12 * truth);
+}
+
+TEST(NeighborExplorationTest, MultiLabelNodes) {
+  // Node 0 carries both target labels; its self-incident edges count once.
+  const graph::Graph g = MakeGraph(3, {{0, 1}, {0, 2}, {1, 2}});
+  graph::LabelStoreBuilder builder(3);
+  ASSERT_OK(builder.AddLabel(0, 1));
+  ASSERT_OK(builder.AddLabel(0, 2));
+  ASSERT_OK(builder.AddLabel(1, 1));
+  ASSERT_OK(builder.AddLabel(2, 3));
+  const graph::LabelStore labels = builder.Build();
+  const graph::TargetLabel target{1, 2};
+  // Edges: (0,1): 0 has 2, 1 has 1 -> target. (0,2): no 1/2 on node 2 except
+  // 0 has both, 2 has 3 -> not target. (1,2): not target. F = 1.
+  EXPECT_EQ(graph::CountTargetEdges(g, labels, target), 1);
+
+  const auto stats = graph::ComputeDegreeStats(g);
+  osn::GraphPriors priors{g.num_nodes(), g.num_edges(), stats.max_degree,
+                          stats.max_line_degree};
+  RunningStats acc;
+  for (int rep = 0; rep < 200; ++rep) {
+    EstimateOptions options;
+    options.sample_size = 60;
+    options.burn_in = 20;
+    options.seed = DeriveSeed(23, 0, 0, rep);
+    osn::LocalGraphApi api(g, labels);
+    ASSERT_OK_AND_ASSIGN(
+        const EstimateResult r,
+        Estimate(AlgorithmId::kNeighborExplorationHH, api, target, priors,
+                 options));
+    acc.Add(r.estimate);
+  }
+  EXPECT_NEAR(acc.mean(), 1.0, 0.15);
+}
+
+TEST(CommonHelpersTest, InclusionProbability) {
+  EXPECT_DOUBLE_EQ(InclusionProbability(0.5, 1), 0.5);
+  EXPECT_NEAR(InclusionProbability(0.5, 2), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(InclusionProbability(1.0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(InclusionProbability(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(InclusionProbability(0.3, 0), 0.0);
+  // Small p, large k: stable and close to 1 - exp(-pk).
+  const double p = 1e-9;
+  const int64_t k = 1000;
+  EXPECT_NEAR(InclusionProbability(p, k), 1e-6, 1e-9);
+}
+
+TEST(CommonHelpersTest, ThinningStride) {
+  EXPECT_EQ(ThinningStride(0.025, 400), 10);
+  EXPECT_EQ(ThinningStride(0.025, 10), 1);  // rounds to >= 1
+  EXPECT_EQ(ThinningStride(0.5, 10), 5);
+}
+
+TEST(BaselineTest, MhrwEstimateIsPlainAverage) {
+  // With uniform stationary weights the self-normalized estimator reduces to
+  // m * hits / k, which is always within [0, m].
+  const Fixture f = Fixture::Make(304);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  EstimateOptions options;
+  options.sample_size = 200;
+  options.seed = 12;
+  ASSERT_OK_AND_ASSIGN(
+      const EstimateResult r,
+      Estimate(AlgorithmId::kExMHRW, api, {0, 1}, f.priors, options));
+  EXPECT_GE(r.estimate, 0.0);
+  EXPECT_LE(r.estimate, static_cast<double>(f.priors.num_edges));
+}
+
+TEST(BaselineTest, GmdRequiresLineDegreePrior) {
+  const Fixture f = Fixture::Make(305);
+  osn::GraphPriors no_line = f.priors;
+  no_line.max_line_degree = 0;
+  osn::LocalGraphApi api(f.graph, f.labels);
+  EstimateOptions options;
+  options.sample_size = 50;
+  options.seed = 13;
+  EXPECT_FALSE(
+      Estimate(AlgorithmId::kExGMD, api, {0, 1}, no_line, options).ok());
+}
+
+}  // namespace
+}  // namespace labelrw::estimators

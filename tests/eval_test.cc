@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "graph/oracle.h"
+#include "tests/test_util.h"
+
+namespace labelrw::eval {
+namespace {
+
+using estimators::AlgorithmId;
+
+SweepConfig SmallConfig() {
+  SweepConfig config;
+  config.sample_fractions = {0.02, 0.1};
+  config.reps = 30;
+  config.threads = 4;
+  config.seed = 99;
+  config.burn_in = 40;
+  config.algorithms = {AlgorithmId::kNeighborSampleHH,
+                       AlgorithmId::kNeighborExplorationHH};
+  return config;
+}
+
+TEST(SweepConfigTest, PaperFractions) {
+  const auto fractions = SweepConfig::PaperFractions();
+  ASSERT_EQ(fractions.size(), 10u);
+  EXPECT_DOUBLE_EQ(fractions.front(), 0.005);
+  EXPECT_DOUBLE_EQ(fractions.back(), 0.05);
+}
+
+TEST(SweepConfigTest, Validation) {
+  SweepConfig config = SmallConfig();
+  EXPECT_OK(config.Validate());
+  config.reps = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.sample_fractions = {2.0};
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.algorithms.clear();
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(RunSweepTest, ShapesAndTruth) {
+  const graph::Graph g = testing::RandomConnectedGraph(200, 600, 12);
+  const graph::LabelStore labels = testing::RandomLabels(200, 2, 13);
+  const graph::TargetLabel target{0, 1};
+  ASSERT_OK_AND_ASSIGN(const SweepResult result,
+                       RunSweep(g, labels, target, SmallConfig()));
+  EXPECT_EQ(result.truth, graph::CountTargetEdges(g, labels, target));
+  ASSERT_EQ(result.cells.size(), 2u);
+  ASSERT_EQ(result.cells[0].size(), 2u);
+  EXPECT_EQ(result.sample_sizes[0], 4);   // 2% of 200
+  EXPECT_EQ(result.sample_sizes[1], 20);  // 10% of 200
+  for (const auto& row : result.cells) {
+    for (const auto& cell : row) {
+      EXPECT_GE(cell.nrmse, 0.0);
+      EXPECT_GT(cell.mean_api_calls, 0.0);
+    }
+  }
+}
+
+TEST(RunSweepTest, DeterministicAcrossThreadCounts) {
+  const graph::Graph g = testing::RandomConnectedGraph(150, 450, 14);
+  const graph::LabelStore labels = testing::RandomLabels(150, 2, 15);
+  const graph::TargetLabel target{0, 1};
+  SweepConfig one = SmallConfig();
+  one.threads = 1;
+  SweepConfig eight = SmallConfig();
+  eight.threads = 8;
+  ASSERT_OK_AND_ASSIGN(const SweepResult a, RunSweep(g, labels, target, one));
+  ASSERT_OK_AND_ASSIGN(const SweepResult b,
+                       RunSweep(g, labels, target, eight));
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    for (size_t j = 0; j < a.cells[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.cells[i][j].nrmse, b.cells[i][j].nrmse);
+    }
+  }
+}
+
+TEST(RunSweepTest, MoreSamplesMeansLowerError) {
+  const graph::Graph g = testing::RandomConnectedGraph(300, 900, 16);
+  const graph::LabelStore labels = testing::RandomLabels(300, 2, 17);
+  SweepConfig config = SmallConfig();
+  config.sample_fractions = {0.01, 0.5};  // tiny vs huge budget
+  config.reps = 40;
+  ASSERT_OK_AND_ASSIGN(const SweepResult result,
+                       RunSweep(g, labels, {0, 1}, config));
+  // For NS-HH the error at 50%|V| must be far below the error at 1%|V|.
+  EXPECT_LT(result.cells[0][1].nrmse, result.cells[0][0].nrmse);
+}
+
+TEST(RunSweepTest, FZeroIsAnError) {
+  const graph::Graph g = testing::RandomConnectedGraph(100, 300, 18);
+  const graph::LabelStore labels = testing::RandomLabels(100, 2, 19);
+  EXPECT_EQ(RunSweep(g, labels, {55, 66}, SmallConfig()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReportTest, RenderPaperTableMarksBest) {
+  const graph::Graph g = testing::RandomConnectedGraph(150, 450, 20);
+  const graph::LabelStore labels = testing::RandomLabels(150, 2, 21);
+  ASSERT_OK_AND_ASSIGN(const SweepResult result,
+                       RunSweep(g, labels, {0, 1}, SmallConfig()));
+  const std::string table = RenderPaperTable(result, "Test table");
+  EXPECT_NE(table.find("Test table"), std::string::npos);
+  EXPECT_NE(table.find("NeighborSample-HH"), std::string::npos);
+  EXPECT_NE(table.find('*'), std::string::npos);  // a best mark exists
+}
+
+TEST(ReportTest, CsvHasOneRowPerCell) {
+  const graph::Graph g = testing::RandomConnectedGraph(150, 450, 22);
+  const graph::LabelStore labels = testing::RandomLabels(150, 2, 23);
+  ASSERT_OK_AND_ASSIGN(const SweepResult result,
+                       RunSweep(g, labels, {0, 1}, SmallConfig()));
+  const CsvWriter csv = ToCsv(result, "ds", "(0,1)");
+  EXPECT_EQ(csv.num_rows(), 4);  // 2 algorithms x 2 sizes
+}
+
+TEST(ReportTest, BestAtLargestBudget) {
+  SweepResult result;
+  result.algorithms = {AlgorithmId::kNeighborSampleHH,
+                       AlgorithmId::kNeighborExplorationHH};
+  result.sample_sizes = {10, 20};
+  result.sample_fractions = {0.1, 0.2};
+  result.cells = {{{0.5, 0, 0, 0}, {0.3, 0, 0, 0}},
+                  {{0.4, 0, 0, 0}, {0.1, 0, 0, 0}}};
+  const BestAtBudget best = BestAtLargestBudget(result);
+  EXPECT_EQ(best.algorithm, AlgorithmId::kNeighborExplorationHH);
+  EXPECT_DOUBLE_EQ(best.nrmse, 0.1);
+}
+
+TEST(ReportTest, TargetName) {
+  EXPECT_EQ(TargetName({1, 2}), "(1,2)");
+  EXPECT_EQ(TargetName({86, 135}), "(86,135)");
+}
+
+}  // namespace
+}  // namespace labelrw::eval

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "extensions/labeled_motifs.h"
+#include "extensions/size_estimator.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace labelrw::extensions {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+TEST(CountLabeledWedgesTest, HandComputedStar) {
+  // Star center 0 with leaves labeled 1,1,2: wedges with endpoints (1,2):
+  // pairs (leaf1, leaf3) and (leaf2, leaf3) -> 2.
+  const graph::Graph g = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  const graph::LabelStore labels =
+      graph::LabelStore::FromSingleLabels({9, 1, 1, 2});
+  EXPECT_EQ(CountLabeledWedges(g, labels, {1, 2}), 2);
+  EXPECT_EQ(CountLabeledWedges(g, labels, {1, 1}), 1);  // C(2,2)=1
+  EXPECT_EQ(CountLabeledWedges(g, labels, {2, 2}), 0);
+}
+
+TEST(CountLabeledTrianglesTest, HandComputed) {
+  // K4 with labels 1,2,3,3. Triangles: {0,1,2},{0,1,3},{0,2,3},{1,2,3}.
+  const graph::Graph g =
+      MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  const graph::LabelStore labels =
+      graph::LabelStore::FromSingleLabels({1, 2, 3, 3});
+  EXPECT_EQ(CountLabeledTriangles(g, labels, {1, 2, 3}), 2);
+  EXPECT_EQ(CountLabeledTriangles(g, labels, {3, 3, 1}), 1);  // {0,2,3}
+  EXPECT_EQ(CountLabeledTriangles(g, labels, {3, 3, 2}), 1);  // {1,2,3}
+  EXPECT_EQ(CountLabeledTriangles(g, labels, {1, 1, 2}), 0);
+}
+
+struct MotifFixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  osn::GraphPriors priors;
+
+  static MotifFixture Make(uint64_t seed) {
+    MotifFixture f;
+    f.graph = testing::RandomConnectedGraph(40, 160, seed);
+    f.labels = testing::RandomLabels(40, 2, seed + 1);
+    const auto stats = graph::ComputeDegreeStats(f.graph);
+    f.priors = {f.graph.num_nodes(), f.graph.num_edges(), stats.max_degree,
+                stats.max_line_degree};
+    return f;
+  }
+};
+
+TEST(EstimateLabeledWedgesTest, MeanApproachesTruth) {
+  const MotifFixture f = MotifFixture::Make(61);
+  const graph::TargetLabel endpoints{0, 1};
+  const double truth =
+      static_cast<double>(CountLabeledWedges(f.graph, f.labels, endpoints));
+  ASSERT_GT(truth, 0);
+  RunningStats stats;
+  for (int rep = 0; rep < 120; ++rep) {
+    estimators::EstimateOptions options;
+    options.sample_size = 300;
+    options.burn_in = 50;
+    options.seed = DeriveSeed(4001, 0, 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const MotifEstimate est,
+        EstimateLabeledWedges(api, endpoints, f.priors, options));
+    stats.Add(est.estimate);
+  }
+  EXPECT_NEAR(stats.mean(), truth, 0.1 * truth);
+}
+
+TEST(EstimateLabeledTrianglesTest, MeanApproachesTruth) {
+  const MotifFixture f = MotifFixture::Make(63);
+  const TriangleLabel target{0, 1, 1};
+  const double truth =
+      static_cast<double>(CountLabeledTriangles(f.graph, f.labels, target));
+  ASSERT_GT(truth, 0);
+  RunningStats stats;
+  for (int rep = 0; rep < 120; ++rep) {
+    estimators::EstimateOptions options;
+    options.sample_size = 250;
+    options.burn_in = 50;
+    options.seed = DeriveSeed(4002, 0, 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const MotifEstimate est,
+        EstimateLabeledTriangles(api, target, f.priors, options));
+    stats.Add(est.estimate);
+  }
+  EXPECT_NEAR(stats.mean(), truth, 0.15 * truth);
+}
+
+TEST(SizeEstimatorTest, RecoversGraphSize) {
+  const graph::Graph g = testing::RandomConnectedGraph(500, 2000, 71);
+  const graph::LabelStore labels = testing::RandomLabels(500, 2, 72);
+  RunningStats nodes;
+  RunningStats edges;
+  for (int rep = 0; rep < 60; ++rep) {
+    SizeEstimateOptions options;
+    options.sample_size = 600;  // >> sqrt(500): plenty of collisions
+    options.burn_in = 80;
+    options.seed = DeriveSeed(4003, 0, 0, rep);
+    osn::LocalGraphApi api(g, labels);
+    auto est = EstimateGraphSize(api, options);
+    ASSERT_TRUE(est.ok()) << est.status().ToString();
+    nodes.Add(est->num_nodes);
+    edges.Add(est->num_edges);
+  }
+  EXPECT_NEAR(nodes.mean(), 500.0, 75.0);
+  EXPECT_NEAR(edges.mean(), static_cast<double>(g.num_edges()),
+              0.15 * g.num_edges());
+}
+
+TEST(SizeEstimatorTest, FailsWithoutCollisions) {
+  const graph::Graph g = testing::RandomConnectedGraph(5000, 20000, 73);
+  const graph::LabelStore labels = testing::RandomLabels(5000, 2, 74);
+  osn::LocalGraphApi api(g, labels);
+  SizeEstimateOptions options;
+  options.sample_size = 2;  // certainly no collision
+  options.seed = 1;
+  const auto est = EstimateGraphSize(api, options);
+  EXPECT_FALSE(est.ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SizeEstimatorTest, RejectsBadOptions) {
+  const graph::Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const graph::LabelStore labels = testing::RandomLabels(3, 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  SizeEstimateOptions options;
+  options.sample_size = 1;
+  EXPECT_FALSE(EstimateGraphSize(api, options).ok());
+}
+
+}  // namespace
+}  // namespace labelrw::extensions

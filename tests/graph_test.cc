@@ -1,0 +1,147 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace labelrw::graph {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+TEST(EdgeTest, CanonicalizesOrder) {
+  const Edge e = Edge::Make(5, 2);
+  EXPECT_EQ(e.u, 2);
+  EXPECT_EQ(e.v, 5);
+  EXPECT_EQ(Edge::Make(2, 5), e);
+}
+
+TEST(EdgeTest, OrderingAndHash) {
+  EXPECT_LT(Edge::Make(0, 1), Edge::Make(0, 2));
+  EXPECT_LT(Edge::Make(0, 9), Edge::Make(1, 2));
+  EdgeHash hash;
+  EXPECT_EQ(hash(Edge::Make(3, 4)), hash(Edge::Make(4, 3)));
+  EXPECT_NE(hash(Edge::Make(3, 4)), hash(Edge::Make(3, 5)));
+}
+
+TEST(GraphBuilderTest, BuildsTriangle) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, RemovesSelfLoopsAndDuplicates) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 0);      // self loop
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);      // duplicate in reverse
+  builder.AddEdge(0, 1);      // exact duplicate
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_EQ(g->degree(0), 1);
+  EXPECT_EQ(g->degree(1), 1);
+}
+
+TEST(GraphBuilderTest, RejectsNegativeIds) {
+  GraphBuilder builder;
+  builder.AddEdge(-1, 2);
+  auto g = builder.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, ReserveNodesCreatesIsolatedNodes) {
+  GraphBuilder builder;
+  builder.ReserveNodes(10);
+  builder.AddEdge(0, 1);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 10);
+  EXPECT_EQ(g->degree(9), 0);
+}
+
+TEST(GraphBuilderTest, EmptyBuild) {
+  GraphBuilder builder;
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0);
+  EXPECT_EQ(g->num_edges(), 0);
+  EXPECT_EQ(g->max_degree(), 0);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  const Graph g = MakeGraph(6, {{3, 5}, {3, 1}, {3, 4}, {3, 0}, {3, 2}});
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 5u);
+  EXPECT_EQ(g.NeighborAt(3, 0), 0);
+  EXPECT_EQ(g.NeighborAt(3, 4), 5);
+}
+
+TEST(GraphTest, MaxDegree) {
+  const Graph g = MakeGraph(5, {{0, 1}, {0, 2}, {0, 3}, {3, 4}});
+  EXPECT_EQ(g.max_degree(), 3);
+}
+
+TEST(GraphTest, ForEachEdgeVisitsEachOnce) {
+  const Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}});
+  int64_t count = 0;
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    EXPECT_LT(u, v);
+    ++count;
+  });
+  EXPECT_EQ(count, g.num_edges());
+}
+
+TEST(GraphTest, DegreeSumIsTwiceEdges) {
+  const Graph g = testing::RandomConnectedGraph(50, 120, 77);
+  int64_t degree_sum = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) degree_sum += g.degree(u);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST(GraphTest, IsValidNode) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.IsValidNode(0));
+  EXPECT_TRUE(g.IsValidNode(2));
+  EXPECT_FALSE(g.IsValidNode(3));
+  EXPECT_FALSE(g.IsValidNode(-1));
+}
+
+TEST(GraphTest, HasEdgeOnInvalidNodes) {
+  const Graph g = MakeGraph(3, {{0, 1}});
+  EXPECT_FALSE(g.HasEdge(0, 7));
+  EXPECT_FALSE(g.HasEdge(-2, 1));
+}
+
+// Property sweep: builder invariants hold across random graphs.
+class GraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphPropertyTest, CsrInvariants) {
+  const Graph g = testing::RandomConnectedGraph(40, 80, GetParam());
+  int64_t degree_sum = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+    for (NodeId v : nbrs) {
+      EXPECT_NE(v, u);            // no self loops
+      EXPECT_TRUE(g.HasEdge(v, u));  // symmetry
+    }
+    degree_sum += g.degree(u);
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace labelrw::graph

@@ -1,0 +1,151 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experimental protocol, exercising dataset generation, the restricted API,
+// the estimators and the NRMSE harness together.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "graph/connected.h"
+#include "graph/oracle.h"
+#include "synth/generators.h"
+#include "synth/labelers.h"
+#include "tests/test_util.h"
+#include "theory/bounds.h"
+
+namespace labelrw {
+namespace {
+
+using estimators::AlgorithmId;
+
+// A miniature facebook_like: WS topology, gender labels, abundant target.
+struct MiniDataset {
+  graph::Graph graph;
+  graph::LabelStore labels;
+};
+
+MiniDataset MiniGender(uint64_t seed) {
+  auto raw = synth::WattsStrogatz(800, 16, 0.1, seed);
+  EXPECT_TRUE(raw.ok());
+  auto labels = synth::GenderLabels(raw->num_nodes(), 0.3, seed + 1);
+  EXPECT_TRUE(labels.ok());
+  auto lcc = graph::ExtractLargestComponent(*raw, *labels);
+  EXPECT_TRUE(lcc.ok());
+  return {std::move(lcc->graph), std::move(lcc->labels)};
+}
+
+// A miniature pokec_like: BA topology, Zipf locations, rare targets.
+MiniDataset MiniZipf(uint64_t seed) {
+  auto raw = synth::BarabasiAlbert(8000, 8, seed);
+  EXPECT_TRUE(raw.ok());
+  auto labels =
+      synth::ZipfLocationLabels(raw->num_nodes(), 40, 1.1, seed + 1);
+  EXPECT_TRUE(labels.ok());
+  auto lcc = graph::ExtractLargestComponent(*raw, *labels);
+  EXPECT_TRUE(lcc.ok());
+  return {std::move(lcc->graph), std::move(lcc->labels)};
+}
+
+TEST(IntegrationTest, AbundantTargetAccuracyAtPaperBudget) {
+  const MiniDataset ds = MiniGender(501);
+  eval::SweepConfig config;
+  config.sample_fractions = {0.05};  // the paper's largest budget
+  config.reps = 60;
+  config.seed = 7;
+  config.burn_in = 400;  // WS mixes slowly
+  config.algorithms = {AlgorithmId::kNeighborSampleHH,
+                       AlgorithmId::kNeighborSampleHT};
+  ASSERT_OK_AND_ASSIGN(const eval::SweepResult result,
+                       eval::RunSweep(ds.graph, ds.labels, {1, 2}, config));
+  // The paper reaches ~0.1 on Facebook at 5%|V|; we allow 3x slack for the
+  // smaller graph and rep count.
+  EXPECT_LT(result.cells[0][0].nrmse, 0.35);
+  EXPECT_LT(result.cells[1][0].nrmse, 0.35);
+}
+
+TEST(IntegrationTest, NeighborExplorationWinsOnRareTargets) {
+  const MiniDataset ds = MiniZipf(601);
+  // Pick a rare location pair that still has edges.
+  const auto pairs = graph::CountAllLabelPairs(ds.graph, ds.labels);
+  graph::TargetLabel target{-1, -1};
+  for (const auto& p : pairs) {
+    if (p.count >= 30 && p.target.t1 != p.target.t2) {
+      const double freq = static_cast<double>(p.count) /
+                          static_cast<double>(ds.graph.num_edges());
+      if (freq < 0.005) {
+        target = p.target;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(target.t1, -1) << "no rare pair found";
+
+  eval::SweepConfig config;
+  config.sample_fractions = {0.08};
+  config.reps = 120;
+  config.seed = 8;
+  config.burn_in = 120;
+  config.algorithms = {AlgorithmId::kNeighborSampleHH,
+                       AlgorithmId::kNeighborExplorationHH};
+  ASSERT_OK_AND_ASSIGN(const eval::SweepResult result,
+                       eval::RunSweep(ds.graph, ds.labels, target, config));
+  // The paper's §5.3 finding: for rare labels NE-HH clearly beats NS-HH.
+  EXPECT_LT(result.cells[1][0].nrmse, result.cells[0][0].nrmse);
+}
+
+TEST(IntegrationTest, ErrorDecreasesWithBudget) {
+  const MiniDataset ds = MiniGender(701);
+  eval::SweepConfig config;
+  config.sample_fractions = {0.005, 0.08};
+  config.reps = 60;
+  config.seed = 9;
+  config.burn_in = 400;
+  config.algorithms = {AlgorithmId::kNeighborSampleHH};
+  ASSERT_OK_AND_ASSIGN(const eval::SweepResult result,
+                       eval::RunSweep(ds.graph, ds.labels, {1, 2}, config));
+  EXPECT_LT(result.cells[0][1].nrmse, result.cells[0][0].nrmse);
+}
+
+TEST(IntegrationTest, EmpiricalSamplesBeatTheoreticalBounds) {
+  // The paper observes (§5.2): "the number of samples needed to achieve a
+  // good estimation is much less than the bound". Check the bound is indeed
+  // a very conservative upper bound: at k = bound/100 the estimate is
+  // already decent for NS-HH on an abundant target.
+  const MiniDataset ds = MiniGender(801);
+  theory::ApproximationSpec spec;  // (0.1, 0.1)
+  ASSERT_OK_AND_ASSIGN(
+      const theory::SampleBounds bounds,
+      theory::ComputeSampleBounds(ds.graph, ds.labels, {1, 2}, spec));
+  EXPECT_GT(bounds.ns_hh, 100.0);
+
+  eval::SweepConfig config;
+  const double k_fraction =
+      bounds.ns_hh / 100.0 / static_cast<double>(ds.graph.num_nodes());
+  config.sample_fractions = {std::min(k_fraction, 1.0)};
+  config.reps = 50;
+  config.seed = 10;
+  config.burn_in = 400;
+  config.algorithms = {AlgorithmId::kNeighborSampleHH};
+  ASSERT_OK_AND_ASSIGN(const eval::SweepResult result,
+                       eval::RunSweep(ds.graph, ds.labels, {1, 2}, config));
+  EXPECT_LT(result.cells[0][0].nrmse, 0.5);
+}
+
+TEST(IntegrationTest, PaperTableRendersEndToEnd) {
+  const MiniDataset ds = MiniGender(901);
+  eval::SweepConfig config;
+  config.sample_fractions = {0.02, 0.05};
+  config.reps = 20;
+  config.seed = 11;
+  config.burn_in = 200;
+  config.algorithms = estimators::AllAlgorithms();
+  ASSERT_OK_AND_ASSIGN(const eval::SweepResult result,
+                       eval::RunSweep(ds.graph, ds.labels, {1, 2}, config));
+  const std::string table = eval::RenderPaperTable(result, "mini table");
+  for (AlgorithmId id : estimators::AllAlgorithms()) {
+    EXPECT_NE(table.find(estimators::AlgorithmName(id)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace labelrw

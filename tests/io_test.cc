@@ -1,0 +1,84 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tests/test_util.h"
+
+namespace labelrw::graph {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  const Graph g = testing::RandomConnectedGraph(40, 80, 21);
+  const std::string path = TempPath("roundtrip.edges");
+  ASSERT_OK(SaveEdgeList(g, path));
+  ASSERT_OK_AND_ASSIGN(const Graph loaded, LoadEdgeList(path));
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  g.ForEachEdge([&](NodeId u, NodeId v) { EXPECT_TRUE(loaded.HasEdge(u, v)); });
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadHandlesCommentsAndDirections) {
+  const std::string path = TempPath("comments.edges");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n0 1\n1 0\n1 2\n2 2\n";
+  }
+  ASSERT_OK_AND_ASSIGN(const Graph g, LoadEdgeList(path));
+  EXPECT_EQ(g.num_edges(), 2);  // dedup + self-loop removal
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsMalformedLines) {
+  const std::string path = TempPath("bad.edges");
+  {
+    std::ofstream out(path);
+    out << "0 notanumber\n";
+  }
+  EXPECT_EQ(LoadEdgeList(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadMissingFile) {
+  EXPECT_EQ(LoadEdgeList("/no/such/file.edges").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LabelIoTest, RoundTrip) {
+  LabelStoreBuilder builder(4);
+  ASSERT_OK(builder.AddLabel(0, 1));
+  ASSERT_OK(builder.AddLabel(0, 2));
+  ASSERT_OK(builder.AddLabel(2, 5));
+  const LabelStore store = builder.Build();
+
+  const std::string path = TempPath("roundtrip.labels");
+  ASSERT_OK(SaveLabels(store, path));
+  ASSERT_OK_AND_ASSIGN(const LabelStore loaded, LoadLabels(path, 4));
+  EXPECT_EQ(loaded.num_nodes(), 4);
+  EXPECT_TRUE(loaded.HasLabel(0, 1));
+  EXPECT_TRUE(loaded.HasLabel(0, 2));
+  EXPECT_TRUE(loaded.labels(1).empty());
+  EXPECT_TRUE(loaded.HasLabel(2, 5));
+  EXPECT_TRUE(loaded.labels(3).empty());
+  std::remove(path.c_str());
+}
+
+TEST(LabelIoTest, RejectsOutOfRangeNode) {
+  const std::string path = TempPath("badnode.labels");
+  {
+    std::ofstream out(path);
+    out << "9 1\n";
+  }
+  EXPECT_EQ(LoadLabels(path, 4).status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace labelrw::graph

@@ -1,0 +1,99 @@
+#include "synth/labelers.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/oracle.h"
+#include "synth/generators.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace labelrw::synth {
+namespace {
+
+TEST(HomophilousGenderLabelsTest, RejectsBadArgs) {
+  const graph::Graph g = testing::RandomConnectedGraph(20, 30, 1);
+  EXPECT_FALSE(HomophilousGenderLabels(g, -0.1, 0.5, 1, 1).ok());
+  EXPECT_FALSE(HomophilousGenderLabels(g, 0.5, 1.5, 1, 1).ok());
+  EXPECT_FALSE(HomophilousGenderLabels(g, 0.5, 0.5, -1, 1).ok());
+}
+
+TEST(HomophilousGenderLabelsTest, ZeroStrengthMatchesIndependent) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, BarabasiAlbert(20000, 6, 2));
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       HomophilousGenderLabels(g, 0.3, 0.0, 3, 3));
+  const double f1 = static_cast<double>(labels.LabelFrequency(1)) /
+                    static_cast<double>(g.num_nodes());
+  EXPECT_NEAR(f1, 0.3, 0.01);
+  const double cross =
+      static_cast<double>(graph::CountTargetEdges(g, labels, {1, 2})) /
+      static_cast<double>(g.num_edges());
+  EXPECT_NEAR(cross, 0.42, 0.02);  // 2 p (1-p)
+}
+
+TEST(HomophilousGenderLabelsTest, PropagationReducesCrossEdges) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, BarabasiAlbert(20000, 6, 4));
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore independent,
+                       HomophilousGenderLabels(g, 0.5, 0.0, 0, 5));
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore homophilous,
+                       HomophilousGenderLabels(g, 0.5, 0.9, 4, 5));
+  const auto cross = [&](const graph::LabelStore& labels) {
+    return static_cast<double>(
+               graph::CountTargetEdges(g, labels, {1, 2})) /
+           static_cast<double>(g.num_edges());
+  };
+  EXPECT_LT(cross(homophilous), cross(independent));
+}
+
+TEST(HomophilousGenderLabelsTest, OnlyGenderLabelsProduced) {
+  const graph::Graph g = testing::RandomConnectedGraph(200, 400, 6);
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       HomophilousGenderLabels(g, 0.4, 0.5, 2, 7));
+  EXPECT_EQ(labels.LabelFrequency(1) + labels.LabelFrequency(2),
+            g.num_nodes());
+}
+
+TEST(ZipfLocationLabelsTest, SingleLocationDegenerates) {
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       ZipfLocationLabels(100, 1, 1.0, 9));
+  EXPECT_EQ(labels.LabelFrequency(0), 100);
+}
+
+TEST(ZipfLocationLabelsTest, ZeroExponentIsUniform) {
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       ZipfLocationLabels(100000, 10, 0.0, 10));
+  for (graph::Label l = 0; l < 10; ++l) {
+    EXPECT_NEAR(static_cast<double>(labels.LabelFrequency(l)), 10000.0,
+                500.0);
+  }
+}
+
+TEST(ZipfLocationLabelsTest, RejectsBadArgs) {
+  EXPECT_FALSE(ZipfLocationLabels(10, 0, 1.0, 1).ok());
+  EXPECT_FALSE(ZipfLocationLabels(10, 5, -1.0, 1).ok());
+}
+
+TEST(GenderLabelsTest, RejectsBadP) {
+  EXPECT_FALSE(GenderLabels(10, -0.5, 1).ok());
+  EXPECT_FALSE(GenderLabels(10, 1.5, 1).ok());
+}
+
+TEST(DegreeClassLabelsTest, RejectsBadCap) {
+  const graph::Graph g = testing::RandomConnectedGraph(10, 10, 1);
+  EXPECT_FALSE(DegreeClassLabels(g, 0).ok());
+}
+
+TEST(DegreeClassLabelsTest, CapBucketsHighDegrees) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, BarabasiAlbert(2000, 5, 11));
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       DegreeClassLabels(g, 8));
+  // Every node with degree >= 8 carries exactly the cap label.
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) >= 8) {
+      EXPECT_TRUE(labels.HasLabel(u, 8));
+      EXPECT_EQ(labels.labels(u).size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace labelrw::synth

@@ -1,0 +1,97 @@
+#include "graph/labels.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace labelrw::graph {
+namespace {
+
+TEST(LabelStoreTest, SingleLabelFactory) {
+  const LabelStore store = LabelStore::FromSingleLabels({5, 3, 5, 7});
+  EXPECT_EQ(store.num_nodes(), 4);
+  EXPECT_TRUE(store.HasLabel(0, 5));
+  EXPECT_FALSE(store.HasLabel(0, 3));
+  EXPECT_EQ(store.labels(1).size(), 1u);
+  EXPECT_EQ(store.labels(1)[0], 3);
+}
+
+TEST(LabelStoreTest, FrequencyIndex) {
+  const LabelStore store = LabelStore::FromSingleLabels({1, 2, 1, 1, 2, 9});
+  EXPECT_EQ(store.num_distinct_labels(), 3);
+  EXPECT_EQ(store.LabelFrequency(1), 3);
+  EXPECT_EQ(store.LabelFrequency(2), 2);
+  EXPECT_EQ(store.LabelFrequency(9), 1);
+  EXPECT_EQ(store.LabelFrequency(42), 0);
+  EXPECT_EQ(store.DistinctLabels(), (std::vector<Label>{1, 2, 9}));
+}
+
+TEST(LabelStoreBuilderTest, MultiLabelNodes) {
+  LabelStoreBuilder builder(3);
+  ASSERT_OK(builder.AddLabel(0, 10));
+  ASSERT_OK(builder.AddLabel(0, 20));
+  ASSERT_OK(builder.AddLabel(0, 10));  // duplicate collapses
+  ASSERT_OK(builder.AddLabel(2, 30));
+  const LabelStore store = builder.Build();
+  EXPECT_EQ(store.labels(0).size(), 2u);
+  EXPECT_TRUE(store.HasLabel(0, 10));
+  EXPECT_TRUE(store.HasLabel(0, 20));
+  EXPECT_TRUE(store.labels(1).empty());
+  EXPECT_TRUE(store.HasLabel(2, 30));
+}
+
+TEST(LabelStoreBuilderTest, RejectsBadInput) {
+  LabelStoreBuilder builder(2);
+  EXPECT_EQ(builder.AddLabel(5, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.AddLabel(-1, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.AddLabel(0, -3).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TargetLabelTest, MatchesBothOrientations) {
+  const LabelStore store = LabelStore::FromSingleLabels({1, 2});
+  const TargetLabel target{1, 2};
+  EXPECT_TRUE(target.Matches(store, 0, 1));
+  EXPECT_TRUE(target.Matches(store, 1, 0));
+  const TargetLabel reversed{2, 1};
+  EXPECT_TRUE(reversed.Matches(store, 0, 1));
+}
+
+TEST(TargetLabelTest, SameLabelPair) {
+  const LabelStore store = LabelStore::FromSingleLabels({7, 7, 8});
+  const TargetLabel target{7, 7};
+  EXPECT_TRUE(target.Matches(store, 0, 1));
+  EXPECT_FALSE(target.Matches(store, 0, 2));
+}
+
+TEST(TargetLabelTest, MultiLabelNodes) {
+  LabelStoreBuilder builder(2);
+  ASSERT_OK(builder.AddLabel(0, 1));
+  ASSERT_OK(builder.AddLabel(0, 2));  // node 0 carries both target labels
+  ASSERT_OK(builder.AddLabel(1, 2));
+  const LabelStore store = builder.Build();
+  const TargetLabel target{1, 2};
+  // 0 has {1,2}, 1 has {2}: 1 in L(0) and 2 in L(1) -> match.
+  EXPECT_TRUE(target.Matches(store, 0, 1));
+}
+
+TEST(TargetLabelTest, TouchesNode) {
+  const LabelStore store = LabelStore::FromSingleLabels({1, 2, 3});
+  const TargetLabel target{1, 2};
+  EXPECT_TRUE(target.TouchesNode(store, 0));
+  EXPECT_TRUE(target.TouchesNode(store, 1));
+  EXPECT_FALSE(target.TouchesNode(store, 2));
+}
+
+TEST(TargetLabelTest, UnorderedEquality) {
+  EXPECT_EQ((TargetLabel{1, 2}), (TargetLabel{2, 1}));
+  EXPECT_FALSE((TargetLabel{1, 2}) == (TargetLabel{1, 3}));
+}
+
+TEST(TargetLabelTest, NoMatchWhenLabelMissing) {
+  const LabelStore store = LabelStore::FromSingleLabels({1, 3});
+  const TargetLabel target{1, 2};
+  EXPECT_FALSE(target.Matches(store, 0, 1));
+}
+
+}  // namespace
+}  // namespace labelrw::graph

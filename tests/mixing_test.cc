@@ -1,0 +1,96 @@
+#include "rw/mixing.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace labelrw::rw {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+graph::Graph CompleteGraph(int n) {
+  graph::GraphBuilder builder;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  auto g = builder.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(ExactMixingTimeTest, CompleteGraphMixesAlmostInstantly) {
+  const graph::Graph g = CompleteGraph(20);
+  MixingOptions options;
+  options.epsilon = 1e-3;
+  ASSERT_OK_AND_ASSIGN(const MixingResult result, ExactMixingTime(g, options));
+  EXPECT_GE(result.mixing_time, 1);
+  EXPECT_LE(result.mixing_time, 5);
+}
+
+TEST(ExactMixingTimeTest, OddCycleMixesSlowly) {
+  // C_21: connected, non-bipartite, very slow mixing.
+  graph::GraphBuilder builder;
+  const int n = 21;
+  for (int u = 0; u < n; ++u) builder.AddEdge(u, (u + 1) % n);
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, builder.Build());
+  MixingOptions options;
+  options.epsilon = 1e-3;
+  options.max_steps = 20000;
+  ASSERT_OK_AND_ASSIGN(const MixingResult result, ExactMixingTime(g, options));
+  EXPECT_GT(result.mixing_time, 50);  // order n^2
+}
+
+TEST(ExactMixingTimeTest, BipartiteGraphNeverConverges) {
+  // Even cycle C_4 is bipartite: the chain is periodic.
+  const graph::Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  MixingOptions options;
+  options.max_steps = 500;
+  ASSERT_OK_AND_ASSIGN(const MixingResult result, ExactMixingTime(g, options));
+  EXPECT_EQ(result.mixing_time, -1);
+}
+
+TEST(ExactMixingTimeTest, LargerEpsilonMixesFaster) {
+  const graph::Graph g = testing::RandomConnectedGraph(40, 80, 4);
+  MixingOptions strict;
+  strict.epsilon = 1e-4;
+  MixingOptions loose;
+  loose.epsilon = 1e-1;
+  ASSERT_OK_AND_ASSIGN(const MixingResult a, ExactMixingTime(g, strict));
+  ASSERT_OK_AND_ASSIGN(const MixingResult b, ExactMixingTime(g, loose));
+  EXPECT_GE(a.mixing_time, b.mixing_time);
+}
+
+TEST(ExactMixingTimeTest, RejectsIsolatedNodes) {
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(3);
+  builder.AddEdge(0, 1);
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, builder.Build());
+  EXPECT_EQ(ExactMixingTime(g, MixingOptions{}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SpectralMixingBoundTest, BoundsTheExactTime) {
+  const graph::Graph g = testing::RandomConnectedGraph(50, 150, 8);
+  MixingOptions options;
+  options.epsilon = 1e-3;
+  ASSERT_OK_AND_ASSIGN(const MixingResult exact, ExactMixingTime(g, options));
+  ASSERT_OK_AND_ASSIGN(const SpectralBound bound,
+                       SpectralMixingBound(g, 1e-3));
+  ASSERT_GT(exact.mixing_time, 0);
+  // The lazy-chain spectral bound upper-bounds the true (lazy) mixing time;
+  // the non-lazy chain is at most ~2x faster, so allow slack.
+  EXPECT_GE(bound.t_mix_upper * 2 + 2, exact.mixing_time);
+  EXPECT_GT(bound.lambda, 0.0);
+  EXPECT_LT(bound.lambda, 1.0);
+}
+
+TEST(SpectralMixingBoundTest, CompleteGraphHasTinyRelaxation) {
+  const graph::Graph g = CompleteGraph(16);
+  ASSERT_OK_AND_ASSIGN(const SpectralBound bound,
+                       SpectralMixingBound(g, 1e-3));
+  EXPECT_LT(bound.relaxation, 3.0);
+}
+
+}  // namespace
+}  // namespace labelrw::rw

@@ -1,0 +1,146 @@
+#include "estimators/multi_target.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace labelrw::estimators {
+namespace {
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  osn::GraphPriors priors;
+  std::vector<graph::TargetLabel> targets;
+  std::vector<double> truths;
+
+  static Fixture Make(uint64_t seed) {
+    Fixture f;
+    f.graph = testing::RandomConnectedGraph(120, 500, seed);
+    f.labels = testing::RandomLabels(120, 4, seed + 1);
+    const auto stats = graph::ComputeDegreeStats(f.graph);
+    f.priors = {f.graph.num_nodes(), f.graph.num_edges(), stats.max_degree,
+                stats.max_line_degree};
+    f.targets = {{0, 1}, {1, 2}, {2, 3}, {0, 0}};
+    for (const auto& t : f.targets) {
+      f.truths.push_back(static_cast<double>(
+          graph::CountTargetEdges(f.graph, f.labels, t)));
+    }
+    return f;
+  }
+};
+
+TEST(MultiTargetTest, RejectsEmptyTargets) {
+  const Fixture f = Fixture::Make(1);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  EstimateOptions options;
+  options.sample_size = 10;
+  EXPECT_FALSE(MultiTargetNeighborSample(api, {}, f.priors, options).ok());
+  EXPECT_FALSE(
+      MultiTargetNeighborExploration(api, {}, f.priors, options).ok());
+}
+
+TEST(MultiTargetTest, ShapesMatchTargets) {
+  const Fixture f = Fixture::Make(2);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  EstimateOptions options;
+  options.sample_size = 100;
+  options.burn_in = 30;
+  options.seed = 3;
+  ASSERT_OK_AND_ASSIGN(
+      const MultiTargetResult r,
+      MultiTargetNeighborSample(api, f.targets, f.priors, options));
+  EXPECT_EQ(r.estimates.size(), f.targets.size());
+  EXPECT_EQ(r.std_errors.size(), f.targets.size());
+  EXPECT_EQ(r.iterations, 100);
+  EXPECT_GT(r.api_calls, 0);
+}
+
+TEST(MultiTargetTest, NsMeansApproachAllTruths) {
+  const Fixture f = Fixture::Make(3);
+  std::vector<RunningStats> stats(f.targets.size());
+  for (int rep = 0; rep < 200; ++rep) {
+    EstimateOptions options;
+    options.sample_size = 400;
+    options.burn_in = 50;
+    options.seed = DeriveSeed(51, 0, 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const MultiTargetResult r,
+        MultiTargetNeighborSample(api, f.targets, f.priors, options));
+    for (size_t p = 0; p < f.targets.size(); ++p) {
+      stats[p].Add(r.estimates[p]);
+    }
+  }
+  for (size_t p = 0; p < f.targets.size(); ++p) {
+    EXPECT_NEAR(stats[p].mean(), f.truths[p], 0.12 * f.truths[p] + 1.0)
+        << "pair " << p;
+  }
+}
+
+TEST(MultiTargetTest, NeMeansApproachAllTruths) {
+  const Fixture f = Fixture::Make(4);
+  std::vector<RunningStats> stats(f.targets.size());
+  for (int rep = 0; rep < 150; ++rep) {
+    EstimateOptions options;
+    options.sample_size = 300;
+    options.burn_in = 50;
+    options.seed = DeriveSeed(52, 0, 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const MultiTargetResult r,
+        MultiTargetNeighborExploration(api, f.targets, f.priors, options));
+    for (size_t p = 0; p < f.targets.size(); ++p) {
+      stats[p].Add(r.estimates[p]);
+    }
+  }
+  for (size_t p = 0; p < f.targets.size(); ++p) {
+    EXPECT_NEAR(stats[p].mean(), f.truths[p], 0.12 * f.truths[p] + 1.0)
+        << "pair " << p;
+  }
+}
+
+TEST(MultiTargetTest, SharedWalkIsCheaperThanSeparateWalks) {
+  const Fixture f = Fixture::Make(5);
+  EstimateOptions options;
+  options.sample_size = 300;
+  options.burn_in = 50;
+  options.seed = 6;
+
+  osn::LocalGraphApi shared_api(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(
+      const MultiTargetResult shared,
+      MultiTargetNeighborSample(shared_api, f.targets, f.priors, options));
+
+  int64_t separate_calls = 0;
+  for (size_t p = 0; p < f.targets.size(); ++p) {
+    osn::LocalGraphApi api(f.graph, f.labels);
+    options.seed = 6 + p;
+    ASSERT_OK_AND_ASSIGN(
+        const EstimateResult r,
+        Estimate(AlgorithmId::kNeighborSampleHH, api, f.targets[p], f.priors,
+                 options));
+    separate_calls += r.api_calls;
+  }
+  EXPECT_LT(shared.api_calls, separate_calls / 2);
+}
+
+TEST(MultiTargetTest, NeExploresUnionOfTriggers) {
+  // With pairs covering all four labels, every node triggers exploration.
+  const Fixture f = Fixture::Make(7);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  EstimateOptions options;
+  options.sample_size = 50;
+  options.burn_in = 20;
+  options.seed = 8;
+  ASSERT_OK_AND_ASSIGN(
+      const MultiTargetResult r,
+      MultiTargetNeighborExploration(api, f.targets, f.priors, options));
+  EXPECT_EQ(r.explored_nodes, 50);
+}
+
+}  // namespace
+}  // namespace labelrw::estimators

@@ -1,0 +1,111 @@
+#include "extensions/node_count.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace labelrw::extensions {
+namespace {
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  osn::GraphPriors priors;
+
+  static Fixture Make(uint64_t seed) {
+    Fixture f;
+    f.graph = testing::RandomConnectedGraph(100, 400, seed);
+    f.labels = testing::RandomLabels(100, 3, seed + 1);
+    const auto stats = graph::ComputeDegreeStats(f.graph);
+    f.priors = {f.graph.num_nodes(), f.graph.num_edges(), stats.max_degree,
+                stats.max_line_degree};
+    return f;
+  }
+};
+
+class NodeCountWalkTest : public ::testing::TestWithParam<rw::WalkKind> {};
+
+TEST_P(NodeCountWalkTest, MeanApproachesTruth) {
+  const rw::WalkKind kind = GetParam();
+  const Fixture f = Fixture::Make(21);
+  const graph::Label label = 1;
+  const double truth = static_cast<double>(f.labels.LabelFrequency(label));
+  ASSERT_GT(truth, 0);
+
+  RunningStats stats;
+  for (int rep = 0; rep < 150; ++rep) {
+    estimators::EstimateOptions options;
+    options.sample_size = 400;
+    options.burn_in = 60;
+    options.seed = DeriveSeed(61, static_cast<uint64_t>(kind), 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const NodeCountEstimate r,
+        EstimateLabeledNodeCount(api, label, f.priors, options, kind));
+    stats.Add(r.estimate);
+  }
+  EXPECT_NEAR(stats.mean(), truth, 0.1 * truth)
+      << rw::WalkKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, NodeCountWalkTest,
+    ::testing::Values(rw::WalkKind::kSimple,
+                      rw::WalkKind::kMetropolisHastings,
+                      rw::WalkKind::kMaxDegree, rw::WalkKind::kRcmh,
+                      rw::WalkKind::kGmd),
+    [](const ::testing::TestParamInfo<rw::WalkKind>& info) {
+      return rw::WalkKindName(info.param);
+    });
+
+TEST(NodeCountTest, ZeroForAbsentLabel) {
+  const Fixture f = Fixture::Make(22);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  estimators::EstimateOptions options;
+  options.sample_size = 200;
+  options.seed = 1;
+  ASSERT_OK_AND_ASSIGN(const NodeCountEstimate r,
+                       EstimateLabeledNodeCount(api, 99, f.priors, options));
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(NodeCountTest, FullCountForUniversalLabel) {
+  const Fixture base = Fixture::Make(23);
+  const graph::LabelStore labels = graph::LabelStore::FromSingleLabels(
+      std::vector<graph::Label>(base.graph.num_nodes(), 5));
+  osn::LocalGraphApi api(base.graph, labels);
+  estimators::EstimateOptions options;
+  options.sample_size = 100;
+  options.seed = 2;
+  ASSERT_OK_AND_ASSIGN(const NodeCountEstimate r,
+                       EstimateLabeledNodeCount(api, 5, base.priors, options));
+  EXPECT_DOUBLE_EQ(r.estimate, static_cast<double>(base.priors.num_nodes));
+}
+
+TEST(NodeCountTest, BudgetMode) {
+  const Fixture f = Fixture::Make(24);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  estimators::EstimateOptions options;
+  options.api_budget = 80;
+  options.burn_in = 20;
+  options.seed = 3;
+  ASSERT_OK_AND_ASSIGN(const NodeCountEstimate r,
+                       EstimateLabeledNodeCount(api, 1, f.priors, options));
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_LE(r.api_calls, 20 + 80 + 4);
+}
+
+TEST(NodeCountTest, RejectsBadPriors) {
+  const Fixture f = Fixture::Make(25);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  estimators::EstimateOptions options;
+  options.sample_size = 10;
+  osn::GraphPriors bad;
+  EXPECT_FALSE(EstimateLabeledNodeCount(api, 1, bad, options).ok());
+}
+
+}  // namespace
+}  // namespace labelrw::extensions

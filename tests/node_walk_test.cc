@@ -1,0 +1,199 @@
+#include "rw/node_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "rw/walk.h"
+#include "tests/test_util.h"
+
+namespace labelrw::rw {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+// A small non-bipartite connected graph (path + chords + triangle) so that
+// every chain is ergodic.
+graph::Graph TestGraph() {
+  return MakeGraph(8, {{0, 1},
+                       {1, 2},
+                       {2, 3},
+                       {3, 4},
+                       {4, 5},
+                       {5, 6},
+                       {6, 7},
+                       {0, 2},   // triangle 0-1-2
+                       {2, 5},
+                       {1, 6},
+                       {3, 7}});
+}
+
+TEST(NodeWalkTest, StepBeforeResetFails) {
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  NodeWalk walk(&api, WalkParams{});
+  Rng rng(1);
+  EXPECT_EQ(walk.Step(rng).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NodeWalkTest, SimpleWalkStaysOnNeighbors) {
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  NodeWalk walk(&api, WalkParams{});
+  ASSERT_OK(walk.Reset(0));
+  Rng rng(7);
+  graph::NodeId prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId next, walk.Step(rng));
+    EXPECT_TRUE(g.HasEdge(prev, next));
+    prev = next;
+  }
+}
+
+TEST(NodeWalkTest, NonBacktrackingNeverBacktracksAboveDegreeOne) {
+  const graph::Graph g = TestGraph();  // min degree 2
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  WalkParams params;
+  params.kind = WalkKind::kNonBacktracking;
+  NodeWalk walk(&api, params);
+  ASSERT_OK(walk.Reset(0));
+  Rng rng(3);
+  graph::NodeId two_back = -1;
+  graph::NodeId one_back = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId cur, walk.Step(rng));
+    if (two_back >= 0) EXPECT_NE(cur, two_back);
+    two_back = one_back;
+    one_back = cur;
+  }
+}
+
+TEST(NodeWalkTest, NonBacktrackingBacktracksAtDeadEnd) {
+  // Path graph: degree-1 endpoints force backtracking.
+  const graph::Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const graph::LabelStore labels = testing::RandomLabels(3, 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  WalkParams params;
+  params.kind = WalkKind::kNonBacktracking;
+  NodeWalk walk(&api, params);
+  ASSERT_OK(walk.Reset(0));
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(walk.Step(rng).ok());
+  }
+}
+
+TEST(NodeWalkTest, MaxDegreeRequiresPrior) {
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  WalkParams params;
+  params.kind = WalkKind::kMaxDegree;  // max_degree_prior left at 0
+  NodeWalk walk(&api, params);
+  EXPECT_EQ(walk.Reset(0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NodeWalkTest, ValidateRejectsBadParams) {
+  WalkParams rcmh;
+  rcmh.kind = WalkKind::kRcmh;
+  rcmh.rcmh_alpha = 1.5;
+  EXPECT_FALSE(rcmh.Validate().ok());
+  WalkParams gmd;
+  gmd.kind = WalkKind::kGmd;
+  gmd.gmd_delta = 0.0;
+  gmd.max_degree_prior = 10;
+  EXPECT_FALSE(gmd.Validate().ok());
+}
+
+TEST(NodeWalkTest, IsolatedNodeFails) {
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(3);
+  builder.AddEdge(0, 1);
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, builder.Build());
+  const graph::LabelStore labels = testing::RandomLabels(3, 2, 1);
+  osn::LocalGraphApi api(g, labels);
+  NodeWalk walk(&api, WalkParams{});
+  ASSERT_OK(walk.Reset(2));  // isolated
+  Rng rng(1);
+  EXPECT_EQ(walk.Step(rng).status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Stationary-distribution property tests: the empirical visit frequencies of
+// a long walk must match the theoretical stationary weights of each kind.
+
+class StationaryTest : public ::testing::TestWithParam<WalkKind> {};
+
+TEST_P(StationaryTest, EmpiricalMatchesTheoretical) {
+  const WalkKind kind = GetParam();
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  osn::LocalGraphApi api(g, labels);
+
+  WalkParams params;
+  params.kind = kind;
+  params.rcmh_alpha = 0.3;
+  params.gmd_delta = 0.5;
+  params.max_degree_prior = g.max_degree();
+
+  NodeWalk walk(&api, params);
+  ASSERT_OK(walk.Reset(0));
+  Rng rng(12345);
+  ASSERT_OK(walk.Advance(200, rng));  // burn-in
+
+  constexpr int64_t kSteps = 400000;
+  std::vector<int64_t> visits(g.num_nodes(), 0);
+  for (int64_t i = 0; i < kSteps; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId u, walk.Step(rng));
+    ++visits[u];
+  }
+
+  double weight_total = 0.0;
+  std::vector<double> expected(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    expected[u] =
+        StationaryWeight(params, static_cast<double>(g.degree(u)));
+    weight_total += expected[u];
+  }
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double expected_freq = expected[u] / weight_total;
+    const double actual_freq =
+        static_cast<double>(visits[u]) / static_cast<double>(kSteps);
+    EXPECT_NEAR(actual_freq, expected_freq, 0.012)
+        << "node " << u << " kind " << WalkKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, StationaryTest,
+    ::testing::Values(WalkKind::kSimple, WalkKind::kMetropolisHastings,
+                      WalkKind::kMaxDegree, WalkKind::kRcmh, WalkKind::kGmd,
+                      WalkKind::kNonBacktracking),
+    [](const ::testing::TestParamInfo<WalkKind>& info) {
+      return WalkKindName(info.param);
+    });
+
+TEST(StationaryWeightTest, ClosedForms) {
+  WalkParams p;
+  p.kind = WalkKind::kSimple;
+  EXPECT_DOUBLE_EQ(StationaryWeight(p, 5.0), 5.0);
+  p.kind = WalkKind::kMetropolisHastings;
+  EXPECT_DOUBLE_EQ(StationaryWeight(p, 5.0), 1.0);
+  p.kind = WalkKind::kRcmh;
+  p.rcmh_alpha = 0.5;
+  EXPECT_NEAR(StationaryWeight(p, 4.0), 2.0, 1e-12);  // 4^{0.5}
+  p.kind = WalkKind::kGmd;
+  p.gmd_delta = 0.5;
+  p.max_degree_prior = 10;  // C = 5
+  EXPECT_DOUBLE_EQ(StationaryWeight(p, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(StationaryWeight(p, 8.0), 8.0);
+}
+
+}  // namespace
+}  // namespace labelrw::rw

@@ -1,0 +1,101 @@
+#include "graph/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tests/test_util.h"
+
+namespace labelrw::graph {
+namespace {
+
+using ::labelrw::testing::BruteForceTargetEdges;
+using ::labelrw::testing::MakeGraph;
+using ::labelrw::testing::RandomConnectedGraph;
+using ::labelrw::testing::RandomLabels;
+
+TEST(CountTargetEdgesTest, HandComputedTriangle) {
+  // Triangle with labels 1,2,2: edges (0,1) and (0,2) match (1,2); (1,2)
+  // matches (2,2).
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  const LabelStore labels = LabelStore::FromSingleLabels({1, 2, 2});
+  EXPECT_EQ(CountTargetEdges(g, labels, {1, 2}), 2);
+  EXPECT_EQ(CountTargetEdges(g, labels, {2, 2}), 1);
+  EXPECT_EQ(CountTargetEdges(g, labels, {1, 1}), 0);
+  EXPECT_EQ(CountTargetEdges(g, labels, {3, 1}), 0);
+}
+
+TEST(ComputeIncidentTargetCountsTest, HandComputed) {
+  // Path 0-1-2 with labels 1,2,1: both edges are (1,2) targets.
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const LabelStore labels = LabelStore::FromSingleLabels({1, 2, 1});
+  const auto t = ComputeIncidentTargetCounts(g, labels, {1, 2});
+  EXPECT_EQ(t[0], 1);
+  EXPECT_EQ(t[1], 2);
+  EXPECT_EQ(t[2], 1);
+}
+
+// Property: oracle equals brute force and sum T(u) == 2F on random inputs.
+class OraclePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OraclePropertyTest, MatchesBruteForceAndHandshake) {
+  const uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(60, 150, seed);
+  const LabelStore labels = RandomLabels(60, 4, seed + 1);
+  for (Label t1 = 0; t1 < 4; ++t1) {
+    for (Label t2 = t1; t2 < 4; ++t2) {
+      const TargetLabel target{t1, t2};
+      const int64_t f = CountTargetEdges(g, labels, target);
+      EXPECT_EQ(f, BruteForceTargetEdges(g, labels, target));
+      const auto t = ComputeIncidentTargetCounts(g, labels, target);
+      const int64_t sum = std::accumulate(t.begin(), t.end(), int64_t{0});
+      EXPECT_EQ(sum, 2 * f) << "pair (" << t1 << "," << t2 << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OraclePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(CountAllLabelPairsTest, CoversEveryEdgeOnce) {
+  const Graph g = RandomConnectedGraph(50, 100, 9);
+  const LabelStore labels = RandomLabels(50, 3, 10);
+  const auto pairs = CountAllLabelPairs(g, labels);
+  // Single-label nodes: every edge contributes to exactly one pair.
+  int64_t total = 0;
+  for (const auto& p : pairs) total += p.count;
+  EXPECT_EQ(total, g.num_edges());
+  // Ascending order by count (the paper's selection protocol needs this).
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(pairs[i - 1].count, pairs[i].count);
+  }
+  // Each reported count matches the oracle.
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.count, CountTargetEdges(g, labels, p.target));
+  }
+}
+
+TEST(CountAllLabelPairsTest, MultiLabelNodesCountPerPair) {
+  // Edge (0,1); node 0 has {1,2}, node 1 has {3}. Pairs: (1,3) and (2,3).
+  const Graph g = MakeGraph(2, {{0, 1}});
+  LabelStoreBuilder builder(2);
+  ASSERT_OK(builder.AddLabel(0, 1));
+  ASSERT_OK(builder.AddLabel(0, 2));
+  ASSERT_OK(builder.AddLabel(1, 3));
+  const LabelStore labels = builder.Build();
+  const auto pairs = CountAllLabelPairs(g, labels);
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(DegreeStatsTest, HandComputed) {
+  // Star on 4 nodes: center degree 3, leaves 1.
+  const Graph g = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max_degree, 3);
+  // Line degree of any star edge: 3 + 1 - 2 = 2.
+  EXPECT_EQ(stats.max_line_degree, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 1.5);
+}
+
+}  // namespace
+}  // namespace labelrw::graph

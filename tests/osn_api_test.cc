@@ -1,0 +1,125 @@
+#include "osn/local_api.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace labelrw::osn {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+class LocalApiTest : public ::testing::Test {
+ protected:
+  LocalApiTest()
+      : graph_(MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}})),
+        labels_(graph::LabelStore::FromSingleLabels({1, 2, 1, 2})) {}
+
+  graph::Graph graph_;
+  graph::LabelStore labels_;
+};
+
+TEST_F(LocalApiTest, ServesNeighborsAndCountsCalls) {
+  LocalGraphApi api(graph_, labels_);
+  EXPECT_EQ(api.api_calls(), 0);
+  ASSERT_OK_AND_ASSIGN(auto nbrs, api.GetNeighbors(0));
+  EXPECT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(api.api_calls(), 1);
+}
+
+TEST_F(LocalApiTest, CachingMakesRepeatsFree) {
+  LocalGraphApi api(graph_, labels_);
+  ASSERT_TRUE(api.GetNeighbors(1).ok());
+  ASSERT_TRUE(api.GetNeighbors(1).ok());
+  ASSERT_TRUE(api.GetDegree(1).ok());  // same fetch, cached
+  EXPECT_EQ(api.api_calls(), 1);
+  EXPECT_EQ(api.distinct_users_fetched(), 1);
+}
+
+TEST_F(LocalApiTest, CachingCanBeDisabled) {
+  CostModel model;
+  model.cache_fetches = false;
+  LocalGraphApi api(graph_, labels_, model);
+  ASSERT_TRUE(api.GetNeighbors(1).ok());
+  ASSERT_TRUE(api.GetNeighbors(1).ok());
+  EXPECT_EQ(api.api_calls(), 2);
+}
+
+TEST_F(LocalApiTest, PageFetchCoversLabelsAndNeighbors) {
+  // One page fetch exposes both the friend list and the profile labels:
+  // GetLabels after GetNeighbors on the same user is free, and vice versa.
+  LocalGraphApi api(graph_, labels_);
+  ASSERT_OK_AND_ASSIGN(auto labels, api.GetLabels(2));
+  EXPECT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(api.api_calls(), 1);  // first touch charges
+  ASSERT_TRUE(api.GetNeighbors(2).ok());
+  ASSERT_TRUE(api.GetDegree(2).ok());
+  EXPECT_EQ(api.api_calls(), 1);  // same page, cached
+}
+
+TEST_F(LocalApiTest, PageCostIsConfigurable) {
+  CostModel model;
+  model.page_cost = 3;
+  LocalGraphApi api(graph_, labels_, model);
+  ASSERT_TRUE(api.GetLabels(2).ok());
+  ASSERT_TRUE(api.GetLabels(2).ok());  // cached
+  EXPECT_EQ(api.api_calls(), 3);
+}
+
+TEST_F(LocalApiTest, BudgetEnforced) {
+  LocalGraphApi api(graph_, labels_, CostModel(), /*budget=*/2);
+  ASSERT_TRUE(api.GetNeighbors(0).ok());
+  ASSERT_TRUE(api.GetNeighbors(1).ok());
+  EXPECT_EQ(api.remaining_budget(), 0);
+  auto denied = api.GetNeighbors(2);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kResourceExhausted);
+  // Cached fetches still work at zero budget.
+  EXPECT_TRUE(api.GetNeighbors(0).ok());
+}
+
+TEST_F(LocalApiTest, UnlimitedBudgetByDefault) {
+  LocalGraphApi api(graph_, labels_);
+  EXPECT_EQ(api.remaining_budget(), -1);
+}
+
+TEST_F(LocalApiTest, UnknownUserIsNotFound) {
+  LocalGraphApi api(graph_, labels_);
+  EXPECT_EQ(api.GetNeighbors(99).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(api.GetDegree(-1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(api.GetLabels(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LocalApiTest, RandomNodeInRange) {
+  LocalGraphApi api(graph_, labels_);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId u, api.RandomNode(rng));
+    EXPECT_GE(u, 0);
+    EXPECT_LT(u, graph_.num_nodes());
+  }
+  EXPECT_EQ(api.api_calls(), 0);  // seeds are free
+}
+
+TEST_F(LocalApiTest, ResetCallCountKeepsCache) {
+  LocalGraphApi api(graph_, labels_);
+  ASSERT_TRUE(api.GetNeighbors(0).ok());
+  api.ResetCallCount();
+  EXPECT_EQ(api.api_calls(), 0);
+  ASSERT_TRUE(api.GetNeighbors(0).ok());  // still cached
+  EXPECT_EQ(api.api_calls(), 0);
+}
+
+TEST_F(LocalApiTest, PriorsMatchGraph) {
+  LocalGraphApi api(graph_, labels_);
+  const GraphPriors priors = api.Priors();
+  EXPECT_EQ(priors.num_nodes, 4);
+  EXPECT_EQ(priors.num_edges, 5);
+  EXPECT_EQ(priors.max_degree, 3);
+  // max line degree: edge (0,2) has d(0)+d(2)-2 = 3+3-2 = 4.
+  EXPECT_EQ(priors.max_line_degree, 4);
+}
+
+}  // namespace
+}  // namespace labelrw::osn

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "graph/connected.h"
+#include "graph/oracle.h"
+#include "synth/datasets.h"
+#include "synth/generators.h"
+#include "synth/labelers.h"
+#include "tests/test_util.h"
+
+namespace labelrw::synth {
+namespace {
+
+TEST(BarabasiAlbertTest, SizesAndConnectivity) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, BarabasiAlbert(500, 5, 42));
+  EXPECT_EQ(g.num_nodes(), 500);
+  // attach edges per node beyond the seed path, minus collapsed duplicates.
+  EXPECT_GT(g.num_edges(), 5 * 480);
+  EXPECT_LE(g.num_edges(), 5 + 5 * 494 + 10);
+  const auto info = graph::FindComponents(g);
+  EXPECT_EQ(info.sizes.size(), 1u);  // connected
+}
+
+TEST(BarabasiAlbertTest, HeavyTail) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, BarabasiAlbert(2000, 4, 7));
+  // Preferential attachment: the max degree is far above the mean.
+  const double mean = 2.0 * g.num_edges() / g.num_nodes();
+  EXPECT_GT(static_cast<double>(g.max_degree()), 5.0 * mean);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArgs) {
+  EXPECT_FALSE(BarabasiAlbert(5, 5, 1).ok());
+  EXPECT_FALSE(BarabasiAlbert(10, 0, 1).ok());
+}
+
+TEST(PowerlawClusterTest, SizesConnectivityAndSkew) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, PowerlawCluster(2000, 8, 0.7, 3));
+  EXPECT_EQ(g.num_nodes(), 2000);
+  EXPECT_GT(g.num_edges(), 8 * 1900);
+  const auto info = graph::FindComponents(g);
+  EXPECT_EQ(info.sizes.size(), 1u);  // connected
+  const double mean = 2.0 * g.num_edges() / g.num_nodes();
+  EXPECT_GT(static_cast<double>(g.max_degree()), 4.0 * mean);  // heavy tail
+}
+
+TEST(PowerlawClusterTest, ClosesTriangles) {
+  // Strong triadic closure should produce far more triangles than plain BA.
+  ASSERT_OK_AND_ASSIGN(const graph::Graph pc,
+                       PowerlawCluster(1500, 6, 0.9, 5));
+  ASSERT_OK_AND_ASSIGN(const graph::Graph ba, BarabasiAlbert(1500, 6, 5));
+  auto count_triangles = [](const graph::Graph& g) {
+    int64_t count = 0;
+    g.ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+      const auto nu = g.neighbors(u);
+      const auto nv = g.neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          count += nu[i] > v;  // count each triangle once
+          ++i;
+          ++j;
+        }
+      }
+    });
+    return count;
+  };
+  EXPECT_GT(count_triangles(pc), 3 * count_triangles(ba));
+}
+
+TEST(PowerlawClusterTest, RejectsBadArgs) {
+  EXPECT_FALSE(PowerlawCluster(5, 5, 0.5, 1).ok());
+  EXPECT_FALSE(PowerlawCluster(100, 5, 1.5, 1).ok());
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, ErdosRenyi(300, 1000, 5));
+  EXPECT_EQ(g.num_nodes(), 300);
+  EXPECT_EQ(g.num_edges(), 1000);
+}
+
+TEST(ErdosRenyiTest, RejectsBadArgs) {
+  EXPECT_FALSE(ErdosRenyi(1, 0, 1).ok());
+  EXPECT_FALSE(ErdosRenyi(10, -1, 1).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 44, 1).ok());  // > 0.4 * C(10,2)=18
+}
+
+TEST(WattsStrogatzTest, DegreesNearLatticeValue) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, WattsStrogatz(1000, 10, 0.1, 3));
+  EXPECT_EQ(g.num_nodes(), 1000);
+  const double mean = 2.0 * g.num_edges() / g.num_nodes();
+  EXPECT_NEAR(mean, 10.0, 0.5);  // a few rewires collapse
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, WattsStrogatz(50, 4, 0.0, 3));
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.degree(u), 4);
+  }
+}
+
+TEST(WattsStrogatzTest, RejectsBadArgs) {
+  EXPECT_FALSE(WattsStrogatz(10, 3, 0.1, 1).ok());   // odd k
+  EXPECT_FALSE(WattsStrogatz(4, 4, 0.1, 1).ok());    // n <= k
+  EXPECT_FALSE(WattsStrogatz(10, 4, 1.5, 1).ok());   // beta
+}
+
+TEST(GenderLabelsTest, FrequencyMatchesP) {
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       GenderLabels(50000, 0.3, 11));
+  const double f1 = static_cast<double>(labels.LabelFrequency(1)) / 50000.0;
+  EXPECT_NEAR(f1, 0.3, 0.01);
+  EXPECT_EQ(labels.LabelFrequency(1) + labels.LabelFrequency(2), 50000);
+}
+
+TEST(GenderLabelsTest, CrossEdgeFractionIsTwoPQ) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, BarabasiAlbert(20000, 10, 13));
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       GenderLabels(g.num_nodes(), 0.3, 14));
+  const int64_t f = graph::CountTargetEdges(g, labels, {1, 2});
+  const double fraction = static_cast<double>(f) / g.num_edges();
+  EXPECT_NEAR(fraction, 2 * 0.3 * 0.7, 0.02);  // = 0.42
+}
+
+TEST(ZipfLocationLabelsTest, SkewedFrequencies) {
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       ZipfLocationLabels(100000, 50, 1.2, 17));
+  // Rank 0 much more frequent than rank 20.
+  EXPECT_GT(labels.LabelFrequency(0), 5 * labels.LabelFrequency(20));
+  EXPECT_GT(labels.LabelFrequency(20), 0);
+}
+
+TEST(DegreeClassLabelsTest, LabelsAreCappedDegrees) {
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, BarabasiAlbert(500, 3, 19));
+  ASSERT_OK_AND_ASSIGN(const graph::LabelStore labels,
+                       DegreeClassLabels(g, 10));
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const graph::Label expected = static_cast<graph::Label>(
+        std::min<int64_t>(g.degree(u), 10));
+    EXPECT_TRUE(labels.HasLabel(u, expected));
+  }
+}
+
+TEST(PickQuartileTargetsTest, PicksOnePerPart) {
+  std::vector<graph::LabelPairCount> pairs;
+  for (int i = 1; i <= 40; ++i) {
+    graph::LabelPairCount p;
+    p.target = {i, i + 100};
+    p.count = i * 10;
+    pairs.push_back(p);
+  }
+  ASSERT_OK_AND_ASSIGN(const auto picked,
+                       PickQuartileTargets(pairs, /*min_count=*/50, 4, 0.5));
+  ASSERT_EQ(picked.size(), 4u);
+  // Ascending count order preserved, all above min_count.
+  for (size_t i = 0; i < picked.size(); ++i) {
+    EXPECT_GE(picked[i].count, 50);
+    if (i > 0) EXPECT_GT(picked[i].count, picked[i - 1].count);
+  }
+}
+
+TEST(PickQuartileTargetsTest, FailsWhenTooFewEligible) {
+  std::vector<graph::LabelPairCount> pairs(2);
+  pairs[0].count = 100;
+  pairs[1].count = 200;
+  EXPECT_FALSE(PickQuartileTargets(pairs, 50, 4).ok());
+}
+
+TEST(DatasetTest, FacebookLikeMatchesPaperRegime) {
+  ASSERT_OK_AND_ASSIGN(const Dataset ds, FacebookLike());
+  EXPECT_EQ(ds.name, "facebook_like");
+  EXPECT_NEAR(static_cast<double>(ds.graph.num_nodes()), 4000, 50);
+  EXPECT_GT(ds.graph.num_edges(), 80000);
+  ASSERT_EQ(ds.targets.size(), 1u);
+  const double fraction =
+      static_cast<double>(ds.targets[0].count) / ds.graph.num_edges();
+  EXPECT_NEAR(fraction, 0.42, 0.03);  // paper: 42.4%
+  EXPECT_GT(ds.burn_in, 0);
+}
+
+TEST(DatasetTest, PokecLikeHasFourTargetsAscending) {
+  ASSERT_OK_AND_ASSIGN(const Dataset ds, PokecLike());
+  ASSERT_EQ(ds.targets.size(), 4u);
+  for (size_t i = 1; i < ds.targets.size(); ++i) {
+    EXPECT_GE(ds.targets[i].count, ds.targets[i - 1].count);
+  }
+  // Counts are genuine.
+  for (const auto& t : ds.targets) {
+    EXPECT_EQ(t.count,
+              graph::CountTargetEdges(ds.graph, ds.labels, t.target));
+  }
+}
+
+}  // namespace
+}  // namespace labelrw::synth

@@ -1,0 +1,98 @@
+// Shared helpers for the labelrw test suite.
+
+#ifndef LABELRW_TESTS_TEST_UTIL_H_
+#define LABELRW_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::testing {
+
+/// Unwraps a Result<T> inside a test, failing loudly on error.
+#define ASSERT_OK_AND_ASSIGN(decl, expr)                        \
+  auto LABELRW_CONCAT(result_, __LINE__) = (expr);              \
+  ASSERT_TRUE(LABELRW_CONCAT(result_, __LINE__).ok())           \
+      << LABELRW_CONCAT(result_, __LINE__).status().ToString(); \
+  decl = std::move(LABELRW_CONCAT(result_, __LINE__)).value()
+
+#define EXPECT_OK(expr)                                  \
+  do {                                                   \
+    const ::labelrw::Status s_ = (expr);                 \
+    EXPECT_TRUE(s_.ok()) << s_.ToString();               \
+  } while (false)
+
+#define ASSERT_OK(expr)                                  \
+  do {                                                   \
+    const ::labelrw::Status s_ = (expr);                 \
+    ASSERT_TRUE(s_.ok()) << s_.ToString();               \
+  } while (false)
+
+/// Builds a graph from an explicit edge list (convenience for fixtures).
+inline graph::Graph MakeGraph(int64_t num_nodes,
+                              const std::vector<std::pair<int, int>>& edges) {
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(num_nodes);
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(u, v);
+  }
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// A connected random graph: ER edges + a spanning path to guarantee
+/// connectivity. Deterministic in `seed`.
+inline graph::Graph RandomConnectedGraph(int64_t n, int64_t extra_edges,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (graph::NodeId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  for (int64_t i = 0; i < extra_edges; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.UniformInt(n));
+    const auto v = static_cast<graph::NodeId>(rng.UniformInt(n));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Random single-label assignment over `alphabet` labels, deterministic.
+inline graph::LabelStore RandomLabels(int64_t num_nodes, int alphabet,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<graph::Label> labels(num_nodes);
+  for (auto& l : labels) {
+    l = static_cast<graph::Label>(rng.UniformInt(alphabet));
+  }
+  return graph::LabelStore::FromSingleLabels(labels);
+}
+
+/// Brute-force target edge count straight from the definition.
+inline int64_t BruteForceTargetEdges(const graph::Graph& g,
+                                     const graph::LabelStore& labels,
+                                     const graph::TargetLabel& target) {
+  int64_t count = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (v <= u) continue;
+      const bool m1 = labels.HasLabel(u, target.t1) &&
+                      labels.HasLabel(v, target.t2);
+      const bool m2 = labels.HasLabel(u, target.t2) &&
+                      labels.HasLabel(v, target.t1);
+      if (m1 || m2) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace labelrw::testing
+
+#endif  // LABELRW_TESTS_TEST_UTIL_H_

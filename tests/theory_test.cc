@@ -1,0 +1,112 @@
+#include "theory/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/oracle.h"
+#include "tests/test_util.h"
+
+namespace labelrw::theory {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+TEST(ApproximationSpecTest, Validation) {
+  ApproximationSpec spec;
+  EXPECT_OK(spec.Validate());
+  spec.epsilon = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.epsilon = 0.1;
+  spec.delta = 1.0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(ComputeSampleBoundsTest, NsHhClosedForm) {
+  // Triangle, labels 1,2,2 -> F = 2 of m = 3 edges.
+  const graph::Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  const graph::LabelStore labels = graph::LabelStore::FromSingleLabels({1, 2, 2});
+  ApproximationSpec spec;  // eps = delta = 0.1
+  ASSERT_OK_AND_ASSIGN(const SampleBounds bounds,
+                       ComputeSampleBounds(g, labels, {1, 2}, spec));
+  // (m/F - 1)/(eps^2 delta) = (1.5 - 1)/(0.01*0.1) = 500.
+  EXPECT_NEAR(bounds.ns_hh, 500.0, 1e-6);
+}
+
+TEST(ComputeSampleBoundsTest, NeHhHandComputed) {
+  const graph::Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  const graph::LabelStore labels = graph::LabelStore::FromSingleLabels({1, 2, 2});
+  // T = [2, 1, 1] wait: edges (0,1) and (0,2) are targets; (1,2) is (2,2).
+  // T(0)=2, T(1)=1, T(2)=1, F=2, m=3, all degrees 2.
+  // sum 2m T^2/d = 2*3*(4+1+1)/2 = 18. (18 - 4F^2=16) = 2.
+  // denominator 4 eps^2 F^2 delta = 4*0.01*4*0.1 = 0.016 -> 125.
+  ApproximationSpec spec;
+  ASSERT_OK_AND_ASSIGN(const SampleBounds bounds,
+                       ComputeSampleBounds(g, labels, {1, 2}, spec));
+  EXPECT_NEAR(bounds.ne_hh, 125.0, 1e-6);
+}
+
+TEST(ComputeSampleBoundsTest, BoundsShrinkWithLooserGuarantee) {
+  const graph::Graph g = testing::RandomConnectedGraph(40, 100, 71);
+  const graph::LabelStore labels = testing::RandomLabels(40, 2, 72);
+  ApproximationSpec strict{0.05, 0.05};
+  ApproximationSpec loose{0.2, 0.2};
+  ASSERT_OK_AND_ASSIGN(const SampleBounds a,
+                       ComputeSampleBounds(g, labels, {0, 1}, strict));
+  ASSERT_OK_AND_ASSIGN(const SampleBounds b,
+                       ComputeSampleBounds(g, labels, {0, 1}, loose));
+  EXPECT_GE(a.ns_hh, b.ns_hh);
+  EXPECT_GE(a.ns_ht, b.ns_ht);
+  EXPECT_GE(a.ne_hh, b.ne_hh);
+  EXPECT_GE(a.ne_ht, b.ne_ht);
+  EXPECT_GE(a.ne_rw, b.ne_rw);
+}
+
+TEST(ComputeSampleBoundsTest, RarerTargetsNeedMoreNsSamples) {
+  const graph::Graph g = testing::RandomConnectedGraph(60, 200, 73);
+  // Labels 0..9 uniform: pair (0,1) much rarer than... compare against a
+  // 2-letter alphabet where (0,1) is abundant.
+  const graph::LabelStore rare = testing::RandomLabels(60, 10, 74);
+  const graph::LabelStore common = testing::RandomLabels(60, 2, 75);
+  ApproximationSpec spec;
+  ASSERT_OK_AND_ASSIGN(const SampleBounds rare_bounds,
+                       ComputeSampleBounds(g, rare, {0, 1}, spec));
+  ASSERT_OK_AND_ASSIGN(const SampleBounds common_bounds,
+                       ComputeSampleBounds(g, common, {0, 1}, spec));
+  EXPECT_GT(rare_bounds.ns_hh, common_bounds.ns_hh);
+}
+
+TEST(ComputeSampleBoundsTest, FZeroIsAnError) {
+  const graph::Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const graph::LabelStore labels = graph::LabelStore::FromSingleLabels({1, 1, 1});
+  ApproximationSpec spec;
+  EXPECT_EQ(ComputeSampleBounds(g, labels, {5, 6}, spec).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ComputeSampleBoundsTest, MismatchedLabelsRejected) {
+  const graph::Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  const graph::LabelStore labels = graph::LabelStore::FromSingleLabels({1, 2});
+  ApproximationSpec spec;
+  EXPECT_EQ(ComputeSampleBounds(g, labels, {1, 2}, spec).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ComputeSampleBoundsTest, NeHhBelowNsHhWhenExplorationHelps) {
+  // The paper's Tables 18-22 show NE-HH bounds well below NS-HH bounds for
+  // rare labels. Construct a rare label on a random graph and verify.
+  const graph::Graph g = testing::RandomConnectedGraph(80, 400, 76);
+  std::vector<graph::Label> raw(g.num_nodes(), 0);
+  raw[3] = 1;
+  raw[40] = 2;  // at most a handful of (1,2) edges... ensure at least one:
+  // connect via a guaranteed path edge: relabel endpoints of edge (3,4).
+  raw[4] = 2;
+  const graph::LabelStore labels = graph::LabelStore::FromSingleLabels(raw);
+  const graph::TargetLabel target{1, 2};
+  ASSERT_GT(graph::CountTargetEdges(g, labels, target), 0);
+  ApproximationSpec spec;
+  ASSERT_OK_AND_ASSIGN(const SampleBounds bounds,
+                       ComputeSampleBounds(g, labels, target, spec));
+  EXPECT_LT(bounds.ne_hh, bounds.ns_hh);
+}
+
+}  // namespace
+}  // namespace labelrw::theory

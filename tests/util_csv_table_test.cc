@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tests/test_util.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace labelrw {
+namespace {
+
+TEST(CsvTest, BasicRows) {
+  CsvWriter csv;
+  csv.SetHeader({"a", "b"});
+  ASSERT_OK(csv.AddRow({"1", "2"}));
+  ASSERT_OK(csv.AddRow({"3", "4"}));
+  EXPECT_EQ(csv.ToString(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.num_rows(), 2);
+}
+
+TEST(CsvTest, RejectsMismatchedWidth) {
+  CsvWriter csv;
+  csv.SetHeader({"a", "b"});
+  EXPECT_EQ(csv.AddRow({"only-one"}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter csv;
+  ASSERT_OK(csv.AddRow({"has,comma", "has\"quote", "has\nnewline", "plain"}));
+  EXPECT_EQ(csv.ToString(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvTest, WritesFile) {
+  CsvWriter csv;
+  csv.SetHeader({"x"});
+  ASSERT_OK(csv.AddRow({"42"}));
+  const std::string path = ::testing::TempDir() + "/labelrw_csv_test.csv";
+  ASSERT_OK(csv.WriteFile(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFileFailsOnBadPath) {
+  CsvWriter csv;
+  EXPECT_FALSE(csv.WriteFile("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.AddRow({"Algo", "0.5%", "1.0%"});
+  table.AddRow({"NS-HH", "0.341", "0.227"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("Algo"), std::string::npos);
+  EXPECT_NE(out.find("NS-HH"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);  // header rule
+}
+
+TEST(TextTableTest, MarksBestCells) {
+  TextTable table;
+  table.AddRow({"Algo", "err"});
+  table.AddRow({"A", "0.5"});
+  table.AddRow({"B", "0.1"});
+  table.MarkBest(2, 1);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("*0.1*"), std::string::npos);
+  EXPECT_EQ(out.find("*0.5*"), std::string::npos);
+}
+
+TEST(TextTableTest, IgnoresOutOfRangeBestMarks) {
+  TextTable table;
+  table.AddRow({"x"});
+  table.MarkBest(5, 5);  // must not crash
+  EXPECT_NE(table.Render().find('x'), std::string::npos);
+}
+
+TEST(FormattersTest, FormatNrmse) {
+  EXPECT_EQ(FormatNrmse(0.104), "0.104");
+  EXPECT_EQ(FormatNrmse(2.339), "2.339");
+  EXPECT_EQ(FormatNrmse(104.73), "104.73");
+  EXPECT_EQ(FormatNrmse(13.506), "13.506");
+}
+
+TEST(FormattersTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(-4200), "-4,200");
+}
+
+TEST(FormattersTest, FormatSci) {
+  EXPECT_EQ(FormatSci(0), "0");
+  EXPECT_EQ(FormatSci(7.56e7), "7.56 x 10^7");
+  EXPECT_EQ(FormatSci(1359), "1.36 x 10^3");
+}
+
+TEST(FormattersTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.424), "42.4%");
+  EXPECT_EQ(FormatPercent(0.00001), "0.001%");
+}
+
+}  // namespace
+}  // namespace labelrw

@@ -1,0 +1,114 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace labelrw {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 16; ++i) values.insert(rng.NextU64());
+  EXPECT_GT(values.size(), 10u);  // not stuck
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int bound : {1, 2, 3, 10, 1000}) {
+    for (int i = 0; i < 1000; ++i) {
+      const int64_t x = rng.UniformInt(bound);
+      EXPECT_GE(x, 0);
+      EXPECT_LT(x, bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(99);
+  constexpr int kBound = 10;
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBound)];
+  // Chi-square with 9 dof: 99.9th percentile ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBound;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.UniformDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ChildStreamsAreIndependent) {
+  Rng parent(42);
+  Rng c1 = parent.Child(1);
+  Rng c2 = parent.Child(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c1.NextU64() == c2.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(DeriveSeedTest, DistinctCoordinatesYieldDistinctSeeds) {
+  std::set<uint64_t> seeds;
+  for (uint64_t a = 0; a < 10; ++a) {
+    for (uint64_t b = 0; b < 10; ++b) {
+      for (uint64_t c = 0; c < 5; ++c) {
+        seeds.insert(DeriveSeed(1234, a, b, c));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 500u);
+}
+
+TEST(DeriveSeedTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(DeriveSeed(9, 1, 2, 3), DeriveSeed(9, 1, 2, 3));
+  EXPECT_NE(DeriveSeed(9, 1, 2, 3), DeriveSeed(10, 1, 2, 3));
+}
+
+}  // namespace
+}  // namespace labelrw

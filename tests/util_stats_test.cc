@@ -1,0 +1,132 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace labelrw {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 7.75, -1.25};
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+
+  EXPECT_EQ(s.count(), static_cast<int64_t>(xs.size()));
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), var * xs.size() / (xs.size() - 1), 1e-12);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats merged_a;
+  RunningStats merged_b;
+  RunningStats sequential;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble() * 10 - 5;
+    (i % 2 == 0 ? merged_a : merged_b).Add(x);
+    sequential.Add(x);
+  }
+  merged_a.Merge(merged_b);
+  EXPECT_EQ(merged_a.count(), sequential.count());
+  EXPECT_NEAR(merged_a.mean(), sequential.mean(), 1e-10);
+  EXPECT_NEAR(merged_a.variance(), sequential.variance(), 1e-10);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(NrmseTest, ZeroErrorForExactEstimates) {
+  NrmseAccumulator acc(100.0);
+  for (int i = 0; i < 10; ++i) acc.Add(100.0);
+  EXPECT_EQ(acc.Nrmse(), 0.0);
+  EXPECT_EQ(acc.RelativeBias(), 0.0);
+}
+
+TEST(NrmseTest, MatchesDefinition) {
+  // Estimates 90 and 110 around truth 100:
+  // E[(F-hat - F)^2] = (100 + 100)/2 = 100; NRMSE = 10/100 = 0.1.
+  NrmseAccumulator acc(100.0);
+  acc.Add(90.0);
+  acc.Add(110.0);
+  EXPECT_NEAR(acc.Nrmse(), 0.1, 1e-12);
+  EXPECT_NEAR(acc.MeanEstimate(), 100.0, 1e-12);
+}
+
+TEST(NrmseTest, CapturesBias) {
+  // Constant estimate 120 vs truth 100: NRMSE = 0.2 purely from bias.
+  NrmseAccumulator acc(100.0);
+  for (int i = 0; i < 5; ++i) acc.Add(120.0);
+  EXPECT_NEAR(acc.Nrmse(), 0.2, 1e-12);
+  EXPECT_NEAR(acc.RelativeBias(), 0.2, 1e-12);
+}
+
+TEST(NrmseTest, MergeEqualsSequential) {
+  NrmseAccumulator a(50.0);
+  NrmseAccumulator b(50.0);
+  NrmseAccumulator all(50.0);
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const double est = 50.0 + rng.UniformDouble() * 20 - 10;
+    (i % 2 == 0 ? a : b).Add(est);
+    all.Add(est);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Nrmse(), all.Nrmse(), 1e-10);
+}
+
+TEST(QuantileTest, HandlesEmptyAndSingle) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_EQ(Quantile({3.0}, 0.0), 3.0);
+  EXPECT_EQ(Quantile({3.0}, 1.0), 3.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_NEAR(Quantile(v, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 0.25), 2.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 0.1), 1.4, 1e-12);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  EXPECT_NEAR(Quantile({5.0, 1.0, 3.0, 2.0, 4.0}, 0.5), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace labelrw

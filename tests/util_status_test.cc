@@ -1,0 +1,113 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, FactoryHelpersProduceExpectedCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+namespace macro_helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return InvalidArgumentError("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  if (x <= 0) return OutOfRangeError("non-positive");
+  return 2 * x;
+}
+
+Status UseReturnIfError(int x) {
+  LABELRW_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  LABELRW_ASSIGN_OR_RETURN(const int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+}  // namespace macro_helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_OK(macro_helpers::UseReturnIfError(1));
+  EXPECT_EQ(macro_helpers::UseReturnIfError(-1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsAndPropagates) {
+  auto ok = macro_helpers::UseAssignOrReturn(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  auto err = macro_helpers::UseAssignOrReturn(0);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace labelrw

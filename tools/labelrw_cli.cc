@@ -1,0 +1,198 @@
+// labelrw_cli: command-line front end for the library.
+//
+// Subcommands:
+//   stats    --graph=E [--labels=L]            graph statistics
+//   truth    --graph=E --labels=L --t1=A --t2=B  exact target edge count
+//   estimate --graph=E --labels=L --t1=A --t2=B --budget=K
+//            [--algorithm=NAME] [--burn-in=N] [--seed=S]
+//   bounds   --graph=E --labels=L --t1=A --t2=B [--eps=0.1] [--delta=0.1]
+//
+// Graphs are SNAP-style edge lists; labels are "node label..." lines (see
+// graph/io.h). The graph is reduced to its largest connected component, as
+// in the paper's preprocessing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/target_edge_counter.h"
+#include "graph/connected.h"
+#include "graph/io.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "theory/bounds.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace labelrw;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) continue;
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) {
+      args.flags[arg + 2] = "1";
+    } else {
+      args.flags[std::string(arg + 2, eq - arg - 2)] = eq + 1;
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: labelrw_cli <stats|truth|estimate|bounds> "
+               "--graph=FILE [--labels=FILE] [--t1=A --t2=B] "
+               "[--budget=K] [--algorithm=NAME] [--burn-in=N] [--seed=S] "
+               "[--eps=E] [--delta=D]\n");
+  return 2;
+}
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+struct LoadedGraph {
+  graph::Graph graph;
+  graph::LabelStore labels;
+};
+
+LoadedGraph Load(const Args& args) {
+  const std::string graph_path = args.Get("graph");
+  if (graph_path.empty()) {
+    std::fprintf(stderr, "--graph is required\n");
+    std::exit(2);
+  }
+  graph::Graph raw = Check(graph::LoadEdgeList(graph_path), "loading graph");
+  graph::LabelStore raw_labels;
+  const std::string labels_path = args.Get("labels");
+  if (!labels_path.empty()) {
+    raw_labels = Check(graph::LoadLabels(labels_path, raw.num_nodes()),
+                       "loading labels");
+  } else {
+    raw_labels = graph::LabelStore::FromSingleLabels(
+        std::vector<graph::Label>(raw.num_nodes(), 0));
+  }
+  graph::LccResult lcc =
+      Check(graph::ExtractLargestComponent(raw, raw_labels), "extracting LCC");
+  return {std::move(lcc.graph), std::move(lcc.labels)};
+}
+
+int RunStats(const Args& args) {
+  const LoadedGraph lg = Load(args);
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(lg.graph);
+  std::printf("largest connected component:\n");
+  std::printf("  nodes            %s\n", FormatCount(lg.graph.num_nodes()).c_str());
+  std::printf("  edges            %s\n", FormatCount(lg.graph.num_edges()).c_str());
+  std::printf("  max degree       %s\n", FormatCount(stats.max_degree).c_str());
+  std::printf("  mean degree      %.2f\n", stats.mean_degree);
+  std::printf("  max line degree  %s\n", FormatCount(stats.max_line_degree).c_str());
+  std::printf("  distinct labels  %s\n",
+              FormatCount(lg.labels.num_distinct_labels()).c_str());
+  return 0;
+}
+
+graph::TargetLabel TargetFrom(const Args& args) {
+  if (args.Get("t1").empty() || args.Get("t2").empty()) {
+    std::fprintf(stderr, "--t1 and --t2 are required\n");
+    std::exit(2);
+  }
+  return {static_cast<graph::Label>(args.GetInt("t1", 0)),
+          static_cast<graph::Label>(args.GetInt("t2", 0))};
+}
+
+int RunTruth(const Args& args) {
+  const LoadedGraph lg = Load(args);
+  const graph::TargetLabel target = TargetFrom(args);
+  const int64_t f = graph::CountTargetEdges(lg.graph, lg.labels, target);
+  std::printf("exact target edges (%d,%d): %s (%s of |E|)\n", target.t1,
+              target.t2, FormatCount(f).c_str(),
+              FormatPercent(static_cast<double>(f) /
+                            static_cast<double>(lg.graph.num_edges()))
+                  .c_str());
+  return 0;
+}
+
+int RunEstimate(const Args& args) {
+  const LoadedGraph lg = Load(args);
+  const graph::TargetLabel target = TargetFrom(args);
+  osn::LocalGraphApi api(lg.graph, lg.labels);
+  core::TargetEdgeCounter counter(&api, api.Priors());
+  core::CountOptions options;
+  options.budget = args.GetInt("budget", lg.graph.num_nodes() / 20);
+  options.burn_in = args.GetInt("burn-in", 300);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string algorithm = args.Get("algorithm");
+  if (!algorithm.empty()) {
+    options.algorithm =
+        Check(estimators::AlgorithmFromName(algorithm), "algorithm name");
+  }
+  const core::CountReport report =
+      Check(counter.Count(target, options), "estimate");
+  std::printf("estimate   %.0f\n", report.estimate);
+  std::printf("algorithm  %s\n", estimators::AlgorithmName(report.algorithm));
+  if (report.pilot_estimate.has_value()) {
+    std::printf("pilot      %.0f\n", *report.pilot_estimate);
+  }
+  std::printf("api calls  %s\n", FormatCount(report.api_calls).c_str());
+  return 0;
+}
+
+int RunBounds(const Args& args) {
+  const LoadedGraph lg = Load(args);
+  const graph::TargetLabel target = TargetFrom(args);
+  theory::ApproximationSpec spec;
+  spec.epsilon = args.GetDouble("eps", 0.1);
+  spec.delta = args.GetDouble("delta", 0.1);
+  const theory::SampleBounds bounds = Check(
+      theory::ComputeSampleBounds(lg.graph, lg.labels, target, spec),
+      "bounds");
+  std::printf("(%.2g,%.2g)-approximation sample bounds:\n", spec.epsilon,
+              spec.delta);
+  std::printf("  NeighborSample-HH       %s\n", FormatSci(bounds.ns_hh).c_str());
+  std::printf("  NeighborSample-HT       %s\n", FormatSci(bounds.ns_ht).c_str());
+  std::printf("  NeighborExploration-HH  %s\n", FormatSci(bounds.ne_hh).c_str());
+  std::printf("  NeighborExploration-HT  %s\n", FormatSci(bounds.ne_ht).c_str());
+  std::printf("  NeighborExploration-RW  %s\n", FormatSci(bounds.ne_rw).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command == "stats") return RunStats(args);
+  if (args.command == "truth") return RunTruth(args);
+  if (args.command == "estimate") return RunEstimate(args);
+  if (args.command == "bounds") return RunBounds(args);
+  return Usage();
+}
