@@ -1,0 +1,307 @@
+// Walk-step throughput microbenchmark: the perf trajectory anchor.
+//
+// Every experiment table is millions of simulated walk iterations, so
+// steps/sec through the walk -> API -> graph stack is the number that bounds
+// how far reps and dataset scale can be pushed. This bench measures
+// NodeWalk/EdgeWalk::Advance throughput per (walk kind, state space,
+// dataset), in two modes:
+//
+//   collapsed  — self-loop runs of the max-degree/GMD chains consumed
+//                geometrically (the optimized hot path, default)
+//   naive      — one RNG draw per iteration (the pre-optimization baseline)
+//
+// and dumps a machine-readable BENCH_steps.json next to the CSVs so future
+// PRs can diff throughput against this one.
+//
+//   bench_perf_steps [--steps=N] [--seed=N] [--out=DIR] [--full]
+//
+// --full adds the Orkut-analog dataset (~3.8M edges; a few seconds of
+// generation); the default runs the Facebook-analog only for a quick smoke.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "rw/edge_walk.h"
+#include "rw/node_walk.h"
+#include "synth/datasets.h"
+
+namespace labelrw::bench {
+namespace {
+
+struct PerfFlags {
+  int64_t steps = 1000000;  // iterations per timed chunk
+  uint64_t seed = 42;
+  std::string out_dir = "bench_results";
+  bool full = false;
+};
+
+PerfFlags ParsePerfFlags(int argc, char** argv) {
+  PerfFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--steps=N] [--seed=N] [--out=DIR] [--full]\n",
+                   argv[0]);
+      std::exit(0);
+    } else if (std::strncmp(arg, "--steps=", 8) == 0) {
+      flags.steps = ParseIntFlagOrDie("--steps", arg + 8);
+      if (flags.steps <= 0) {
+        std::fprintf(stderr, "--steps must be positive\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = ParseUintFlagOrDie("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      flags.out_dir = arg + 6;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      flags.full = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(flags.out_dir, ec);
+  return flags;
+}
+
+struct RunResult {
+  std::string dataset;
+  const char* space;  // "node" | "edge"
+  const char* walk;
+  bool collapsed;
+  int64_t steps;
+  double seconds;
+  double steps_per_sec;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs Advance in chunks of `chunk` iterations until at least `min_seconds`
+// of walltime accumulate, so collapsed runs (which finish a chunk in
+// microseconds) still get a stable measurement.
+template <typename WalkT>
+RunResult Measure(const synth::Dataset& ds, const char* space,
+                  rw::WalkParams params, int64_t chunk, uint64_t seed) {
+  osn::LocalGraphApi api(ds.graph, ds.labels);
+  WalkT walk(&api, params);
+  Rng rng(seed);
+  CheckOk(walk.ResetRandom(rng), "walk reset");
+
+  constexpr double kMinSeconds = 0.25;
+  constexpr int kMaxChunks = 4096;
+  int64_t total_steps = 0;
+  const double start = Now();
+  double elapsed = 0.0;
+  for (int c = 0; c < kMaxChunks; ++c) {
+    CheckOk(walk.Advance(chunk, rng), "walk advance");
+    total_steps += chunk;
+    elapsed = Now() - start;
+    if (elapsed >= kMinSeconds) break;
+  }
+  RunResult r;
+  r.dataset = ds.name;
+  r.space = space;
+  r.walk = rw::WalkKindName(params.kind);
+  r.collapsed = params.collapse_self_loops;
+  r.steps = total_steps;
+  r.seconds = elapsed;
+  r.steps_per_sec = elapsed > 0 ? static_cast<double>(total_steps) / elapsed
+                                : 0.0;
+  return r;
+}
+
+// The same hand-rolled simple random walk driven through the two access
+// tiers of LocalGraphApi: the virtual OsnApi surface (Result<> per call)
+// and the non-virtual inline fast path. Isolates the per-call API overhead
+// from walk logic.
+RunResult MeasureAccessTier(const synth::Dataset& ds, bool fast_tier,
+                            int64_t chunk, uint64_t seed) {
+  osn::LocalGraphApi api(ds.graph, ds.labels);
+  osn::OsnApi& virtual_api = api;  // devirtualization barrier
+  Rng rng(seed);
+  graph::NodeId current = 0;
+
+  constexpr double kMinSeconds = 0.25;
+  constexpr int kMaxChunks = 4096;
+  int64_t total_steps = 0;
+  const double start = Now();
+  double elapsed = 0.0;
+  for (int c = 0; c < kMaxChunks; ++c) {
+    if (fast_tier) {
+      for (int64_t i = 0; i < chunk; ++i) {
+        const auto nbrs = api.NeighborsFast(current);
+        current = nbrs[rng.UniformInt(static_cast<int64_t>(nbrs.size()))];
+      }
+    } else {
+      for (int64_t i = 0; i < chunk; ++i) {
+        auto nbrs = virtual_api.GetNeighbors(current);
+        CheckOk(nbrs.ok() ? Status::Ok() : nbrs.status(), "GetNeighbors");
+        current =
+            (*nbrs)[rng.UniformInt(static_cast<int64_t>(nbrs->size()))];
+      }
+    }
+    total_steps += chunk;
+    elapsed = Now() - start;
+    if (elapsed >= kMinSeconds) break;
+  }
+  RunResult r;
+  r.dataset = ds.name;
+  r.space = "node";
+  r.walk = fast_tier ? "api_fast" : "api_virtual";
+  r.collapsed = false;
+  r.steps = total_steps;
+  r.seconds = elapsed;
+  r.steps_per_sec = elapsed > 0 ? static_cast<double>(total_steps) / elapsed
+                                : 0.0;
+  return r;
+}
+
+void BenchDataset(const synth::Dataset& ds, const PerfFlags& flags,
+                  std::vector<RunResult>* out) {
+  PrintDatasetHeader(ds);
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(ds.graph);
+
+  for (const bool fast_tier : {false, true}) {
+    out->push_back(
+        MeasureAccessTier(ds, fast_tier, flags.steps, flags.seed));
+    const RunResult& r = out->back();
+    std::printf("  %-5s %-11s %-4s %12.0f steps/s  (%lld steps, %.3fs)\n",
+                r.space, r.walk, "", r.steps_per_sec,
+                static_cast<long long>(r.steps), r.seconds);
+  }
+
+  const rw::WalkKind node_kinds[] = {
+      rw::WalkKind::kSimple, rw::WalkKind::kMetropolisHastings,
+      rw::WalkKind::kMaxDegree, rw::WalkKind::kGmd};
+  for (rw::WalkKind kind : node_kinds) {
+    const bool has_loops = kind == rw::WalkKind::kMaxDegree ||
+                           kind == rw::WalkKind::kGmd;
+    for (const bool collapsed : {true, false}) {
+      if (!collapsed && !has_loops) continue;  // naive == collapsed
+      rw::WalkParams params;
+      params.kind = kind;
+      params.max_degree_prior = stats.max_degree;
+      params.collapse_self_loops = collapsed;
+      out->push_back(Measure<rw::NodeWalk>(ds, "node", params, flags.steps,
+                                           flags.seed));
+      const RunResult& r = out->back();
+      std::printf("  %-5s %-6s %-9s %12.0f steps/s  (%lld steps, %.3fs)\n",
+                  r.space, r.walk, r.collapsed ? "collapsed" : "naive",
+                  r.steps_per_sec, static_cast<long long>(r.steps),
+                  r.seconds);
+    }
+  }
+
+  const rw::WalkKind edge_kinds[] = {rw::WalkKind::kMaxDegree,
+                                     rw::WalkKind::kGmd};
+  for (rw::WalkKind kind : edge_kinds) {
+    for (const bool collapsed : {true, false}) {
+      rw::WalkParams params;
+      params.kind = kind;
+      params.max_degree_prior = stats.max_line_degree;
+      params.collapse_self_loops = collapsed;
+      // Edge walks are ~10x costlier per move; use smaller chunks so the
+      // naive mode finishes in reasonable time.
+      out->push_back(Measure<rw::EdgeWalk>(ds, "edge", params,
+                                           flags.steps / 4, flags.seed));
+      const RunResult& r = out->back();
+      std::printf("  %-5s %-6s %-9s %12.0f steps/s  (%lld steps, %.3fs)\n",
+                  r.space, r.walk, r.collapsed ? "collapsed" : "naive",
+                  r.steps_per_sec, static_cast<long long>(r.steps),
+                  r.seconds);
+    }
+  }
+}
+
+double FindStepsPerSec(const std::vector<RunResult>& results,
+                       const std::string& dataset, const char* space,
+                       const char* walk, bool collapsed) {
+  for (const RunResult& r : results) {
+    if (r.dataset == dataset && std::strcmp(r.space, space) == 0 &&
+        std::strcmp(r.walk, walk) == 0 && r.collapsed == collapsed) {
+      return r.steps_per_sec;
+    }
+  }
+  return 0.0;
+}
+
+void WriteJson(const std::vector<RunResult>& results, const PerfFlags& flags,
+               const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_steps\",\n  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(flags.seed));
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"space\": \"%s\", \"walk\": "
+                 "\"%s\", \"collapsed\": %s, \"steps\": %lld, \"seconds\": "
+                 "%.6f, \"steps_per_sec\": %.1f}%s\n",
+                 r.dataset.c_str(), r.space, r.walk,
+                 r.collapsed ? "true" : "false",
+                 static_cast<long long>(r.steps), r.seconds, r.steps_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedups\": {\n");
+  bool first = true;
+  for (const RunResult& r : results) {
+    if (!r.collapsed) continue;
+    const double naive =
+        FindStepsPerSec(results, r.dataset, r.space, r.walk, false);
+    if (naive <= 0.0) continue;
+    std::fprintf(f, "%s    \"%s_%s_%s\": %.2f", first ? "" : ",\n",
+                 r.dataset.c_str(), r.space, r.walk, r.steps_per_sec / naive);
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  const PerfFlags flags = ParsePerfFlags(argc, argv);
+
+  std::vector<RunResult> results;
+  {
+    const synth::Dataset facebook =
+        CheckedValue(synth::FacebookLike(), "FacebookLike");
+    BenchDataset(facebook, flags, &results);
+  }
+  if (flags.full) {
+    const synth::Dataset orkut = CheckedValue(synth::OrkutLike(), "OrkutLike");
+    BenchDataset(orkut, flags, &results);
+    const double collapsed =
+        FindStepsPerSec(results, orkut.name, "node", "mdrw", true);
+    const double naive =
+        FindStepsPerSec(results, orkut.name, "node", "mdrw", false);
+    if (naive > 0.0) {
+      std::printf("\nOrkut-analog max-degree node walk: %.1fx steps/sec vs "
+                  "naive baseline\n",
+                  collapsed / naive);
+    }
+  }
+
+  WriteJson(results, flags, flags.out_dir + "/BENCH_steps.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace labelrw::bench
+
+int main(int argc, char** argv) { return labelrw::bench::Main(argc, argv); }

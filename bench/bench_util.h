@@ -10,10 +10,13 @@
 #ifndef LABELRW_BENCH_BENCH_UTIL_H_
 #define LABELRW_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <string>
 
 #include "eval/experiment.h"
@@ -31,20 +34,77 @@ struct BenchFlags {
   uint64_t seed = 42;
 };
 
+inline void PrintUsage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--reps=N] [--threads=N] [--seed=N] [--out=DIR]\n"
+      "  --reps=N      independent simulations per cell (default 60; the\n"
+      "                paper uses 200)\n"
+      "  --threads=N   worker threads (default 0 = all cores)\n"
+      "  --seed=N      base RNG seed (default 42)\n"
+      "  --out=DIR     directory for raw CSV dumps (default bench_results)\n"
+      "  --help        this message\n",
+      prog);
+}
+
+/// Strict integer flag parsing: the whole value must be numeric. atoll-style
+/// silent "--reps=abc" -> 0 would run a zero-rep sweep and print an empty
+/// table, so reject instead.
+inline int64_t ParseIntFlagOrDie(const char* flag_name, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid numeric value for %s: '%s'\n", flag_name,
+                 value);
+    std::exit(2);
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+inline uint64_t ParseUintFlagOrDie(const char* flag_name, const char* value) {
+  // Require the value to start with a digit: strtoull would otherwise skip
+  // leading whitespace and silently wrap a negative input.
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isdigit(static_cast<unsigned char>(value[0]))) {
+    std::fprintf(stderr, "invalid numeric value for %s: '%s'\n", flag_name,
+                 value);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
 inline BenchFlags ParseFlags(int argc, char** argv) {
   BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--reps=", 7) == 0) {
-      flags.reps = std::atoll(arg + 7);
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+      flags.reps = ParseIntFlagOrDie("--reps", arg + 7);
+      if (flags.reps <= 0) {
+        std::fprintf(stderr, "--reps must be positive\n");
+        std::exit(2);
+      }
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      flags.threads = std::atoi(arg + 10);
+      const int64_t threads = ParseIntFlagOrDie("--threads", arg + 10);
+      if (threads < 0 || threads > std::numeric_limits<int>::max()) {
+        std::fprintf(stderr, "--threads must be in [0, %d] (0 = all cores)\n",
+                     std::numeric_limits<int>::max());
+        std::exit(2);
+      }
+      flags.threads = static_cast<int>(threads);
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       flags.out_dir = arg + 6;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      flags.seed = std::strtoull(arg + 7, nullptr, 10);
+      flags.seed = ParseUintFlagOrDie("--seed", arg + 7);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
+      PrintUsage(argv[0]);
       std::exit(2);
     }
   }

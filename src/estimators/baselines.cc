@@ -22,6 +22,7 @@ Result<EstimateResult> LineGraphBaselineEstimate(
   walk_params.rcmh_alpha = options.rcmh_alpha;
   walk_params.gmd_delta = options.gmd_delta;
   walk_params.max_degree_prior = priors.max_line_degree;
+  walk_params.collapse_self_loops = options.collapse_self_loops;
   rw::EdgeWalk walk(&api, walk_params);
   LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
   LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));

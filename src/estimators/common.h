@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -61,9 +62,15 @@ class LoopControl {
       : budget_(api_budget), start_calls_(api.api_calls()) {
     if (api_budget > 0) {
       // Cached re-fetches are free, so iterations can exceed the budget;
-      // cap them to keep the loop finite on fully cached subgraphs.
-      max_iterations_ =
-          sample_size > 0 ? sample_size : 64 * api_budget + 1000;
+      // cap them to keep the loop finite on fully cached subgraphs. The
+      // 64x + 1000 slack overflows int64 for budgets above ~2^57, so
+      // saturate instead of wrapping negative (which would end the loop
+      // after zero iterations).
+      constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+      const int64_t capped = api_budget > (kMax - 1000) / 64
+                                 ? kMax
+                                 : 64 * api_budget + 1000;
+      max_iterations_ = sample_size > 0 ? sample_size : capped;
     } else {
       max_iterations_ = sample_size;
     }
@@ -84,6 +91,15 @@ class LoopControl {
     return budget_ > 0 ? budget_ : max_iterations_;
   }
 
+  /// A sane std::vector::reserve hint for per-draw buffers: NominalSize()
+  /// clamped to 1M entries so a huge budget cannot trigger a gigabyte
+  /// up-front allocation.
+  int64_t ReserveHint() const {
+    const int64_t n = NominalSize();
+    constexpr int64_t kMaxHint = int64_t{1} << 20;
+    return n < 0 ? 0 : (n > kMaxHint ? kMaxHint : n);
+  }
+
  private:
   int64_t budget_;
   int64_t start_calls_;
@@ -97,6 +113,12 @@ class LoopControl {
 /// stderr = sd(batch means) / sqrt(B).
 class BatchMeans {
  public:
+  /// Pre-sizes the draw buffer (e.g. from LoopControl::ReserveHint()) so
+  /// the sampling loop does not reallocate mid-walk.
+  void Reserve(int64_t n) {
+    if (n > 0) values_.reserve(static_cast<size_t>(n));
+  }
+
   void Add(double value) { values_.push_back(value); }
 
   int64_t count() const { return static_cast<int64_t>(values_.size()); }
@@ -141,6 +163,14 @@ class BatchMeans {
 /// R = (sum numerators) / (sum denominators) over correlated draws.
 class BatchRatio {
  public:
+  /// Pre-sizes both draw buffers (e.g. from LoopControl::ReserveHint()).
+  void Reserve(int64_t n) {
+    if (n > 0) {
+      numerators_.reserve(static_cast<size_t>(n));
+      denominators_.reserve(static_cast<size_t>(n));
+    }
+  }
+
   void Add(double numerator, double denominator) {
     numerators_.push_back(numerator);
     denominators_.push_back(denominator);

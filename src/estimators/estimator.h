@@ -86,6 +86,11 @@ struct EstimateOptions {
   /// stationary distribution but lower asymptotic variance. Other kinds are
   /// rejected (the estimator weights assume a degree-proportional walk).
   rw::WalkKind ns_walk_kind = rw::WalkKind::kSimple;
+  /// Collapse self-loop runs geometrically during burn-in of max-degree
+  /// style walks (EX-MDRW / EX-GMD). Distribution-equivalent and much
+  /// faster; disable for bit-exact reproduction of the naive stepper's RNG
+  /// stream (see rw::WalkParams::collapse_self_loops).
+  bool collapse_self_loops = true;
 
   Status Validate() const;
 };

@@ -34,6 +34,7 @@ Result<MultiTargetResult> MultiTargetNeighborSample(
   Rng rng(options.seed);
   rw::WalkParams walk_params;
   walk_params.kind = options.ns_walk_kind;
+  walk_params.collapse_self_loops = options.collapse_self_loops;
   rw::NodeWalk walk(&api, walk_params);
   LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
   LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
@@ -41,6 +42,10 @@ Result<MultiTargetResult> MultiTargetNeighborSample(
   std::vector<BatchMeans> draws(targets.size());
   int64_t iterations = 0;
   const LoopControl loop(api, options.sample_size, options.api_budget);
+  // Split the hint across targets so the total stays under the clamp.
+  for (auto& d : draws) {
+    d.Reserve(loop.ReserveHint() / static_cast<int64_t>(draws.size()));
+  }
   for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
     const graph::NodeId from = walk.current();
     LABELRW_ASSIGN_OR_RETURN(const graph::NodeId to, walk.Step(rng));
@@ -82,6 +87,7 @@ Result<MultiTargetResult> MultiTargetNeighborExploration(
   Rng rng(options.seed);
   rw::WalkParams walk_params;
   walk_params.kind = options.ns_walk_kind;
+  walk_params.collapse_self_loops = options.collapse_self_loops;
   rw::NodeWalk walk(&api, walk_params);
   LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
   LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
@@ -91,6 +97,10 @@ Result<MultiTargetResult> MultiTargetNeighborExploration(
   MultiTargetResult result;
   int64_t iterations = 0;
   const LoopControl loop(api, options.sample_size, options.api_budget);
+  // Split the hint across targets so the total stays under the clamp.
+  for (auto& d : draws) {
+    d.Reserve(loop.ReserveHint() / static_cast<int64_t>(draws.size()));
+  }
   for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
     LABELRW_ASSIGN_OR_RETURN(const graph::NodeId u, walk.Step(rng));
     ++iterations;

@@ -23,6 +23,7 @@ Result<EstimateResult> NeighborExplorationEstimate(
   Rng rng(options.seed);
   rw::WalkParams walk_params;
   walk_params.kind = options.ns_walk_kind;
+  walk_params.collapse_self_loops = options.collapse_self_loops;
   rw::NodeWalk walk(&api, walk_params);
   LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
   LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
@@ -36,6 +37,11 @@ Result<EstimateResult> NeighborExplorationEstimate(
   EstimateResult result;
   BatchMeans hh_draws;   // per-draw |E| T(u)/d(u)
   BatchRatio rw_draws;   // (T(u)/d(u), 1/d(u)) pairs
+  if (kind == NeEstimatorKind::kHansenHurwitz) {
+    hh_draws.Reserve(loop.ReserveHint());
+  } else if (kind == NeEstimatorKind::kReweighted) {
+    rw_draws.Reserve(loop.ReserveHint());
+  }
   // HT: T(u) and d(u) for each distinct sampled node.
   std::unordered_map<graph::NodeId, std::pair<int64_t, int64_t>> distinct;
   int64_t retained = 0;

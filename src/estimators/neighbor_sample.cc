@@ -21,6 +21,7 @@ Result<EstimateResult> NeighborSampleEstimate(
   Rng rng(options.seed);
   rw::WalkParams walk_params;
   walk_params.kind = options.ns_walk_kind;
+  walk_params.collapse_self_loops = options.collapse_self_loops;
   rw::NodeWalk walk(&api, walk_params);
   LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
   LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
@@ -33,6 +34,9 @@ Result<EstimateResult> NeighborSampleEstimate(
 
   std::unordered_set<graph::Edge, graph::EdgeHash> distinct_targets;  // HT
   BatchMeans draws;  // HH: per-draw unbiased estimates m * I(e_i)
+  if (kind == NsEstimatorKind::kHansenHurwitz) {
+    draws.Reserve(loop.ReserveHint());
+  }
   int64_t retained = 0;
   int64_t iterations = 0;
 

@@ -96,6 +96,10 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
   if (threads < 1) threads = 1;
 
   auto worker = [&]() {
+    // One touched-set buffer per worker, shared by every rep this worker
+    // executes: each per-rep LocalGraphApi resets it in O(1) instead of
+    // allocating a fresh O(|V|) bitmap (reps × sizes × algorithms times).
+    osn::TouchedSet touched_scratch;
     while (true) {
       const int64_t task = next_task.fetch_add(1, std::memory_order_relaxed);
       if (task >= total_tasks) return;
@@ -117,7 +121,8 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
       options.rcmh_alpha = config.rcmh_alpha;
       options.gmd_delta = config.gmd_delta;
 
-      osn::LocalGraphApi api(graph, labels);
+      osn::LocalGraphApi api(graph, labels, osn::CostModel(), /*budget=*/-1,
+                             &touched_scratch);
       auto estimate = estimators::Estimate(config.algorithms[algo_idx], api,
                                            target, priors, options);
       std::lock_guard<std::mutex> lock(merge_mutex);

@@ -6,23 +6,22 @@ namespace labelrw::osn {
 
 LocalGraphApi::LocalGraphApi(const graph::Graph& graph,
                              const graph::LabelStore& labels,
-                             CostModel cost_model, int64_t budget)
+                             CostModel cost_model, int64_t budget,
+                             TouchedSet* scratch)
     : graph_(graph),
       labels_(labels),
       cost_model_(cost_model),
       budget_(budget),
-      touched_(graph.num_nodes(), false) {}
+      touched_(scratch != nullptr ? scratch : &owned_touched_) {
+  touched_->Reset(graph.num_nodes());
+}
 
 Status LocalGraphApi::Charge(graph::NodeId user) {
-  if (cost_model_.cache_fetches && touched_[user]) return Status::Ok();
+  if (cost_model_.cache_fetches && touched_->Test(user)) return Status::Ok();
   if (budget_ >= 0 && api_calls_ + cost_model_.page_cost > budget_) {
     return ResourceExhaustedError("API budget exhausted");
   }
-  api_calls_ += cost_model_.page_cost;
-  if (!touched_[user]) {
-    touched_[user] = true;
-    ++distinct_fetched_;
-  }
+  ChargeFast(user);
   return Status::Ok();
 }
 

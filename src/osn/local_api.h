@@ -2,21 +2,40 @@
 // with API-call accounting, crawler-style caching, and an optional hard
 // budget. This is the simulation substrate for all experiments ("we simulate
 // the scenario where we only have accesses to the graphs via APIs", §5.1).
+//
+// Two access tiers (see docs/PERFORMANCE.md):
+//   * The virtual OsnApi overrides — validate the node id, enforce the
+//     budget, and wrap the payload in Result<>. Estimators use these; their
+//     accounting defines the paper's budget semantics.
+//   * The non-virtual *Fast accessors — same charging, no Result<>
+//     construction, inlineable. For hot simulation loops that hold a
+//     LocalGraphApi directly and can guarantee the preconditions.
+// Both tiers share one charging implementation, so mixing them on the same
+// instance keeps api_calls()/distinct_users_fetched() exact.
 
 #ifndef LABELRW_OSN_LOCAL_API_H_
 #define LABELRW_OSN_LOCAL_API_H_
 
-#include <vector>
-
 #include "osn/api.h"
+#include "osn/touched_set.h"
 
 namespace labelrw::osn {
 
-class LocalGraphApi : public OsnApi {
+class LocalGraphApi final : public OsnApi {
  public:
-  /// Both references must outlive the API object. `budget` < 0 = unlimited.
+  /// `graph`, `labels`, and (when given) `scratch` must outlive the API
+  /// object. `budget` < 0 = unlimited. `scratch` lets callers that build
+  /// many short-lived APIs over the same graph (the sweep harness) reuse one
+  /// touched-set buffer: the constructor resets it in O(1) instead of
+  /// allocating an O(|V|) bitmap per instance.
   LocalGraphApi(const graph::Graph& graph, const graph::LabelStore& labels,
-                CostModel cost_model = CostModel(), int64_t budget = -1);
+                CostModel cost_model = CostModel(), int64_t budget = -1,
+                TouchedSet* scratch = nullptr);
+
+  // Non-copyable/movable: touched_ may point at owned_touched_, so an
+  // implicit copy would alias (and eventually dangle into) the source.
+  LocalGraphApi(const LocalGraphApi&) = delete;
+  LocalGraphApi& operator=(const LocalGraphApi&) = delete;
 
   Result<std::span<const graph::NodeId>> GetNeighbors(
       graph::NodeId user) override;
@@ -28,6 +47,42 @@ class LocalGraphApi : public OsnApi {
   void ResetCallCount() override { api_calls_ = 0; }
   int64_t remaining_budget() const override;
 
+  // -------------------------------------------------------------------
+  // Non-virtual fast path.
+  //
+  // Preconditions (caller's responsibility, unchecked):
+  //   * `user` is a valid node id of the backing graph, and
+  //   * the access is affordable: the API is unbudgeted, or the user is
+  //     cached, or enough budget remains — i.e. CanAccess(user) is true.
+  // Under those preconditions the fast accessors charge exactly like the
+  // virtual calls and return the payload directly.
+
+  /// True iff fetching `user`'s page cannot fail: cached (free) or within
+  /// budget. Always true on an unbudgeted API.
+  bool CanAccess(graph::NodeId user) const {
+    if (cost_model_.cache_fetches && touched_->Test(user)) return true;
+    return budget_ < 0 || api_calls_ + cost_model_.page_cost <= budget_;
+  }
+
+  std::span<const graph::NodeId> NeighborsFast(graph::NodeId user) {
+    ChargeFast(user);
+    return graph_.neighbors(user);
+  }
+
+  int64_t DegreeFast(graph::NodeId user) {
+    ChargeFast(user);
+    return graph_.degree(user);
+  }
+
+  std::span<const graph::Label> LabelsFast(graph::NodeId user) {
+    ChargeFast(user);
+    return labels_.labels(user);
+  }
+
+  /// The backing graph (full access — simulation/diagnostics only; the
+  /// estimators must keep going through the API surface).
+  const graph::Graph& graph() const { return graph_; }
+
   /// Derives the prior-knowledge block the estimators receive. In a real
   /// deployment these come from owner reports or the size estimators of
   /// extensions/size_estimator.h; in simulation we read them off the graph.
@@ -38,8 +93,17 @@ class LocalGraphApi : public OsnApi {
   int64_t distinct_users_fetched() const { return distinct_fetched_; }
 
  private:
-  /// Charges the page cost for touching `user` (free if cached).
-  /// Returns ResourceExhausted when the budget would be exceeded.
+  /// Charging core shared by both tiers: free when cached, else one page
+  /// cost. Does NOT check the budget — the virtual tier checks it first,
+  /// the fast tier requires CanAccess as a precondition.
+  void ChargeFast(graph::NodeId user) {
+    if (cost_model_.cache_fetches && touched_->Test(user)) return;
+    api_calls_ += cost_model_.page_cost;
+    if (!touched_->TestAndSet(user)) ++distinct_fetched_;
+  }
+
+  /// Budget-checked charge for the virtual tier. Returns ResourceExhausted
+  /// when the fetch would exceed the budget.
   Status Charge(graph::NodeId user);
 
   const graph::Graph& graph_;
@@ -48,7 +112,8 @@ class LocalGraphApi : public OsnApi {
   int64_t budget_;
   int64_t api_calls_ = 0;
   int64_t distinct_fetched_ = 0;
-  std::vector<bool> touched_;
+  TouchedSet owned_touched_;  // used iff no external scratch was supplied
+  TouchedSet* touched_;
 };
 
 }  // namespace labelrw::osn

@@ -133,9 +133,46 @@ Result<graph::Edge> EdgeWalk::Step(Rng& rng) {
 }
 
 Status EdgeWalk::Advance(int64_t steps, Rng& rng) {
+  if (params_.collapse_self_loops &&
+      (params_.kind == WalkKind::kMaxDegree ||
+       params_.kind == WalkKind::kGmd)) {
+    return AdvanceCollapsed(steps, rng);
+  }
   for (int64_t i = 0; i < steps; ++i) {
     LABELRW_ASSIGN_OR_RETURN(graph::Edge unused, Step(rng));
     (void)unused;
+  }
+  return Status::Ok();
+}
+
+Status EdgeWalk::AdvanceCollapsed(int64_t steps, Rng& rng) {
+  if (steps <= 0) return Status::Ok();
+  if (!initialized_) {
+    return FailedPreconditionError("EdgeWalk::Advance before Reset");
+  }
+  int64_t remaining = steps;
+  while (remaining > 0) {
+    LABELRW_ASSIGN_OR_RETURN(const int64_t degree, LineDegreeOf(current_));
+    if (degree <= 0) {
+      // The only edge of a K2 component: every iteration is a self-loop.
+      return Status::Ok();
+    }
+    double move_prob;
+    if (params_.kind == WalkKind::kMaxDegree) {
+      move_prob = static_cast<double>(degree) /
+                  static_cast<double>(params_.max_degree_prior);
+    } else {
+      const double c = params_.GmdC();
+      move_prob =
+          static_cast<double>(degree) >= c
+              ? 1.0
+              : static_cast<double>(degree) / c;
+    }
+    const int64_t loops = SampleSelfLoopRun(rng, move_prob, remaining);
+    if (loops >= remaining) return Status::Ok();
+    remaining -= loops + 1;
+    LABELRW_ASSIGN_OR_RETURN(current_,
+                             UniformLineNeighbor(current_, degree, rng));
   }
   return Status::Ok();
 }

@@ -41,11 +41,17 @@ class EdgeWalk {
   /// Advances one iteration; returns the (possibly unchanged) edge.
   Result<graph::Edge> Step(Rng& rng);
 
+  /// Advances `steps` iterations. As in NodeWalk, kMaxDegree/kGmd runs of
+  /// self-loops are collapsed geometrically when
+  /// params.collapse_self_loops is set, making burn-in O(moves + 1).
   Status Advance(int64_t steps, Rng& rng);
 
   const WalkParams& params() const { return params_; }
 
  private:
+  /// The geometric-skipping Advance for kMaxDegree/kGmd.
+  Status AdvanceCollapsed(int64_t steps, Rng& rng);
+
   /// deg'(e) = d(e.u)+d(e.v)-2 via the API (cached fetches are free).
   Result<int64_t> LineDegreeOf(graph::Edge e);
 

@@ -92,9 +92,50 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
 }
 
 Status NodeWalk::Advance(int64_t steps, Rng& rng) {
+  if (params_.collapse_self_loops &&
+      (params_.kind == WalkKind::kMaxDegree ||
+       params_.kind == WalkKind::kGmd)) {
+    return AdvanceCollapsed(steps, rng);
+  }
   for (int64_t i = 0; i < steps; ++i) {
     LABELRW_ASSIGN_OR_RETURN(graph::NodeId unused, Step(rng));
     (void)unused;
+  }
+  return Status::Ok();
+}
+
+Status NodeWalk::AdvanceCollapsed(int64_t steps, Rng& rng) {
+  if (steps <= 0) return Status::Ok();
+  if (!initialized_) {
+    return FailedPreconditionError("NodeWalk::Advance before Reset");
+  }
+  int64_t remaining = steps;
+  while (remaining > 0) {
+    LABELRW_ASSIGN_OR_RETURN(auto nbrs, api_->GetNeighbors(current_));
+    const int64_t degree = static_cast<int64_t>(nbrs.size());
+    if (degree == 0) {
+      return FailedPreconditionError("walk reached an isolated node");
+    }
+    double move_prob;
+    if (params_.kind == WalkKind::kMaxDegree) {
+      move_prob = static_cast<double>(degree) /
+                  static_cast<double>(params_.max_degree_prior);
+    } else {
+      const double c = params_.GmdC();
+      move_prob =
+          static_cast<double>(degree) >= c
+              ? 1.0
+              : static_cast<double>(degree) / c;
+    }
+    const int64_t loops = SampleSelfLoopRun(rng, move_prob, remaining);
+    if (loops >= remaining) {
+      // Every remaining iteration is a self-loop; the walk ends in place.
+      previous_ = current_;
+      return Status::Ok();
+    }
+    remaining -= loops + 1;
+    previous_ = current_;
+    current_ = nbrs[rng.UniformInt(degree)];
   }
   return Status::Ok();
 }

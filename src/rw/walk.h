@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace labelrw::rw {
@@ -56,6 +57,22 @@ struct WalkParams {
   double gmd_delta = 0.5;
   /// Upper bound on the maximum degree of the state space.
   int64_t max_degree_prior = 0;
+  /// Collapse runs of self-loops in Advance() for kMaxDegree/kGmd by
+  /// sampling the geometric run length in O(1), so a burn-in of k
+  /// iterations costs O(moves + 1) work instead of O(k). The collapsed
+  /// walk is distribution-equivalent to the naive stepper (each iteration
+  /// moves with the same probability) but consumes the RNG stream
+  /// differently; disable for bit-exact reproduction of the naive
+  /// sequence. Step() is always naive — one call, one iteration — so
+  /// per-iteration sampling semantics are unaffected.
+  ///
+  /// API-cost caveat: collapsing touches the current state's page once per
+  /// self-loop *run*, not once per iteration. Under the default cached
+  /// cost model this charges identically (re-touches are free), but with
+  /// CostModel::cache_fetches = false (worst-case accounting, every touch
+  /// charges) the collapsed walk reports fewer api_calls than the naive
+  /// one — disable collapsing for worst-case accounting runs.
+  bool collapse_self_loops = true;
 
   /// C = gmd_delta * max_degree_prior, at least 1.
   double GmdC() const {
@@ -83,6 +100,22 @@ inline double StationaryWeight(const WalkParams& params, double degree) {
       return degree > params.GmdC() ? degree : params.GmdC();
   }
   return degree;
+}
+
+/// Samples the number of consecutive self-loop iterations before the next
+/// move, for a chain that moves with probability `move_prob` each
+/// iteration: L ~ Geometric, P(L = j) = (1-p)^j p. Results >= `cap` are
+/// truncated to `cap` (the caller has only `cap` iterations left, so the
+/// exact tail value is irrelevant). One RNG draw, O(1).
+inline int64_t SampleSelfLoopRun(Rng& rng, double move_prob, int64_t cap) {
+  if (move_prob >= 1.0) return 0;
+  if (move_prob <= 0.0) return cap;
+  const double u = rng.UniformDouble();
+  if (u <= 0.0) return cap;  // log(0): the run exceeds any finite cap
+  // floor(log(u) / log(1-p)) inverts the geometric CDF.
+  const double run = std::log(u) / std::log1p(-move_prob);
+  if (!(run < static_cast<double>(cap))) return cap;
+  return static_cast<int64_t>(run);
 }
 
 }  // namespace labelrw::rw

@@ -1,0 +1,100 @@
+// Unit tests for LoopControl: budget- vs iteration-driven termination, the
+// cached-subgraph iteration cap, and int64 overflow behavior on huge
+// budgets.
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "estimators/common.h"
+#include "osn/local_api.h"
+#include "tests/test_util.h"
+
+namespace labelrw::estimators {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+class LoopControlTest : public ::testing::Test {
+ protected:
+  LoopControlTest()
+      : graph_(MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}})),
+        labels_(graph::LabelStore::FromSingleLabels({1, 1, 1, 1})) {}
+
+  graph::Graph graph_;
+  graph::LabelStore labels_;
+};
+
+TEST_F(LoopControlTest, IterationDrivenTermination) {
+  osn::LocalGraphApi api(graph_, labels_);
+  const LoopControl loop(api, /*sample_size=*/5, /*api_budget=*/0);
+  int64_t iterations = 0;
+  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) ++iterations;
+  EXPECT_EQ(iterations, 5);
+  EXPECT_EQ(loop.NominalSize(), 5);
+}
+
+TEST_F(LoopControlTest, BudgetDrivenTermination) {
+  osn::LocalGraphApi api(graph_, labels_);
+  const LoopControl loop(api, /*sample_size=*/0, /*api_budget=*/3);
+  int64_t iterations = 0;
+  // Each iteration fetches a fresh (uncached) user: one charged call.
+  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
+    ASSERT_TRUE(api.GetNeighbors(static_cast<graph::NodeId>(i % 4)).ok());
+    ++iterations;
+  }
+  EXPECT_EQ(iterations, 3);
+  EXPECT_EQ(loop.NominalSize(), 3);
+}
+
+TEST_F(LoopControlTest, BudgetCountsFromConstructionNotZero) {
+  osn::LocalGraphApi api(graph_, labels_);
+  ASSERT_TRUE(api.GetNeighbors(0).ok());  // burn-in style pre-spend
+  const LoopControl loop(api, 0, /*api_budget=*/2);
+  int64_t iterations = 0;
+  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
+    ASSERT_TRUE(api.GetNeighbors(static_cast<graph::NodeId>(1 + i % 3)).ok());
+    ++iterations;
+  }
+  // The pre-spent call does not count against the sampling budget.
+  EXPECT_EQ(iterations, 2);
+}
+
+TEST_F(LoopControlTest, CachedIterationsAreCappedNotInfinite) {
+  osn::LocalGraphApi api(graph_, labels_);
+  ASSERT_TRUE(api.GetNeighbors(0).ok());
+  const LoopControl loop(api, 0, /*api_budget=*/1);
+  // All further touches of user 0 are cached (free): the budget never
+  // depletes, so the 64x+1000 iteration cap must end the loop.
+  EXPECT_TRUE(loop.KeepGoing(api, 1063));
+  EXPECT_FALSE(loop.KeepGoing(api, 1064));
+}
+
+TEST_F(LoopControlTest, SampleSizeCapsBudgetDrivenLoops) {
+  osn::LocalGraphApi api(graph_, labels_);
+  const LoopControl loop(api, /*sample_size=*/7, /*api_budget=*/1000);
+  EXPECT_TRUE(loop.KeepGoing(api, 6));
+  EXPECT_FALSE(loop.KeepGoing(api, 7));
+  EXPECT_EQ(loop.NominalSize(), 1000);  // thinning uses the budget
+}
+
+TEST_F(LoopControlTest, HugeBudgetDoesNotOverflowIterationCap) {
+  osn::LocalGraphApi api(graph_, labels_);
+  constexpr int64_t kHuge = std::numeric_limits<int64_t>::max() / 2;
+  const LoopControl loop(api, 0, kHuge);
+  // Pre-fix, 64 * kHuge + 1000 wrapped negative and the loop ran zero
+  // iterations; the cap must saturate instead.
+  EXPECT_TRUE(loop.KeepGoing(api, 0));
+  EXPECT_TRUE(loop.KeepGoing(api, int64_t{1} << 40));
+}
+
+TEST_F(LoopControlTest, ReserveHintIsClamped) {
+  osn::LocalGraphApi api(graph_, labels_);
+  const LoopControl small(api, 100, 0);
+  EXPECT_EQ(small.ReserveHint(), 100);
+  const LoopControl big(api, 0, int64_t{1} << 40);
+  EXPECT_EQ(big.ReserveHint(), int64_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace labelrw::estimators

@@ -111,6 +111,67 @@ TEST_F(LocalApiTest, ResetCallCountKeepsCache) {
   EXPECT_EQ(api.api_calls(), 0);
 }
 
+TEST_F(LocalApiTest, FastPathChargesLikeVirtualCalls) {
+  LocalGraphApi fast(graph_, labels_);
+  LocalGraphApi slow(graph_, labels_);
+  ASSERT_OK_AND_ASSIGN(auto slow_nbrs, slow.GetNeighbors(0));
+  const auto fast_nbrs = fast.NeighborsFast(0);
+  ASSERT_EQ(fast_nbrs.size(), slow_nbrs.size());
+  for (size_t i = 0; i < fast_nbrs.size(); ++i) {
+    EXPECT_EQ(fast_nbrs[i], slow_nbrs[i]);
+  }
+  EXPECT_EQ(fast.api_calls(), slow.api_calls());
+
+  // Cached re-touches are free on both tiers, in any mix.
+  EXPECT_EQ(fast.DegreeFast(0), 3);
+  ASSERT_TRUE(fast.GetLabels(0).ok());
+  EXPECT_EQ(fast.api_calls(), 1);
+  EXPECT_EQ(fast.LabelsFast(1).size(), 1u);
+  EXPECT_EQ(fast.api_calls(), 2);
+  EXPECT_EQ(fast.distinct_users_fetched(), 2);
+}
+
+TEST_F(LocalApiTest, CanAccessTracksBudgetAndCache) {
+  LocalGraphApi api(graph_, labels_, CostModel(), /*budget=*/1);
+  EXPECT_TRUE(api.CanAccess(0));
+  ASSERT_TRUE(api.GetNeighbors(0).ok());
+  EXPECT_FALSE(api.CanAccess(1));  // budget spent, uncached user
+  EXPECT_TRUE(api.CanAccess(0));   // cached users stay free
+
+  LocalGraphApi unbudgeted(graph_, labels_);
+  EXPECT_TRUE(unbudgeted.CanAccess(3));
+}
+
+TEST_F(LocalApiTest, SharedScratchResetsBetweenInstances) {
+  // The sweep harness reuses one TouchedSet across per-rep API instances:
+  // each construction must start from an empty cache, and the buffer must
+  // not leak touches between instances.
+  TouchedSet scratch;
+  for (int rep = 0; rep < 3; ++rep) {
+    LocalGraphApi api(graph_, labels_, CostModel(), -1, &scratch);
+    EXPECT_EQ(api.api_calls(), 0);
+    EXPECT_EQ(api.distinct_users_fetched(), 0);
+    ASSERT_TRUE(api.GetNeighbors(1).ok());
+    ASSERT_TRUE(api.GetNeighbors(1).ok());  // cached within the rep
+    EXPECT_EQ(api.api_calls(), 1);
+    EXPECT_EQ(api.distinct_users_fetched(), 1);
+  }
+}
+
+TEST(TouchedSetTest, ResetIsEmptyAndGrows) {
+  TouchedSet set;
+  set.Reset(4);
+  EXPECT_FALSE(set.Test(0));
+  EXPECT_FALSE(set.TestAndSet(0));
+  EXPECT_TRUE(set.Test(0));
+  EXPECT_TRUE(set.TestAndSet(0));
+  set.Reset(4);
+  EXPECT_FALSE(set.Test(0));  // O(1) epoch-bump clear
+  set.Reset(16);              // growth reallocates and clears
+  EXPECT_GE(set.capacity(), 16);
+  EXPECT_FALSE(set.Test(0));
+}
+
 TEST_F(LocalApiTest, PriorsMatchGraph) {
   LocalGraphApi api(graph_, labels_);
   const GraphPriors priors = api.Priors();

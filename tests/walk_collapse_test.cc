@@ -1,0 +1,297 @@
+// Tests for geometric self-loop collapsing in kMaxDegree/kGmd walks:
+//   1. SampleSelfLoopRun matches the geometric law (chi-square GOF).
+//   2. Collapsed vs naive Advance() end-state distributions agree
+//      (two-sample chi-square) for node and edge walks.
+//   3. With collapsing disabled, Advance() is bit-identical to repeated
+//      Step() — the naive stepper — and estimator outputs are bit-identical
+//      across runs for a fixed seed.
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "estimators/estimator.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "rw/edge_walk.h"
+#include "rw/node_walk.h"
+#include "tests/test_util.h"
+
+namespace labelrw::rw {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+
+graph::Graph TestGraph() {
+  return MakeGraph(8, {{0, 1},
+                       {1, 2},
+                       {2, 3},
+                       {3, 4},
+                       {4, 5},
+                       {5, 6},
+                       {6, 7},
+                       {0, 2},
+                       {2, 5},
+                       {1, 6},
+                       {3, 7}});
+}
+
+// Two-sample chi-square statistic over aligned count vectors.
+double TwoSampleChiSquare(const std::vector<int64_t>& a,
+                          const std::vector<int64_t>& b) {
+  double total_a = 0.0, total_b = 0.0;
+  for (int64_t x : a) total_a += static_cast<double>(x);
+  for (int64_t x : b) total_b += static_cast<double>(x);
+  const double ka = std::sqrt(total_b / total_a);
+  const double kb = std::sqrt(total_a / total_b);
+  double chi2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double n = static_cast<double>(a[i] + b[i]);
+    if (n == 0.0) continue;
+    const double d = ka * static_cast<double>(a[i]) -
+                     kb * static_cast<double>(b[i]);
+    chi2 += d * d / n;
+  }
+  return chi2;
+}
+
+TEST(SampleSelfLoopRunTest, MatchesGeometricLaw) {
+  constexpr double kMoveProb = 0.3;
+  constexpr int64_t kDraws = 100000;
+  constexpr int kBins = 20;  // run lengths 0..18 plus tail
+  Rng rng(2024);
+  std::vector<int64_t> observed(kBins, 0);
+  for (int64_t i = 0; i < kDraws; ++i) {
+    const int64_t run = SampleSelfLoopRun(rng, kMoveProb, 1 << 30);
+    ++observed[run >= kBins - 1 ? kBins - 1 : run];
+  }
+  // Chi-square goodness of fit against P(L = j) = (1-p)^j p.
+  double chi2 = 0.0;
+  double tail = 1.0;
+  for (int j = 0; j < kBins - 1; ++j) {
+    const double pj = std::pow(1.0 - kMoveProb, j) * kMoveProb;
+    tail -= pj;
+    const double expected = pj * static_cast<double>(kDraws);
+    const double d = static_cast<double>(observed[j]) - expected;
+    chi2 += d * d / expected;
+  }
+  const double expected_tail = tail * static_cast<double>(kDraws);
+  const double dt = static_cast<double>(observed[kBins - 1]) - expected_tail;
+  chi2 += dt * dt / expected_tail;
+  // df = 19; the 0.001 quantile is ~43.8. Deterministic seed, so this is a
+  // regression gate, not a flaky statistical assertion.
+  EXPECT_LT(chi2, 43.8);
+}
+
+TEST(SampleSelfLoopRunTest, EdgeCases) {
+  Rng rng(7);
+  EXPECT_EQ(SampleSelfLoopRun(rng, 1.0, 100), 0);   // always moves
+  EXPECT_EQ(SampleSelfLoopRun(rng, 1.5, 100), 0);   // clamped
+  EXPECT_EQ(SampleSelfLoopRun(rng, 0.0, 100), 100); // never moves: capped
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t run = SampleSelfLoopRun(rng, 0.05, 17);
+    EXPECT_GE(run, 0);
+    EXPECT_LE(run, 17);
+  }
+}
+
+class CollapseDistributionTest : public ::testing::TestWithParam<WalkKind> {};
+
+TEST_P(CollapseDistributionTest, NodeWalkEndStateDistributionsAgree) {
+  const WalkKind kind = GetParam();
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+
+  constexpr int kReps = 20000;
+  constexpr int64_t kIterations = 40;
+  std::vector<std::vector<int64_t>> visits(2);
+  for (const bool collapsed : {false, true}) {
+    WalkParams params;
+    params.kind = kind;
+    // A loose degree bound makes self-loops dominate (move prob ~ d/30),
+    // which is exactly the regime collapsing accelerates.
+    params.max_degree_prior = 30;
+    params.gmd_delta = 0.5;
+    params.collapse_self_loops = collapsed;
+    osn::LocalGraphApi api(g, labels);
+    NodeWalk walk(&api, params);
+    Rng rng(collapsed ? 999 : 111);
+    std::vector<int64_t> counts(g.num_nodes(), 0);
+    for (int rep = 0; rep < kReps; ++rep) {
+      ASSERT_OK(walk.Reset(0));
+      ASSERT_OK(walk.Advance(kIterations, rng));
+      ++counts[walk.current()];
+    }
+    visits[collapsed ? 1 : 0] = std::move(counts);
+  }
+  // df = 7; 0.001 quantile ~24.3. Deterministic seeds.
+  EXPECT_LT(TwoSampleChiSquare(visits[0], visits[1]), 24.3)
+      << WalkKindName(kind);
+}
+
+TEST_P(CollapseDistributionTest, EdgeWalkEndStateDistributionsAgree) {
+  const WalkKind kind = GetParam();
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(g);
+
+  constexpr int kReps = 8000;
+  constexpr int64_t kIterations = 30;
+  std::map<graph::Edge, std::pair<int64_t, int64_t>> counts;
+  for (const bool collapsed : {false, true}) {
+    WalkParams params;
+    params.kind = kind;
+    params.max_degree_prior = 4 * stats.max_line_degree;
+    params.gmd_delta = 0.5;
+    params.collapse_self_loops = collapsed;
+    osn::LocalGraphApi api(g, labels);
+    EdgeWalk walk(&api, params);
+    Rng rng(collapsed ? 555 : 777);
+    for (int rep = 0; rep < kReps; ++rep) {
+      ASSERT_OK(walk.Reset(graph::Edge::Make(0, 1)));
+      ASSERT_OK(walk.Advance(kIterations, rng));
+      auto& cell = counts[walk.current()];
+      if (collapsed) {
+        ++cell.second;
+      } else {
+        ++cell.first;
+      }
+    }
+  }
+  std::vector<int64_t> naive, fast;
+  for (const auto& [edge, pair] : counts) {
+    naive.push_back(pair.first);
+    fast.push_back(pair.second);
+  }
+  // 11 edges -> df = 10; 0.001 quantile ~29.6. Deterministic seeds.
+  EXPECT_LT(TwoSampleChiSquare(naive, fast), 29.6) << WalkKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxDegreeAndGmd, CollapseDistributionTest,
+                         ::testing::Values(WalkKind::kMaxDegree,
+                                           WalkKind::kGmd),
+                         [](const ::testing::TestParamInfo<WalkKind>& info) {
+                           return WalkKindName(info.param);
+                         });
+
+class CollapseExactnessTest : public ::testing::TestWithParam<WalkKind> {};
+
+TEST_P(CollapseExactnessTest, DisabledCollapsingEqualsNaiveNodeStepper) {
+  // With collapsing off, Advance(k) must consume the RNG stream exactly
+  // like k naive Step() calls — i.e. the disabled path IS the
+  // pre-optimization stepper, bit for bit.
+  const WalkKind kind = GetParam();
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+
+  WalkParams params;
+  params.kind = kind;
+  params.max_degree_prior = 25;
+  params.collapse_self_loops = false;
+
+  osn::LocalGraphApi api_a(g, labels);
+  osn::LocalGraphApi api_b(g, labels);
+  NodeWalk advance_walk(&api_a, params);
+  NodeWalk step_walk(&api_b, params);
+  Rng rng_a(31415);
+  Rng rng_b(31415);
+
+  ASSERT_OK(advance_walk.Reset(0));
+  ASSERT_OK(step_walk.Reset(0));
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_OK(advance_walk.Advance(37, rng_a));
+    for (int i = 0; i < 37; ++i) {
+      ASSERT_TRUE(step_walk.Step(rng_b).ok());
+    }
+    ASSERT_EQ(advance_walk.current(), step_walk.current())
+        << "round " << round << " kind " << WalkKindName(kind);
+  }
+}
+
+TEST_P(CollapseExactnessTest, DisabledCollapsingEqualsNaiveEdgeStepper) {
+  const WalkKind kind = GetParam();
+  const graph::Graph g = TestGraph();
+  const graph::LabelStore labels = testing::RandomLabels(g.num_nodes(), 2, 1);
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(g);
+
+  WalkParams params;
+  params.kind = kind;
+  params.max_degree_prior = 2 * stats.max_line_degree;
+  params.collapse_self_loops = false;
+
+  osn::LocalGraphApi api_a(g, labels);
+  osn::LocalGraphApi api_b(g, labels);
+  EdgeWalk advance_walk(&api_a, params);
+  EdgeWalk step_walk(&api_b, params);
+  Rng rng_a(27182);
+  Rng rng_b(27182);
+
+  ASSERT_OK(advance_walk.Reset(graph::Edge::Make(0, 1)));
+  ASSERT_OK(step_walk.Reset(graph::Edge::Make(0, 1)));
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_OK(advance_walk.Advance(23, rng_a));
+    for (int i = 0; i < 23; ++i) {
+      ASSERT_TRUE(step_walk.Step(rng_b).ok());
+    }
+    EXPECT_EQ(advance_walk.current(), step_walk.current())
+        << "round " << round << " kind " << WalkKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxDegreeAndGmd, CollapseExactnessTest,
+                         ::testing::Values(WalkKind::kMaxDegree,
+                                           WalkKind::kGmd),
+                         [](const ::testing::TestParamInfo<WalkKind>& info) {
+                           return WalkKindName(info.param);
+                         });
+
+TEST(CollapseEstimatorTest, BitIdenticalForFixedSeedWhenDisabled) {
+  const graph::Graph g = testing::RandomConnectedGraph(40, 120, 4242);
+  const graph::LabelStore labels = testing::RandomLabels(40, 3, 4243);
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(g);
+  osn::GraphPriors priors{g.num_nodes(), g.num_edges(), stats.max_degree,
+                          stats.max_line_degree};
+  const graph::TargetLabel target{0, 1};
+
+  for (const auto id : {estimators::AlgorithmId::kExMDRW,
+                        estimators::AlgorithmId::kExGMD}) {
+    estimators::EstimateOptions options;
+    options.sample_size = 120;
+    options.burn_in = 50;
+    options.seed = 606;
+    options.collapse_self_loops = false;
+
+    osn::LocalGraphApi api1(g, labels);
+    osn::LocalGraphApi api2(g, labels);
+    ASSERT_OK_AND_ASSIGN(const estimators::EstimateResult r1,
+                         estimators::Estimate(id, api1, target, priors,
+                                              options));
+    ASSERT_OK_AND_ASSIGN(const estimators::EstimateResult r2,
+                         estimators::Estimate(id, api2, target, priors,
+                                              options));
+    EXPECT_EQ(r1.estimate, r2.estimate);
+    EXPECT_EQ(r1.api_calls, r2.api_calls);
+    EXPECT_EQ(r1.iterations, r2.iterations);
+
+    // With no burn-in there is no Advance() to collapse, so enabling the
+    // optimization must leave the sampling phase bit-identical too.
+    options.burn_in = 0;
+    options.collapse_self_loops = true;
+    osn::LocalGraphApi api3(g, labels);
+    ASSERT_OK_AND_ASSIGN(const estimators::EstimateResult r3,
+                         estimators::Estimate(id, api3, target, priors,
+                                              options));
+    options.collapse_self_loops = false;
+    osn::LocalGraphApi api4(g, labels);
+    ASSERT_OK_AND_ASSIGN(const estimators::EstimateResult r4,
+                         estimators::Estimate(id, api4, target, priors,
+                                              options));
+    EXPECT_EQ(r3.estimate, r4.estimate);
+    EXPECT_EQ(r3.api_calls, r4.api_calls);
+  }
+}
+
+}  // namespace
+}  // namespace labelrw::rw

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-command verification: configure + build + ctest (the tier-1 sequence)
+# plus the perf smoke bench. Intended for CI and pre-commit use.
+#
+#   tools/check.sh            # tier-1 + quick perf smoke
+#   tools/check.sh --full     # also run the Orkut-analog perf bench
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== perf smoke (bench_perf_steps) =="
+PERF_ARGS=()
+if [[ "${1:-}" == "--full" ]]; then
+  PERF_ARGS+=(--full)
+fi
+"$BUILD_DIR/bench_perf_steps" --out="$BUILD_DIR/bench_results" "${PERF_ARGS[@]}"
+
+echo "OK"
