@@ -29,12 +29,8 @@ int main(int argc, char** argv) {
   alpha_table.set_caption("EX-RCMH: NRMSE at 5%|V| vs alpha");
   alpha_table.AddRow({"alpha", "NRMSE"});
   for (double alpha : {0.0, 0.1, 0.15, 0.2, 0.3}) {
-    eval::SweepConfig config;
+    eval::SweepConfig config = bench::MakeSweepConfig(flags, ds.burn_in);
     config.sample_fractions = {0.05};
-    config.reps = flags.reps;
-    config.threads = flags.threads;
-    config.seed = flags.seed;
-    config.burn_in = ds.burn_in;
     config.rcmh_alpha = alpha;
     config.algorithms = {estimators::AlgorithmId::kExRCMH};
     const eval::SweepResult result = bench::CheckedValue(
@@ -53,12 +49,8 @@ int main(int argc, char** argv) {
   delta_table.set_caption("EX-GMD: NRMSE at 5%|V| vs delta");
   delta_table.AddRow({"delta", "NRMSE"});
   for (double delta : {0.3, 0.4, 0.5, 0.6, 0.7}) {
-    eval::SweepConfig config;
+    eval::SweepConfig config = bench::MakeSweepConfig(flags, ds.burn_in);
     config.sample_fractions = {0.05};
-    config.reps = flags.reps;
-    config.threads = flags.threads;
-    config.seed = flags.seed;
-    config.burn_in = ds.burn_in;
     config.gmd_delta = delta;
     config.algorithms = {estimators::AlgorithmId::kExGMD};
     const eval::SweepResult result = bench::CheckedValue(

@@ -26,12 +26,8 @@ int main(int argc, char** argv) {
 
   const int64_t burnins[] = {0, 10, 100, ds.burn_in};
   for (int64_t burn_in : burnins) {
-    eval::SweepConfig config;
+    eval::SweepConfig config = bench::MakeSweepConfig(flags, burn_in);
     config.sample_fractions = {0.02};
-    config.reps = flags.reps;
-    config.threads = flags.threads;
-    config.seed = flags.seed;
-    config.burn_in = burn_in;
     config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
                          estimators::AlgorithmId::kNeighborExplorationHH};
     const eval::SweepResult result = bench::CheckedValue(

@@ -36,12 +36,13 @@ int main(int argc, char** argv) {
   csv.SetHeader({"variant", "algorithm", "fraction", "nrmse"});
 
   for (const auto& variant : variants) {
-    eval::SweepConfig config;
+    eval::SweepConfig config = bench::MakeSweepConfig(flags, ds.burn_in);
+    // Spacing-thinning strides derive from the nominal sample size, which
+    // the prefix protocol pins to the largest budget (SweepConfig::Validate
+    // rejects the combination) — this ablation is inherently a study of the
+    // independent protocol, so pin it regardless of --protocol.
+    config.protocol = eval::SweepProtocol::kIndependentRuns;
     config.sample_fractions = {0.01, 0.05};
-    config.reps = flags.reps;
-    config.threads = flags.threads;
-    config.seed = flags.seed;
-    config.burn_in = ds.burn_in;
     config.ht_thinning = variant.thinning;
     config.ht_spacing_fraction = variant.fraction;
     config.algorithms = {estimators::AlgorithmId::kNeighborSampleHT,

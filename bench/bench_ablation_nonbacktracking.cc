@@ -18,12 +18,8 @@ void RunOne(const synth::Dataset& ds, const graph::LabelPairCount& target,
             const bench::BenchFlags& flags, CsvWriter* csv,
             TextTable* table) {
   for (const bool nb : {false, true}) {
-    eval::SweepConfig config;
+    eval::SweepConfig config = bench::MakeSweepConfig(flags, ds.burn_in);
     config.sample_fractions = {0.02, 0.05};
-    config.reps = flags.reps;
-    config.threads = flags.threads;
-    config.seed = flags.seed;
-    config.burn_in = ds.burn_in;
     config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
                          estimators::AlgorithmId::kNeighborExplorationHH};
     // The harness forwards walk kind through EstimateOptions; emulate by

@@ -63,12 +63,8 @@ inline void RunFrequencyFigure(const synth::Dataset& ds,
                  "nrmse"});
 
   for (const auto& pair : pairs) {
-    eval::SweepConfig config;
+    eval::SweepConfig config = MakeSweepConfig(flags, ds.burn_in);
     config.sample_fractions = {0.05};
-    config.reps = flags.reps;
-    config.threads = flags.threads;
-    config.seed = flags.seed;
-    config.burn_in = ds.burn_in;
     config.algorithms = algorithms;
     const eval::SweepResult result = CheckedValue(
         eval::RunSweep(ds.graph, ds.labels, pair.target, config), "RunSweep");

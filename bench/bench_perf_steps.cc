@@ -51,13 +51,11 @@ PerfFlags ParsePerfFlags(int argc, char** argv) {
                    argv[0]);
       std::exit(0);
     } else if (std::strncmp(arg, "--steps=", 8) == 0) {
-      flags.steps = ParseIntFlagOrDie("--steps", arg + 8);
-      if (flags.steps <= 0) {
-        std::fprintf(stderr, "--steps must be positive\n");
-        std::exit(2);
-      }
+      // Edge-walk measurements run in steps/4 chunks, so require >= 4 to
+      // keep every timed chunk non-empty.
+      flags.steps = labelrw::flags::ParseIntAtLeastOrDie("--steps", arg + 8, 4);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      flags.seed = ParseUintFlagOrDie("--seed", arg + 7);
+      flags.seed = labelrw::flags::ParseUintOrDie("--seed", arg + 7);
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       flags.out_dir = arg + 6;
     } else if (std::strcmp(arg, "--full") == 0) {

@@ -1,0 +1,100 @@
+// Sweep-protocol comparison: independent-runs (the paper's protocol) vs
+// prefix-budget (one resumable EstimatorSession fills all nested budget
+// cells per rep). Runs the default SweepConfig grid (0.5%..5%|V|, all ten
+// algorithms) on the Facebook analog under both protocols, reports
+// wall-clock, speedup, and the worst NRMSE deviation between the two —
+// the regression guard for the acceptance criterion "prefix-budget reduces
+// sweep wall-clock by >= 2x and stays within statistical tolerance".
+//
+// Dumps BENCH_sweep_protocol.json next to the CSVs so future PRs can diff.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace labelrw::bench {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      CheckedValue(synth::FacebookLike(flags.seed + 1), "FacebookLike");
+  PrintDatasetHeader(ds);
+
+  eval::SweepConfig config = MakeSweepConfig(flags, ds.burn_in);
+
+  config.protocol = eval::SweepProtocol::kIndependentRuns;
+  auto start = std::chrono::steady_clock::now();
+  const eval::SweepResult independent = CheckedValue(
+      eval::RunSweep(ds.graph, ds.labels, ds.targets[0].target, config),
+      "RunSweep(independent)");
+  const double independent_s = SecondsSince(start);
+
+  config.protocol = eval::SweepProtocol::kPrefixBudget;
+  start = std::chrono::steady_clock::now();
+  const eval::SweepResult prefix = CheckedValue(
+      eval::RunSweep(ds.graph, ds.labels, ds.targets[0].target, config),
+      "RunSweep(prefix)");
+  const double prefix_s = SecondsSince(start);
+
+  // Largest relative NRMSE deviation across all (algorithm, size) cells.
+  double worst_dev = 0.0;
+  const char* worst_algo = "";
+  for (size_t a = 0; a < independent.cells.size(); ++a) {
+    for (size_t s = 0; s < independent.cells[a].size(); ++s) {
+      const double base = independent.cells[a][s].nrmse;
+      if (base <= 0) continue;
+      const double dev =
+          std::abs(prefix.cells[a][s].nrmse - base) / base;
+      if (dev > worst_dev) {
+        worst_dev = dev;
+        worst_algo = estimators::AlgorithmName(independent.algorithms[a]);
+      }
+    }
+  }
+
+  const double speedup = prefix_s > 0 ? independent_s / prefix_s : 0.0;
+  std::printf("\nsweep protocol comparison (reps=%lld, %zu algorithms, %zu "
+              "budgets)\n",
+              static_cast<long long>(flags.reps),
+              independent.algorithms.size(), independent.sample_sizes.size());
+  std::printf("  independent-runs  %8.2f s\n", independent_s);
+  std::printf("  prefix-budget     %8.2f s\n", prefix_s);
+  std::printf("  speedup           %8.2fx\n", speedup);
+  std::printf("  worst NRMSE deviation  %.1f%% (%s)\n", 100.0 * worst_dev,
+              worst_algo);
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"bench\": \"sweep_protocol\",\n"
+                "  \"reps\": %lld,\n"
+                "  \"independent_seconds\": %.3f,\n"
+                "  \"prefix_seconds\": %.3f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"worst_nrmse_rel_deviation\": %.4f\n"
+                "}\n",
+                static_cast<long long>(flags.reps), independent_s, prefix_s,
+                speedup, worst_dev);
+  const std::string path = flags.out_dir + "/BENCH_sweep_protocol.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(json, f);
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace labelrw::bench
+
+int main(int argc, char** argv) { return labelrw::bench::Main(argc, argv); }

@@ -11,9 +11,7 @@
 int main(int argc, char** argv) {
   using namespace labelrw;
   const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
-  const synth::Dataset ds =
-      bench::CheckedValue(synth::FacebookLike(flags.seed + 1), "FacebookLike");
-  bench::PrintDatasetHeader(ds);
-  bench::RunAndPrintPaperTable(ds, ds.targets[0], flags, "table04");
+  bench::RunPaperTablesForDataset(synth::FacebookLike(flags.seed + 1), flags,
+                                  {"table04"});
   return 0;
 }

@@ -8,9 +8,7 @@
 int main(int argc, char** argv) {
   using namespace labelrw;
   const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
-  const synth::Dataset ds =
-      bench::CheckedValue(synth::GplusLike(flags.seed + 2), "GplusLike");
-  bench::PrintDatasetHeader(ds);
-  bench::RunAndPrintPaperTable(ds, ds.targets[0], flags, "table05");
+  bench::RunPaperTablesForDataset(synth::GplusLike(flags.seed + 2), flags,
+                                  {"table05"});
   return 0;
 }

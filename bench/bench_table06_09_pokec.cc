@@ -10,12 +10,7 @@
 int main(int argc, char** argv) {
   using namespace labelrw;
   const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
-  const synth::Dataset ds =
-      bench::CheckedValue(synth::PokecLike(flags.seed + 3), "PokecLike");
-  bench::PrintDatasetHeader(ds);
-  const char* tags[] = {"table06", "table07", "table08", "table09"};
-  for (size_t i = 0; i < ds.targets.size() && i < 4; ++i) {
-    bench::RunAndPrintPaperTable(ds, ds.targets[i], flags, tags[i]);
-  }
+  bench::RunPaperTablesForDataset(synth::PokecLike(flags.seed + 3), flags,
+                                  {"table06", "table07", "table08", "table09"});
   return 0;
 }

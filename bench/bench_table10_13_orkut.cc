@@ -9,12 +9,7 @@
 int main(int argc, char** argv) {
   using namespace labelrw;
   const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
-  const synth::Dataset ds =
-      bench::CheckedValue(synth::OrkutLike(flags.seed + 4), "OrkutLike");
-  bench::PrintDatasetHeader(ds);
-  const char* tags[] = {"table10", "table11", "table12", "table13"};
-  for (size_t i = 0; i < ds.targets.size() && i < 4; ++i) {
-    bench::RunAndPrintPaperTable(ds, ds.targets[i], flags, tags[i]);
-  }
+  bench::RunPaperTablesForDataset(synth::OrkutLike(flags.seed + 4), flags,
+                                  {"table10", "table11", "table12", "table13"});
   return 0;
 }

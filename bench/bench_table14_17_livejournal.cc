@@ -8,12 +8,8 @@
 int main(int argc, char** argv) {
   using namespace labelrw;
   const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
-  const synth::Dataset ds = bench::CheckedValue(
-      synth::LivejournalLike(flags.seed + 5), "LivejournalLike");
-  bench::PrintDatasetHeader(ds);
-  const char* tags[] = {"table14", "table15", "table16", "table17"};
-  for (size_t i = 0; i < ds.targets.size() && i < 4; ++i) {
-    bench::RunAndPrintPaperTable(ds, ds.targets[i], flags, tags[i]);
-  }
+  bench::RunPaperTablesForDataset(synth::LivejournalLike(flags.seed + 5),
+                                  flags,
+                                  {"table14", "table15", "table16", "table17"});
   return 0;
 }

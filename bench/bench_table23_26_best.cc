@@ -27,13 +27,8 @@ int main(int argc, char** argv) {
 
   for (const auto& ds : datasets) {
     for (const auto& t : ds.targets) {
-      eval::SweepConfig config;
+      eval::SweepConfig config = bench::MakeSweepConfig(flags, ds.burn_in);
       config.sample_fractions = {0.05};
-      config.reps = flags.reps;
-      config.threads = flags.threads;
-      config.seed = flags.seed;
-      config.burn_in = ds.burn_in;
-      config.algorithms = estimators::AllAlgorithms();
       const eval::SweepResult result = bench::CheckedValue(
           eval::RunSweep(ds.graph, ds.labels, t.target, config), "RunSweep");
       const eval::BestAtBudget best = eval::BestAtLargestBudget(result);

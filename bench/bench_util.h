@@ -6,22 +6,24 @@
 //   --threads=N   worker threads (default: all cores)
 //   --out=DIR     directory for raw CSV dumps (default: bench_results)
 //   --seed=N      base seed (default 42)
+//   --protocol=P  sweep protocol: "independent" (paper-faithful default) or
+//                 "prefix" (one resumable session fills all nested budget
+//                 cells per rep — >5x fewer walk steps on the 0.5%..5% grid)
 
 #ifndef LABELRW_BENCH_BENCH_UTIL_H_
 #define LABELRW_BENCH_BENCH_UTIL_H_
 
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <initializer_list>
 #include <limits>
 #include <string>
 
 #include "eval/experiment.h"
 #include "eval/report.h"
 #include "synth/datasets.h"
+#include "util/flags.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -32,6 +34,7 @@ struct BenchFlags {
   int threads = 0;  // 0 = hardware concurrency
   std::string out_dir = "bench_results";
   uint64_t seed = 42;
+  eval::SweepProtocol protocol = eval::SweepProtocol::kIndependentRuns;
 };
 
 inline void PrintUsage(const char* prog) {
@@ -43,38 +46,10 @@ inline void PrintUsage(const char* prog) {
       "  --threads=N   worker threads (default 0 = all cores)\n"
       "  --seed=N      base RNG seed (default 42)\n"
       "  --out=DIR     directory for raw CSV dumps (default bench_results)\n"
+      "  --protocol=P  'independent' (default) or 'prefix' (one walk per\n"
+      "                rep fills all nested budget cells)\n"
       "  --help        this message\n",
       prog);
-}
-
-/// Strict integer flag parsing: the whole value must be numeric. atoll-style
-/// silent "--reps=abc" -> 0 would run a zero-rep sweep and print an empty
-/// table, so reject instead.
-inline int64_t ParseIntFlagOrDie(const char* flag_name, const char* value) {
-  char* end = nullptr;
-  errno = 0;
-  const long long parsed = std::strtoll(value, &end, 10);
-  if (end == value || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr, "invalid numeric value for %s: '%s'\n", flag_name,
-                 value);
-    std::exit(2);
-  }
-  return static_cast<int64_t>(parsed);
-}
-
-inline uint64_t ParseUintFlagOrDie(const char* flag_name, const char* value) {
-  // Require the value to start with a digit: strtoull would otherwise skip
-  // leading whitespace and silently wrap a negative input.
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0' || errno == ERANGE ||
-      !std::isdigit(static_cast<unsigned char>(value[0]))) {
-    std::fprintf(stderr, "invalid numeric value for %s: '%s'\n", flag_name,
-                 value);
-    std::exit(2);
-  }
-  return static_cast<uint64_t>(parsed);
 }
 
 inline BenchFlags ParseFlags(int argc, char** argv) {
@@ -85,13 +60,9 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       PrintUsage(argv[0]);
       std::exit(0);
     } else if (std::strncmp(arg, "--reps=", 7) == 0) {
-      flags.reps = ParseIntFlagOrDie("--reps", arg + 7);
-      if (flags.reps <= 0) {
-        std::fprintf(stderr, "--reps must be positive\n");
-        std::exit(2);
-      }
+      flags.reps = flags::ParseIntAtLeastOrDie("--reps", arg + 7, 1);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      const int64_t threads = ParseIntFlagOrDie("--threads", arg + 10);
+      const int64_t threads = flags::ParseIntOrDie("--threads", arg + 10);
       if (threads < 0 || threads > std::numeric_limits<int>::max()) {
         std::fprintf(stderr, "--threads must be in [0, %d] (0 = all cores)\n",
                      std::numeric_limits<int>::max());
@@ -101,7 +72,20 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       flags.out_dir = arg + 6;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      flags.seed = ParseUintFlagOrDie("--seed", arg + 7);
+      flags.seed = flags::ParseUintOrDie("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--protocol=", 11) == 0) {
+      const char* value = arg + 11;
+      if (std::strcmp(value, "independent") == 0) {
+        flags.protocol = eval::SweepProtocol::kIndependentRuns;
+      } else if (std::strcmp(value, "prefix") == 0) {
+        flags.protocol = eval::SweepProtocol::kPrefixBudget;
+      } else {
+        std::fprintf(stderr,
+                     "--protocol must be 'independent' or 'prefix' "
+                     "(got '%s')\n",
+                     value);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       PrintUsage(argv[0]);
@@ -131,19 +115,28 @@ T CheckedValue(Result<T> result, const char* what) {
   return std::move(result).value();
 }
 
+/// The sweep configuration every table bench shares: flag-controlled knobs
+/// plus the dataset's burn-in recommendation and all ten algorithms.
+inline eval::SweepConfig MakeSweepConfig(const BenchFlags& flags,
+                                         int64_t burn_in) {
+  eval::SweepConfig config;
+  config.sample_fractions = eval::SweepConfig::PaperFractions();
+  config.reps = flags.reps;
+  config.threads = flags.threads;
+  config.seed = flags.seed;
+  config.burn_in = burn_in;
+  config.algorithms = estimators::AllAlgorithms();
+  config.protocol = flags.protocol;
+  return config;
+}
+
 /// Runs the paper's 0.5%..5% sweep for one dataset/target and prints the
 /// table; dumps raw CSV into the output directory.
 inline void RunAndPrintPaperTable(const synth::Dataset& dataset,
                                   const graph::LabelPairCount& target,
                                   const BenchFlags& flags,
                                   const std::string& table_tag) {
-  eval::SweepConfig config;
-  config.sample_fractions = eval::SweepConfig::PaperFractions();
-  config.reps = flags.reps;
-  config.threads = flags.threads;
-  config.seed = flags.seed;
-  config.burn_in = dataset.burn_in;
-  config.algorithms = estimators::AllAlgorithms();
+  const eval::SweepConfig config = MakeSweepConfig(flags, dataset.burn_in);
 
   const eval::SweepResult result = CheckedValue(
       eval::RunSweep(dataset.graph, dataset.labels, target.target, config),
@@ -152,14 +145,15 @@ inline void RunAndPrintPaperTable(const synth::Dataset& dataset,
   char caption[256];
   std::snprintf(caption, sizeof(caption),
                 "%s: %s, target label=%s, number of target edges=%lld, "
-                "percentage=%s (reps=%lld)",
+                "percentage=%s (reps=%lld, %s)",
                 table_tag.c_str(), dataset.name.c_str(),
                 eval::TargetName(target.target).c_str(),
                 static_cast<long long>(result.truth),
                 FormatPercent(static_cast<double>(result.truth) /
                               static_cast<double>(dataset.graph.num_edges()))
                     .c_str(),
-                static_cast<long long>(flags.reps));
+                static_cast<long long>(flags.reps),
+                eval::SweepProtocolName(result.protocol));
   std::printf("%s\n", eval::RenderPaperTable(result, caption).c_str());
 
   const CsvWriter csv = eval::ToCsv(result, dataset.name,
@@ -179,6 +173,23 @@ inline void PrintDatasetHeader(const synth::Dataset& dataset) {
               dataset.name.c_str(), FormatCount(dataset.graph.num_nodes()).c_str(),
               FormatCount(dataset.graph.num_edges()).c_str(),
               static_cast<long long>(dataset.burn_in));
+}
+
+/// The whole body of a table-reproduction main: build the dataset, print
+/// its header, and run one paper table per (target, tag) pair — tags map to
+/// the dataset's targets in order, extra targets are skipped.
+inline void RunPaperTablesForDataset(Result<synth::Dataset> dataset_result,
+                                     const BenchFlags& flags,
+                                     std::initializer_list<const char*> tags) {
+  const synth::Dataset dataset =
+      CheckedValue(std::move(dataset_result), "dataset generation");
+  PrintDatasetHeader(dataset);
+  size_t i = 0;
+  for (const char* tag : tags) {
+    if (i >= dataset.targets.size()) break;
+    RunAndPrintPaperTable(dataset, dataset.targets[i], flags, tag);
+    ++i;
+  }
 }
 
 }  // namespace labelrw::bench

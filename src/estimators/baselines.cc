@@ -1,62 +1,59 @@
 #include "estimators/baselines.h"
 
 #include "estimators/common.h"
-#include "rw/edge_walk.h"
 
 namespace labelrw::estimators {
 
-Result<EstimateResult> LineGraphBaselineEstimate(
-    osn::OsnApi& api, const graph::TargetLabel& target,
+LineGraphBaselineSession::LineGraphBaselineSession(
+    AlgorithmId id, osn::OsnApi& api, const graph::TargetLabel& target,
     const osn::GraphPriors& priors, const EstimateOptions& options,
-    rw::WalkKind walk_kind) {
-  LABELRW_RETURN_IF_ERROR(options.Validate());
+    rw::WalkParams walk_params)
+    : EstimatorSession(id, "baseline", api, target, priors, options),
+      m_(static_cast<double>(priors.num_edges)),
+      walk_params_(walk_params),
+      walk_(&api, walk_params) {}
+
+Result<std::unique_ptr<EstimatorSession>> LineGraphBaselineSession::Create(
+    AlgorithmId id, rw::WalkKind walk_kind, osn::OsnApi& api,
+    const graph::TargetLabel& target, const osn::GraphPriors& priors,
+    const EstimateOptions& options) {
   if (priors.num_edges <= 0) {
     return InvalidArgumentError("baseline: |E| prior must be positive");
   }
-  const double m = static_cast<double>(priors.num_edges);
-  const int64_t calls_before = api.api_calls();
-
-  Rng rng(options.seed);
   rw::WalkParams walk_params;
   walk_params.kind = walk_kind;
   walk_params.rcmh_alpha = options.rcmh_alpha;
   walk_params.gmd_delta = options.gmd_delta;
   walk_params.max_degree_prior = priors.max_line_degree;
   walk_params.collapse_self_loops = options.collapse_self_loops;
-  rw::EdgeWalk walk(&api, walk_params);
-  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
-  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+  return std::unique_ptr<EstimatorSession>(new LineGraphBaselineSession(
+      id, api, target, priors, options, walk_params));
+}
 
-  double weighted_hits = 0.0;  // sum I(e)/w(e)
-  double weight_sum = 0.0;     // sum 1/w(e)
-  int64_t iterations = 0;
+Status LineGraphBaselineSession::StartWalk(Rng& rng) {
+  LABELRW_RETURN_IF_ERROR(walk_.ResetRandom(rng));
+  return walk_.Advance(options().burn_in, rng);
+}
 
-  const LoopControl loop(api, options.sample_size, options.api_budget);
-  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
-    ++iterations;
-    LABELRW_ASSIGN_OR_RETURN(const graph::Edge e, walk.Step(rng));
-    LABELRW_ASSIGN_OR_RETURN(const int64_t line_degree,
-                             walk.CurrentLineDegree());
-    // In a connected graph with >= 2 edges, deg'(e) >= 1; guard anyway.
-    const double degree =
-        line_degree > 0 ? static_cast<double>(line_degree) : 1.0;
-    const double weight = rw::StationaryWeight(walk_params, degree);
-    LABELRW_ASSIGN_OR_RETURN(const bool is_target,
-                             IsTargetEdge(api, e.u, e.v, target));
-    if (is_target) weighted_hits += 1.0 / weight;
-    weight_sum += 1.0 / weight;
-  }
+Status LineGraphBaselineSession::IterateOnce(int64_t i, Rng& rng) {
+  (void)i;
+  LABELRW_ASSIGN_OR_RETURN(const graph::Edge e, walk_.Step(rng));
+  LABELRW_ASSIGN_OR_RETURN(const int64_t line_degree,
+                           walk_.CurrentLineDegree());
+  // In a connected graph with >= 2 edges, deg'(e) >= 1; guard anyway.
+  const double degree =
+      line_degree > 0 ? static_cast<double>(line_degree) : 1.0;
+  const double weight = rw::StationaryWeight(walk_params_, degree);
+  LABELRW_ASSIGN_OR_RETURN(const bool is_target,
+                           IsTargetEdge(api(), e.u, e.v, target()));
+  if (is_target) weighted_hits_ += 1.0 / weight;
+  weight_sum_ += 1.0 / weight;
+  return Status::Ok();
+}
 
-  if (iterations == 0) {
-    return FailedPreconditionError("baseline: budget too small");
-  }
-
-  EstimateResult result;
-  result.iterations = iterations;
-  result.samples_used = iterations;
-  result.api_calls = api.api_calls() - calls_before;
-  result.estimate = weight_sum > 0 ? m * weighted_hits / weight_sum : 0.0;
-  return result;
+void LineGraphBaselineSession::FillSnapshot(EstimateResult* out) const {
+  out->samples_used = out->iterations;
+  out->estimate = weight_sum_ > 0 ? m_ * weighted_hits_ / weight_sum_ : 0.0;
 }
 
 }  // namespace labelrw::estimators

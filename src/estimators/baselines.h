@@ -10,19 +10,47 @@
 //
 // with w the stationary weight of the walk kind (see rw/walk.h). For the
 // uniform-stationary walks (MHRW, MDRW) this reduces to |E| * (1/k) sum I.
+//
+// The two running sums make the baselines natural incremental state
+// machines; the self-normalized ratio is a valid anytime estimate after
+// every iteration.
 
 #ifndef LABELRW_ESTIMATORS_BASELINES_H_
 #define LABELRW_ESTIMATORS_BASELINES_H_
 
-#include "estimators/estimator.h"
+#include <memory>
+
+#include "estimators/session.h"
+#include "rw/edge_walk.h"
 #include "rw/walk.h"
 
 namespace labelrw::estimators {
 
-Result<EstimateResult> LineGraphBaselineEstimate(
-    osn::OsnApi& api, const graph::TargetLabel& target,
-    const osn::GraphPriors& priors, const EstimateOptions& options,
-    rw::WalkKind walk_kind);
+class LineGraphBaselineSession final : public EstimatorSession {
+ public:
+  static Result<std::unique_ptr<EstimatorSession>> Create(
+      AlgorithmId id, rw::WalkKind walk_kind, osn::OsnApi& api,
+      const graph::TargetLabel& target, const osn::GraphPriors& priors,
+      const EstimateOptions& options);
+
+ protected:
+  Status StartWalk(Rng& rng) override;
+  Status IterateOnce(int64_t i, Rng& rng) override;
+  void FillSnapshot(EstimateResult* out) const override;
+
+ private:
+  LineGraphBaselineSession(AlgorithmId id, osn::OsnApi& api,
+                           const graph::TargetLabel& target,
+                           const osn::GraphPriors& priors,
+                           const EstimateOptions& options,
+                           rw::WalkParams walk_params);
+
+  double m_;  // |E| prior
+  rw::WalkParams walk_params_;
+  rw::EdgeWalk walk_;
+  double weighted_hits_ = 0.0;  // sum I(e)/w(e)
+  double weight_sum_ = 0.0;     // sum 1/w(e)
+};
 
 }  // namespace labelrw::estimators
 

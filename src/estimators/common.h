@@ -58,23 +58,25 @@ inline int64_t ThinningStride(double fraction, int64_t k) {
 /// KeepGoing(api, i) before each iteration i.
 class LoopControl {
  public:
-  LoopControl(const osn::OsnApi& api, int64_t sample_size, int64_t api_budget)
-      : budget_(api_budget), start_calls_(api.api_calls()) {
-    if (api_budget > 0) {
-      // Cached re-fetches are free, so iterations can exceed the budget;
-      // cap them to keep the loop finite on fully cached subgraphs. The
-      // 64x + 1000 slack overflows int64 for budgets above ~2^57, so
-      // saturate instead of wrapping negative (which would end the loop
-      // after zero iterations).
-      constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
-      const int64_t capped = api_budget > (kMax - 1000) / 64
-                                 ? kMax
-                                 : 64 * api_budget + 1000;
-      max_iterations_ = sample_size > 0 ? sample_size : capped;
-    } else {
-      max_iterations_ = sample_size;
-    }
+  /// The iteration cap an (sample_size, api_budget) run uses. In budget
+  /// mode, cached re-fetches are free, so iterations can exceed the budget;
+  /// cap them to keep the loop finite on fully cached subgraphs. The
+  /// 64x + 1000 slack overflows int64 for budgets above ~2^57, so saturate
+  /// instead of wrapping negative (which would end the loop after zero
+  /// iterations). Exposed so EstimatorSession::RunUntilBudget can reproduce
+  /// the exact cap of an independent run at a nested budget.
+  static int64_t IterationCap(int64_t sample_size, int64_t api_budget) {
+    if (api_budget <= 0) return sample_size;
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    const int64_t capped =
+        api_budget > (kMax - 1000) / 64 ? kMax : 64 * api_budget + 1000;
+    return sample_size > 0 ? sample_size : capped;
   }
+
+  LoopControl(const osn::OsnApi& api, int64_t sample_size, int64_t api_budget)
+      : budget_(api_budget),
+        start_calls_(api.api_calls()),
+        max_iterations_(IterationCap(sample_size, api_budget)) {}
 
   bool KeepGoing(const osn::OsnApi& api, int64_t iteration) const {
     if (iteration >= max_iterations_) return false;

@@ -113,7 +113,10 @@ struct EstimateResult {
 };
 
 /// Runs `algorithm` against `api` and returns the estimate of the number of
-/// target edges for `target`.
+/// target edges for `target`. This is the v1 one-shot shim: it creates an
+/// EstimatorSession (session.h), runs it to the options' limits, and returns
+/// the final snapshot. Prefer the session surface when you need anytime
+/// estimates, incremental stepping, or several budgets from one walk.
 Result<EstimateResult> Estimate(AlgorithmId algorithm, osn::OsnApi& api,
                                 const graph::TargetLabel& target,
                                 const osn::GraphPriors& priors,

@@ -1,112 +1,103 @@
 #include "estimators/neighbor_exploration.h"
 
-#include <unordered_map>
-
-#include "estimators/common.h"
-#include "rw/node_walk.h"
-
 namespace labelrw::estimators {
 
-Result<EstimateResult> NeighborExplorationEstimate(
-    osn::OsnApi& api, const graph::TargetLabel& target,
-    const osn::GraphPriors& priors, const EstimateOptions& options,
-    NeEstimatorKind kind) {
-  LABELRW_RETURN_IF_ERROR(options.Validate());
+NeighborExplorationSession::NeighborExplorationSession(
+    AlgorithmId id, NeEstimatorKind kind, osn::OsnApi& api,
+    const graph::TargetLabel& target, const osn::GraphPriors& priors,
+    const EstimateOptions& options)
+    : EstimatorSession(id, "NeighborExploration", api, target, priors,
+                       options),
+      kind_(kind),
+      m_(static_cast<double>(priors.num_edges)),
+      n_(static_cast<double>(priors.num_nodes)),
+      walk_(&api, NodeWalkParamsFrom(options)) {}
+
+Result<std::unique_ptr<EstimatorSession>> NeighborExplorationSession::Create(
+    AlgorithmId id, NeEstimatorKind kind, osn::OsnApi& api,
+    const graph::TargetLabel& target, const osn::GraphPriors& priors,
+    const EstimateOptions& options) {
   if (priors.num_edges <= 0 || priors.num_nodes <= 0) {
     return InvalidArgumentError(
         "NeighborExploration: |V| and |E| priors must be positive");
   }
-  const double m = static_cast<double>(priors.num_edges);
-  const double n = static_cast<double>(priors.num_nodes);
-  const int64_t calls_before = api.api_calls();
+  return std::unique_ptr<EstimatorSession>(new NeighborExplorationSession(
+      id, kind, api, target, priors, options));
+}
 
-  Rng rng(options.seed);
-  rw::WalkParams walk_params;
-  walk_params.kind = options.ns_walk_kind;
-  walk_params.collapse_self_loops = options.collapse_self_loops;
-  rw::NodeWalk walk(&api, walk_params);
-  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
-  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+Status NeighborExplorationSession::StartWalk(Rng& rng) {
+  LABELRW_RETURN_IF_ERROR(walk_.ResetRandom(rng));
+  return walk_.Advance(options().burn_in, rng);
+}
 
-  const LoopControl loop(api, options.sample_size, options.api_budget);
-  const int64_t stride =
-      options.ht_thinning == HtThinning::kSpacing
-          ? ThinningStride(options.ht_spacing_fraction, loop.NominalSize())
-          : 1;
-
-  EstimateResult result;
-  BatchMeans hh_draws;   // per-draw |E| T(u)/d(u)
-  BatchRatio rw_draws;   // (T(u)/d(u), 1/d(u)) pairs
-  if (kind == NeEstimatorKind::kHansenHurwitz) {
-    hh_draws.Reserve(loop.ReserveHint());
-  } else if (kind == NeEstimatorKind::kReweighted) {
-    rw_draws.Reserve(loop.ReserveHint());
+void NeighborExplorationSession::PrepareAccumulators() {
+  stride_ = options().ht_thinning == HtThinning::kSpacing
+                ? ThinningStride(options().ht_spacing_fraction,
+                                 loop().NominalSize())
+                : 1;
+  if (kind_ == NeEstimatorKind::kHansenHurwitz) {
+    hh_draws_.Reserve(loop().ReserveHint());
+  } else if (kind_ == NeEstimatorKind::kReweighted) {
+    rw_draws_.Reserve(loop().ReserveHint());
   }
-  // HT: T(u) and d(u) for each distinct sampled node.
-  std::unordered_map<graph::NodeId, std::pair<int64_t, int64_t>> distinct;
-  int64_t retained = 0;
-  int64_t iterations = 0;
+}
 
-  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
-    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId u, walk.Step(rng));
-    ++iterations;
-    if (kind == NeEstimatorKind::kHorvitzThompson && i % stride != 0) {
-      continue;
-    }
-    ++retained;
-    LABELRW_ASSIGN_OR_RETURN(const int64_t degree, api.GetDegree(u));
-    LABELRW_ASSIGN_OR_RETURN(auto labels_u, api.GetLabels(u));
-    int64_t t_u = 0;
-    if (SpanHasLabel(labels_u, target.t1) ||
-        SpanHasLabel(labels_u, target.t2)) {
-      LABELRW_ASSIGN_OR_RETURN(t_u,
-                               ExploreIncidentTargetEdges(api, u, target));
-      ++result.explored_nodes;
-    }
-    switch (kind) {
-      case NeEstimatorKind::kHansenHurwitz:
-        hh_draws.Add(m * static_cast<double>(t_u) /
-                     static_cast<double>(degree));
-        break;
-      case NeEstimatorKind::kHorvitzThompson:
-        distinct.emplace(u, std::make_pair(t_u, degree));
-        break;
-      case NeEstimatorKind::kReweighted:
-        rw_draws.Add(static_cast<double>(t_u) / static_cast<double>(degree),
-                     1.0 / static_cast<double>(degree));
-        break;
-    }
+Status NeighborExplorationSession::IterateOnce(int64_t i, Rng& rng) {
+  LABELRW_ASSIGN_OR_RETURN(const graph::NodeId u, walk_.Step(rng));
+  if (kind_ == NeEstimatorKind::kHorvitzThompson && i % stride_ != 0) {
+    return Status::Ok();
   }
-  if (iterations == 0) {
-    return FailedPreconditionError("NeighborExploration: budget too small");
+  ++retained_;
+  LABELRW_ASSIGN_OR_RETURN(const int64_t degree, api().GetDegree(u));
+  LABELRW_ASSIGN_OR_RETURN(auto labels_u, api().GetLabels(u));
+  int64_t t_u = 0;
+  if (SpanHasLabel(labels_u, target().t1) ||
+      SpanHasLabel(labels_u, target().t2)) {
+    LABELRW_ASSIGN_OR_RETURN(
+        t_u, ExploreIncidentTargetEdges(api(), u, target()));
+    ++explored_nodes_;
   }
-
-  result.iterations = iterations;
-  result.samples_used = retained;
-  result.api_calls = api.api_calls() - calls_before;
-  switch (kind) {
+  switch (kind_) {
     case NeEstimatorKind::kHansenHurwitz:
-      result.estimate = hh_draws.Mean();
-      result.std_error = hh_draws.StdErrorOfMean();
+      hh_draws_.Add(m_ * static_cast<double>(t_u) /
+                    static_cast<double>(degree));
+      break;
+    case NeEstimatorKind::kHorvitzThompson:
+      distinct_.emplace(u, std::make_pair(t_u, degree));
+      break;
+    case NeEstimatorKind::kReweighted:
+      rw_draws_.Add(static_cast<double>(t_u) / static_cast<double>(degree),
+                    1.0 / static_cast<double>(degree));
+      break;
+  }
+  return Status::Ok();
+}
+
+void NeighborExplorationSession::FillSnapshot(EstimateResult* out) const {
+  out->samples_used = retained_;
+  out->explored_nodes = explored_nodes_;
+  switch (kind_) {
+    case NeEstimatorKind::kHansenHurwitz:
+      out->estimate = hh_draws_.Mean();
+      out->std_error = hh_draws_.StdErrorOfMean();
       break;
     case NeEstimatorKind::kHorvitzThompson: {
       double sum = 0.0;
-      for (const auto& [u, td] : distinct) {
+      for (const auto& [u, td] : distinct_) {
         const auto [t_u, degree] = td;
         if (t_u == 0) continue;
         const double pr = InclusionProbability(
-            static_cast<double>(degree) / (2.0 * m), retained);
+            static_cast<double>(degree) / (2.0 * m_), retained_);
         if (pr > 0) sum += static_cast<double>(t_u) / pr;
       }
-      result.estimate = 0.5 * sum;
+      out->estimate = 0.5 * sum;
       break;
     }
     case NeEstimatorKind::kReweighted:
-      result.estimate = 0.5 * n * rw_draws.Ratio();
-      result.std_error = 0.5 * n * rw_draws.StdErrorOfRatio();
+      out->estimate = 0.5 * n_ * rw_draws_.Ratio();
+      out->std_error = 0.5 * n_ * rw_draws_.StdErrorOfRatio();
       break;
   }
-  return result;
 }
 
 }  // namespace labelrw::estimators

@@ -11,20 +11,58 @@
 //                               Pr(u) = 1 - (1 - d(u)/2|E|)^s
 //   Re-weighted      (Thm 4.5): F = |V| (sum_i T(u_i)/d(u_i)) /
 //                                   (2 sum_i 1/d(u_i))
+//
+// Like the other families, the algorithm is an incremental state machine
+// since the v2 redesign: one iteration samples one node (plus its optional
+// exploration probe) and the estimate is recomputable after any iteration.
 
 #ifndef LABELRW_ESTIMATORS_NEIGHBOR_EXPLORATION_H_
 #define LABELRW_ESTIMATORS_NEIGHBOR_EXPLORATION_H_
 
-#include "estimators/estimator.h"
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "estimators/common.h"
+#include "estimators/session.h"
+#include "rw/node_walk.h"
 
 namespace labelrw::estimators {
 
 enum class NeEstimatorKind { kHansenHurwitz, kHorvitzThompson, kReweighted };
 
-Result<EstimateResult> NeighborExplorationEstimate(
-    osn::OsnApi& api, const graph::TargetLabel& target,
-    const osn::GraphPriors& priors, const EstimateOptions& options,
-    NeEstimatorKind kind);
+class NeighborExplorationSession final : public EstimatorSession {
+ public:
+  static Result<std::unique_ptr<EstimatorSession>> Create(
+      AlgorithmId id, NeEstimatorKind kind, osn::OsnApi& api,
+      const graph::TargetLabel& target, const osn::GraphPriors& priors,
+      const EstimateOptions& options);
+
+ protected:
+  Status StartWalk(Rng& rng) override;
+  void PrepareAccumulators() override;
+  Status IterateOnce(int64_t i, Rng& rng) override;
+  void FillSnapshot(EstimateResult* out) const override;
+
+ private:
+  NeighborExplorationSession(AlgorithmId id, NeEstimatorKind kind,
+                             osn::OsnApi& api,
+                             const graph::TargetLabel& target,
+                             const osn::GraphPriors& priors,
+                             const EstimateOptions& options);
+
+  NeEstimatorKind kind_;
+  double m_;  // |E| prior
+  double n_;  // |V| prior
+  rw::NodeWalk walk_;
+  int64_t stride_ = 1;
+  int64_t retained_ = 0;
+  int64_t explored_nodes_ = 0;
+  BatchMeans hh_draws_;  // per-draw |E| T(u)/d(u)
+  BatchRatio rw_draws_;  // (T(u)/d(u), 1/d(u)) pairs
+  // HT: T(u) and d(u) for each distinct sampled node.
+  std::unordered_map<graph::NodeId, std::pair<int64_t, int64_t>> distinct_;
+};
 
 }  // namespace labelrw::estimators
 

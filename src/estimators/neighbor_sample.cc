@@ -1,78 +1,69 @@
 #include "estimators/neighbor_sample.h"
 
-#include <unordered_set>
-
-#include "estimators/common.h"
-#include "rw/node_walk.h"
-
 namespace labelrw::estimators {
 
-Result<EstimateResult> NeighborSampleEstimate(
-    osn::OsnApi& api, const graph::TargetLabel& target,
-    const osn::GraphPriors& priors, const EstimateOptions& options,
-    NsEstimatorKind kind) {
-  LABELRW_RETURN_IF_ERROR(options.Validate());
+NeighborSampleSession::NeighborSampleSession(
+    AlgorithmId id, NsEstimatorKind kind, osn::OsnApi& api,
+    const graph::TargetLabel& target, const osn::GraphPriors& priors,
+    const EstimateOptions& options)
+    : EstimatorSession(id, "NeighborSample", api, target, priors, options),
+      kind_(kind),
+      m_(static_cast<double>(priors.num_edges)),
+      walk_(&api, NodeWalkParamsFrom(options)) {}
+
+Result<std::unique_ptr<EstimatorSession>> NeighborSampleSession::Create(
+    AlgorithmId id, NsEstimatorKind kind, osn::OsnApi& api,
+    const graph::TargetLabel& target, const osn::GraphPriors& priors,
+    const EstimateOptions& options) {
   if (priors.num_edges <= 0) {
     return InvalidArgumentError("NeighborSample: |E| prior must be positive");
   }
-  const double m = static_cast<double>(priors.num_edges);
-  const int64_t calls_before = api.api_calls();
+  return std::unique_ptr<EstimatorSession>(
+      new NeighborSampleSession(id, kind, api, target, priors, options));
+}
 
-  Rng rng(options.seed);
-  rw::WalkParams walk_params;
-  walk_params.kind = options.ns_walk_kind;
-  walk_params.collapse_self_loops = options.collapse_self_loops;
-  rw::NodeWalk walk(&api, walk_params);
-  LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
-  LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
+Status NeighborSampleSession::StartWalk(Rng& rng) {
+  LABELRW_RETURN_IF_ERROR(walk_.ResetRandom(rng));
+  return walk_.Advance(options().burn_in, rng);
+}
 
-  const LoopControl loop(api, options.sample_size, options.api_budget);
-  const int64_t stride =
-      options.ht_thinning == HtThinning::kSpacing
-          ? ThinningStride(options.ht_spacing_fraction, loop.NominalSize())
-          : 1;
-
-  std::unordered_set<graph::Edge, graph::EdgeHash> distinct_targets;  // HT
-  BatchMeans draws;  // HH: per-draw unbiased estimates m * I(e_i)
-  if (kind == NsEstimatorKind::kHansenHurwitz) {
-    draws.Reserve(loop.ReserveHint());
+void NeighborSampleSession::PrepareAccumulators() {
+  stride_ = options().ht_thinning == HtThinning::kSpacing
+                ? ThinningStride(options().ht_spacing_fraction,
+                                 loop().NominalSize())
+                : 1;
+  if (kind_ == NsEstimatorKind::kHansenHurwitz) {
+    draws_.Reserve(loop().ReserveHint());
   }
-  int64_t retained = 0;
-  int64_t iterations = 0;
+}
 
-  for (int64_t i = 0; loop.KeepGoing(api, i); ++i) {
-    const graph::NodeId from = walk.current();
-    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId to, walk.Step(rng));
-    ++iterations;
-    if (kind == NsEstimatorKind::kHorvitzThompson && i % stride != 0) {
-      continue;  // thinning keeps every stride-th draw
-    }
-    ++retained;
-    LABELRW_ASSIGN_OR_RETURN(const bool is_target,
-                             IsTargetEdge(api, from, to, target));
-    if (kind == NsEstimatorKind::kHansenHurwitz) {
-      draws.Add(is_target ? m : 0.0);
-    } else if (is_target) {
-      distinct_targets.insert(graph::Edge::Make(from, to));
-    }
+Status NeighborSampleSession::IterateOnce(int64_t i, Rng& rng) {
+  const graph::NodeId from = walk_.current();
+  LABELRW_ASSIGN_OR_RETURN(const graph::NodeId to, walk_.Step(rng));
+  if (kind_ == NsEstimatorKind::kHorvitzThompson && i % stride_ != 0) {
+    return Status::Ok();  // thinning keeps every stride-th draw
   }
-  if (iterations == 0) {
-    return FailedPreconditionError("NeighborSample: budget too small");
+  ++retained_;
+  LABELRW_ASSIGN_OR_RETURN(const bool is_target,
+                           IsTargetEdge(api(), from, to, target()));
+  if (kind_ == NsEstimatorKind::kHansenHurwitz) {
+    draws_.Add(is_target ? m_ : 0.0);
+  } else if (is_target) {
+    distinct_targets_.insert(graph::Edge::Make(from, to));
   }
+  return Status::Ok();
+}
 
-  EstimateResult result;
-  result.iterations = iterations;
-  result.samples_used = retained;
-  result.api_calls = api.api_calls() - calls_before;
-  if (kind == NsEstimatorKind::kHansenHurwitz) {
-    result.estimate = draws.Mean();
-    result.std_error = draws.StdErrorOfMean();
+void NeighborSampleSession::FillSnapshot(EstimateResult* out) const {
+  out->samples_used = retained_;
+  if (kind_ == NsEstimatorKind::kHansenHurwitz) {
+    out->estimate = draws_.Mean();
+    out->std_error = draws_.StdErrorOfMean();
   } else {
-    const double pr = InclusionProbability(1.0 / m, retained);
-    result.estimate =
-        pr > 0 ? static_cast<double>(distinct_targets.size()) / pr : 0.0;
+    const double pr = InclusionProbability(1.0 / m_, retained_);
+    out->estimate =
+        pr > 0 ? static_cast<double>(distinct_targets_.size()) / pr : 0.0;
   }
-  return result;
 }
 
 }  // namespace labelrw::estimators

@@ -8,20 +8,53 @@
 //                               Pr(e) = 1 - (1 - 1/|E|)^s
 //
 // where s is the number of retained draws (= k without thinning).
+//
+// Since the v2 redesign the algorithm is an incremental state machine: one
+// sampling iteration walks one edge and updates the accumulators, and the
+// estimate is recomputable from them after any iteration (the anytime
+// property EstimatorSession exposes).
 
 #ifndef LABELRW_ESTIMATORS_NEIGHBOR_SAMPLE_H_
 #define LABELRW_ESTIMATORS_NEIGHBOR_SAMPLE_H_
 
-#include "estimators/estimator.h"
+#include <memory>
+#include <unordered_set>
+
+#include "estimators/common.h"
+#include "estimators/session.h"
+#include "rw/node_walk.h"
 
 namespace labelrw::estimators {
 
 enum class NsEstimatorKind { kHansenHurwitz, kHorvitzThompson };
 
-Result<EstimateResult> NeighborSampleEstimate(
-    osn::OsnApi& api, const graph::TargetLabel& target,
-    const osn::GraphPriors& priors, const EstimateOptions& options,
-    NsEstimatorKind kind);
+class NeighborSampleSession final : public EstimatorSession {
+ public:
+  static Result<std::unique_ptr<EstimatorSession>> Create(
+      AlgorithmId id, NsEstimatorKind kind, osn::OsnApi& api,
+      const graph::TargetLabel& target, const osn::GraphPriors& priors,
+      const EstimateOptions& options);
+
+ protected:
+  Status StartWalk(Rng& rng) override;
+  void PrepareAccumulators() override;
+  Status IterateOnce(int64_t i, Rng& rng) override;
+  void FillSnapshot(EstimateResult* out) const override;
+
+ private:
+  NeighborSampleSession(AlgorithmId id, NsEstimatorKind kind, osn::OsnApi& api,
+                        const graph::TargetLabel& target,
+                        const osn::GraphPriors& priors,
+                        const EstimateOptions& options);
+
+  NsEstimatorKind kind_;
+  double m_;  // |E| prior
+  rw::NodeWalk walk_;
+  int64_t stride_ = 1;
+  int64_t retained_ = 0;
+  std::unordered_set<graph::Edge, graph::EdgeHash> distinct_targets_;  // HT
+  BatchMeans draws_;  // HH: per-draw unbiased estimates m * I(e_i)
+};
 
 }  // namespace labelrw::estimators
 

@@ -1,8 +1,6 @@
 #include "estimators/estimator.h"
 
-#include "estimators/baselines.h"
-#include "estimators/neighbor_exploration.h"
-#include "estimators/neighbor_sample.h"
+#include "estimators/session.h"
 
 namespace labelrw::estimators {
 
@@ -101,39 +99,15 @@ Result<EstimateResult> Estimate(AlgorithmId algorithm, osn::OsnApi& api,
                                 const graph::TargetLabel& target,
                                 const osn::GraphPriors& priors,
                                 const EstimateOptions& options) {
-  switch (algorithm) {
-    case AlgorithmId::kNeighborSampleHH:
-      return NeighborSampleEstimate(api, target, priors, options,
-                                    NsEstimatorKind::kHansenHurwitz);
-    case AlgorithmId::kNeighborSampleHT:
-      return NeighborSampleEstimate(api, target, priors, options,
-                                    NsEstimatorKind::kHorvitzThompson);
-    case AlgorithmId::kNeighborExplorationHH:
-      return NeighborExplorationEstimate(api, target, priors, options,
-                                         NeEstimatorKind::kHansenHurwitz);
-    case AlgorithmId::kNeighborExplorationHT:
-      return NeighborExplorationEstimate(api, target, priors, options,
-                                         NeEstimatorKind::kHorvitzThompson);
-    case AlgorithmId::kNeighborExplorationRW:
-      return NeighborExplorationEstimate(api, target, priors, options,
-                                         NeEstimatorKind::kReweighted);
-    case AlgorithmId::kExRW:
-      return LineGraphBaselineEstimate(api, target, priors, options,
-                                       rw::WalkKind::kSimple);
-    case AlgorithmId::kExMHRW:
-      return LineGraphBaselineEstimate(api, target, priors, options,
-                                       rw::WalkKind::kMetropolisHastings);
-    case AlgorithmId::kExMDRW:
-      return LineGraphBaselineEstimate(api, target, priors, options,
-                                       rw::WalkKind::kMaxDegree);
-    case AlgorithmId::kExRCMH:
-      return LineGraphBaselineEstimate(api, target, priors, options,
-                                       rw::WalkKind::kRcmh);
-    case AlgorithmId::kExGMD:
-      return LineGraphBaselineEstimate(api, target, priors, options,
-                                       rw::WalkKind::kGmd);
-  }
-  return InvalidArgumentError("unknown algorithm id");
+  // The v1 one-shot protocol, kept as a shim over the v2 session surface:
+  // running a fresh session to its own limits replays the exact RNG and API
+  // call sequence of the old monolithic implementations, so results are
+  // bit-identical to pre-redesign behavior.
+  LABELRW_ASSIGN_OR_RETURN(
+      const std::unique_ptr<EstimatorSession> session,
+      EstimatorSession::Create(algorithm, api, target, priors, options));
+  LABELRW_RETURN_IF_ERROR(session->Run());
+  return session->Snapshot();
 }
 
 }  // namespace labelrw::estimators

@@ -1,0 +1,122 @@
+#include "estimators/session.h"
+
+#include <limits>
+#include <string>
+
+#include "estimators/baselines.h"
+#include "estimators/neighbor_exploration.h"
+#include "estimators/neighbor_sample.h"
+
+namespace labelrw::estimators {
+
+Result<std::unique_ptr<EstimatorSession>> EstimatorSession::Create(
+    AlgorithmId algorithm, osn::OsnApi& api, const graph::TargetLabel& target,
+    const osn::GraphPriors& priors, const EstimateOptions& options) {
+  LABELRW_RETURN_IF_ERROR(options.Validate());
+  switch (algorithm) {
+    case AlgorithmId::kNeighborSampleHH:
+      return NeighborSampleSession::Create(algorithm,
+                                           NsEstimatorKind::kHansenHurwitz,
+                                           api, target, priors, options);
+    case AlgorithmId::kNeighborSampleHT:
+      return NeighborSampleSession::Create(algorithm,
+                                           NsEstimatorKind::kHorvitzThompson,
+                                           api, target, priors, options);
+    case AlgorithmId::kNeighborExplorationHH:
+      return NeighborExplorationSession::Create(
+          algorithm, NeEstimatorKind::kHansenHurwitz, api, target, priors,
+          options);
+    case AlgorithmId::kNeighborExplorationHT:
+      return NeighborExplorationSession::Create(
+          algorithm, NeEstimatorKind::kHorvitzThompson, api, target, priors,
+          options);
+    case AlgorithmId::kNeighborExplorationRW:
+      return NeighborExplorationSession::Create(
+          algorithm, NeEstimatorKind::kReweighted, api, target, priors,
+          options);
+    case AlgorithmId::kExRW:
+      return LineGraphBaselineSession::Create(algorithm, rw::WalkKind::kSimple,
+                                              api, target, priors, options);
+    case AlgorithmId::kExMHRW:
+      return LineGraphBaselineSession::Create(
+          algorithm, rw::WalkKind::kMetropolisHastings, api, target, priors,
+          options);
+    case AlgorithmId::kExMDRW:
+      return LineGraphBaselineSession::Create(
+          algorithm, rw::WalkKind::kMaxDegree, api, target, priors, options);
+    case AlgorithmId::kExRCMH:
+      return LineGraphBaselineSession::Create(algorithm, rw::WalkKind::kRcmh,
+                                              api, target, priors, options);
+    case AlgorithmId::kExGMD:
+      return LineGraphBaselineSession::Create(algorithm, rw::WalkKind::kGmd,
+                                              api, target, priors, options);
+  }
+  return InvalidArgumentError("unknown algorithm id");
+}
+
+Status EstimatorSession::EnsureStarted() {
+  if (started_) return Status::Ok();
+  // The exact v1 preamble: seed + burn the walk in, then anchor the loop
+  // control (and with it the sampling-phase call counter) at the post-burn-in
+  // API spend.
+  LABELRW_RETURN_IF_ERROR(StartWalk(rng_));
+  loop_.emplace(api_, options_.sample_size, options_.api_budget);
+  sampling_start_calls_ = api_.api_calls();
+  PrepareAccumulators();
+  started_ = true;
+  return Status::Ok();
+}
+
+Result<int64_t> EstimatorSession::Step(int64_t max_iterations) {
+  LABELRW_RETURN_IF_ERROR(EnsureStarted());
+  int64_t performed = 0;
+  while (performed < max_iterations) {
+    if (!loop_->KeepGoing(api_, iterations_)) {
+      finished_ = true;
+      break;
+    }
+    LABELRW_RETURN_IF_ERROR(IterateOnce(iterations_, rng_));
+    ++iterations_;
+    ++performed;
+  }
+  return performed;
+}
+
+Status EstimatorSession::RunUntilBudget(int64_t api_budget) {
+  LABELRW_RETURN_IF_ERROR(EnsureStarted());
+  // Reproduce the exact stop condition of an independent run at this
+  // budget: spend < budget AND iterations below the budget's own cap (on a
+  // fully cached subgraph iterations stop depleting the budget, and the
+  // session-wide cap of the options' larger budget would overshoot what an
+  // independent run at `api_budget` performs).
+  const int64_t cap =
+      LoopControl::IterationCap(options_.sample_size, api_budget);
+  while (iterations_ < cap &&
+         api_.api_calls() - sampling_start_calls_ < api_budget) {
+    if (!loop_->KeepGoing(api_, iterations_)) {
+      finished_ = true;
+      break;
+    }
+    LABELRW_RETURN_IF_ERROR(IterateOnce(iterations_, rng_));
+    ++iterations_;
+  }
+  return Status::Ok();
+}
+
+Status EstimatorSession::Run() {
+  return Step(std::numeric_limits<int64_t>::max()).status();
+}
+
+Result<EstimateResult> EstimatorSession::Snapshot() const {
+  if (iterations_ == 0) {
+    return FailedPreconditionError(std::string(family_) +
+                                   ": budget too small");
+  }
+  EstimateResult result;
+  result.iterations = iterations_;
+  result.api_calls = api_.api_calls() - calls_before_;
+  FillSnapshot(&result);
+  return result;
+}
+
+}  // namespace labelrw::estimators

@@ -1,0 +1,141 @@
+// EstimatorSession: the v2 resumable estimation surface.
+//
+// The v1 `Estimate()` fused walking, sampling, and aggregation into one
+// monolithic call: ask for an estimate at budget b, get an answer, throw the
+// walk away. Every algorithm in this library is in fact an *anytime*
+// estimator — its accumulators define a valid estimate after every single
+// sampling iteration — and this class exposes that:
+//
+//   Create(algorithm, api, target, priors, options)   // validates, no I/O
+//     -> Step(n)              // burn-in on first call, then n iterations
+//     -> RunUntilBudget(b)    // ... until b sampling-phase API calls spent
+//     -> Snapshot()           // the current EstimateResult, at any point
+//
+// Sessions are resumable state machines: stepping in chunks with snapshots
+// in between yields bit-identical results to one uninterrupted run with the
+// same seed (test-enforced for all ten algorithms), because Snapshot() is
+// const and the RNG/API streams advance only in Step. This is what lets
+// eval::RunSweep's prefix-budget protocol fill all ten nested budget cells
+// from one walk per rep instead of re-walking from scratch per cell.
+//
+// The options' own limits (sample_size / api_budget via LoopControl) always
+// apply on top of Step/RunUntilBudget; once they are hit the session is
+// finished() and further stepping is a no-op. `Estimate()` in estimator.h
+// remains as the one-shot shim: Create + Run + Snapshot.
+
+#ifndef LABELRW_ESTIMATORS_SESSION_H_
+#define LABELRW_ESTIMATORS_SESSION_H_
+
+#include <memory>
+#include <optional>
+
+#include "estimators/common.h"
+#include "estimators/estimator.h"
+
+namespace labelrw::estimators {
+
+/// Parameters of the node-space walk that drives the NeighborSample and
+/// NeighborExploration families (shared so a future knob cannot silently
+/// diverge between them).
+inline rw::WalkParams NodeWalkParamsFrom(const EstimateOptions& options) {
+  rw::WalkParams params;
+  params.kind = options.ns_walk_kind;
+  params.collapse_self_loops = options.collapse_self_loops;
+  return params;
+}
+
+class EstimatorSession {
+ public:
+  virtual ~EstimatorSession() = default;
+
+  /// Builds the session for `algorithm`. Validates options and priors
+  /// eagerly; performs no API calls or RNG draws (those start with the
+  /// first Step). `api` must outlive the session.
+  static Result<std::unique_ptr<EstimatorSession>> Create(
+      AlgorithmId algorithm, osn::OsnApi& api, const graph::TargetLabel& target,
+      const osn::GraphPriors& priors, const EstimateOptions& options);
+
+  /// Advances up to `max_iterations` sampling iterations (running burn-in
+  /// first if this is the first call) and returns the number actually
+  /// performed — fewer when the options' sample_size / api_budget limits
+  /// stop the session.
+  Result<int64_t> Step(int64_t max_iterations);
+
+  /// Steps until `api_budget` API calls were spent in the sampling phase
+  /// (excluding burn-in, like EstimateOptions::api_budget) or the session
+  /// finishes. The last iteration may overshoot the budget, exactly like
+  /// the one-shot protocol.
+  Status RunUntilBudget(int64_t api_budget);
+
+  /// Runs to the options' own limits.
+  Status Run();
+
+  /// The estimate given everything sampled so far. Valid after any number
+  /// of iterations >= 1; FailedPrecondition before the first one. Const:
+  /// never advances the walk, the RNG, or the API accounting.
+  Result<EstimateResult> Snapshot() const;
+
+  /// True once the options' limits were reached; Step becomes a no-op.
+  bool finished() const { return finished_; }
+
+  /// Sampling iterations performed so far.
+  int64_t iterations() const { return iterations_; }
+
+  AlgorithmId algorithm() const { return algorithm_; }
+
+ protected:
+  EstimatorSession(AlgorithmId algorithm, const char* family, osn::OsnApi& api,
+                   const graph::TargetLabel& target,
+                   const osn::GraphPriors& priors,
+                   const EstimateOptions& options)
+      : algorithm_(algorithm),
+        family_(family),
+        api_(api),
+        target_(target),
+        priors_(priors),
+        options_(options),
+        rng_(options.seed),
+        calls_before_(api.api_calls()) {}
+
+  /// Seeds the walk and runs burn-in. Called once, from the first Step.
+  virtual Status StartWalk(Rng& rng) = 0;
+
+  /// Pre-sizes accumulators; called once, right after the loop control
+  /// exists (so ReserveHint()/NominalSize() are available via loop()).
+  virtual void PrepareAccumulators() {}
+
+  /// One sampling iteration: the exact v1 loop body for iteration index `i`.
+  virtual Status IterateOnce(int64_t i, Rng& rng) = 0;
+
+  /// Writes estimate / std_error / samples_used / explored_nodes into a
+  /// snapshot whose iterations and api_calls the base already filled.
+  virtual void FillSnapshot(EstimateResult* out) const = 0;
+
+  osn::OsnApi& api() { return api_; }
+  const osn::OsnApi& api() const { return api_; }
+  const graph::TargetLabel& target() const { return target_; }
+  const osn::GraphPriors& priors() const { return priors_; }
+  const EstimateOptions& options() const { return options_; }
+  const LoopControl& loop() const { return *loop_; }
+
+ private:
+  Status EnsureStarted();
+
+  AlgorithmId algorithm_;
+  const char* family_;
+  osn::OsnApi& api_;
+  graph::TargetLabel target_;
+  osn::GraphPriors priors_;
+  EstimateOptions options_;
+  Rng rng_;
+  std::optional<LoopControl> loop_;  // engaged after burn-in
+  int64_t calls_before_;
+  int64_t sampling_start_calls_ = 0;
+  int64_t iterations_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace labelrw::estimators
+
+#endif  // LABELRW_ESTIMATORS_SESSION_H_

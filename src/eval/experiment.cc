@@ -5,12 +5,23 @@
 #include <mutex>
 #include <thread>
 
+#include "estimators/session.h"
 #include "graph/oracle.h"
 #include "osn/local_api.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace labelrw::eval {
+
+const char* SweepProtocolName(SweepProtocol protocol) {
+  switch (protocol) {
+    case SweepProtocol::kIndependentRuns:
+      return "independent-runs";
+    case SweepProtocol::kPrefixBudget:
+      return "prefix-budget";
+  }
+  return "unknown";
+}
 
 std::vector<double> SweepConfig::PaperFractions() {
   std::vector<double> fractions;
@@ -32,6 +43,25 @@ Status SweepConfig::Validate() const {
     return InvalidArgumentError("algorithms must be non-empty");
   }
   if (burn_in < 0) return InvalidArgumentError("burn_in must be >= 0");
+  if (protocol == SweepProtocol::kPrefixBudget) {
+    for (size_t i = 1; i < sample_fractions.size(); ++i) {
+      if (sample_fractions[i] <= sample_fractions[i - 1]) {
+        return InvalidArgumentError(
+            "prefix-budget protocol requires strictly ascending "
+            "sample_fractions");
+      }
+    }
+    if (ht_thinning == estimators::HtThinning::kSpacing) {
+      // The HT spacing stride is derived from the session's nominal sample
+      // size; under the prefix protocol that is the largest budget, so
+      // small-budget snapshots would thin ~b_max/b times too coarsely and
+      // no longer match independent runs. Run thinning studies under the
+      // independent protocol.
+      return InvalidArgumentError(
+          "prefix-budget protocol does not support HT spacing-thinning "
+          "(the stride would be derived from the largest budget)");
+    }
+  }
   return Status::Ok();
 }
 
@@ -47,6 +77,7 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
   SweepResult result;
   result.algorithms = config.algorithms;
   result.sample_fractions = config.sample_fractions;
+  result.protocol = config.protocol;
   result.truth = graph::CountTargetEdges(graph, labels, target);
   if (result.truth == 0) {
     return FailedPreconditionError("RunSweep: target has no edges (F = 0)");
@@ -83,9 +114,15 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
     accumulators.push_back(std::move(row));
   }
 
-  // Work queue: flattened (algorithm, size, rep) triples.
-  const int64_t total_tasks = static_cast<int64_t>(num_algos) *
-                              static_cast<int64_t>(num_sizes) * config.reps;
+  // Work queue. Independent runs: flattened (algorithm, size, rep) triples,
+  // one one-shot Estimate each. Prefix budget: flattened (algorithm, rep)
+  // pairs — one resumable session walks to each budget in ascending order
+  // and its snapshots fill the whole row of size cells.
+  const bool prefix = config.protocol == SweepProtocol::kPrefixBudget;
+  const int64_t total_tasks =
+      prefix ? static_cast<int64_t>(num_algos) * config.reps
+             : static_cast<int64_t>(num_algos) * static_cast<int64_t>(
+                                                     num_sizes) * config.reps;
   std::atomic<int64_t> next_task{0};
   std::mutex merge_mutex;
   Status first_error;
@@ -94,6 +131,35 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
                     ? config.threads
                     : static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
+
+  auto make_options = [&](size_t algo_idx, uint64_t seed_size_idx,
+                          int64_t rep, int64_t api_budget) {
+    estimators::EstimateOptions options;
+    // The paper's protocol: the budget axis is API calls ("x% |V| API
+    // calls"), not iterations.
+    options.api_budget = api_budget;
+    options.burn_in = config.burn_in;
+    options.seed = DeriveSeed(config.seed, algo_idx, seed_size_idx,
+                              static_cast<uint64_t>(rep));
+    options.ht_thinning = config.ht_thinning;
+    options.ht_spacing_fraction = config.ht_spacing_fraction;
+    options.ns_walk_kind = config.ns_walk_kind;
+    options.rcmh_alpha = config.rcmh_alpha;
+    options.gmd_delta = config.gmd_delta;
+    return options;
+  };
+
+  auto merge_cell = [&](size_t algo_idx, size_t size_idx,
+                        const Result<estimators::EstimateResult>& estimate) {
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    if (!estimate.ok()) {
+      if (first_error.ok()) first_error = estimate.status();
+      return;
+    }
+    accumulators[algo_idx][size_idx].nrmse.Add(estimate->estimate);
+    accumulators[algo_idx][size_idx].api_calls.Add(
+        static_cast<double>(estimate->api_calls));
+  };
 
   auto worker = [&]() {
     // One touched-set buffer per worker, shared by every rep this worker
@@ -105,34 +171,47 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
       if (task >= total_tasks) return;
       const auto rep = task % config.reps;
       const auto cell = task / config.reps;
-      const size_t size_idx = static_cast<size_t>(cell) % num_sizes;
-      const size_t algo_idx = static_cast<size_t>(cell) / num_sizes;
 
-      estimators::EstimateOptions options;
-      // The paper's protocol: the budget axis is API calls ("x% |V| API
-      // calls"), not iterations.
-      options.api_budget = result.sample_sizes[size_idx];
-      options.burn_in = config.burn_in;
-      options.seed = DeriveSeed(config.seed, algo_idx, size_idx,
-                                static_cast<uint64_t>(rep));
-      options.ht_thinning = config.ht_thinning;
-      options.ht_spacing_fraction = config.ht_spacing_fraction;
-      options.ns_walk_kind = config.ns_walk_kind;
-      options.rcmh_alpha = config.rcmh_alpha;
-      options.gmd_delta = config.gmd_delta;
-
-      osn::LocalGraphApi api(graph, labels, osn::CostModel(), /*budget=*/-1,
-                             &touched_scratch);
-      auto estimate = estimators::Estimate(config.algorithms[algo_idx], api,
-                                           target, priors, options);
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      if (!estimate.ok()) {
-        if (first_error.ok()) first_error = estimate.status();
+      if (prefix) {
+        const auto algo_idx = static_cast<size_t>(cell);
+        // The session's own budget is the largest size; nested budgets are
+        // snapshot points along the way. The seed's size coordinate is
+        // pinned to num_sizes (outside the per-size range) so prefix reps
+        // are distinct from any independent-runs rep stream.
+        const auto options =
+            make_options(algo_idx, num_sizes, rep,
+                         result.sample_sizes[num_sizes - 1]);
+        osn::LocalGraphApi api(graph, labels, osn::CostModel(), /*budget=*/-1,
+                               &touched_scratch);
+        auto session = estimators::EstimatorSession::Create(
+            config.algorithms[algo_idx], api, target, priors, options);
+        if (!session.ok()) {
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          if (first_error.ok()) first_error = session.status();
+          continue;
+        }
+        for (size_t size_idx = 0; size_idx < num_sizes; ++size_idx) {
+          const Status run =
+              (*session)->RunUntilBudget(result.sample_sizes[size_idx]);
+          if (!run.ok()) {
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            if (first_error.ok()) first_error = run;
+            break;
+          }
+          merge_cell(algo_idx, size_idx, (*session)->Snapshot());
+        }
         continue;
       }
-      accumulators[algo_idx][size_idx].nrmse.Add(estimate->estimate);
-      accumulators[algo_idx][size_idx].api_calls.Add(
-          static_cast<double>(estimate->api_calls));
+
+      const size_t size_idx = static_cast<size_t>(cell) % num_sizes;
+      const size_t algo_idx = static_cast<size_t>(cell) / num_sizes;
+      const auto options = make_options(algo_idx, size_idx, rep,
+                                        result.sample_sizes[size_idx]);
+      osn::LocalGraphApi api(graph, labels, osn::CostModel(), /*budget=*/-1,
+                             &touched_scratch);
+      merge_cell(algo_idx, size_idx,
+                 estimators::Estimate(config.algorithms[algo_idx], api,
+                                      target, priors, options));
     }
   };
 

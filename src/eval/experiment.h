@@ -18,6 +18,25 @@
 
 namespace labelrw::eval {
 
+/// How the (algorithm, budget) grid is filled.
+enum class SweepProtocol {
+  /// The paper's protocol: every cell is R fully independent simulations
+  /// with their own walks. Maximum statistical cleanliness; cost is the sum
+  /// of all budgets per rep.
+  kIndependentRuns,
+  /// One resumable EstimatorSession per (algorithm, rep): the session runs
+  /// to each budget in ascending order and a Snapshot() fills that cell, so
+  /// all nested budget cells come from ONE walk per rep (cost: the largest
+  /// budget only — >5x fewer walk steps on the paper's 0.5%..5% grid).
+  /// Cells at a given budget have exactly the distribution of an
+  /// independent run at that budget; cells of the same rep are correlated
+  /// across budgets, which leaves per-cell NRMSE unbiased but correlates
+  /// the error *between* columns. Opt-in; the default stays paper-faithful.
+  kPrefixBudget,
+};
+
+const char* SweepProtocolName(SweepProtocol protocol);
+
 struct SweepConfig {
   /// Sample sizes as fractions of |V| (the paper sweeps 0.5%..5%).
   std::vector<double> sample_fractions;
@@ -36,6 +55,8 @@ struct SweepConfig {
   double gmd_delta = 0.5;
   /// Walk kind for the proposed samplers (kSimple or kNonBacktracking).
   rw::WalkKind ns_walk_kind = rw::WalkKind::kSimple;
+  /// See SweepProtocol. kPrefixBudget requires ascending sample_fractions.
+  SweepProtocol protocol = SweepProtocol::kIndependentRuns;
 
   /// The paper's ten sizes 0.5%|V| .. 5.0%|V|.
   static std::vector<double> PaperFractions();
@@ -58,6 +79,7 @@ struct SweepResult {
   /// cells[a][s] for algorithms[a] at sample_sizes[s].
   std::vector<std::vector<CellResult>> cells;
   int64_t truth = 0;  // exact F
+  SweepProtocol protocol = SweepProtocol::kIndependentRuns;
 };
 
 /// Runs the sweep for `target` on the labeled graph.

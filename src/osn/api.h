@@ -35,6 +35,17 @@ struct CostModel {
   /// Whether previously fetched users are served from cache for free.
   /// Disable for worst-case accounting (every touch charges).
   bool cache_fetches = true;
+  /// Friends returned per paginated friend-list call (OsnClient only; the v1
+  /// LocalGraphApi shim always serves the whole page in one call). A full
+  /// friend-list fetch of a degree-d user costs max(1, ceil(d / page_size))
+  /// page_cost units; the profile (labels + friend count) always rides on
+  /// the first page. page_size <= 0 disables pagination and reproduces the
+  /// v1 one-call-per-user accounting bit-for-bit.
+  int64_t page_size = 0;
+  /// Users whose first pages one batched FetchUsers round-trip may carry
+  /// (OsnClient only). batch_size <= 1 charges batched fetches exactly like
+  /// individual ones.
+  int64_t batch_size = 1;
 };
 
 /// Prior knowledge available to the estimators (Section 3, assumption (2)):

@@ -1,0 +1,310 @@
+#include "osn/client.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace labelrw::osn {
+
+Status FaultPolicy::Validate() const {
+  if (transient_error_rate < 0.0 || transient_error_rate >= 1.0) {
+    return InvalidArgumentError(
+        "FaultPolicy: transient_error_rate must lie in [0, 1)");
+  }
+  if (unavailable_user_rate < 0.0 || unavailable_user_rate >= 1.0) {
+    return InvalidArgumentError(
+        "FaultPolicy: unavailable_user_rate must lie in [0, 1)");
+  }
+  if (retry_budget < 0) {
+    return InvalidArgumentError("FaultPolicy: retry_budget must be >= 0");
+  }
+  return Status::Ok();
+}
+
+OsnClient::OsnClient(const Transport& transport, CostModel cost_model,
+                     FaultPolicy faults, int64_t budget, TouchedSet* scratch,
+                     TouchedSet* scratch_full)
+    : transport_(transport),
+      cost_model_(cost_model),
+      faults_(faults),
+      budget_(budget),
+      config_status_(faults.Validate()),
+      fault_rng_(faults.seed),
+      first_page_(scratch != nullptr ? scratch : &owned_first_page_),
+      full_(scratch_full != nullptr ? scratch_full : &owned_full_) {
+  first_page_->Reset(transport.num_users());
+  full_->Reset(transport.num_users());
+}
+
+int64_t OsnClient::remaining_budget() const {
+  if (budget_ < 0) return -1;
+  return budget_ - api_calls_;
+}
+
+bool OsnClient::IsUnavailableUser(graph::NodeId user) const {
+  if (faults_.unavailable_user_rate <= 0.0) return false;
+  // Deterministic per-user verdict: hash (seed, user) to [0, 1).
+  uint64_t sm = faults_.seed ^ (0x9e3779b97f4a7c15ULL *
+                                (static_cast<uint64_t>(user) + 1));
+  const uint64_t h = SplitMix64(&sm);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < faults_.unavailable_user_rate;
+}
+
+Status OsnClient::FetchChargedCall() {
+  const int64_t cost = cost_model_.page_cost;
+  for (int attempt = 0; attempt <= faults_.retry_budget; ++attempt) {
+    const bool fails = faults_.transient_error_rate > 0.0 &&
+                       fault_rng_.Bernoulli(faults_.transient_error_rate);
+    if (!fails || faults_.charge_failed_attempts) {
+      if (budget_ >= 0 && api_calls_ + cost > budget_) {
+        return ResourceExhaustedError("API budget exhausted");
+      }
+      api_calls_ += cost;
+    }
+    if (!fails) return Status::Ok();
+    ++stats_.transient_failures;
+    if (attempt < faults_.retry_budget) ++stats_.retries;
+  }
+  return UnavailableError("transient OSN error: retry budget exhausted");
+}
+
+int64_t OsnClient::FetchedPages(graph::NodeId user,
+                                int64_t total_pages) const {
+  if (full_->Test(user)) return total_pages;
+  const auto it = partial_.find(user);
+  if (it != partial_.end()) return it->second;
+  return first_page_->Test(user) ? 1 : 0;
+}
+
+void OsnClient::RecordFetched(graph::NodeId user, int64_t pages_now,
+                              int64_t total_pages) {
+  if (pages_now <= 0) return;
+  if (!first_page_->TestAndSet(user)) ++distinct_fetched_;
+  if (pages_now >= total_pages) {
+    full_->TestAndSet(user);
+    partial_.erase(user);
+  } else if (pages_now > 1) {
+    auto& entry = partial_[user];
+    entry = std::max(entry, pages_now);
+  }
+}
+
+Status OsnClient::ChargeFetch(graph::NodeId user, int64_t degree,
+                              bool need_full) {
+  const int64_t total_pages = PagesForFull(degree);
+  const int64_t need = need_full ? total_pages : 1;
+  const int64_t cached =
+      cost_model_.cache_fetches ? FetchedPages(user, total_pages) : 0;
+  const int64_t pages_to_fetch = need - cached;
+  if (pages_to_fetch > 0) {
+    if (faults_.transient_error_rate <= 0.0) {
+      // Fast path: one bulk budget check + charge, bit-identical to the v1
+      // LocalGraphApi::Charge for the unpaginated single-page case.
+      const int64_t cost = pages_to_fetch * cost_model_.page_cost;
+      if (budget_ >= 0 && api_calls_ + cost > budget_) {
+        return ResourceExhaustedError("API budget exhausted");
+      }
+      api_calls_ += cost;
+      stats_.pages_fetched += pages_to_fetch;
+    } else {
+      for (int64_t p = 0; p < pages_to_fetch; ++p) {
+        LABELRW_RETURN_IF_ERROR(FetchChargedCall());
+        ++stats_.pages_fetched;
+        // Persist progress page by page so an abort mid-list (budget or
+        // retry exhaustion) keeps the prefix cached, like a real crawler.
+        RecordFetched(user, cached + p + 1, total_pages);
+      }
+      return Status::Ok();
+    }
+  }
+  RecordFetched(user, std::max(cached, need), total_pages);
+  return Status::Ok();
+}
+
+Status OsnClient::CheckAvailable(graph::NodeId user) {
+  if (!IsUnavailableUser(user)) return Status::Ok();
+  ++stats_.denied_requests;
+  // The probe that discovers a private profile costs a call once; the
+  // verdict is cached like a page (denied users never become available, so
+  // the flag can share the first-page set without ambiguity).
+  if (!(cost_model_.cache_fetches && first_page_->Test(user))) {
+    LABELRW_RETURN_IF_ERROR(FetchChargedCall());
+    first_page_->TestAndSet(user);
+  }
+  return PermissionDeniedError("user profile is private or deleted");
+}
+
+Result<std::span<const graph::NodeId>> OsnClient::GetNeighbors(
+    graph::NodeId user) {
+  LABELRW_RETURN_IF_ERROR(config_status_);
+  LABELRW_ASSIGN_OR_RETURN(const UserRecord record,
+                           transport_.FetchRecord(user));
+  LABELRW_RETURN_IF_ERROR(CheckAvailable(user));
+  LABELRW_RETURN_IF_ERROR(ChargeFetch(user, record.degree, /*need_full=*/true));
+  return record.neighbors;
+}
+
+Result<int64_t> OsnClient::GetDegree(graph::NodeId user) {
+  LABELRW_RETURN_IF_ERROR(config_status_);
+  LABELRW_ASSIGN_OR_RETURN(const UserRecord record,
+                           transport_.FetchRecord(user));
+  LABELRW_RETURN_IF_ERROR(CheckAvailable(user));
+  LABELRW_RETURN_IF_ERROR(
+      ChargeFetch(user, record.degree, /*need_full=*/false));
+  return record.degree;
+}
+
+Result<std::span<const graph::Label>> OsnClient::GetLabels(
+    graph::NodeId user) {
+  LABELRW_RETURN_IF_ERROR(config_status_);
+  LABELRW_ASSIGN_OR_RETURN(const UserRecord record,
+                           transport_.FetchRecord(user));
+  LABELRW_RETURN_IF_ERROR(CheckAvailable(user));
+  LABELRW_RETURN_IF_ERROR(
+      ChargeFetch(user, record.degree, /*need_full=*/false));
+  return record.labels;
+}
+
+Result<graph::NodeId> OsnClient::RandomNode(Rng& rng) {
+  LABELRW_RETURN_IF_ERROR(config_status_);
+  // With an unavailable-user policy active, redraw until an accessible seed
+  // comes up (directories list only public accounts). The loop terminates
+  // with overwhelming probability for any rate < 1.
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    LABELRW_ASSIGN_OR_RETURN(const graph::NodeId seed,
+                             transport_.SampleSeed(rng));
+    if (!IsUnavailableUser(seed)) return seed;
+  }
+  return FailedPreconditionError(
+      "RandomNode: could not find an accessible seed user");
+}
+
+Result<OsnClient::NeighborPage> OsnClient::FetchNeighborsPage(
+    graph::NodeId user, int64_t cursor) {
+  LABELRW_RETURN_IF_ERROR(config_status_);
+  LABELRW_ASSIGN_OR_RETURN(const UserRecord record,
+                           transport_.FetchRecord(user));
+  LABELRW_RETURN_IF_ERROR(CheckAvailable(user));
+
+  const int64_t p = cost_model_.page_size;
+  const int64_t total_pages = PagesForFull(record.degree);
+  int64_t page_idx = 0;
+  if (p > 0) {
+    if (cursor < 0 || cursor % p != 0 || cursor / p >= total_pages) {
+      return OutOfRangeError("FetchNeighborsPage: bad cursor");
+    }
+    page_idx = cursor / p;
+  } else if (cursor != 0) {
+    return OutOfRangeError(
+        "FetchNeighborsPage: pagination disabled, cursor must be 0");
+  }
+
+  const int64_t cached =
+      cost_model_.cache_fetches ? FetchedPages(user, total_pages) : 0;
+  if (page_idx >= cached) {
+    LABELRW_RETURN_IF_ERROR(FetchChargedCall());
+    ++stats_.pages_fetched;
+    // Cache state only grows for contiguous-from-0 access; an out-of-order
+    // page fetch is served and charged but not remembered.
+    if (page_idx == FetchedPages(user, total_pages)) {
+      RecordFetched(user, page_idx + 1, total_pages);
+    }
+  }
+
+  NeighborPage page;
+  page.degree = record.degree;
+  if (p <= 0) {
+    page.friends = record.neighbors;
+    page.next_cursor = -1;
+  } else {
+    const int64_t begin = cursor;
+    const int64_t len = std::min(p, record.degree - begin);
+    page.friends = record.neighbors.subspan(
+        static_cast<size_t>(begin), static_cast<size_t>(std::max<int64_t>(len, 0)));
+    page.next_cursor = begin + p < record.degree ? begin + p : -1;
+  }
+  return page;
+}
+
+Result<std::vector<OsnClient::UserView>> OsnClient::FetchUsers(
+    std::span<const graph::NodeId> users) {
+  LABELRW_RETURN_IF_ERROR(config_status_);
+  std::vector<UserView> views;
+  views.reserve(users.size());
+
+  // Pass 1: validate every id up front so a typo'd batch fails atomically
+  // before anything is charged.
+  std::vector<UserRecord> records;
+  records.reserve(users.size());
+  for (const graph::NodeId user : users) {
+    LABELRW_ASSIGN_OR_RETURN(UserRecord record, transport_.FetchRecord(user));
+    records.push_back(record);
+  }
+
+  // Pass 2: count the uncached first pages this batch must fetch. Denied
+  // users consume a slot too — the server still processes the id. With
+  // caching on, duplicate ids coalesce to one slot (the second occurrence
+  // would be a cache hit in the per-user sequence this call's accounting
+  // mirrors); with caching off every occurrence charges, like repeated
+  // GetNeighbors calls would.
+  int64_t first_pages_needed = 0;
+  std::unordered_set<graph::NodeId> counted;
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (cost_model_.cache_fetches &&
+        (first_page_->Test(users[i]) || !counted.insert(users[i]).second)) {
+      continue;
+    }
+    ++first_pages_needed;
+  }
+  const int64_t batch =
+      cost_model_.batch_size > 1 ? cost_model_.batch_size : 1;
+  const int64_t round_trips = (first_pages_needed + batch - 1) / batch;
+  for (int64_t r = 0; r < round_trips; ++r) {
+    LABELRW_RETURN_IF_ERROR(FetchChargedCall());
+    ++stats_.batch_round_trips;
+  }
+
+  // Pass 3: materialize views; tail pages charge per user like GetNeighbors.
+  for (size_t i = 0; i < users.size(); ++i) {
+    const graph::NodeId user = users[i];
+    UserView view;
+    view.id = user;
+    if (IsUnavailableUser(user)) {
+      ++stats_.denied_requests;
+      first_page_->TestAndSet(user);  // cache the verdict, not the user
+      views.push_back(view);
+      continue;
+    }
+    const UserRecord& record = records[i];
+    const int64_t total_pages = PagesForFull(record.degree);
+    // The round-trip above already paid for page 0 (whether or not caching
+    // is on), so only the friend-list tail pages remain to charge.
+    const int64_t already = std::max<int64_t>(
+        cost_model_.cache_fetches ? FetchedPages(user, total_pages) : 1, 1);
+    RecordFetched(user, already, total_pages);
+    const int64_t tail = total_pages - already;
+    if (tail > 0 && faults_.transient_error_rate <= 0.0) {
+      const int64_t cost = tail * cost_model_.page_cost;
+      if (budget_ >= 0 && api_calls_ + cost > budget_) {
+        return ResourceExhaustedError("API budget exhausted");
+      }
+      api_calls_ += cost;
+      stats_.pages_fetched += tail;
+    } else {
+      for (int64_t t = 0; t < tail; ++t) {
+        LABELRW_RETURN_IF_ERROR(FetchChargedCall());
+        ++stats_.pages_fetched;
+        RecordFetched(user, already + t + 1, total_pages);
+      }
+    }
+    RecordFetched(user, total_pages, total_pages);
+    view.available = true;
+    view.degree = record.degree;
+    view.neighbors = record.neighbors;
+    view.labels = record.labels;
+    views.push_back(view);
+  }
+  return views;
+}
+
+}  // namespace labelrw::osn

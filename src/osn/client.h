@@ -1,0 +1,202 @@
+// OsnClient: the v2 session-based access layer over an osn::Transport.
+//
+// One OsnClient is one crawl session against an OSN backend. It owns every
+// piece of per-crawl state the v1 LocalGraphApi fused into the storage
+// layer — call accounting, the crawler cache, the API budget — and adds the
+// realities of production OSN crawling the flat surface could not express:
+//
+//   * cursor-paginated friend lists — a degree-d user's full list costs
+//     ceil(d / CostModel::page_size) calls, each page charged separately
+//     (FetchNeighborsPage iterates; GetNeighbors fetches the tail in bulk).
+//     page_size <= 0 disables pagination and reproduces the v1
+//     one-call-per-user accounting bit-for-bit (test-enforced).
+//   * a batch endpoint — FetchUsers() coalesces up to CostModel::batch_size
+//     first-page fetches into one charged round-trip.
+//   * injectable fault policies — transient server errors with a bounded
+//     retry budget, and deterministically private/deleted users.
+//
+// OsnClient implements the v1 OsnApi surface, so every estimator, walker,
+// and session runs over it unchanged; with default CostModel and faults off
+// it is accounting-identical to LocalGraphApi. See docs/API.md for the
+// migration table.
+
+#ifndef LABELRW_OSN_CLIENT_H_
+#define LABELRW_OSN_CLIENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "osn/api.h"
+#include "osn/touched_set.h"
+#include "osn/transport.h"
+
+namespace labelrw::osn {
+
+/// Failure injection for a crawl session. All draws come from a dedicated
+/// fault RNG stream (seeded below), so enabling faults never perturbs an
+/// estimator's sampling stream.
+struct FaultPolicy {
+  /// Probability that any single page/batch round-trip fails transiently
+  /// (HTTP 5xx / rate-limit hiccup). The client retries internally.
+  double transient_error_rate = 0.0;
+  /// Fraction of users whose profiles are private or deleted. Membership is
+  /// a deterministic hash of (seed, user id): a denied user stays denied for
+  /// the whole session, like a real private account.
+  double unavailable_user_rate = 0.0;
+  /// Retries after the first failed attempt before giving up with
+  /// kUnavailable.
+  int retry_budget = 3;
+  /// Whether failed attempts consume quota (most production APIs charge the
+  /// rate limit for 5xx responses too).
+  bool charge_failed_attempts = true;
+  /// Seed of the fault stream.
+  uint64_t seed = 0xfa017u;
+
+  bool any_faults() const {
+    return transient_error_rate > 0.0 || unavailable_user_rate > 0.0;
+  }
+
+  Status Validate() const;
+};
+
+/// Per-session wire diagnostics (distinct from the charged api_calls()).
+struct ClientStats {
+  int64_t pages_fetched = 0;       // successful page fetches
+  int64_t batch_round_trips = 0;   // charged FetchUsers round-trips
+  int64_t transient_failures = 0;  // failed attempts (before retry)
+  int64_t retries = 0;             // retry attempts issued
+  int64_t denied_requests = 0;     // probes answered with kPermissionDenied
+};
+
+class OsnClient final : public OsnApi {
+ public:
+  /// `transport` must outlive the client. `budget` < 0 = unlimited.
+  /// `scratch` / `scratch_full`, when given, must outlive the client and
+  /// let sweep-style callers reuse cache bitmaps across sessions (reset in
+  /// O(1) at construction, exactly like LocalGraphApi's scratch).
+  explicit OsnClient(const Transport& transport,
+                     CostModel cost_model = CostModel(),
+                     FaultPolicy faults = FaultPolicy(), int64_t budget = -1,
+                     TouchedSet* scratch = nullptr,
+                     TouchedSet* scratch_full = nullptr);
+
+  // Non-copyable/movable: the touched-set pointers may alias the owned
+  // members.
+  OsnClient(const OsnClient&) = delete;
+  OsnClient& operator=(const OsnClient&) = delete;
+
+  // -------------------------------------------------------------------
+  // v1 OsnApi surface. GetNeighbors fetches every not-yet-cached page of
+  // the friend list; GetDegree/GetLabels only the profile (first) page.
+  Result<std::span<const graph::NodeId>> GetNeighbors(
+      graph::NodeId user) override;
+  Result<int64_t> GetDegree(graph::NodeId user) override;
+  Result<std::span<const graph::Label>> GetLabels(graph::NodeId user) override;
+  /// Seed users are free and, under a fault policy, always point at
+  /// accessible accounts (public directories list no private profiles).
+  Result<graph::NodeId> RandomNode(Rng& rng) override;
+
+  int64_t api_calls() const override { return api_calls_; }
+  void ResetCallCount() override { api_calls_ = 0; }
+  int64_t remaining_budget() const override;
+
+  // -------------------------------------------------------------------
+  // v2 surface.
+
+  /// One page of a paginated friend-list fetch.
+  struct NeighborPage {
+    /// The friends on this page (a slice of the sorted full list).
+    std::span<const graph::NodeId> friends;
+    /// Cursor of the next page, or -1 when this was the last page.
+    int64_t next_cursor = -1;
+    /// Total friend count (the profile rides on every page header).
+    int64_t degree = 0;
+  };
+
+  /// Fetches the friend-list page starting at `cursor` (0, page_size,
+  /// 2*page_size, ... — real OSN cursors are opaque, ours are offsets).
+  /// Charges one page_cost unless the page is already cached. Pages fetched
+  /// contiguously from 0 accumulate in the cache; once all pages of a user
+  /// were fetched, GetNeighbors on that user is free.
+  Result<NeighborPage> FetchNeighborsPage(graph::NodeId user,
+                                          int64_t cursor = 0);
+
+  /// One user's data as returned by the batch endpoint.
+  struct UserView {
+    graph::NodeId id = -1;
+    /// False for private/deleted users (their spans are empty).
+    bool available = false;
+    int64_t degree = 0;
+    std::span<const graph::NodeId> neighbors;
+    std::span<const graph::Label> labels;
+  };
+
+  /// Batch endpoint: full records for `users`. Uncached first pages are
+  /// coalesced into ceil(n / batch_size) charged round-trips; friend-list
+  /// tail pages (degree > page_size) are charged per user as usual. With
+  /// batch_size <= 1 the accounting equals one GetNeighbors per user.
+  /// Unknown ids fail the whole call (NotFound); private users come back
+  /// with available = false.
+  Result<std::vector<UserView>> FetchUsers(
+      std::span<const graph::NodeId> users);
+
+  /// Prior knowledge forwarded from the transport (owner-published |V|,
+  /// |E|, degree maxima).
+  GraphPriors Priors() const { return transport_.TransportPriors(); }
+
+  /// Number of distinct users whose profile page was fetched.
+  int64_t distinct_users_fetched() const { return distinct_fetched_; }
+
+  const ClientStats& stats() const { return stats_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Pages a full friend-list fetch of a degree-`degree` user costs.
+  int64_t PagesForFull(int64_t degree) const {
+    const int64_t p = cost_model_.page_size;
+    if (p <= 0 || degree <= p) return 1;
+    return (degree + p - 1) / p;
+  }
+
+ private:
+  /// Contiguously-cached page count of `user` (0 = nothing cached).
+  int64_t FetchedPages(graph::NodeId user, int64_t total_pages) const;
+
+  /// Marks `pages_now` contiguous pages of `user` as fetched and maintains
+  /// the distinct-user count. Idempotent.
+  void RecordFetched(graph::NodeId user, int64_t pages_now,
+                     int64_t total_pages);
+
+  /// Charges one successful page/round-trip fetch, simulating transient
+  /// failures and retries per the fault policy. Budget-checked per attempt.
+  Status FetchChargedCall();
+
+  /// Charges everything needed to serve `user` up to `need_pages` pages.
+  Status ChargeFetch(graph::NodeId user, int64_t degree, bool need_full);
+
+  /// kPermissionDenied (charging the probe once) if `user` is private.
+  Status CheckAvailable(graph::NodeId user);
+  bool IsUnavailableUser(graph::NodeId user) const;
+
+  const Transport& transport_;
+  CostModel cost_model_;
+  FaultPolicy faults_;
+  int64_t budget_;
+  Status config_status_;  // invalid FaultPolicy surfaces on every call
+  Rng fault_rng_;
+
+  int64_t api_calls_ = 0;
+  int64_t distinct_fetched_ = 0;
+  ClientStats stats_;
+
+  TouchedSet owned_first_page_;  // used iff no external scratch
+  TouchedSet owned_full_;
+  TouchedSet* first_page_;  // profile (page 0) cached
+  TouchedSet* full_;        // all pages cached
+  /// Users mid-pagination: contiguous pages fetched (only entries with
+  /// 1 < pages < PagesForFull live here).
+  std::unordered_map<graph::NodeId, int64_t> partial_;
+};
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_CLIENT_H_

@@ -58,6 +58,24 @@ Result<graph::NodeId> LocalGraphApi::RandomNode(Rng& rng) {
   return static_cast<graph::NodeId>(rng.UniformInt(graph_.num_nodes()));
 }
 
+Result<UserRecord> LocalGraphApi::FetchRecord(graph::NodeId user) const {
+  if (!graph_.IsValidNode(user)) {
+    return NotFoundError("FetchRecord: unknown user");
+  }
+  UserRecord record;
+  record.degree = graph_.degree(user);
+  record.neighbors = graph_.neighbors(user);
+  record.labels = labels_.labels(user);
+  return record;
+}
+
+Result<graph::NodeId> LocalGraphApi::SampleSeed(Rng& rng) const {
+  if (graph_.num_nodes() == 0) {
+    return FailedPreconditionError("SampleSeed: empty graph");
+  }
+  return static_cast<graph::NodeId>(rng.UniformInt(graph_.num_nodes()));
+}
+
 int64_t LocalGraphApi::remaining_budget() const {
   if (budget_ < 0) return -1;
   return budget_ - api_calls_;

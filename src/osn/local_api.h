@@ -3,6 +3,15 @@
 // budget. This is the simulation substrate for all experiments ("we simulate
 // the scenario where we only have accesses to the graphs via APIs", §5.1).
 //
+// Since the v2 session redesign (docs/API.md) this class wears two hats:
+//   * the v1 OsnApi shim — the charged, cached, budgeted surface below,
+//     kept intact so existing estimator call sites and the hot sweep loop
+//     run unchanged; and
+//   * the in-memory osn::Transport behind osn::OsnClient — the uncharged
+//     FetchRecord/SampleSeed face. OsnClient layers its own accounting,
+//     pagination, and fault policy on top, so transport fetches must not
+//     touch this object's call counters or cache.
+//
 // Two access tiers (see docs/PERFORMANCE.md):
 //   * The virtual OsnApi overrides — validate the node id, enforce the
 //     budget, and wrap the payload in Result<>. Estimators use these; their
@@ -18,10 +27,11 @@
 
 #include "osn/api.h"
 #include "osn/touched_set.h"
+#include "osn/transport.h"
 
 namespace labelrw::osn {
 
-class LocalGraphApi final : public OsnApi {
+class LocalGraphApi final : public OsnApi, public Transport {
  public:
   /// `graph`, `labels`, and (when given) `scratch` must outlive the API
   /// object. `budget` < 0 = unlimited. `scratch` lets callers that build
@@ -46,6 +56,14 @@ class LocalGraphApi final : public OsnApi {
   int64_t api_calls() const override { return api_calls_; }
   void ResetCallCount() override { api_calls_ = 0; }
   int64_t remaining_budget() const override;
+
+  // -------------------------------------------------------------------
+  // osn::Transport face (uncharged; see header comment). Used by OsnClient,
+  // which owns all session state itself.
+  Result<UserRecord> FetchRecord(graph::NodeId user) const override;
+  Result<graph::NodeId> SampleSeed(Rng& rng) const override;
+  int64_t num_users() const override { return graph_.num_nodes(); }
+  GraphPriors TransportPriors() const override { return Priors(); }
 
   // -------------------------------------------------------------------
   // Non-virtual fast path.

@@ -1,0 +1,70 @@
+// Transport: the raw data-access face of an OSN backend, beneath the
+// session layer.
+//
+// The v2 access stack splits the v1 OsnApi monolith into two layers,
+// following the data-logic / process-logic separation of DB-nets:
+//
+//   OsnClient  (osn/client.h)   — the *session*: per-crawl accounting,
+//                                 crawler cache, page/batch charging,
+//                                 budget enforcement, fault handling.
+//   Transport  (this header)    — the *wire*: serves user records with no
+//                                 notion of cost, cache, or budget.
+//
+// A Transport implementation answers "what does the server know about user
+// u" and nothing else. LocalGraphApi is the in-memory transport used by all
+// simulations; a production deployment would add an HTTP transport speaking
+// a real OSN's REST surface. Pagination is a *client-side* accounting
+// concern: the transport hands the full record and OsnClient charges
+// ceil(degree / page_size) calls for it, which is equivalent to replaying
+// the page requests a real crawler would issue.
+
+#ifndef LABELRW_OSN_TRANSPORT_H_
+#define LABELRW_OSN_TRANSPORT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "osn/api.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::osn {
+
+/// Everything the backend serves about one user. Spans stay valid for the
+/// lifetime of the transport object.
+struct UserRecord {
+  /// Friend count, as reported on the profile page (== neighbors.size()).
+  int64_t degree = 0;
+  /// Full friend list, sorted ascending.
+  std::span<const graph::NodeId> neighbors;
+  /// Profile labels, sorted ascending.
+  std::span<const graph::Label> labels;
+};
+
+/// Abstract uncharged backend. Implementations must keep returned spans
+/// valid for their own lifetime and must be thread-compatible (const after
+/// construction); all mutable per-crawl state lives in OsnClient.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// The server-side record of `user`. NotFound for unknown ids.
+  virtual Result<UserRecord> FetchRecord(graph::NodeId user) const = 0;
+
+  /// A seed user for starting a crawl (out-of-band in a real deployment:
+  /// public directories, the crawler's own account).
+  virtual Result<graph::NodeId> SampleSeed(Rng& rng) const = 0;
+
+  /// Number of user ids the backend may serve (ids are dense in [0, n)).
+  virtual int64_t num_users() const = 0;
+
+  /// The prior-knowledge block (|V|, |E|, degree maxima) the estimators
+  /// receive, as published by the OSN owner.
+  virtual GraphPriors TransportPriors() const = 0;
+};
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_TRANSPORT_H_

@@ -28,6 +28,17 @@ Status EdgeWalk::Reset(graph::Edge start) {
   return Status::Ok();
 }
 
+Status EdgeWalk::Restore(const Checkpoint& checkpoint) {
+  LABELRW_RETURN_IF_ERROR(params_.Validate());
+  if (checkpoint.initialized &&
+      (checkpoint.current.u < 0 || checkpoint.current.v < 0)) {
+    return InvalidArgumentError("EdgeWalk::Restore: bad checkpoint");
+  }
+  current_ = checkpoint.current;
+  initialized_ = checkpoint.initialized;
+  return Status::Ok();
+}
+
 Status EdgeWalk::ResetRandom(Rng& rng) {
   // Pick seed nodes until one with a neighbor is found, then a uniform
   // incident edge. (Burn-in washes out the seed bias.)

@@ -48,6 +48,15 @@ class EdgeWalk {
 
   const WalkParams& params() const { return params_; }
 
+  /// Suspend/resume support, mirroring NodeWalk::Checkpoint: the walk's
+  /// full position state, to pair with Rng::SaveState().
+  struct Checkpoint {
+    graph::Edge current{-1, -1};
+    bool initialized = false;
+  };
+  Checkpoint Save() const { return {current_, initialized_}; }
+  Status Restore(const Checkpoint& checkpoint);
+
  private:
   /// The geometric-skipping Advance for kMaxDegree/kGmd.
   Status AdvanceCollapsed(int64_t steps, Rng& rng);

@@ -15,6 +15,17 @@ Status NodeWalk::Reset(graph::NodeId start) {
   return Status::Ok();
 }
 
+Status NodeWalk::Restore(const Checkpoint& checkpoint) {
+  LABELRW_RETURN_IF_ERROR(params_.Validate());
+  if (checkpoint.initialized && checkpoint.current < 0) {
+    return InvalidArgumentError("NodeWalk::Restore: bad checkpoint");
+  }
+  current_ = checkpoint.current;
+  previous_ = checkpoint.previous;
+  initialized_ = checkpoint.initialized;
+  return Status::Ok();
+}
+
 Status NodeWalk::ResetRandom(Rng& rng) {
   LABELRW_ASSIGN_OR_RETURN(graph::NodeId seed, api_->RandomNode(rng));
   return Reset(seed);

@@ -40,6 +40,18 @@ class NodeWalk {
 
   const WalkParams& params() const { return params_; }
 
+  /// Suspend/resume support: the walk's full position state. Pair it with
+  /// Rng::SaveState() to freeze a crawl and continue it later (possibly in
+  /// another process over the same backing graph) with a bit-identical
+  /// trajectory.
+  struct Checkpoint {
+    graph::NodeId current = -1;
+    graph::NodeId previous = -1;
+    bool initialized = false;
+  };
+  Checkpoint Save() const { return {current_, previous_, initialized_}; }
+  Status Restore(const Checkpoint& checkpoint);
+
  private:
   /// The geometric-skipping Advance for kMaxDegree/kGmd.
   Status AdvanceCollapsed(int64_t steps, Rng& rng);

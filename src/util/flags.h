@@ -1,0 +1,89 @@
+// Strict command-line value parsing shared by the bench binaries and
+// labelrw_cli. atoll-style parsing silently maps "--reps=abc" to 0 — which
+// runs a zero-rep sweep and prints an empty table — so every numeric flag
+// value must parse in full or the process exits with a diagnostic.
+//
+// These helpers terminate the process on bad input (exit code 2, the
+// command-line-usage convention); they are for main()s, not for the library
+// proper, which reports through Status.
+
+#ifndef LABELRW_UTIL_FLAGS_H_
+#define LABELRW_UTIL_FLAGS_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace labelrw::flags {
+
+/// Strict integer parsing: the whole value must be numeric.
+inline int64_t ParseIntOrDie(const char* flag_name, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid numeric value for %s: '%s'\n", flag_name,
+                 value);
+    std::exit(2);
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+/// Like ParseIntOrDie, additionally rejecting values below `min`.
+inline int64_t ParseIntAtLeastOrDie(const char* flag_name, const char* value,
+                                    int64_t min) {
+  const int64_t parsed = ParseIntOrDie(flag_name, value);
+  if (parsed < min) {
+    std::fprintf(stderr, "%s must be >= %lld (got '%s')\n", flag_name,
+                 static_cast<long long>(min), value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+inline uint64_t ParseUintOrDie(const char* flag_name, const char* value) {
+  // Require the value to start with a digit: strtoull would otherwise skip
+  // leading whitespace and silently wrap a negative input.
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isdigit(static_cast<unsigned char>(value[0]))) {
+    std::fprintf(stderr, "invalid numeric value for %s: '%s'\n", flag_name,
+                 value);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+/// Strict double parsing; rejects NaN-producing junk and trailing garbage.
+inline double ParseDoubleOrDie(const char* flag_name, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid numeric value for %s: '%s'\n", flag_name,
+                 value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+/// ParseDoubleOrDie restricted to [lo, hi].
+inline double ParseDoubleInRangeOrDie(const char* flag_name,
+                                      const char* value, double lo,
+                                      double hi) {
+  const double parsed = ParseDoubleOrDie(flag_name, value);
+  if (parsed < lo || parsed > hi) {
+    std::fprintf(stderr, "%s must lie in [%g, %g] (got '%s')\n", flag_name,
+                 lo, hi, value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace labelrw::flags
+
+#endif  // LABELRW_UTIL_FLAGS_H_

@@ -74,6 +74,17 @@ class Rng {
   /// Bernoulli draw: true with probability p (clamped to [0,1]).
   bool Bernoulli(double p) { return UniformDouble() < p; }
 
+  /// The full 256-bit generator state, for suspend/resume of long-running
+  /// sessions: RestoreState(SaveState()) makes the stream continue exactly
+  /// where it left off.
+  struct State {
+    uint64_t s[4];
+  };
+  State SaveState() const { return State{{s_[0], s_[1], s_[2], s_[3]}}; }
+  void RestoreState(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  }
+
   /// Derives an independent child generator; `stream` distinguishes children
   /// of the same parent deterministically.
   Rng Child(uint64_t stream) {

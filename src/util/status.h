@@ -26,11 +26,13 @@ enum class StatusCode {
   kOk = 0,
   kInvalidArgument = 3,
   kNotFound = 5,
+  kPermissionDenied = 7,
   kOutOfRange = 11,
   kFailedPrecondition = 9,
   kResourceExhausted = 8,
   kUnimplemented = 12,
   kInternal = 13,
+  kUnavailable = 14,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -72,6 +74,8 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status UnavailableError(std::string message);
 
 /// Value-or-Status. Accessing value() on an error aborts the process (the
 /// caller is expected to check ok() or use LABELRW_ASSIGN_OR_RETURN).

@@ -1,0 +1,298 @@
+// Tests of the v2 resumable estimation surface: EstimatorSession stepping,
+// anytime snapshots, RunUntilBudget — and the acceptance criterion that a
+// session snapshotted mid-run, resumed, and run to completion is
+// bit-identical to an uninterrupted run with the same seed, for all ten
+// algorithms. Also covers the walker suspend/resume substrate
+// (NodeWalk/EdgeWalk checkpoints + Rng state).
+
+#include "estimators/session.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "rw/edge_walk.h"
+#include "rw/node_walk.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace labelrw::estimators {
+namespace {
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  osn::GraphPriors priors;
+
+  static Fixture Make(uint64_t seed, int64_t n = 200, int64_t extra = 600,
+                      int alphabet = 2) {
+    Fixture f;
+    f.graph = testing::RandomConnectedGraph(n, extra, seed);
+    f.labels = testing::RandomLabels(n, alphabet, seed + 1);
+    const auto stats = graph::ComputeDegreeStats(f.graph);
+    f.priors = {f.graph.num_nodes(), f.graph.num_edges(), stats.max_degree,
+                stats.max_line_degree};
+    return f;
+  }
+};
+
+void ExpectIdentical(const EstimateResult& a, const EstimateResult& b,
+                     const char* what) {
+  EXPECT_EQ(a.estimate, b.estimate) << what;
+  EXPECT_EQ(a.api_calls, b.api_calls) << what;
+  EXPECT_EQ(a.iterations, b.iterations) << what;
+  EXPECT_EQ(a.samples_used, b.samples_used) << what;
+  EXPECT_EQ(a.explored_nodes, b.explored_nodes) << what;
+  EXPECT_EQ(a.std_error, b.std_error) << what;
+}
+
+class SessionResumeTest : public ::testing::TestWithParam<AlgorithmId> {};
+
+// The acceptance criterion: stepping in chunks with snapshots in between
+// (suspend points) must reproduce the uninterrupted run bit-for-bit.
+TEST_P(SessionResumeTest, ChunkedStepsWithSnapshotsAreBitIdentical) {
+  const AlgorithmId id = GetParam();
+  const Fixture f = Fixture::Make(50);
+  const graph::TargetLabel target{0, 1};
+  for (const bool budget_mode : {true, false}) {
+    EstimateOptions options;
+    if (budget_mode) {
+      options.api_budget = 150;
+    } else {
+      options.sample_size = 120;
+    }
+    options.burn_in = 30;
+    options.seed = 12;
+
+    osn::LocalGraphApi api_oneshot(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const EstimateResult uninterrupted,
+        Estimate(id, api_oneshot, target, f.priors, options));
+
+    osn::LocalGraphApi api_chunked(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const auto session,
+        EstimatorSession::Create(id, api_chunked, target, f.priors, options));
+    int64_t chunks = 0;
+    while (!session->finished()) {
+      ASSERT_OK_AND_ASSIGN(const int64_t performed, session->Step(7));
+      if (performed > 0) {
+        // A mid-run snapshot is the suspend point; it must not disturb the
+        // stream.
+        ASSERT_TRUE(session->Snapshot().ok());
+      }
+      ++chunks;
+      ASSERT_LT(chunks, 100000) << "session never finished";
+    }
+    ASSERT_OK_AND_ASSIGN(const EstimateResult resumed, session->Snapshot());
+    ExpectIdentical(uninterrupted, resumed, AlgorithmName(id));
+    EXPECT_EQ(api_oneshot.api_calls(), api_chunked.api_calls());
+    EXPECT_EQ(api_oneshot.distinct_users_fetched(),
+              api_chunked.distinct_users_fetched());
+  }
+}
+
+// RunUntilBudget(b) on a larger-budget session must land exactly where an
+// independent run with budget b lands (the prefix-budget sweep invariant).
+TEST_P(SessionResumeTest, PrefixBudgetSnapshotMatchesIndependentRun) {
+  const AlgorithmId id = GetParam();
+  const Fixture f = Fixture::Make(51);
+  const graph::TargetLabel target{0, 1};
+
+  EstimateOptions small;
+  small.api_budget = 80;
+  small.burn_in = 30;
+  small.seed = 21;
+  osn::LocalGraphApi api_small(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(const EstimateResult independent,
+                       Estimate(id, api_small, target, f.priors, small));
+
+  EstimateOptions large = small;
+  large.api_budget = 200;
+  osn::LocalGraphApi api_large(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(
+      const auto session,
+      EstimatorSession::Create(id, api_large, target, f.priors, large));
+  ASSERT_OK(session->RunUntilBudget(80));
+  ASSERT_OK_AND_ASSIGN(const EstimateResult prefix, session->Snapshot());
+  ExpectIdentical(independent, prefix, AlgorithmName(id));
+
+  // And the session keeps going afterwards.
+  ASSERT_OK(session->RunUntilBudget(200));
+  ASSERT_OK_AND_ASSIGN(const EstimateResult full, session->Snapshot());
+  EXPECT_GT(full.iterations, prefix.iterations) << AlgorithmName(id);
+  EXPECT_GE(full.api_calls, 200) << AlgorithmName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SessionResumeTest, ::testing::ValuesIn(AllAlgorithms()),
+    [](const ::testing::TestParamInfo<AlgorithmId>& info) {
+      std::string name = AlgorithmName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(EstimatorSessionTest, SnapshotBeforeFirstIterationFails) {
+  const Fixture f = Fixture::Make(52);
+  EstimateOptions options;
+  options.sample_size = 10;
+  osn::LocalGraphApi api(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(const auto session,
+                       EstimatorSession::Create(
+                           AlgorithmId::kNeighborSampleHH, api, {0, 1},
+                           f.priors, options));
+  EXPECT_EQ(session->Snapshot().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session->iterations(), 0);
+  EXPECT_FALSE(session->finished());
+}
+
+TEST(EstimatorSessionTest, CreateValidatesEagerly) {
+  const Fixture f = Fixture::Make(53);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  EstimateOptions bad;  // neither sample_size nor api_budget
+  EXPECT_FALSE(EstimatorSession::Create(AlgorithmId::kNeighborSampleHH, api,
+                                        {0, 1}, f.priors, bad)
+                   .ok());
+  EstimateOptions good;
+  good.sample_size = 10;
+  osn::GraphPriors no_priors;  // zeros
+  EXPECT_FALSE(EstimatorSession::Create(AlgorithmId::kNeighborSampleHH, api,
+                                        {0, 1}, no_priors, good)
+                   .ok());
+  // Creation is free: no API calls, no RNG consumption.
+  EXPECT_EQ(api.api_calls(), 0);
+}
+
+TEST(EstimatorSessionTest, AnytimeSnapshotsConvergeOnTruth) {
+  const Fixture f = Fixture::Make(54, 150, 500, 2);
+  const graph::TargetLabel target{0, 1};
+  const double truth =
+      static_cast<double>(graph::CountTargetEdges(f.graph, f.labels, target));
+  // Average anytime snapshots over reps at two depths: the deeper snapshot
+  // of the same sessions must estimate the truth more tightly.
+  RunningStats shallow_err, deep_err;
+  for (int rep = 0; rep < 40; ++rep) {
+    EstimateOptions options;
+    options.sample_size = 2000;
+    options.burn_in = 50;
+    options.seed = DeriveSeed(4242, 0, 0, rep);
+    osn::LocalGraphApi api(f.graph, f.labels);
+    ASSERT_OK_AND_ASSIGN(
+        const auto session,
+        EstimatorSession::Create(AlgorithmId::kNeighborSampleHH, api, target,
+                                 f.priors, options));
+    ASSERT_TRUE(session->Step(50).ok());
+    ASSERT_OK_AND_ASSIGN(const EstimateResult at50, session->Snapshot());
+    ASSERT_OK(session->Run());
+    ASSERT_OK_AND_ASSIGN(const EstimateResult at2000, session->Snapshot());
+    EXPECT_EQ(at2000.iterations, 2000);
+    shallow_err.Add(std::abs(at50.estimate - truth) / truth);
+    deep_err.Add(std::abs(at2000.estimate - truth) / truth);
+  }
+  EXPECT_LT(deep_err.mean(), shallow_err.mean());
+}
+
+TEST(EstimatorSessionTest, StepAfterFinishIsNoOp) {
+  const Fixture f = Fixture::Make(55);
+  EstimateOptions options;
+  options.sample_size = 25;
+  options.seed = 3;
+  osn::LocalGraphApi api(f.graph, f.labels);
+  ASSERT_OK_AND_ASSIGN(const auto session,
+                       EstimatorSession::Create(
+                           AlgorithmId::kExRW, api, {0, 1}, f.priors,
+                           options));
+  ASSERT_OK(session->Run());
+  EXPECT_TRUE(session->finished());
+  EXPECT_EQ(session->iterations(), 25);
+  const int64_t calls = api.api_calls();
+  ASSERT_OK_AND_ASSIGN(const int64_t performed, session->Step(10));
+  EXPECT_EQ(performed, 0);
+  EXPECT_EQ(api.api_calls(), calls);
+}
+
+// ---------------------------------------------------------------------------
+// The suspend/resume substrate: walkers + RNG freeze and thaw exactly.
+
+TEST(WalkCheckpointTest, NodeWalkResumesBitIdentically) {
+  const Fixture f = Fixture::Make(56);
+  for (const rw::WalkKind kind :
+       {rw::WalkKind::kSimple, rw::WalkKind::kNonBacktracking,
+        rw::WalkKind::kMetropolisHastings, rw::WalkKind::kMaxDegree}) {
+    osn::LocalGraphApi api(f.graph, f.labels);
+    rw::WalkParams params;
+    params.kind = kind;
+    params.max_degree_prior = f.priors.max_degree;
+    rw::NodeWalk walk(&api, params);
+    Rng rng(8);
+    ASSERT_OK(walk.ResetRandom(rng));
+    ASSERT_OK(walk.Advance(100, rng));
+
+    // Freeze.
+    const rw::NodeWalk::Checkpoint checkpoint = walk.Save();
+    const Rng::State rng_state = rng.SaveState();
+
+    std::vector<graph::NodeId> trajectory;
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK_AND_ASSIGN(const graph::NodeId u, walk.Step(rng));
+      trajectory.push_back(u);
+    }
+
+    // Thaw into a brand-new walk + RNG and replay.
+    rw::NodeWalk resumed(&api, params);
+    ASSERT_OK(resumed.Restore(checkpoint));
+    Rng rng2(0);
+    rng2.RestoreState(rng_state);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK_AND_ASSIGN(const graph::NodeId u, resumed.Step(rng2));
+      EXPECT_EQ(u, trajectory[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(WalkCheckpointTest, EdgeWalkResumesBitIdentically) {
+  const Fixture f = Fixture::Make(57);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  rw::WalkParams params;
+  params.kind = rw::WalkKind::kSimple;
+  rw::EdgeWalk walk(&api, params);
+  Rng rng(9);
+  ASSERT_OK(walk.ResetRandom(rng));
+  ASSERT_OK(walk.Advance(60, rng));
+
+  const rw::EdgeWalk::Checkpoint checkpoint = walk.Save();
+  const Rng::State rng_state = rng.SaveState();
+  std::vector<graph::Edge> trajectory;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::Edge e, walk.Step(rng));
+    trajectory.push_back(e);
+  }
+
+  rw::EdgeWalk resumed(&api, params);
+  ASSERT_OK(resumed.Restore(checkpoint));
+  Rng rng2(0);
+  rng2.RestoreState(rng_state);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::Edge e, resumed.Step(rng2));
+    EXPECT_EQ(e, trajectory[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(WalkCheckpointTest, UninitializedCheckpointRoundTrips) {
+  const Fixture f = Fixture::Make(58);
+  osn::LocalGraphApi api(f.graph, f.labels);
+  rw::NodeWalk walk(&api, rw::WalkParams());
+  const rw::NodeWalk::Checkpoint checkpoint = walk.Save();
+  EXPECT_FALSE(checkpoint.initialized);
+  rw::NodeWalk other(&api, rw::WalkParams());
+  ASSERT_OK(other.Restore(checkpoint));
+  Rng rng(1);
+  EXPECT_EQ(other.Step(rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace labelrw::estimators

@@ -1,0 +1,149 @@
+// Edge-case coverage for the two public option structs' Validate methods:
+// estimators::EstimateOptions and eval::SweepConfig.
+
+#include <gtest/gtest.h>
+
+#include "estimators/estimator.h"
+#include "eval/experiment.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+estimators::EstimateOptions GoodEstimateOptions() {
+  estimators::EstimateOptions options;
+  options.sample_size = 100;
+  return options;
+}
+
+TEST(EstimateOptionsValidateTest, BothSampleSizeAndBudgetZero) {
+  estimators::EstimateOptions options;  // defaults: both zero
+  const Status status = options.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EstimateOptionsValidateTest, EitherLimitAloneSuffices) {
+  estimators::EstimateOptions options;
+  options.sample_size = 1;
+  EXPECT_OK(options.Validate());
+  options.sample_size = 0;
+  options.api_budget = 1;
+  EXPECT_OK(options.Validate());
+  options.sample_size = 50;
+  EXPECT_OK(options.Validate());  // both set: budget with iteration cap
+}
+
+TEST(EstimateOptionsValidateTest, NegativeLimitsRejected) {
+  estimators::EstimateOptions options = GoodEstimateOptions();
+  options.sample_size = -1;
+  options.api_budget = 10;
+  EXPECT_FALSE(options.Validate().ok());
+  options.sample_size = 10;
+  options.api_budget = -5;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(EstimateOptionsValidateTest, NegativeBurnInRejected) {
+  estimators::EstimateOptions options = GoodEstimateOptions();
+  options.burn_in = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.burn_in = 0;
+  EXPECT_OK(options.Validate());
+}
+
+TEST(EstimateOptionsValidateTest, BadFractionsRejected) {
+  estimators::EstimateOptions options = GoodEstimateOptions();
+  options.ht_spacing_fraction = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.ht_spacing_fraction = -0.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.ht_spacing_fraction = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.ht_spacing_fraction = 1.0;
+  EXPECT_OK(options.Validate());
+
+  options = GoodEstimateOptions();
+  options.rcmh_alpha = -0.01;
+  EXPECT_FALSE(options.Validate().ok());
+  options.rcmh_alpha = 1.01;
+  EXPECT_FALSE(options.Validate().ok());
+  options.rcmh_alpha = 0.0;
+  EXPECT_OK(options.Validate());
+  options.rcmh_alpha = 1.0;
+  EXPECT_OK(options.Validate());
+
+  options = GoodEstimateOptions();
+  options.gmd_delta = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.gmd_delta = 1.1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.gmd_delta = 1.0;
+  EXPECT_OK(options.Validate());
+}
+
+TEST(EstimateOptionsValidateTest, WalkKindRestrictedToDegreeProportional) {
+  estimators::EstimateOptions options = GoodEstimateOptions();
+  for (const rw::WalkKind kind :
+       {rw::WalkKind::kMetropolisHastings, rw::WalkKind::kMaxDegree,
+        rw::WalkKind::kRcmh, rw::WalkKind::kGmd}) {
+    options.ns_walk_kind = kind;
+    EXPECT_FALSE(options.Validate().ok());
+  }
+  options.ns_walk_kind = rw::WalkKind::kSimple;
+  EXPECT_OK(options.Validate());
+  options.ns_walk_kind = rw::WalkKind::kNonBacktracking;
+  EXPECT_OK(options.Validate());
+}
+
+eval::SweepConfig GoodSweepConfig() {
+  eval::SweepConfig config;
+  config.sample_fractions = {0.01, 0.02};
+  config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH};
+  return config;
+}
+
+TEST(SweepConfigValidateTest, GoodConfigPasses) {
+  EXPECT_OK(GoodSweepConfig().Validate());
+}
+
+TEST(SweepConfigValidateTest, EmptyFractionsRejected) {
+  eval::SweepConfig config = GoodSweepConfig();
+  config.sample_fractions.clear();
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SweepConfigValidateTest, OutOfRangeFractionsRejected) {
+  eval::SweepConfig config = GoodSweepConfig();
+  config.sample_fractions = {0.0};
+  EXPECT_FALSE(config.Validate().ok());
+  config.sample_fractions = {-0.1};
+  EXPECT_FALSE(config.Validate().ok());
+  config.sample_fractions = {1.5};
+  EXPECT_FALSE(config.Validate().ok());
+  config.sample_fractions = {1.0};  // boundary is allowed
+  EXPECT_OK(config.Validate());
+}
+
+TEST(SweepConfigValidateTest, NonPositiveRepsRejected) {
+  eval::SweepConfig config = GoodSweepConfig();
+  config.reps = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.reps = -3;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SweepConfigValidateTest, EmptyAlgorithmListRejected) {
+  eval::SweepConfig config = GoodSweepConfig();
+  config.algorithms.clear();
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SweepConfigValidateTest, NegativeBurnInRejected) {
+  eval::SweepConfig config = GoodSweepConfig();
+  config.burn_in = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace labelrw

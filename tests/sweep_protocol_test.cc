@@ -1,0 +1,150 @@
+// Tests of the prefix-budget sweep protocol: structural integrity, the
+// distributional match with independent runs (acceptance criterion), and
+// its validation rules.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "tests/test_util.h"
+
+namespace labelrw::eval {
+namespace {
+
+struct SweepFixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  graph::TargetLabel target{0, 1};
+
+  static SweepFixture Make(uint64_t seed, int64_t n = 400) {
+    SweepFixture f;
+    f.graph = testing::RandomConnectedGraph(n, 3 * n, seed);
+    f.labels = testing::RandomLabels(n, 2, seed + 1);
+    return f;
+  }
+};
+
+SweepConfig BaseConfig() {
+  SweepConfig config;
+  config.sample_fractions = {0.1, 0.2, 0.4};
+  config.reps = 60;
+  config.threads = 4;
+  config.seed = 7;
+  config.burn_in = 40;
+  config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
+                       estimators::AlgorithmId::kExRW};
+  return config;
+}
+
+TEST(SweepProtocolTest, PrefixFillsEveryCell) {
+  const SweepFixture f = SweepFixture::Make(70);
+  SweepConfig config = BaseConfig();
+  config.protocol = SweepProtocol::kPrefixBudget;
+  ASSERT_OK_AND_ASSIGN(const SweepResult result,
+                       RunSweep(f.graph, f.labels, f.target, config));
+  EXPECT_EQ(result.protocol, SweepProtocol::kPrefixBudget);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const auto& row : result.cells) {
+    ASSERT_EQ(row.size(), 3u);
+    for (const CellResult& cell : row) {
+      EXPECT_GT(cell.mean_estimate, 0.0);
+      EXPECT_GT(cell.mean_api_calls, 0.0);
+      EXPECT_GT(cell.nrmse, 0.0);
+    }
+    // Larger budgets must report larger mean spend within a row.
+    EXPECT_LT(row[0].mean_api_calls, row[2].mean_api_calls);
+  }
+}
+
+// Acceptance criterion: the prefix protocol's NRMSE cells agree with the
+// paper-faithful independent-runs protocol within Monte-Carlo tolerance
+// (the per-cell marginal distributions are identical by construction; only
+// the seeds and the cross-column coupling differ).
+TEST(SweepProtocolTest, PrefixMatchesIndependentRunsWithinTolerance) {
+  const SweepFixture f = SweepFixture::Make(71);
+  SweepConfig independent = BaseConfig();
+  ASSERT_OK_AND_ASSIGN(const SweepResult base,
+                       RunSweep(f.graph, f.labels, f.target, independent));
+
+  SweepConfig prefixed = BaseConfig();
+  prefixed.protocol = SweepProtocol::kPrefixBudget;
+  ASSERT_OK_AND_ASSIGN(const SweepResult prefix,
+                       RunSweep(f.graph, f.labels, f.target, prefixed));
+
+  EXPECT_EQ(base.truth, prefix.truth);
+  for (size_t a = 0; a < base.cells.size(); ++a) {
+    for (size_t s = 0; s < base.cells[a].size(); ++s) {
+      const double b = base.cells[a][s].nrmse;
+      const double p = prefix.cells[a][s].nrmse;
+      // Monte-Carlo noise at 60 reps is ~1/sqrt(2*60) ~ 10% relative per
+      // estimate; allow a generous combined band.
+      EXPECT_NEAR(p, b, 0.5 * b + 0.05)
+          << estimators::AlgorithmName(base.algorithms[a]) << " at size "
+          << base.sample_sizes[s];
+      // Relative bias should also be in the same ballpark.
+      EXPECT_NEAR(prefix.cells[a][s].relative_bias,
+                  base.cells[a][s].relative_bias, 0.25);
+    }
+  }
+}
+
+TEST(SweepProtocolTest, PrefixSpendsFarFewerApiCalls) {
+  const SweepFixture f = SweepFixture::Make(72);
+  SweepConfig independent = BaseConfig();
+  independent.reps = 20;
+  ASSERT_OK_AND_ASSIGN(const SweepResult base,
+                       RunSweep(f.graph, f.labels, f.target, independent));
+  SweepConfig prefixed = independent;
+  prefixed.protocol = SweepProtocol::kPrefixBudget;
+  ASSERT_OK_AND_ASSIGN(const SweepResult prefix,
+                       RunSweep(f.graph, f.labels, f.target, prefixed));
+
+  // Independent runs pay (sum of budgets) per rep; prefix pays the largest
+  // budget once. mean_api_calls at the LARGEST size is comparable (same
+  // endpoint), while the total across cells is what the prefix mode saves.
+  double base_total = 0.0, prefix_total = 0.0;
+  for (size_t a = 0; a < base.cells.size(); ++a) {
+    for (size_t s = 0; s < base.cells[a].size(); ++s) {
+      base_total += base.cells[a][s].mean_api_calls;
+    }
+    // The prefix session's whole spend is its largest-budget snapshot.
+    prefix_total += prefix.cells[a].back().mean_api_calls;
+  }
+  EXPECT_LT(prefix_total, 0.75 * base_total);
+}
+
+TEST(SweepProtocolTest, PrefixRejectsSpacingThinning) {
+  // The HT spacing stride derives from the session's nominal size — under
+  // prefix that is the largest budget, so smaller cells would thin too
+  // coarsely; the combination is rejected rather than silently skewed.
+  SweepConfig config = BaseConfig();
+  config.protocol = SweepProtocol::kPrefixBudget;
+  config.ht_thinning = estimators::HtThinning::kSpacing;
+  EXPECT_FALSE(config.Validate().ok());
+  config.protocol = SweepProtocol::kIndependentRuns;
+  EXPECT_OK(config.Validate());
+}
+
+TEST(SweepProtocolTest, PrefixRequiresAscendingFractions) {
+  SweepConfig config = BaseConfig();
+  config.protocol = SweepProtocol::kPrefixBudget;
+  config.sample_fractions = {0.2, 0.1};
+  EXPECT_FALSE(config.Validate().ok());
+  config.sample_fractions = {0.1, 0.1};
+  EXPECT_FALSE(config.Validate().ok());
+  config.sample_fractions = {0.1, 0.2};
+  EXPECT_OK(config.Validate());
+  // Independent mode accepts any order.
+  config.protocol = SweepProtocol::kIndependentRuns;
+  config.sample_fractions = {0.2, 0.1};
+  EXPECT_OK(config.Validate());
+}
+
+TEST(SweepProtocolTest, ProtocolNames) {
+  EXPECT_STREQ(SweepProtocolName(SweepProtocol::kIndependentRuns),
+               "independent-runs");
+  EXPECT_STREQ(SweepProtocolName(SweepProtocol::kPrefixBudget),
+               "prefix-budget");
+}
+
+}  // namespace
+}  // namespace labelrw::eval

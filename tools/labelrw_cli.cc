@@ -1,11 +1,20 @@
 // labelrw_cli: command-line front end for the library.
 //
 // Subcommands:
-//   stats    --graph=E [--labels=L]            graph statistics
+//   stats    --graph=E [--labels=L]              graph statistics
 //   truth    --graph=E --labels=L --t1=A --t2=B  exact target edge count
 //   estimate --graph=E --labels=L --t1=A --t2=B --budget=K
 //            [--algorithm=NAME] [--burn-in=N] [--seed=S]
+//            [--page-size=P] [--fault-rate=F] [--private-rate=F]
+//            [--retry-budget=R]
 //   bounds   --graph=E --labels=L --t1=A --t2=B [--eps=0.1] [--delta=0.1]
+//   list-algorithms   (also available as --list-algorithms)
+//
+// Flag values are parsed strictly (util/flags.h): non-numeric or
+// out-of-range values and unknown flags abort with exit code 2 instead of
+// silently running with garbage. The v2 client flags (--page-size,
+// --fault-rate, ...) route the estimate through osn::OsnClient; without
+// them the fast v1 LocalGraphApi path is used (identical accounting).
 //
 // Graphs are SNAP-style edge lists; labels are "node label..." lines (see
 // graph/io.h). The graph is reduced to its largest connected component, as
@@ -15,61 +24,145 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
 
 #include "core/target_edge_counter.h"
 #include "graph/connected.h"
 #include "graph/io.h"
 #include "graph/oracle.h"
+#include "osn/client.h"
 #include "osn/local_api.h"
 #include "theory/bounds.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace labelrw;
 
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: labelrw_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  stats            graph statistics (--graph, optional --labels)\n"
+      "  truth            exact target edge count (--graph --labels --t1 "
+      "--t2)\n"
+      "  estimate         API-budgeted estimate (--graph --labels --t1 --t2\n"
+      "                   [--budget=K] [--algorithm=NAME] [--burn-in=N]\n"
+      "                   [--seed=S] [--page-size=P] [--fault-rate=F]\n"
+      "                   [--private-rate=F] [--retry-budget=R])\n"
+      "  bounds           theoretical sample bounds ([--eps=E] "
+      "[--delta=D])\n"
+      "  list-algorithms  the ten algorithm names --algorithm accepts\n"
+      "\n"
+      "flag values are checked strictly; unknown flags are rejected.\n");
+  return 2;
+}
+
+int ListAlgorithms() {
+  for (const estimators::AlgorithmId id : estimators::AllAlgorithms()) {
+    std::printf("%s%s\n", estimators::AlgorithmName(id),
+                estimators::IsBaseline(id) ? "  (baseline)" : "");
+  }
+  return 0;
+}
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
 
-  std::string Get(const std::string& key, const std::string& fallback = "") const {
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
+
+  int64_t GetInt(const std::string& key, int64_t fallback,
+                 int64_t min = 0) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    return flags::ParseIntAtLeastOrDie(("--" + key).c_str(),
+                                       it->second.c_str(), min);
   }
-  double GetDouble(const std::string& key, double fallback) const {
+
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    return flags::ParseUintOrDie(("--" + key).c_str(), it->second.c_str());
+  }
+
+  double GetDouble(const std::string& key, double fallback, double lo,
+                   double hi) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    return flags::ParseDoubleInRangeOrDie(("--" + key).c_str(),
+                                          it->second.c_str(), lo, hi);
   }
 };
+
+/// Flags each command accepts; anything else is rejected.
+const std::set<std::string>& KnownFlags(const std::string& command) {
+  static const std::set<std::string> kCommon = {"graph", "labels"};
+  static const std::set<std::string> kTarget = {"graph", "labels", "t1",
+                                                "t2"};
+  static const std::set<std::string> kEstimate = {
+      "graph",     "labels",       "t1",        "t2",
+      "budget",    "algorithm",    "burn-in",   "seed",
+      "page-size", "fault-rate",   "private-rate", "retry-budget"};
+  static const std::set<std::string> kBounds = {"graph", "labels", "t1",
+                                                "t2",    "eps",    "delta"};
+  static const std::set<std::string> kNone = {};
+  if (command == "stats") return kCommon;
+  if (command == "truth") return kTarget;
+  if (command == "estimate") return kEstimate;
+  if (command == "bounds") return kBounds;
+  return kNone;
+}
 
 Args Parse(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
+  if (args.command == "--help" || args.command == "-h") {
+    Usage();
+    std::exit(0);
+  }
+  if (args.command == "--list-algorithms") {
+    std::exit(ListAlgorithms());
+  }
+  const std::set<std::string>& known = KnownFlags(args.command);
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--", 2) != 0) continue;
-    const char* eq = std::strchr(arg, '=');
-    if (eq == nullptr) {
-      args.flags[arg + 2] = "1";
-    } else {
-      args.flags[std::string(arg + 2, eq - arg - 2)] = eq + 1;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage();
+      std::exit(0);
     }
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg);
+      std::exit(2);
+    }
+    const char* eq = std::strchr(arg, '=');
+    std::string key;
+    std::string value = "1";
+    if (eq == nullptr) {
+      key = arg + 2;
+    } else {
+      key.assign(arg + 2, static_cast<size_t>(eq - arg - 2));
+      value = eq + 1;
+    }
+    if (known.count(key) == 0) {
+      std::fprintf(stderr, "unknown flag for '%s': --%s\n",
+                   args.command.c_str(), key.c_str());
+      std::exit(2);
+    }
+    args.flags[key] = value;
   }
   return args;
-}
-
-int Usage() {
-  std::fprintf(stderr,
-               "usage: labelrw_cli <stats|truth|estimate|bounds> "
-               "--graph=FILE [--labels=FILE] [--t1=A --t2=B] "
-               "[--budget=K] [--algorithm=NAME] [--burn-in=N] [--seed=S] "
-               "[--eps=E] [--delta=D]\n");
-  return 2;
 }
 
 template <typename T>
@@ -145,12 +238,30 @@ int RunTruth(const Args& args) {
 int RunEstimate(const Args& args) {
   const LoadedGraph lg = Load(args);
   const graph::TargetLabel target = TargetFrom(args);
-  osn::LocalGraphApi api(lg.graph, lg.labels);
-  core::TargetEdgeCounter counter(&api, api.Priors());
+  osn::LocalGraphApi local(lg.graph, lg.labels);
+
+  // The v2 client flags route access through the session layer; without
+  // them the v1 fast path serves directly (identical accounting).
+  osn::CostModel cost_model;
+  cost_model.page_size = args.GetInt("page-size", 0);
+  osn::FaultPolicy faults;
+  faults.transient_error_rate = args.GetDouble("fault-rate", 0.0, 0.0, 0.99);
+  faults.unavailable_user_rate =
+      args.GetDouble("private-rate", 0.0, 0.0, 0.99);
+  faults.retry_budget =
+      static_cast<int>(args.GetInt("retry-budget", faults.retry_budget));
+  // Construct the client only when needed: its cache bitmaps are O(|V|).
+  const bool use_client = cost_model.page_size > 0 || faults.any_faults();
+  std::optional<osn::OsnClient> client;
+  if (use_client) client.emplace(local, cost_model, faults);
+  osn::OsnApi& api =
+      use_client ? static_cast<osn::OsnApi&>(*client) : local;
+
+  core::TargetEdgeCounter counter(&api, local.Priors());
   core::CountOptions options;
-  options.budget = args.GetInt("budget", lg.graph.num_nodes() / 20);
+  options.budget = args.GetInt("budget", lg.graph.num_nodes() / 20, 1);
   options.burn_in = args.GetInt("burn-in", 300);
-  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.seed = args.GetUint("seed", 42);
   const std::string algorithm = args.Get("algorithm");
   if (!algorithm.empty()) {
     options.algorithm =
@@ -164,6 +275,16 @@ int RunEstimate(const Args& args) {
     std::printf("pilot      %.0f\n", *report.pilot_estimate);
   }
   std::printf("api calls  %s\n", FormatCount(report.api_calls).c_str());
+  if (use_client) {
+    const osn::ClientStats& stats = client->stats();
+    std::printf("pages fetched        %s\n",
+                FormatCount(stats.pages_fetched).c_str());
+    std::printf("transient failures   %s (retries %s)\n",
+                FormatCount(stats.transient_failures).c_str(),
+                FormatCount(stats.retries).c_str());
+    std::printf("denied requests      %s\n",
+                FormatCount(stats.denied_requests).c_str());
+  }
   return 0;
 }
 
@@ -171,8 +292,8 @@ int RunBounds(const Args& args) {
   const LoadedGraph lg = Load(args);
   const graph::TargetLabel target = TargetFrom(args);
   theory::ApproximationSpec spec;
-  spec.epsilon = args.GetDouble("eps", 0.1);
-  spec.delta = args.GetDouble("delta", 0.1);
+  spec.epsilon = args.GetDouble("eps", 0.1, 1e-9, 1.0);
+  spec.delta = args.GetDouble("delta", 0.1, 1e-9, 1.0);
   const theory::SampleBounds bounds = Check(
       theory::ComputeSampleBounds(lg.graph, lg.labels, target, spec),
       "bounds");
@@ -194,5 +315,6 @@ int main(int argc, char** argv) {
   if (args.command == "truth") return RunTruth(args);
   if (args.command == "estimate") return RunEstimate(args);
   if (args.command == "bounds") return RunBounds(args);
+  if (args.command == "list-algorithms") return ListAlgorithms();
   return Usage();
 }
