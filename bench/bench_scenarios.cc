@@ -1,0 +1,196 @@
+// Scenario sweep comparison: the paper's idealized crawl vs production
+// crawl conditions (pagination, transient faults, rate limits + simulated
+// latency, and a churning graph), all driven through eval::RunScenarioSweep
+// on the Facebook analog.
+//
+// For every scenario the bench reports wall-clock, mean simulated crawl
+// time per rep, wire telemetry (stalls, retries, mutations applied), and
+// the worst relative NRMSE deviation from the RunSweep reference. The
+// bit-exact scenarios (baseline, rate-limited, strict-rate-limit) must
+// report 0 deviation — that is the regression guard for the scenario
+// engine's determinism claims; the accuracy cost of the others is the
+// measurement.
+//
+// Dumps BENCH_scenarios.json next to the CSVs so future PRs (and the CI
+// artifact) can diff.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "osn/scenario.h"
+#include "util/rng.h"
+
+namespace labelrw::bench {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Additive churn: every 50 sim-milliseconds, one random new edge plus one
+/// label handoff (node u adopts node v's label set). Additive-only so walk
+/// states never strand on a shrunken neighborhood mid-crawl.
+std::vector<osn::GraphMutation> MakeChurnSchedule(const synth::Dataset& ds,
+                                                  uint64_t seed,
+                                                  int64_t events) {
+  Rng rng(seed);
+  const int64_t n = ds.graph.num_nodes();
+  std::vector<osn::GraphMutation> schedule;
+  schedule.reserve(static_cast<size_t>(2 * events));
+  for (int64_t i = 0; i < events; ++i) {
+    const int64_t at_us = (i + 1) * 50'000;
+    const auto u = static_cast<graph::NodeId>(rng.UniformInt(n));
+    auto v = static_cast<graph::NodeId>(rng.UniformInt(n));
+    if (v == u) v = static_cast<graph::NodeId>((v + 1) % n);
+    schedule.push_back(osn::GraphMutation::AddEdge(at_us, u, v));
+    const auto w = static_cast<graph::NodeId>(rng.UniformInt(n));
+    const auto donor = static_cast<graph::NodeId>(rng.UniformInt(n));
+    const auto donor_labels = ds.labels.labels(donor);
+    schedule.push_back(osn::GraphMutation::SetLabels(
+        at_us, w,
+        std::vector<graph::Label>(donor_labels.begin(), donor_labels.end())));
+  }
+  return schedule;
+}
+
+struct ScenarioRow {
+  std::string name;
+  double wall_s = 0.0;
+  double worst_dev = 0.0;
+  eval::ScenarioTelemetry telemetry;
+};
+
+double WorstNrmseDeviation(const eval::SweepResult& reference,
+                           const eval::SweepResult& result) {
+  double worst = 0.0;
+  for (size_t a = 0; a < reference.cells.size(); ++a) {
+    for (size_t s = 0; s < reference.cells[a].size(); ++s) {
+      const double base = reference.cells[a][s].nrmse;
+      if (base <= 0) continue;
+      const double dev = std::abs(result.cells[a][s].nrmse - base) / base;
+      if (dev > worst) worst = dev;
+    }
+  }
+  return worst;
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      CheckedValue(synth::FacebookLike(flags.seed + 1), "FacebookLike");
+  PrintDatasetHeader(ds);
+
+  const eval::SweepConfig config = MakeSweepConfig(flags, ds.burn_in);
+
+  auto start = std::chrono::steady_clock::now();
+  const eval::SweepResult reference = CheckedValue(
+      eval::RunSweep(ds.graph, ds.labels, ds.targets[0].target, config),
+      "RunSweep(reference)");
+  const double reference_s = SecondsSince(start);
+  std::printf("\nRunSweep reference          %8.2f s\n", reference_s);
+
+  std::vector<osn::Scenario> scenarios;
+  for (const char* name :
+       {"baseline", "paginated", "flaky", "rate-limited", "quota"}) {
+    scenarios.push_back(
+        CheckedValue(osn::ScenarioFromName(name), "ScenarioFromName"));
+  }
+  {
+    osn::Scenario strict =
+        CheckedValue(osn::ScenarioFromName("rate-limited"), "rate-limited");
+    strict.name = "strict-rate-limit";
+    strict.rate_limit.auto_wait = false;
+    scenarios.push_back(std::move(strict));
+  }
+  {
+    osn::Scenario churn;
+    churn.name = "churn";
+    churn.rate_limit.per_call_latency_us = 2000;  // mutations need a clock
+    churn.mutations = MakeChurnSchedule(ds, flags.seed + 99, /*events=*/400);
+    scenarios.push_back(std::move(churn));
+  }
+
+  std::vector<ScenarioRow> rows;
+  for (const osn::Scenario& scenario : scenarios) {
+    ScenarioRow row;
+    row.name = scenario.name;
+    start = std::chrono::steady_clock::now();
+    const eval::SweepResult result = CheckedValue(
+        eval::RunScenarioSweep(ds.graph, ds.labels, ds.targets[0].target,
+                               config, scenario, {}, &row.telemetry),
+        scenario.name.c_str());
+    row.wall_s = SecondsSince(start);
+    row.worst_dev = WorstNrmseDeviation(reference, result);
+    rows.push_back(row);
+    std::printf(
+        "scenario %-18s %8.2f s  sim %9.3f s/rep  worst NRMSE dev %6.2f%%  "
+        "stalls %lld  retries %lld  mutations %lld\n",
+        row.name.c_str(), row.wall_s, row.telemetry.mean_sim_seconds,
+        100.0 * row.worst_dev,
+        static_cast<long long>(row.telemetry.rate_limit_stalls),
+        static_cast<long long>(row.telemetry.retries),
+        static_cast<long long>(row.telemetry.applied_mutations));
+  }
+
+  std::string json = "{\n  \"bench\": \"scenarios\",\n  \"reps\": " +
+                     std::to_string(flags.reps) +
+                     ",\n  \"reference_seconds\": " +
+                     std::to_string(reference_s) + ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioRow& row = rows[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"wall_seconds\": %.3f, "
+        "\"mean_sim_seconds\": %.6f, \"worst_nrmse_rel_deviation\": %.6f, "
+        "\"rate_limit_stalls\": %lld, \"stalled_us\": %lld, "
+        "\"rate_limited_rejections\": %lld, \"transient_failures\": %lld, "
+        "\"retries\": %lld, \"pages_fetched\": %lld, "
+        "\"applied_mutations\": %lld}%s\n",
+        row.name.c_str(), row.wall_s, row.telemetry.mean_sim_seconds,
+        row.worst_dev,
+        static_cast<long long>(row.telemetry.rate_limit_stalls),
+        static_cast<long long>(row.telemetry.stalled_us),
+        static_cast<long long>(row.telemetry.rate_limited_rejections),
+        static_cast<long long>(row.telemetry.transient_failures),
+        static_cast<long long>(row.telemetry.retries),
+        static_cast<long long>(row.telemetry.pages_fetched),
+        static_cast<long long>(row.telemetry.applied_mutations),
+        i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  const std::string path = flags.out_dir + "/BENCH_scenarios.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  // Regression guard: the deterministic scenarios must match RunSweep
+  // bit-for-bit (NRMSE deviation exactly 0).
+  for (const ScenarioRow& row : rows) {
+    if ((row.name == "baseline" || row.name == "rate-limited" ||
+         row.name == "strict-rate-limit" || row.name == "quota") &&
+        row.worst_dev != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: scenario '%s' deviated from RunSweep (%.6f)\n",
+                   row.name.c_str(), row.worst_dev);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace labelrw::bench
+
+int main(int argc, char** argv) { return labelrw::bench::Main(argc, argv); }

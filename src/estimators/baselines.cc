@@ -51,6 +51,18 @@ Status LineGraphBaselineSession::IterateOnce(int64_t i, Rng& rng) {
   return Status::Ok();
 }
 
+void LineGraphBaselineSession::SaveRollback() {
+  rollback_.walk = walk_.Save();
+  rollback_.weighted_hits = weighted_hits_;
+  rollback_.weight_sum = weight_sum_;
+}
+
+void LineGraphBaselineSession::RestoreRollback() {
+  (void)walk_.Restore(rollback_.walk);
+  weighted_hits_ = rollback_.weighted_hits;
+  weight_sum_ = rollback_.weight_sum;
+}
+
 void LineGraphBaselineSession::FillSnapshot(EstimateResult* out) const {
   out->samples_used = out->iterations;
   out->estimate = weight_sum_ > 0 ? m_ * weighted_hits_ / weight_sum_ : 0.0;

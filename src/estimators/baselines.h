@@ -37,6 +37,8 @@ class LineGraphBaselineSession final : public EstimatorSession {
   Status StartWalk(Rng& rng) override;
   Status IterateOnce(int64_t i, Rng& rng) override;
   void FillSnapshot(EstimateResult* out) const override;
+  void SaveRollback() override;
+  void RestoreRollback() override;
 
  private:
   LineGraphBaselineSession(AlgorithmId id, osn::OsnApi& api,
@@ -50,6 +52,14 @@ class LineGraphBaselineSession final : public EstimatorSession {
   rw::EdgeWalk walk_;
   double weighted_hits_ = 0.0;  // sum I(e)/w(e)
   double weight_sum_ = 0.0;     // sum 1/w(e)
+
+  /// Shadow copy for transactional stepping (session.h).
+  struct Rollback {
+    rw::EdgeWalk::Checkpoint walk;
+    double weighted_hits = 0.0;
+    double weight_sum = 0.0;
+  };
+  Rollback rollback_;
 };
 
 }  // namespace labelrw::estimators

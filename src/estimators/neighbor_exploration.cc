@@ -73,6 +73,24 @@ Status NeighborExplorationSession::IterateOnce(int64_t i, Rng& rng) {
   return Status::Ok();
 }
 
+void NeighborExplorationSession::SaveRollback() {
+  rollback_.walk = walk_.Save();
+  rollback_.retained = retained_;
+  rollback_.explored_nodes = explored_nodes_;
+  rollback_.hh_draws = hh_draws_;
+  rollback_.rw_draws = rw_draws_;
+  rollback_.distinct = distinct_;
+}
+
+void NeighborExplorationSession::RestoreRollback() {
+  (void)walk_.Restore(rollback_.walk);
+  retained_ = rollback_.retained;
+  explored_nodes_ = rollback_.explored_nodes;
+  hh_draws_ = rollback_.hh_draws;
+  rw_draws_ = rollback_.rw_draws;
+  distinct_ = rollback_.distinct;
+}
+
 void NeighborExplorationSession::FillSnapshot(EstimateResult* out) const {
   out->samples_used = retained_;
   out->explored_nodes = explored_nodes_;

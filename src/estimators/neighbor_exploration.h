@@ -43,6 +43,8 @@ class NeighborExplorationSession final : public EstimatorSession {
   void PrepareAccumulators() override;
   Status IterateOnce(int64_t i, Rng& rng) override;
   void FillSnapshot(EstimateResult* out) const override;
+  void SaveRollback() override;
+  void RestoreRollback() override;
 
  private:
   NeighborExplorationSession(AlgorithmId id, NeEstimatorKind kind,
@@ -62,6 +64,17 @@ class NeighborExplorationSession final : public EstimatorSession {
   BatchRatio rw_draws_;  // (T(u)/d(u), 1/d(u)) pairs
   // HT: T(u) and d(u) for each distinct sampled node.
   std::unordered_map<graph::NodeId, std::pair<int64_t, int64_t>> distinct_;
+
+  /// Shadow copy for transactional stepping (session.h).
+  struct Rollback {
+    rw::NodeWalk::Checkpoint walk;
+    int64_t retained = 0;
+    int64_t explored_nodes = 0;
+    BatchMeans hh_draws;
+    BatchRatio rw_draws;
+    std::unordered_map<graph::NodeId, std::pair<int64_t, int64_t>> distinct;
+  };
+  Rollback rollback_;
 };
 
 }  // namespace labelrw::estimators

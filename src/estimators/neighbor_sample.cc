@@ -54,6 +54,20 @@ Status NeighborSampleSession::IterateOnce(int64_t i, Rng& rng) {
   return Status::Ok();
 }
 
+void NeighborSampleSession::SaveRollback() {
+  rollback_.walk = walk_.Save();
+  rollback_.retained = retained_;
+  rollback_.distinct_targets = distinct_targets_;
+  rollback_.draws = draws_;
+}
+
+void NeighborSampleSession::RestoreRollback() {
+  (void)walk_.Restore(rollback_.walk);
+  retained_ = rollback_.retained;
+  distinct_targets_ = rollback_.distinct_targets;
+  draws_ = rollback_.draws;
+}
+
 void NeighborSampleSession::FillSnapshot(EstimateResult* out) const {
   out->samples_used = retained_;
   if (kind_ == NsEstimatorKind::kHansenHurwitz) {

@@ -40,6 +40,8 @@ class NeighborSampleSession final : public EstimatorSession {
   void PrepareAccumulators() override;
   Status IterateOnce(int64_t i, Rng& rng) override;
   void FillSnapshot(EstimateResult* out) const override;
+  void SaveRollback() override;
+  void RestoreRollback() override;
 
  private:
   NeighborSampleSession(AlgorithmId id, NsEstimatorKind kind, osn::OsnApi& api,
@@ -54,6 +56,15 @@ class NeighborSampleSession final : public EstimatorSession {
   int64_t retained_ = 0;
   std::unordered_set<graph::Edge, graph::EdgeHash> distinct_targets_;  // HT
   BatchMeans draws_;  // HH: per-draw unbiased estimates m * I(e_i)
+
+  /// Shadow copy for transactional stepping (session.h).
+  struct Rollback {
+    rw::NodeWalk::Checkpoint walk;
+    int64_t retained = 0;
+    std::unordered_set<graph::Edge, graph::EdgeHash> distinct_targets;
+    BatchMeans draws;
+  };
+  Rollback rollback_;
 };
 
 }  // namespace labelrw::estimators

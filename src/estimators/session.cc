@@ -58,8 +58,21 @@ Status EstimatorSession::EnsureStarted() {
   if (started_) return Status::Ok();
   // The exact v1 preamble: seed + burn the walk in, then anchor the loop
   // control (and with it the sampling-phase call counter) at the post-burn-in
-  // API spend.
-  LABELRW_RETURN_IF_ERROR(StartWalk(rng_));
+  // API spend. Under transactional stepping a kRateLimited interruption
+  // mid-burn-in rolls the RNG and walk back, so the retry re-seeds and
+  // re-walks the same trajectory (previously charged pages are cached).
+  if (transactional_) {
+    rollback_rng_ = rng_.SaveState();
+    SaveRollback();
+  }
+  const Status started = StartWalk(rng_);
+  if (!started.ok()) {
+    if (transactional_ && started.code() == StatusCode::kRateLimited) {
+      rng_.RestoreState(rollback_rng_);
+      RestoreRollback();
+    }
+    return started;
+  }
   loop_.emplace(api_, options_.sample_size, options_.api_budget);
   sampling_start_calls_ = api_.api_calls();
   PrepareAccumulators();
@@ -67,40 +80,70 @@ Status EstimatorSession::EnsureStarted() {
   return Status::Ok();
 }
 
-Result<int64_t> EstimatorSession::Step(int64_t max_iterations) {
+Status EstimatorSession::IterateOnceTransactional() {
+  if (!transactional_) return IterateOnce(iterations_, rng_);
+  rollback_rng_ = rng_.SaveState();
+  SaveRollback();
+  const Status status = IterateOnce(iterations_, rng_);
+  if (!status.ok() && status.code() == StatusCode::kRateLimited) {
+    rng_.RestoreState(rollback_rng_);
+    RestoreRollback();
+    pending_iteration_ = true;
+  } else {
+    pending_iteration_ = false;
+  }
+  return status;
+}
+
+Result<int64_t> EstimatorSession::StepInternal(int64_t max_iterations,
+                                               int64_t api_budget) {
   LABELRW_RETURN_IF_ERROR(EnsureStarted());
+  // With a nested budget, reproduce the exact stop condition of an
+  // independent run at that budget: spend < budget AND iterations below the
+  // budget's own cap (on a fully cached subgraph iterations stop depleting
+  // the budget, and the session-wide cap of the options' larger budget
+  // would overshoot what an independent run at `api_budget` performs).
+  const int64_t cap =
+      api_budget > 0 ? LoopControl::IterationCap(options_.sample_size,
+                                                 api_budget)
+                     : std::numeric_limits<int64_t>::max();
   int64_t performed = 0;
   while (performed < max_iterations) {
-    if (!loop_->KeepGoing(api_, iterations_)) {
-      finished_ = true;
-      break;
+    // A rolled-back iteration re-executes unconditionally: its stop checks
+    // passed before the rate limiter interrupted it, and its partial
+    // charges already moved the call counters past them.
+    if (!pending_iteration_) {
+      if (api_budget > 0 &&
+          (iterations_ >= cap ||
+           api_.api_calls() - sampling_start_calls_ >= api_budget)) {
+        break;
+      }
+      if (!loop_->KeepGoing(api_, iterations_)) {
+        finished_ = true;
+        break;
+      }
     }
-    LABELRW_RETURN_IF_ERROR(IterateOnce(iterations_, rng_));
+    LABELRW_RETURN_IF_ERROR(IterateOnceTransactional());
     ++iterations_;
     ++performed;
   }
   return performed;
 }
 
+Result<int64_t> EstimatorSession::Step(int64_t max_iterations) {
+  return StepInternal(max_iterations, /*api_budget=*/0);
+}
+
 Status EstimatorSession::RunUntilBudget(int64_t api_budget) {
-  LABELRW_RETURN_IF_ERROR(EnsureStarted());
-  // Reproduce the exact stop condition of an independent run at this
-  // budget: spend < budget AND iterations below the budget's own cap (on a
-  // fully cached subgraph iterations stop depleting the budget, and the
-  // session-wide cap of the options' larger budget would overshoot what an
-  // independent run at `api_budget` performs).
-  const int64_t cap =
-      LoopControl::IterationCap(options_.sample_size, api_budget);
-  while (iterations_ < cap &&
-         api_.api_calls() - sampling_start_calls_ < api_budget) {
-    if (!loop_->KeepGoing(api_, iterations_)) {
-      finished_ = true;
-      break;
-    }
-    LABELRW_RETURN_IF_ERROR(IterateOnce(iterations_, rng_));
-    ++iterations_;
-  }
-  return Status::Ok();
+  return StepInternal(std::numeric_limits<int64_t>::max(), api_budget)
+      .status();
+}
+
+Result<int64_t> EstimatorSession::StepUntilBudget(int64_t api_budget,
+                                                  int64_t max_iterations) {
+  return StepInternal(
+      max_iterations > 0 ? max_iterations : std::numeric_limits<int64_t>::max(),
+      api_budget);
 }
 
 Status EstimatorSession::Run() {

@@ -67,6 +67,15 @@ class EstimatorSession {
   /// the one-shot protocol.
   Status RunUntilBudget(int64_t api_budget);
 
+  /// RunUntilBudget's exact stop condition, but performing at most
+  /// `max_iterations` iterations before returning control (<= 0 means
+  /// uncapped). Returns the iterations performed; 0 once the nested budget
+  /// (or the session's own limits) is reached. Drivers may Snapshot()
+  /// between chunks — Snapshot is const, so chunked driving lands
+  /// bit-identically to one RunUntilBudget call (test-enforced in
+  /// determinism_test.cc).
+  Result<int64_t> StepUntilBudget(int64_t api_budget, int64_t max_iterations);
+
   /// Runs to the options' own limits.
   Status Run();
 
@@ -74,6 +83,19 @@ class EstimatorSession {
   /// of iterations >= 1; FailedPrecondition before the first one. Const:
   /// never advances the walk, the RNG, or the API accounting.
   Result<EstimateResult> Snapshot() const;
+
+  /// Enables transactional stepping for strict (auto_wait = false) rate
+  /// limiting: burn-in and every iteration first checkpoint the complete
+  /// session state — RNG, walk position, accumulators — and a kRateLimited
+  /// failure rolls the checkpoint back before surfacing. The caller then
+  /// advances the client clock past OsnClient::last_retry_after_us() and
+  /// steps again: the interrupted work re-executes on the same RNG stream,
+  /// and since pages charged before the rejection stayed cached (charged
+  /// once), the final estimate, charge ledger, and iteration count are
+  /// bit-identical to an un-rate-limited run (test-enforced in
+  /// scenario_statistical_test.cc). Off by default — checkpointing copies
+  /// the accumulators, which the hot sweep path should not pay for.
+  void set_transactional_stepping(bool on) { transactional_ = on; }
 
   /// True once the options' limits were reached; Step becomes a no-op.
   bool finished() const { return finished_; }
@@ -111,6 +133,12 @@ class EstimatorSession {
   /// snapshot whose iterations and api_calls the base already filled.
   virtual void FillSnapshot(EstimateResult* out) const = 0;
 
+  /// Copies the derived state (walk position + accumulators) into an
+  /// internal shadow / restores it bit-exactly, for transactional stepping.
+  /// Only invoked while set_transactional_stepping(true).
+  virtual void SaveRollback() = 0;
+  virtual void RestoreRollback() = 0;
+
   osn::OsnApi& api() { return api_; }
   const osn::OsnApi& api() const { return api_; }
   const graph::TargetLabel& target() const { return target_; }
@@ -120,6 +148,13 @@ class EstimatorSession {
 
  private:
   Status EnsureStarted();
+
+  /// Shared loop of Step / RunUntilBudget / StepUntilBudget. `api_budget`
+  /// <= 0 disables the nested-budget stop condition.
+  Result<int64_t> StepInternal(int64_t max_iterations, int64_t api_budget);
+
+  /// IterateOnce with the transactional checkpoint dance around it.
+  Status IterateOnceTransactional();
 
   AlgorithmId algorithm_;
   const char* family_;
@@ -134,6 +169,13 @@ class EstimatorSession {
   int64_t iterations_ = 0;
   bool started_ = false;
   bool finished_ = false;
+  bool transactional_ = false;
+  /// A rolled-back iteration awaiting re-execution. Its pre-iteration stop
+  /// checks already passed (and its partial charges persist), so the retry
+  /// must run it to completion before re-evaluating any stop condition —
+  /// exactly like the un-interrupted run would have.
+  bool pending_iteration_ = false;
+  Rng::State rollback_rng_{};
 };
 
 }  // namespace labelrw::estimators

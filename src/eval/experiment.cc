@@ -1,12 +1,15 @@
 #include "eval/experiment.h"
 
 #include <atomic>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "estimators/session.h"
 #include "graph/oracle.h"
+#include "osn/client.h"
 #include "osn/local_api.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -65,10 +68,76 @@ Status SweepConfig::Validate() const {
   return Status::Ok();
 }
 
-Result<SweepResult> RunSweep(const graph::Graph& graph,
-                             const graph::LabelStore& labels,
-                             const graph::TargetLabel& target,
-                             const SweepConfig& config) {
+namespace {
+
+/// Per-worker reusable buffers: each per-rep API resets them in O(1)
+/// instead of allocating fresh O(|V|) bitmaps (reps x sizes x algorithms
+/// times).
+struct WorkerScratch {
+  osn::TouchedSet touched;
+  osn::TouchedSet touched_full;
+};
+
+/// The access stack of one task (one rep). Exactly one of `local` (the v1
+/// fast path) or `client` (the scenario stack) is set; `dynamic` backs the
+/// client when the scenario mutates the graph.
+struct TaskApi {
+  std::unique_ptr<osn::LocalGraphApi> local;
+  std::unique_ptr<osn::DynamicGraphTransport> dynamic;
+  std::unique_ptr<osn::OsnClient> client;
+  osn::OsnApi* api = nullptr;
+};
+
+/// Everything the shared sweep core needs beyond the SweepConfig.
+struct SweepDriver {
+  std::function<TaskApi(WorkerScratch&)> make_api;
+  /// Drive sessions in chunks of at most this many iterations (0 = whole
+  /// budgets at a time), with a discarded anytime Snapshot between chunks.
+  int64_t step_chunk = 0;
+  /// Sessions step transactionally and the driver sleeps the sim clock
+  /// across kRateLimited rejections (strict rate limiting).
+  bool drive_rate_limits = false;
+  /// Invoked under the merge lock once per completed task.
+  std::function<void(const TaskApi&)> on_task_done;
+};
+
+/// Steps `session` to `nested_budget` sampling-phase calls (<= 0: to the
+/// options' own limits), honoring the driver's chunking and strict
+/// rate-limit handling.
+Status DriveSession(estimators::EstimatorSession& session, TaskApi& task,
+                    const SweepDriver& driver, int64_t nested_budget) {
+  constexpr int64_t kUnbounded = std::numeric_limits<int64_t>::max();
+  while (true) {
+    const Result<int64_t> stepped =
+        nested_budget > 0
+            ? session.StepUntilBudget(nested_budget, driver.step_chunk)
+            : session.Step(driver.step_chunk > 0 ? driver.step_chunk
+                                                 : kUnbounded);
+    if (!stepped.ok()) {
+      if (driver.drive_rate_limits && task.client != nullptr &&
+          stepped.status().code() == StatusCode::kRateLimited) {
+        // The crawler sleeps out the advertised retry-after; the rolled-back
+        // work re-executes on the same RNG stream.
+        task.client->mutable_clock().AdvanceUs(
+            task.client->last_retry_after_us());
+        continue;
+      }
+      return stepped.status();
+    }
+    if (driver.step_chunk > 0 && *stepped > 0 && session.iterations() > 0) {
+      // Exercise the anytime surface between chunks; Snapshot is const, so
+      // this cannot perturb the run (that is the point of the test).
+      (void)session.Snapshot();
+    }
+    if (*stepped == 0 || session.finished()) return Status::Ok();
+  }
+}
+
+Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
+                                 const graph::LabelStore& labels,
+                                 const graph::TargetLabel& target,
+                                 const SweepConfig& config,
+                                 const SweepDriver& driver) {
   LABELRW_RETURN_IF_ERROR(config.Validate());
   if (labels.num_nodes() != graph.num_nodes()) {
     return InvalidArgumentError("RunSweep: label store size mismatch");
@@ -98,26 +167,21 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
 
   const size_t num_algos = config.algorithms.size();
   const size_t num_sizes = result.sample_sizes.size();
-  struct CellAccumulator {
-    NrmseAccumulator nrmse;
-    RunningStats api_calls;
-    explicit CellAccumulator(double truth) : nrmse(truth) {}
+  const auto reps = static_cast<size_t>(config.reps);
+  // Per-rep result slots, reduced sequentially after the pool joins: cell
+  // aggregates are bit-identical for ANY thread count and schedule (merging
+  // into a running accumulator in completion order would make the floating-
+  // point sums schedule-dependent). ~16 bytes x algos x sizes x reps.
+  std::vector<double> slot_estimates(num_algos * num_sizes * reps, 0.0);
+  std::vector<double> slot_calls(num_algos * num_sizes * reps, 0.0);
+  const auto slot = [num_sizes, reps](size_t a, size_t s, size_t rep) {
+    return (a * num_sizes + s) * reps + rep;
   };
-  std::vector<std::vector<CellAccumulator>> accumulators;
-  accumulators.reserve(num_algos);
-  for (size_t a = 0; a < num_algos; ++a) {
-    std::vector<CellAccumulator> row;
-    row.reserve(num_sizes);
-    for (size_t s = 0; s < num_sizes; ++s) {
-      row.emplace_back(static_cast<double>(result.truth));
-    }
-    accumulators.push_back(std::move(row));
-  }
 
   // Work queue. Independent runs: flattened (algorithm, size, rep) triples,
-  // one one-shot Estimate each. Prefix budget: flattened (algorithm, rep)
-  // pairs — one resumable session walks to each budget in ascending order
-  // and its snapshots fill the whole row of size cells.
+  // one session run each. Prefix budget: flattened (algorithm, rep) pairs —
+  // one resumable session walks to each budget in ascending order and its
+  // snapshots fill the whole row of size cells.
   const bool prefix = config.protocol == SweepProtocol::kPrefixBudget;
   const int64_t total_tasks =
       prefix ? static_cast<int64_t>(num_algos) * config.reps
@@ -149,28 +213,39 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
     return options;
   };
 
-  auto merge_cell = [&](size_t algo_idx, size_t size_idx,
-                        const Result<estimators::EstimateResult>& estimate) {
+  auto merge_error = [&](const Status& status) {
     std::lock_guard<std::mutex> lock(merge_mutex);
+    if (first_error.ok()) first_error = status;
+  };
+
+  auto merge_cell = [&](size_t algo_idx, size_t size_idx, size_t rep,
+                        const Result<estimators::EstimateResult>& estimate) {
     if (!estimate.ok()) {
-      if (first_error.ok()) first_error = estimate.status();
+      merge_error(estimate.status());
       return;
     }
-    accumulators[algo_idx][size_idx].nrmse.Add(estimate->estimate);
-    accumulators[algo_idx][size_idx].api_calls.Add(
-        static_cast<double>(estimate->api_calls));
+    // Lock-free: every (algorithm, size, rep) coordinate is owned by
+    // exactly one task.
+    slot_estimates[slot(algo_idx, size_idx, rep)] = estimate->estimate;
+    slot_calls[slot(algo_idx, size_idx, rep)] =
+        static_cast<double>(estimate->api_calls);
+  };
+
+  auto task_done = [&](const TaskApi& task) {
+    if (!driver.on_task_done) return;
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    driver.on_task_done(task);
   };
 
   auto worker = [&]() {
-    // One touched-set buffer per worker, shared by every rep this worker
-    // executes: each per-rep LocalGraphApi resets it in O(1) instead of
-    // allocating a fresh O(|V|) bitmap (reps × sizes × algorithms times).
-    osn::TouchedSet touched_scratch;
+    WorkerScratch scratch;
     while (true) {
-      const int64_t task = next_task.fetch_add(1, std::memory_order_relaxed);
-      if (task >= total_tasks) return;
-      const auto rep = task % config.reps;
-      const auto cell = task / config.reps;
+      const int64_t task_id = next_task.fetch_add(1, std::memory_order_relaxed);
+      if (task_id >= total_tasks) return;
+      const auto rep = task_id % config.reps;
+      const auto cell = task_id / config.reps;
+
+      TaskApi task = driver.make_api(scratch);
 
       if (prefix) {
         const auto algo_idx = static_cast<size_t>(cell);
@@ -181,25 +256,26 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
         const auto options =
             make_options(algo_idx, num_sizes, rep,
                          result.sample_sizes[num_sizes - 1]);
-        osn::LocalGraphApi api(graph, labels, osn::CostModel(), /*budget=*/-1,
-                               &touched_scratch);
         auto session = estimators::EstimatorSession::Create(
-            config.algorithms[algo_idx], api, target, priors, options);
+            config.algorithms[algo_idx], *task.api, target, priors, options);
         if (!session.ok()) {
-          std::lock_guard<std::mutex> lock(merge_mutex);
-          if (first_error.ok()) first_error = session.status();
+          merge_error(session.status());
           continue;
         }
+        if (driver.drive_rate_limits) {
+          (*session)->set_transactional_stepping(true);
+        }
         for (size_t size_idx = 0; size_idx < num_sizes; ++size_idx) {
-          const Status run =
-              (*session)->RunUntilBudget(result.sample_sizes[size_idx]);
+          const Status run = DriveSession(
+              **session, task, driver, result.sample_sizes[size_idx]);
           if (!run.ok()) {
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            if (first_error.ok()) first_error = run;
+            merge_error(run);
             break;
           }
-          merge_cell(algo_idx, size_idx, (*session)->Snapshot());
+          merge_cell(algo_idx, size_idx, static_cast<size_t>(rep),
+                     (*session)->Snapshot());
         }
+        task_done(task);
         continue;
       }
 
@@ -207,11 +283,26 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
       const size_t algo_idx = static_cast<size_t>(cell) / num_sizes;
       const auto options = make_options(algo_idx, size_idx, rep,
                                         result.sample_sizes[size_idx]);
-      osn::LocalGraphApi api(graph, labels, osn::CostModel(), /*budget=*/-1,
-                             &touched_scratch);
-      merge_cell(algo_idx, size_idx,
-                 estimators::Estimate(config.algorithms[algo_idx], api,
-                                      target, priors, options));
+      // The exact Estimate() shim, opened up so the driver can chunk the
+      // stepping and absorb strict rate limits: Create + Run + Snapshot.
+      auto session = estimators::EstimatorSession::Create(
+          config.algorithms[algo_idx], *task.api, target, priors, options);
+      if (!session.ok()) {
+        merge_error(session.status());
+        continue;
+      }
+      if (driver.drive_rate_limits) {
+        (*session)->set_transactional_stepping(true);
+      }
+      const Status run = DriveSession(**session, task, driver,
+                                      /*nested_budget=*/0);
+      if (!run.ok()) {
+        merge_error(run);
+        continue;
+      }
+      merge_cell(algo_idx, size_idx, static_cast<size_t>(rep),
+                 (*session)->Snapshot());
+      task_done(task);
     }
   };
 
@@ -224,13 +315,106 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
   result.cells.assign(num_algos, std::vector<CellResult>(num_sizes));
   for (size_t a = 0; a < num_algos; ++a) {
     for (size_t s = 0; s < num_sizes; ++s) {
-      const auto& acc = accumulators[a][s];
+      NrmseAccumulator nrmse(static_cast<double>(result.truth));
+      RunningStats api_calls;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        nrmse.Add(slot_estimates[slot(a, s, rep)]);
+        api_calls.Add(slot_calls[slot(a, s, rep)]);
+      }
       CellResult& out = result.cells[a][s];
-      out.nrmse = acc.nrmse.Nrmse();
-      out.mean_estimate = acc.nrmse.MeanEstimate();
-      out.relative_bias = acc.nrmse.RelativeBias();
-      out.mean_api_calls = acc.api_calls.mean();
+      out.nrmse = nrmse.Nrmse();
+      out.mean_estimate = nrmse.MeanEstimate();
+      out.relative_bias = nrmse.RelativeBias();
+      out.mean_api_calls = api_calls.mean();
     }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<SweepResult> RunSweep(const graph::Graph& graph,
+                             const graph::LabelStore& labels,
+                             const graph::TargetLabel& target,
+                             const SweepConfig& config) {
+  SweepDriver driver;
+  driver.make_api = [&graph, &labels](WorkerScratch& scratch) {
+    TaskApi task;
+    task.local = std::make_unique<osn::LocalGraphApi>(
+        graph, labels, osn::CostModel(), /*budget=*/-1, &scratch.touched);
+    task.api = task.local.get();
+    return task;
+  };
+  return RunSweepImpl(graph, labels, target, config, driver);
+}
+
+Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
+                                     const graph::LabelStore& labels,
+                                     const graph::TargetLabel& target,
+                                     const SweepConfig& config,
+                                     const osn::Scenario& scenario,
+                                     const ScenarioRunOptions& run_options,
+                                     ScenarioTelemetry* telemetry) {
+  LABELRW_RETURN_IF_ERROR(scenario.Validate());
+
+  // Static scenarios share one immutable transport; a mutation schedule
+  // forces a per-rep DynamicGraphTransport (each rep owns its own timeline,
+  // so each gets its own churning copy of the graph).
+  osn::LocalGraphApi static_transport(graph, labels);
+
+  SweepDriver driver;
+  driver.step_chunk = run_options.step_chunk > 0 ? run_options.step_chunk : 0;
+  driver.drive_rate_limits =
+      scenario.rate_limit.enabled() && !scenario.rate_limit.auto_wait;
+  driver.make_api = [&graph, &labels, &scenario,
+                     &static_transport](WorkerScratch& scratch) {
+    TaskApi task;
+    const osn::Transport* transport = &static_transport;
+    if (scenario.needs_dynamic_transport()) {
+      task.dynamic = std::make_unique<osn::DynamicGraphTransport>(
+          graph, labels, scenario.mutations);
+      transport = task.dynamic.get();
+    }
+    task.client = std::make_unique<osn::OsnClient>(
+        *transport, scenario.cost_model, scenario.faults, /*budget=*/-1,
+        &scratch.touched, &scratch.touched_full);
+    task.client->ConfigureRateLimit(scenario.rate_limit);
+    if (task.dynamic != nullptr) {
+      task.dynamic->AttachClock(&task.client->clock());
+    }
+    task.api = task.client.get();
+    return task;
+  };
+
+  int64_t tasks_seen = 0;
+  int64_t clock_us_sum = 0;
+  if (telemetry != nullptr) {
+    *telemetry = ScenarioTelemetry();
+    driver.on_task_done = [telemetry, &tasks_seen,
+                           &clock_us_sum](const TaskApi& task) {
+      if (task.client == nullptr) return;
+      const osn::ClientStats& stats = task.client->stats();
+      telemetry->pages_fetched += stats.pages_fetched;
+      telemetry->transient_failures += stats.transient_failures;
+      telemetry->retries += stats.retries;
+      telemetry->denied_requests += stats.denied_requests;
+      telemetry->rate_limit_stalls += stats.rate_limit_stalls;
+      telemetry->stalled_us += stats.stalled_us;
+      telemetry->rate_limited_rejections += stats.rate_limited_rejections;
+      if (task.dynamic != nullptr) {
+        telemetry->applied_mutations += task.dynamic->applied_mutations();
+      }
+      ++tasks_seen;
+      clock_us_sum += task.client->clock().now_us();
+    };
+  }
+
+  LABELRW_ASSIGN_OR_RETURN(
+      SweepResult result,
+      RunSweepImpl(graph, labels, target, config, driver));
+  if (telemetry != nullptr && tasks_seen > 0) {
+    telemetry->mean_sim_seconds = static_cast<double>(clock_us_sum) / 1e6 /
+                                  static_cast<double>(tasks_seen);
   }
   return result;
 }

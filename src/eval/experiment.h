@@ -2,8 +2,10 @@
 // simulations of each (algorithm, sample size) cell against a fresh
 // restricted-access API, and aggregates NRMSE against the exact ground
 // truth. Simulations are sharded over worker threads; per-simulation seeds
-// are derived deterministically from (base seed, algorithm, size, rep), so
-// results are independent of the thread count.
+// are derived deterministically from (base seed, algorithm, size, rep), and
+// per-rep results land in preassigned slots that are reduced sequentially,
+// so the output is bit-identical for any thread count or schedule
+// (test-enforced in determinism_test.cc).
 
 #ifndef LABELRW_EVAL_EXPERIMENT_H_
 #define LABELRW_EVAL_EXPERIMENT_H_
@@ -14,6 +16,7 @@
 #include "estimators/estimator.h"
 #include "graph/graph.h"
 #include "graph/labels.h"
+#include "osn/scenario.h"
 #include "util/status.h"
 
 namespace labelrw::eval {
@@ -87,6 +90,45 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
                              const graph::LabelStore& labels,
                              const graph::TargetLabel& target,
                              const SweepConfig& config);
+
+/// Scenario-sweep driving knobs beyond the Scenario itself.
+struct ScenarioRunOptions {
+  /// Drive every session in chunks of at most `step_chunk` iterations, with
+  /// an (anytime, discarded) Snapshot between chunks; <= 0 runs each budget
+  /// uninterrupted. Any chunk size produces bit-identical output
+  /// (test-enforced in determinism_test.cc).
+  int64_t step_chunk = 0;
+};
+
+/// Wire-level telemetry aggregated over every rep of a scenario sweep.
+struct ScenarioTelemetry {
+  int64_t pages_fetched = 0;
+  int64_t transient_failures = 0;
+  int64_t retries = 0;
+  int64_t denied_requests = 0;
+  int64_t rate_limit_stalls = 0;
+  int64_t stalled_us = 0;
+  int64_t rate_limited_rejections = 0;
+  int64_t applied_mutations = 0;
+  /// Mean per-rep simulated crawl duration at completion, in seconds.
+  double mean_sim_seconds = 0.0;
+};
+
+/// RunSweep under production crawl conditions: every rep crawls through an
+/// osn::OsnClient configured from `scenario` (pagination, batching, faults,
+/// rate limits + SimClock, and — when the scenario carries a mutation
+/// schedule — a per-rep DynamicGraphTransport whose graph churns under the
+/// crawl). Strict (auto_wait = false) rate limits are driven transparently:
+/// sessions step transactionally and the harness sleeps the sim clock past
+/// each retry-after. With the default Scenario the output is bit-identical
+/// to RunSweep (test-enforced in determinism_test.cc).
+Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
+                                     const graph::LabelStore& labels,
+                                     const graph::TargetLabel& target,
+                                     const SweepConfig& config,
+                                     const osn::Scenario& scenario,
+                                     const ScenarioRunOptions& run_options = {},
+                                     ScenarioTelemetry* telemetry = nullptr);
 
 }  // namespace labelrw::eval
 

@@ -7,6 +7,25 @@
 
 namespace labelrw::graph {
 
+namespace {
+
+/// Normalizes one input line: strips a trailing '\r' (CRLF files are
+/// routine on exported data) and reports whether anything but whitespace
+/// remains.
+bool IsBlank(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line.find_first_not_of(" \t") == std::string::npos;
+}
+
+/// True iff the stream has nothing left but whitespace (detects trailing
+/// garbage after the expected fields).
+bool AtCleanEnd(std::istringstream& fields) {
+  std::string rest;
+  return !(fields.clear(), fields >> rest);
+}
+
+}  // namespace
+
 Result<Graph> LoadEdgeList(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) {
@@ -17,7 +36,7 @@ Result<Graph> LoadEdgeList(const std::string& path) {
   int64_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (IsBlank(line) || line[line.find_first_not_of(" \t")] == '#') continue;
     std::istringstream fields(line);
     int64_t u = -1;
     int64_t v = -1;
@@ -25,11 +44,19 @@ Result<Graph> LoadEdgeList(const std::string& path) {
       return InvalidArgumentError("LoadEdgeList: malformed line " +
                                   std::to_string(line_no) + " in " + path);
     }
+    if (!AtCleanEnd(fields)) {
+      return InvalidArgumentError(
+          "LoadEdgeList: trailing garbage after edge at line " +
+          std::to_string(line_no) + " in " + path);
+    }
     if (u < 0 || v < 0 || u > INT32_MAX || v > INT32_MAX) {
       return InvalidArgumentError("LoadEdgeList: node id out of range at line " +
                                   std::to_string(line_no));
     }
     builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  if (in.bad()) {
+    return InternalError("LoadEdgeList: read error in " + path);
   }
   return builder.Build();
 }
@@ -57,22 +84,41 @@ Result<LabelStore> LoadLabels(const std::string& path, int64_t num_nodes) {
   int64_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (IsBlank(line) || line[line.find_first_not_of(" \t")] == '#') continue;
     std::istringstream fields(line);
     int64_t u = -1;
     if (!(fields >> u)) {
       return InvalidArgumentError("LoadLabels: malformed line " +
                                   std::to_string(line_no) + " in " + path);
     }
+    // Range-check the node id before looking at its labels: an out-of-range
+    // id is an error even on a (truncated) line with no labels.
+    if (u < 0 || u >= num_nodes) {
+      return OutOfRangeError("LoadLabels: node id out of range at line " +
+                             std::to_string(line_no));
+    }
     int64_t label = 0;
+    int64_t labels_on_line = 0;
     while (fields >> label) {
-      if (u < 0 || u >= num_nodes) {
-        return OutOfRangeError("LoadLabels: node id out of range at line " +
-                               std::to_string(line_no));
-      }
+      ++labels_on_line;
       LABELRW_RETURN_IF_ERROR(builder.AddLabel(static_cast<NodeId>(u),
                                                static_cast<Label>(label)));
     }
+    if (!AtCleanEnd(fields)) {
+      return InvalidArgumentError(
+          "LoadLabels: non-numeric label at line " + std::to_string(line_no) +
+          " in " + path);
+    }
+    if (labels_on_line == 0) {
+      // A node id with nothing after it is a truncated write, not "no
+      // labels" (nodes without labels are simply absent from the file).
+      return InvalidArgumentError("LoadLabels: truncated line " +
+                                  std::to_string(line_no) + " in " + path +
+                                  " (node id with no labels)");
+    }
+  }
+  if (in.bad()) {
+    return InternalError("LoadLabels: read error in " + path);
   }
   return builder.Build();
 }

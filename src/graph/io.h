@@ -3,6 +3,11 @@
 // Edge list format (SNAP-style): one "u v" pair per line, whitespace
 // separated, '#'-prefixed comment lines ignored. Label format: one
 // "node label1 [label2 ...]" line per node that has labels.
+//
+// Loaders are strict: malformed lines, trailing garbage, truncated label
+// lines (a node id with no labels), and out-of-range ids return an error
+// Status naming the line — never a silently skipped record. Blank lines
+// and CRLF line endings are tolerated. See tests/io_fuzzish_test.cc.
 
 #ifndef LABELRW_GRAPH_IO_H_
 #define LABELRW_GRAPH_IO_H_

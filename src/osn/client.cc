@@ -40,6 +40,37 @@ int64_t OsnClient::remaining_budget() const {
   return budget_ - api_calls_;
 }
 
+void OsnClient::ConfigureRateLimit(const RateLimitPolicy& policy) {
+  rate_policy_ = policy;
+  limiter_.reset();
+  if (config_status_.ok()) config_status_ = policy.Validate();
+  if (config_status_.ok() && policy.enabled()) limiter_.emplace(policy);
+}
+
+Status OsnClient::AdmitWireCall() {
+  if (limiter_.has_value()) {
+    int64_t wait = limiter_->TryAcquire(clock_.now_us());
+    if (wait > 0) {
+      if (!rate_policy_.auto_wait) {
+        ++stats_.rate_limited_rejections;
+        last_retry_after_us_ = wait;
+        return RateLimitedError("OSN rate limit exceeded; retry after " +
+                                std::to_string(wait) + "us");
+      }
+      ++stats_.rate_limit_stalls;
+      stats_.stalled_us += wait;
+      clock_.AdvanceUs(wait);
+      wait = limiter_->TryAcquire(clock_.now_us());
+      if (wait > 0) {
+        return InternalError(
+            "rate limiter did not clear after its advertised wait");
+      }
+    }
+  }
+  clock_.AdvanceUs(rate_policy_.per_call_latency_us);
+  return Status::Ok();
+}
+
 bool OsnClient::IsUnavailableUser(graph::NodeId user) const {
   if (faults_.unavailable_user_rate <= 0.0) return false;
   // Deterministic per-user verdict: hash (seed, user) to [0, 1).
@@ -52,7 +83,22 @@ bool OsnClient::IsUnavailableUser(graph::NodeId user) const {
 
 Status OsnClient::FetchChargedCall() {
   const int64_t cost = cost_model_.page_cost;
-  for (int attempt = 0; attempt <= faults_.retry_budget; ++attempt) {
+  // Resume from where a strict-mode kRateLimited rejection interrupted the
+  // previous attempt run (the session re-issues the same logical fetch):
+  // failed attempts before the rejection keep counting against the retry
+  // budget, and the fault stream continues where it left off, so the
+  // attempt/draw sequence is identical to an uninterrupted run.
+  for (int attempt = pending_fault_attempts_; attempt <= faults_.retry_budget;
+       ++attempt) {
+    // Admission precedes the fault draw: a rejected request never reaches
+    // the server, so it consumes neither quota nor a fault-stream draw.
+    const Status admitted = AdmitWireCall();
+    if (!admitted.ok()) {
+      if (admitted.code() == StatusCode::kRateLimited) {
+        pending_fault_attempts_ = attempt;
+      }
+      return admitted;
+    }
     const bool fails = faults_.transient_error_rate > 0.0 &&
                        fault_rng_.Bernoulli(faults_.transient_error_rate);
     if (!fails || faults_.charge_failed_attempts) {
@@ -61,10 +107,14 @@ Status OsnClient::FetchChargedCall() {
       }
       api_calls_ += cost;
     }
-    if (!fails) return Status::Ok();
+    if (!fails) {
+      pending_fault_attempts_ = 0;
+      return Status::Ok();
+    }
     ++stats_.transient_failures;
     if (attempt < faults_.retry_budget) ++stats_.retries;
   }
+  pending_fault_attempts_ = 0;
   return UnavailableError("transient OSN error: retry budget exhausted");
 }
 
@@ -97,7 +147,7 @@ Status OsnClient::ChargeFetch(graph::NodeId user, int64_t degree,
       cost_model_.cache_fetches ? FetchedPages(user, total_pages) : 0;
   const int64_t pages_to_fetch = need - cached;
   if (pages_to_fetch > 0) {
-    if (faults_.transient_error_rate <= 0.0) {
+    if (!PerCallAccounting()) {
       // Fast path: one bulk budget check + charge, bit-identical to the v1
       // LocalGraphApi::Charge for the unpaginated single-page case.
       const int64_t cost = pages_to_fetch * cost_model_.page_cost;
@@ -241,27 +291,44 @@ Result<std::vector<OsnClient::UserView>> OsnClient::FetchUsers(
     records.push_back(record);
   }
 
-  // Pass 2: count the uncached first pages this batch must fetch. Denied
+  // Pass 2: collect the uncached first pages this batch must fetch. Denied
   // users consume a slot too — the server still processes the id. With
   // caching on, duplicate ids coalesce to one slot (the second occurrence
   // would be a cache hit in the per-user sequence this call's accounting
   // mirrors); with caching off every occurrence charges, like repeated
   // GetNeighbors calls would.
-  int64_t first_pages_needed = 0;
+  std::vector<size_t> to_fetch;  // indices into users/records
   std::unordered_set<graph::NodeId> counted;
   for (size_t i = 0; i < users.size(); ++i) {
     if (cost_model_.cache_fetches &&
         (first_page_->Test(users[i]) || !counted.insert(users[i]).second)) {
       continue;
     }
-    ++first_pages_needed;
+    to_fetch.push_back(i);
   }
   const int64_t batch =
       cost_model_.batch_size > 1 ? cost_model_.batch_size : 1;
-  const int64_t round_trips = (first_pages_needed + batch - 1) / batch;
-  for (int64_t r = 0; r < round_trips; ++r) {
+  // Charge round trip by round trip, marking each trip's first pages as
+  // fetched as soon as it is paid: a strict-mode kRateLimited interruption
+  // then resumes with the paid-for pages cached instead of re-charging
+  // them (the bit-identical-resume contract of session.h).
+  for (size_t start = 0; start < to_fetch.size();
+       start += static_cast<size_t>(batch)) {
     LABELRW_RETURN_IF_ERROR(FetchChargedCall());
     ++stats_.batch_round_trips;
+    if (!cost_model_.cache_fetches) continue;
+    const size_t end =
+        std::min(to_fetch.size(), start + static_cast<size_t>(batch));
+    for (size_t j = start; j < end; ++j) {
+      const graph::NodeId user = users[to_fetch[j]];
+      if (IsUnavailableUser(user)) {
+        // Cache the denied verdict without counting a served profile,
+        // exactly like pass 3 does.
+        first_page_->TestAndSet(user);
+      } else {
+        RecordFetched(user, 1, PagesForFull(records[to_fetch[j]].degree));
+      }
+    }
   }
 
   // Pass 3: materialize views; tail pages charge per user like GetNeighbors.
@@ -283,7 +350,7 @@ Result<std::vector<OsnClient::UserView>> OsnClient::FetchUsers(
         cost_model_.cache_fetches ? FetchedPages(user, total_pages) : 1, 1);
     RecordFetched(user, already, total_pages);
     const int64_t tail = total_pages - already;
-    if (tail > 0 && faults_.transient_error_rate <= 0.0) {
+    if (tail > 0 && !PerCallAccounting()) {
       const int64_t cost = tail * cost_model_.page_cost;
       if (budget_ >= 0 && api_calls_ + cost > budget_) {
         return ResourceExhaustedError("API budget exhausted");

@@ -14,6 +14,9 @@
 //     first-page fetches into one charged round-trip.
 //   * injectable fault policies — transient server errors with a bounded
 //     retry budget, and deterministically private/deleted users.
+//   * server pacing — a RateLimitPolicy (token bucket + rolling quota
+//     window) over an owned SimClock, so crawl *time* is simulated
+//     deterministically alongside crawl cost (see osn/sim_clock.h).
 //
 // OsnClient implements the v1 OsnApi surface, so every estimator, walker,
 // and session runs over it unchanged; with default CostModel and faults off
@@ -23,10 +26,12 @@
 #ifndef LABELRW_OSN_CLIENT_H_
 #define LABELRW_OSN_CLIENT_H_
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "osn/api.h"
+#include "osn/sim_clock.h"
 #include "osn/touched_set.h"
 #include "osn/transport.h"
 
@@ -66,6 +71,9 @@ struct ClientStats {
   int64_t transient_failures = 0;  // failed attempts (before retry)
   int64_t retries = 0;             // retry attempts issued
   int64_t denied_requests = 0;     // probes answered with kPermissionDenied
+  int64_t rate_limit_stalls = 0;   // auto-wait sleeps taken by the limiter
+  int64_t stalled_us = 0;          // sim time spent in those sleeps
+  int64_t rate_limited_rejections = 0;  // strict-mode kRateLimited returns
 };
 
 class OsnClient final : public OsnApi {
@@ -140,6 +148,26 @@ class OsnClient final : public OsnApi {
   Result<std::vector<UserView>> FetchUsers(
       std::span<const graph::NodeId> users);
 
+  /// Installs a server pacing policy (sim_clock.h). Call before the first
+  /// request: the limiter state and the clock start fresh from time 0. An
+  /// invalid policy poisons the session like an invalid FaultPolicy.
+  void ConfigureRateLimit(const RateLimitPolicy& policy);
+
+  /// The session's simulated timeline. Advances on every wire request (per
+  /// RateLimitPolicy::per_call_latency_us) and on limiter waits; frozen
+  /// while requests are served from the crawler cache.
+  const SimClock& clock() const { return clock_; }
+  /// Mutable clock access for callers that own the retry schedule in strict
+  /// (auto_wait = false) mode: advance past last_retry_after_us() and
+  /// re-issue the rejected request.
+  SimClock& mutable_clock() { return clock_; }
+
+  /// Microseconds until the limiter admits a retry, as advertised by the
+  /// most recent kRateLimited return. 0 if no request was ever rejected.
+  int64_t last_retry_after_us() const { return last_retry_after_us_; }
+
+  const RateLimitPolicy& rate_limit() const { return rate_policy_; }
+
   /// Prior knowledge forwarded from the transport (owner-published |V|,
   /// |E|, degree maxima).
   GraphPriors Priors() const { return transport_.TransportPriors(); }
@@ -158,6 +186,19 @@ class OsnClient final : public OsnApi {
   }
 
  private:
+  /// True when charging must walk pages one wire request at a time (faults
+  /// to draw, a limiter to consult, or a clock to tick) instead of taking
+  /// the bulk-charge fast path.
+  bool PerCallAccounting() const {
+    return faults_.transient_error_rate > 0.0 || rate_policy_.enabled() ||
+           rate_policy_.per_call_latency_us > 0;
+  }
+
+  /// Admits one wire request against the rate limiter and ticks the clock.
+  /// auto_wait sleeps the clock until admission; strict mode returns
+  /// kRateLimited (free of charge and quota) with last_retry_after_us_ set.
+  Status AdmitWireCall();
+
   /// Contiguously-cached page count of `user` (0 = nothing cached).
   int64_t FetchedPages(graph::NodeId user, int64_t total_pages) const;
 
@@ -181,8 +222,16 @@ class OsnClient final : public OsnApi {
   CostModel cost_model_;
   FaultPolicy faults_;
   int64_t budget_;
-  Status config_status_;  // invalid FaultPolicy surfaces on every call
+  Status config_status_;  // invalid FaultPolicy/RateLimitPolicy surfaces
+                          // on every call
   Rng fault_rng_;
+  RateLimitPolicy rate_policy_;
+  std::optional<RateLimiter> limiter_;
+  SimClock clock_;
+  int64_t last_retry_after_us_ = 0;
+  /// Failed attempts of the in-flight fetch when a strict-mode rejection
+  /// interrupted it; the retried fetch resumes its retry budget there.
+  int pending_fault_attempts_ = 0;
 
   int64_t api_calls_ = 0;
   int64_t distinct_fetched_ = 0;

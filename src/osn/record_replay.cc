@@ -1,0 +1,498 @@
+#include "osn/record_replay.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace labelrw::osn {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialization. Traces are flat JSONL objects with known keys, written and
+// read by the helpers below — no general JSON machinery, but strict about
+// what it accepts, so a corrupt or foreign file errors instead of replaying
+// garbage.
+
+void AppendKeyInt(std::string* out, const char* key, int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%lld,", key,
+                static_cast<long long>(value));
+  *out += buf;
+}
+
+void AppendKeyUint(std::string* out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu,", key,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+void AppendKeyDouble(std::string* out, const char* key, double value) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.17g,", key, value);
+  *out += buf;
+}
+
+void AppendKeyString(std::string* out, const char* key,
+                     const std::string& value) {
+  *out += '"';
+  *out += key;
+  *out += "\":\"";
+  // Trace strings are algorithm/scenario names; quotes and backslashes are
+  // rejected at write time rather than escaped.
+  *out += value;
+  *out += "\",";
+}
+
+template <typename T>
+void AppendKeyIntList(std::string* out, const char* key,
+                      const std::vector<T>& values) {
+  *out += '"';
+  *out += key;
+  *out += "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ',';
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(values[i]));
+    *out += buf;
+  }
+  *out += "],";
+}
+
+void FinishObject(std::string* out) {
+  if (!out->empty() && out->back() == ',') out->pop_back();
+  *out += '}';
+}
+
+/// Locates the value of `"key":` in a flat object line; false if absent.
+bool FindValue(const std::string& line, const char* key, size_t* pos) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *pos = at + needle.size();
+  return true;
+}
+
+bool ParseInt(const std::string& line, const char* key, int64_t* out) {
+  size_t pos;
+  if (!FindValue(line, key, &pos)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(line.c_str() + pos, &end, 10);
+  if (end == line.c_str() + pos || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseUint(const std::string& line, const char* key, uint64_t* out) {
+  size_t pos;
+  if (!FindValue(line, key, &pos)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(line.c_str() + pos, &end, 10);
+  if (end == line.c_str() + pos || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& line, const char* key, double* out) {
+  size_t pos;
+  if (!FindValue(line, key, &pos)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(line.c_str() + pos, &end);
+  if (end == line.c_str() + pos || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseString(const std::string& line, const char* key, std::string* out) {
+  size_t pos;
+  if (!FindValue(line, key, &pos)) return false;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  const size_t close = line.find('"', pos + 1);
+  if (close == std::string::npos) return false;
+  out->assign(line, pos + 1, close - pos - 1);
+  return true;
+}
+
+template <typename T>
+bool ParseIntList(const std::string& line, const char* key,
+                  std::vector<T>* out) {
+  size_t pos;
+  if (!FindValue(line, key, &pos)) return false;
+  if (pos >= line.size() || line[pos] != '[') return false;
+  out->clear();
+  const char* p = line.c_str() + pos + 1;
+  if (*p == ']') return true;
+  while (true) {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(p, &end, 10);
+    if (end == p || errno == ERANGE) return false;
+    out->push_back(static_cast<T>(v));
+    p = end;
+    if (*p == ',') {
+      ++p;
+    } else if (*p == ']') {
+      return true;
+    } else {
+      return false;
+    }
+  }
+}
+
+std::string HeaderLine(const TraceHeader& h) {
+  std::string out = "{";
+  AppendKeyInt(&out, "labelrw_trace", 1);
+  AppendKeyInt(&out, "format_version", kTraceFormatVersion);
+  AppendKeyInt(&out, "num_users", h.num_users);
+  AppendKeyInt(&out, "priors_num_nodes", h.priors.num_nodes);
+  AppendKeyInt(&out, "priors_num_edges", h.priors.num_edges);
+  AppendKeyInt(&out, "priors_max_degree", h.priors.max_degree);
+  AppendKeyInt(&out, "priors_max_line_degree", h.priors.max_line_degree);
+  AppendKeyString(&out, "scenario", h.scenario);
+  AppendKeyString(&out, "algorithm", h.algorithm);
+  AppendKeyInt(&out, "t1", h.t1);
+  AppendKeyInt(&out, "t2", h.t2);
+  AppendKeyInt(&out, "api_budget", h.api_budget);
+  AppendKeyInt(&out, "sample_size", h.sample_size);
+  AppendKeyInt(&out, "burn_in", h.burn_in);
+  AppendKeyUint(&out, "seed", h.seed);
+  AppendKeyInt(&out, "page_cost", h.cost_model.page_cost);
+  AppendKeyInt(&out, "cache_fetches", h.cost_model.cache_fetches ? 1 : 0);
+  AppendKeyInt(&out, "page_size", h.cost_model.page_size);
+  AppendKeyInt(&out, "batch_size", h.cost_model.batch_size);
+  AppendKeyDouble(&out, "fault_transient", h.faults.transient_error_rate);
+  AppendKeyDouble(&out, "fault_unavailable", h.faults.unavailable_user_rate);
+  AppendKeyInt(&out, "fault_retry_budget", h.faults.retry_budget);
+  AppendKeyInt(&out, "fault_charge_failed",
+               h.faults.charge_failed_attempts ? 1 : 0);
+  AppendKeyUint(&out, "fault_seed", h.faults.seed);
+  AppendKeyDouble(&out, "rl_requests_per_sec",
+                  h.rate_limit.requests_per_sec);
+  AppendKeyInt(&out, "rl_bucket_capacity", h.rate_limit.bucket_capacity);
+  AppendKeyInt(&out, "rl_window_quota", h.rate_limit.window_quota);
+  AppendKeyInt(&out, "rl_window_us", h.rate_limit.window_us);
+  AppendKeyInt(&out, "rl_latency_us", h.rate_limit.per_call_latency_us);
+  AppendKeyInt(&out, "rl_auto_wait", h.rate_limit.auto_wait ? 1 : 0);
+  FinishObject(&out);
+  return out;
+}
+
+Result<TraceHeader> ParseHeader(const std::string& line) {
+  int64_t magic = 0;
+  if (!ParseInt(line, "labelrw_trace", &magic) || magic != 1) {
+    return InvalidArgumentError("trace: missing labelrw_trace header magic");
+  }
+  int64_t version = -1;
+  if (!ParseInt(line, "format_version", &version)) {
+    return InvalidArgumentError("trace: header carries no format_version");
+  }
+  if (version != kTraceFormatVersion) {
+    return InvalidArgumentError(
+        "trace format version " + std::to_string(version) +
+        " does not match this build's version " +
+        std::to_string(kTraceFormatVersion) +
+        "; re-record the trace with the current binary");
+  }
+  TraceHeader h;
+  int64_t i = 0;
+  uint64_t u = 0;
+  double d = 0.0;
+  if (!ParseInt(line, "num_users", &h.num_users)) {
+    return InvalidArgumentError("trace: header carries no num_users");
+  }
+  ParseInt(line, "priors_num_nodes", &h.priors.num_nodes);
+  ParseInt(line, "priors_num_edges", &h.priors.num_edges);
+  ParseInt(line, "priors_max_degree", &h.priors.max_degree);
+  ParseInt(line, "priors_max_line_degree", &h.priors.max_line_degree);
+  ParseString(line, "scenario", &h.scenario);
+  ParseString(line, "algorithm", &h.algorithm);
+  if (ParseInt(line, "t1", &i)) h.t1 = static_cast<int32_t>(i);
+  if (ParseInt(line, "t2", &i)) h.t2 = static_cast<int32_t>(i);
+  ParseInt(line, "api_budget", &h.api_budget);
+  ParseInt(line, "sample_size", &h.sample_size);
+  ParseInt(line, "burn_in", &h.burn_in);
+  if (ParseUint(line, "seed", &u)) h.seed = u;
+  ParseInt(line, "page_cost", &h.cost_model.page_cost);
+  if (ParseInt(line, "cache_fetches", &i)) h.cost_model.cache_fetches = i != 0;
+  ParseInt(line, "page_size", &h.cost_model.page_size);
+  ParseInt(line, "batch_size", &h.cost_model.batch_size);
+  if (ParseDouble(line, "fault_transient", &d)) {
+    h.faults.transient_error_rate = d;
+  }
+  if (ParseDouble(line, "fault_unavailable", &d)) {
+    h.faults.unavailable_user_rate = d;
+  }
+  if (ParseInt(line, "fault_retry_budget", &i)) {
+    h.faults.retry_budget = static_cast<int>(i);
+  }
+  if (ParseInt(line, "fault_charge_failed", &i)) {
+    h.faults.charge_failed_attempts = i != 0;
+  }
+  if (ParseUint(line, "fault_seed", &u)) h.faults.seed = u;
+  ParseDouble(line, "rl_requests_per_sec", &h.rate_limit.requests_per_sec);
+  ParseInt(line, "rl_bucket_capacity", &h.rate_limit.bucket_capacity);
+  ParseInt(line, "rl_window_quota", &h.rate_limit.window_quota);
+  ParseInt(line, "rl_window_us", &h.rate_limit.window_us);
+  ParseInt(line, "rl_latency_us", &h.rate_limit.per_call_latency_us);
+  if (ParseInt(line, "rl_auto_wait", &i)) h.rate_limit.auto_wait = i != 0;
+  return h;
+}
+
+std::string EventLine(const TraceEvent& e) {
+  std::string out = "{";
+  if (e.kind == TraceEvent::Kind::kFetch) {
+    AppendKeyString(&out, "op", "f");
+    AppendKeyInt(&out, "user", e.user);
+    AppendKeyInt(&out, "status", static_cast<int64_t>(e.status));
+    if (e.status == StatusCode::kOk) {
+      AppendKeyInt(&out, "degree", e.degree);
+      AppendKeyIntList(&out, "neighbors", e.neighbors);
+      AppendKeyIntList(&out, "labels", e.labels);
+    }
+  } else {
+    AppendKeyString(&out, "op", "s");
+    AppendKeyInt(&out, "node", e.seed);
+  }
+  AppendKeyInt(&out, "calls", e.calls_at);
+  AppendKeyInt(&out, "clock_us", e.clock_us_at);
+  FinishObject(&out);
+  return out;
+}
+
+Result<TraceEvent> ParseEvent(const std::string& line, int64_t line_no) {
+  const auto bad = [line_no](const char* what) {
+    return InvalidArgumentError("trace line " + std::to_string(line_no) +
+                                ": " + what);
+  };
+  std::string op;
+  if (!ParseString(line, "op", &op)) return bad("missing op");
+  TraceEvent e;
+  int64_t i = 0;
+  if (op == "f") {
+    e.kind = TraceEvent::Kind::kFetch;
+    if (!ParseInt(line, "user", &i)) return bad("fetch without user");
+    e.user = static_cast<graph::NodeId>(i);
+    if (!ParseInt(line, "status", &i)) return bad("fetch without status");
+    e.status = static_cast<StatusCode>(i);
+    if (e.status == StatusCode::kOk) {
+      if (!ParseInt(line, "degree", &e.degree)) {
+        return bad("fetch without degree");
+      }
+      if (!ParseIntList(line, "neighbors", &e.neighbors)) {
+        return bad("fetch without neighbors");
+      }
+      if (!ParseIntList(line, "labels", &e.labels)) {
+        return bad("fetch without labels");
+      }
+      if (e.degree != static_cast<int64_t>(e.neighbors.size())) {
+        return bad("degree does not match neighbor count");
+      }
+    }
+  } else if (op == "s") {
+    e.kind = TraceEvent::Kind::kSeed;
+    if (!ParseInt(line, "node", &i)) return bad("seed without node");
+    e.seed = static_cast<graph::NodeId>(i);
+  } else {
+    return bad("unknown op");
+  }
+  ParseInt(line, "calls", &e.calls_at);
+  ParseInt(line, "clock_us", &e.clock_us_at);
+  return e;
+}
+
+std::string FooterLine(const TraceFooter& f, int64_t num_events) {
+  std::string out = "{";
+  AppendKeyInt(&out, "end", 1);
+  AppendKeyInt(&out, "events", num_events);
+  AppendKeyDouble(&out, "estimate", f.estimate);
+  AppendKeyInt(&out, "api_calls", f.api_calls);
+  AppendKeyInt(&out, "iterations", f.iterations);
+  AppendKeyInt(&out, "clock_us", f.clock_us);
+  FinishObject(&out);
+  return out;
+}
+
+}  // namespace
+
+Status WriteTrace(const Trace& trace, const std::string& path) {
+  for (const std::string* s : {&trace.header.scenario,
+                               &trace.header.algorithm}) {
+    if (s->find('"') != std::string::npos ||
+        s->find('\\') != std::string::npos) {
+      return InvalidArgumentError(
+          "WriteTrace: header strings must not contain quotes or "
+          "backslashes");
+    }
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InternalError("WriteTrace: cannot open " + path);
+  }
+  out << HeaderLine(trace.header) << '\n';
+  for (const TraceEvent& e : trace.events) out << EventLine(e) << '\n';
+  if (trace.footer.present) {
+    out << FooterLine(trace.footer, static_cast<int64_t>(trace.events.size()))
+        << '\n';
+  }
+  out.flush();
+  if (!out.good()) return InternalError("WriteTrace: write failed");
+  return Status::Ok();
+}
+
+Result<Trace> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return NotFoundError("LoadTrace: cannot open " + path);
+  }
+  Trace trace;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return InvalidArgumentError("LoadTrace: empty trace file " + path);
+  }
+  LABELRW_ASSIGN_OR_RETURN(trace.header, ParseHeader(line));
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    int64_t end_marker = 0;
+    if (ParseInt(line, "end", &end_marker) && end_marker == 1) {
+      trace.footer.present = true;
+      ParseDouble(line, "estimate", &trace.footer.estimate);
+      ParseInt(line, "api_calls", &trace.footer.api_calls);
+      ParseInt(line, "iterations", &trace.footer.iterations);
+      ParseInt(line, "clock_us", &trace.footer.clock_us);
+      int64_t events = 0;
+      if (ParseInt(line, "events", &events) &&
+          events != static_cast<int64_t>(trace.events.size())) {
+        return InvalidArgumentError(
+            "LoadTrace: footer event count " + std::to_string(events) +
+            " does not match the " + std::to_string(trace.events.size()) +
+            " events read — truncated trace?");
+      }
+      continue;
+    }
+    LABELRW_ASSIGN_OR_RETURN(TraceEvent event, ParseEvent(line, line_no));
+    trace.events.push_back(std::move(event));
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// RecordingTransport
+
+Result<UserRecord> RecordingTransport::FetchRecord(graph::NodeId user) const {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kFetch;
+  e.user = user;
+  e.calls_at = MeterCalls();
+  e.clock_us_at = MeterClock();
+  const Result<UserRecord> result = inner_.FetchRecord(user);
+  if (result.ok()) {
+    e.status = StatusCode::kOk;
+    e.degree = result->degree;
+    e.neighbors.assign(result->neighbors.begin(), result->neighbors.end());
+    e.labels.assign(result->labels.begin(), result->labels.end());
+  } else {
+    e.status = result.status().code();
+  }
+  trace_.events.push_back(std::move(e));
+  if (!result.ok()) return result.status();
+  // Serve spans from the journaled copy: they stay valid for the recorder's
+  // lifetime even over a mutating inner transport (DynamicGraphTransport).
+  const TraceEvent& stored = trace_.events.back();
+  UserRecord record;
+  record.degree = stored.degree;
+  record.neighbors = stored.neighbors;
+  record.labels = stored.labels;
+  return record;
+}
+
+Result<graph::NodeId> RecordingTransport::SampleSeed(Rng& rng) const {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSeed;
+  e.calls_at = MeterCalls();
+  e.clock_us_at = MeterClock();
+  LABELRW_ASSIGN_OR_RETURN(const graph::NodeId seed, inner_.SampleSeed(rng));
+  e.seed = seed;
+  trace_.events.push_back(std::move(e));
+  return seed;
+}
+
+// ---------------------------------------------------------------------------
+// ReplayTransport
+
+Result<const TraceEvent*> ReplayTransport::NextEvent(
+    TraceEvent::Kind kind) const {
+  if (exhausted()) {
+    return InternalError(
+        "replay divergence: the crawl issued more wire calls than the trace "
+        "recorded (" +
+        std::to_string(trace_.events.size()) + ")");
+  }
+  const TraceEvent& e = trace_.events[static_cast<size_t>(cursor_)];
+  const auto diverged = [this](const std::string& what) {
+    return InternalError("replay divergence at event #" +
+                         std::to_string(cursor_) + ": " + what);
+  };
+  if (e.kind != kind) {
+    return diverged(kind == TraceEvent::Kind::kFetch
+                        ? "crawl fetched a record, trace has a seed draw"
+                        : "crawl drew a seed, trace has a record fetch");
+  }
+  if (api_ != nullptr && api_->api_calls() != e.calls_at) {
+    return diverged("charge ledger reads " +
+                    std::to_string(api_->api_calls()) + ", trace recorded " +
+                    std::to_string(e.calls_at));
+  }
+  if (clock_ != nullptr && clock_->now_us() != e.clock_us_at) {
+    return diverged("sim clock reads " + std::to_string(clock_->now_us()) +
+                    "us, trace recorded " + std::to_string(e.clock_us_at) +
+                    "us");
+  }
+  ++cursor_;
+  return &e;
+}
+
+Result<UserRecord> ReplayTransport::FetchRecord(graph::NodeId user) const {
+  LABELRW_ASSIGN_OR_RETURN(const TraceEvent* e,
+                           NextEvent(TraceEvent::Kind::kFetch));
+  if (e->user != user) {
+    return InternalError("replay divergence at event #" +
+                         std::to_string(cursor_ - 1) + ": crawl fetched user " +
+                         std::to_string(user) + ", trace recorded user " +
+                         std::to_string(e->user));
+  }
+  if (e->status != StatusCode::kOk) {
+    return Status(e->status, "replayed error response");
+  }
+  UserRecord record;
+  record.degree = e->degree;
+  record.neighbors = e->neighbors;
+  record.labels = e->labels;
+  return record;
+}
+
+Result<graph::NodeId> ReplayTransport::SampleSeed(Rng& rng) const {
+  LABELRW_ASSIGN_OR_RETURN(const TraceEvent* e,
+                           NextEvent(TraceEvent::Kind::kSeed));
+  // Consume the same RNG draw the live transport did, so the estimator's
+  // stream stays aligned; verify it lands on the recorded seed.
+  const auto drawn =
+      static_cast<graph::NodeId>(rng.UniformInt(trace_.header.num_users));
+  if (drawn != e->seed) {
+    return InternalError("replay divergence at event #" +
+                         std::to_string(cursor_ - 1) + ": seed draw yielded " +
+                         std::to_string(drawn) + ", trace recorded " +
+                         std::to_string(e->seed));
+  }
+  return e->seed;
+}
+
+}  // namespace labelrw::osn

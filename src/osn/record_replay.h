@@ -1,0 +1,195 @@
+// Record/replay of OSN crawls at the wire (Transport) boundary.
+//
+// RecordingTransport wraps any Transport and journals every wire call — the
+// request, the full response (or error), and the session meters (charged
+// api_calls, sim-clock microseconds) observed at wire time — into a
+// versioned JSONL trace. ReplayTransport serves the same crawl back from
+// the trace alone: no backing graph, no generator, no original machine.
+//
+// Because OsnClient and every estimator are deterministic functions of
+// (config, seed, wire responses), re-driving the recorded configuration
+// over a ReplayTransport reproduces the crawl bit-for-bit — same estimate,
+// same charge ledger, same clock. That enables:
+//   * golden-trace regression tests: one checked-in trace pins the whole
+//     client/estimator pipeline, faults and pagination included
+//     (tests/record_replay_test.cc, tests/data/);
+//   * cross-machine repro of any production-shaped run from a few KB of
+//     trace instead of a multi-GB graph.
+//
+// Replay is strict: a request that deviates from the recorded sequence
+// (different op, different user, different meter readings) fails with a
+// divergence error naming the event — drift anywhere in the stack is
+// caught at the first divergent wire call, not at the final number.
+//
+// Trace format: line 1 is a header object carrying the format version
+// (kTraceFormatVersion), the transport surface (num_users, priors) and the
+// recorded run configuration (scenario knobs + estimator options); then one
+// object per wire event; optionally a footer object with the final
+// snapshot. Loading a trace with a different format version fails with a
+// re-record hint rather than misreading bytes.
+
+#ifndef LABELRW_OSN_RECORD_REPLAY_H_
+#define LABELRW_OSN_RECORD_REPLAY_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "osn/api.h"
+#include "osn/client.h"
+#include "osn/sim_clock.h"
+#include "osn/transport.h"
+#include "util/status.h"
+
+namespace labelrw::osn {
+
+/// Bumped on any incompatible change to the trace schema. Version
+/// mismatches fail loudly at load time (golden tests translate that into a
+/// "re-record the fixture" message).
+inline constexpr int64_t kTraceFormatVersion = 1;
+
+/// Everything needed to re-drive a recorded crawl without the graph.
+struct TraceHeader {
+  int64_t num_users = 0;
+  GraphPriors priors;
+  /// Scenario display name (informational).
+  std::string scenario = "baseline";
+  /// Estimator display name (estimators::AlgorithmName), or "auto" for the
+  /// TargetEdgeCounter pilot pipeline.
+  std::string algorithm;
+  int32_t t1 = 0;
+  int32_t t2 = 0;
+  int64_t api_budget = 0;
+  int64_t sample_size = 0;
+  int64_t burn_in = 0;
+  uint64_t seed = 0;
+  CostModel cost_model;
+  FaultPolicy faults;
+  RateLimitPolicy rate_limit;
+};
+
+/// One wire call. `calls_at` / `clock_us_at` are the session meters at the
+/// moment the request hit the wire; replay verifies them when meters are
+/// attached, pinning the charge ledger and the timeline, not just the data.
+struct TraceEvent {
+  enum class Kind { kFetch, kSeed };
+  Kind kind = Kind::kFetch;
+
+  // kFetch: request + response.
+  graph::NodeId user = -1;
+  StatusCode status = StatusCode::kOk;
+  int64_t degree = 0;
+  std::vector<graph::NodeId> neighbors;
+  std::vector<graph::Label> labels;
+
+  // kSeed: the drawn seed user.
+  graph::NodeId seed = -1;
+
+  int64_t calls_at = 0;
+  int64_t clock_us_at = 0;
+};
+
+/// Final snapshot of the recorded run, for golden assertions.
+struct TraceFooter {
+  bool present = false;
+  double estimate = 0.0;
+  int64_t api_calls = 0;
+  int64_t iterations = 0;
+  int64_t clock_us = 0;
+};
+
+struct Trace {
+  TraceHeader header;
+  /// Deque, not vector: the recorder hands out spans into event payloads,
+  /// and deque growth never relocates existing elements.
+  std::deque<TraceEvent> events;
+  TraceFooter footer;
+};
+
+/// Serializes the trace as versioned JSONL. Overwrites `path`.
+Status WriteTrace(const Trace& trace, const std::string& path);
+
+/// Parses a trace written by WriteTrace. InvalidArgument on a format
+/// version mismatch (message includes the re-record hint) or corrupt lines.
+Result<Trace> LoadTrace(const std::string& path);
+
+/// Wraps a live transport and journals every wire call. Attach the session
+/// meters right after constructing the OsnClient so events carry the charge
+/// ledger and clock; without meters those fields record as 0.
+class RecordingTransport final : public Transport {
+ public:
+  /// `inner` must outlive this transport.
+  explicit RecordingTransport(const Transport& inner) : inner_(inner) {
+    trace_.header.num_users = inner.num_users();
+    trace_.header.priors = inner.TransportPriors();
+  }
+
+  /// `api` / `clock` must outlive this transport; either may be null.
+  void AttachMeters(const OsnApi* api, const SimClock* clock) {
+    api_ = api;
+    clock_ = clock;
+  }
+
+  Result<UserRecord> FetchRecord(graph::NodeId user) const override;
+  Result<graph::NodeId> SampleSeed(Rng& rng) const override;
+  int64_t num_users() const override { return inner_.num_users(); }
+  GraphPriors TransportPriors() const override {
+    return inner_.TransportPriors();
+  }
+
+  /// The journal so far. The header's run-configuration fields (scenario,
+  /// algorithm, options) are the caller's to fill before WriteTrace.
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  int64_t MeterCalls() const { return api_ != nullptr ? api_->api_calls() : 0; }
+  int64_t MeterClock() const {
+    return clock_ != nullptr ? clock_->now_us() : 0;
+  }
+
+  const Transport& inner_;
+  const OsnApi* api_ = nullptr;
+  const SimClock* clock_ = nullptr;
+  mutable Trace trace_;  // journaling from the const Transport face
+};
+
+/// Serves a recorded crawl back, graph-free, verifying that every request
+/// matches the recorded sequence (and the recorded meters, when attached).
+class ReplayTransport final : public Transport {
+ public:
+  explicit ReplayTransport(Trace trace) : trace_(std::move(trace)) {}
+
+  /// Optional strict meter verification (same contract as the recorder's).
+  void AttachMeters(const OsnApi* api, const SimClock* clock) {
+    api_ = api;
+    clock_ = clock;
+  }
+
+  Result<UserRecord> FetchRecord(graph::NodeId user) const override;
+  Result<graph::NodeId> SampleSeed(Rng& rng) const override;
+  int64_t num_users() const override { return trace_.header.num_users; }
+  GraphPriors TransportPriors() const override { return trace_.header.priors; }
+
+  const TraceHeader& header() const { return trace_.header; }
+  const TraceFooter& footer() const { return trace_.footer; }
+
+  /// Events consumed so far.
+  int64_t cursor() const { return cursor_; }
+  /// True once every recorded event was replayed.
+  bool exhausted() const {
+    return cursor_ >= static_cast<int64_t>(trace_.events.size());
+  }
+
+ private:
+  Result<const TraceEvent*> NextEvent(TraceEvent::Kind kind) const;
+
+  Trace trace_;
+  const OsnApi* api_ = nullptr;
+  const SimClock* clock_ = nullptr;
+  mutable int64_t cursor_ = 0;
+};
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_RECORD_REPLAY_H_

@@ -1,0 +1,296 @@
+#include "osn/scenario.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/oracle.h"
+
+namespace labelrw::osn {
+
+GraphMutation GraphMutation::AddEdge(int64_t at_us, graph::NodeId u,
+                                     graph::NodeId v) {
+  GraphMutation m;
+  m.at_us = at_us;
+  m.kind = Kind::kAddEdge;
+  m.u = u;
+  m.v = v;
+  return m;
+}
+
+GraphMutation GraphMutation::RemoveEdge(int64_t at_us, graph::NodeId u,
+                                        graph::NodeId v) {
+  GraphMutation m = AddEdge(at_us, u, v);
+  m.kind = Kind::kRemoveEdge;
+  return m;
+}
+
+GraphMutation GraphMutation::Privatize(int64_t at_us, graph::NodeId u) {
+  GraphMutation m;
+  m.at_us = at_us;
+  m.kind = Kind::kPrivatize;
+  m.u = u;
+  return m;
+}
+
+GraphMutation GraphMutation::Restore(int64_t at_us, graph::NodeId u) {
+  GraphMutation m = Privatize(at_us, u);
+  m.kind = Kind::kRestore;
+  return m;
+}
+
+GraphMutation GraphMutation::SetLabels(int64_t at_us, graph::NodeId u,
+                                       std::vector<graph::Label> labels) {
+  GraphMutation m;
+  m.at_us = at_us;
+  m.kind = Kind::kSetLabels;
+  m.u = u;
+  m.labels = std::move(labels);
+  return m;
+}
+
+namespace {
+
+/// Inserts `v` into the sorted neighbor vector if absent; true on change.
+bool SortedInsert(std::vector<graph::NodeId>& list, graph::NodeId v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it != list.end() && *it == v) return false;
+  list.insert(it, v);
+  return true;
+}
+
+/// Removes `v` from the sorted neighbor vector if present; true on change.
+bool SortedErase(std::vector<graph::NodeId>& list, graph::NodeId v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it == list.end() || *it != v) return false;
+  list.erase(it);
+  return true;
+}
+
+Status ValidateSchedule(const std::vector<GraphMutation>& schedule,
+                        int64_t num_users) {
+  int64_t prev = std::numeric_limits<int64_t>::min();
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const GraphMutation& m = schedule[i];
+    if (m.at_us < prev) {
+      return InvalidArgumentError(
+          "DynamicGraphTransport: schedule must be ascending in at_us "
+          "(mutation #" +
+          std::to_string(i) + ")");
+    }
+    prev = m.at_us;
+    const bool edge_op = m.kind == GraphMutation::Kind::kAddEdge ||
+                         m.kind == GraphMutation::Kind::kRemoveEdge;
+    if (m.u < 0 || m.u >= num_users || (edge_op && (m.v < 0 ||
+                                                    m.v >= num_users))) {
+      return InvalidArgumentError(
+          "DynamicGraphTransport: mutation #" + std::to_string(i) +
+          " references a node id outside [0, num_users)");
+    }
+    if (edge_op && m.u == m.v) {
+      return InvalidArgumentError("DynamicGraphTransport: mutation #" +
+                                  std::to_string(i) + " is a self-loop");
+    }
+    for (graph::Label l : m.labels) {
+      if (l < 0) {
+        return InvalidArgumentError("DynamicGraphTransport: mutation #" +
+                                    std::to_string(i) +
+                                    " carries a negative label");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+DynamicGraphTransport::DynamicGraphTransport(
+    const graph::Graph& graph, const graph::LabelStore& labels,
+    std::vector<GraphMutation> schedule)
+    : schedule_(std::move(schedule)), live_edges_(graph.num_edges()) {
+  const int64_t n = graph.num_nodes();
+  adjacency_.resize(static_cast<size_t>(n));
+  labels_.resize(static_cast<size_t>(n));
+  private_.assign(static_cast<size_t>(n), false);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    adjacency_[static_cast<size_t>(u)].assign(nbrs.begin(), nbrs.end());
+    const auto ls = labels.labels(u);
+    labels_[static_cast<size_t>(u)].assign(ls.begin(), ls.end());
+  }
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(graph);
+  priors_.num_nodes = n;
+  priors_.num_edges = graph.num_edges();
+  priors_.max_degree = stats.max_degree;
+  priors_.max_line_degree = stats.max_line_degree;
+  schedule_status_ = ValidateSchedule(schedule_, n);
+  if (schedule_status_.ok()) {
+    // Pre-clock mutations (at_us <= 0) take effect immediately so that a
+    // schedule can also describe a static what-if graph.
+    while (next_mutation_ < static_cast<int64_t>(schedule_.size()) &&
+           schedule_[static_cast<size_t>(next_mutation_)].at_us <= 0) {
+      ApplyOne(schedule_[static_cast<size_t>(next_mutation_)]);
+      ++next_mutation_;
+    }
+  }
+}
+
+void DynamicGraphTransport::RetireBuffer(std::vector<int32_t>& list) const {
+  // Spans handed out by earlier fetches may still address list's buffer
+  // (Transport guarantees them for the transport's lifetime). Park the old
+  // buffer in the graveyard and give `list` a fresh, editable copy.
+  retired_.push_back(std::move(list));
+  list = retired_.back();
+}
+
+void DynamicGraphTransport::ApplyOne(const GraphMutation& mutation) const {
+  const auto u = static_cast<size_t>(mutation.u);
+  switch (mutation.kind) {
+    case GraphMutation::Kind::kAddEdge: {
+      const auto v = static_cast<size_t>(mutation.v);
+      RetireBuffer(adjacency_[u]);
+      RetireBuffer(adjacency_[v]);
+      const bool added = SortedInsert(adjacency_[u], mutation.v);
+      SortedInsert(adjacency_[v], mutation.u);
+      if (added) ++live_edges_;
+      break;
+    }
+    case GraphMutation::Kind::kRemoveEdge: {
+      const auto v = static_cast<size_t>(mutation.v);
+      RetireBuffer(adjacency_[u]);
+      RetireBuffer(adjacency_[v]);
+      const bool removed = SortedErase(adjacency_[u], mutation.v);
+      SortedErase(adjacency_[v], mutation.u);
+      if (removed) --live_edges_;
+      break;
+    }
+    case GraphMutation::Kind::kPrivatize:
+      private_[u] = true;
+      break;
+    case GraphMutation::Kind::kRestore:
+      private_[u] = false;
+      break;
+    case GraphMutation::Kind::kSetLabels: {
+      std::vector<graph::Label> sorted = mutation.labels;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      RetireBuffer(labels_[u]);
+      labels_[u] = std::move(sorted);
+      break;
+    }
+  }
+}
+
+void DynamicGraphTransport::ApplyDue() const {
+  if (clock_ == nullptr) return;
+  const int64_t now = clock_->now_us();
+  while (next_mutation_ < static_cast<int64_t>(schedule_.size()) &&
+         schedule_[static_cast<size_t>(next_mutation_)].at_us <= now) {
+    ApplyOne(schedule_[static_cast<size_t>(next_mutation_)]);
+    ++next_mutation_;
+  }
+}
+
+Result<UserRecord> DynamicGraphTransport::FetchRecord(
+    graph::NodeId user) const {
+  LABELRW_RETURN_IF_ERROR(schedule_status_);
+  if (user < 0 || user >= num_users()) {
+    return NotFoundError("FetchRecord: unknown user");
+  }
+  ApplyDue();
+  if (private_[static_cast<size_t>(user)]) {
+    return PermissionDeniedError("user profile is private or deleted");
+  }
+  const auto u = static_cast<size_t>(user);
+  UserRecord record;
+  record.degree = static_cast<int64_t>(adjacency_[u].size());
+  record.neighbors = adjacency_[u];
+  record.labels = labels_[u];
+  return record;
+}
+
+Result<graph::NodeId> DynamicGraphTransport::SampleSeed(Rng& rng) const {
+  LABELRW_RETURN_IF_ERROR(schedule_status_);
+  if (num_users() == 0) {
+    return FailedPreconditionError("SampleSeed: empty graph");
+  }
+  ApplyDue();
+  // Same draw as LocalGraphApi::SampleSeed, so scenario runs share the seed
+  // stream of the static substrate.
+  return static_cast<graph::NodeId>(rng.UniformInt(num_users()));
+}
+
+Status Scenario::Validate() const {
+  LABELRW_RETURN_IF_ERROR(faults.Validate());
+  LABELRW_RETURN_IF_ERROR(rate_limit.Validate());
+  int64_t prev = std::numeric_limits<int64_t>::min();
+  for (const GraphMutation& m : mutations) {
+    if (m.at_us < prev) {
+      return InvalidArgumentError(
+          "Scenario: mutation schedule must be ascending in at_us");
+    }
+    prev = m.at_us;
+  }
+  return Status::Ok();
+}
+
+Result<Scenario> ScenarioFromName(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  if (name == "baseline") return s;
+  if (name == "paginated") {
+    s.cost_model.page_size = 25;
+    s.cost_model.batch_size = 8;
+    return s;
+  }
+  if (name == "flaky") {
+    s.faults.transient_error_rate = 0.05;
+    // Generous retries: at 5% error, 7 attempts put the per-page abort
+    // probability below 1e-9, so million-page sweeps survive.
+    s.faults.retry_budget = 6;
+    return s;
+  }
+  if (name == "private") {
+    s.faults.unavailable_user_rate = 0.03;
+    return s;
+  }
+  if (name == "rate-limited") {
+    s.rate_limit.requests_per_sec = 50.0;
+    s.rate_limit.bucket_capacity = 20;
+    s.rate_limit.per_call_latency_us = 2000;
+    return s;
+  }
+  if (name == "quota") {
+    s.rate_limit.window_quota = 5000;
+    s.rate_limit.window_us = 3'600'000'000;
+    s.rate_limit.per_call_latency_us = 2000;
+    return s;
+  }
+  if (name == "production") {
+    // Pagination + faults + pacing at once. Private users are deliberately
+    // absent: the walkers surface kPermissionDenied rather than re-routing
+    // around a private profile (the "private" preset exercises the client
+    // layer; walker-level detours are an open roadmap item).
+    s.cost_model.page_size = 25;
+    s.cost_model.batch_size = 8;
+    s.faults.transient_error_rate = 0.02;
+    s.faults.retry_budget = 6;
+    s.rate_limit.requests_per_sec = 50.0;
+    s.rate_limit.bucket_capacity = 20;
+    s.rate_limit.per_call_latency_us = 2000;
+    return s;
+  }
+  std::string known;
+  for (const std::string& preset : ScenarioNames()) {
+    if (!known.empty()) known += ", ";
+    known += preset;
+  }
+  return NotFoundError("unknown scenario: " + name + " (try one of: " +
+                       known + ")");
+}
+
+std::vector<std::string> ScenarioNames() {
+  return {"baseline", "paginated",    "flaky",     "private",
+          "rate-limited", "quota", "production"};
+}
+
+}  // namespace labelrw::osn

@@ -1,0 +1,168 @@
+// The scenario engine: named crawl-condition bundles and the
+// time-evolving-graph transport.
+//
+// A Scenario packages everything that distinguishes a production crawl from
+// the paper's idealized one — cost model (pagination/batching), fault
+// policy, rate limiting + simulated latency (osn/sim_clock.h), and a
+// scripted mutation schedule over the backing graph — into one value that
+// the sweep harness (eval::RunScenarioSweep), the CLI (--scenario) and the
+// benches all consume. Scenarios are plain data: two runs of the same
+// scenario at the same seed are bit-identical, which is what makes the
+// statistical suite (tests/scenario_statistical_test.cc) and the golden
+// traces (osn/record_replay.h) possible.
+//
+// DynamicGraphTransport opens the time-evolving-graph workload: it serves
+// the Transport face from a mutable copy of a Graph + LabelStore and
+// applies a schedule of mutations (edge add/remove, node privatization,
+// label flips) as the attached session clock passes each mutation's
+// sim-time. Estimators keep running through OsnClient unchanged; what they
+// observe is a graph that churns underneath the crawl.
+
+#ifndef LABELRW_OSN_SCENARIO_H_
+#define LABELRW_OSN_SCENARIO_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "osn/client.h"
+#include "osn/sim_clock.h"
+#include "osn/transport.h"
+#include "util/status.h"
+
+namespace labelrw::osn {
+
+/// One scripted change to the backing graph, applied once the session clock
+/// reaches `at_us`. Mutations are idempotent where possible (adding an
+/// existing edge or removing a missing one is a no-op), so no-op schedules
+/// for control experiments are easy to write.
+struct GraphMutation {
+  enum class Kind {
+    kAddEdge,      // add undirected edge {u, v}
+    kRemoveEdge,   // remove undirected edge {u, v}
+    kPrivatize,    // node u's profile becomes private (kPermissionDenied)
+    kRestore,      // node u's profile becomes public again
+    kSetLabels,    // node u's label set becomes `labels`
+  };
+
+  int64_t at_us = 0;
+  Kind kind = Kind::kAddEdge;
+  graph::NodeId u = -1;
+  graph::NodeId v = -1;                // edge mutations only
+  std::vector<graph::Label> labels;    // kSetLabels only
+
+  static GraphMutation AddEdge(int64_t at_us, graph::NodeId u,
+                               graph::NodeId v);
+  static GraphMutation RemoveEdge(int64_t at_us, graph::NodeId u,
+                                  graph::NodeId v);
+  static GraphMutation Privatize(int64_t at_us, graph::NodeId u);
+  static GraphMutation Restore(int64_t at_us, graph::NodeId u);
+  static GraphMutation SetLabels(int64_t at_us, graph::NodeId u,
+                                 std::vector<graph::Label> labels);
+};
+
+/// A Transport whose backing graph evolves over simulated time.
+///
+/// The schedule is applied lazily: each FetchRecord/SampleSeed first applies
+/// every not-yet-applied mutation whose at_us <= clock->now_us(). Mutations
+/// with at_us <= 0 apply at construction; without an attached clock they
+/// are the only ones that ever fire.
+///
+/// Spans returned by FetchRecord stay valid for the transport's lifetime
+/// (the Transport contract): a mutation retires the affected user's old
+/// buffer instead of editing it in place, so a span held across a mutation
+/// boundary keeps observing the record as it was fetched — exactly like a
+/// real crawler's cache going stale. Memory cost: O(degree) per scheduled
+/// mutation, bounded by the schedule, not by fetch count.
+///
+/// Unlike the const backends, this transport mutates internal state on
+/// fetch; it is single-session (not thread-compatible). Each concurrent
+/// crawl needs its own instance.
+class DynamicGraphTransport final : public Transport {
+ public:
+  /// Copies the adjacency and label state out of `graph` / `labels` (which
+  /// may be destroyed afterwards) and validates the schedule eagerly:
+  /// out-of-range node ids or an unsorted schedule poison every subsequent
+  /// fetch with InvalidArgument rather than corrupting the state.
+  DynamicGraphTransport(const graph::Graph& graph,
+                        const graph::LabelStore& labels,
+                        std::vector<GraphMutation> schedule);
+
+  /// Attaches the session clock that drives the schedule (usually
+  /// &client.clock()). Must happen before the first fetch.
+  void AttachClock(const SimClock* clock) { clock_ = clock; }
+
+  // Transport face.
+  Result<UserRecord> FetchRecord(graph::NodeId user) const override;
+  Result<graph::NodeId> SampleSeed(Rng& rng) const override;
+  int64_t num_users() const override {
+    return static_cast<int64_t>(adjacency_.size());
+  }
+  /// Priors stay frozen at the construction-time graph: owner-published
+  /// |V|/|E| reports lag the live graph in a real deployment too.
+  GraphPriors TransportPriors() const override { return priors_; }
+
+  /// Mutations applied so far (diagnostics).
+  int64_t applied_mutations() const { return next_mutation_; }
+  /// Live undirected edge count (diagnostics; priors stay frozen).
+  int64_t live_edges() const { return live_edges_; }
+
+ private:
+  void ApplyDue() const;
+  void ApplyOne(const GraphMutation& mutation) const;
+
+  /// Moves `list`'s current buffer into the graveyard (keeping live spans
+  /// valid) and rebuilds `list` as a private copy safe to edit.
+  void RetireBuffer(std::vector<int32_t>& list) const;
+
+  // The transport mutates on fetch by design (see class comment); Transport
+  // keeps a const face because every other backend is immutable.
+  mutable std::vector<std::vector<graph::NodeId>> adjacency_;
+  mutable std::vector<std::vector<graph::Label>> labels_;
+  mutable std::vector<bool> private_;
+  /// Pre-mutation buffers still addressed by handed-out spans
+  /// (graph::NodeId and graph::Label are both int32_t).
+  mutable std::deque<std::vector<int32_t>> retired_;
+  mutable std::vector<GraphMutation> schedule_;
+  mutable int64_t next_mutation_ = 0;
+  mutable int64_t live_edges_ = 0;
+  GraphPriors priors_;
+  const SimClock* clock_ = nullptr;
+  Status schedule_status_;
+};
+
+/// A named bundle of crawl conditions. Every knob defaults to the paper's
+/// idealized crawl, so Scenario() == the bit-exact baseline.
+struct Scenario {
+  std::string name = "baseline";
+  CostModel cost_model;
+  FaultPolicy faults;
+  RateLimitPolicy rate_limit;
+  /// Mutation schedule, ascending in at_us. Non-empty schedules route the
+  /// crawl through a per-session DynamicGraphTransport.
+  std::vector<GraphMutation> mutations;
+
+  bool needs_dynamic_transport() const { return !mutations.empty(); }
+
+  Status Validate() const;
+};
+
+/// The built-in presets (mutation-free; dynamic schedules are graph-specific
+/// and scripted by the caller):
+///   baseline      the paper's idealized crawl (everything off)
+///   paginated     25-friend pages + 8-user batch endpoint
+///   flaky         5% transient errors, 4 retries, failures charged
+///   private       3% private profiles
+///   rate-limited  50 req/s token bucket (burst 20), 2ms latency, auto-wait
+///   quota         5000-requests-per-simulated-hour rolling window
+///   production    pagination + faults + private users + rate limit at once
+Result<Scenario> ScenarioFromName(const std::string& name);
+
+/// Names ScenarioFromName accepts, in display order.
+std::vector<std::string> ScenarioNames();
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_SCENARIO_H_

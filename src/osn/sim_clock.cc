@@ -1,0 +1,64 @@
+#include "osn/sim_clock.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace labelrw::osn {
+
+Status RateLimitPolicy::Validate() const {
+  if (requests_per_sec < 0.0 || !std::isfinite(requests_per_sec)) {
+    return InvalidArgumentError(
+        "RateLimitPolicy: requests_per_sec must be finite and >= 0");
+  }
+  if (bucket_capacity < 1) {
+    return InvalidArgumentError(
+        "RateLimitPolicy: bucket_capacity must be >= 1");
+  }
+  if (window_quota > 0 && window_us <= 0) {
+    return InvalidArgumentError(
+        "RateLimitPolicy: window_us must be positive when window_quota is "
+        "set");
+  }
+  if (per_call_latency_us < 0) {
+    return InvalidArgumentError(
+        "RateLimitPolicy: per_call_latency_us must be >= 0");
+  }
+  return Status::Ok();
+}
+
+int64_t RateLimiter::TryAcquire(int64_t now_us) {
+  int64_t retry_after = 0;
+
+  if (policy_.requests_per_sec > 0.0) {
+    const double capacity = static_cast<double>(
+        policy_.bucket_capacity < 1 ? 1 : policy_.bucket_capacity);
+    const double rate_per_us = policy_.requests_per_sec / 1e6;
+    tokens_ = std::min(
+        capacity,
+        tokens_ + static_cast<double>(now_us - last_refill_us_) * rate_per_us);
+    last_refill_us_ = now_us;
+    if (tokens_ < 1.0) {
+      const auto wait =
+          static_cast<int64_t>(std::ceil((1.0 - tokens_) / rate_per_us));
+      retry_after = std::max<int64_t>(wait, 1);
+    }
+  }
+
+  if (policy_.window_quota > 0) {
+    while (!window_.empty() && window_.front() <= now_us - policy_.window_us) {
+      window_.pop_front();
+    }
+    if (static_cast<int64_t>(window_.size()) >= policy_.window_quota) {
+      // Admitted again once the oldest in-window request ages out.
+      const int64_t wait = window_.front() + policy_.window_us - now_us + 1;
+      retry_after = std::max(retry_after, std::max<int64_t>(wait, 1));
+    }
+  }
+
+  if (retry_after > 0) return retry_after;
+  if (policy_.requests_per_sec > 0.0) tokens_ -= 1.0;
+  if (policy_.window_quota > 0) window_.push_back(now_us);
+  return 0;
+}
+
+}  // namespace labelrw::osn

@@ -1,0 +1,104 @@
+// SimClock + RateLimitPolicy: deterministic crawl time.
+//
+// Real OSN crawls are paced by the server, not the crawler: every request
+// takes wall time, token buckets cap the request rate, and rolling quota
+// windows cap the volume. The scenario engine models all three against a
+// *simulated* clock so that crawl time becomes a first-class, perfectly
+// reproducible experiment dimension — two runs with the same seed report
+// the same microsecond, on any machine.
+//
+// The clock is owned by osn::OsnClient (one crawl session = one timeline)
+// and advances only on client activity:
+//   * every wire request ticks RateLimitPolicy::per_call_latency_us, and
+//   * a rate-limited request either auto-sleeps the clock until the limiter
+//     clears (auto_wait, the crawler-politeness default) or surfaces
+//     kRateLimited with a retry-after, letting the caller own the schedule
+//     (strict mode; see EstimatorSession's transactional stepping).
+//
+// Determinism note: the limiter does arithmetic on the simulated timeline
+// only — no RNG, no wall clock — so enabling it never perturbs an
+// estimator's sampling stream. With auto_wait, a rate-limited run is
+// bit-identical to an unlimited one in everything but the clock.
+
+#ifndef LABELRW_OSN_SIM_CLOCK_H_
+#define LABELRW_OSN_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "util/status.h"
+
+namespace labelrw::osn {
+
+/// Simulated microsecond clock. Starts at 0; only ever moves forward.
+class SimClock {
+ public:
+  int64_t now_us() const { return now_us_; }
+
+  /// Advances by `us` (negative deltas are ignored).
+  void AdvanceUs(int64_t us) {
+    if (us > 0) now_us_ += us;
+  }
+
+  /// Advances to absolute time `t_us`; a no-op if `t_us` is in the past.
+  void AdvanceToUs(int64_t t_us) {
+    if (t_us > now_us_) now_us_ = t_us;
+  }
+
+ private:
+  int64_t now_us_ = 0;
+};
+
+/// Server-side pacing of a crawl session. Disabled by default (both limiter
+/// dimensions off, zero latency) so existing runs are untouched.
+struct RateLimitPolicy {
+  /// Token-bucket refill rate. <= 0 disables the bucket.
+  double requests_per_sec = 0.0;
+  /// Token-bucket capacity (the permitted burst). The bucket starts full.
+  int64_t bucket_capacity = 1;
+  /// Rolling-window request quota. <= 0 disables the window.
+  int64_t window_quota = 0;
+  /// Length of the rolling quota window.
+  int64_t window_us = 3'600'000'000;  // one hour
+  /// Simulated latency charged to the clock per wire request (pages, batch
+  /// round-trips, and denied-profile probes all count; cache hits do not).
+  int64_t per_call_latency_us = 0;
+  /// When the limiter rejects: true advances the sim clock to the earliest
+  /// permitted instant and proceeds (the crawler sleeps — estimates stay
+  /// bit-identical to an unlimited run); false surfaces kRateLimited with
+  /// OsnClient::last_retry_after_us() set, handing the retry schedule to
+  /// the caller.
+  bool auto_wait = true;
+
+  bool enabled() const { return requests_per_sec > 0.0 || window_quota > 0; }
+
+  Status Validate() const;
+};
+
+/// Deterministic token bucket + rolling window over a SimClock timeline.
+/// Rejected probes consume neither tokens nor quota, so probing the limiter
+/// is free and a retry at (now + retry-after) succeeds.
+class RateLimiter {
+ public:
+  explicit RateLimiter(const RateLimitPolicy& policy) : policy_(policy) {
+    tokens_ = static_cast<double>(
+        policy.bucket_capacity < 1 ? 1 : policy.bucket_capacity);
+  }
+
+  /// Admits one request at `now_us` and returns 0, or returns the
+  /// microseconds until the earliest instant a retry will be admitted
+  /// (always >= 1 when rejected).
+  int64_t TryAcquire(int64_t now_us);
+
+ private:
+  RateLimitPolicy policy_;
+  // Token bucket.
+  double tokens_ = 1.0;
+  int64_t last_refill_us_ = 0;
+  // Rolling window: admission timestamps not yet older than window_us.
+  std::deque<int64_t> window_;
+};
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_SIM_CLOCK_H_

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kRateLimited:
+      return "RATE_LIMITED";
   }
   return "UNKNOWN";
 }
@@ -64,6 +66,9 @@ Status PermissionDeniedError(std::string message) {
 }
 Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status RateLimitedError(std::string message) {
+  return Status(StatusCode::kRateLimited, std::move(message));
 }
 
 }  // namespace labelrw

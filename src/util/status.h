@@ -33,6 +33,13 @@ enum class StatusCode {
   kUnimplemented = 12,
   kInternal = 13,
   kUnavailable = 14,
+  /// labelrw extension (outside the gRPC code space): the OSN's rate
+  /// limiter rejected the request. Unlike kResourceExhausted (hard budget,
+  /// permanent for the session) and kUnavailable (transient error that
+  /// survived retries), a rate-limited request succeeds verbatim once the
+  /// advertised retry-after interval passes — see
+  /// osn::OsnClient::last_retry_after_us().
+  kRateLimited = 20,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -76,6 +83,7 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status PermissionDeniedError(std::string message);
 Status UnavailableError(std::string message);
+Status RateLimitedError(std::string message);
 
 /// Value-or-Status. Accessing value() on an error aborts the process (the
 /// caller is expected to check ok() or use LABELRW_ASSIGN_OR_RETURN).

@@ -1,0 +1,153 @@
+// Bit-exactness of the sweep harness across execution shapes: RunSweep and
+// RunScenarioSweep must render the identical CSV and paper table for any
+// worker-thread count (1, 2, 8) and any session step-chunk size (1, 7,
+// whole-run), under both sweep protocols. This extends PR 2's
+// chunked-stepping guarantee through the scenario layer and pins the
+// slot-based aggregation (results may never depend on thread scheduling).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "osn/scenario.h"
+#include "tests/test_util.h"
+
+namespace labelrw::eval {
+namespace {
+
+struct SweepFixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  graph::TargetLabel target{0, 1};
+
+  static SweepFixture Make(uint64_t seed, int64_t n = 300) {
+    SweepFixture f;
+    f.graph = testing::RandomConnectedGraph(n, 3 * n, seed);
+    f.labels = testing::RandomLabels(n, 2, seed + 1);
+    return f;
+  }
+};
+
+SweepConfig BaseConfig(SweepProtocol protocol) {
+  SweepConfig config;
+  config.sample_fractions = {0.05, 0.1, 0.2};
+  config.reps = 10;
+  config.threads = 2;
+  config.seed = 99;
+  config.burn_in = 30;
+  config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
+                       estimators::AlgorithmId::kNeighborExplorationHT,
+                       estimators::AlgorithmId::kExRW};
+  config.protocol = protocol;
+  return config;
+}
+
+/// CSV + rendered table: everything a downstream consumer sees.
+std::string RenderAll(const SweepResult& result) {
+  return ToCsv(result, "determinism", "(0,1)").ToString() + "\n" +
+         RenderPaperTable(result, "determinism");
+}
+
+TEST(DeterminismTest, RunSweepIsThreadCountInvariant) {
+  const SweepFixture f = SweepFixture::Make(31);
+  for (const SweepProtocol protocol :
+       {SweepProtocol::kIndependentRuns, SweepProtocol::kPrefixBudget}) {
+    SCOPED_TRACE(SweepProtocolName(protocol));
+    std::string reference;
+    for (const int threads : {1, 2, 8}) {
+      SweepConfig config = BaseConfig(protocol);
+      config.threads = threads;
+      ASSERT_OK_AND_ASSIGN(const SweepResult result,
+                           RunSweep(f.graph, f.labels, f.target, config));
+      const std::string rendered = RenderAll(result);
+      if (reference.empty()) {
+        reference = rendered;
+      } else {
+        EXPECT_EQ(rendered, reference) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ScenarioSweepBaselineMatchesRunSweepExactly) {
+  const SweepFixture f = SweepFixture::Make(32);
+  for (const SweepProtocol protocol :
+       {SweepProtocol::kIndependentRuns, SweepProtocol::kPrefixBudget}) {
+    SCOPED_TRACE(SweepProtocolName(protocol));
+    const SweepConfig config = BaseConfig(protocol);
+    ASSERT_OK_AND_ASSIGN(const SweepResult plain,
+                         RunSweep(f.graph, f.labels, f.target, config));
+    ASSERT_OK_AND_ASSIGN(
+        const SweepResult scenario,
+        RunScenarioSweep(f.graph, f.labels, f.target, config,
+                         osn::Scenario()));
+    EXPECT_EQ(RenderAll(scenario), RenderAll(plain));
+  }
+}
+
+TEST(DeterminismTest, ScenarioSweepIsChunkAndThreadInvariant) {
+  const SweepFixture f = SweepFixture::Make(33);
+  const osn::Scenario baseline;
+  for (const SweepProtocol protocol :
+       {SweepProtocol::kIndependentRuns, SweepProtocol::kPrefixBudget}) {
+    SCOPED_TRACE(SweepProtocolName(protocol));
+    std::string reference;
+    for (const int threads : {1, 2, 8}) {
+      for (const int64_t chunk : {int64_t{1}, int64_t{7}, int64_t{0}}) {
+        SweepConfig config = BaseConfig(protocol);
+        config.threads = threads;
+        ScenarioRunOptions run_options;
+        run_options.step_chunk = chunk;
+        ASSERT_OK_AND_ASSIGN(
+            const SweepResult result,
+            RunScenarioSweep(f.graph, f.labels, f.target, config, baseline,
+                             run_options));
+        const std::string rendered = RenderAll(result);
+        if (reference.empty()) {
+          reference = rendered;
+        } else {
+          EXPECT_EQ(rendered, reference)
+              << "threads=" << threads << " chunk=" << chunk;
+        }
+      }
+    }
+  }
+}
+
+// The invariants hold under a non-trivial scenario too: a paced, paginated
+// crawl sweeps to the same table for every execution shape.
+TEST(DeterminismTest, PacedScenarioSweepIsChunkAndThreadInvariant) {
+  const SweepFixture f = SweepFixture::Make(34);
+  osn::Scenario scenario;
+  scenario.name = "paced-paginated";
+  scenario.cost_model.page_size = 9;
+  scenario.rate_limit.requests_per_sec = 2000.0;
+  scenario.rate_limit.bucket_capacity = 4;
+  scenario.rate_limit.per_call_latency_us = 300;
+  std::string reference;
+  for (const int threads : {1, 8}) {
+    for (const int64_t chunk : {int64_t{1}, int64_t{7}, int64_t{0}}) {
+      SweepConfig config = BaseConfig(SweepProtocol::kIndependentRuns);
+      config.threads = threads;
+      ScenarioRunOptions run_options;
+      run_options.step_chunk = chunk;
+      ASSERT_OK_AND_ASSIGN(
+          const SweepResult result,
+          RunScenarioSweep(f.graph, f.labels, f.target, config, scenario,
+                           run_options));
+      const std::string rendered = RenderAll(result);
+      if (reference.empty()) {
+        reference = rendered;
+      } else {
+        EXPECT_EQ(rendered, reference)
+            << "threads=" << threads << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace labelrw::eval

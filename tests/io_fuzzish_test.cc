@@ -1,0 +1,167 @@
+// Fuzz-ish loader tests: every malformed input must surface a Status that
+// names the offending line, and every tolerated oddity (CRLF, blank lines,
+// duplicate edges) must parse to exactly the same graph as its clean form.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "graph/io.h"
+#include "tests/test_util.h"
+
+namespace labelrw::graph {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary);  // binary: keep \r intact
+  out << contents;
+  return path;
+}
+
+TEST(IoFuzzishTest, EmptyEdgeFileLoadsAsEmptyGraph) {
+  ASSERT_OK_AND_ASSIGN(const Graph g,
+                       LoadEdgeList(WriteTemp("empty.txt", "")));
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(IoFuzzishTest, CommentsAndBlankLinesAreIgnored) {
+  ASSERT_OK_AND_ASSIGN(
+      const Graph g,
+      LoadEdgeList(WriteTemp("comments.txt",
+                             "# header\n\n  \n0 1\n  # indented comment\n"
+                             "1 2\n")));
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(IoFuzzishTest, CrlfEdgeListParsesLikeLf) {
+  ASSERT_OK_AND_ASSIGN(
+      const Graph crlf,
+      LoadEdgeList(WriteTemp("crlf.txt", "0 1\r\n1 2\r\n\r\n2 3\r\n")));
+  ASSERT_OK_AND_ASSIGN(const Graph lf,
+                       LoadEdgeList(WriteTemp("lf.txt", "0 1\n1 2\n\n2 3\n")));
+  EXPECT_EQ(crlf.num_nodes(), lf.num_nodes());
+  EXPECT_EQ(crlf.num_edges(), lf.num_edges());
+}
+
+TEST(IoFuzzishTest, DuplicateEdgesAndSelfLoopsCollapse) {
+  ASSERT_OK_AND_ASSIGN(
+      const Graph g,
+      LoadEdgeList(WriteTemp("dupes.txt",
+                             "0 1\n1 0\n0 1\n2 2\n1 2\n")));
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);  // {0,1} once, self-loop dropped, {1,2}
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(IoFuzzishTest, MalformedEdgeLinesAreErrorsNotSkips) {
+  const auto one_field = LoadEdgeList(WriteTemp("one_field.txt", "0 1\n7\n"));
+  ASSERT_FALSE(one_field.ok());
+  EXPECT_NE(one_field.status().message().find("line 2"), std::string::npos);
+
+  const auto text = LoadEdgeList(WriteTemp("text.txt", "zero one\n"));
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kInvalidArgument);
+
+  const auto garbage =
+      LoadEdgeList(WriteTemp("garbage.txt", "0 1\n1 2 extra\n"));
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.status().message().find("trailing garbage"),
+            std::string::npos);
+
+  const auto fractional = LoadEdgeList(WriteTemp("frac.txt", "0 1.5\n"));
+  ASSERT_FALSE(fractional.ok());
+}
+
+TEST(IoFuzzishTest, OutOfRangeEdgeIdsAreErrors) {
+  const auto negative = LoadEdgeList(WriteTemp("neg.txt", "0 -3\n"));
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().message().find("out of range"),
+            std::string::npos);
+
+  const auto huge =
+      LoadEdgeList(WriteTemp("huge.txt", "0 99999999999999\n"));
+  ASSERT_FALSE(huge.ok());
+}
+
+TEST(IoFuzzishTest, EmptyLabelFileLoadsAsNoLabels) {
+  ASSERT_OK_AND_ASSIGN(const LabelStore store,
+                       LoadLabels(WriteTemp("empty_labels.txt", ""), 4));
+  EXPECT_EQ(store.num_nodes(), 4);
+  EXPECT_EQ(store.num_distinct_labels(), 0);
+}
+
+TEST(IoFuzzishTest, CrlfLabelsParseLikeLf) {
+  ASSERT_OK_AND_ASSIGN(
+      const LabelStore store,
+      LoadLabels(WriteTemp("labels_crlf.txt", "0 5\r\n1 6 7\r\n"), 2));
+  EXPECT_TRUE(store.HasLabel(0, 5));
+  EXPECT_TRUE(store.HasLabel(1, 6));
+  EXPECT_TRUE(store.HasLabel(1, 7));
+}
+
+TEST(IoFuzzishTest, TruncatedLabelLinesAreErrorsNotSkips) {
+  // A node id with no labels used to be silently dropped; it must fail.
+  const auto truncated =
+      LoadLabels(WriteTemp("labels_trunc.txt", "0 5\n1\n"), 4);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("truncated line 2"),
+            std::string::npos);
+
+  // A CRLF-only payload after the id is the same truncation.
+  const auto truncated_crlf =
+      LoadLabels(WriteTemp("labels_trunc_crlf.txt", "1\r\n"), 4);
+  ASSERT_FALSE(truncated_crlf.ok());
+}
+
+TEST(IoFuzzishTest, OutOfRangeLabelNodeIdsAreErrorsEvenWithoutLabels) {
+  // Out-of-range id with labels.
+  const auto with_labels =
+      LoadLabels(WriteTemp("labels_oor.txt", "9 5\n"), 4);
+  ASSERT_FALSE(with_labels.ok());
+  EXPECT_EQ(with_labels.status().code(), StatusCode::kOutOfRange);
+
+  // Out-of-range id on a truncated line used to escape the range check.
+  const auto bare = LoadLabels(WriteTemp("labels_oor_bare.txt", "9\n"), 4);
+  ASSERT_FALSE(bare.ok());
+  EXPECT_EQ(bare.status().code(), StatusCode::kOutOfRange);
+
+  const auto negative =
+      LoadLabels(WriteTemp("labels_neg.txt", "-1 5\n"), 4);
+  ASSERT_FALSE(negative.ok());
+}
+
+TEST(IoFuzzishTest, NonNumericLabelsAreErrors) {
+  const auto text = LoadLabels(WriteTemp("labels_text.txt", "0 five\n"), 4);
+  ASSERT_FALSE(text.ok());
+  EXPECT_NE(text.status().message().find("non-numeric"), std::string::npos);
+
+  const auto tail = LoadLabels(WriteTemp("labels_tail.txt", "0 5 six\n"), 4);
+  ASSERT_FALSE(tail.ok());
+}
+
+TEST(IoFuzzishTest, SaveLoadRoundTripSurvivesStrictLoaders) {
+  const Graph g = testing::MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::string graph_path = ::testing::TempDir() + "/roundtrip_g.txt";
+  ASSERT_OK(SaveEdgeList(g, graph_path));
+  ASSERT_OK_AND_ASSIGN(const Graph loaded, LoadEdgeList(graph_path));
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+
+  LabelStoreBuilder builder(5);
+  ASSERT_OK(builder.AddLabel(0, 2));
+  ASSERT_OK(builder.AddLabel(3, 1));
+  const LabelStore labels = builder.Build();
+  const std::string labels_path = ::testing::TempDir() + "/roundtrip_l.txt";
+  ASSERT_OK(SaveLabels(labels, labels_path));
+  ASSERT_OK_AND_ASSIGN(const LabelStore loaded_labels,
+                       LoadLabels(labels_path, 5));
+  EXPECT_TRUE(loaded_labels.HasLabel(0, 2));
+  EXPECT_TRUE(loaded_labels.HasLabel(3, 1));
+}
+
+}  // namespace
+}  // namespace labelrw::graph

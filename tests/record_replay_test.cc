@@ -1,0 +1,281 @@
+// Record/replay transport tests: serialization round trips, loud failure
+// modes (version bump, divergence, truncation), and the golden-trace
+// regression fixture — a checked-in recording of a faulty, paginated,
+// rate-limited crawl that must replay bit-for-bit (estimate, charge ledger,
+// sim clock) on every build, with no graph loaded.
+//
+// If the wire format version bumps, or the client/estimator stack changes
+// behavior on purpose, re-record the fixture:
+//
+//   LABELRW_RERECORD_GOLDEN=1 ./record_replay_test
+//
+// and check the regenerated tests/data/golden_trace.jsonl in.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "estimators/session.h"
+#include "osn/client.h"
+#include "osn/local_api.h"
+#include "osn/record_replay.h"
+#include "tests/test_util.h"
+
+namespace labelrw::osn {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(LABELRW_TEST_DATA_DIR) + "/golden_trace.jsonl";
+}
+
+/// The configuration frozen into the golden fixture. The graph is only
+/// needed for (re-)recording; replay is graph-free.
+struct GoldenRun {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  graph::TargetLabel target{0, 1};
+  CostModel cost_model;
+  FaultPolicy faults;
+  RateLimitPolicy rate_limit;
+  estimators::EstimateOptions options;
+  estimators::AlgorithmId algorithm =
+      estimators::AlgorithmId::kNeighborExplorationHH;
+
+  static GoldenRun Make() {
+    GoldenRun run;
+    run.graph = testing::RandomConnectedGraph(150, 450, 0x90a7);
+    run.labels = testing::RandomLabels(150, 2, 0x90a8);
+    run.cost_model.page_size = 7;
+    run.faults.transient_error_rate = 0.08;
+    run.faults.retry_budget = 6;
+    run.rate_limit.requests_per_sec = 120.0;
+    run.rate_limit.bucket_capacity = 3;
+    run.rate_limit.per_call_latency_us = 700;
+    run.options.api_budget = 50;
+    run.options.burn_in = 25;
+    run.options.seed = 0xbeef;
+    return run;
+  }
+};
+
+Result<estimators::EstimateResult> RunSession(
+    estimators::AlgorithmId algorithm, OsnApi& api,
+    const graph::TargetLabel& target, const GraphPriors& priors,
+    const estimators::EstimateOptions& options) {
+  LABELRW_ASSIGN_OR_RETURN(auto session,
+                           estimators::EstimatorSession::Create(
+                               algorithm, api, target, priors, options));
+  LABELRW_RETURN_IF_ERROR(session->Run());
+  return session->Snapshot();
+}
+
+/// Records the golden crawl and returns the finished trace.
+Trace RecordGolden(const GoldenRun& run) {
+  LocalGraphApi inner(run.graph, run.labels);
+  RecordingTransport recorder(inner);
+  OsnClient client(recorder, run.cost_model, run.faults);
+  client.ConfigureRateLimit(run.rate_limit);
+  recorder.AttachMeters(&client, &client.clock());
+  auto result = RunSession(run.algorithm, client, run.target,
+                           recorder.TransportPriors(), run.options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+
+  Trace& trace = recorder.trace();
+  trace.header.scenario = "golden-faulty-paginated-rate-limited";
+  trace.header.algorithm = estimators::AlgorithmName(run.algorithm);
+  trace.header.t1 = run.target.t1;
+  trace.header.t2 = run.target.t2;
+  trace.header.api_budget = run.options.api_budget;
+  trace.header.burn_in = run.options.burn_in;
+  trace.header.seed = run.options.seed;
+  trace.header.cost_model = run.cost_model;
+  trace.header.faults = run.faults;
+  trace.header.rate_limit = run.rate_limit;
+  trace.footer.present = true;
+  trace.footer.estimate = result->estimate;
+  trace.footer.api_calls = result->api_calls;
+  trace.footer.iterations = result->iterations;
+  trace.footer.clock_us = client.clock().now_us();
+  return trace;
+}
+
+TEST(RecordReplayTest, TraceSerializationRoundTrips) {
+  const Trace trace = RecordGolden(GoldenRun::Make());
+  const std::string path = ::testing::TempDir() + "/roundtrip_trace.jsonl";
+  ASSERT_OK(WriteTrace(trace, path));
+  ASSERT_OK_AND_ASSIGN(const Trace loaded, LoadTrace(path));
+
+  EXPECT_EQ(loaded.header.num_users, trace.header.num_users);
+  EXPECT_EQ(loaded.header.priors.num_edges, trace.header.priors.num_edges);
+  EXPECT_EQ(loaded.header.algorithm, trace.header.algorithm);
+  EXPECT_EQ(loaded.header.seed, trace.header.seed);
+  EXPECT_EQ(loaded.header.cost_model.page_size,
+            trace.header.cost_model.page_size);
+  EXPECT_EQ(loaded.header.faults.transient_error_rate,
+            trace.header.faults.transient_error_rate);
+  EXPECT_EQ(loaded.header.rate_limit.requests_per_sec,
+            trace.header.rate_limit.requests_per_sec);
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].kind, trace.events[i].kind) << i;
+    EXPECT_EQ(loaded.events[i].user, trace.events[i].user) << i;
+    EXPECT_EQ(loaded.events[i].neighbors, trace.events[i].neighbors) << i;
+    EXPECT_EQ(loaded.events[i].calls_at, trace.events[i].calls_at) << i;
+    EXPECT_EQ(loaded.events[i].clock_us_at, trace.events[i].clock_us_at) << i;
+  }
+  ASSERT_TRUE(loaded.footer.present);
+  EXPECT_EQ(loaded.footer.estimate, trace.footer.estimate);  // %.17g exact
+  EXPECT_EQ(loaded.footer.api_calls, trace.footer.api_calls);
+  EXPECT_EQ(loaded.footer.clock_us, trace.footer.clock_us);
+}
+
+TEST(RecordReplayTest, VersionBumpFailsLoudlyWithRerecordHint) {
+  const std::string path = ::testing::TempDir() + "/future_trace.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"labelrw_trace\":1,\"format_version\":"
+        << (kTraceFormatVersion + 1) << ",\"num_users\":5}\n";
+  }
+  const auto loaded = LoadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("re-record"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(RecordReplayTest, ForeignFileIsRejected) {
+  const std::string path = ::testing::TempDir() + "/not_a_trace.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"hello\":\"world\"}\n";
+  }
+  EXPECT_FALSE(LoadTrace(path).ok());
+  EXPECT_FALSE(LoadTrace(path + ".missing").ok());
+}
+
+TEST(RecordReplayTest, TruncatedTraceIsRejected) {
+  const Trace trace = RecordGolden(GoldenRun::Make());
+  const std::string path = ::testing::TempDir() + "/truncated_trace.jsonl";
+  ASSERT_OK(WriteTrace(trace, path));
+  // Drop one event line but keep the footer: the event-count cross-check
+  // must notice.
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  ASSERT_GT(lines.size(), 3u);
+  lines.erase(lines.begin() + 2);
+  std::ofstream out(path);
+  for (const std::string& l : lines) out << l << '\n';
+  out.close();
+  const auto loaded = LoadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(RecordReplayTest, DivergenceIsDetectedAtTheFirstWrongCall) {
+  Trace trace = RecordGolden(GoldenRun::Make());
+  // Tamper with the first fetch event's user id: replay must fail on the
+  // first fetch, not at the end.
+  for (TraceEvent& e : trace.events) {
+    if (e.kind == TraceEvent::Kind::kFetch) {
+      e.user = e.user == 0 ? 1 : 0;
+      break;
+    }
+  }
+  const GoldenRun run = GoldenRun::Make();
+  ReplayTransport replay(trace);
+  OsnClient client(replay, run.cost_model, run.faults);
+  client.ConfigureRateLimit(run.rate_limit);
+  const auto result = RunSession(run.algorithm, client, run.target,
+                                 replay.TransportPriors(), run.options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("replay divergence"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(RecordReplayTest, ReplayRefusesExtraCalls) {
+  // A minimal hand-built trace: two fetches, no seed draws.
+  Trace trace;
+  trace.header.num_users = 4;
+  for (const graph::NodeId user : {0, 2}) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kFetch;
+    e.user = user;
+    e.degree = 0;
+    trace.events.push_back(e);
+  }
+  ReplayTransport replay(trace);
+  ASSERT_TRUE(replay.FetchRecord(0).ok());
+  ASSERT_TRUE(replay.FetchRecord(2).ok());
+  ASSERT_TRUE(replay.exhausted());
+  const auto extra = replay.FetchRecord(0);
+  ASSERT_FALSE(extra.ok());
+  EXPECT_NE(extra.status().message().find("more wire calls"),
+            std::string::npos);
+}
+
+// The golden fixture: replays the checked-in trace with no graph loaded and
+// asserts the exact recorded snapshot.
+TEST(RecordReplayTest, GoldenTraceReplaysBitForBit) {
+  const GoldenRun run = GoldenRun::Make();
+  if (std::getenv("LABELRW_RERECORD_GOLDEN") != nullptr) {
+    const Trace trace = RecordGolden(run);
+    ASSERT_OK(WriteTrace(trace, GoldenPath()));
+    GTEST_SKIP() << "re-recorded " << GoldenPath();
+  }
+
+  const auto loaded = LoadTrace(GoldenPath());
+  ASSERT_TRUE(loaded.ok())
+      << loaded.status().ToString()
+      << "\n>>> If the trace format version was bumped intentionally, "
+         "re-record the fixture:\n>>>   LABELRW_RERECORD_GOLDEN=1 "
+         "./record_replay_test\n>>> and check tests/data/golden_trace.jsonl "
+         "in.";
+  const Trace& trace = *loaded;
+  ASSERT_TRUE(trace.footer.present);
+
+  // Graph-free replay: everything below runs off the trace alone.
+  ReplayTransport replay(trace);
+  OsnClient client(replay, trace.header.cost_model, trace.header.faults);
+  client.ConfigureRateLimit(trace.header.rate_limit);
+  replay.AttachMeters(&client, &client.clock());
+  ASSERT_OK_AND_ASSIGN(
+      const estimators::AlgorithmId algorithm,
+      estimators::AlgorithmFromName(trace.header.algorithm));
+  estimators::EstimateOptions options;
+  options.api_budget = trace.header.api_budget;
+  options.sample_size = trace.header.sample_size;
+  options.burn_in = trace.header.burn_in;
+  options.seed = trace.header.seed;
+  const graph::TargetLabel target{trace.header.t1, trace.header.t2};
+  ASSERT_OK_AND_ASSIGN(
+      const estimators::EstimateResult result,
+      RunSession(algorithm, client, target, replay.TransportPriors(),
+                 options));
+
+  // Exact snapshot equality: estimate, charge ledger, iteration count, and
+  // the simulated clock. Any drift anywhere in the client/estimator stack
+  // fails here.
+  EXPECT_EQ(result.estimate, trace.footer.estimate);
+  EXPECT_EQ(result.api_calls, trace.footer.api_calls);
+  EXPECT_EQ(result.iterations, trace.footer.iterations);
+  EXPECT_EQ(client.clock().now_us(), trace.footer.clock_us);
+  EXPECT_TRUE(replay.exhausted());
+
+  // And the recording is reproducible from the generator graph too (the
+  // fixture is not a one-off artifact).
+  const Trace rerecorded = RecordGolden(run);
+  EXPECT_EQ(rerecorded.footer.estimate, trace.footer.estimate);
+  EXPECT_EQ(rerecorded.footer.api_calls, trace.footer.api_calls);
+  EXPECT_EQ(rerecorded.footer.clock_us, trace.footer.clock_us);
+  EXPECT_EQ(rerecorded.events.size(), trace.events.size());
+}
+
+}  // namespace
+}  // namespace labelrw::osn

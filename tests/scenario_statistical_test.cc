@@ -1,0 +1,343 @@
+// The statistical property suite of the scenario engine: for ALL TEN
+// registered algorithms, estimates under rate limits (auto-wait and strict
+// transactional driving), under record/replay, and under dynamic no-op
+// mutation schedules must match the fault-free run at fixed seeds — the
+// scenario layer adds crawl realism, never estimator perturbation. The
+// chi-square / KS helpers (statistical_test_util.h) are validated against
+// known values and then used to check the distributional invariants that
+// cannot be bitwise (seed uniformity, cross-seed-range estimate
+// distributions).
+//
+// Labeled "statistical" in CMake: run in the Release CI job only.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "estimators/session.h"
+#include "osn/client.h"
+#include "osn/local_api.h"
+#include "osn/record_replay.h"
+#include "osn/scenario.h"
+#include "tests/statistical_test_util.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using estimators::AlgorithmId;
+using estimators::EstimateOptions;
+using estimators::EstimateResult;
+using estimators::EstimatorSession;
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  graph::TargetLabel target{0, 1};
+  osn::GraphPriors priors;
+
+  static const Fixture& Get() {
+    static const Fixture* fixture = [] {
+      auto* f = new Fixture();
+      f->graph = testing::RandomConnectedGraph(300, 900, 0x5eed);
+      f->labels = testing::RandomLabels(300, 2, 0x5eee);
+      osn::LocalGraphApi api(f->graph, f->labels);
+      f->priors = api.Priors();
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+EstimateOptions MakeOptions(uint64_t seed) {
+  EstimateOptions options;
+  options.api_budget = 40;
+  options.burn_in = 20;
+  options.seed = seed;
+  return options;
+}
+
+/// The pacing policy used by the rate-limit suites: a tight bucket plus a
+/// short quota window, so both limiter dimensions trigger constantly.
+osn::RateLimitPolicy TightRateLimit(bool auto_wait) {
+  osn::RateLimitPolicy policy;
+  policy.requests_per_sec = 500.0;
+  policy.bucket_capacity = 2;
+  policy.window_quota = 30;
+  policy.window_us = 100'000;
+  policy.per_call_latency_us = 800;
+  policy.auto_wait = auto_wait;
+  return policy;
+}
+
+Result<EstimateResult> RunOnce(AlgorithmId id, osn::OsnApi& api,
+                               const EstimateOptions& options) {
+  const Fixture& f = Fixture::Get();
+  LABELRW_ASSIGN_OR_RETURN(
+      auto session,
+      EstimatorSession::Create(id, api, f.target, f.priors, options));
+  LABELRW_RETURN_IF_ERROR(session->Run());
+  return session->Snapshot();
+}
+
+/// Drives a session against a strict (auto_wait = false) rate limiter:
+/// transactional stepping in small chunks, sleeping the sim clock past each
+/// advertised retry-after — the crawler-side loop a production deployment
+/// would run.
+Result<EstimateResult> RunStrict(AlgorithmId id, osn::OsnClient& client,
+                                 const EstimateOptions& options) {
+  const Fixture& f = Fixture::Get();
+  LABELRW_ASSIGN_OR_RETURN(
+      auto session,
+      EstimatorSession::Create(id, client, f.target, f.priors, options));
+  session->set_transactional_stepping(true);
+  int64_t rejections = 0;
+  while (true) {
+    const Result<int64_t> stepped = session->Step(3);
+    if (!stepped.ok()) {
+      if (stepped.status().code() != StatusCode::kRateLimited) {
+        return stepped.status();
+      }
+      ++rejections;
+      client.mutable_clock().AdvanceUs(client.last_retry_after_us());
+      continue;
+    }
+    if (session->finished() || *stepped == 0) break;
+  }
+  EXPECT_GT(rejections, 0) << "strict policy never triggered — tighten it";
+  return session->Snapshot();
+}
+
+/// A mutation schedule that fires (applied_mutations grows) but changes
+/// nothing the estimators can observe.
+std::vector<osn::GraphMutation> NoopSchedule(const Fixture& f) {
+  std::vector<osn::GraphMutation> schedule;
+  // {0, 1} is a path edge of RandomConnectedGraph, so re-adding it no-ops;
+  // {0, 299} would close the path into a cycle — removing the non-edge
+  // no-ops too.
+  const auto existing_u = graph::NodeId{0};
+  const auto existing_v = f.graph.neighbors(0)[0];
+  for (int i = 0; i < 20; ++i) {
+    const int64_t at_us = 1000 * (i + 1);
+    schedule.push_back(
+        osn::GraphMutation::AddEdge(at_us, existing_u, existing_v));
+    schedule.push_back(osn::GraphMutation::RemoveEdge(
+        at_us, 0, f.graph.HasEdge(0, 299) ? 298 : 299));
+    schedule.push_back(osn::GraphMutation::Restore(at_us, 5));
+    const auto labels_7 = f.labels.labels(7);
+    schedule.push_back(osn::GraphMutation::SetLabels(
+        at_us, 7, std::vector<graph::Label>(labels_7.begin(), labels_7.end())));
+  }
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Helper validation against known values.
+
+TEST(StatisticalUtilTest, ChiSquareMatchesTables) {
+  EXPECT_DOUBLE_EQ(testing::ChiSquarePValue(0.0, 5), 1.0);
+  // Table quantiles: chi2_{0.05}(5) = 11.0705, chi2_{0.01}(5) = 15.0863.
+  EXPECT_NEAR(testing::ChiSquarePValue(11.0705, 5), 0.05, 5e-4);
+  EXPECT_NEAR(testing::ChiSquarePValue(15.0863, 5), 0.01, 1e-4);
+  // chi2_{0.05}(1) = 3.8415 — exercises the series branch.
+  EXPECT_NEAR(testing::ChiSquarePValue(3.8415, 1), 0.05, 5e-4);
+}
+
+TEST(StatisticalUtilTest, ChiSquareUniformityDiscriminates) {
+  EXPECT_GT(testing::ChiSquareUniformPValue({100, 101, 99, 100}), 0.9);
+  EXPECT_LT(testing::ChiSquareUniformPValue({400, 0, 0, 0}), 1e-12);
+}
+
+TEST(StatisticalUtilTest, KsMatchesKnownBehavior) {
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> shifted;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(static_cast<double>(i));
+    b.push_back(static_cast<double>(i) + 0.5);
+    shifted.push_back(static_cast<double>(i) + 1000.0);
+  }
+  EXPECT_DOUBLE_EQ(testing::TwoSampleKsPValue(a, a), 1.0);
+  EXPECT_GT(testing::TwoSampleKsPValue(a, b), 0.5);
+  EXPECT_LT(testing::TwoSampleKsPValue(a, shifted), 1e-10);
+}
+
+TEST(StatisticalUtilTest, SeedDrawsAreUniform) {
+  const Fixture& f = Fixture::Get();
+  osn::LocalGraphApi api(f.graph, f.labels);
+  Rng rng(0xabcdef);
+  std::vector<int64_t> bins(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId seed, api.RandomNode(rng));
+    ++bins[static_cast<size_t>(seed * 10 / f.graph.num_nodes())];
+  }
+  EXPECT_GT(testing::ChiSquareUniformPValue(bins), 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// The property suite over all ten algorithms.
+
+constexpr int kReps = 16;
+
+TEST(ScenarioStatisticalTest, RateLimitsReplayAndNoopSchedulesAreBitExact) {
+  const Fixture& f = Fixture::Get();
+  for (const AlgorithmId id : estimators::AllAlgorithms()) {
+    SCOPED_TRACE(estimators::AlgorithmName(id));
+    for (int rep = 0; rep < kReps; ++rep) {
+      const EstimateOptions options = MakeOptions(1000 + rep);
+      osn::LocalGraphApi transport(f.graph, f.labels);
+
+      // Fault-free reference through the same client stack.
+      osn::OsnClient reference_client(transport);
+      ASSERT_OK_AND_ASSIGN(const EstimateResult reference,
+                           RunOnce(id, reference_client, options));
+
+      // ... which is itself bit-identical to the v1 substrate.
+      osn::LocalGraphApi v1(f.graph, f.labels);
+      ASSERT_OK_AND_ASSIGN(const EstimateResult v1_result,
+                           RunOnce(id, v1, options));
+      ASSERT_EQ(reference.estimate, v1_result.estimate);
+      ASSERT_EQ(reference.api_calls, v1_result.api_calls);
+
+      // Auto-wait rate limiting: identical numbers, nonzero crawl time.
+      osn::OsnClient limited(transport);
+      limited.ConfigureRateLimit(TightRateLimit(/*auto_wait=*/true));
+      ASSERT_OK_AND_ASSIGN(const EstimateResult rate_limited,
+                           RunOnce(id, limited, options));
+      ASSERT_EQ(rate_limited.estimate, reference.estimate);
+      ASSERT_EQ(rate_limited.api_calls, reference.api_calls);
+      ASSERT_EQ(rate_limited.iterations, reference.iterations);
+      ASSERT_GT(limited.clock().now_us(), 0);
+      ASSERT_GT(limited.stats().rate_limit_stalls, 0);
+
+      // Strict rate limiting with transactional re-execution: identical
+      // numbers AND the identical simulated timeline.
+      osn::OsnClient strict(transport);
+      strict.ConfigureRateLimit(TightRateLimit(/*auto_wait=*/false));
+      ASSERT_OK_AND_ASSIGN(const EstimateResult strict_result,
+                           RunStrict(id, strict, options));
+      ASSERT_EQ(strict_result.estimate, reference.estimate);
+      ASSERT_EQ(strict_result.api_calls, reference.api_calls);
+      ASSERT_EQ(strict_result.iterations, reference.iterations);
+      ASSERT_EQ(strict.clock().now_us(), limited.clock().now_us());
+
+      // Dynamic no-op schedule: mutations fire, estimates stay put.
+      osn::DynamicGraphTransport dynamic(f.graph, f.labels, NoopSchedule(f));
+      osn::OsnClient dynamic_client(dynamic);
+      osn::RateLimitPolicy latency_only;
+      latency_only.per_call_latency_us = 1000;  // time must pass to fire
+      dynamic_client.ConfigureRateLimit(latency_only);
+      dynamic.AttachClock(&dynamic_client.clock());
+      ASSERT_OK_AND_ASSIGN(const EstimateResult dynamic_result,
+                           RunOnce(id, dynamic_client, options));
+      ASSERT_EQ(dynamic_result.estimate, reference.estimate);
+      ASSERT_EQ(dynamic_result.api_calls, reference.api_calls);
+      ASSERT_GT(dynamic.applied_mutations(), 0);
+    }
+  }
+}
+
+// Transient faults + strict rate limiting together: the retry-budget
+// position and the fault-RNG stream must survive a kRateLimited
+// interruption mid-attempt-run, so the combined run still lands exactly on
+// the faults-only run (and on the auto-wait timeline).
+TEST(ScenarioStatisticalTest, StrictRateLimitWithFaultsStaysBitIdentical) {
+  const Fixture& f = Fixture::Get();
+  osn::FaultPolicy faults;
+  faults.transient_error_rate = 0.12;
+  faults.retry_budget = 6;
+  for (const AlgorithmId id : estimators::AllAlgorithms()) {
+    SCOPED_TRACE(estimators::AlgorithmName(id));
+    for (int rep = 0; rep < 4; ++rep) {
+      const EstimateOptions options = MakeOptions(5000 + rep);
+      osn::LocalGraphApi transport(f.graph, f.labels);
+
+      osn::OsnClient faults_only(transport, osn::CostModel(), faults);
+      ASSERT_OK_AND_ASSIGN(const EstimateResult reference,
+                           RunOnce(id, faults_only, options));
+
+      osn::OsnClient auto_wait(transport, osn::CostModel(), faults);
+      auto_wait.ConfigureRateLimit(TightRateLimit(/*auto_wait=*/true));
+      ASSERT_OK_AND_ASSIGN(const EstimateResult waited,
+                           RunOnce(id, auto_wait, options));
+      ASSERT_EQ(waited.estimate, reference.estimate);
+      ASSERT_EQ(waited.api_calls, reference.api_calls);
+
+      osn::OsnClient strict(transport, osn::CostModel(), faults);
+      strict.ConfigureRateLimit(TightRateLimit(/*auto_wait=*/false));
+      ASSERT_OK_AND_ASSIGN(const EstimateResult strict_result,
+                           RunStrict(id, strict, options));
+      ASSERT_EQ(strict_result.estimate, reference.estimate);
+      ASSERT_EQ(strict_result.api_calls, reference.api_calls);
+      ASSERT_EQ(strict_result.iterations, reference.iterations);
+      ASSERT_EQ(strict.stats().transient_failures,
+                auto_wait.stats().transient_failures);
+      ASSERT_EQ(strict.clock().now_us(), auto_wait.clock().now_us());
+    }
+  }
+}
+
+TEST(ScenarioStatisticalTest, FaultyPaginatedRecordingReplaysBitForBit) {
+  const Fixture& f = Fixture::Get();
+  for (const AlgorithmId id : estimators::AllAlgorithms()) {
+    SCOPED_TRACE(estimators::AlgorithmName(id));
+    const EstimateOptions options = MakeOptions(4242);
+
+    osn::CostModel cost_model;
+    cost_model.page_size = 7;
+    osn::FaultPolicy faults;
+    faults.transient_error_rate = 0.08;
+    faults.retry_budget = 6;
+    const osn::RateLimitPolicy policy = TightRateLimit(/*auto_wait=*/true);
+
+    osn::LocalGraphApi inner(f.graph, f.labels);
+    osn::RecordingTransport recorder(inner);
+    osn::OsnClient record_client(recorder, cost_model, faults);
+    record_client.ConfigureRateLimit(policy);
+    recorder.AttachMeters(&record_client, &record_client.clock());
+    ASSERT_OK_AND_ASSIGN(const EstimateResult recorded,
+                         RunOnce(id, record_client, options));
+    ASSERT_GT(recorder.trace().events.size(), 0u);
+
+    osn::ReplayTransport replay(recorder.trace());
+    osn::OsnClient replay_client(replay, cost_model, faults);
+    replay_client.ConfigureRateLimit(policy);
+    replay.AttachMeters(&replay_client, &replay_client.clock());
+    ASSERT_OK_AND_ASSIGN(const EstimateResult replayed,
+                         RunOnce(id, replay_client, options));
+
+    ASSERT_EQ(replayed.estimate, recorded.estimate);
+    ASSERT_EQ(replayed.api_calls, recorded.api_calls);
+    ASSERT_EQ(replayed.iterations, recorded.iterations);
+    ASSERT_EQ(replay_client.clock().now_us(), record_client.clock().now_us());
+    ASSERT_TRUE(replay.exhausted());
+  }
+}
+
+// Estimates from disjoint seed ranges are draws from the same sampling
+// distribution; KS must not tell them apart. (Deterministic given the
+// fixed seeds — this pins the helpers to real estimator output.)
+TEST(ScenarioStatisticalTest, DisjointSeedRangesShareTheDistribution) {
+  const Fixture& f = Fixture::Get();
+  for (const AlgorithmId id : estimators::AllAlgorithms()) {
+    SCOPED_TRACE(estimators::AlgorithmName(id));
+    std::vector<double> first;
+    std::vector<double> second;
+    for (int rep = 0; rep < kReps; ++rep) {
+      osn::LocalGraphApi api_a(f.graph, f.labels);
+      ASSERT_OK_AND_ASSIGN(const EstimateResult a,
+                           RunOnce(id, api_a, MakeOptions(2000 + rep)));
+      first.push_back(a.estimate);
+      osn::LocalGraphApi api_b(f.graph, f.labels);
+      ASSERT_OK_AND_ASSIGN(const EstimateResult b,
+                           RunOnce(id, api_b, MakeOptions(7000 + rep)));
+      second.push_back(b.estimate);
+    }
+    EXPECT_GT(testing::TwoSampleKsPValue(first, second), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace labelrw

@@ -1,0 +1,302 @@
+// Unit tests of the scenario engine primitives: SimClock, RateLimiter
+// (token bucket + rolling quota window), the OsnClient integration (stalls,
+// strict kRateLimited with retry-after, charge semantics), and
+// DynamicGraphTransport's scheduled mutations.
+
+#include <gtest/gtest.h>
+
+#include "osn/client.h"
+#include "osn/local_api.h"
+#include "osn/scenario.h"
+#include "osn/sim_clock.h"
+#include "tests/test_util.h"
+
+namespace labelrw::osn {
+namespace {
+
+TEST(SimClockTest, MovesOnlyForward) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_us(), 0);
+  clock.AdvanceUs(100);
+  clock.AdvanceUs(-50);  // ignored
+  EXPECT_EQ(clock.now_us(), 100);
+  clock.AdvanceToUs(80);  // in the past: no-op
+  EXPECT_EQ(clock.now_us(), 100);
+  clock.AdvanceToUs(250);
+  EXPECT_EQ(clock.now_us(), 250);
+}
+
+TEST(RateLimitPolicyTest, Validation) {
+  RateLimitPolicy policy;
+  EXPECT_OK(policy.Validate());
+  EXPECT_FALSE(policy.enabled());
+
+  policy.requests_per_sec = -1.0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy.requests_per_sec = 10.0;
+  EXPECT_TRUE(policy.enabled());
+
+  policy.bucket_capacity = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy.bucket_capacity = 1;
+
+  policy.window_quota = 5;
+  policy.window_us = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy.window_us = 1000;
+  EXPECT_OK(policy.Validate());
+
+  policy.per_call_latency_us = -1;
+  EXPECT_FALSE(policy.Validate().ok());
+}
+
+TEST(RateLimiterTest, TokenBucketBurstsThenPaces) {
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 1000.0;  // one token per ms
+  policy.bucket_capacity = 3;
+  RateLimiter limiter(policy);
+
+  // The bucket starts full: a 3-burst passes at t = 0.
+  EXPECT_EQ(limiter.TryAcquire(0), 0);
+  EXPECT_EQ(limiter.TryAcquire(0), 0);
+  EXPECT_EQ(limiter.TryAcquire(0), 0);
+  // The 4th is rejected with a ~1ms retry-after; the probe is free, so a
+  // retry at exactly (now + retry_after) is admitted.
+  const int64_t wait = limiter.TryAcquire(0);
+  EXPECT_GT(wait, 0);
+  EXPECT_LE(wait, 1000);
+  EXPECT_EQ(limiter.TryAcquire(wait), 0);
+  // Refill accrues with time: after 2ms two more tokens exist.
+  EXPECT_EQ(limiter.TryAcquire(wait + 2000), 0);
+  EXPECT_EQ(limiter.TryAcquire(wait + 2000), 0);
+  EXPECT_GT(limiter.TryAcquire(wait + 2000), 0);
+}
+
+TEST(RateLimiterTest, RollingWindowAgesOut) {
+  RateLimitPolicy policy;
+  policy.window_quota = 2;
+  policy.window_us = 1000;
+  RateLimiter limiter(policy);
+
+  EXPECT_EQ(limiter.TryAcquire(0), 0);
+  EXPECT_EQ(limiter.TryAcquire(100), 0);
+  // Window full; the oldest admission (t=0) ages out of [t-1000, t] just
+  // after t = 1000.
+  const int64_t wait = limiter.TryAcquire(200);
+  EXPECT_GT(wait, 0);
+  EXPECT_EQ(limiter.TryAcquire(200 + wait), 0);
+}
+
+struct ClientFixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+
+  static ClientFixture Make() {
+    ClientFixture f;
+    f.graph = testing::RandomConnectedGraph(40, 80, 0xc11e);
+    f.labels = testing::RandomLabels(40, 2, 0xc11f);
+    return f;
+  }
+};
+
+TEST(ClientRateLimitTest, AutoWaitStallsTheClockNotTheCaller) {
+  const ClientFixture f = ClientFixture::Make();
+  LocalGraphApi transport(f.graph, f.labels);
+  OsnClient client(transport);
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 100.0;  // 10ms per token
+  policy.bucket_capacity = 1;
+  policy.per_call_latency_us = 500;
+  client.ConfigureRateLimit(policy);
+
+  for (graph::NodeId u = 0; u < 5; ++u) {
+    ASSERT_TRUE(client.GetNeighbors(u).ok());
+  }
+  EXPECT_EQ(client.api_calls(), 5);
+  EXPECT_EQ(client.stats().rate_limit_stalls, 4);  // first burst is free
+  // 5 calls x 500us latency + 4 stalls x ~10ms.
+  EXPECT_GT(client.clock().now_us(), 4 * 9'000);
+  EXPECT_EQ(client.stats().rate_limited_rejections, 0);
+
+  // Cache hits are timeless and free.
+  const int64_t before = client.clock().now_us();
+  ASSERT_TRUE(client.GetNeighbors(0).ok());
+  EXPECT_EQ(client.clock().now_us(), before);
+  EXPECT_EQ(client.api_calls(), 5);
+}
+
+TEST(ClientRateLimitTest, StrictModeSurfacesRetryAfterAndChargesNothing) {
+  const ClientFixture f = ClientFixture::Make();
+  LocalGraphApi transport(f.graph, f.labels);
+  OsnClient client(transport);
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 100.0;
+  policy.bucket_capacity = 1;
+  policy.auto_wait = false;
+  client.ConfigureRateLimit(policy);
+
+  ASSERT_TRUE(client.GetNeighbors(0).ok());
+  const auto rejected = client.GetNeighbors(1);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kRateLimited);
+  EXPECT_GT(client.last_retry_after_us(), 0);
+  EXPECT_EQ(client.api_calls(), 1);  // the rejection charged nothing
+  EXPECT_EQ(client.stats().rate_limited_rejections, 1);
+
+  // Honoring the advertised retry-after admits the identical request.
+  client.mutable_clock().AdvanceUs(client.last_retry_after_us());
+  ASSERT_TRUE(client.GetNeighbors(1).ok());
+  EXPECT_EQ(client.api_calls(), 2);
+}
+
+TEST(ClientRateLimitTest, InvalidPolicyPoisonsTheSession) {
+  const ClientFixture f = ClientFixture::Make();
+  LocalGraphApi transport(f.graph, f.labels);
+  OsnClient client(transport);
+  RateLimitPolicy policy;
+  policy.bucket_capacity = 0;
+  client.ConfigureRateLimit(policy);
+  const auto result = client.GetNeighbors(0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicGraphTransportTest, MutationsFireAsTheClockPasses) {
+  const ClientFixture f = ClientFixture::Make();
+  SimClock clock;
+  std::vector<GraphMutation> schedule;
+  schedule.push_back(GraphMutation::AddEdge(1000, 0, 20));
+  schedule.push_back(GraphMutation::SetLabels(2000, 3, {7, 9}));
+  schedule.push_back(GraphMutation::Privatize(3000, 5));
+  schedule.push_back(GraphMutation::Restore(4000, 5));
+  DynamicGraphTransport transport(f.graph, f.labels, schedule);
+  transport.AttachClock(&clock);
+
+  ASSERT_OK_AND_ASSIGN(UserRecord before, transport.FetchRecord(0));
+  const int64_t degree_before = before.degree;
+  EXPECT_EQ(transport.applied_mutations(), 0);
+
+  clock.AdvanceToUs(1000);
+  ASSERT_OK_AND_ASSIGN(UserRecord after, transport.FetchRecord(0));
+  EXPECT_EQ(after.degree, degree_before + 1);
+  EXPECT_EQ(transport.live_edges(), f.graph.num_edges() + 1);
+  // Priors stay frozen at the construction-time graph.
+  EXPECT_EQ(transport.TransportPriors().num_edges, f.graph.num_edges());
+
+  clock.AdvanceToUs(2000);
+  ASSERT_OK_AND_ASSIGN(UserRecord relabeled, transport.FetchRecord(3));
+  ASSERT_EQ(relabeled.labels.size(), 2u);
+  EXPECT_EQ(relabeled.labels[0], 7);
+  EXPECT_EQ(relabeled.labels[1], 9);
+
+  clock.AdvanceToUs(3000);
+  const auto privatized = transport.FetchRecord(5);
+  ASSERT_FALSE(privatized.ok());
+  EXPECT_EQ(privatized.status().code(), StatusCode::kPermissionDenied);
+
+  clock.AdvanceToUs(4000);
+  EXPECT_TRUE(transport.FetchRecord(5).ok());
+  EXPECT_EQ(transport.applied_mutations(), 4);
+}
+
+TEST(DynamicGraphTransportTest, HeldSpansSurviveMutationsOfTheSameUser) {
+  // The Transport contract: spans stay valid for the transport's lifetime.
+  // Estimators hold a node's neighbor span while fetching other users
+  // (ExploreIncidentTargetEdges), and a scheduled mutation of that node
+  // must not invalidate the held view — it keeps showing the pre-mutation
+  // record, like a stale crawler cache.
+  const ClientFixture f = ClientFixture::Make();
+  SimClock clock;
+  std::vector<GraphMutation> schedule;
+  schedule.push_back(GraphMutation::AddEdge(1000, 0, 30));
+  schedule.push_back(GraphMutation::SetLabels(1000, 0, {42}));
+  DynamicGraphTransport transport(f.graph, f.labels, schedule);
+  transport.AttachClock(&clock);
+
+  ASSERT_OK_AND_ASSIGN(const UserRecord held, transport.FetchRecord(0));
+  const std::vector<graph::NodeId> neighbors_at_fetch(held.neighbors.begin(),
+                                                      held.neighbors.end());
+  const std::vector<graph::Label> labels_at_fetch(held.labels.begin(),
+                                                  held.labels.end());
+
+  clock.AdvanceToUs(1000);
+  ASSERT_OK_AND_ASSIGN(const UserRecord fresh, transport.FetchRecord(0));
+  ASSERT_EQ(transport.applied_mutations(), 2);
+  EXPECT_EQ(fresh.degree, held.degree + 1);
+  ASSERT_EQ(fresh.labels.size(), 1u);
+  EXPECT_EQ(fresh.labels[0], 42);
+
+  // The held spans still read the pre-mutation state (ASan would flag a
+  // freed buffer here).
+  ASSERT_EQ(held.neighbors.size(), neighbors_at_fetch.size());
+  for (size_t i = 0; i < neighbors_at_fetch.size(); ++i) {
+    EXPECT_EQ(held.neighbors[i], neighbors_at_fetch[i]);
+  }
+  ASSERT_EQ(held.labels.size(), labels_at_fetch.size());
+  for (size_t i = 0; i < labels_at_fetch.size(); ++i) {
+    EXPECT_EQ(held.labels[i], labels_at_fetch[i]);
+  }
+}
+
+TEST(DynamicGraphTransportTest, EdgeMutationsAreIdempotent) {
+  const ClientFixture f = ClientFixture::Make();
+  SimClock clock;
+  std::vector<GraphMutation> schedule;
+  schedule.push_back(GraphMutation::AddEdge(10, 0, 1));     // path edge: no-op
+  schedule.push_back(GraphMutation::RemoveEdge(20, 0, 25));  // non-edge: no-op
+  DynamicGraphTransport transport(f.graph, f.labels, schedule);
+  transport.AttachClock(&clock);
+  clock.AdvanceToUs(100);
+  ASSERT_TRUE(transport.FetchRecord(0).ok());
+  EXPECT_EQ(transport.applied_mutations(), 2);
+  EXPECT_EQ(transport.live_edges(), f.graph.num_edges());
+}
+
+TEST(DynamicGraphTransportTest, BadSchedulesPoisonFetches) {
+  const ClientFixture f = ClientFixture::Make();
+  {
+    // Descending times.
+    std::vector<GraphMutation> schedule;
+    schedule.push_back(GraphMutation::AddEdge(2000, 0, 1));
+    schedule.push_back(GraphMutation::AddEdge(1000, 1, 2));
+    DynamicGraphTransport transport(f.graph, f.labels, schedule);
+    EXPECT_FALSE(transport.FetchRecord(0).ok());
+  }
+  {
+    // Out-of-range node.
+    std::vector<GraphMutation> schedule;
+    schedule.push_back(GraphMutation::Privatize(0, 4000));
+    DynamicGraphTransport transport(f.graph, f.labels, schedule);
+    EXPECT_FALSE(transport.FetchRecord(0).ok());
+  }
+  {
+    // Self-loop edge op.
+    std::vector<GraphMutation> schedule;
+    schedule.push_back(GraphMutation::AddEdge(0, 3, 3));
+    DynamicGraphTransport transport(f.graph, f.labels, schedule);
+    EXPECT_FALSE(transport.FetchRecord(0).ok());
+  }
+}
+
+TEST(ScenarioTest, PresetsValidateAndUnknownNamesFail) {
+  for (const std::string& name : ScenarioNames()) {
+    ASSERT_OK_AND_ASSIGN(const Scenario scenario, ScenarioFromName(name));
+    EXPECT_EQ(scenario.name, name);
+    EXPECT_OK(scenario.Validate());
+  }
+  EXPECT_FALSE(ScenarioFromName("warp-speed").ok());
+
+  Scenario out_of_order;
+  out_of_order.mutations.push_back(GraphMutation::AddEdge(200, 0, 1));
+  out_of_order.mutations.push_back(GraphMutation::AddEdge(100, 1, 2));
+  EXPECT_FALSE(out_of_order.Validate().ok());
+}
+
+TEST(ScenarioTest, RateLimitedStatusHasItsOwnName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kRateLimited), "RATE_LIMITED");
+  const Status status = RateLimitedError("slow down");
+  EXPECT_EQ(status.code(), StatusCode::kRateLimited);
+}
+
+}  // namespace
+}  // namespace labelrw::osn

@@ -1,0 +1,143 @@
+// Statistical helpers for the property-based test suites: chi-square
+// goodness-of-fit and two-sample Kolmogorov-Smirnov p-values, implemented
+// from the standard series/continued-fraction expansions so the tests carry
+// no external dependency. Accuracy is far beyond what pass/fail thresholds
+// around 1e-3 need.
+
+#ifndef LABELRW_TESTS_STATISTICAL_TEST_UTIL_H_
+#define LABELRW_TESTS_STATISTICAL_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace labelrw::testing {
+
+namespace internal {
+
+/// Regularized lower incomplete gamma P(a, x) by its power series
+/// (converges fast for x < a + 1).
+inline double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-14) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Regularized upper incomplete gamma Q(a, x) by its continued fraction
+/// (converges fast for x >= a + 1). Modified Lentz's method.
+inline double GammaQContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-14) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace internal
+
+/// P(chi2 >= stat | dof) — the chi-square survival function.
+inline double ChiSquarePValue(double stat, int64_t dof) {
+  if (stat <= 0.0 || dof <= 0) return 1.0;
+  const double a = static_cast<double>(dof) / 2.0;
+  const double x = stat / 2.0;
+  const double p = x < a + 1.0 ? 1.0 - internal::GammaPSeries(a, x)
+                               : internal::GammaQContinuedFraction(a, x);
+  return std::min(1.0, std::max(0.0, p));
+}
+
+/// Chi-square goodness-of-fit p-value of `observed` counts against
+/// `expected` probabilities (must sum to ~1; bins with zero expectation are
+/// rejected with p = 0 if observed there).
+inline double ChiSquareGoodnessOfFit(const std::vector<int64_t>& observed,
+                                     const std::vector<double>& expected) {
+  if (observed.size() != expected.size() || observed.empty()) return 0.0;
+  int64_t total = 0;
+  for (int64_t o : observed) total += o;
+  if (total <= 0) return 0.0;
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double e = expected[i] * static_cast<double>(total);
+    if (e <= 0.0) {
+      if (observed[i] != 0) return 0.0;
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - e;
+    stat += diff * diff / e;
+  }
+  return ChiSquarePValue(stat, static_cast<int64_t>(observed.size()) - 1);
+}
+
+/// Chi-square uniformity p-value of bin counts.
+inline double ChiSquareUniformPValue(const std::vector<int64_t>& counts) {
+  return ChiSquareGoodnessOfFit(
+      counts, std::vector<double>(counts.size(),
+                                  1.0 / static_cast<double>(counts.size())));
+}
+
+/// The Kolmogorov distribution's survival function
+/// Q_KS(lambda) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+inline double KolmogorovSurvival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) *
+                 lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  return std::min(1.0, std::max(0.0, 2.0 * sum));
+}
+
+/// Two-sample Kolmogorov-Smirnov p-value: probability of a sup-distance at
+/// least as large as observed under the null that `a` and `b` come from the
+/// same continuous distribution. Asymptotic with the usual small-sample
+/// correction (Numerical Recipes form); fine for n >= ~8 per side.
+inline double TwoSampleKsPValue(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 1.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  size_t ia = 0;
+  size_t ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double xa = a[ia];
+    const double xb = b[ib];
+    if (xa <= xb) ++ia;
+    if (xb <= xa) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  const double ne = std::sqrt(na * nb / (na + nb));
+  return KolmogorovSurvival((ne + 0.12 + 0.11 / ne) * d);
+}
+
+}  // namespace labelrw::testing
+
+#endif  // LABELRW_TESTS_STATISTICAL_TEST_UTIL_H_

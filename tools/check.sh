@@ -26,4 +26,9 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 "$BUILD_DIR/bench_perf_steps" --out="$BUILD_DIR/bench_results" "${PERF_ARGS[@]}"
 
+echo "== scenario smoke (bench_scenarios) =="
+# Small-rep sweep over every scenario preset; exits nonzero if any
+# deterministic scenario deviates from RunSweep (see bench_scenarios.cc).
+"$BUILD_DIR/bench_scenarios" --reps=6 --out="$BUILD_DIR/bench_results"
+
 echo "OK"

@@ -5,16 +5,24 @@
 //   truth    --graph=E --labels=L --t1=A --t2=B  exact target edge count
 //   estimate --graph=E --labels=L --t1=A --t2=B --budget=K
 //            [--algorithm=NAME] [--burn-in=N] [--seed=S]
-//            [--page-size=P] [--fault-rate=F] [--private-rate=F]
-//            [--retry-budget=R]
+//            [--scenario=NAME] [--page-size=P] [--fault-rate=F]
+//            [--private-rate=F] [--retry-budget=R] [--record=TRACE]
+//   estimate --replay=TRACE   (graph-free: config comes from the trace)
 //   bounds   --graph=E --labels=L --t1=A --t2=B [--eps=0.1] [--delta=0.1]
 //   list-algorithms   (also available as --list-algorithms)
+//   list-scenarios    the --scenario presets
 //
 // Flag values are parsed strictly (util/flags.h): non-numeric or
 // out-of-range values and unknown flags abort with exit code 2 instead of
-// silently running with garbage. The v2 client flags (--page-size,
-// --fault-rate, ...) route the estimate through osn::OsnClient; without
-// them the fast v1 LocalGraphApi path is used (identical accounting).
+// silently running with garbage. --scenario picks an osn::Scenario preset
+// (crawl conditions: pagination, faults, rate limits + sim clock); the
+// individual client flags override the preset's knobs. Any of them routes
+// the estimate through osn::OsnClient; without them the fast v1
+// LocalGraphApi path is used (identical accounting). --record journals
+// every wire call into a versioned JSONL trace; --replay re-runs a
+// recorded crawl bit-for-bit from the trace alone — no graph needed — and
+// verifies the result against the recorded snapshot (see docs/API.md
+// §scenarios).
 //
 // Graphs are SNAP-style edge lists; labels are "node label..." lines (see
 // graph/io.h). The graph is reduced to its largest connected component, as
@@ -34,6 +42,8 @@
 #include "graph/oracle.h"
 #include "osn/client.h"
 #include "osn/local_api.h"
+#include "osn/record_replay.h"
+#include "osn/scenario.h"
 #include "theory/bounds.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -53,11 +63,15 @@ int Usage() {
       "--t2)\n"
       "  estimate         API-budgeted estimate (--graph --labels --t1 --t2\n"
       "                   [--budget=K] [--algorithm=NAME] [--burn-in=N]\n"
-      "                   [--seed=S] [--page-size=P] [--fault-rate=F]\n"
-      "                   [--private-rate=F] [--retry-budget=R])\n"
+      "                   [--seed=S] [--scenario=NAME] [--page-size=P]\n"
+      "                   [--fault-rate=F] [--private-rate=F]\n"
+      "                   [--retry-budget=R] [--record=TRACE]), or\n"
+      "                   graph-free re-run of a recorded crawl\n"
+      "                   (--replay=TRACE)\n"
       "  bounds           theoretical sample bounds ([--eps=E] "
       "[--delta=D])\n"
       "  list-algorithms  the ten algorithm names --algorithm accepts\n"
+      "  list-scenarios   the --scenario presets\n"
       "\n"
       "flag values are checked strictly; unknown flags are rejected.\n");
   return 2;
@@ -67,6 +81,13 @@ int ListAlgorithms() {
   for (const estimators::AlgorithmId id : estimators::AllAlgorithms()) {
     std::printf("%s%s\n", estimators::AlgorithmName(id),
                 estimators::IsBaseline(id) ? "  (baseline)" : "");
+  }
+  return 0;
+}
+
+int ListScenarios() {
+  for (const std::string& name : osn::ScenarioNames()) {
+    std::printf("%s\n", name.c_str());
   }
   return 0;
 }
@@ -114,7 +135,8 @@ const std::set<std::string>& KnownFlags(const std::string& command) {
   static const std::set<std::string> kEstimate = {
       "graph",     "labels",       "t1",        "t2",
       "budget",    "algorithm",    "burn-in",   "seed",
-      "page-size", "fault-rate",   "private-rate", "retry-budget"};
+      "page-size", "fault-rate",   "private-rate", "retry-budget",
+      "scenario",  "record",       "replay"};
   static const std::set<std::string> kBounds = {"graph", "labels", "t1",
                                                 "t2",    "eps",    "delta"};
   static const std::set<std::string> kNone = {};
@@ -235,25 +257,146 @@ int RunTruth(const Args& args) {
   return 0;
 }
 
+void PrintClientStats(const osn::OsnClient& client) {
+  const osn::ClientStats& stats = client.stats();
+  std::printf("pages fetched        %s\n",
+              FormatCount(stats.pages_fetched).c_str());
+  std::printf("transient failures   %s (retries %s)\n",
+              FormatCount(stats.transient_failures).c_str(),
+              FormatCount(stats.retries).c_str());
+  std::printf("denied requests      %s\n",
+              FormatCount(stats.denied_requests).c_str());
+  if (client.rate_limit().enabled() ||
+      client.rate_limit().per_call_latency_us > 0) {
+    std::printf("rate-limit stalls    %s (%.3f s slept)\n",
+                FormatCount(stats.rate_limit_stalls).c_str(),
+                static_cast<double>(stats.stalled_us) / 1e6);
+    std::printf("sim crawl time       %.3f s\n",
+                static_cast<double>(client.clock().now_us()) / 1e6);
+  }
+}
+
+void PrintReport(const core::CountReport& report) {
+  std::printf("estimate   %.0f\n", report.estimate);
+  std::printf("algorithm  %s\n", estimators::AlgorithmName(report.algorithm));
+  if (report.pilot_estimate.has_value()) {
+    std::printf("pilot      %.0f\n", *report.pilot_estimate);
+  }
+  std::printf("api calls  %s\n", FormatCount(report.api_calls).c_str());
+}
+
+/// Re-runs a recorded crawl from the trace alone: transport responses come
+/// from the journal, the client/estimator stack re-executes with the
+/// recorded configuration, and the result is verified against the recorded
+/// snapshot.
+int RunReplay(const std::string& trace_path) {
+  const osn::Trace trace = Check(osn::LoadTrace(trace_path), "loading trace");
+  const osn::TraceHeader& header = trace.header;
+  osn::ReplayTransport transport(trace);
+  osn::OsnClient client(transport, header.cost_model, header.faults);
+  client.ConfigureRateLimit(header.rate_limit);
+  transport.AttachMeters(&client, &client.clock());
+
+  core::TargetEdgeCounter counter(&client, header.priors);
+  core::CountOptions options;
+  options.budget = header.api_budget;
+  options.burn_in = header.burn_in;
+  options.seed = header.seed;
+  if (!header.algorithm.empty() && header.algorithm != "auto") {
+    options.algorithm = Check(estimators::AlgorithmFromName(header.algorithm),
+                              "trace algorithm name");
+  }
+  const graph::TargetLabel target{header.t1, header.t2};
+  const core::CountReport report =
+      Check(counter.Count(target, options), "replay");
+  std::printf("replayed %lld wire events from %s (scenario '%s')\n",
+              static_cast<long long>(transport.cursor()), trace_path.c_str(),
+              header.scenario.c_str());
+  PrintReport(report);
+  PrintClientStats(client);
+  if (transport.footer().present) {
+    const osn::TraceFooter& footer = transport.footer();
+    const bool matches = report.estimate == footer.estimate &&
+                         report.api_calls == footer.api_calls &&
+                         client.clock().now_us() == footer.clock_us;
+    if (!matches) {
+      std::fprintf(stderr,
+                   "REPLAY MISMATCH: recorded estimate=%.17g calls=%lld "
+                   "clock=%lldus, replayed estimate=%.17g calls=%lld "
+                   "clock=%lldus\n",
+                   footer.estimate, static_cast<long long>(footer.api_calls),
+                   static_cast<long long>(footer.clock_us), report.estimate,
+                   static_cast<long long>(report.api_calls),
+                   static_cast<long long>(client.clock().now_us()));
+      return 1;
+    }
+    std::printf("replay matches the recorded snapshot\n");
+  }
+  return 0;
+}
+
 int RunEstimate(const Args& args) {
+  const std::string replay_path = args.Get("replay");
+  if (!replay_path.empty()) {
+    if (args.flags.size() > 1) {
+      std::fprintf(stderr,
+                   "--replay re-runs the recorded configuration and accepts "
+                   "no other flags\n");
+      return 2;
+    }
+    return RunReplay(replay_path);
+  }
+
   const LoadedGraph lg = Load(args);
   const graph::TargetLabel target = TargetFrom(args);
   osn::LocalGraphApi local(lg.graph, lg.labels);
 
-  // The v2 client flags route access through the session layer; without
-  // them the v1 fast path serves directly (identical accounting).
-  osn::CostModel cost_model;
-  cost_model.page_size = args.GetInt("page-size", 0);
-  osn::FaultPolicy faults;
-  faults.transient_error_rate = args.GetDouble("fault-rate", 0.0, 0.0, 0.99);
-  faults.unavailable_user_rate =
-      args.GetDouble("private-rate", 0.0, 0.0, 0.99);
-  faults.retry_budget =
-      static_cast<int>(args.GetInt("retry-budget", faults.retry_budget));
+  // --scenario sets the crawl conditions; the individual client flags
+  // override the preset's knobs. Anything non-baseline routes access
+  // through the session layer; otherwise the v1 fast path serves directly
+  // (identical accounting).
+  osn::Scenario scenario;
+  const std::string scenario_name = args.Get("scenario");
+  if (!scenario_name.empty()) {
+    scenario = Check(osn::ScenarioFromName(scenario_name), "scenario name");
+  }
+  if (args.Has("page-size")) {
+    scenario.cost_model.page_size = args.GetInt("page-size", 0);
+  }
+  if (args.Has("fault-rate")) {
+    scenario.faults.transient_error_rate =
+        args.GetDouble("fault-rate", 0.0, 0.0, 0.99);
+  }
+  if (args.Has("private-rate")) {
+    scenario.faults.unavailable_user_rate =
+        args.GetDouble("private-rate", 0.0, 0.0, 0.99);
+  }
+  if (args.Has("retry-budget")) {
+    scenario.faults.retry_budget =
+        static_cast<int>(args.GetInt("retry-budget", 0));
+  }
+  const std::string record_path = args.Get("record");
+
   // Construct the client only when needed: its cache bitmaps are O(|V|).
-  const bool use_client = cost_model.page_size > 0 || faults.any_faults();
+  const bool use_client = scenario.cost_model.page_size > 0 ||
+                          scenario.faults.any_faults() ||
+                          scenario.rate_limit.enabled() ||
+                          scenario.rate_limit.per_call_latency_us > 0 ||
+                          !record_path.empty();
+  std::optional<osn::RecordingTransport> recorder;
   std::optional<osn::OsnClient> client;
-  if (use_client) client.emplace(local, cost_model, faults);
+  if (use_client) {
+    const osn::Transport* transport = &local;
+    if (!record_path.empty()) {
+      recorder.emplace(local);
+      transport = &*recorder;
+    }
+    client.emplace(*transport, scenario.cost_model, scenario.faults);
+    client->ConfigureRateLimit(scenario.rate_limit);
+    if (recorder.has_value()) {
+      recorder->AttachMeters(&*client, &client->clock());
+    }
+  }
   osn::OsnApi& api =
       use_client ? static_cast<osn::OsnApi&>(*client) : local;
 
@@ -269,21 +412,35 @@ int RunEstimate(const Args& args) {
   }
   const core::CountReport report =
       Check(counter.Count(target, options), "estimate");
-  std::printf("estimate   %.0f\n", report.estimate);
-  std::printf("algorithm  %s\n", estimators::AlgorithmName(report.algorithm));
-  if (report.pilot_estimate.has_value()) {
-    std::printf("pilot      %.0f\n", *report.pilot_estimate);
-  }
-  std::printf("api calls  %s\n", FormatCount(report.api_calls).c_str());
-  if (use_client) {
-    const osn::ClientStats& stats = client->stats();
-    std::printf("pages fetched        %s\n",
-                FormatCount(stats.pages_fetched).c_str());
-    std::printf("transient failures   %s (retries %s)\n",
-                FormatCount(stats.transient_failures).c_str(),
-                FormatCount(stats.retries).c_str());
-    std::printf("denied requests      %s\n",
-                FormatCount(stats.denied_requests).c_str());
+  PrintReport(report);
+  if (use_client) PrintClientStats(*client);
+
+  if (recorder.has_value()) {
+    osn::Trace& trace = recorder->trace();
+    trace.header.scenario =
+        scenario_name.empty() ? std::string("baseline") : scenario_name;
+    trace.header.algorithm = algorithm.empty() ? "auto" : algorithm;
+    trace.header.t1 = target.t1;
+    trace.header.t2 = target.t2;
+    trace.header.api_budget = options.budget;
+    trace.header.burn_in = options.burn_in;
+    trace.header.seed = options.seed;
+    trace.header.cost_model = scenario.cost_model;
+    trace.header.faults = scenario.faults;
+    trace.header.rate_limit = scenario.rate_limit;
+    trace.footer.present = true;
+    trace.footer.estimate = report.estimate;
+    trace.footer.api_calls = report.api_calls;
+    trace.footer.iterations = report.samples_used;
+    trace.footer.clock_us = client->clock().now_us();
+    Status written = osn::WriteTrace(trace, record_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing trace: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("recorded %zu wire events to %s\n", trace.events.size(),
+                record_path.c_str());
   }
   return 0;
 }
@@ -316,5 +473,6 @@ int main(int argc, char** argv) {
   if (args.command == "estimate") return RunEstimate(args);
   if (args.command == "bounds") return RunBounds(args);
   if (args.command == "list-algorithms") return ListAlgorithms();
+  if (args.command == "list-scenarios") return ListScenarios();
   return Usage();
 }
