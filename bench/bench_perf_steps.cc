@@ -38,6 +38,9 @@ struct PerfFlags {
   int64_t steps = 1000000;  // iterations per timed chunk
   uint64_t seed = 42;
   std::string out_dir = "bench_results";
+  /// BENCH_steps.json directory ("." = repo root, the tracked-trajectory
+  /// convention of docs/PERFORMANCE.md §8).
+  std::string json_dir = ".";
   bool full = false;
 };
 
@@ -47,7 +50,8 @@ PerfFlags ParsePerfFlags(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--steps=N] [--seed=N] [--out=DIR] [--full]\n",
+                   "usage: %s [--steps=N] [--seed=N] [--out=DIR] "
+                   "[--json-out=DIR] [--full]\n",
                    argv[0]);
       std::exit(0);
     } else if (std::strncmp(arg, "--steps=", 8) == 0) {
@@ -58,6 +62,8 @@ PerfFlags ParsePerfFlags(int argc, char** argv) {
       flags.seed = labelrw::flags::ParseUintOrDie("--seed", arg + 7);
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       flags.out_dir = arg + 6;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      flags.json_dir = arg + 11;
     } else if (std::strcmp(arg, "--full") == 0) {
       flags.full = true;
     } else {
@@ -295,7 +301,7 @@ int Main(int argc, char** argv) {
     }
   }
 
-  WriteJson(results, flags, flags.out_dir + "/BENCH_steps.json");
+  WriteJson(results, flags, flags.json_dir + "/BENCH_steps.json");
   return 0;
 }
 

@@ -95,9 +95,12 @@ int Main(int argc, char** argv) {
   const double reference_s = SecondsSince(start);
   std::printf("\nRunSweep reference          %8.2f s\n", reference_s);
 
+  // "private" and "production" carry private profiles: runnable under full
+  // sweeps since the walker detour policy (Scenario::walker_detour) treats
+  // a private neighbor as a rejected proposal instead of aborting.
   std::vector<osn::Scenario> scenarios;
-  for (const char* name :
-       {"baseline", "paginated", "flaky", "rate-limited", "quota"}) {
+  for (const char* name : {"baseline", "paginated", "flaky", "private",
+                           "rate-limited", "quota", "production"}) {
     scenarios.push_back(
         CheckedValue(osn::ScenarioFromName(name), "ScenarioFromName"));
   }
@@ -167,7 +170,7 @@ int Main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
 
-  const std::string path = flags.out_dir + "/BENCH_scenarios.json";
+  const std::string path = JsonOutPath(flags, "scenarios");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f != nullptr) {
     std::fputs(json.c_str(), f);

@@ -84,7 +84,7 @@ int Main(int argc, char** argv) {
                 "}\n",
                 static_cast<long long>(flags.reps), independent_s, prefix_s,
                 speedup, worst_dev);
-  const std::string path = flags.out_dir + "/BENCH_sweep_protocol.json";
+  const std::string path = JsonOutPath(flags, "sweep_protocol");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f != nullptr) {
     std::fputs(json, f);

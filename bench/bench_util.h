@@ -5,7 +5,15 @@
 //                 uses 200 — pass --reps=200 for the full protocol)
 //   --threads=N   worker threads (default: all cores)
 //   --out=DIR     directory for raw CSV dumps (default: bench_results)
+//   --json-out=D  directory for the machine-readable BENCH_*.json summary
+//                 (default "." — run benches from the repo root so the
+//                 tracked BENCH_*.json trajectory files update in place;
+//                 see docs/PERFORMANCE.md §8)
 //   --seed=N      base seed (default 42)
+//   --backend=B   graph backend: "memory" (default) or "store" — "store"
+//                 round-trips the dataset through a binary snapshot
+//                 (store/store_writer.h) in the CSV output directory and
+//                 runs the sweep over the mmap-backed zero-copy views
 //   --protocol=P  sweep protocol: "independent" (paper-faithful default) or
 //                 "prefix" (one resumable session fills all nested budget
 //                 cells per rep — >5x fewer walk steps on the 0.5%..5% grid)
@@ -18,10 +26,13 @@
 #include <filesystem>
 #include <initializer_list>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "store/mapped_graph.h"
+#include "store/store_writer.h"
 #include "synth/datasets.h"
 #include "util/flags.h"
 #include "util/log.h"
@@ -29,13 +40,28 @@
 
 namespace labelrw::bench {
 
+enum class BenchBackend {
+  kMemory,  // the generated in-memory Graph/LabelStore (default)
+  kStore,   // snapshot round-trip: sweep over mmap-backed zero-copy views
+};
+
 struct BenchFlags {
   int64_t reps = 60;
   int threads = 0;  // 0 = hardware concurrency
   std::string out_dir = "bench_results";
+  /// Where the BENCH_*.json summary lands. "." = repo root by convention,
+  /// so the tracked trajectory files update in place (PERFORMANCE.md §8).
+  std::string json_dir = ".";
   uint64_t seed = 42;
+  BenchBackend backend = BenchBackend::kMemory;
   eval::SweepProtocol protocol = eval::SweepProtocol::kIndependentRuns;
 };
+
+/// The canonical path of a bench's machine-readable summary:
+/// <json_dir>/BENCH_<name>.json.
+inline std::string JsonOutPath(const BenchFlags& flags, const char* name) {
+  return flags.json_dir + "/BENCH_" + name + ".json";
+}
 
 inline void PrintUsage(const char* prog) {
   std::fprintf(
@@ -46,6 +72,9 @@ inline void PrintUsage(const char* prog) {
       "  --threads=N   worker threads (default 0 = all cores)\n"
       "  --seed=N      base RNG seed (default 42)\n"
       "  --out=DIR     directory for raw CSV dumps (default bench_results)\n"
+      "  --json-out=D  directory for the BENCH_*.json summary (default .)\n"
+      "  --backend=B   'memory' (default) or 'store' (sweep over an\n"
+      "                mmap-backed snapshot of the dataset)\n"
       "  --protocol=P  'independent' (default) or 'prefix' (one walk per\n"
       "                rep fills all nested budget cells)\n"
       "  --help        this message\n",
@@ -71,8 +100,22 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.threads = static_cast<int>(threads);
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       flags.out_dir = arg + 6;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      flags.json_dir = arg + 11;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       flags.seed = flags::ParseUintOrDie("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      const char* value = arg + 10;
+      if (std::strcmp(value, "memory") == 0) {
+        flags.backend = BenchBackend::kMemory;
+      } else if (std::strcmp(value, "store") == 0) {
+        flags.backend = BenchBackend::kStore;
+      } else {
+        std::fprintf(stderr,
+                     "--backend must be 'memory' or 'store' (got '%s')\n",
+                     value);
+        std::exit(2);
+      }
     } else if (std::strncmp(arg, "--protocol=", 11) == 0) {
       const char* value = arg + 11;
       if (std::strcmp(value, "independent") == 0) {
@@ -94,6 +137,7 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
   }
   std::error_code ec;
   std::filesystem::create_directories(flags.out_dir, ec);
+  std::filesystem::create_directories(flags.json_dir, ec);
   return flags;
 }
 
@@ -130,16 +174,49 @@ inline eval::SweepConfig MakeSweepConfig(const BenchFlags& flags,
   return config;
 }
 
+/// The sweep's graph source under the --backend flag: either the dataset's
+/// in-memory arrays, or zero-copy views over a snapshot of them written to
+/// (and mmapped from) the CSV output directory. Keep the struct alive for
+/// as long as the returned references are used — they borrow the mapping.
+struct BackendView {
+  const synth::Dataset* dataset;
+  std::optional<store::MappedGraph> mapped;  // engaged on kStore
+
+  const graph::Graph& graph() const {
+    return mapped.has_value() ? mapped->graph() : dataset->graph;
+  }
+  const graph::LabelStore& labels() const {
+    return mapped.has_value() ? mapped->labels() : dataset->labels;
+  }
+};
+
+inline BackendView MakeBackendView(const synth::Dataset& dataset,
+                                   const BenchFlags& flags) {
+  BackendView view{&dataset, std::nullopt};
+  if (flags.backend == BenchBackend::kStore) {
+    const std::string path = flags.out_dir + "/" + dataset.name + ".lgs";
+    CheckOk(store::WriteStore(dataset.graph, dataset.labels, path),
+            "store write");
+    view.mapped =
+        CheckedValue(store::MappedGraph::Open(path), "store open");
+    std::printf("backend: mmap store %s\n", path.c_str());
+  }
+  return view;
+}
+
 /// Runs the paper's 0.5%..5% sweep for one dataset/target and prints the
-/// table; dumps raw CSV into the output directory.
+/// table; dumps raw CSV into the output directory. `view` is the dataset's
+/// backend view (constructed once per dataset — snapshot serialization is
+/// not per-target work).
 inline void RunAndPrintPaperTable(const synth::Dataset& dataset,
+                                  const BackendView& view,
                                   const graph::LabelPairCount& target,
                                   const BenchFlags& flags,
                                   const std::string& table_tag) {
   const eval::SweepConfig config = MakeSweepConfig(flags, dataset.burn_in);
 
   const eval::SweepResult result = CheckedValue(
-      eval::RunSweep(dataset.graph, dataset.labels, target.target, config),
+      eval::RunSweep(view.graph(), view.labels(), target.target, config),
       "RunSweep");
 
   char caption[256];
@@ -184,10 +261,11 @@ inline void RunPaperTablesForDataset(Result<synth::Dataset> dataset_result,
   const synth::Dataset dataset =
       CheckedValue(std::move(dataset_result), "dataset generation");
   PrintDatasetHeader(dataset);
+  const BackendView view = MakeBackendView(dataset, flags);
   size_t i = 0;
   for (const char* tag : tags) {
     if (i >= dataset.targets.size()) break;
-    RunAndPrintPaperTable(dataset, dataset.targets[i], flags, tag);
+    RunAndPrintPaperTable(dataset, view, dataset.targets[i], flags, tag);
     ++i;
   }
 }

@@ -26,6 +26,7 @@ Result<std::unique_ptr<EstimatorSession>> LineGraphBaselineSession::Create(
   walk_params.gmd_delta = options.gmd_delta;
   walk_params.max_degree_prior = priors.max_line_degree;
   walk_params.collapse_self_loops = options.collapse_self_loops;
+  walk_params.detour_on_denied = options.detour_on_denied;
   return std::unique_ptr<EstimatorSession>(new LineGraphBaselineSession(
       id, api, target, priors, options, walk_params));
 }

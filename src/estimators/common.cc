@@ -21,7 +21,8 @@ Result<bool> IsTargetEdge(osn::OsnApi& api, graph::NodeId u, graph::NodeId v,
 
 Result<int64_t> ExploreIncidentTargetEdges(osn::OsnApi& api,
                                            graph::NodeId user,
-                                           const graph::TargetLabel& target) {
+                                           const graph::TargetLabel& target,
+                                           bool skip_denied) {
   LABELRW_ASSIGN_OR_RETURN(auto labels_u, api.GetLabels(user));
   const bool u1 = SpanHasLabel(labels_u, target.t1);
   const bool u2 = SpanHasLabel(labels_u, target.t2);
@@ -30,9 +31,16 @@ Result<int64_t> ExploreIncidentTargetEdges(osn::OsnApi& api,
   LABELRW_ASSIGN_OR_RETURN(auto neighbors, api.GetNeighbors(user));
   int64_t count = 0;
   for (graph::NodeId v : neighbors) {
-    LABELRW_ASSIGN_OR_RETURN(auto labels_v, api.GetLabels(v));
-    const bool v1 = SpanHasLabel(labels_v, target.t1);
-    const bool v2 = SpanHasLabel(labels_v, target.t2);
+    const auto labels_v = api.GetLabels(v);
+    if (!labels_v.ok()) {
+      if (skip_denied &&
+          labels_v.status().code() == StatusCode::kPermissionDenied) {
+        continue;  // private neighbor: its edge is invisible to a crawler
+      }
+      return labels_v.status();
+    }
+    const bool v1 = SpanHasLabel(*labels_v, target.t1);
+    const bool v2 = SpanHasLabel(*labels_v, target.t2);
     if ((u1 && v2) || (u2 && v1)) ++count;
   }
   return count;

@@ -34,10 +34,15 @@ Result<bool> IsTargetEdge(osn::OsnApi& api, graph::NodeId u, graph::NodeId v,
 
 /// T(u): the number of target edges incident to `user`, computed by
 /// exploring all of `user`'s neighbors (the NeighborExploration probe).
-/// Fetches user's neighbor list and every neighbor's profile.
+/// Fetches user's neighbor list and every neighbor's profile. With
+/// `skip_denied` (the walker detour policy, EstimateOptions::
+/// detour_on_denied), a private neighbor's profile probe is charged but
+/// its edge is not counted — a crawler cannot see it; without it the
+/// probe aborts on the kPermissionDenied.
 Result<int64_t> ExploreIncidentTargetEdges(osn::OsnApi& api,
                                            graph::NodeId user,
-                                           const graph::TargetLabel& target);
+                                           const graph::TargetLabel& target,
+                                           bool skip_denied = false);
 
 /// Computes 1 - (1 - p)^k without catastrophic cancellation for small p*k.
 inline double InclusionProbability(double p, int64_t k) {

@@ -91,6 +91,15 @@ struct EstimateOptions {
   /// faster; disable for bit-exact reproduction of the naive stepper's RNG
   /// stream (see rw::WalkParams::collapse_self_loops).
   bool collapse_self_loops = true;
+  /// Walker-level detour policy for private profiles: a private neighbor
+  /// is treated as a rejected proposal instead of aborting the walk, and
+  /// NeighborExploration skips private neighbors in its T(u) probe. Lets
+  /// full sweeps run under FaultPolicy::unavailable_user_rate and dynamic
+  /// privatization; estimates become consistent for the *public* subgraph
+  /// (bias note: rw::WalkParams::detour_on_denied, docs/API.md
+  /// §Scenarios). Off by default — bit-identical to the pre-detour
+  /// behavior, including every API charge.
+  bool detour_on_denied = false;
 
   Status Validate() const;
 };

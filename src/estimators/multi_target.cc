@@ -1,6 +1,7 @@
 #include "estimators/multi_target.h"
 
 #include "estimators/common.h"
+#include "estimators/session.h"
 #include "rw/node_walk.h"
 
 namespace labelrw::estimators {
@@ -32,10 +33,7 @@ Result<MultiTargetResult> MultiTargetNeighborSample(
   const int64_t calls_before = api.api_calls();
 
   Rng rng(options.seed);
-  rw::WalkParams walk_params;
-  walk_params.kind = options.ns_walk_kind;
-  walk_params.collapse_self_loops = options.collapse_self_loops;
-  rw::NodeWalk walk(&api, walk_params);
+  rw::NodeWalk walk(&api, NodeWalkParamsFrom(options));
   LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
   LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
 
@@ -50,6 +48,11 @@ Result<MultiTargetResult> MultiTargetNeighborSample(
     const graph::NodeId from = walk.current();
     LABELRW_ASSIGN_OR_RETURN(const graph::NodeId to, walk.Step(rng));
     ++iterations;
+    if (options.detour_on_denied && to == from) {
+      // Detour rejection of a private neighbor: no edge was traversed, so
+      // there is no edge sample to score (see NeighborSampleSession).
+      continue;
+    }
     LABELRW_ASSIGN_OR_RETURN(auto lu, api.GetLabels(from));
     LABELRW_ASSIGN_OR_RETURN(auto lv, api.GetLabels(to));
     for (size_t p = 0; p < targets.size(); ++p) {
@@ -85,10 +88,7 @@ Result<MultiTargetResult> MultiTargetNeighborExploration(
   const int64_t calls_before = api.api_calls();
 
   Rng rng(options.seed);
-  rw::WalkParams walk_params;
-  walk_params.kind = options.ns_walk_kind;
-  walk_params.collapse_self_loops = options.collapse_self_loops;
-  rw::NodeWalk walk(&api, walk_params);
+  rw::NodeWalk walk(&api, NodeWalkParamsFrom(options));
   LABELRW_RETURN_IF_ERROR(walk.ResetRandom(rng));
   LABELRW_RETURN_IF_ERROR(walk.Advance(options.burn_in, rng));
 
@@ -119,9 +119,17 @@ Result<MultiTargetResult> MultiTargetNeighborExploration(
       ++result.explored_nodes;
       LABELRW_ASSIGN_OR_RETURN(auto nbrs, api.GetNeighbors(u));
       for (graph::NodeId v : nbrs) {
-        LABELRW_ASSIGN_OR_RETURN(auto lv, api.GetLabels(v));
+        const auto lv = api.GetLabels(v);
+        if (!lv.ok()) {
+          if (options.detour_on_denied &&
+              lv.status().code() == StatusCode::kPermissionDenied) {
+            continue;  // private neighbor: invisible, as in
+                       // ExploreIncidentTargetEdges
+          }
+          return lv.status();
+        }
         for (size_t p = 0; p < targets.size(); ++p) {
-          if (SpanMatchesTarget(lu, lv, targets[p])) ++t_u[p];
+          if (SpanMatchesTarget(lu, *lv, targets[p])) ++t_u[p];
         }
       }
     }

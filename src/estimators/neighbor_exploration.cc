@@ -54,7 +54,8 @@ Status NeighborExplorationSession::IterateOnce(int64_t i, Rng& rng) {
   if (SpanHasLabel(labels_u, target().t1) ||
       SpanHasLabel(labels_u, target().t2)) {
     LABELRW_ASSIGN_OR_RETURN(
-        t_u, ExploreIncidentTargetEdges(api(), u, target()));
+        t_u, ExploreIncidentTargetEdges(api(), u, target(),
+                                        options().detour_on_denied));
     ++explored_nodes_;
   }
   switch (kind_) {

@@ -40,6 +40,14 @@ void NeighborSampleSession::PrepareAccumulators() {
 Status NeighborSampleSession::IterateOnce(int64_t i, Rng& rng) {
   const graph::NodeId from = walk_.current();
   LABELRW_ASSIGN_OR_RETURN(const graph::NodeId to, walk_.Step(rng));
+  if (options().detour_on_denied && to == from) {
+    // The walk's detour policy rejected a private neighbor: no edge was
+    // traversed this iteration, so there is no edge sample to score
+    // (conditioning on acceptance keeps the estimator unbiased for the
+    // public subgraph). Unreachable without the policy — the NS walk kinds
+    // (simple / non-backtracking) always move.
+    return Status::Ok();
+  }
   if (kind_ == NsEstimatorKind::kHorvitzThompson && i % stride_ != 0) {
     return Status::Ok();  // thinning keeps every stride-th draw
   }

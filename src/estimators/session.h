@@ -41,6 +41,7 @@ inline rw::WalkParams NodeWalkParamsFrom(const EstimateOptions& options) {
   rw::WalkParams params;
   params.kind = options.ns_walk_kind;
   params.collapse_self_loops = options.collapse_self_loops;
+  params.detour_on_denied = options.detour_on_denied;
   return params;
 }
 

@@ -97,6 +97,8 @@ struct SweepDriver {
   /// Sessions step transactionally and the driver sleeps the sim clock
   /// across kRateLimited rejections (strict rate limiting).
   bool drive_rate_limits = false;
+  /// Force the walker detour policy on every run (Scenario::walker_detour).
+  bool detour_on_denied = false;
   /// Invoked under the merge lock once per completed task.
   std::function<void(const TaskApi&)> on_task_done;
 };
@@ -208,6 +210,8 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
     options.ht_thinning = config.ht_thinning;
     options.ht_spacing_fraction = config.ht_spacing_fraction;
     options.ns_walk_kind = config.ns_walk_kind;
+    options.detour_on_denied =
+        config.detour_on_denied || driver.detour_on_denied;
     options.rcmh_alpha = config.rcmh_alpha;
     options.gmd_delta = config.gmd_delta;
     return options;
@@ -366,6 +370,7 @@ Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
   driver.step_chunk = run_options.step_chunk > 0 ? run_options.step_chunk : 0;
   driver.drive_rate_limits =
       scenario.rate_limit.enabled() && !scenario.rate_limit.auto_wait;
+  driver.detour_on_denied = scenario.walker_detour;
   driver.make_api = [&graph, &labels, &scenario,
                      &static_transport](WorkerScratch& scratch) {
     TaskApi task;

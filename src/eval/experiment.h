@@ -58,6 +58,10 @@ struct SweepConfig {
   double gmd_delta = 0.5;
   /// Walk kind for the proposed samplers (kSimple or kNonBacktracking).
   rw::WalkKind ns_walk_kind = rw::WalkKind::kSimple;
+  /// Walker detour policy for private profiles (EstimateOptions::
+  /// detour_on_denied). RunScenarioSweep turns it on automatically when
+  /// the scenario asks for it (Scenario::walker_detour).
+  bool detour_on_denied = false;
   /// See SweepProtocol. kPrefixBudget requires ascending sample_fractions.
   SweepProtocol protocol = SweepProtocol::kIndependentRuns;
 

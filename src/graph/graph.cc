@@ -5,10 +5,42 @@
 namespace labelrw::graph {
 
 Graph::Graph(std::vector<int64_t> offsets, std::vector<NodeId> adjacency)
-    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+    : owned_offsets_(std::move(offsets)),
+      owned_adjacency_(std::move(adjacency)),
+      offsets_(owned_offsets_),
+      adjacency_(owned_adjacency_) {
   num_edges_ = static_cast<int64_t>(adjacency_.size()) / 2;
   for (int64_t u = 0; u + 1 < static_cast<int64_t>(offsets_.size()); ++u) {
     max_degree_ = std::max(max_degree_, offsets_[u + 1] - offsets_[u]);
+  }
+}
+
+Graph Graph::FromExternal(std::span<const int64_t> offsets,
+                          std::span<const NodeId> adjacency,
+                          int64_t max_degree) {
+  Graph g;
+  g.offsets_ = offsets;
+  g.adjacency_ = adjacency;
+  g.num_edges_ = static_cast<int64_t>(adjacency.size()) / 2;
+  g.max_degree_ = max_degree;
+  g.owns_ = false;
+  return g;
+}
+
+void Graph::CopyFrom(const Graph& other) {
+  num_edges_ = other.num_edges_;
+  max_degree_ = other.max_degree_;
+  owns_ = other.owns_;
+  if (other.owns_) {
+    owned_offsets_ = other.owned_offsets_;
+    owned_adjacency_ = other.owned_adjacency_;
+    offsets_ = owned_offsets_;
+    adjacency_ = owned_adjacency_;
+  } else {
+    owned_offsets_.clear();
+    owned_adjacency_.clear();
+    offsets_ = other.offsets_;
+    adjacency_ = other.adjacency_;
   }
 }
 

@@ -51,10 +51,37 @@ struct EdgeHash {
 };
 
 /// Immutable simple undirected graph (no self-loops, no multi-edges) with
-/// sorted adjacency lists. Construct through graph::GraphBuilder.
+/// sorted adjacency lists. Construct through graph::GraphBuilder, or — for
+/// the mmap-backed store (store/mapped_graph.h) — as a zero-copy *view*
+/// over externally owned CSR arrays via FromExternal().
+///
+/// Ownership: a builder-made Graph owns its arrays; a FromExternal Graph
+/// borrows them (the external memory must outlive the Graph and every copy
+/// of it). Copying an owning Graph deep-copies; copying a view copies only
+/// the span bounds. Both flavors are cheap to move.
 class Graph {
  public:
   Graph() = default;
+
+  /// A read-only view over external CSR memory. `offsets` must have
+  /// num_nodes + 1 entries ending in adjacency.size(); `adjacency` holds
+  /// 2*|E| per-node-sorted neighbor ids. `max_degree` must equal the true
+  /// maximum degree (the store header carries it, so opening a snapshot
+  /// never has to touch every offset page). The caller keeps the backing
+  /// memory alive and valid.
+  static Graph FromExternal(std::span<const int64_t> offsets,
+                            std::span<const NodeId> adjacency,
+                            int64_t max_degree);
+
+  Graph(const Graph& other) { CopyFrom(other); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  // Moving a std::vector transfers its heap buffer, so an owning graph's
+  // spans stay valid across the move; a view's spans are plain pointers.
+  Graph(Graph&& other) noexcept = default;
+  Graph& operator=(Graph&& other) noexcept = default;
 
   /// Number of nodes |V| (ids are 0..num_nodes()-1).
   int64_t num_nodes() const {
@@ -98,15 +125,29 @@ class Graph {
     }
   }
 
+  /// The raw CSR arrays (serialization and diagnostics; estimators must
+  /// keep going through OsnApi). Valid as long as the graph (for views: the
+  /// external backing memory) lives.
+  std::span<const int64_t> csr_offsets() const { return offsets_; }
+  std::span<const NodeId> csr_adjacency() const { return adjacency_; }
+
+  /// True when this graph borrows external memory (FromExternal).
+  bool is_view() const { return !owns_; }
+
  private:
   friend class GraphBuilder;
 
   Graph(std::vector<int64_t> offsets, std::vector<NodeId> adjacency);
 
-  std::vector<int64_t> offsets_;   // size num_nodes+1
-  std::vector<NodeId> adjacency_;  // size 2*num_edges, sorted per node
+  void CopyFrom(const Graph& other);
+
+  std::vector<int64_t> owned_offsets_;   // engaged iff owns_
+  std::vector<NodeId> owned_adjacency_;  // engaged iff owns_
+  std::span<const int64_t> offsets_;     // size num_nodes+1
+  std::span<const NodeId> adjacency_;    // size 2*num_edges, sorted per node
   int64_t num_edges_ = 0;
   int64_t max_degree_ = 0;
+  bool owns_ = true;
 };
 
 /// Accumulates edges and produces a clean Graph: self-loops dropped,

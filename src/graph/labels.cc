@@ -14,6 +14,33 @@ LabelStore LabelStore::FromSingleLabels(const std::vector<Label>& labels) {
   return builder.Build();
 }
 
+LabelStore LabelStore::FromExternal(std::span<const int64_t> offsets,
+                                    std::span<const Label> labels) {
+  LabelStore store;
+  store.offsets_ = offsets;
+  store.labels_ = labels;
+  store.owns_ = false;
+  store.BuildFrequencyIndex();
+  return store;
+}
+
+void LabelStore::CopyFrom(const LabelStore& other) {
+  frequency_ = other.frequency_;
+  num_distinct_ = other.num_distinct_;
+  owns_ = other.owns_;
+  if (other.owns_) {
+    owned_offsets_ = other.owned_offsets_;
+    owned_labels_ = other.owned_labels_;
+    offsets_ = owned_offsets_;
+    labels_ = owned_labels_;
+  } else {
+    owned_offsets_.clear();
+    owned_labels_.clear();
+    offsets_ = other.offsets_;
+    labels_ = other.labels_;
+  }
+}
+
 bool LabelStore::HasLabel(NodeId u, Label l) const {
   const auto ls = labels(u);
   return std::binary_search(ls.begin(), ls.end(), l);
@@ -60,17 +87,20 @@ Status LabelStoreBuilder::AddLabel(NodeId u, Label l) {
 
 LabelStore LabelStoreBuilder::Build() {
   LabelStore store;
-  store.offsets_.assign(node_labels_.size() + 1, 0);
+  store.owned_offsets_.assign(node_labels_.size() + 1, 0);
   for (size_t u = 0; u < node_labels_.size(); ++u) {
     auto& ls = node_labels_[u];
     std::sort(ls.begin(), ls.end());
     ls.erase(std::unique(ls.begin(), ls.end()), ls.end());
-    store.offsets_[u + 1] = store.offsets_[u] + static_cast<int64_t>(ls.size());
+    store.owned_offsets_[u + 1] =
+        store.owned_offsets_[u] + static_cast<int64_t>(ls.size());
   }
-  store.labels_.reserve(store.offsets_.back());
+  store.owned_labels_.reserve(store.owned_offsets_.back());
   for (const auto& ls : node_labels_) {
-    store.labels_.insert(store.labels_.end(), ls.begin(), ls.end());
+    store.owned_labels_.insert(store.owned_labels_.end(), ls.begin(), ls.end());
   }
+  store.offsets_ = store.owned_offsets_;
+  store.labels_ = store.owned_labels_;
   store.BuildFrequencyIndex();
   node_labels_.clear();
   return store;

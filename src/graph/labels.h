@@ -19,14 +19,33 @@ namespace labelrw::graph {
 
 using Label = int32_t;
 
-/// Immutable per-node label sets. Build with LabelStoreBuilder or the
-/// single-label convenience factory.
+/// Immutable per-node label sets. Build with LabelStoreBuilder, the
+/// single-label convenience factory, or — for the mmap-backed store
+/// (store/mapped_graph.h) — as a zero-copy view over external CSR arrays
+/// via FromExternal(). Ownership mirrors graph::Graph: owning stores
+/// deep-copy, views copy span bounds only (the external memory must
+/// outlive every copy). The frequency index is always owned: FromExternal
+/// derives it with one scan of the label section.
 class LabelStore {
  public:
   LabelStore() = default;
 
   /// Builds a store where node `u` has exactly one label `labels[u]`.
   static LabelStore FromSingleLabels(const std::vector<Label>& labels);
+
+  /// A read-only view over external label CSR memory. `offsets` must have
+  /// num_nodes + 1 entries ending in labels.size(); labels are sorted and
+  /// deduplicated within each node, as LabelStoreBuilder produces them.
+  static LabelStore FromExternal(std::span<const int64_t> offsets,
+                                 std::span<const Label> labels);
+
+  LabelStore(const LabelStore& other) { CopyFrom(other); }
+  LabelStore& operator=(const LabelStore& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  LabelStore(LabelStore&& other) noexcept = default;
+  LabelStore& operator=(LabelStore&& other) noexcept = default;
 
   int64_t num_nodes() const {
     return static_cast<int64_t>(offsets_.size()) - 1;
@@ -50,13 +69,25 @@ class LabelStore {
   /// All distinct labels in ascending order.
   std::vector<Label> DistinctLabels() const;
 
+  /// The raw CSR arrays (serialization; see graph::Graph::csr_offsets).
+  std::span<const int64_t> csr_offsets() const { return offsets_; }
+  std::span<const Label> csr_labels() const { return labels_; }
+
+  /// True when this store borrows external memory (FromExternal).
+  bool is_view() const { return !owns_; }
+
  private:
   friend class LabelStoreBuilder;
 
-  std::vector<int64_t> offsets_;  // size num_nodes+1
-  std::vector<Label> labels_;     // sorted within each node
+  void CopyFrom(const LabelStore& other);
+
+  std::vector<int64_t> owned_offsets_;  // engaged iff owns_
+  std::vector<Label> owned_labels_;     // engaged iff owns_
+  std::span<const int64_t> offsets_;    // size num_nodes+1
+  std::span<const Label> labels_;       // sorted within each node
   std::vector<std::pair<Label, int64_t>> frequency_;  // sorted by label
   int64_t num_distinct_ = 0;
+  bool owns_ = true;
 
   void BuildFrequencyIndex();
 };

@@ -251,6 +251,10 @@ Result<Scenario> ScenarioFromName(const std::string& name) {
   }
   if (name == "private") {
     s.faults.unavailable_user_rate = 0.03;
+    // Walker-level detour: private neighbors are rejected proposals, so
+    // the preset exercises the full estimator sweep, not just the client
+    // layer (bias bounds: rw::WalkParams::detour_on_denied).
+    s.walker_detour = true;
     return s;
   }
   if (name == "rate-limited") {
@@ -266,14 +270,16 @@ Result<Scenario> ScenarioFromName(const std::string& name) {
     return s;
   }
   if (name == "production") {
-    // Pagination + faults + pacing at once. Private users are deliberately
-    // absent: the walkers surface kPermissionDenied rather than re-routing
-    // around a private profile (the "private" preset exercises the client
-    // layer; walker-level detours are an open roadmap item).
+    // Pagination + faults + private users + pacing at once. The walker
+    // detour policy re-routes around private profiles (rejected
+    // proposals), so full estimator sweeps run under the complete
+    // production fault mix.
     s.cost_model.page_size = 25;
     s.cost_model.batch_size = 8;
     s.faults.transient_error_rate = 0.02;
+    s.faults.unavailable_user_rate = 0.02;
     s.faults.retry_budget = 6;
+    s.walker_detour = true;
     s.rate_limit.requests_per_sec = 50.0;
     s.rate_limit.bucket_capacity = 20;
     s.rate_limit.per_call_latency_us = 2000;

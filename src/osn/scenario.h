@@ -143,6 +143,13 @@ struct Scenario {
   /// Mutation schedule, ascending in at_us. Non-empty schedules route the
   /// crawl through a per-session DynamicGraphTransport.
   std::vector<GraphMutation> mutations;
+  /// Run every walker with the kPermissionDenied detour policy (a private
+  /// neighbor is a rejected proposal; see rw::WalkParams::detour_on_denied
+  /// for the bias note). Required for full estimator sweeps whenever
+  /// faults.unavailable_user_rate > 0 or the schedule privatizes nodes —
+  /// without it, walks abort on the first private profile they step
+  /// toward.
+  bool walker_detour = false;
 
   bool needs_dynamic_transport() const { return !mutations.empty(); }
 

@@ -44,10 +44,25 @@ Status EdgeWalk::ResetRandom(Rng& rng) {
   // incident edge. (Burn-in washes out the seed bias.)
   for (int attempt = 0; attempt < 1024; ++attempt) {
     LABELRW_ASSIGN_OR_RETURN(graph::NodeId seed, api_->RandomNode(rng));
-    LABELRW_ASSIGN_OR_RETURN(auto nbrs, api_->GetNeighbors(seed));
+    const auto nbrs_result = api_->GetNeighbors(seed);
+    if (!nbrs_result.ok()) {
+      // RandomNode filters FaultPolicy-private accounts but not users a
+      // dynamic transport privatized; under the detour policy such a seed
+      // re-rolls instead of stranding the reset.
+      if (params_.detour_on_denied &&
+          nbrs_result.status().code() == StatusCode::kPermissionDenied) {
+        continue;
+      }
+      return nbrs_result.status();
+    }
+    const auto nbrs = *nbrs_result;
     if (nbrs.empty()) continue;
     const graph::NodeId other =
         nbrs[rng.UniformInt(static_cast<int64_t>(nbrs.size()))];
+    // A seed edge must be fully public: under the detour policy a private
+    // far endpoint re-rolls the seed instead of stranding the walk.
+    LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(other));
+    if (denied) continue;
     return Reset(graph::Edge::Make(seed, other));
   }
   return FailedPreconditionError(
@@ -69,7 +84,8 @@ Result<int64_t> EdgeWalk::CurrentLineDegree() {
 
 Result<graph::Edge> EdgeWalk::UniformLineNeighbor(graph::Edge e,
                                                   int64_t line_degree,
-                                                  Rng& rng) {
+                                                  Rng& rng,
+                                                  graph::NodeId* new_endpoint) {
   LABELRW_ASSIGN_OR_RETURN(auto nbrs_u, api_->GetNeighbors(e.u));
   const int64_t du = static_cast<int64_t>(nbrs_u.size());
   const int64_t j = rng.UniformInt(line_degree);
@@ -77,6 +93,7 @@ Result<graph::Edge> EdgeWalk::UniformLineNeighbor(graph::Edge e,
     const int64_t pos_v = IndexOf(nbrs_u, e.v);
     if (pos_v < 0) return InternalError("EdgeWalk: current edge vanished");
     const graph::NodeId w = nbrs_u[j < pos_v ? j : j + 1];
+    if (new_endpoint != nullptr) *new_endpoint = w;
     return graph::Edge::Make(e.u, w);
   }
   LABELRW_ASSIGN_OR_RETURN(auto nbrs_v, api_->GetNeighbors(e.v));
@@ -84,7 +101,16 @@ Result<graph::Edge> EdgeWalk::UniformLineNeighbor(graph::Edge e,
   const int64_t pos_u = IndexOf(nbrs_v, e.u);
   if (pos_u < 0) return InternalError("EdgeWalk: current edge vanished");
   const graph::NodeId w = nbrs_v[k < pos_u ? k : k + 1];
+  if (new_endpoint != nullptr) *new_endpoint = w;
   return graph::Edge::Make(e.v, w);
+}
+
+Result<bool> EdgeWalk::DeniedByDetour(graph::NodeId candidate) {
+  if (!params_.detour_on_denied) return false;
+  const Result<int64_t> probe = api_->GetDegree(candidate);
+  if (probe.ok()) return false;
+  if (probe.status().code() == StatusCode::kPermissionDenied) return true;
+  return probe.status();
 }
 
 Result<graph::Edge> EdgeWalk::Step(Rng& rng) {
@@ -99,14 +125,22 @@ Result<graph::Edge> EdgeWalk::Step(Rng& rng) {
 
   switch (params_.kind) {
     case WalkKind::kSimple: {
-      LABELRW_ASSIGN_OR_RETURN(current_,
-                               UniformLineNeighbor(current_, degree, rng));
+      graph::NodeId endpoint = -1;
+      LABELRW_ASSIGN_OR_RETURN(
+          const graph::Edge next,
+          UniformLineNeighbor(current_, degree, rng, &endpoint));
+      LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(endpoint));
+      if (!denied) current_ = next;  // denied: rejected proposal, stay put
       break;
     }
     case WalkKind::kMetropolisHastings:
     case WalkKind::kRcmh: {
-      LABELRW_ASSIGN_OR_RETURN(graph::Edge proposal,
-                               UniformLineNeighbor(current_, degree, rng));
+      graph::NodeId endpoint = -1;
+      LABELRW_ASSIGN_OR_RETURN(
+          graph::Edge proposal,
+          UniformLineNeighbor(current_, degree, rng, &endpoint));
+      LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(endpoint));
+      if (denied) break;  // denied proposal == rejected proposal
       LABELRW_ASSIGN_OR_RETURN(int64_t proposal_degree,
                                LineDegreeOf(proposal));
       if (proposal_degree <= 0) break;  // reject unwalkable states
@@ -123,8 +157,12 @@ Result<graph::Edge> EdgeWalk::Step(Rng& rng) {
       const double move_prob = static_cast<double>(degree) /
                                static_cast<double>(params_.max_degree_prior);
       if (rng.UniformDouble() < move_prob) {
-        LABELRW_ASSIGN_OR_RETURN(current_,
-                                 UniformLineNeighbor(current_, degree, rng));
+        graph::NodeId endpoint = -1;
+        LABELRW_ASSIGN_OR_RETURN(
+            const graph::Edge next,
+            UniformLineNeighbor(current_, degree, rng, &endpoint));
+        LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(endpoint));
+        if (!denied) current_ = next;
       }
       break;
     }
@@ -132,8 +170,12 @@ Result<graph::Edge> EdgeWalk::Step(Rng& rng) {
       const double c = params_.GmdC();
       if (static_cast<double>(degree) >= c ||
           rng.UniformDouble() < static_cast<double>(degree) / c) {
-        LABELRW_ASSIGN_OR_RETURN(current_,
-                                 UniformLineNeighbor(current_, degree, rng));
+        graph::NodeId endpoint = -1;
+        LABELRW_ASSIGN_OR_RETURN(
+            const graph::Edge next,
+            UniformLineNeighbor(current_, degree, rng, &endpoint));
+        LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(endpoint));
+        if (!denied) current_ = next;
       }
       break;
     }
@@ -182,8 +224,13 @@ Status EdgeWalk::AdvanceCollapsed(int64_t steps, Rng& rng) {
     const int64_t loops = SampleSelfLoopRun(rng, move_prob, remaining);
     if (loops >= remaining) return Status::Ok();
     remaining -= loops + 1;
-    LABELRW_ASSIGN_OR_RETURN(current_,
-                             UniformLineNeighbor(current_, degree, rng));
+    graph::NodeId endpoint = -1;
+    LABELRW_ASSIGN_OR_RETURN(
+        const graph::Edge next,
+        UniformLineNeighbor(current_, degree, rng, &endpoint));
+    LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(endpoint));
+    if (!denied) current_ = next;  // denied: one more (already counted)
+                                   // self-loop iteration
   }
   return Status::Ok();
 }

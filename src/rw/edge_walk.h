@@ -64,9 +64,16 @@ class EdgeWalk {
   /// deg'(e) = d(e.u)+d(e.v)-2 via the API (cached fetches are free).
   Result<int64_t> LineDegreeOf(graph::Edge e);
 
-  /// Uniform random line-neighbor of `e`; requires deg'(e) > 0.
+  /// Uniform random line-neighbor of `e`; requires deg'(e) > 0. When
+  /// `new_endpoint` is non-null it receives the endpoint the candidate
+  /// edge adds over `e` (the node the walk would newly step onto).
   Result<graph::Edge> UniformLineNeighbor(graph::Edge e, int64_t line_degree,
-                                          Rng& rng);
+                                          Rng& rng,
+                                          graph::NodeId* new_endpoint = nullptr);
+
+  /// Mirrors NodeWalk::DeniedByDetour: probes `candidate` under the
+  /// detour policy; true = private, reject the move.
+  Result<bool> DeniedByDetour(graph::NodeId candidate);
 
   osn::OsnApi* api_;
   WalkParams params_;

@@ -27,8 +27,25 @@ Status NodeWalk::Restore(const Checkpoint& checkpoint) {
 }
 
 Status NodeWalk::ResetRandom(Rng& rng) {
-  LABELRW_ASSIGN_OR_RETURN(graph::NodeId seed, api_->RandomNode(rng));
-  return Reset(seed);
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    LABELRW_ASSIGN_OR_RETURN(graph::NodeId seed, api_->RandomNode(rng));
+    // RandomNode already avoids FaultPolicy-private accounts; the probe
+    // additionally re-rolls seeds a dynamic transport privatized (it is
+    // skipped entirely when the detour policy is off).
+    LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(seed));
+    if (denied) continue;
+    return Reset(seed);
+  }
+  return FailedPreconditionError(
+      "NodeWalk::ResetRandom: could not find an accessible seed user");
+}
+
+Result<bool> NodeWalk::DeniedByDetour(graph::NodeId candidate) {
+  if (!params_.detour_on_denied) return false;
+  const Result<int64_t> probe = api_->GetDegree(candidate);
+  if (probe.ok()) return false;
+  if (probe.status().code() == StatusCode::kPermissionDenied) return true;
+  return probe.status();
 }
 
 Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
@@ -43,8 +60,10 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
 
   switch (params_.kind) {
     case WalkKind::kSimple: {
+      const graph::NodeId next = nbrs[rng.UniformInt(degree)];
+      LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
       previous_ = current_;
-      current_ = nbrs[rng.UniformInt(degree)];
+      if (!denied) current_ = next;  // denied: rejected proposal, stay put
       break;
     }
     case WalkKind::kNonBacktracking: {
@@ -60,6 +79,9 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
         if (candidate == previous_) candidate = nbrs[degree - 1];
         next = candidate;
       }
+      LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
+      if (denied) break;  // stay; previous_ keeps its pre-iteration value so
+                          // the non-backtracking exclusion stays well-formed
       previous_ = current_;
       current_ = next;
       break;
@@ -67,8 +89,16 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
     case WalkKind::kMetropolisHastings:
     case WalkKind::kRcmh: {
       const graph::NodeId proposal = nbrs[rng.UniformInt(degree)];
-      LABELRW_ASSIGN_OR_RETURN(int64_t proposal_degree,
-                               api_->GetDegree(proposal));
+      const Result<int64_t> probed = api_->GetDegree(proposal);
+      if (!probed.ok()) {
+        if (params_.detour_on_denied &&
+            probed.status().code() == StatusCode::kPermissionDenied) {
+          previous_ = current_;  // denied proposal == rejected proposal
+          break;
+        }
+        return probed.status();
+      }
+      const int64_t proposal_degree = *probed;
       const double ratio = static_cast<double>(degree) /
                            static_cast<double>(proposal_degree);
       const double exponent =
@@ -85,7 +115,9 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
                                static_cast<double>(params_.max_degree_prior);
       previous_ = current_;
       if (rng.UniformDouble() < move_prob) {
-        current_ = nbrs[rng.UniformInt(degree)];
+        const graph::NodeId next = nbrs[rng.UniformInt(degree)];
+        LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
+        if (!denied) current_ = next;
       }
       break;
     }
@@ -94,7 +126,9 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
       previous_ = current_;
       if (static_cast<double>(degree) >= c ||
           rng.UniformDouble() < static_cast<double>(degree) / c) {
-        current_ = nbrs[rng.UniformInt(degree)];
+        const graph::NodeId next = nbrs[rng.UniformInt(degree)];
+        LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
+        if (!denied) current_ = next;
       }
       break;
     }
@@ -146,7 +180,10 @@ Status NodeWalk::AdvanceCollapsed(int64_t steps, Rng& rng) {
     }
     remaining -= loops + 1;
     previous_ = current_;
-    current_ = nbrs[rng.UniformInt(degree)];
+    const graph::NodeId next = nbrs[rng.UniformInt(degree)];
+    LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
+    if (!denied) current_ = next;  // denied: the attempted move is one more
+                                   // self-loop iteration (already counted)
   }
   return Status::Ok();
 }

@@ -56,6 +56,12 @@ class NodeWalk {
   /// The geometric-skipping Advance for kMaxDegree/kGmd.
   Status AdvanceCollapsed(int64_t steps, Rng& rng);
 
+  /// With params.detour_on_denied set, probes `candidate`'s profile and
+  /// returns true when it is private (the move must be rejected); false
+  /// when accessible or when the detour policy is off (no probe issued).
+  /// Non-permission errors propagate.
+  Result<bool> DeniedByDetour(graph::NodeId candidate);
+
   osn::OsnApi* api_;
   WalkParams params_;
   graph::NodeId current_ = -1;

@@ -73,6 +73,26 @@ struct WalkParams {
   /// charges) the collapsed walk reports fewer api_calls than the naive
   /// one — disable collapsing for worst-case accounting runs.
   bool collapse_self_loops = true;
+  /// Detour policy for private profiles (kPermissionDenied): before moving,
+  /// the walk probes the chosen neighbor's profile; a denied probe is
+  /// treated as a *rejected proposal* — the iteration is consumed, the walk
+  /// stays in place — instead of aborting the walk. Off (abort) by default.
+  ///
+  /// Bias note (docs/API.md §Scenarios has the full argument): rejecting
+  /// private neighbors restricts the chain to the reachable public
+  /// subgraph while leaving every public transition probability — and
+  /// therefore the stationary weights above, which use the *full* profile
+  /// degree — unchanged, so estimates stay consistent for the public part
+  /// of the graph. What is lost is exactly what a real crawler cannot see:
+  /// target edges with a private endpoint are never sampled, giving a
+  /// downward bias of roughly the fraction of target edges touching
+  /// private users (<= 2 * private_rate for small rates). Denied probes
+  /// charge one API call each (a real crawler pays for the page visit that
+  /// bounces).
+  ///
+  /// When off, nothing is probed and the walk's behavior and accounting
+  /// are bit-identical to before this knob existed.
+  bool detour_on_denied = false;
 
   /// C = gmd_delta * max_degree_prior, at least 1.
   double GmdC() const {

@@ -1,0 +1,126 @@
+// On-disk layout of the labelrw binary graph snapshot (".lgs").
+//
+// A snapshot is one file: a fixed-size header at offset 0, then page-aligned
+// sections holding the CSR arrays exactly as graph::Graph / graph::LabelStore
+// hold them in memory, so store::MappedGraph can serve both as zero-copy
+// views straight out of an mmap:
+//
+//   [header]                  sizeof(StoreHeader) bytes, FNV-1a protected
+//   [csr offsets]             (num_nodes + 1) x int64   node CSR row starts
+//   [adjacency]               2 * num_edges  x int32    per-node sorted
+//   [label offsets]           (num_nodes + 1) x int64   label CSR row starts
+//   [labels]                  num_label_entries x int32 per-node sorted
+//   [remap]       (optional)  num_nodes x int32         original node ids
+//
+// Every section starts on a kSectionAlignment boundary (mmap-friendly and
+// guarantees the int64 arrays are naturally aligned) and carries its own
+// 64-bit FNV-1a checksum in the header's section table. The header records
+// the element widths explicitly, so a build whose NodeId/Label/offset types
+// changed refuses foreign snapshots instead of misreading them.
+//
+// Versioning rules (mirroring the trace format of osn/record_replay.h):
+// readers accept exactly kFormatVersion; a snapshot from a newer build
+// fails with a "re-convert with tools/graphstore_cli" hint rather than a
+// parse error. Multi-byte fields are stored in the writing host's byte
+// order and `endian_tag` detects a mismatch at open time.
+
+#ifndef LABELRW_STORE_FORMAT_H_
+#define LABELRW_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace labelrw::store {
+
+/// First bytes of every snapshot file.
+inline constexpr char kStoreMagic[8] = {'L', 'R', 'W', 'G',
+                                        'S', 'T', 'O', 'R'};
+
+/// The snapshot format this build reads and writes.
+inline constexpr uint32_t kStoreFormatVersion = 1;
+
+/// Written as a native-order word; reads back differently on a host with
+/// the opposite byte order.
+inline constexpr uint32_t kEndianTag = 0x01020304u;
+
+/// Section start alignment, in bytes. One 4 KiB page: sections never share
+/// a page with the header or each other, and every element array is
+/// naturally aligned for its type.
+inline constexpr uint64_t kSectionAlignment = 4096;
+
+/// Section table slots, in file order.
+enum SectionId : uint32_t {
+  kSectionCsrOffsets = 0,
+  kSectionAdjacency = 1,
+  kSectionLabelOffsets = 2,
+  kSectionLabels = 3,
+  kSectionRemap = 4,
+  kNumSections = 5,
+};
+
+/// StoreHeader::flags bits.
+inline constexpr uint32_t kFlagHasRemap = 1u << 0;
+
+struct SectionDesc {
+  uint64_t file_offset = 0;  // absolute byte offset; kSectionAlignment-aligned
+  uint64_t byte_size = 0;    // payload bytes (padding excluded)
+  uint64_t checksum = 0;     // FNV-1a 64 over the payload bytes
+};
+
+struct StoreHeader {
+  char magic[8] = {};
+  uint32_t format_version = 0;
+  uint32_t endian_tag = 0;
+  uint32_t header_bytes = 0;  // sizeof(StoreHeader) at write time
+  uint32_t flags = 0;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t max_degree = 0;
+  int64_t num_label_entries = 0;
+  /// Element widths, in bytes, of the offset / adjacency / label arrays.
+  /// Checked at open so a type-width drift can never be misread as data.
+  uint32_t offset_width = 0;
+  uint32_t node_id_width = 0;
+  uint32_t label_width = 0;
+  uint32_t reserved = 0;
+  SectionDesc sections[kNumSections] = {};
+  /// FNV-1a 64 over every header byte before this field.
+  uint64_t header_checksum = 0;
+};
+
+static_assert(sizeof(StoreHeader) ==
+                  8 + 5 * sizeof(uint32_t) + 4 * sizeof(int64_t) +
+                      3 * sizeof(uint32_t) + kNumSections * sizeof(SectionDesc) +
+                      sizeof(uint64_t),
+              "StoreHeader must stay tightly packed (no padding): the "
+              "header checksum and cross-build compatibility depend on a "
+              "stable byte layout");
+static_assert(sizeof(StoreHeader) < kSectionAlignment,
+              "header must fit in front of the first aligned section");
+
+/// FNV-1a 64-bit over `size` bytes, continuing from `state` (chainable).
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t state = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= 0x100000001b3ULL;
+  }
+  return state;
+}
+
+/// The checksum stored in StoreHeader::header_checksum.
+inline uint64_t HeaderChecksum(const StoreHeader& header) {
+  return Fnv1a64(&header, offsetof(StoreHeader, header_checksum));
+}
+
+/// `offset` rounded up to the next section boundary.
+inline uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlignment - 1) / kSectionAlignment *
+         kSectionAlignment;
+}
+
+}  // namespace labelrw::store
+
+#endif  // LABELRW_STORE_FORMAT_H_

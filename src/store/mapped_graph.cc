@@ -1,0 +1,286 @@
+#include "store/mapped_graph.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace labelrw::store {
+namespace {
+
+Status TruncatedError(const std::string& path, const std::string& what) {
+  return InvalidArgumentError("store '" + path + "' is truncated: " + what);
+}
+
+/// Header sanity up to (but not including) section payloads. Order
+/// matters: magic and version diagnose before the checksum, so a snapshot
+/// from a newer build reports the version hint instead of "corrupt".
+Status ValidateHeader(const StoreHeader& header, uint64_t file_bytes,
+                      const std::string& path) {
+  if (std::memcmp(header.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    return InvalidArgumentError(
+        "'" + path + "' is not a labelrw graph store (bad magic)");
+  }
+  if (header.endian_tag != kEndianTag) {
+    return InvalidArgumentError(
+        "store '" + path +
+        "' was written on a host with a different byte order");
+  }
+  if (header.format_version != kStoreFormatVersion) {
+    return FailedPreconditionError(
+        "store format version " + std::to_string(header.format_version) +
+        " does not match this build's version " +
+        std::to_string(kStoreFormatVersion) +
+        "; re-convert the snapshot with tools/graphstore_cli convert");
+  }
+  if (HeaderChecksum(header) != header.header_checksum) {
+    return InvalidArgumentError("store '" + path +
+                                "' has a corrupt header (checksum mismatch)");
+  }
+  if (header.header_bytes != sizeof(StoreHeader)) {
+    return InvalidArgumentError("store '" + path +
+                                "' has an unexpected header size");
+  }
+  if (header.offset_width != sizeof(int64_t) ||
+      header.node_id_width != sizeof(graph::NodeId) ||
+      header.label_width != sizeof(graph::Label)) {
+    return InvalidArgumentError(
+        "store '" + path +
+        "' element widths do not match this build (offset/node-id/label "
+        "widths must be 8/4/4 bytes)");
+  }
+  if (header.num_nodes < 0 || header.num_edges < 0 ||
+      header.num_label_entries < 0 || header.max_degree < 0) {
+    return InvalidArgumentError("store '" + path + "' has negative counts");
+  }
+
+  const uint64_t n = static_cast<uint64_t>(header.num_nodes);
+  const uint64_t expected[kNumSections] = {
+      (n + 1) * sizeof(int64_t),
+      2 * static_cast<uint64_t>(header.num_edges) * sizeof(graph::NodeId),
+      (n + 1) * sizeof(int64_t),
+      static_cast<uint64_t>(header.num_label_entries) * sizeof(graph::Label),
+      (header.flags & kFlagHasRemap) != 0 ? n * sizeof(graph::NodeId) : 0,
+  };
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    const SectionDesc& desc = header.sections[s];
+    if (desc.byte_size != expected[s]) {
+      return InvalidArgumentError(
+          "store '" + path + "' section " + std::to_string(s) +
+          " has an inconsistent size for the header's counts");
+    }
+    if (desc.byte_size == 0) continue;
+    if (desc.file_offset % kSectionAlignment != 0 ||
+        desc.file_offset < sizeof(StoreHeader)) {
+      return InvalidArgumentError("store '" + path + "' section " +
+                                  std::to_string(s) + " is misaligned");
+    }
+    if (desc.file_offset > file_bytes ||
+        desc.byte_size > file_bytes - desc.file_offset) {
+      return TruncatedError(path, "section " + std::to_string(s) +
+                                      " extends past the end of the file");
+    }
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+std::span<const T> SectionSpan(const void* map, const SectionDesc& desc) {
+  if (desc.byte_size == 0) return {};
+  return std::span<const T>(
+      reinterpret_cast<const T*>(static_cast<const char*>(map) +
+                                 desc.file_offset),
+      desc.byte_size / sizeof(T));
+}
+
+}  // namespace
+
+MappedGraph::~MappedGraph() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+MappedGraph::MappedGraph(MappedGraph&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      header_(other.header_),
+      graph_(std::move(other.graph_)),
+      labels_(std::move(other.labels_)),
+      remap_(std::exchange(other.remap_, {})) {}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    header_ = other.header_;
+    graph_ = std::move(other.graph_);
+    labels_ = std::move(other.labels_);
+    remap_ = std::exchange(other.remap_, {});
+  }
+  return *this;
+}
+
+Result<MappedGraph> MappedGraph::Open(const std::string& path,
+                                      const Options& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return NotFoundError("cannot open store '" + path +
+                         "': " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return InternalError("cannot stat store '" + path +
+                         "': " + std::strerror(errno));
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  if (file_bytes < sizeof(StoreHeader)) {
+    ::close(fd);
+    return TruncatedError(path, "smaller than the header");
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return InternalError("cannot map store '" + path +
+                         "': " + std::strerror(errno));
+  }
+
+  MappedGraph mapped;
+  mapped.map_ = map;
+  mapped.map_bytes_ = static_cast<size_t>(file_bytes);
+  std::memcpy(&mapped.header_, map, sizeof(StoreHeader));
+  LABELRW_RETURN_IF_ERROR(ValidateHeader(mapped.header_, file_bytes, path));
+
+  if (options.verify_section_checksums) {
+    for (uint32_t s = 0; s < kNumSections; ++s) {
+      const SectionDesc& desc = mapped.header_.sections[s];
+      const uint64_t actual = Fnv1a64(
+          static_cast<const char*>(map) + desc.file_offset, desc.byte_size);
+      if (actual != desc.checksum) {
+        return InvalidArgumentError(
+            "store '" + path + "' section " + std::to_string(s) +
+            " is corrupt (checksum mismatch)");
+      }
+    }
+  }
+
+  // Front/back anchors: with the per-node monotonicity that
+  // VerifyStoreFile checks, these bound every offset into its section.
+  // Checking them here costs two page touches and catches the gross
+  // breakages (a negative or shifted offset base) even on lazy opens.
+  const auto offsets =
+      SectionSpan<int64_t>(map, mapped.header_.sections[kSectionCsrOffsets]);
+  const auto adjacency = SectionSpan<graph::NodeId>(
+      map, mapped.header_.sections[kSectionAdjacency]);
+  if (offsets.front() != 0 ||
+      offsets.back() != static_cast<int64_t>(adjacency.size())) {
+    return InvalidArgumentError(
+        "store '" + path +
+        "' CSR offsets do not close over the adjacency section");
+  }
+  const auto label_offsets = SectionSpan<int64_t>(
+      map, mapped.header_.sections[kSectionLabelOffsets]);
+  const auto label_entries = SectionSpan<graph::Label>(
+      map, mapped.header_.sections[kSectionLabels]);
+  if (label_offsets.front() != 0 ||
+      label_offsets.back() != static_cast<int64_t>(label_entries.size())) {
+    return InvalidArgumentError(
+        "store '" + path +
+        "' label offsets do not close over the label section");
+  }
+  mapped.graph_ = graph::Graph::FromExternal(offsets, adjacency,
+                                             mapped.header_.max_degree);
+  mapped.labels_ = graph::LabelStore::FromExternal(label_offsets,
+                                                   label_entries);
+  mapped.remap_ =
+      SectionSpan<graph::NodeId>(map, mapped.header_.sections[kSectionRemap]);
+  return mapped;
+}
+
+Status VerifyStoreFile(const std::string& path) {
+  MappedGraph::Options options;
+  options.verify_section_checksums = true;
+  LABELRW_ASSIGN_OR_RETURN(const MappedGraph mapped,
+                           MappedGraph::Open(path, options));
+
+  const graph::Graph& g = mapped.graph();
+  const auto offsets = g.csr_offsets();
+  const int64_t n = g.num_nodes();
+  // Full monotonicity pass BEFORE any row is dereferenced: together with
+  // the front == 0 / back == |adjacency| anchors checked at open, it
+  // proves every offset lands inside the section, so the row walk below
+  // cannot read out of bounds even on an adversarial file.
+  for (int64_t u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return InvalidArgumentError("store '" + path +
+                                  "' CSR offsets are not monotone at node " +
+                                  std::to_string(u));
+    }
+  }
+  int64_t max_degree = 0;
+  for (int64_t u = 0; u < n; ++u) {
+    max_degree = std::max(max_degree, offsets[u + 1] - offsets[u]);
+    graph::NodeId prev = -1;
+    for (const graph::NodeId v : g.neighbors(static_cast<graph::NodeId>(u))) {
+      if (v < 0 || v >= n) {
+        return InvalidArgumentError("store '" + path +
+                                    "' adjacency id out of range at node " +
+                                    std::to_string(u));
+      }
+      if (v <= prev) {
+        return InvalidArgumentError(
+            "store '" + path +
+            "' adjacency row is not strictly sorted at node " +
+            std::to_string(u));
+      }
+      if (v == u) {
+        return InvalidArgumentError("store '" + path +
+                                    "' contains a self-loop at node " +
+                                    std::to_string(u));
+      }
+      prev = v;
+      if (!g.HasEdge(v, static_cast<graph::NodeId>(u))) {
+        return InvalidArgumentError(
+            "store '" + path + "' adjacency is asymmetric: edge " +
+            std::to_string(u) + "->" + std::to_string(v) +
+            " has no reverse entry");
+      }
+    }
+  }
+  if (max_degree != mapped.header().max_degree) {
+    return InvalidArgumentError(
+        "store '" + path + "' header max_degree " +
+        std::to_string(mapped.header().max_degree) +
+        " does not match the adjacency (" + std::to_string(max_degree) + ")");
+  }
+
+  const graph::LabelStore& labels = mapped.labels();
+  const auto label_offsets = labels.csr_offsets();
+  for (int64_t u = 0; u < n; ++u) {
+    if (label_offsets[u] > label_offsets[u + 1]) {
+      return InvalidArgumentError(
+          "store '" + path + "' label offsets are not monotone at node " +
+          std::to_string(u));
+    }
+  }
+  for (int64_t u = 0; u < n; ++u) {
+    graph::Label prev = -1;
+    for (const graph::Label l : labels.labels(static_cast<graph::NodeId>(u))) {
+      if (l < 0 || l <= prev) {
+        return InvalidArgumentError(
+            "store '" + path +
+            "' label row is not sorted/deduplicated at node " +
+            std::to_string(u));
+      }
+      prev = l;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace labelrw::store

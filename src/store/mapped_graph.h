@@ -1,0 +1,91 @@
+// MappedGraph: the zero-copy read path of the binary snapshot format.
+//
+// Open() validates the header (magic, byte order, format version, element
+// widths, section bounds, header checksum — cheap, O(1)), mmaps the file
+// read-only, and exposes the CSR sections as graph::Graph / LabelStore
+// *views* (graph.h FromExternal). The heavy arrays are never parsed or
+// copied: "load" is one mmap syscall and pages fault in lazily as walks
+// touch them. The one derived structure rebuilt at open is the label
+// *frequency index* (one scan of the label section — typically 1-2
+// entries per node, orders of magnitude smaller than the adjacency);
+// ready-to-walk latency still lands in microseconds where the text
+// loader pays full parse time (bench/bench_store.cc tracks the ratio).
+//
+// The views — and every copy of them — borrow the mapping: keep the
+// MappedGraph alive for as long as any Graph/LabelStore view handed out of
+// it is in use. Moving a MappedGraph keeps all views valid (the mapping
+// address does not change); destruction unmaps.
+//
+// StoreTransport (store/store_transport.h) wires a MappedGraph in as an
+// osn::Transport backend; LocalGraphApi over graph()/labels() serves the
+// v1 fast path (NeighborsFast/DegreeFast/LabelsFast return spans straight
+// into the mapping). Both are bit-identical to the in-memory path on all
+// ten algorithms (test-enforced in tests/integration_store_test.cc).
+
+#ifndef LABELRW_STORE_MAPPED_GRAPH_H_
+#define LABELRW_STORE_MAPPED_GRAPH_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "store/format.h"
+#include "util/status.h"
+
+namespace labelrw::store {
+
+struct MappedGraphOptions {
+  /// Also verify every section's FNV-1a checksum at open. Reads the whole
+  /// file (defeating lazy faulting), so the default leaves deep
+  /// verification to `graphstore_cli verify` / VerifyStoreFile().
+  bool verify_section_checksums = false;
+};
+
+class MappedGraph {
+ public:
+  using Options = MappedGraphOptions;
+
+  /// Maps the snapshot at `path`. Fails with a named reason on wrong magic,
+  /// foreign byte order, mismatched element widths, truncation, a corrupt
+  /// header, or a future format version (with a re-convert hint, like the
+  /// trace loader of osn/record_replay.h).
+  static Result<MappedGraph> Open(const std::string& path,
+                                  const Options& options = {});
+
+  MappedGraph() = default;
+  ~MappedGraph();
+
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+  MappedGraph(MappedGraph&& other) noexcept;
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+
+  /// Zero-copy views into the mapping. Valid (including copies) while this
+  /// MappedGraph lives.
+  const graph::Graph& graph() const { return graph_; }
+  const graph::LabelStore& labels() const { return labels_; }
+
+  /// Original node ids (the optional remap section); empty when absent.
+  std::span<const graph::NodeId> remap() const { return remap_; }
+
+  const StoreHeader& header() const { return header_; }
+  int64_t file_bytes() const { return static_cast<int64_t>(map_bytes_); }
+
+ private:
+  void* map_ = nullptr;
+  size_t map_bytes_ = 0;
+  StoreHeader header_{};  // copied out of the mapping at open
+  graph::Graph graph_;
+  graph::LabelStore labels_;
+  std::span<const graph::NodeId> remap_;
+};
+
+/// Deep verification: header validity, every section checksum, and the
+/// structural invariants of the CSR sections (monotone offsets, per-node
+/// sorted in-range adjacency without self-loops, adjacency symmetry,
+/// sorted deduplicated label rows). Reads the whole file.
+Status VerifyStoreFile(const std::string& path);
+
+}  // namespace labelrw::store
+
+#endif  // LABELRW_STORE_MAPPED_GRAPH_H_

@@ -1,0 +1,39 @@
+#include "store/store_transport.h"
+
+#include "graph/oracle.h"
+
+namespace labelrw::store {
+
+StoreTransport::StoreTransport(const MappedGraph& mapped) : mapped_(mapped) {
+  const graph::DegreeStats stats =
+      graph::ComputeDegreeStats(mapped_.graph());
+  priors_.num_nodes = mapped_.graph().num_nodes();
+  priors_.num_edges = mapped_.graph().num_edges();
+  priors_.max_degree = stats.max_degree;
+  priors_.max_line_degree = stats.max_line_degree;
+}
+
+Result<osn::UserRecord> StoreTransport::FetchRecord(
+    graph::NodeId user) const {
+  const graph::Graph& g = mapped_.graph();
+  if (!g.IsValidNode(user)) {
+    return NotFoundError("FetchRecord: unknown user");
+  }
+  osn::UserRecord record;
+  record.degree = g.degree(user);
+  record.neighbors = g.neighbors(user);
+  record.labels = mapped_.labels().labels(user);
+  return record;
+}
+
+Result<graph::NodeId> StoreTransport::SampleSeed(Rng& rng) const {
+  if (mapped_.graph().num_nodes() == 0) {
+    return FailedPreconditionError("SampleSeed: empty graph");
+  }
+  // Same draw as LocalGraphApi::SampleSeed, so store-backed crawls share
+  // the in-memory substrate's seed stream.
+  return static_cast<graph::NodeId>(
+      rng.UniformInt(mapped_.graph().num_nodes()));
+}
+
+}  // namespace labelrw::store

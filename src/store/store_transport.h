@@ -1,0 +1,41 @@
+// StoreTransport: the snapshot-backed osn::Transport.
+//
+// The third wire backend, next to the in-memory LocalGraphApi and the
+// time-evolving DynamicGraphTransport: FetchRecord answers straight out of
+// a MappedGraph's mapping (the returned spans are file pages), so an
+// osn::OsnClient crawl session — pagination, batching, faults, rate
+// limits — runs against an on-disk snapshot with no load phase at all.
+// SampleSeed consumes the RNG exactly like LocalGraphApi::SampleSeed, so a
+// crawl over the store replays the seed stream of the in-memory substrate
+// bit-for-bit.
+//
+// The priors' max_line_degree is derived with one O(|E|) scan at
+// construction (same as LocalGraphApi::Priors()); construct once and share
+// — the transport is immutable and thread-compatible.
+
+#ifndef LABELRW_STORE_STORE_TRANSPORT_H_
+#define LABELRW_STORE_STORE_TRANSPORT_H_
+
+#include "osn/transport.h"
+#include "store/mapped_graph.h"
+
+namespace labelrw::store {
+
+class StoreTransport final : public osn::Transport {
+ public:
+  /// `mapped` must outlive the transport.
+  explicit StoreTransport(const MappedGraph& mapped);
+
+  Result<osn::UserRecord> FetchRecord(graph::NodeId user) const override;
+  Result<graph::NodeId> SampleSeed(Rng& rng) const override;
+  int64_t num_users() const override { return mapped_.graph().num_nodes(); }
+  osn::GraphPriors TransportPriors() const override { return priors_; }
+
+ private:
+  const MappedGraph& mapped_;
+  osn::GraphPriors priors_;
+};
+
+}  // namespace labelrw::store
+
+#endif  // LABELRW_STORE_STORE_TRANSPORT_H_

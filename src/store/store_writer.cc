@@ -1,0 +1,376 @@
+#include "store/store_writer.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "store/format.h"
+
+namespace labelrw::store {
+namespace {
+
+Status IoError(const std::string& what, const std::string& path) {
+  return InternalError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// One section's payload as a contiguous byte range (possibly empty).
+struct SectionPayload {
+  const void* data = nullptr;
+  uint64_t byte_size = 0;
+};
+
+/// Writes `payload` at the file's current aligned position, checksumming
+/// as it goes, and fills `desc`.
+Status WriteSection(std::FILE* f, const std::string& path, uint64_t* position,
+                    const SectionPayload& payload, SectionDesc* desc) {
+  const uint64_t aligned = AlignUp(*position);
+  if (aligned > *position) {
+    static const char kZeros[kSectionAlignment] = {};
+    if (std::fwrite(kZeros, 1, aligned - *position, f) !=
+        aligned - *position) {
+      return IoError("writing section padding to", path);
+    }
+  }
+  desc->file_offset = aligned;
+  desc->byte_size = payload.byte_size;
+  desc->checksum = Fnv1a64(payload.data, payload.byte_size);
+  if (payload.byte_size > 0 &&
+      std::fwrite(payload.data, 1, payload.byte_size, f) !=
+          payload.byte_size) {
+    return IoError("writing section to", path);
+  }
+  *position = aligned + payload.byte_size;
+  return Status::Ok();
+}
+
+/// Writes the whole snapshot: header placeholder, the five sections, then
+/// the finalized header. `header` arrives with counts/widths/flags filled;
+/// the section table and checksums are computed here.
+Status WriteSnapshotFile(const std::string& path, StoreHeader header,
+                         const SectionPayload payloads[kNumSections]) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot create snapshot", path);
+
+  std::memcpy(header.magic, kStoreMagic, sizeof(kStoreMagic));
+  header.format_version = kStoreFormatVersion;
+  header.endian_tag = kEndianTag;
+  header.header_bytes = sizeof(StoreHeader);
+
+  Status status;
+  uint64_t position = sizeof(StoreHeader);
+  // Header placeholder; the real one lands after the checksums are known.
+  const StoreHeader zero_header{};
+  if (std::fwrite(&zero_header, 1, sizeof(zero_header), f) !=
+      sizeof(zero_header)) {
+    status = IoError("writing header to", path);
+  }
+  for (uint32_t s = 0; status.ok() && s < kNumSections; ++s) {
+    status = WriteSection(f, path, &position, payloads[s],
+                          &header.sections[s]);
+  }
+  if (status.ok()) {
+    header.header_checksum = HeaderChecksum(header);
+    if (std::fseek(f, 0, SEEK_SET) != 0 ||
+        std::fwrite(&header, 1, sizeof(header), f) != sizeof(header)) {
+      status = IoError("finalizing header of", path);
+    }
+  }
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = IoError("closing snapshot", path);
+  }
+  if (!status.ok()) std::remove(path.c_str());
+  return status;
+}
+
+/// Fills the count/width fields shared by both construction paths.
+StoreHeader MakeHeader(int64_t num_nodes, int64_t num_edges,
+                       int64_t max_degree, int64_t num_label_entries,
+                       bool has_remap) {
+  StoreHeader header;
+  header.num_nodes = num_nodes;
+  header.num_edges = num_edges;
+  header.max_degree = max_degree;
+  header.num_label_entries = num_label_entries;
+  header.offset_width = sizeof(int64_t);
+  header.node_id_width = sizeof(graph::NodeId);
+  header.label_width = sizeof(graph::Label);
+  header.flags = has_remap ? kFlagHasRemap : 0;
+  return header;
+}
+
+Status ValidateRemap(const StoreWriteOptions& options, int64_t num_nodes) {
+  if (!options.remap.empty() &&
+      static_cast<int64_t>(options.remap.size()) != num_nodes) {
+    return InvalidArgumentError(
+        "store write: remap must hold exactly num_nodes entries");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteStore(const graph::Graph& graph, const graph::LabelStore& labels,
+                  const std::string& path,
+                  const StoreWriteOptions& options) {
+  const int64_t n = graph.num_nodes();
+  if (n < 0) {
+    return InvalidArgumentError("store write: graph was never built");
+  }
+  if (labels.num_nodes() != n) {
+    return InvalidArgumentError(
+        "store write: label store does not cover the graph's node range");
+  }
+  LABELRW_RETURN_IF_ERROR(ValidateRemap(options, n));
+
+  const auto offsets = graph.csr_offsets();
+  const auto adjacency = graph.csr_adjacency();
+  const auto label_offsets = labels.csr_offsets();
+  const auto label_entries = labels.csr_labels();
+
+  StoreHeader header =
+      MakeHeader(n, graph.num_edges(), graph.max_degree(),
+                 static_cast<int64_t>(label_entries.size()),
+                 !options.remap.empty());
+  SectionPayload payloads[kNumSections];
+  payloads[kSectionCsrOffsets] = {offsets.data(),
+                                  offsets.size() * sizeof(int64_t)};
+  payloads[kSectionAdjacency] = {adjacency.data(),
+                                 adjacency.size() * sizeof(graph::NodeId)};
+  payloads[kSectionLabelOffsets] = {label_offsets.data(),
+                                    label_offsets.size() * sizeof(int64_t)};
+  payloads[kSectionLabels] = {label_entries.data(),
+                              label_entries.size() * sizeof(graph::Label)};
+  payloads[kSectionRemap] = {options.remap.data(),
+                             options.remap.size() * sizeof(graph::NodeId)};
+  return WriteSnapshotFile(path, header, payloads);
+}
+
+StreamingStoreBuilder::StreamingStoreBuilder(std::string path, Options options)
+    : path_(std::move(path)),
+      options_(options),
+      spill_path_(path_ + ".spill") {
+  if (options_.spill_batch_edges < 1) options_.spill_batch_edges = 1;
+  buffer_.reserve(static_cast<size_t>(options_.spill_batch_edges));
+}
+
+StreamingStoreBuilder::~StreamingStoreBuilder() { RemoveScratchFiles(); }
+
+void StreamingStoreBuilder::RemoveScratchFiles() {
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    spill_ = nullptr;
+  }
+  std::remove(spill_path_.c_str());
+  std::remove((path_ + ".adjtmp").c_str());
+}
+
+Status StreamingStoreBuilder::SpillBuffer() {
+  if (buffer_.empty()) return Status::Ok();
+  if (spill_ == nullptr) {
+    spill_ = std::fopen(spill_path_.c_str(), "w+b");
+    if (spill_ == nullptr) {
+      return IoError("cannot create edge spill", spill_path_);
+    }
+  }
+  if (std::fwrite(buffer_.data(), sizeof(graph::Edge), buffer_.size(),
+                  spill_) != buffer_.size()) {
+    return IoError("writing edge spill", spill_path_);
+  }
+  spill_edges_ += static_cast<int64_t>(buffer_.size());
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status StreamingStoreBuilder::AddEdge(graph::NodeId u, graph::NodeId v) {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return (status_ = FailedPreconditionError(
+                "StreamingStoreBuilder: AddEdge after Finish"));
+  }
+  if (u < 0 || v < 0) {
+    return (status_ =
+                InvalidArgumentError("negative node id passed to AddEdge"));
+  }
+  if (u == v) return Status::Ok();  // self-loop: dropped eagerly
+  const graph::NodeId hi = u > v ? u : v;
+  if (static_cast<int64_t>(degree_.size()) <= hi) {
+    degree_.resize(static_cast<size_t>(hi) + 1, 0);
+  }
+  ++degree_[static_cast<size_t>(u)];
+  ++degree_[static_cast<size_t>(v)];
+  buffer_.push_back(graph::Edge{u, v});
+  ++edges_added_;
+  if (static_cast<int64_t>(buffer_.size()) >= options_.spill_batch_edges) {
+    status_ = SpillBuffer();
+  }
+  return status_;
+}
+
+Status StreamingStoreBuilder::AddEdgeBatch(std::span<const graph::Edge> edges) {
+  for (const graph::Edge& e : edges) {
+    LABELRW_RETURN_IF_ERROR(AddEdge(e.u, e.v));
+  }
+  return Status::Ok();
+}
+
+Result<StreamingBuildStats> StreamingStoreBuilder::Finish(
+    const graph::LabelStore* labels, const StoreWriteOptions& options) {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return FailedPreconditionError("StreamingStoreBuilder: double Finish");
+  }
+  finished_ = true;
+
+  const int64_t n = std::max<int64_t>(options_.min_nodes,
+                                      static_cast<int64_t>(degree_.size()));
+  if (labels != nullptr && labels->num_nodes() != n) {
+    return InvalidArgumentError(
+        "StreamingStoreBuilder: label store does not cover the streamed "
+        "node range");
+  }
+  LABELRW_RETURN_IF_ERROR(ValidateRemap(options, n));
+
+  // Counting pass result -> duplicate-inclusive CSR row starts. The same
+  // array serves as the scatter cursors; row starts are recovered from the
+  // previous row's end.
+  std::vector<int64_t> cursor(static_cast<size_t>(n) + 1, 0);
+  for (int64_t u = 0; u < static_cast<int64_t>(degree_.size()); ++u) {
+    cursor[static_cast<size_t>(u) + 1] = degree_[static_cast<size_t>(u)];
+  }
+  for (int64_t u = 0; u < n; ++u) {
+    cursor[static_cast<size_t>(u) + 1] += cursor[static_cast<size_t>(u)];
+  }
+  std::vector<int64_t>().swap(degree_);
+
+  const int64_t total_directed = 2 * edges_added_;
+  const std::string scratch_path = path_ + ".adjtmp";
+  const uint64_t scratch_bytes =
+      static_cast<uint64_t>(total_directed) * sizeof(graph::NodeId);
+  graph::NodeId* scratch = nullptr;
+  int scratch_fd = -1;
+  if (total_directed > 0) {
+    scratch_fd = ::open(scratch_path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                        0644);
+    if (scratch_fd < 0) {
+      return IoError("cannot create adjacency scratch", scratch_path);
+    }
+    if (::ftruncate(scratch_fd, static_cast<off_t>(scratch_bytes)) != 0) {
+      ::close(scratch_fd);
+      return IoError("cannot size adjacency scratch", scratch_path);
+    }
+    void* map = ::mmap(nullptr, scratch_bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, scratch_fd, 0);
+    ::close(scratch_fd);
+    if (map == MAP_FAILED) {
+      return IoError("cannot map adjacency scratch", scratch_path);
+    }
+    scratch = static_cast<graph::NodeId*>(map);
+  }
+  const auto unmap_scratch = [&] {
+    if (scratch != nullptr) ::munmap(scratch, scratch_bytes);
+  };
+
+  // Scatter pass: both directions of every spilled + buffered edge land at
+  // their row cursors (random writes into the scratch mapping — the page
+  // cache absorbs them; the mapping never has to fit in RAM).
+  const auto scatter = [&](std::span<const graph::Edge> edges) {
+    for (const graph::Edge& e : edges) {
+      scratch[cursor[static_cast<size_t>(e.u)]++] = e.v;
+      scratch[cursor[static_cast<size_t>(e.v)]++] = e.u;
+    }
+  };
+  if (spill_ != nullptr) {
+    std::vector<graph::Edge> chunk(
+        static_cast<size_t>(std::min<int64_t>(options_.spill_batch_edges,
+                                              spill_edges_)));
+    std::rewind(spill_);
+    int64_t remaining = spill_edges_;
+    while (remaining > 0) {
+      const size_t want = static_cast<size_t>(
+          std::min<int64_t>(remaining, static_cast<int64_t>(chunk.size())));
+      if (std::fread(chunk.data(), sizeof(graph::Edge), want, spill_) !=
+          want) {
+        unmap_scratch();
+        return IoError("reading edge spill", spill_path_);
+      }
+      scatter(std::span<const graph::Edge>(chunk.data(), want));
+      remaining -= static_cast<int64_t>(want);
+    }
+  }
+  scatter(buffer_);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+
+  // Compaction pass: sort each row, drop duplicates, pack rows leftward in
+  // place (write never overtakes read: dedup only shrinks), and derive the
+  // final offsets. After the cursor walk, cursor[u] is row u's
+  // duplicate-inclusive *end*, so the row spans (previous end, cursor[u]].
+  std::vector<int64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  int64_t write = 0;
+  int64_t read_start = 0;
+  int64_t max_degree = 0;
+  for (int64_t u = 0; u < n; ++u) {
+    const int64_t read_end = cursor[static_cast<size_t>(u)];
+    offsets[static_cast<size_t>(u)] = write;
+    std::sort(scratch + read_start, scratch + read_end);
+    graph::NodeId last = -1;
+    for (int64_t i = read_start; i < read_end; ++i) {
+      if (scratch[i] == last) continue;
+      last = scratch[i];
+      scratch[write++] = last;
+    }
+    max_degree =
+        std::max(max_degree, write - offsets[static_cast<size_t>(u)]);
+    read_start = read_end;
+  }
+  offsets[static_cast<size_t>(n)] = write;
+  std::vector<int64_t>().swap(cursor);
+
+  // Packed rows stream straight out of the scratch mapping into the file.
+  std::vector<int64_t> empty_label_offsets;
+  std::span<const int64_t> label_offsets;
+  std::span<const graph::Label> label_entries;
+  if (labels != nullptr) {
+    label_offsets = labels->csr_offsets();
+    label_entries = labels->csr_labels();
+  } else {
+    empty_label_offsets.assign(static_cast<size_t>(n) + 1, 0);
+    label_offsets = empty_label_offsets;
+  }
+
+  StoreHeader header =
+      MakeHeader(n, write / 2, max_degree,
+                 static_cast<int64_t>(label_entries.size()),
+                 !options.remap.empty());
+  SectionPayload payloads[kNumSections];
+  payloads[kSectionCsrOffsets] = {offsets.data(),
+                                  offsets.size() * sizeof(int64_t)};
+  payloads[kSectionAdjacency] = {
+      scratch, static_cast<uint64_t>(write) * sizeof(graph::NodeId)};
+  payloads[kSectionLabelOffsets] = {label_offsets.data(),
+                                    label_offsets.size() * sizeof(int64_t)};
+  payloads[kSectionLabels] = {label_entries.data(),
+                              label_entries.size() * sizeof(graph::Label)};
+  payloads[kSectionRemap] = {options.remap.data(),
+                             options.remap.size() * sizeof(graph::NodeId)};
+  const Status written = WriteSnapshotFile(path_, header, payloads);
+  unmap_scratch();
+  RemoveScratchFiles();
+  LABELRW_RETURN_IF_ERROR(written);
+
+  StreamingBuildStats stats;
+  stats.num_nodes = n;
+  stats.num_edges = write / 2;
+  stats.edges_added = edges_added_;
+  stats.max_degree = max_degree;
+  stats.spill_bytes =
+      spill_edges_ * static_cast<int64_t>(sizeof(graph::Edge));
+  return stats;
+}
+
+}  // namespace labelrw::store

@@ -1,0 +1,110 @@
+// Writers for the binary graph snapshot format (store/format.h).
+//
+// Two construction paths:
+//
+//   * WriteStore() serializes an in-memory graph::Graph + LabelStore — the
+//     one-shot "convert" path for graphs that already fit in RAM.
+//
+//   * StreamingStoreBuilder consumes an edge *stream* (e.g. from
+//     synth::StreamBarabasiAlbert) in batches and never materializes the
+//     edge list in memory: edges spill to a temporary file while only the
+//     per-node degree counters stay resident (the external-memory counting
+//     pass), then a second pass scatters the spilled edges into an
+//     mmap-backed scratch CSR, sorts + deduplicates each adjacency row in
+//     place, and streams the compacted sections into the snapshot. Peak
+//     RAM is O(|V|) counters + one spill batch, so million-node /
+//     hundred-million-edge snapshots build on a laptop-sized heap. The
+//     resulting file is byte-identical to WriteStore() over
+//     graph::GraphBuilder fed the same edges (test-enforced in
+//     tests/store_test.cc).
+
+#ifndef LABELRW_STORE_STORE_WRITER_H_
+#define LABELRW_STORE_STORE_WRITER_H_
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace labelrw::store {
+
+struct StoreWriteOptions {
+  /// Original node id of every store node (e.g. the pre-LCC ids recorded by
+  /// `graphstore_cli convert --lcc`). Empty = no remap section; otherwise
+  /// must hold exactly num_nodes entries.
+  std::span<const graph::NodeId> remap = {};
+};
+
+/// Serializes `graph` + `labels` into a snapshot at `path` (overwriting).
+/// The label store must cover exactly the graph's node range.
+Status WriteStore(const graph::Graph& graph, const graph::LabelStore& labels,
+                  const std::string& path,
+                  const StoreWriteOptions& options = {});
+
+/// What StreamingStoreBuilder::Finish built.
+struct StreamingBuildStats {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;    // distinct undirected edges after cleaning
+  int64_t edges_added = 0;  // AddEdge calls that were not self-loops
+  int64_t max_degree = 0;
+  int64_t spill_bytes = 0;  // peak size of the external-memory edge spill
+};
+
+struct StreamingBuilderOptions {
+  /// Pre-declares at least this many nodes (isolated trailing nodes).
+  int64_t min_nodes = 0;
+  /// Edges buffered in RAM before spilling to disk (8 bytes each).
+  int64_t spill_batch_edges = int64_t{1} << 22;  // 32 MiB
+};
+
+class StreamingStoreBuilder {
+ public:
+  using Options = StreamingBuilderOptions;
+
+  /// Will write the snapshot to `path`; scratch files live next to it
+  /// (`path + ".spill"`, `path + ".adjtmp"`) and are removed by Finish or
+  /// the destructor.
+  explicit StreamingStoreBuilder(std::string path, Options options = {});
+  ~StreamingStoreBuilder();
+
+  StreamingStoreBuilder(const StreamingStoreBuilder&) = delete;
+  StreamingStoreBuilder& operator=(const StreamingStoreBuilder&) = delete;
+
+  /// Adds the undirected edge {u, v}. Self-loops are dropped, duplicates
+  /// collapse at Finish — the exact cleaning of graph::GraphBuilder.
+  /// Errors (negative ids, spill I/O) latch: every later call and Finish
+  /// report the first failure.
+  Status AddEdge(graph::NodeId u, graph::NodeId v);
+  Status AddEdgeBatch(std::span<const graph::Edge> edges);
+
+  int64_t edges_added() const { return edges_added_; }
+
+  /// Runs the counting + scatter passes and writes the snapshot. `labels`
+  /// may be nullptr (every node gets an empty label set) or must cover
+  /// exactly the streamed node range. The builder is spent afterwards.
+  Result<StreamingBuildStats> Finish(const graph::LabelStore* labels,
+                                     const StoreWriteOptions& options = {});
+
+ private:
+  Status SpillBuffer();
+  void RemoveScratchFiles();
+
+  std::string path_;
+  Options options_;
+  Status status_;  // first error, latched
+  std::string spill_path_;
+  std::FILE* spill_ = nullptr;
+  int64_t spill_edges_ = 0;
+  std::vector<graph::Edge> buffer_;
+  std::vector<int64_t> degree_;  // duplicate-inclusive, grows with max id
+  int64_t edges_added_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace labelrw::store
+
+#endif  // LABELRW_STORE_STORE_WRITER_H_

@@ -43,6 +43,59 @@ Result<graph::Graph> BarabasiAlbert(int64_t n, int64_t attach,
   return builder.Build();
 }
 
+Status StreamBarabasiAlbert(int64_t n, int64_t attach, uint64_t seed,
+                            int64_t batch_edges, const EdgeSink& sink) {
+  if (attach < 1 || n <= attach) {
+    return InvalidArgumentError("StreamBarabasiAlbert: need n > attach >= 1");
+  }
+  if (batch_edges < 1) {
+    return InvalidArgumentError("StreamBarabasiAlbert: need batch_edges >= 1");
+  }
+  if (!sink) {
+    return InvalidArgumentError("StreamBarabasiAlbert: sink is empty");
+  }
+  Rng rng(seed);
+
+  std::vector<graph::Edge> batch;
+  batch.reserve(static_cast<size_t>(batch_edges));
+  const auto emit = [&](graph::NodeId u, graph::NodeId v) -> Status {
+    batch.push_back(graph::Edge::Make(u, v));
+    if (static_cast<int64_t>(batch.size()) >= batch_edges) {
+      LABELRW_RETURN_IF_ERROR(sink(batch));
+      batch.clear();
+    }
+    return Status::Ok();
+  };
+
+  // Mirrors BarabasiAlbert() step for step (the RNG streams match, so the
+  // emitted sequence IS that generator's edge list).
+  std::vector<graph::NodeId> stubs;
+  stubs.reserve(static_cast<size_t>(2 * n * attach));
+  for (graph::NodeId u = 0; u < attach; ++u) {
+    LABELRW_RETURN_IF_ERROR(emit(u, u + 1));
+    stubs.push_back(u);
+    stubs.push_back(u + 1);
+  }
+  std::unordered_set<graph::NodeId> chosen;
+  for (graph::NodeId u = static_cast<graph::NodeId>(attach) + 1; u < n; ++u) {
+    chosen.clear();
+    while (static_cast<int64_t>(chosen.size()) < attach) {
+      const graph::NodeId t =
+          stubs[rng.UniformInt(static_cast<int64_t>(stubs.size()))];
+      chosen.insert(t);
+    }
+    for (graph::NodeId t : chosen) {
+      LABELRW_RETURN_IF_ERROR(emit(u, t));
+      stubs.push_back(u);
+      stubs.push_back(t);
+    }
+  }
+  if (!batch.empty()) {
+    LABELRW_RETURN_IF_ERROR(sink(batch));
+  }
+  return Status::Ok();
+}
+
 Result<graph::Graph> PowerlawCluster(int64_t n, int64_t attach,
                                      double triad_prob, uint64_t seed) {
   if (attach < 1 || n <= attach) {

@@ -8,6 +8,8 @@
 #define LABELRW_SYNTH_GENERATORS_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -15,11 +17,26 @@
 
 namespace labelrw::synth {
 
+/// Receives one batch of generated edges. Returning an error aborts the
+/// generator, which propagates the status.
+using EdgeSink = std::function<Status(std::span<const graph::Edge>)>;
+
 /// Barabási–Albert preferential attachment: each new node attaches to
 /// `attach` existing nodes chosen proportionally to degree. The result is
 /// connected with a power-law-ish degree tail, like OSN friendship graphs.
 /// Requires n > attach >= 1.
 Result<graph::Graph> BarabasiAlbert(int64_t n, int64_t attach, uint64_t seed);
+
+/// Streaming Barabási–Albert: emits the exact edge sequence of
+/// BarabasiAlbert(n, attach, seed) — same attachment process, same RNG
+/// consumption — in batches of `batch_edges` through `sink`, without ever
+/// building a Graph. Feed it to store::StreamingStoreBuilder to construct
+/// million-node snapshots whose CSR is bit-identical to the in-memory
+/// build (test-enforced in tests/store_test.cc). Memory: the preferential-
+/// attachment stub array, ~2 * attach * n node ids — the generator's
+/// intrinsic state — plus one batch.
+Status StreamBarabasiAlbert(int64_t n, int64_t attach, uint64_t seed,
+                            int64_t batch_edges, const EdgeSink& sink);
 
 /// Erdős–Rényi G(n, M): exactly `num_edges` distinct uniform edges.
 /// Requires 0 <= num_edges <= C(n,2); the graph may be disconnected

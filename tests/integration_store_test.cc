@@ -1,0 +1,164 @@
+// Cross-layer integration tests for the snapshot store: the full sweep
+// harness must be bit-identical over the mmap backend for all ten
+// algorithms, and a streamed store must serve the whole access stack.
+//
+// The environment variable LABELRW_STORE_PATH points these tests at an
+// externally built snapshot (CI builds a 1M-node store once with
+// `graphstore_cli synth` and runs the integration label against it);
+// without it, a smaller streamed store is built in the temp directory so
+// the suite stays self-contained locally.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "estimators/estimator.h"
+#include "eval/experiment.h"
+#include "osn/client.h"
+#include "osn/local_api.h"
+#include "store/mapped_graph.h"
+#include "store/store_transport.h"
+#include "store/store_writer.h"
+#include "synth/datasets.h"
+#include "synth/generators.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("labelrw_integration_store_") + name))
+      .string();
+}
+
+// Acceptance gate: eval::RunSweep over the mapped views equals the
+// in-memory run bit-for-bit — every cell, every algorithm, both protocols'
+// default. The store path reuses the exact same code (the views satisfy
+// the same Graph/LabelStore contract), so any deviation means the snapshot
+// did not round-trip the CSR exactly.
+TEST(IntegrationStore, SweepBitIdenticalOnAllTenAlgorithms) {
+  ASSERT_OK_AND_ASSIGN(const synth::Dataset ds, synth::FacebookLike(77));
+  const std::string path = TempPath("facebook.lgs");
+  ASSERT_OK(store::WriteStore(ds.graph, ds.labels, path));
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+
+  eval::SweepConfig config;
+  config.sample_fractions = {0.01, 0.03};
+  config.reps = 6;
+  config.threads = 2;
+  config.seed = 4242;
+  config.burn_in = ds.burn_in / 4;
+  config.algorithms = estimators::AllAlgorithms();
+
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult memory_result,
+      eval::RunSweep(ds.graph, ds.labels, ds.targets[0].target, config));
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult store_result,
+      eval::RunSweep(mapped.graph(), mapped.labels(), ds.targets[0].target,
+                     config));
+
+  ASSERT_EQ(memory_result.truth, store_result.truth);
+  ASSERT_EQ(memory_result.cells.size(), store_result.cells.size());
+  for (size_t a = 0; a < memory_result.cells.size(); ++a) {
+    for (size_t s = 0; s < memory_result.cells[a].size(); ++s) {
+      const eval::CellResult& mem = memory_result.cells[a][s];
+      const eval::CellResult& sto = store_result.cells[a][s];
+      EXPECT_EQ(mem.nrmse, sto.nrmse)
+          << estimators::AlgorithmName(config.algorithms[a]) << " size " << s;
+      EXPECT_EQ(mem.mean_estimate, sto.mean_estimate);
+      EXPECT_EQ(mem.relative_bias, sto.relative_bias);
+      EXPECT_EQ(mem.mean_api_calls, sto.mean_api_calls);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// End-to-end streamed path: generator -> StreamingStoreBuilder -> mmap ->
+// verify -> estimate through both store backends (LocalGraphApi over the
+// views, and StoreTransport + OsnClient), which must agree exactly.
+//
+// With LABELRW_STORE_PATH set (the CI 1M-node snapshot), the externally
+// built store is exercised instead of building one here.
+TEST(IntegrationStore, StreamedStoreServesTheFullAccessStack) {
+  std::string path;
+  bool owned = false;
+  int64_t expected_nodes = 0;
+  if (const char* env = std::getenv("LABELRW_STORE_PATH");
+      env != nullptr && *env != '\0') {
+    path = env;
+  } else {
+    path = TempPath("streamed.lgs");
+    owned = true;
+    expected_nodes = 20000;
+    store::StreamingStoreBuilder::Options options;
+    options.min_nodes = expected_nodes;
+    options.spill_batch_edges = 1 << 14;  // force the spill path
+    store::StreamingStoreBuilder builder(path, options);
+    ASSERT_OK(synth::StreamBarabasiAlbert(
+        expected_nodes, 5, 321, /*batch_edges=*/4096,
+        [&builder](std::span<const graph::Edge> edges) {
+          return builder.AddEdgeBatch(edges);
+        }));
+    graph::LabelStoreBuilder labeler(expected_nodes);
+    for (int64_t u = 0; u < expected_nodes; ++u) {
+      ASSERT_OK(labeler.AddLabel(static_cast<graph::NodeId>(u),
+                                 1 + static_cast<graph::Label>(u % 2)));
+    }
+    const graph::LabelStore labels = labeler.Build();
+    ASSERT_OK_AND_ASSIGN(const store::StreamingBuildStats stats,
+                         builder.Finish(&labels));
+    ASSERT_EQ(stats.num_nodes, expected_nodes);
+  }
+
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+  const graph::Graph& g = mapped.graph();
+  ASSERT_GT(g.num_nodes(), 0);
+  ASSERT_GT(g.num_edges(), 0);
+  if (expected_nodes > 0) EXPECT_EQ(g.num_nodes(), expected_nodes);
+
+  // Degree bookkeeping must be self-consistent without touching every page
+  // (the header carries max_degree; spot-check against real rows).
+  EXPECT_EQ(g.csr_offsets().back(), 2 * g.num_edges());
+  int64_t scanned_max = 0;
+  const int64_t stride = std::max<int64_t>(1, g.num_nodes() / 1024);
+  for (graph::NodeId u = 0; u < g.num_nodes(); u += stride) {
+    scanned_max = std::max<int64_t>(scanned_max, g.degree(u));
+  }
+  EXPECT_LE(scanned_max, g.max_degree());
+
+  // One estimate per backend flavor, same options: exact agreement.
+  estimators::EstimateOptions options;
+  options.api_budget = 400;
+  options.burn_in = 100;
+  options.seed = 5;
+  const graph::TargetLabel target{1, 2};
+  osn::LocalGraphApi local(mapped.graph(), mapped.labels());
+  const osn::GraphPriors priors = local.Priors();
+  ASSERT_OK_AND_ASSIGN(
+      const estimators::EstimateResult via_local,
+      estimators::Estimate(estimators::AlgorithmId::kNeighborSampleHH, local,
+                           target, priors, options));
+
+  const store::StoreTransport transport(mapped);
+  osn::OsnClient client(transport);
+  ASSERT_OK_AND_ASSIGN(
+      const estimators::EstimateResult via_client,
+      estimators::Estimate(estimators::AlgorithmId::kNeighborSampleHH, client,
+                           target, priors, options));
+  EXPECT_EQ(via_local.estimate, via_client.estimate);
+  EXPECT_EQ(via_local.api_calls, via_client.api_calls);
+  EXPECT_EQ(via_local.iterations, via_client.iterations);
+
+  if (owned) std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace labelrw

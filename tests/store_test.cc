@@ -1,0 +1,398 @@
+// Unit tests for the binary graph snapshot subsystem (src/store/):
+// round-trip fidelity, streaming-builder equivalence, corruption and
+// versioning robustness, and view lifetimes (the mapping-outlives-graph
+// contract, exercised under ASan in the sanitizer CI job).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "osn/client.h"
+#include "osn/local_api.h"
+#include "store/format.h"
+#include "store/mapped_graph.h"
+#include "store/store_transport.h"
+#include "store/store_writer.h"
+#include "synth/generators.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using testing::MakeGraph;
+using testing::RandomConnectedGraph;
+using testing::RandomLabels;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("labelrw_store_test_") + name))
+      .string();
+}
+
+/// A small fixture graph with an isolated trailing node, an empty label
+/// set, and a multi-label node — the label-CSR edge cases.
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.graph = MakeGraph(6, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}});
+  graph::LabelStoreBuilder builder(f.graph.num_nodes());
+  EXPECT_OK(builder.AddLabel(0, 1));
+  EXPECT_OK(builder.AddLabel(1, 2));
+  EXPECT_OK(builder.AddLabel(2, 1));
+  EXPECT_OK(builder.AddLabel(2, 7));  // multi-label node
+  EXPECT_OK(builder.AddLabel(3, 2));
+  EXPECT_OK(builder.AddLabel(4, 1));
+  // node 5: isolated and label-free
+  f.labels = builder.Build();
+  return f;
+}
+
+template <typename T>
+void ExpectSpansEqual(std::span<const T> a, std::span<const T> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "at index " << i;
+  }
+}
+
+TEST(StoreRoundTrip, GraphAndLabelsSurviveExactly) {
+  const Fixture f = MakeFixture();
+  const std::string path = TempPath("roundtrip.lgs");
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, path));
+
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+  EXPECT_TRUE(mapped.graph().is_view());
+  EXPECT_TRUE(mapped.labels().is_view());
+  EXPECT_EQ(mapped.graph().num_nodes(), f.graph.num_nodes());
+  EXPECT_EQ(mapped.graph().num_edges(), f.graph.num_edges());
+  EXPECT_EQ(mapped.graph().max_degree(), f.graph.max_degree());
+  ExpectSpansEqual(mapped.graph().csr_offsets(), f.graph.csr_offsets());
+  ExpectSpansEqual(mapped.graph().csr_adjacency(), f.graph.csr_adjacency());
+  ExpectSpansEqual(mapped.labels().csr_offsets(), f.labels.csr_offsets());
+  ExpectSpansEqual(mapped.labels().csr_labels(), f.labels.csr_labels());
+  // Derived state rebuilt at open: the frequency index.
+  EXPECT_EQ(mapped.labels().num_distinct_labels(),
+            f.labels.num_distinct_labels());
+  EXPECT_EQ(mapped.labels().LabelFrequency(1), f.labels.LabelFrequency(1));
+  EXPECT_EQ(mapped.labels().LabelFrequency(7), f.labels.LabelFrequency(7));
+  EXPECT_TRUE(mapped.graph().HasEdge(0, 2));
+  EXPECT_FALSE(mapped.graph().HasEdge(0, 3));
+  EXPECT_TRUE(mapped.remap().empty());
+  ASSERT_OK(store::VerifyStoreFile(path));
+  std::remove(path.c_str());
+}
+
+TEST(StoreRoundTrip, RemapSectionRoundTrips) {
+  const Fixture f = MakeFixture();
+  const std::string path = TempPath("remap.lgs");
+  const std::vector<graph::NodeId> remap = {10, 11, 12, 13, 14, 15};
+  store::StoreWriteOptions options;
+  options.remap = remap;
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, path, options));
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+  ASSERT_EQ(mapped.remap().size(), remap.size());
+  for (size_t i = 0; i < remap.size(); ++i) {
+    EXPECT_EQ(mapped.remap()[i], remap[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreRoundTrip, WriteRejectsMismatchedLabelStore) {
+  const Fixture f = MakeFixture();
+  const graph::LabelStore wrong = RandomLabels(3, 2, 1);
+  const Status status =
+      store::WriteStore(f.graph, wrong, TempPath("mismatch.lgs"));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// The streaming builder must produce byte-identical files to the one-shot
+// writer over GraphBuilder, given the same edge stream — including messy
+// streams with duplicates and self-loops.
+TEST(StreamingStoreBuilder, ByteIdenticalToInMemoryBuild) {
+  const std::vector<graph::Edge> messy = {
+      {3, 1}, {1, 3}, {2, 2}, {0, 1}, {1, 0}, {4, 2}, {0, 1}, {5, 5}, {4, 2},
+  };
+  // In-memory: GraphBuilder + WriteStore.
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(7);
+  for (const graph::Edge& e : messy) builder.AddEdge(e.u, e.v);
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g, builder.Build());
+  const graph::LabelStore labels = RandomLabels(g.num_nodes(), 3, 99);
+  const std::string memory_path = TempPath("inmemory.lgs");
+  ASSERT_OK(store::WriteStore(g, labels, memory_path));
+
+  // Streamed, with a tiny spill batch so the external-memory path runs.
+  const std::string streamed_path = TempPath("streamed.lgs");
+  store::StreamingStoreBuilder::Options options;
+  options.min_nodes = 7;
+  options.spill_batch_edges = 2;
+  store::StreamingStoreBuilder streaming(streamed_path, options);
+  ASSERT_OK(streaming.AddEdgeBatch(messy));
+  ASSERT_OK_AND_ASSIGN(const store::StreamingBuildStats stats,
+                       streaming.Finish(&labels));
+  EXPECT_EQ(stats.num_nodes, g.num_nodes());
+  EXPECT_EQ(stats.num_edges, g.num_edges());
+  EXPECT_EQ(stats.max_degree, g.max_degree());
+  EXPECT_GT(stats.spill_bytes, 0);
+
+  std::ifstream a(memory_path, std::ios::binary);
+  std::ifstream b(streamed_path, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(memory_path.c_str());
+  std::remove(streamed_path.c_str());
+}
+
+TEST(StreamingStoreBuilder, StreamedGeneratorMatchesMaterializedGenerator) {
+  const int64_t n = 500, attach = 3;
+  const uint64_t seed = 777;
+  ASSERT_OK_AND_ASSIGN(const graph::Graph g,
+                       synth::BarabasiAlbert(n, attach, seed));
+  const std::string memory_path = TempPath("ba_memory.lgs");
+  const graph::LabelStore labels = RandomLabels(n, 2, 5);
+  ASSERT_OK(store::WriteStore(g, labels, memory_path));
+
+  const std::string streamed_path = TempPath("ba_streamed.lgs");
+  store::StreamingStoreBuilder::Options options;
+  options.min_nodes = n;
+  store::StreamingStoreBuilder streaming(streamed_path, options);
+  ASSERT_OK(synth::StreamBarabasiAlbert(
+      n, attach, seed, /*batch_edges=*/64,
+      [&streaming](std::span<const graph::Edge> edges) {
+        return streaming.AddEdgeBatch(edges);
+      }));
+  ASSERT_OK_AND_ASSIGN(const store::StreamingBuildStats stats,
+                       streaming.Finish(&labels));
+  EXPECT_EQ(stats.num_edges, g.num_edges());
+
+  std::ifstream a(memory_path, std::ios::binary);
+  std::ifstream b(streamed_path, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(memory_path.c_str());
+  std::remove(streamed_path.c_str());
+}
+
+class StoreRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Fixture f = MakeFixture();
+    path_ = TempPath("robust.lgs");
+    ASSERT_OK(store::WriteStore(f.graph, f.labels, path_));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Overwrites `size` bytes at `offset`.
+  void Clobber(uint64_t offset, const void* data, size_t size) {
+    std::FILE* file = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fseek(file, static_cast<long>(offset), SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(data, 1, size, file), size);
+    std::fclose(file);
+  }
+
+  store::StoreHeader ReadHeader() {
+    store::StoreHeader header;
+    std::FILE* file = std::fopen(path_.c_str(), "rb");
+    EXPECT_NE(file, nullptr);
+    EXPECT_EQ(std::fread(&header, 1, sizeof(header), file), sizeof(header));
+    std::fclose(file);
+    return header;
+  }
+
+  std::string path_;
+};
+
+TEST_F(StoreRobustnessTest, WrongMagicIsRejected) {
+  const char bogus[8] = {'N', 'O', 'T', 'A', 'S', 'T', 'O', 'R'};
+  Clobber(0, bogus, sizeof(bogus));
+  const auto result = store::MappedGraph::Open(path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("not a labelrw graph store"),
+            std::string::npos);
+}
+
+TEST_F(StoreRobustnessTest, FutureFormatVersionAsksForReconvert) {
+  const uint32_t future = store::kStoreFormatVersion + 1;
+  Clobber(offsetof(store::StoreHeader, format_version), &future,
+          sizeof(future));
+  const auto result = store::MappedGraph::Open(path_);
+  ASSERT_FALSE(result.ok());
+  // Version diagnoses before the header checksum (which the clobber also
+  // broke), mirroring the golden-trace version test: the user gets the
+  // actionable hint, not "corrupt file".
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("re-convert"), std::string::npos);
+  EXPECT_NE(result.status().message().find("graphstore_cli"),
+            std::string::npos);
+}
+
+TEST_F(StoreRobustnessTest, TruncatedFileIsRejected) {
+  // Truncate into the middle of the adjacency section.
+  const store::StoreHeader header = ReadHeader();
+  const store::SectionDesc& adj =
+      header.sections[store::kSectionAdjacency];
+  std::filesystem::resize_file(path_, adj.file_offset + adj.byte_size / 2);
+  const auto result = store::MappedGraph::Open(path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos);
+
+  // Truncate below the header.
+  std::filesystem::resize_file(path_, sizeof(store::StoreHeader) / 2);
+  const auto tiny = store::MappedGraph::Open(path_);
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_NE(tiny.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(StoreRobustnessTest, CorruptedSectionChecksumIsCaught) {
+  const store::StoreHeader header = ReadHeader();
+  const store::SectionDesc& adj =
+      header.sections[store::kSectionAdjacency];
+  const graph::NodeId bogus = 3;  // a valid id, so only the checksum trips
+  Clobber(adj.file_offset, &bogus, sizeof(bogus));
+
+  // The default lazy open does not read the payload...
+  EXPECT_TRUE(store::MappedGraph::Open(path_).ok());
+  // ...but checksum-verifying opens and VerifyStoreFile must object.
+  store::MappedGraphOptions options;
+  options.verify_section_checksums = true;
+  const auto verified = store::MappedGraph::Open(path_, options);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_NE(verified.status().message().find("checksum"), std::string::npos);
+  EXPECT_FALSE(store::VerifyStoreFile(path_).ok());
+}
+
+TEST_F(StoreRobustnessTest, VerifyCatchesStructuralBreakage) {
+  // Rewrite one adjacency entry to break symmetry (and sorting), then
+  // refresh the section checksum so only the structural check can object.
+  store::StoreHeader header = ReadHeader();
+  store::SectionDesc& adj = header.sections[store::kSectionAdjacency];
+  {
+    std::FILE* file = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    std::vector<graph::NodeId> adjacency(adj.byte_size /
+                                         sizeof(graph::NodeId));
+    ASSERT_EQ(std::fseek(file, static_cast<long>(adj.file_offset), SEEK_SET),
+              0);
+    ASSERT_EQ(std::fread(adjacency.data(), sizeof(graph::NodeId),
+                         adjacency.size(), file),
+              adjacency.size());
+    adjacency[0] = 4;  // node 0's first neighbor: {1,2} -> {4,...}
+    ASSERT_EQ(std::fseek(file, static_cast<long>(adj.file_offset), SEEK_SET),
+              0);
+    ASSERT_EQ(std::fwrite(adjacency.data(), sizeof(graph::NodeId),
+                          adjacency.size(), file),
+              adjacency.size());
+    adj.checksum = store::Fnv1a64(adjacency.data(), adj.byte_size);
+    header.header_checksum = store::HeaderChecksum(header);
+    ASSERT_EQ(std::fseek(file, 0, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&header, 1, sizeof(header), file), sizeof(header));
+    std::fclose(file);
+  }
+  const Status status = store::VerifyStoreFile(path_);
+  ASSERT_FALSE(status.ok());
+  // Node 0's rewritten first neighbor (4) has no reverse entry.
+  EXPECT_NE(status.message().find("asymmetric"), std::string::npos)
+      << status.ToString();
+}
+
+// The mapping-outlives-graph contract: views (and copies of them) stay
+// valid across MappedGraph moves and die with the mapping, never after a
+// mere handle move. ASan (CI sanitizer job) turns any violation into a
+// hard failure.
+TEST(MappedGraphLifetime, ViewsSurviveHandleMoves) {
+  const Fixture f = MakeFixture();
+  const std::string path = TempPath("lifetime.lgs");
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, path));
+
+  ASSERT_OK_AND_ASSIGN(store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+  // Copies of the views are cheap span copies that borrow the mapping.
+  const graph::Graph view_copy = mapped.graph();
+  const graph::LabelStore label_copy = mapped.labels();
+
+  // Move the handle through a container; the mapping address is stable, so
+  // the old copies and the moved handle's views must all still read.
+  std::vector<store::MappedGraph> holder;
+  holder.push_back(std::move(mapped));
+  EXPECT_EQ(view_copy.num_edges(), f.graph.num_edges());
+  EXPECT_EQ(view_copy.NeighborAt(0, 0), f.graph.NeighborAt(0, 0));
+  EXPECT_EQ(label_copy.labels(2).size(), f.labels.labels(2).size());
+  EXPECT_EQ(holder.back().graph().num_nodes(), f.graph.num_nodes());
+
+  // Deep-copying a view detaches it from the mapping: reads must survive
+  // the unmap. (A still-attached copy would be a use-after-munmap — ASan
+  // would flag it if the ownership logic regressed.)
+  graph::GraphBuilder rebuilder;
+  holder.back().graph().ForEachEdge(
+      [&](graph::NodeId u, graph::NodeId v) { rebuilder.AddEdge(u, v); });
+  ASSERT_OK_AND_ASSIGN(const graph::Graph detached, rebuilder.Build());
+  holder.clear();  // unmap
+  EXPECT_EQ(detached.num_edges(), f.graph.num_edges());
+  std::remove(path.c_str());
+}
+
+// The StoreTransport backend feeds an OsnClient session identically to the
+// in-memory transport: same records, same priors, same seed stream.
+TEST(StoreTransport, MatchesLocalTransportThroughOsnClient) {
+  const graph::Graph g = RandomConnectedGraph(300, 600, 11);
+  const graph::LabelStore labels = RandomLabels(g.num_nodes(), 3, 12);
+  const std::string path = TempPath("transport.lgs");
+  ASSERT_OK(store::WriteStore(g, labels, path));
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+
+  osn::LocalGraphApi local(g, labels);
+  const store::StoreTransport store_transport(mapped);
+  const osn::GraphPriors local_priors = local.TransportPriors();
+  const osn::GraphPriors store_priors = store_transport.TransportPriors();
+  EXPECT_EQ(local_priors.num_nodes, store_priors.num_nodes);
+  EXPECT_EQ(local_priors.num_edges, store_priors.num_edges);
+  EXPECT_EQ(local_priors.max_degree, store_priors.max_degree);
+  EXPECT_EQ(local_priors.max_line_degree, store_priors.max_line_degree);
+
+  osn::CostModel cost;
+  cost.page_size = 7;  // paginated, to exercise the charging path too
+  osn::OsnClient local_client(local, cost);
+  osn::OsnClient store_client(store_transport, cost);
+  Rng rng_a(42), rng_b(42);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId ua,
+                         local_client.RandomNode(rng_a));
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId ub,
+                         store_client.RandomNode(rng_b));
+    ASSERT_EQ(ua, ub);
+    ASSERT_OK_AND_ASSIGN(const auto na, local_client.GetNeighbors(ua));
+    ASSERT_OK_AND_ASSIGN(const auto nb, store_client.GetNeighbors(ub));
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t j = 0; j < na.size(); ++j) ASSERT_EQ(na[j], nb[j]);
+    ASSERT_OK_AND_ASSIGN(const auto la, local_client.GetLabels(ua));
+    ASSERT_OK_AND_ASSIGN(const auto lb, store_client.GetLabels(ub));
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t j = 0; j < la.size(); ++j) ASSERT_EQ(la[j], lb[j]);
+  }
+  EXPECT_EQ(local_client.api_calls(), store_client.api_calls());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace labelrw

@@ -1,0 +1,229 @@
+// The kPermissionDenied detour policy (rw::WalkParams::detour_on_denied):
+// private neighbors become rejected proposals, so walks — and full
+// estimator sweeps — survive private profiles instead of aborting.
+//
+// Private sets are made deterministic through DynamicGraphTransport
+// Privatize mutations at t=0 (applied at construction), so every assertion
+// here is exact, not probabilistic.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "estimators/common.h"
+#include "estimators/estimator.h"
+#include "eval/experiment.h"
+#include "osn/client.h"
+#include "osn/scenario.h"
+#include "rw/edge_walk.h"
+#include "rw/node_walk.h"
+#include "synth/datasets.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using testing::MakeGraph;
+using testing::RandomLabels;
+
+/// A ring of `n` public nodes where every node is also connected to one
+/// private hub — every step has a chance to propose the hub.
+struct PrivateHubFixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  std::unique_ptr<osn::DynamicGraphTransport> transport;
+  std::unique_ptr<osn::OsnClient> client;
+  graph::NodeId hub;
+};
+
+PrivateHubFixture MakeHubFixture(int64_t n) {
+  PrivateHubFixture f;
+  std::vector<std::pair<int, int>> edges;
+  const int hub = static_cast<int>(n);
+  for (int u = 0; u < n; ++u) {
+    edges.push_back({u, (u + 1) % static_cast<int>(n)});
+    edges.push_back({u, hub});
+  }
+  f.graph = MakeGraph(n + 1, edges);
+  f.labels = RandomLabels(n + 1, 2, 7);
+  f.hub = static_cast<graph::NodeId>(hub);
+  f.transport = std::make_unique<osn::DynamicGraphTransport>(
+      f.graph, f.labels,
+      std::vector<osn::GraphMutation>{osn::GraphMutation::Privatize(0, hub)});
+  f.client = std::make_unique<osn::OsnClient>(*f.transport);
+  return f;
+}
+
+TEST(NodeWalkDetour, WithoutPolicyTheWalkAborts) {
+  // K2 with a private far endpoint: the only move is denied.
+  const graph::Graph g = MakeGraph(2, {{0, 1}});
+  const graph::LabelStore labels = RandomLabels(2, 2, 3);
+  osn::DynamicGraphTransport transport(
+      g, labels, {osn::GraphMutation::Privatize(0, 1)});
+  osn::OsnClient client(transport);
+
+  rw::WalkParams params;  // detour off
+  rw::NodeWalk walk(&client, params);
+  ASSERT_OK(walk.Reset(0));
+  Rng rng(1);
+  // First step moves onto the private node blind (the simple walk fetches
+  // nothing about its target); the next step's neighbor fetch aborts.
+  ASSERT_OK_AND_ASSIGN(const graph::NodeId pos, walk.Step(rng));
+  EXPECT_EQ(pos, 1);
+  const auto step = walk.Step(rng);
+  ASSERT_FALSE(step.ok());
+  EXPECT_EQ(step.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(NodeWalkDetour, DeniedNeighborIsARejectedProposal) {
+  const graph::Graph g = MakeGraph(2, {{0, 1}});
+  const graph::LabelStore labels = RandomLabels(2, 2, 3);
+  osn::DynamicGraphTransport transport(
+      g, labels, {osn::GraphMutation::Privatize(0, 1)});
+  osn::OsnClient client(transport);
+
+  rw::WalkParams params;
+  params.detour_on_denied = true;
+  rw::NodeWalk walk(&client, params);
+  ASSERT_OK(walk.Reset(0));
+  Rng rng(1);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId pos, walk.Step(rng));
+    EXPECT_EQ(pos, 0);  // the only neighbor is private: stay forever
+  }
+}
+
+TEST(NodeWalkDetour, EveryKindAvoidsThePrivateHub) {
+  for (const rw::WalkKind kind :
+       {rw::WalkKind::kSimple, rw::WalkKind::kNonBacktracking,
+        rw::WalkKind::kMetropolisHastings, rw::WalkKind::kRcmh,
+        rw::WalkKind::kMaxDegree, rw::WalkKind::kGmd}) {
+    PrivateHubFixture f = MakeHubFixture(12);
+    rw::WalkParams params;
+    params.kind = kind;
+    params.detour_on_denied = true;
+    params.max_degree_prior = f.graph.max_degree();
+    rw::NodeWalk walk(f.client.get(), params);
+    ASSERT_OK(walk.Reset(0));
+    Rng rng(1000 + static_cast<uint64_t>(kind));
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_OK_AND_ASSIGN(const graph::NodeId pos, walk.Step(rng));
+      ASSERT_NE(pos, f.hub) << rw::WalkKindName(kind) << " step " << i;
+    }
+    // The collapsed Advance path probes moves the same way.
+    ASSERT_OK(walk.Advance(500, rng));
+    ASSERT_NE(walk.current(), f.hub);
+  }
+}
+
+TEST(EdgeWalkDetour, EveryKindAvoidsEdgesIntoThePrivateHub) {
+  for (const rw::WalkKind kind :
+       {rw::WalkKind::kSimple, rw::WalkKind::kMetropolisHastings,
+        rw::WalkKind::kRcmh, rw::WalkKind::kMaxDegree, rw::WalkKind::kGmd}) {
+    PrivateHubFixture f = MakeHubFixture(12);
+    rw::WalkParams params;
+    params.kind = kind;
+    params.detour_on_denied = true;
+    params.max_degree_prior = 4 * f.graph.max_degree();  // line-degree bound
+    rw::EdgeWalk walk(f.client.get(), params);
+    ASSERT_OK(walk.Reset(graph::Edge::Make(0, 1)));
+    Rng rng(2000 + static_cast<uint64_t>(kind));
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_OK_AND_ASSIGN(const graph::Edge e, walk.Step(rng));
+      ASSERT_NE(e.u, f.hub);
+      ASSERT_NE(e.v, f.hub);
+    }
+    ASSERT_OK(walk.Advance(500, rng));
+    EXPECT_NE(walk.current().u, f.hub);
+    EXPECT_NE(walk.current().v, f.hub);
+  }
+}
+
+TEST(EdgeWalkDetour, ResetRandomRerollsPrivateFarEndpoints) {
+  PrivateHubFixture f = MakeHubFixture(8);
+  rw::WalkParams params;
+  params.detour_on_denied = true;
+  rw::EdgeWalk walk(f.client.get(), params);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    ASSERT_OK(walk.ResetRandom(rng));
+    EXPECT_NE(walk.current().u, f.hub);
+    EXPECT_NE(walk.current().v, f.hub);
+  }
+}
+
+TEST(ExploreIncidentTargetEdges, SkipsDeniedNeighborsUnderThePolicy) {
+  // Node 0 carries t1; neighbors: 1 (t2, public), 2 (t2, private), 3 (t1).
+  const graph::Graph g = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  graph::LabelStoreBuilder builder(4);
+  ASSERT_OK(builder.AddLabel(0, 1));
+  ASSERT_OK(builder.AddLabel(1, 2));
+  ASSERT_OK(builder.AddLabel(2, 2));
+  ASSERT_OK(builder.AddLabel(3, 1));
+  const graph::LabelStore labels = builder.Build();
+  osn::DynamicGraphTransport transport(
+      g, labels, {osn::GraphMutation::Privatize(0, 2)});
+  osn::OsnClient client(transport);
+
+  const graph::TargetLabel target{1, 2};
+  const auto strict =
+      estimators::ExploreIncidentTargetEdges(client, 0, target,
+                                             /*skip_denied=*/false);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kPermissionDenied);
+
+  ASSERT_OK_AND_ASSIGN(
+      const int64_t visible,
+      estimators::ExploreIncidentTargetEdges(client, 0, target,
+                                             /*skip_denied=*/true));
+  EXPECT_EQ(visible, 1);  // only the public t2 neighbor counts
+}
+
+// The ROADMAP workload this policy opens: a full ten-algorithm sweep under
+// FaultPolicy::unavailable_user_rate (the extended "private" preset), and
+// deterministically so.
+TEST(ScenarioSweepDetour, PrivatePresetRunsAllTenAlgorithmsDeterministically) {
+  ASSERT_OK_AND_ASSIGN(const synth::Dataset ds, synth::FacebookLike(31));
+  ASSERT_OK_AND_ASSIGN(const osn::Scenario scenario,
+                       osn::ScenarioFromName("private"));
+  ASSERT_TRUE(scenario.walker_detour);
+  ASSERT_GT(scenario.faults.unavailable_user_rate, 0.0);
+
+  eval::SweepConfig config;
+  config.sample_fractions = {0.01, 0.02};
+  config.reps = 3;
+  config.threads = 2;
+  config.seed = 99;
+  config.burn_in = 20;
+  config.algorithms = estimators::AllAlgorithms();
+
+  eval::ScenarioTelemetry telemetry;
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult first,
+      eval::RunScenarioSweep(ds.graph, ds.labels, ds.targets[0].target,
+                             config, scenario, {}, &telemetry));
+  // The crawl did bounce off private profiles — the policy was exercised.
+  EXPECT_GT(telemetry.denied_requests, 0);
+  for (const auto& row : first.cells) {
+    for (const eval::CellResult& cell : row) {
+      EXPECT_GT(cell.mean_api_calls, 0.0);
+    }
+  }
+
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult second,
+      eval::RunScenarioSweep(ds.graph, ds.labels, ds.targets[0].target,
+                             config, scenario, {}, nullptr));
+  for (size_t a = 0; a < first.cells.size(); ++a) {
+    for (size_t s = 0; s < first.cells[a].size(); ++s) {
+      EXPECT_EQ(first.cells[a][s].nrmse, second.cells[a][s].nrmse);
+      EXPECT_EQ(first.cells[a][s].mean_estimate,
+                second.cells[a][s].mean_estimate);
+      EXPECT_EQ(first.cells[a][s].mean_api_calls,
+                second.cells[a][s].mean_api_calls);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace labelrw

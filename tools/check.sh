@@ -24,11 +24,36 @@ PERF_ARGS=()
 if [[ "${1:-}" == "--full" ]]; then
   PERF_ARGS+=(--full)
 fi
-"$BUILD_DIR/bench_perf_steps" --out="$BUILD_DIR/bench_results" "${PERF_ARGS[@]}"
+"$BUILD_DIR/bench_perf_steps" --out="$BUILD_DIR/bench_results" \
+  --json-out="$BUILD_DIR/bench_results" "${PERF_ARGS[@]}"
 
 echo "== scenario smoke (bench_scenarios) =="
 # Small-rep sweep over every scenario preset; exits nonzero if any
 # deterministic scenario deviates from RunSweep (see bench_scenarios.cc).
-"$BUILD_DIR/bench_scenarios" --reps=6 --out="$BUILD_DIR/bench_results"
+"$BUILD_DIR/bench_scenarios" --reps=6 --out="$BUILD_DIR/bench_results" \
+  --json-out="$BUILD_DIR/bench_results"
+
+echo "== store smoke (graphstore_cli convert -> verify -> estimate) =="
+# Streamed synthetic snapshot -> deep verification -> an estimate served
+# from the mmap-backed zero-copy backend, plus the text->store convert path.
+STORE_DIR="$BUILD_DIR/store_smoke"
+mkdir -p "$STORE_DIR"
+"$BUILD_DIR/graphstore_cli" synth --nodes=20000 --attach=5 --seed=11 \
+  --out="$STORE_DIR/smoke.lgs"
+"$BUILD_DIR/graphstore_cli" verify --store="$STORE_DIR/smoke.lgs"
+"$BUILD_DIR/graphstore_cli" info --store="$STORE_DIR/smoke.lgs" > /dev/null
+"$BUILD_DIR/labelrw_cli" estimate --store="$STORE_DIR/smoke.lgs" \
+  --t1=1 --t2=2 --budget=500 --algorithm=NeighborSample-HH \
+  --burn-in=200 --seed=7
+printf '0 1\n0 2\n1 2\n' > "$STORE_DIR/tiny.txt"
+"$BUILD_DIR/graphstore_cli" convert --graph="$STORE_DIR/tiny.txt" --lcc \
+  --out="$STORE_DIR/tiny.lgs"
+"$BUILD_DIR/graphstore_cli" verify --store="$STORE_DIR/tiny.lgs"
+
+echo "== store bench (bench_store: load speedup + bit-identity guard) =="
+# Exits nonzero if any algorithm deviates on the store backend or the
+# ready-to-walk speedup falls below 10x.
+"$BUILD_DIR/bench_store" --out="$BUILD_DIR/bench_results" \
+  --json-out="$BUILD_DIR/bench_results"
 
 echo "OK"

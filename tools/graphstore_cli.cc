@@ -1,0 +1,264 @@
+// graphstore_cli: build, inspect, and verify binary graph snapshots
+// (store/format.h).
+//
+// Subcommands:
+//   convert --graph=E [--labels=L] [--lcc] --out=S
+//            text edge list (+ labels) -> snapshot; --lcc extracts the
+//            largest connected component first (the paper's preprocessing)
+//            and records the original node ids in the remap section
+//   synth   --nodes=N [--attach=K] [--seed=S] [--label-classes=C]
+//           [--batch=B] --out=S
+//            streams a Barabási–Albert graph through the external-memory
+//            StreamingStoreBuilder — million-node snapshots build without
+//            materializing the edge list; nodes get deterministic hash
+//            labels in {1..C} so estimation targets exist out of the box
+//   info    --store=S     header dump (counts, sections, checksums)
+//   verify  --store=S     deep verification: checksums + CSR invariants
+//
+// Flag values parse strictly (util/flags.h): unknown flags and non-numeric
+// values exit 2.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/connected.h"
+#include "graph/io.h"
+#include "graph/labels.h"
+#include "store/format.h"
+#include "store/mapped_graph.h"
+#include "store/store_writer.h"
+#include "synth/generators.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace labelrw;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: graphstore_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  convert   text -> snapshot (--graph=E [--labels=L] [--lcc] "
+      "--out=S)\n"
+      "  synth     streamed synthetic snapshot (--nodes=N [--attach=K]\n"
+      "            [--seed=S] [--label-classes=C] [--batch=B] --out=S)\n"
+      "  info      header dump (--store=S)\n"
+      "  verify    checksums + structural invariants (--store=S)\n"
+      "\n"
+      "flag values are checked strictly; unknown flags are rejected.\n");
+  return 2;
+}
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+struct Flag {
+  const char* name;
+  std::string value;
+  bool set = false;
+};
+
+/// Strict "--name=value" parsing against a fixed flag table.
+void ParseFlags(int argc, char** argv, std::vector<Flag*> known) {
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage();
+      std::exit(0);
+    }
+    const char* eq = std::strchr(arg, '=');
+    const size_t name_len =
+        eq != nullptr ? static_cast<size_t>(eq - arg) : std::strlen(arg);
+    Flag* match = nullptr;
+    for (Flag* flag : known) {
+      if (name_len == std::strlen(flag->name) &&
+          std::strncmp(arg, flag->name, name_len) == 0) {
+        match = flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "unknown flag for '%s': %s\n", argv[1], arg);
+      std::exit(2);
+    }
+    match->value = eq != nullptr ? eq + 1 : "1";
+    match->set = true;
+  }
+}
+
+std::string RequireValue(const Flag& flag) {
+  if (!flag.set || flag.value.empty()) {
+    std::fprintf(stderr, "%s is required\n", flag.name);
+    std::exit(2);
+  }
+  return flag.value;
+}
+
+int RunConvert(int argc, char** argv) {
+  Flag graph_flag{"--graph"}, labels_flag{"--labels"}, lcc_flag{"--lcc"},
+      out_flag{"--out"};
+  ParseFlags(argc, argv, {&graph_flag, &labels_flag, &lcc_flag, &out_flag});
+  const std::string graph_path = RequireValue(graph_flag);
+  const std::string out_path = RequireValue(out_flag);
+
+  graph::Graph g = Check(graph::LoadEdgeList(graph_path), "loading graph");
+  graph::LabelStore labels;
+  if (labels_flag.set) {
+    labels = Check(graph::LoadLabels(labels_flag.value, g.num_nodes()),
+                   "loading labels");
+  } else {
+    labels = graph::LabelStore::FromSingleLabels(
+        std::vector<graph::Label>(static_cast<size_t>(g.num_nodes()), 0));
+  }
+
+  store::StoreWriteOptions options;
+  graph::LccResult lcc;
+  if (lcc_flag.set) {
+    lcc = Check(graph::ExtractLargestComponent(g, labels), "extracting LCC");
+    g = std::move(lcc.graph);
+    labels = std::move(lcc.labels);
+    options.remap = lcc.old_id_of;
+  }
+  CheckOk(store::WriteStore(g, labels, out_path, options), "writing store");
+  std::printf("wrote %s: %" PRId64 " nodes, %" PRId64 " edges%s\n",
+              out_path.c_str(), g.num_nodes(), g.num_edges(),
+              lcc_flag.set ? " (LCC, remap recorded)" : "");
+  return 0;
+}
+
+/// Deterministic node labels in {1..classes} (splittable hash of the node
+/// id), so synthetic snapshots carry estimation targets like (1,2).
+graph::LabelStore HashLabels(int64_t num_nodes, int64_t classes,
+                             uint64_t seed) {
+  graph::LabelStoreBuilder builder(num_nodes);
+  for (int64_t u = 0; u < num_nodes; ++u) {
+    uint64_t x = static_cast<uint64_t>(u) + seed * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    (void)builder.AddLabel(
+        static_cast<graph::NodeId>(u),
+        static_cast<graph::Label>(x % static_cast<uint64_t>(classes)) + 1);
+  }
+  return builder.Build();
+}
+
+int RunSynth(int argc, char** argv) {
+  Flag nodes_flag{"--nodes"}, attach_flag{"--attach"}, seed_flag{"--seed"},
+      classes_flag{"--label-classes"}, batch_flag{"--batch"},
+      out_flag{"--out"};
+  ParseFlags(argc, argv, {&nodes_flag, &attach_flag, &seed_flag,
+                          &classes_flag, &batch_flag, &out_flag});
+  const std::string out_path = RequireValue(out_flag);
+  const int64_t nodes = flags::ParseIntAtLeastOrDie(
+      "--nodes", RequireValue(nodes_flag).c_str(), 2);
+  const int64_t attach =
+      attach_flag.set
+          ? flags::ParseIntAtLeastOrDie("--attach", attach_flag.value.c_str(),
+                                        1)
+          : 8;
+  const uint64_t seed =
+      seed_flag.set ? flags::ParseUintOrDie("--seed", seed_flag.value.c_str())
+                    : 42;
+  const int64_t classes =
+      classes_flag.set ? flags::ParseIntAtLeastOrDie(
+                             "--label-classes", classes_flag.value.c_str(), 1)
+                       : 2;
+  const int64_t batch =
+      batch_flag.set ? flags::ParseIntAtLeastOrDie("--batch",
+                                                   batch_flag.value.c_str(), 1)
+                     : (int64_t{1} << 20);
+
+  store::StreamingStoreBuilder::Options options;
+  options.min_nodes = nodes;
+  store::StreamingStoreBuilder builder(out_path, options);
+  CheckOk(synth::StreamBarabasiAlbert(
+              nodes, attach, seed, batch,
+              [&builder](std::span<const graph::Edge> edges) {
+                return builder.AddEdgeBatch(edges);
+              }),
+          "streaming generator");
+  const graph::LabelStore labels = HashLabels(nodes, classes, seed);
+  const store::StreamingBuildStats stats =
+      Check(builder.Finish(&labels), "finishing store");
+  std::printf("wrote %s: %" PRId64 " nodes, %" PRId64
+              " edges, max degree %" PRId64 " (spilled %" PRId64 " MiB)\n",
+              out_path.c_str(), stats.num_nodes, stats.num_edges,
+              stats.max_degree, stats.spill_bytes >> 20);
+  return 0;
+}
+
+int RunInfo(int argc, char** argv) {
+  Flag store_flag{"--store"};
+  ParseFlags(argc, argv, {&store_flag});
+  const store::MappedGraph mapped =
+      Check(store::MappedGraph::Open(RequireValue(store_flag)),
+            "opening store");
+  const store::StoreHeader& h = mapped.header();
+  std::printf("format version   %u\n", h.format_version);
+  std::printf("file bytes       %" PRId64 "\n", mapped.file_bytes());
+  std::printf("nodes            %" PRId64 "\n", h.num_nodes);
+  std::printf("edges            %" PRId64 "\n", h.num_edges);
+  std::printf("max degree       %" PRId64 "\n", h.max_degree);
+  std::printf("label entries    %" PRId64 "\n", h.num_label_entries);
+  std::printf("distinct labels  %" PRId64 "\n",
+              mapped.labels().num_distinct_labels());
+  std::printf("remap section    %s\n",
+              (h.flags & store::kFlagHasRemap) != 0 ? "yes" : "no");
+  static const char* kSectionNames[store::kNumSections] = {
+      "csr-offsets", "adjacency", "label-offsets", "labels", "remap"};
+  for (uint32_t s = 0; s < store::kNumSections; ++s) {
+    const store::SectionDesc& desc = h.sections[s];
+    std::printf("section %-13s offset %10" PRIu64 "  bytes %12" PRIu64
+                "  fnv1a %016" PRIx64 "\n",
+                kSectionNames[s], desc.file_offset, desc.byte_size,
+                desc.checksum);
+  }
+  return 0;
+}
+
+int RunVerify(int argc, char** argv) {
+  Flag store_flag{"--store"};
+  ParseFlags(argc, argv, {&store_flag});
+  const std::string path = RequireValue(store_flag);
+  const Status status = store::VerifyStoreFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (checksums + CSR invariants)\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc >= 2 ? argv[1] : "";
+  if (command == "--help" || command == "-h") {
+    Usage();
+    return 0;
+  }
+  if (command == "convert") return RunConvert(argc, argv);
+  if (command == "synth") return RunSynth(argc, argv);
+  if (command == "info") return RunInfo(argc, argv);
+  if (command == "verify") return RunVerify(argc, argv);
+  return Usage();
+}

@@ -1,6 +1,9 @@
 // labelrw_cli: command-line front end for the library.
 //
-// Subcommands:
+// Subcommands (all accept --store=S, a binary snapshot written by
+// graphstore_cli, as a zero-copy mmap-backed alternative to
+// --graph/--labels; snapshots are preprocessed at convert time, so the LCC
+// pass is skipped):
 //   stats    --graph=E [--labels=L]              graph statistics
 //   truth    --graph=E --labels=L --t1=A --t2=B  exact target edge count
 //   estimate --graph=E --labels=L --t1=A --t2=B --budget=K
@@ -36,6 +39,8 @@
 #include <set>
 #include <string>
 
+#include <memory>
+
 #include "core/target_edge_counter.h"
 #include "graph/connected.h"
 #include "graph/io.h"
@@ -44,6 +49,7 @@
 #include "osn/local_api.h"
 #include "osn/record_replay.h"
 #include "osn/scenario.h"
+#include "store/mapped_graph.h"
 #include "theory/bounds.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -57,7 +63,8 @@ int Usage() {
       stderr,
       "usage: labelrw_cli <command> [flags]\n"
       "\n"
-      "commands:\n"
+      "commands (every command accepts --store=S, a binary snapshot from\n"
+      "graphstore_cli, as a zero-copy mmap alternative to --graph/--labels):\n"
       "  stats            graph statistics (--graph, optional --labels)\n"
       "  truth            exact target edge count (--graph --labels --t1 "
       "--t2)\n"
@@ -129,16 +136,17 @@ struct Args {
 
 /// Flags each command accepts; anything else is rejected.
 const std::set<std::string>& KnownFlags(const std::string& command) {
-  static const std::set<std::string> kCommon = {"graph", "labels"};
-  static const std::set<std::string> kTarget = {"graph", "labels", "t1",
-                                                "t2"};
+  static const std::set<std::string> kCommon = {"graph", "labels", "store"};
+  static const std::set<std::string> kTarget = {"graph", "labels", "store",
+                                                "t1", "t2"};
   static const std::set<std::string> kEstimate = {
-      "graph",     "labels",       "t1",        "t2",
+      "graph",     "labels",       "store",     "t1",        "t2",
       "budget",    "algorithm",    "burn-in",   "seed",
       "page-size", "fault-rate",   "private-rate", "retry-budget",
       "scenario",  "record",       "replay"};
-  static const std::set<std::string> kBounds = {"graph", "labels", "t1",
-                                                "t2",    "eps",    "delta"};
+  static const std::set<std::string> kBounds = {"graph", "labels", "store",
+                                                "t1",    "t2",     "eps",
+                                                "delta"};
   static const std::set<std::string> kNone = {};
   if (command == "stats") return kCommon;
   if (command == "truth") return kTarget;
@@ -199,12 +207,30 @@ T Check(Result<T> result, const char* what) {
 struct LoadedGraph {
   graph::Graph graph;
   graph::LabelStore labels;
+  /// Engaged on the --store path: `graph`/`labels` are views borrowing this
+  /// mapping, which must live as long as they do.
+  std::shared_ptr<store::MappedGraph> mapped;
 };
 
 LoadedGraph Load(const Args& args) {
+  const std::string store_path = args.Get("store");
   const std::string graph_path = args.Get("graph");
+  if (!store_path.empty()) {
+    if (!graph_path.empty() || args.Has("labels")) {
+      std::fprintf(stderr,
+                   "--store is a complete snapshot; it cannot be combined "
+                   "with --graph/--labels\n");
+      std::exit(2);
+    }
+    // Zero-copy mmap load. Snapshots are preprocessed at convert time
+    // (graphstore_cli convert --lcc), so no LCC pass here.
+    auto mapped = std::make_shared<store::MappedGraph>(
+        Check(store::MappedGraph::Open(store_path), "opening store"));
+    LoadedGraph lg{mapped->graph(), mapped->labels(), mapped};
+    return lg;
+  }
   if (graph_path.empty()) {
-    std::fprintf(stderr, "--graph is required\n");
+    std::fprintf(stderr, "--graph or --store is required\n");
     std::exit(2);
   }
   graph::Graph raw = Check(graph::LoadEdgeList(graph_path), "loading graph");
@@ -219,7 +245,7 @@ LoadedGraph Load(const Args& args) {
   }
   graph::LccResult lcc =
       Check(graph::ExtractLargestComponent(raw, raw_labels), "extracting LCC");
-  return {std::move(lcc.graph), std::move(lcc.labels)};
+  return {std::move(lcc.graph), std::move(lcc.labels), nullptr};
 }
 
 int RunStats(const Args& args) {
