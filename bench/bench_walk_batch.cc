@@ -1,0 +1,426 @@
+// Walk-batch benchmark: throughput of the interleaved prefetching engine
+// (rw/walk_batch.h) across batch sizes, backends, and walk kinds, plus the
+// bit-identity regression guards for the batched paths.
+//
+// Measurements, for {in-memory, mmap store} x {simple, mdrw, gmd}:
+//
+//   * scalar iterations/s   16 independent walkers advanced one after the
+//                           other — the pre-batch hot path, one dependent
+//                           CSR miss at a time
+//   * batched iterations/s  the same total work through WalkBatch at batch
+//                           sizes 1/4/8/16/32/64 — each round prefetches
+//                           every walker's offset row, then every
+//                           adjacency row, then steps, so the misses of
+//                           independent walkers overlap
+//
+// mdrw/gmd run the collapsed Advance (the burn-in hot path: every segment
+// is a move, i.e. a fresh pointer chase); iteration counts are scaled by
+// the expected iterations-per-move so every cell does the same number of
+// memory-bound moves. The store mapping is opened with the default
+// MapOptions (huge pages on, graceful fallback).
+//
+// Exits nonzero if (a) WalkBatch positions deviate bit-wise from scalar
+// walkers, (b) sweep estimates at walk_batch_size=16 deviate bit-wise from
+// the scalar sweep on either backend, or (c) the store-backed mdrw speedup
+// at batch 16 falls below --min-speedup (default 1.5x, the acceptance
+// floor; pass --min-speedup=0 for smoke runs on cache-resident graphs
+// where memory-level parallelism has nothing to hide). Dumps
+// BENCH_walk_batch.json (repo root by convention).
+//
+// Extra flags (on top of bench_util.h's):
+//   --nodes=N        synthetic graph size when no store is given (default
+//                    1,000,000 — big enough that walks are latency-bound)
+//   --attach=K       Barabási–Albert attachment (default 8)
+//   --moves=N        memory-bound moves per measurement (default 400,000)
+//   --store=PATH     benchmark an existing .lgs snapshot instead of
+//                    synthesizing one (falls back to $LABELRW_STORE_PATH)
+//   --min-speedup=X  acceptance floor for store mdrw at batch 16
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "rw/walk_batch.h"
+#include "store/mapped_graph.h"
+#include "store/store_writer.h"
+#include "synth/generators.h"
+
+namespace labelrw::bench {
+namespace {
+
+constexpr int kScalarWalkers = 16;
+const int64_t kBatchSizes[] = {1, 4, 8, 16, 32, 64};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Deterministic node labels in {1..2}, matching graphstore_cli synth, so
+/// snapshots and in-memory graphs carry the estimation target (1,2).
+graph::LabelStore HashLabels(int64_t num_nodes, uint64_t seed) {
+  graph::LabelStoreBuilder builder(num_nodes);
+  for (int64_t u = 0; u < num_nodes; ++u) {
+    uint64_t x = static_cast<uint64_t>(u) + seed * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    (void)builder.AddLabel(static_cast<graph::NodeId>(u),
+                           static_cast<graph::Label>(x % 2) + 1);
+  }
+  return builder.Build();
+}
+
+struct AlgoSpec {
+  const char* name;
+  rw::WalkKind kind;
+  estimators::AlgorithmId sweep_algorithm;
+};
+
+const AlgoSpec kAlgos[] = {
+    {"simple", rw::WalkKind::kSimple, estimators::AlgorithmId::kNeighborSampleHH},
+    {"mdrw", rw::WalkKind::kMaxDegree, estimators::AlgorithmId::kExMDRW},
+    {"gmd", rw::WalkKind::kGmd, estimators::AlgorithmId::kExGMD},
+};
+
+rw::WalkParams ParamsFor(const AlgoSpec& algo, int64_t max_degree) {
+  rw::WalkParams params;
+  params.kind = algo.kind;
+  params.max_degree_prior = max_degree;
+  return params;
+}
+
+/// Expected iterations per *move* under stationarity, so every cell times
+/// the same number of dependent CSR misses regardless of walk kind.
+int64_t IterationsPerMove(const AlgoSpec& algo, const graph::Graph& g) {
+  const double avg_degree = g.num_nodes() > 0
+                                ? 2.0 * static_cast<double>(g.num_edges()) /
+                                      static_cast<double>(g.num_nodes())
+                                : 1.0;
+  double ipm = 1.0;
+  if (algo.kind == rw::WalkKind::kMaxDegree) {
+    ipm = static_cast<double>(g.max_degree()) / avg_degree;
+  } else if (algo.kind == rw::WalkKind::kGmd) {
+    rw::WalkParams params;
+    params.gmd_delta = 0.5;
+    params.max_degree_prior = g.max_degree();
+    ipm = params.GmdC() / avg_degree;
+  }
+  return ipm < 1.0 ? 1 : static_cast<int64_t>(ipm);
+}
+
+std::vector<uint64_t> WalkerSeeds(uint64_t base, int64_t count) {
+  std::vector<uint64_t> seeds;
+  for (int64_t i = 0; i < count; ++i) {
+    seeds.push_back(DeriveSeed(base, static_cast<uint64_t>(i)));
+  }
+  return seeds;
+}
+
+/// Scalar reference: `walkers` independent walkers advanced sequentially
+/// through one shared API — the same total work a batch does, one walker
+/// (and one outstanding miss) at a time.
+double MeasureScalar(const graph::Graph& g, const graph::LabelStore& labels,
+                     rw::WalkParams params, int64_t iters_each,
+                     uint64_t seed) {
+  osn::LocalGraphApi api(g, labels);
+  std::vector<rw::NodeWalk> walks;
+  std::vector<Rng> rngs;
+  const std::vector<uint64_t> seeds = WalkerSeeds(seed, kScalarWalkers);
+  for (int i = 0; i < kScalarWalkers; ++i) {
+    walks.emplace_back(&api, params);
+    rngs.emplace_back(seeds[i]);
+    CheckOk(walks[i].ResetRandom(rngs[i]), "scalar walker reset");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kScalarWalkers; ++i) {
+    CheckOk(walks[i].Advance(iters_each, rngs[i]), "scalar walker advance");
+  }
+  const double secs = SecondsSince(start);
+  return secs > 0
+             ? static_cast<double>(kScalarWalkers * iters_each) / secs
+             : 0.0;
+}
+
+double MeasureBatch(const graph::Graph& g, const graph::LabelStore& labels,
+                    rw::WalkParams params, int64_t batch_size,
+                    int64_t iters_each, uint64_t seed) {
+  osn::LocalGraphApi api(g, labels);
+  rw::WalkBatch batch(&api, params, WalkerSeeds(seed, batch_size));
+  CheckOk(batch.ResetRandom(), "batch reset");
+  const auto start = std::chrono::steady_clock::now();
+  CheckOk(batch.Advance(iters_each), "batch advance");
+  const double secs = SecondsSince(start);
+  return secs > 0 ? static_cast<double>(batch_size * iters_each) / secs
+                  : 0.0;
+}
+
+/// Positions after interleaved stepping must equal scalar stepping walker
+/// by walker (same seeds, fresh APIs on both sides).
+bool WalkIdentity(const graph::Graph& g, const graph::LabelStore& labels,
+                  rw::WalkParams params, int64_t iters_each, uint64_t seed) {
+  const std::vector<uint64_t> seeds = WalkerSeeds(seed, kScalarWalkers);
+  osn::LocalGraphApi batch_api(g, labels);
+  rw::WalkBatch batch(&batch_api, params, seeds);
+  CheckOk(batch.ResetRandom(), "identity batch reset");
+  CheckOk(batch.Advance(iters_each), "identity batch advance");
+
+  osn::LocalGraphApi scalar_api(g, labels);
+  for (int i = 0; i < kScalarWalkers; ++i) {
+    rw::NodeWalk walk(&scalar_api, params);
+    Rng rng(seeds[i]);
+    CheckOk(walk.ResetRandom(rng), "identity scalar reset");
+    CheckOk(walk.Advance(iters_each, rng), "identity scalar advance");
+    if (walk.current() != batch.walker(static_cast<size_t>(i)).current()) {
+      std::fprintf(stderr,
+                   "FAIL: %s walker %d deviates under batching "
+                   "(scalar %d, batched %d)\n",
+                   rw::WalkKindName(params.kind), i, walk.current(),
+                   batch.walker(static_cast<size_t>(i)).current());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Sweep-level guard: the full estimator stack at walk_batch_size 16 must
+/// render the identical table to the scalar sweep.
+bool SweepIdentity(const graph::Graph& g, const graph::LabelStore& labels,
+                   const BenchFlags& flags) {
+  const graph::TargetLabel target{1, 2};
+  if (graph::CountTargetEdges(g, labels, target) == 0) {
+    std::printf("sweep identity: no (1,2) target edges; skipped\n");
+    return true;
+  }
+  eval::SweepConfig config;
+  config.sample_fractions = {0.002, 0.004};
+  config.reps = 4;
+  config.threads = flags.threads;
+  config.seed = flags.seed + 3;
+  config.burn_in = 300;
+  for (const AlgoSpec& algo : kAlgos) {
+    config.algorithms.push_back(algo.sweep_algorithm);
+  }
+  const eval::SweepResult scalar = CheckedValue(
+      eval::RunSweep(g, labels, target, config), "scalar sweep");
+  config.walk_batch_size = 16;
+  const eval::SweepResult batched = CheckedValue(
+      eval::RunSweep(g, labels, target, config), "batched sweep");
+  const std::string a = eval::ToCsv(scalar, "walk_batch", "(1,2)").ToString();
+  const std::string b = eval::ToCsv(batched, "walk_batch", "(1,2)").ToString();
+  if (a != b) {
+    std::fprintf(stderr,
+                 "FAIL: walk_batch_size=16 sweep deviates from the scalar "
+                 "sweep\n");
+    return false;
+  }
+  return true;
+}
+
+struct CellResult {
+  std::string backend;
+  std::string algorithm;
+  double scalar_steps_s = 0.0;
+  std::vector<double> batched_steps_s;
+  double speedup_at_16 = 0.0;
+};
+
+/// All measurements and guards for one backend.
+void RunBackend(const char* backend, const graph::Graph& g,
+                const graph::LabelStore& labels, const BenchFlags& flags,
+                int64_t target_moves, std::vector<CellResult>* results,
+                bool* identity) {
+  std::printf("--- backend %s: |V|=%lld |E|=%lld max_degree=%lld\n", backend,
+              static_cast<long long>(g.num_nodes()),
+              static_cast<long long>(g.num_edges()),
+              static_cast<long long>(g.max_degree()));
+  for (const AlgoSpec& algo : kAlgos) {
+    rw::WalkParams params = ParamsFor(algo, g.max_degree());
+    const int64_t ipm = IterationsPerMove(algo, g);
+    const int64_t total_iters = target_moves * ipm;
+
+    // Warm the page cache (and, on the store, fault the file in) before
+    // any timed pass, so the scalar reference is not penalized for going
+    // first.
+    (void)MeasureBatch(g, labels, params, 32, total_iters / 32,
+                       flags.seed + 100);
+
+    CellResult cell;
+    cell.backend = backend;
+    cell.algorithm = algo.name;
+    cell.scalar_steps_s = MeasureScalar(
+        g, labels, params, total_iters / kScalarWalkers, flags.seed + 1);
+    std::printf("%-7s scalar      %14.0f iter/s\n", algo.name,
+                cell.scalar_steps_s);
+    for (const int64_t b : kBatchSizes) {
+      const double steps_s = MeasureBatch(g, labels, params, b,
+                                          total_iters / b, flags.seed + 1);
+      cell.batched_steps_s.push_back(steps_s);
+      const double speedup =
+          cell.scalar_steps_s > 0 ? steps_s / cell.scalar_steps_s : 0.0;
+      if (b == 16) cell.speedup_at_16 = speedup;
+      std::printf("%-7s batch %-5lld %14.0f iter/s   (%.2fx)\n", algo.name,
+                  static_cast<long long>(b), steps_s, speedup);
+    }
+    *identity = WalkIdentity(g, labels, params, 4 * ipm, flags.seed + 2) &&
+                *identity;
+    results->push_back(std::move(cell));
+  }
+}
+
+int Main(int argc, char** argv) {
+  int64_t nodes = 1'000'000;
+  int64_t attach = 8;
+  int64_t moves = 400'000;
+  double min_speedup = 1.5;
+  std::string store_path;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      nodes = flags::ParseIntAtLeastOrDie("--nodes", argv[i] + 8, 1000);
+    } else if (std::strncmp(argv[i], "--attach=", 9) == 0) {
+      attach = flags::ParseIntAtLeastOrDie("--attach", argv[i] + 9, 1);
+    } else if (std::strncmp(argv[i], "--moves=", 8) == 0) {
+      moves = flags::ParseIntAtLeastOrDie("--moves", argv[i] + 8, 1000);
+    } else if (std::strncmp(argv[i], "--store=", 8) == 0) {
+      store_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = flags::ParseDoubleInRangeOrDie("--min-speedup",
+                                                   argv[i] + 14, 0.0, 100.0);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const BenchFlags flags =
+      ParseFlags(static_cast<int>(rest.size()), rest.data());
+  if (store_path.empty()) {
+    const char* env = std::getenv("LABELRW_STORE_PATH");
+    if (env != nullptr && env[0] != '\0') store_path = env;
+  }
+
+  // --- store backend: an existing snapshot, or a streamed synthetic one.
+  if (store_path.empty()) {
+    store_path = flags.out_dir + "/walk_batch_bench.lgs";
+    std::printf("synthesizing %lld-node store %s ...\n",
+                static_cast<long long>(nodes), store_path.c_str());
+    store::StreamingStoreBuilder::Options options;
+    options.min_nodes = nodes;
+    store::StreamingStoreBuilder builder(store_path, options);
+    CheckOk(synth::StreamBarabasiAlbert(
+                nodes, attach, flags.seed, int64_t{1} << 20,
+                [&builder](std::span<const graph::Edge> edges) {
+                  return builder.AddEdgeBatch(edges);
+                }),
+            "streaming generator");
+    const graph::LabelStore labels = HashLabels(nodes, flags.seed);
+    CheckOk(builder.Finish(&labels).status(), "finishing store");
+  } else {
+    std::printf("using store %s\n", store_path.c_str());
+  }
+  // Default MapOptions: huge pages on (graceful fallback), so the batch
+  // engine's prefetches land in 2 MiB TLB entries where the kernel allows.
+  store::MappedGraph mapped = CheckedValue(
+      store::MappedGraph::Open(store_path), "store open");
+
+  // --- in-memory backend: the same generative model, owned arrays.
+  const int64_t mem_nodes =
+      std::min<int64_t>(nodes, mapped.graph().num_nodes());
+  const graph::Graph mem_graph = CheckedValue(
+      synth::BarabasiAlbert(mem_nodes, attach, flags.seed), "memory graph");
+  const graph::LabelStore mem_labels = HashLabels(mem_nodes, flags.seed);
+
+  bool walk_identity = true;
+  std::vector<CellResult> results;
+  RunBackend("memory", mem_graph, mem_labels, flags, moves, &results,
+             &walk_identity);
+  RunBackend("store", mapped.graph(), mapped.labels(), flags, moves,
+             &results, &walk_identity);
+
+  std::printf("--- sweep identity guards (walk_batch_size 16 vs scalar)\n");
+  bool estimate_identity =
+      SweepIdentity(mem_graph, mem_labels, flags) &&
+      SweepIdentity(mapped.graph(), mapped.labels(), flags);
+
+  double store_mdrw_speedup = 0.0;
+  for (const CellResult& cell : results) {
+    if (cell.backend == "store" && cell.algorithm == "mdrw") {
+      store_mdrw_speedup = cell.speedup_at_16;
+    }
+  }
+  std::printf("walk positions bit-identical:  %s\n",
+              walk_identity ? "yes" : "NO");
+  std::printf("sweep estimates bit-identical: %s\n",
+              estimate_identity ? "yes" : "NO");
+  std::printf("store mdrw speedup at batch 16: %.2fx (floor %.2fx)\n",
+              store_mdrw_speedup, min_speedup);
+
+  std::string json = "{\n  \"bench\": \"walk_batch\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"store_nodes\": %lld,\n  \"store_edges\": %lld,\n"
+                "  \"memory_nodes\": %lld,\n  \"moves_per_cell\": %lld,\n"
+                "  \"batch_sizes\": [1, 4, 8, 16, 32, 64],\n"
+                "  \"results\": [\n",
+                static_cast<long long>(mapped.graph().num_nodes()),
+                static_cast<long long>(mapped.graph().num_edges()),
+                static_cast<long long>(mem_graph.num_nodes()),
+                static_cast<long long>(moves));
+  json += buf;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& cell = results[i];
+    json += "    {\"backend\": \"" + cell.backend + "\", \"algorithm\": \"" +
+            cell.algorithm + "\", \"scalar_steps_per_sec\": ";
+    std::snprintf(buf, sizeof(buf), "%.0f", cell.scalar_steps_s);
+    json += buf;
+    json += ", \"batched_steps_per_sec\": [";
+    for (size_t b = 0; b < cell.batched_steps_s.size(); ++b) {
+      std::snprintf(buf, sizeof(buf), "%s%.0f", b > 0 ? ", " : "",
+                    cell.batched_steps_s[b]);
+      json += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "], \"speedup_at_16\": %.2f}%s\n",
+                  cell.speedup_at_16, i + 1 < results.size() ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"walk_bit_identical\": %s,\n"
+                "  \"estimates_bit_identical\": %s,\n"
+                "  \"store_mdrw_speedup_at_16\": %.2f,\n"
+                "  \"min_speedup\": %.2f\n}\n",
+                walk_identity ? "true" : "false",
+                estimate_identity ? "true" : "false", store_mdrw_speedup,
+                min_speedup);
+  json += buf;
+  const std::string json_path = JsonOutPath(flags, "walk_batch");
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!walk_identity || !estimate_identity) return 1;
+  if (min_speedup > 0.0 && store_mdrw_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: store mdrw speedup %.2fx at batch 16 is below the "
+                 "%.2fx acceptance floor\n",
+                 store_mdrw_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace labelrw::bench
+
+int main(int argc, char** argv) { return labelrw::bench::Main(argc, argv); }

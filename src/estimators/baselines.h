@@ -33,6 +33,15 @@ class LineGraphBaselineSession final : public EstimatorSession {
       const graph::TargetLabel& target, const osn::GraphPriors& priors,
       const EstimateOptions& options);
 
+  /// Both endpoints: a line-graph step reads u's row always and v's row
+  /// for the far half of the line neighborhood.
+  int WalkFrontier(graph::NodeId out[2]) const override {
+    if (!walk_.Save().initialized) return 0;
+    out[0] = walk_.current().u;
+    out[1] = walk_.current().v;
+    return 2;
+  }
+
  protected:
   Status StartWalk(Rng& rng) override;
   Status IterateOnce(int64_t i, Rng& rng) override;

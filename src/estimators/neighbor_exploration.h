@@ -38,6 +38,12 @@ class NeighborExplorationSession final : public EstimatorSession {
       const graph::TargetLabel& target, const osn::GraphPriors& priors,
       const EstimateOptions& options);
 
+  int WalkFrontier(graph::NodeId out[2]) const override {
+    if (walk_.current() < 0) return 0;
+    out[0] = walk_.current();
+    return 1;
+  }
+
  protected:
   Status StartWalk(Rng& rng) override;
   void PrepareAccumulators() override;

@@ -98,6 +98,19 @@ class EstimatorSession {
   /// the accumulators, which the hot sweep path should not pay for.
   void set_transactional_stepping(bool on) { transactional_ = on; }
 
+  /// Fast batch hook for interleaved drivers (SweepConfig::walk_batch_size,
+  /// rw/walk_batch.h): writes the walk-frontier node ids — the nodes whose
+  /// CSR offset/adjacency rows the next iteration's walk step dereferences —
+  /// into `out` and returns how many (0-2; 0 before the first Step). A
+  /// batched driver issues software prefetches for every co-scheduled
+  /// session's frontier before stepping any of them, so the dependent DRAM
+  /// misses of N independent walks overlap instead of serializing. Purely a
+  /// performance hint; never charges or draws.
+  virtual int WalkFrontier(graph::NodeId out[2]) const {
+    (void)out;
+    return 0;
+  }
+
   /// True once the options' limits were reached; Step becomes a no-op.
   bool finished() const { return finished_; }
 

@@ -1,5 +1,6 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <limits>
@@ -11,6 +12,7 @@
 #include "graph/oracle.h"
 #include "osn/client.h"
 #include "osn/local_api.h"
+#include "rw/walk_batch.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -46,6 +48,9 @@ Status SweepConfig::Validate() const {
     return InvalidArgumentError("algorithms must be non-empty");
   }
   if (burn_in < 0) return InvalidArgumentError("burn_in must be >= 0");
+  if (walk_batch_size < 0) {
+    return InvalidArgumentError("walk_batch_size must be >= 0 (0 = scalar)");
+  }
   if (protocol == SweepProtocol::kPrefixBudget) {
     for (size_t i = 1; i < sample_fractions.size(); ++i) {
       if (sample_fractions[i] <= sample_fractions[i - 1]) {
@@ -86,6 +91,10 @@ struct TaskApi {
   std::unique_ptr<osn::DynamicGraphTransport> dynamic;
   std::unique_ptr<osn::OsnClient> client;
   osn::OsnApi* api = nullptr;
+  /// The backend's raw CSR (api->FastGraphView()), cached here so the
+  /// batched driver's prefetch rounds skip the virtual call. nullptr on
+  /// backends without a stable CSR (dynamic transports).
+  const graph::Graph* prefetch = nullptr;
 };
 
 /// Everything the shared sweep core needs beyond the SweepConfig.
@@ -132,6 +141,75 @@ Status DriveSession(estimators::EstimatorSession& session, TaskApi& task,
       (void)session.Snapshot();
     }
     if (*stepped == 0 || session.finished()) return Status::Ok();
+  }
+}
+
+/// One co-scheduled rep of a walk batch (SweepConfig::walk_batch_size):
+/// its own access stack + session, plus the driving flags.
+struct BatchLane {
+  TaskApi task;
+  std::unique_ptr<estimators::EstimatorSession> session;
+  int64_t rep = 0;
+  bool failed = false;   // error already merged; skip for good
+  bool settled = false;  // reached the current drive target
+  graph::NodeId frontier[2] = {0, 0};  // per-round scratch (DriveLanes):
+  int frontier_n = 0;                  // filled once, used by both phases
+};
+
+/// Drives every live lane to `nested_budget` (<= 0: the options' own
+/// limits) in interleaved rounds: first every lane's walk-frontier rows
+/// are prefetched (offsets, then adjacency — two sweeps so the dependent
+/// loads overlap across lanes; see rw/walk_batch.h), then each lane steps
+/// one iteration. Per-lane work is exactly DriveSession with step chunk 1,
+/// so results are bit-identical to scalar driving; a kRateLimited lane
+/// advances its own clock and retries next round without stalling the
+/// others. Lane errors are reported through `merge_error` and disable the
+/// lane; the block keeps driving its siblings (matching the scalar
+/// worker, which keeps claiming tasks after an error).
+template <typename MergeError>
+void DriveLanes(std::vector<BatchLane>& lanes, const SweepDriver& driver,
+                int64_t nested_budget, const MergeError& merge_error) {
+  for (BatchLane& lane : lanes) lane.settled = lane.failed;
+  while (true) {
+    bool any_live = false;
+    for (BatchLane& lane : lanes) {
+      if (lane.settled || lane.task.prefetch == nullptr) continue;
+      lane.frontier_n = lane.session->WalkFrontier(lane.frontier);
+      for (int k = 0; k < lane.frontier_n; ++k) {
+        rw::PrefetchCsrOffsets(*lane.task.prefetch, lane.frontier[k]);
+      }
+    }
+    for (const BatchLane& lane : lanes) {
+      if (lane.settled || lane.task.prefetch == nullptr) continue;
+      for (int k = 0; k < lane.frontier_n; ++k) {
+        rw::PrefetchCsrRow(*lane.task.prefetch, lane.frontier[k]);
+      }
+    }
+    for (BatchLane& lane : lanes) {
+      if (lane.settled) continue;
+      const Result<int64_t> stepped =
+          nested_budget > 0 ? lane.session->StepUntilBudget(nested_budget, 1)
+                            : lane.session->Step(1);
+      if (!stepped.ok()) {
+        if (driver.drive_rate_limits && lane.task.client != nullptr &&
+            stepped.status().code() == StatusCode::kRateLimited) {
+          lane.task.client->mutable_clock().AdvanceUs(
+              lane.task.client->last_retry_after_us());
+          any_live = true;  // the rolled-back iteration retries next round
+          continue;
+        }
+        merge_error(stepped.status());
+        lane.failed = true;
+        lane.settled = true;
+        continue;
+      }
+      if (*stepped == 0 || lane.session->finished()) {
+        lane.settled = true;
+      } else {
+        any_live = true;
+      }
+    }
+    if (!any_live) return;
   }
 }
 
@@ -183,12 +261,19 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
   // Work queue. Independent runs: flattened (algorithm, size, rep) triples,
   // one session run each. Prefix budget: flattened (algorithm, rep) pairs —
   // one resumable session walks to each budget in ascending order and its
-  // snapshots fill the whole row of size cells.
+  // snapshots fill the whole row of size cells. With walk_batch_size > 0
+  // the rep axis is claimed in blocks of up to `batch` reps instead: a
+  // block's sessions are co-scheduled through one interleaved prefetching
+  // loop (DriveLanes), landing in the same slots with the same seeds.
   const bool prefix = config.protocol == SweepProtocol::kPrefixBudget;
+  const int64_t batch = config.walk_batch_size;
+  const int64_t num_cells =
+      prefix ? static_cast<int64_t>(num_algos)
+             : static_cast<int64_t>(num_algos) * static_cast<int64_t>(num_sizes);
+  const int64_t blocks_per_cell =
+      batch > 0 ? (config.reps + batch - 1) / batch : 0;
   const int64_t total_tasks =
-      prefix ? static_cast<int64_t>(num_algos) * config.reps
-             : static_cast<int64_t>(num_algos) * static_cast<int64_t>(
-                                                     num_sizes) * config.reps;
+      batch > 0 ? num_cells * blocks_per_cell : num_cells * config.reps;
   std::atomic<int64_t> next_task{0};
   std::mutex merge_mutex;
   Status first_error;
@@ -310,9 +395,82 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
     }
   };
 
+  // The walk_batch_size > 0 worker: claims a block of reps of one cell,
+  // builds one access stack + session per rep, and drives them through the
+  // interleaved prefetching loop. Same seeds, same slots, same per-session
+  // streams as the scalar worker — only the memory-system timing differs.
+  auto batch_worker = [&]() {
+    std::vector<WorkerScratch> scratch(static_cast<size_t>(batch));
+    std::vector<BatchLane> lanes;
+    while (true) {
+      const int64_t block_id =
+          next_task.fetch_add(1, std::memory_order_relaxed);
+      if (block_id >= total_tasks) return;
+      const int64_t cell = block_id / blocks_per_cell;
+      const int64_t rep0 = (block_id % blocks_per_cell) * batch;
+      const int64_t rep1 = std::min<int64_t>(config.reps, rep0 + batch);
+      const auto algo_idx =
+          static_cast<size_t>(prefix ? cell : cell / num_sizes);
+      const size_t size_idx =
+          prefix ? 0 : static_cast<size_t>(cell) % num_sizes;
+
+      lanes.clear();
+      for (int64_t rep = rep0; rep < rep1; ++rep) {
+        BatchLane lane;
+        lane.rep = rep;
+        lane.task = driver.make_api(scratch[static_cast<size_t>(rep - rep0)]);
+        const auto options =
+            prefix ? make_options(algo_idx, num_sizes, rep,
+                                  result.sample_sizes[num_sizes - 1])
+                   : make_options(algo_idx, size_idx, rep,
+                                  result.sample_sizes[size_idx]);
+        auto session = estimators::EstimatorSession::Create(
+            config.algorithms[algo_idx], *lane.task.api, target, priors,
+            options);
+        if (!session.ok()) {
+          merge_error(session.status());
+          lane.failed = true;
+        } else {
+          lane.session = std::move(*session);
+          if (driver.drive_rate_limits) {
+            lane.session->set_transactional_stepping(true);
+          }
+        }
+        lanes.push_back(std::move(lane));
+      }
+
+      if (prefix) {
+        for (size_t s = 0; s < num_sizes; ++s) {
+          DriveLanes(lanes, driver, result.sample_sizes[s], merge_error);
+          for (const BatchLane& lane : lanes) {
+            if (lane.failed) continue;
+            merge_cell(algo_idx, s, static_cast<size_t>(lane.rep),
+                       lane.session->Snapshot());
+          }
+        }
+      } else {
+        DriveLanes(lanes, driver, /*nested_budget=*/0, merge_error);
+        for (const BatchLane& lane : lanes) {
+          if (lane.failed) continue;
+          merge_cell(algo_idx, size_idx, static_cast<size_t>(lane.rep),
+                     lane.session->Snapshot());
+        }
+      }
+      for (const BatchLane& lane : lanes) {
+        if (!lane.failed) task_done(lane.task);
+      }
+    }
+  };
+
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (int i = 0; i < threads; ++i) {
+    if (batch > 0) {
+      pool.emplace_back(batch_worker);
+    } else {
+      pool.emplace_back(worker);
+    }
+  }
   for (auto& t : pool) t.join();
   if (!first_error.ok()) return first_error;
 
@@ -347,6 +505,7 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
     task.local = std::make_unique<osn::LocalGraphApi>(
         graph, labels, osn::CostModel(), /*budget=*/-1, &scratch.touched);
     task.api = task.local.get();
+    task.prefetch = task.api->FastGraphView();
     return task;
   };
   return RunSweepImpl(graph, labels, target, config, driver);
@@ -388,6 +547,7 @@ Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
       task.dynamic->AttachClock(&task.client->clock());
     }
     task.api = task.client.get();
+    task.prefetch = task.api->FastGraphView();
     return task;
   };
 

@@ -64,6 +64,18 @@ struct SweepConfig {
   bool detour_on_denied = false;
   /// See SweepProtocol. kPrefixBudget requires ascending sample_fractions.
   SweepProtocol protocol = SweepProtocol::kIndependentRuns;
+  /// Co-schedule up to this many reps of a budget cell through one
+  /// interleaved, prefetching walker batch per worker (the session-level
+  /// face of rw/walk_batch.h): each round issues every co-scheduled
+  /// session's walk-frontier prefetch, then steps each session one
+  /// iteration, so the dependent CSR misses of independent walks overlap.
+  /// Results are bit-identical to the scalar path for every batch size,
+  /// thread count, and backend (test-enforced in walk_batch_test.cc) —
+  /// per-rep seeds, charges, and result slots do not depend on scheduling.
+  /// 0 (the default, the paper protocol) = scalar driving; the win grows
+  /// with graph size and is largest on store-backed sweeps (batch >= 16;
+  /// docs/PERFORMANCE.md §9).
+  int64_t walk_batch_size = 0;
 
   /// The paper's ten sizes 0.5%|V| .. 5.0%|V|.
   static std::vector<double> PaperFractions();

@@ -91,6 +91,17 @@ class OsnApi {
 
   /// Remaining budget; a negative value means unlimited.
   virtual int64_t remaining_budget() const = 0;
+
+  /// Fast batch hook: the backend's raw CSR view, when it has one, so
+  /// batched drivers (rw::WalkBatch, the eval walk_batch_size mode) can
+  /// issue software prefetches on the offset/adjacency rows the next walk
+  /// steps will touch. Never charges or alters results, but it is not
+  /// blind: rw::PrefetchCsrRow *reads* the two offset entries delimiting a
+  /// row (the adjacency itself is only prefetched), so return a view only
+  /// if its arrays are fully populated and stable for the batch's
+  /// lifetime — mutating backends (e.g. DynamicGraphTransport) must return
+  /// nullptr (the default), which degrades to plain interleaving.
+  virtual const graph::Graph* FastGraphView() const { return nullptr; }
 };
 
 }  // namespace labelrw::osn

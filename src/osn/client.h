@@ -107,6 +107,10 @@ class OsnClient final : public OsnApi {
   int64_t api_calls() const override { return api_calls_; }
   void ResetCallCount() override { api_calls_ = 0; }
   int64_t remaining_budget() const override;
+  /// Forwards the transport's CSR view (prefetch hint only; see api.h).
+  const graph::Graph* FastGraphView() const override {
+    return transport_.FastGraphView();
+  }
 
   // -------------------------------------------------------------------
   // v2 surface.

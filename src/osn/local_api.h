@@ -65,6 +65,10 @@ class LocalGraphApi final : public OsnApi, public Transport {
   int64_t num_users() const override { return graph_.num_nodes(); }
   GraphPriors TransportPriors() const override { return Priors(); }
 
+  /// One definition serves both faces (OsnApi and Transport declare the
+  /// same hook): the backing CSR, in-memory or mmap-backed alike.
+  const graph::Graph* FastGraphView() const override { return &graph_; }
+
   // -------------------------------------------------------------------
   // Non-virtual fast path.
   //

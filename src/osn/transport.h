@@ -63,6 +63,13 @@ class Transport {
   /// The prior-knowledge block (|V|, |E|, degree maxima) the estimators
   /// receive, as published by the OSN owner.
   virtual GraphPriors TransportPriors() const = 0;
+
+  /// Fast batch hook, mirrored from OsnApi::FastGraphView (see the
+  /// contract there — offset entries are read, not just prefetched):
+  /// the backend's raw CSR view, or nullptr when the backend has no
+  /// stable fully-populated CSR (e.g. a mutating DynamicGraphTransport).
+  /// OsnClient forwards this to its batched drivers.
+  virtual const graph::Graph* FastGraphView() const { return nullptr; }
 };
 
 }  // namespace labelrw::osn

@@ -58,7 +58,7 @@ Status EdgeWalk::ResetRandom(Rng& rng) {
     const auto nbrs = *nbrs_result;
     if (nbrs.empty()) continue;
     const graph::NodeId other =
-        nbrs[rng.UniformInt(static_cast<int64_t>(nbrs.size()))];
+        nbrs[params_.PickIndex(rng, static_cast<int64_t>(nbrs.size()))];
     // A seed edge must be fully public: under the detour policy a private
     // far endpoint re-rolls the seed instead of stranding the walk.
     LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(other));
@@ -88,7 +88,7 @@ Result<graph::Edge> EdgeWalk::UniformLineNeighbor(graph::Edge e,
                                                   graph::NodeId* new_endpoint) {
   LABELRW_ASSIGN_OR_RETURN(auto nbrs_u, api_->GetNeighbors(e.u));
   const int64_t du = static_cast<int64_t>(nbrs_u.size());
-  const int64_t j = rng.UniformInt(line_degree);
+  const int64_t j = params_.PickIndex(rng, line_degree);
   if (j < du - 1) {
     const int64_t pos_v = IndexOf(nbrs_u, e.v);
     if (pos_v < 0) return InternalError("EdgeWalk: current edge vanished");
@@ -199,40 +199,45 @@ Status EdgeWalk::Advance(int64_t steps, Rng& rng) {
 }
 
 Status EdgeWalk::AdvanceCollapsed(int64_t steps, Rng& rng) {
-  if (steps <= 0) return Status::Ok();
+  int64_t remaining = steps;
+  while (remaining > 0) {
+    LABELRW_ASSIGN_OR_RETURN(const int64_t consumed,
+                             CollapsedSegment(remaining, rng));
+    remaining -= consumed;
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> EdgeWalk::CollapsedSegment(int64_t remaining, Rng& rng) {
+  if (remaining <= 0) return int64_t{0};
   if (!initialized_) {
     return FailedPreconditionError("EdgeWalk::Advance before Reset");
   }
-  int64_t remaining = steps;
-  while (remaining > 0) {
-    LABELRW_ASSIGN_OR_RETURN(const int64_t degree, LineDegreeOf(current_));
-    if (degree <= 0) {
-      // The only edge of a K2 component: every iteration is a self-loop.
-      return Status::Ok();
-    }
-    double move_prob;
-    if (params_.kind == WalkKind::kMaxDegree) {
-      move_prob = static_cast<double>(degree) /
-                  static_cast<double>(params_.max_degree_prior);
-    } else {
-      const double c = params_.GmdC();
-      move_prob =
-          static_cast<double>(degree) >= c
-              ? 1.0
-              : static_cast<double>(degree) / c;
-    }
-    const int64_t loops = SampleSelfLoopRun(rng, move_prob, remaining);
-    if (loops >= remaining) return Status::Ok();
-    remaining -= loops + 1;
-    graph::NodeId endpoint = -1;
-    LABELRW_ASSIGN_OR_RETURN(
-        const graph::Edge next,
-        UniformLineNeighbor(current_, degree, rng, &endpoint));
-    LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(endpoint));
-    if (!denied) current_ = next;  // denied: one more (already counted)
-                                   // self-loop iteration
+  LABELRW_ASSIGN_OR_RETURN(const int64_t degree, LineDegreeOf(current_));
+  if (degree <= 0) {
+    // The only edge of a K2 component: every iteration is a self-loop.
+    return remaining;
   }
-  return Status::Ok();
+  double move_prob;
+  if (params_.kind == WalkKind::kMaxDegree) {
+    move_prob = static_cast<double>(degree) /
+                static_cast<double>(params_.max_degree_prior);
+  } else {
+    const double c = params_.GmdC();
+    move_prob = static_cast<double>(degree) >= c
+                    ? 1.0
+                    : static_cast<double>(degree) / c;
+  }
+  const int64_t loops = SampleSelfLoopRun(rng, move_prob, remaining);
+  if (loops >= remaining) return remaining;
+  graph::NodeId endpoint = -1;
+  LABELRW_ASSIGN_OR_RETURN(
+      const graph::Edge next,
+      UniformLineNeighbor(current_, degree, rng, &endpoint));
+  LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(endpoint));
+  if (!denied) current_ = next;  // denied: one more (already counted)
+                                 // self-loop iteration
+  return loops + 1;
 }
 
 }  // namespace labelrw::rw

@@ -46,6 +46,12 @@ class EdgeWalk {
   /// params.collapse_self_loops is set, making burn-in O(moves + 1).
   Status Advance(int64_t steps, Rng& rng);
 
+  /// One segment of the collapsed Advance (see NodeWalk::CollapsedSegment):
+  /// consumes one geometric self-loop run plus at most one move attempt and
+  /// returns the iterations consumed, in [1, remaining]. EdgeWalkBatch
+  /// interleaves these across walkers bit-identically to the scalar path.
+  Result<int64_t> CollapsedSegment(int64_t remaining, Rng& rng);
+
   const WalkParams& params() const { return params_; }
 
   /// Suspend/resume support, mirroring NodeWalk::Checkpoint: the walk's

@@ -60,7 +60,7 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
 
   switch (params_.kind) {
     case WalkKind::kSimple: {
-      const graph::NodeId next = nbrs[rng.UniformInt(degree)];
+      const graph::NodeId next = nbrs[params_.PickIndex(rng, degree)];
       LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
       previous_ = current_;
       if (!denied) current_ = next;  // denied: rejected proposal, stay put
@@ -71,10 +71,10 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
       if (degree == 1) {
         next = nbrs[0];  // dead end: backtracking is the only move
       } else if (previous_ < 0) {
-        next = nbrs[rng.UniformInt(degree)];
+        next = nbrs[params_.PickIndex(rng, degree)];
       } else {
         // Uniform over neighbors excluding `previous_`.
-        int64_t j = rng.UniformInt(degree - 1);
+        int64_t j = params_.PickIndex(rng, degree - 1);
         graph::NodeId candidate = nbrs[j];
         if (candidate == previous_) candidate = nbrs[degree - 1];
         next = candidate;
@@ -88,7 +88,7 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
     }
     case WalkKind::kMetropolisHastings:
     case WalkKind::kRcmh: {
-      const graph::NodeId proposal = nbrs[rng.UniformInt(degree)];
+      const graph::NodeId proposal = nbrs[params_.PickIndex(rng, degree)];
       const Result<int64_t> probed = api_->GetDegree(proposal);
       if (!probed.ok()) {
         if (params_.detour_on_denied &&
@@ -115,7 +115,7 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
                                static_cast<double>(params_.max_degree_prior);
       previous_ = current_;
       if (rng.UniformDouble() < move_prob) {
-        const graph::NodeId next = nbrs[rng.UniformInt(degree)];
+        const graph::NodeId next = nbrs[params_.PickIndex(rng, degree)];
         LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
         if (!denied) current_ = next;
       }
@@ -126,7 +126,7 @@ Result<graph::NodeId> NodeWalk::Step(Rng& rng) {
       previous_ = current_;
       if (static_cast<double>(degree) >= c ||
           rng.UniformDouble() < static_cast<double>(degree) / c) {
-        const graph::NodeId next = nbrs[rng.UniformInt(degree)];
+        const graph::NodeId next = nbrs[params_.PickIndex(rng, degree)];
         LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
         if (!denied) current_ = next;
       }
@@ -150,42 +150,47 @@ Status NodeWalk::Advance(int64_t steps, Rng& rng) {
 }
 
 Status NodeWalk::AdvanceCollapsed(int64_t steps, Rng& rng) {
-  if (steps <= 0) return Status::Ok();
+  int64_t remaining = steps;
+  while (remaining > 0) {
+    LABELRW_ASSIGN_OR_RETURN(const int64_t consumed,
+                             CollapsedSegment(remaining, rng));
+    remaining -= consumed;
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> NodeWalk::CollapsedSegment(int64_t remaining, Rng& rng) {
+  if (remaining <= 0) return int64_t{0};
   if (!initialized_) {
     return FailedPreconditionError("NodeWalk::Advance before Reset");
   }
-  int64_t remaining = steps;
-  while (remaining > 0) {
-    LABELRW_ASSIGN_OR_RETURN(auto nbrs, api_->GetNeighbors(current_));
-    const int64_t degree = static_cast<int64_t>(nbrs.size());
-    if (degree == 0) {
-      return FailedPreconditionError("walk reached an isolated node");
-    }
-    double move_prob;
-    if (params_.kind == WalkKind::kMaxDegree) {
-      move_prob = static_cast<double>(degree) /
-                  static_cast<double>(params_.max_degree_prior);
-    } else {
-      const double c = params_.GmdC();
-      move_prob =
-          static_cast<double>(degree) >= c
-              ? 1.0
-              : static_cast<double>(degree) / c;
-    }
-    const int64_t loops = SampleSelfLoopRun(rng, move_prob, remaining);
-    if (loops >= remaining) {
-      // Every remaining iteration is a self-loop; the walk ends in place.
-      previous_ = current_;
-      return Status::Ok();
-    }
-    remaining -= loops + 1;
-    previous_ = current_;
-    const graph::NodeId next = nbrs[rng.UniformInt(degree)];
-    LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
-    if (!denied) current_ = next;  // denied: the attempted move is one more
-                                   // self-loop iteration (already counted)
+  LABELRW_ASSIGN_OR_RETURN(auto nbrs, api_->GetNeighbors(current_));
+  const int64_t degree = static_cast<int64_t>(nbrs.size());
+  if (degree == 0) {
+    return FailedPreconditionError("walk reached an isolated node");
   }
-  return Status::Ok();
+  double move_prob;
+  if (params_.kind == WalkKind::kMaxDegree) {
+    move_prob = static_cast<double>(degree) /
+                static_cast<double>(params_.max_degree_prior);
+  } else {
+    const double c = params_.GmdC();
+    move_prob = static_cast<double>(degree) >= c
+                    ? 1.0
+                    : static_cast<double>(degree) / c;
+  }
+  const int64_t loops = SampleSelfLoopRun(rng, move_prob, remaining);
+  if (loops >= remaining) {
+    // Every remaining iteration is a self-loop; the walk ends in place.
+    previous_ = current_;
+    return remaining;
+  }
+  previous_ = current_;
+  const graph::NodeId next = nbrs[params_.PickIndex(rng, degree)];
+  LABELRW_ASSIGN_OR_RETURN(const bool denied, DeniedByDetour(next));
+  if (!denied) current_ = next;  // denied: the attempted move is one more
+                                 // self-loop iteration (already counted)
+  return loops + 1;
 }
 
 }  // namespace labelrw::rw

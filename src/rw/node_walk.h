@@ -38,6 +38,14 @@ class NodeWalk {
   /// faster and distribution-equivalent to stepping naively.
   Status Advance(int64_t steps, Rng& rng);
 
+  /// One segment of the collapsed Advance: consumes one geometric run of
+  /// self-loops plus (unless the run covers everything) one move attempt,
+  /// and returns the number of iterations consumed, in [1, remaining].
+  /// Advance with collapse_self_loops is exactly a loop of these, so
+  /// WalkBatch can interleave segments across walkers while each walker's
+  /// RNG stream replays the scalar collapsed path bit-for-bit.
+  Result<int64_t> CollapsedSegment(int64_t remaining, Rng& rng);
+
   const WalkParams& params() const { return params_; }
 
   /// Suspend/resume support: the walk's full position state. Pair it with

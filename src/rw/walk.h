@@ -93,6 +93,23 @@ struct WalkParams {
   /// When off, nothing is probed and the walk's behavior and accounting
   /// are bit-identical to before this knob existed.
   bool detour_on_denied = false;
+  /// Draw bounded integers (neighbor picks, line-neighbor indices, seed
+  /// picks) with Rng::NextBoundedFast — one multiply-shift per draw, no
+  /// division, per-value bias < 2^-32 for realistic degrees (see rng.h).
+  /// Off by default: the fast draw consumes the RNG stream differently
+  /// from UniformInt, so enabling it changes every walk trajectory
+  /// (distribution-equivalent, not bit-identical).
+  bool fast_bounded_rng = false;
+
+  /// The bounded draw every walk uses for neighbor/index picks, routed
+  /// through one place so fast_bounded_rng cannot silently cover only some
+  /// call sites. Requires bound > 0.
+  int64_t PickIndex(Rng& rng, int64_t bound) const {
+    return fast_bounded_rng
+               ? static_cast<int64_t>(
+                     rng.NextBoundedFast(static_cast<uint64_t>(bound)))
+               : rng.UniformInt(bound);
+  }
 
   /// C = gmd_delta * max_degree_prior, at least 1.
   double GmdC() const {

@@ -1,0 +1,158 @@
+#include "rw/walk_batch.h"
+
+#include <string>
+
+namespace labelrw::rw {
+namespace {
+
+// Frontier arity is the only thing the node- and edge-space drivers do
+// differently: a node walker's next step dereferences one CSR row, an edge
+// walker both endpoints' rows.
+inline void PrefetchFrontierOffsets(const graph::Graph& g, const NodeWalk& w) {
+  PrefetchCsrOffsets(g, w.current());
+}
+inline void PrefetchFrontierOffsets(const graph::Graph& g, const EdgeWalk& w) {
+  PrefetchCsrOffsets(g, w.current().u);
+  PrefetchCsrOffsets(g, w.current().v);
+}
+inline void PrefetchFrontierRow(const graph::Graph& g, const NodeWalk& w) {
+  PrefetchCsrRow(g, w.current());
+}
+inline void PrefetchFrontierRow(const graph::Graph& g, const EdgeWalk& w) {
+  PrefetchCsrRow(g, w.current().u);
+  PrefetchCsrRow(g, w.current().v);
+}
+
+template <typename Walker>
+Status StepAllImpl(const graph::Graph* csr, std::vector<Walker>& walkers,
+                   std::vector<Rng>& rngs) {
+  if (csr != nullptr) {
+    for (const Walker& w : walkers) PrefetchFrontierOffsets(*csr, w);
+    for (const Walker& w : walkers) PrefetchFrontierRow(*csr, w);
+  }
+  for (size_t i = 0; i < walkers.size(); ++i) {
+    LABELRW_RETURN_IF_ERROR(walkers[i].Step(rngs[i]).status());
+  }
+  return Status::Ok();
+}
+
+template <typename Walker>
+Status AdvanceCollapsedImpl(const graph::Graph* csr,
+                            std::vector<Walker>& walkers,
+                            std::vector<Rng>& rngs,
+                            std::vector<int64_t>& remaining, int64_t steps) {
+  // Per-walker iteration budgets: a walker whose geometric run swallowed
+  // its whole budget drops out of later rounds, exactly where the scalar
+  // AdvanceCollapsed loop would have returned.
+  for (auto& r : remaining) r = steps;
+  while (true) {
+    bool any = false;
+    if (csr != nullptr) {
+      for (size_t i = 0; i < walkers.size(); ++i) {
+        if (remaining[i] > 0) PrefetchFrontierOffsets(*csr, walkers[i]);
+      }
+      for (size_t i = 0; i < walkers.size(); ++i) {
+        if (remaining[i] > 0) PrefetchFrontierRow(*csr, walkers[i]);
+      }
+    }
+    for (size_t i = 0; i < walkers.size(); ++i) {
+      if (remaining[i] <= 0) continue;
+      LABELRW_ASSIGN_OR_RETURN(
+          const int64_t consumed,
+          walkers[i].CollapsedSegment(remaining[i], rngs[i]));
+      remaining[i] -= consumed;
+      any = any || remaining[i] > 0;
+    }
+    if (!any) return Status::Ok();
+  }
+}
+
+template <typename Walker>
+Status AdvanceImpl(const WalkParams& params, const graph::Graph* csr,
+                   std::vector<Walker>& walkers, std::vector<Rng>& rngs,
+                   std::vector<int64_t>& remaining, int64_t steps) {
+  if (steps <= 0) return Status::Ok();
+  if (params.collapse_self_loops && (params.kind == WalkKind::kMaxDegree ||
+                                     params.kind == WalkKind::kGmd)) {
+    return AdvanceCollapsedImpl(csr, walkers, rngs, remaining, steps);
+  }
+  for (int64_t t = 0; t < steps; ++t) {
+    LABELRW_RETURN_IF_ERROR(StepAllImpl(csr, walkers, rngs));
+  }
+  return Status::Ok();
+}
+
+template <typename Walker>
+Status ResetRandomImpl(std::vector<Walker>& walkers, std::vector<Rng>& rngs) {
+  for (size_t i = 0; i < walkers.size(); ++i) {
+    LABELRW_RETURN_IF_ERROR(walkers[i].ResetRandom(rngs[i]));
+  }
+  return Status::Ok();
+}
+
+template <typename Walker, typename Start>
+Status ResetImpl(std::vector<Walker>& walkers, std::span<const Start> starts,
+                 const char* who) {
+  if (starts.size() != walkers.size()) {
+    return InvalidArgumentError(std::string(who) +
+                                "::Reset: one start per walker");
+  }
+  for (size_t i = 0; i < walkers.size(); ++i) {
+    LABELRW_RETURN_IF_ERROR(walkers[i].Reset(starts[i]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+WalkBatch::WalkBatch(osn::OsnApi* api, WalkParams params,
+                     std::span<const uint64_t> seeds)
+    : api_(api), params_(params), csr_(api->FastGraphView()) {
+  walkers_.reserve(seeds.size());
+  rngs_.reserve(seeds.size());
+  for (const uint64_t seed : seeds) {
+    walkers_.emplace_back(api, params);
+    rngs_.emplace_back(seed);
+  }
+  remaining_.resize(seeds.size(), 0);
+}
+
+Status WalkBatch::ResetRandom() { return ResetRandomImpl(walkers_, rngs_); }
+
+Status WalkBatch::Reset(std::span<const graph::NodeId> starts) {
+  return ResetImpl(walkers_, starts, "WalkBatch");
+}
+
+Status WalkBatch::StepAll() { return StepAllImpl(csr_, walkers_, rngs_); }
+
+Status WalkBatch::Advance(int64_t steps) {
+  return AdvanceImpl(params_, csr_, walkers_, rngs_, remaining_, steps);
+}
+
+EdgeWalkBatch::EdgeWalkBatch(osn::OsnApi* api, WalkParams params,
+                             std::span<const uint64_t> seeds)
+    : api_(api), params_(params), csr_(api->FastGraphView()) {
+  walkers_.reserve(seeds.size());
+  rngs_.reserve(seeds.size());
+  for (const uint64_t seed : seeds) {
+    walkers_.emplace_back(api, params);
+    rngs_.emplace_back(seed);
+  }
+  remaining_.resize(seeds.size(), 0);
+}
+
+Status EdgeWalkBatch::ResetRandom() {
+  return ResetRandomImpl(walkers_, rngs_);
+}
+
+Status EdgeWalkBatch::Reset(std::span<const graph::Edge> starts) {
+  return ResetImpl(walkers_, starts, "EdgeWalkBatch");
+}
+
+Status EdgeWalkBatch::StepAll() { return StepAllImpl(csr_, walkers_, rngs_); }
+
+Status EdgeWalkBatch::Advance(int64_t steps) {
+  return AdvanceImpl(params_, csr_, walkers_, rngs_, remaining_, steps);
+}
+
+}  // namespace labelrw::rw

@@ -1,0 +1,152 @@
+// WalkBatch / EdgeWalkBatch: memory-level parallelism for latency-bound
+// random walks.
+//
+// After the mmap store removed load time and collapsing removed redundant
+// self-loop work, the remaining cost of a walk step on a large CSR is a
+// dependent pointer chase: offset row -> adjacency slice, one DRAM (and,
+// without huge pages, TLB) miss each, with nothing else to do while it
+// resolves. One walker therefore runs at memory *latency*; the hardware's
+// memory *bandwidth* supports ten-plus concurrent misses.
+//
+// The standard fix — and what this engine implements — is interleaving:
+// advance N independent walkers round-robin, and while walker i's step
+// computes, the CSR rows of walkers i+1..N are already being fetched by
+// software prefetches issued at the top of the round. Each walker keeps
+// its own Rng and steps through the exact scalar NodeWalk/EdgeWalk code,
+// so per-walker trajectories and RNG streams are bit-identical to scalar
+// stepping (test-enforced in tests/walk_batch_test.cc for all ten
+// algorithms on both backends); only the memory-system timing changes.
+//
+// Prefetching engages when the API exposes a raw CSR through
+// osn::OsnApi::FastGraphView() (LocalGraphApi over in-memory or mapped
+// arrays, OsnClient over LocalGraphApi/StoreTransport); otherwise the
+// batch degrades to plain interleaving, which is still correct. Pair the
+// store backend with store::MapOptions::huge_pages so the prefetched rows
+// land in 2 MiB TLB entries (docs/PERFORMANCE.md §9 has the numbers).
+
+#ifndef LABELRW_RW_WALK_BATCH_H_
+#define LABELRW_RW_WALK_BATCH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "osn/api.h"
+#include "rw/edge_walk.h"
+#include "rw/node_walk.h"
+#include "rw/walk.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace labelrw::rw {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LABELRW_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define LABELRW_PREFETCH_READ(addr) ((void)sizeof(addr))
+#endif
+
+/// Phase 1 of a prefetch round: request node `u`'s CSR offset pair. Cheap
+/// (two addresses, usually one cache line); issue for every walker before
+/// any offset is *read*, so the misses overlap.
+inline void PrefetchCsrOffsets(const graph::Graph& g, graph::NodeId u) {
+  if (u < 0 || u >= g.num_nodes()) return;
+  const int64_t* base = g.csr_offsets().data();
+  LABELRW_PREFETCH_READ(base + u);
+  LABELRW_PREFETCH_READ(base + u + 1);
+}
+
+/// Phase 2: read the (by now resident) offsets and request the adjacency
+/// row — the leading lines plus the row tail, which covers short rows
+/// (the common case on power-law graphs) completely and bounds the cost
+/// on hubs. Call only after PrefetchCsrOffsets for the same node had a
+/// round to resolve, or this read stalls exactly like the step would.
+inline void PrefetchCsrRow(const graph::Graph& g, graph::NodeId u) {
+  if (u < 0 || u >= g.num_nodes()) return;
+  const auto offsets = g.csr_offsets();
+  const int64_t begin = offsets[u];
+  const int64_t end = offsets[u + 1];
+  if (end <= begin) return;
+  const graph::NodeId* base = g.csr_adjacency().data();
+  constexpr int64_t kIdsPerLine = 64 / sizeof(graph::NodeId);
+  constexpr int64_t kLeadLines = 4;
+  for (int64_t j = begin; j < end && j < begin + kLeadLines * kIdsPerLine;
+       j += kIdsPerLine) {
+    LABELRW_PREFETCH_READ(base + j);
+  }
+  LABELRW_PREFETCH_READ(base + end - 1);
+}
+
+/// N node-space walkers advanced in an interleaved loop. All walkers share
+/// one `api` (one crawl cache and charge ledger — exactly what a batched
+/// crawler session looks like); walker i draws from its own Rng, so its
+/// trajectory is bit-identical to a scalar NodeWalk driven with the same
+/// seed, regardless of batch size or interleaving order.
+class WalkBatch {
+ public:
+  /// `api` must outlive the batch. One walker per entry of `seeds`.
+  WalkBatch(osn::OsnApi* api, WalkParams params,
+            std::span<const uint64_t> seeds);
+
+  size_t size() const { return walkers_.size(); }
+  NodeWalk& walker(size_t i) { return walkers_[i]; }
+  const NodeWalk& walker(size_t i) const { return walkers_[i]; }
+  Rng& rng(size_t i) { return rngs_[i]; }
+
+  /// Seeds every walker at a random accessible start, in walker order,
+  /// each from its own stream (walker i lands where scalar walker i with
+  /// the same seed would).
+  Status ResetRandom();
+
+  /// Places walker i at starts[i]. starts.size() must equal size().
+  Status Reset(std::span<const graph::NodeId> starts);
+
+  /// One iteration per walker: prefetch all frontier rows, then step each
+  /// walker. Bit-identical per walker to walker(i).Step(rng(i)).
+  Status StepAll();
+
+  /// `steps` iterations per walker, interleaved. Dispatches exactly like
+  /// NodeWalk::Advance: kMaxDegree/kGmd with params.collapse_self_loops
+  /// interleave collapsed segments (one geometric run + one move each),
+  /// everything else interleaves naive steps.
+  Status Advance(int64_t steps);
+
+ private:
+  osn::OsnApi* api_;
+  WalkParams params_;
+  const graph::Graph* csr_;  // prefetch view; nullptr = no prefetching
+  std::vector<NodeWalk> walkers_;
+  std::vector<Rng> rngs_;
+  std::vector<int64_t> remaining_;  // scratch for AdvanceCollapsed
+};
+
+/// The edge-space twin: N line-graph walkers, interleaved. A walker's
+/// frontier is both endpoints of its current edge (a step reads u's row
+/// always and v's row for the far half of the line neighborhood).
+class EdgeWalkBatch {
+ public:
+  EdgeWalkBatch(osn::OsnApi* api, WalkParams params,
+                std::span<const uint64_t> seeds);
+
+  size_t size() const { return walkers_.size(); }
+  EdgeWalk& walker(size_t i) { return walkers_[i]; }
+  const EdgeWalk& walker(size_t i) const { return walkers_[i]; }
+  Rng& rng(size_t i) { return rngs_[i]; }
+
+  Status ResetRandom();
+  Status Reset(std::span<const graph::Edge> starts);
+  Status StepAll();
+  Status Advance(int64_t steps);
+
+ private:
+  osn::OsnApi* api_;
+  WalkParams params_;
+  const graph::Graph* csr_;
+  std::vector<EdgeWalk> walkers_;
+  std::vector<Rng> rngs_;
+  std::vector<int64_t> remaining_;
+};
+
+}  // namespace labelrw::rw
+
+#endif  // LABELRW_RW_WALK_BATCH_H_

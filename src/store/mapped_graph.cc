@@ -6,12 +6,67 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "util/log.h"
+
 namespace labelrw::store {
 namespace {
+
+/// Notes a denied mapping advice once per process per kind: containers
+/// without THP-for-files, locked-memory limits, and non-Linux kernels are
+/// expected environments, not errors — the mapping works either way, only
+/// the TLB/fault behavior differs.
+void NoteAdviceUnavailable(std::atomic<bool>* warned, const char* what,
+                           const std::string& path, int err) {
+  if (warned->exchange(true)) return;
+  LABELRW_ILOG("store '%s': %s unavailable (%s); mapping stays fully "
+               "functional without it",
+               path.c_str(), what, std::strerror(err));
+}
+
+/// Applies MapOptions' memory-system advice to a validated mapping.
+/// Best-effort by design: every failure degrades to the plain mapping.
+void ApplyMapAdvice(void* map, size_t bytes, const StoreHeader& header,
+                    const MapOptions& options, const std::string& path) {
+  static std::atomic<bool> warned_huge{false};
+  static std::atomic<bool> warned_willneed{false};
+  static std::atomic<bool> warned_mlock{false};
+  if (options.huge_pages) {
+#ifdef MADV_HUGEPAGE
+    if (::madvise(map, bytes, MADV_HUGEPAGE) != 0) {
+      NoteAdviceUnavailable(&warned_huge, "madvise(MADV_HUGEPAGE)", path,
+                            errno);
+    }
+#else
+    NoteAdviceUnavailable(&warned_huge, "madvise(MADV_HUGEPAGE)", path,
+                          ENOTSUP);
+#endif
+  }
+  if (options.willneed) {
+#ifdef MADV_WILLNEED
+    if (::madvise(map, bytes, MADV_WILLNEED) != 0) {
+      NoteAdviceUnavailable(&warned_willneed, "madvise(MADV_WILLNEED)", path,
+                            errno);
+    }
+#else
+    NoteAdviceUnavailable(&warned_willneed, "madvise(MADV_WILLNEED)", path,
+                          ENOTSUP);
+#endif
+  }
+  if (options.lock_offsets) {
+    const SectionDesc& offsets = header.sections[kSectionCsrOffsets];
+    if (offsets.byte_size > 0 &&
+        ::mlock(static_cast<const char*>(map) + offsets.file_offset,
+                offsets.byte_size) != 0) {
+      NoteAdviceUnavailable(&warned_mlock, "mlock(offsets section)", path,
+                            errno);
+    }
+  }
+}
 
 Status TruncatedError(const std::string& path, const std::string& what) {
   return InvalidArgumentError("store '" + path + "' is truncated: " + what);
@@ -155,6 +210,7 @@ Result<MappedGraph> MappedGraph::Open(const std::string& path,
   mapped.map_bytes_ = static_cast<size_t>(file_bytes);
   std::memcpy(&mapped.header_, map, sizeof(StoreHeader));
   LABELRW_RETURN_IF_ERROR(ValidateHeader(mapped.header_, file_bytes, path));
+  ApplyMapAdvice(map, mapped.map_bytes_, mapped.header_, options, path);
 
   if (options.verify_section_checksums) {
     for (uint32_t s = 0; s < kNumSections; ++s) {

@@ -34,16 +34,37 @@
 
 namespace labelrw::store {
 
-struct MappedGraphOptions {
+struct MapOptions {
   /// Also verify every section's FNV-1a checksum at open. Reads the whole
   /// file (defeating lazy faulting), so the default leaves deep
   /// verification to `graphstore_cli verify` / VerifyStoreFile().
   bool verify_section_checksums = false;
+  /// madvise(MADV_HUGEPAGE) the mapping so the kernel backs it with
+  /// transparent huge pages (2 MiB TLB entries). Random walks touch the
+  /// CSR all over; with 4 KiB pages a 100 MiB+ adjacency section blows the
+  /// TLB on nearly every step and the dTLB walk serializes with the DRAM
+  /// miss the batch engine is trying to overlap — huge pages are what let
+  /// rw::WalkBatch's prefetches pay off on store-backed graphs. On by
+  /// default: kernels without read-only file-backed THP
+  /// (CONFIG_READ_ONLY_THP_FOR_FS) refuse the advice and Open degrades
+  /// gracefully with a one-time logged note (never an error).
+  bool huge_pages = true;
+  /// madvise(MADV_WILLNEED): ask the kernel to read the whole file ahead
+  /// asynchronously. Useful before a full-graph sweep (every page will be
+  /// touched anyway); leave off for budgeted crawls that visit a sliver.
+  bool willneed = false;
+  /// mlock() the CSR offset section (8*(n+1) bytes) so the offset half of
+  /// every step's pointer chase can never take a major fault. Subject to
+  /// RLIMIT_MEMLOCK; denial degrades gracefully with a logged note.
+  bool lock_offsets = false;
 };
+
+/// Pre-MapOptions spelling, kept for existing call sites.
+using MappedGraphOptions = MapOptions;
 
 class MappedGraph {
  public:
-  using Options = MappedGraphOptions;
+  using Options = MapOptions;
 
   /// Maps the snapshot at `path`. Fails with a named reason on wrong magic,
   /// foreign byte order, mismatched element widths, truncation, a corrupt

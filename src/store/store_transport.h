@@ -30,6 +30,11 @@ class StoreTransport final : public osn::Transport {
   Result<graph::NodeId> SampleSeed(Rng& rng) const override;
   int64_t num_users() const override { return mapped_.graph().num_nodes(); }
   osn::GraphPriors TransportPriors() const override { return priors_; }
+  /// The mmap-backed CSR view, for batched drivers' software prefetches
+  /// (osn/api.h FastGraphView) — prefetching mapped pages also warms them.
+  const graph::Graph* FastGraphView() const override {
+    return &mapped_.graph();
+  }
 
  private:
   const MappedGraph& mapped_;

@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "tests/statistical_test_util.h"
+
 namespace labelrw {
 namespace {
 
@@ -108,6 +110,43 @@ TEST(DeriveSeedTest, DistinctCoordinatesYieldDistinctSeeds) {
 TEST(DeriveSeedTest, DeterministicAcrossCalls) {
   EXPECT_EQ(DeriveSeed(9, 1, 2, 3), DeriveSeed(9, 1, 2, 3));
   EXPECT_NE(DeriveSeed(9, 1, 2, 3), DeriveSeed(10, 1, 2, 3));
+}
+
+TEST(RngTest, NextBoundedFastRespectsBound) {
+  Rng rng(77);
+  for (const uint64_t bound : {1ull, 2ull, 7ull, 1000ull, (1ull << 32) + 3}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.NextBoundedFast(bound), bound);
+    }
+  }
+}
+
+// Chi-square uniformity at walk-relevant bounds (node degrees are far below
+// 2^32, where the multiply-shift's per-value bias is < 2^-32 — invisible at
+// any feasible sample size). Thresholds as in the statistical suites.
+TEST(RngTest, NextBoundedFastIsUniformByChiSquare) {
+  for (const uint64_t bound : {7ull, 64ull, 1000ull}) {
+    Rng rng(1234 + bound);
+    std::vector<int64_t> counts(bound, 0);
+    const int64_t draws = 200'000;
+    for (int64_t i = 0; i < draws; ++i) {
+      ++counts[rng.NextBoundedFast(bound)];
+    }
+    const double p = testing::ChiSquareUniformPValue(counts);
+    EXPECT_GT(p, 1e-3) << "bound " << bound;
+  }
+}
+
+// Exactly one 64-bit draw per call — the property that makes the fast path
+// fast (UniformU64 may reject and redraw).
+TEST(RngTest, NextBoundedFastConsumesOneDrawPerCall) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 1000; ++i) {
+    (void)a.NextBoundedFast(3);
+    (void)b.NextU64();
+  }
+  EXPECT_EQ(a.NextU64(), b.NextU64());
 }
 
 }  // namespace

@@ -1,0 +1,342 @@
+// The batch engine's defining contract: interleaved, prefetching stepping
+// is bit-identical per walker/session to scalar stepping — for every walk
+// kind at the rw layer, for all ten algorithms through the sweep harness,
+// on the in-memory and mmap-store backends, under the private-profile
+// detour policy, and under strict rate limits with transactional stepping.
+// Prefetching and interleaving may only change memory-system timing, never
+// a single drawn bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "graph/oracle.h"
+#include "osn/client.h"
+#include "osn/local_api.h"
+#include "osn/scenario.h"
+#include "rw/walk_batch.h"
+#include "store/mapped_graph.h"
+#include "store/store_writer.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::RandomLabels;
+
+constexpr size_t kWalkers = 8;
+
+std::vector<uint64_t> Seeds(uint64_t base) {
+  std::vector<uint64_t> seeds;
+  for (size_t i = 0; i < kWalkers; ++i) seeds.push_back(base + i);
+  return seeds;
+}
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  graph::TargetLabel target{0, 1};
+
+  static Fixture Make(uint64_t seed, int64_t n = 400) {
+    Fixture f;
+    f.graph = RandomConnectedGraph(n, 3 * n, seed);
+    f.labels = RandomLabels(n, 2, seed + 1);
+    return f;
+  }
+};
+
+std::vector<rw::WalkKind> NodeKinds() {
+  return {rw::WalkKind::kSimple,        rw::WalkKind::kMetropolisHastings,
+          rw::WalkKind::kMaxDegree,     rw::WalkKind::kRcmh,
+          rw::WalkKind::kGmd,           rw::WalkKind::kNonBacktracking};
+}
+
+// ---------------------------------------------------------------------------
+// rw layer: WalkBatch / EdgeWalkBatch vs scalar NodeWalk / EdgeWalk.
+
+TEST(WalkBatchTest, NodeBatchMatchesScalarForEveryKind) {
+  const Fixture f = Fixture::Make(51);
+  for (const rw::WalkKind kind : NodeKinds()) {
+    for (const bool collapse : {false, true}) {
+      SCOPED_TRACE(std::string(rw::WalkKindName(kind)) +
+                   (collapse ? "/collapsed" : "/naive"));
+      rw::WalkParams params;
+      params.kind = kind;
+      params.max_degree_prior = f.graph.max_degree();
+      params.collapse_self_loops = collapse;
+
+      const std::vector<uint64_t> seeds = Seeds(7000);
+      osn::LocalGraphApi batch_api(f.graph, f.labels);
+      rw::WalkBatch batch(&batch_api, params, seeds);
+      ASSERT_NE(batch_api.FastGraphView(), nullptr);  // prefetching engaged
+      ASSERT_OK(batch.ResetRandom());
+
+      std::vector<std::unique_ptr<osn::LocalGraphApi>> apis;
+      std::vector<rw::NodeWalk> walks;
+      std::vector<Rng> rngs;
+      for (size_t i = 0; i < kWalkers; ++i) {
+        apis.push_back(
+            std::make_unique<osn::LocalGraphApi>(f.graph, f.labels));
+        walks.emplace_back(apis.back().get(), params);
+        rngs.emplace_back(seeds[i]);
+        ASSERT_OK(walks[i].ResetRandom(rngs[i]));
+        ASSERT_EQ(batch.walker(i).current(), walks[i].current());
+      }
+
+      for (const int64_t chunk : {int64_t{1}, int64_t{17}, int64_t{64}}) {
+        ASSERT_OK(batch.Advance(chunk));
+        for (size_t i = 0; i < kWalkers; ++i) {
+          ASSERT_OK(walks[i].Advance(chunk, rngs[i]));
+          ASSERT_EQ(batch.walker(i).current(), walks[i].current())
+              << "walker " << i << " chunk " << chunk;
+          const Rng::State a = batch.rng(i).SaveState();
+          const Rng::State b = rngs[i].SaveState();
+          for (int w = 0; w < 4; ++w) ASSERT_EQ(a.s[w], b.s[w]);
+        }
+      }
+    }
+  }
+}
+
+TEST(WalkBatchTest, EdgeBatchMatchesScalarForEveryKind) {
+  const Fixture f = Fixture::Make(52);
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(f.graph);
+  for (const rw::WalkKind kind :
+       {rw::WalkKind::kSimple, rw::WalkKind::kMetropolisHastings,
+        rw::WalkKind::kMaxDegree, rw::WalkKind::kRcmh, rw::WalkKind::kGmd}) {
+    for (const bool collapse : {false, true}) {
+      SCOPED_TRACE(std::string(rw::WalkKindName(kind)) +
+                   (collapse ? "/collapsed" : "/naive"));
+      rw::WalkParams params;
+      params.kind = kind;
+      params.max_degree_prior = stats.max_line_degree;
+      params.collapse_self_loops = collapse;
+
+      const std::vector<uint64_t> seeds = Seeds(9000);
+      osn::LocalGraphApi batch_api(f.graph, f.labels);
+      rw::EdgeWalkBatch batch(&batch_api, params, seeds);
+      ASSERT_OK(batch.ResetRandom());
+
+      std::vector<std::unique_ptr<osn::LocalGraphApi>> apis;
+      std::vector<rw::EdgeWalk> walks;
+      std::vector<Rng> rngs;
+      for (size_t i = 0; i < kWalkers; ++i) {
+        apis.push_back(
+            std::make_unique<osn::LocalGraphApi>(f.graph, f.labels));
+        walks.emplace_back(apis.back().get(), params);
+        rngs.emplace_back(seeds[i]);
+        ASSERT_OK(walks[i].ResetRandom(rngs[i]));
+      }
+
+      for (const int64_t chunk : {int64_t{1}, int64_t{13}, int64_t{48}}) {
+        ASSERT_OK(batch.Advance(chunk));
+        for (size_t i = 0; i < kWalkers; ++i) {
+          ASSERT_OK(walks[i].Advance(chunk, rngs[i]));
+          ASSERT_EQ(batch.walker(i).current(), walks[i].current())
+              << "walker " << i << " chunk " << chunk;
+        }
+      }
+    }
+  }
+}
+
+// Private-profile detours: the batch steps through OsnClient (whose
+// FastGraphView forwards the transport's CSR) with deterministic private
+// users, and every rejected proposal lands identically to scalar walking.
+TEST(WalkBatchTest, DetourOnDeniedBatchMatchesScalar) {
+  const Fixture f = Fixture::Make(53);
+  osn::LocalGraphApi transport(f.graph, f.labels);
+  osn::FaultPolicy faults;
+  faults.unavailable_user_rate = 0.1;  // deterministic per (seed, user)
+  for (const rw::WalkKind kind :
+       {rw::WalkKind::kSimple, rw::WalkKind::kMetropolisHastings,
+        rw::WalkKind::kGmd}) {
+    SCOPED_TRACE(rw::WalkKindName(kind));
+    rw::WalkParams params;
+    params.kind = kind;
+    params.max_degree_prior = f.graph.max_degree();
+    params.detour_on_denied = true;
+
+    const std::vector<uint64_t> seeds = Seeds(4200);
+    osn::OsnClient batch_client(transport, osn::CostModel(), faults);
+    ASSERT_NE(batch_client.FastGraphView(), nullptr);
+    rw::WalkBatch batch(&batch_client, params, seeds);
+    ASSERT_OK(batch.ResetRandom());
+
+    std::vector<std::unique_ptr<osn::OsnClient>> clients;
+    std::vector<rw::NodeWalk> walks;
+    std::vector<Rng> rngs;
+    for (size_t i = 0; i < kWalkers; ++i) {
+      clients.push_back(std::make_unique<osn::OsnClient>(
+          transport, osn::CostModel(), faults));
+      walks.emplace_back(clients.back().get(), params);
+      rngs.emplace_back(seeds[i]);
+      ASSERT_OK(walks[i].ResetRandom(rngs[i]));
+    }
+    ASSERT_OK(batch.Advance(96));
+    for (size_t i = 0; i < kWalkers; ++i) {
+      ASSERT_OK(walks[i].Advance(96, rngs[i]));
+      ASSERT_EQ(batch.walker(i).current(), walks[i].current()) << i;
+    }
+  }
+}
+
+// The opt-in fast bounded draw changes the stream by design, but batched
+// and scalar stepping must still agree bit-for-bit with it enabled.
+TEST(WalkBatchTest, FastBoundedRngKeepsBatchScalarIdentity) {
+  const Fixture f = Fixture::Make(54);
+  rw::WalkParams params;
+  params.kind = rw::WalkKind::kSimple;
+  params.fast_bounded_rng = true;
+
+  const std::vector<uint64_t> seeds = Seeds(6100);
+  osn::LocalGraphApi batch_api(f.graph, f.labels);
+  rw::WalkBatch batch(&batch_api, params, seeds);
+  ASSERT_OK(batch.ResetRandom());
+
+  rw::WalkParams slow = params;
+  slow.fast_bounded_rng = false;
+  for (size_t i = 0; i < kWalkers; ++i) {
+    osn::LocalGraphApi api(f.graph, f.labels);
+    rw::NodeWalk fast_walk(&api, params);
+    Rng rng(seeds[i]);
+    ASSERT_OK(fast_walk.ResetRandom(rng));
+    ASSERT_OK(fast_walk.Advance(64, rng));
+    ASSERT_OK(batch.walker(i).Step(batch.rng(i)).status());  // desync probe
+    ASSERT_OK(batch.walker(i).Advance(63, batch.rng(i)));
+    ASSERT_EQ(batch.walker(i).current(), fast_walk.current()) << i;
+
+    // And the fast stream really is a different (valid) trajectory.
+    osn::LocalGraphApi api2(f.graph, f.labels);
+    rw::NodeWalk slow_walk(&api2, slow);
+    Rng rng2(seeds[i]);
+    ASSERT_OK(slow_walk.ResetRandom(rng2));
+    ASSERT_OK(slow_walk.Advance(64, rng2));
+    ASSERT_TRUE(f.graph.IsValidNode(slow_walk.current()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep harness: walk_batch_size may never change a rendered table.
+
+std::string RenderAll(const eval::SweepResult& result) {
+  return eval::ToCsv(result, "walk-batch", "(0,1)").ToString() + "\n" +
+         eval::RenderPaperTable(result, "walk-batch");
+}
+
+eval::SweepConfig SmallConfig(eval::SweepProtocol protocol) {
+  eval::SweepConfig config;
+  config.sample_fractions = {0.05, 0.15};
+  config.reps = 8;
+  config.threads = 2;
+  config.seed = 77;
+  config.burn_in = 20;
+  config.algorithms = estimators::AllAlgorithms();
+  config.protocol = protocol;
+  return config;
+}
+
+TEST(WalkBatchSweepTest, RunSweepIdenticalForBatchSizesAndThreads) {
+  const Fixture f = Fixture::Make(55, 300);
+  for (const eval::SweepProtocol protocol :
+       {eval::SweepProtocol::kIndependentRuns,
+        eval::SweepProtocol::kPrefixBudget}) {
+    SCOPED_TRACE(eval::SweepProtocolName(protocol));
+    std::string reference;
+    for (const int threads : {1, 8}) {
+      for (const int64_t batch : {int64_t{0}, int64_t{1}, int64_t{16}}) {
+        eval::SweepConfig config = SmallConfig(protocol);
+        config.threads = threads;
+        config.walk_batch_size = batch;
+        ASSERT_OK_AND_ASSIGN(
+            const eval::SweepResult result,
+            eval::RunSweep(f.graph, f.labels, f.target, config));
+        const std::string rendered = RenderAll(result);
+        if (reference.empty()) {
+          reference = rendered;
+        } else {
+          ASSERT_EQ(rendered, reference)
+              << "threads=" << threads << " batch=" << batch;
+        }
+      }
+    }
+  }
+}
+
+TEST(WalkBatchSweepTest, StoreBackendBatchedSweepMatchesMemory) {
+  const Fixture f = Fixture::Make(56, 300);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "walk_batch_test.lgs")
+          .string();
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, path));
+  store::MapOptions options;
+  options.huge_pages = true;  // exercises the graceful-fallback path too
+  options.willneed = true;
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path, options));
+
+  eval::SweepConfig config = SmallConfig(eval::SweepProtocol::kIndependentRuns);
+  ASSERT_OK_AND_ASSIGN(const eval::SweepResult memory,
+                       eval::RunSweep(f.graph, f.labels, f.target, config));
+  for (const int64_t batch : {int64_t{0}, int64_t{16}}) {
+    eval::SweepConfig store_config = config;
+    store_config.walk_batch_size = batch;
+    ASSERT_OK_AND_ASSIGN(
+        const eval::SweepResult stored,
+        eval::RunSweep(mapped.graph(), mapped.labels(), f.target,
+                       store_config));
+    ASSERT_EQ(RenderAll(stored), RenderAll(memory)) << "batch=" << batch;
+  }
+  std::remove(path.c_str());
+}
+
+// Strict rate limits force transactional stepping and mid-iteration
+// rollbacks; a batched lane must absorb its own kRateLimited retries
+// without perturbing itself or its siblings.
+TEST(WalkBatchSweepTest, StrictRateLimitScenarioIdenticalUnderBatching) {
+  const Fixture f = Fixture::Make(57, 300);
+  osn::Scenario scenario;
+  scenario.name = "strict-batch";
+  scenario.cost_model.page_size = 7;
+  scenario.rate_limit.requests_per_sec = 2000.0;
+  scenario.rate_limit.bucket_capacity = 3;
+  scenario.rate_limit.per_call_latency_us = 250;
+  scenario.rate_limit.auto_wait = false;
+  scenario.faults.unavailable_user_rate = 0.05;
+  scenario.walker_detour = true;
+
+  eval::SweepConfig config = SmallConfig(eval::SweepProtocol::kIndependentRuns);
+  config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
+                       estimators::AlgorithmId::kNeighborExplorationRW,
+                       estimators::AlgorithmId::kExMDRW};
+  std::string reference;
+  for (const int64_t batch : {int64_t{0}, int64_t{1}, int64_t{16}}) {
+    eval::SweepConfig batched = config;
+    batched.walk_batch_size = batch;
+    ASSERT_OK_AND_ASSIGN(
+        const eval::SweepResult result,
+        eval::RunScenarioSweep(f.graph, f.labels, f.target, batched,
+                               scenario));
+    const std::string rendered = RenderAll(result);
+    if (reference.empty()) {
+      reference = rendered;
+    } else {
+      ASSERT_EQ(rendered, reference) << "batch=" << batch;
+    }
+  }
+}
+
+TEST(WalkBatchSweepTest, NegativeBatchSizeIsRejected) {
+  eval::SweepConfig config = SmallConfig(eval::SweepProtocol::kIndependentRuns);
+  config.walk_batch_size = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace labelrw
