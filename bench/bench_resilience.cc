@@ -1,0 +1,305 @@
+// Resilience benchmark: durable-checkpoint overhead, kill-and-resume
+// bit-identity at sweep scale, and deterministic chaos schedules on the
+// Facebook analog.
+//
+// Three claims are guarded, and any violation exits nonzero:
+//   1. A durable sweep (checkpoint files maintained per task) lands
+//      bit-identically to the plain in-memory sweep; the checkpoint I/O
+//      overhead is the measurement (default cadence and a tight 256-step
+//      cadence).
+//   2. A sweep killed partway (halt_after_tasks) and resumed over the same
+//      checkpoint directory reproduces the uninterrupted result
+//      bit-for-bit, cell by cell.
+//   3. Every chaos preset (osn/chaos.h) is deterministic: two runs with
+//      the same schedule produce identical cells and telemetry. The
+//      accuracy cost of crawling through outages/bursts/drift is the
+//      measurement, not a failure.
+//
+// Dumps BENCH_resilience.json next to the CSVs so future PRs (and the CI
+// artifact) can diff.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "osn/chaos.h"
+#include "osn/scenario.h"
+
+namespace labelrw::bench {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Cell-by-cell bitwise comparison; reports the first mismatch.
+bool BitIdentical(const eval::SweepResult& a, const eval::SweepResult& b,
+                  const char* what) {
+  if (a.cells.size() != b.cells.size()) {
+    std::fprintf(stderr, "FAIL %s: cell grid shape differs\n", what);
+    return false;
+  }
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    if (a.cells[i].size() != b.cells[i].size()) {
+      std::fprintf(stderr, "FAIL %s: cell row %zu shape differs\n", what, i);
+      return false;
+    }
+    for (size_t s = 0; s < a.cells[i].size(); ++s) {
+      const eval::CellResult& x = a.cells[i][s];
+      const eval::CellResult& y = b.cells[i][s];
+      if (x.nrmse != y.nrmse || x.mean_estimate != y.mean_estimate ||
+          x.relative_bias != y.relative_bias ||
+          x.mean_api_calls != y.mean_api_calls ||
+          x.availability != y.availability) {
+        std::fprintf(stderr,
+                     "FAIL %s: cell [%zu][%zu] deviates "
+                     "(mean_estimate %.17g vs %.17g)\n",
+                     what, i, s, x.mean_estimate, y.mean_estimate);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double WorstNrmseDeviation(const eval::SweepResult& reference,
+                           const eval::SweepResult& result) {
+  double worst = 0.0;
+  for (size_t a = 0; a < reference.cells.size(); ++a) {
+    for (size_t s = 0; s < reference.cells[a].size(); ++s) {
+      const double base = reference.cells[a][s].nrmse;
+      if (base <= 0) continue;
+      const double dev = std::abs(result.cells[a][s].nrmse - base) / base;
+      if (dev > worst) worst = dev;
+    }
+  }
+  return worst;
+}
+
+/// A fresh (emptied) checkpoint directory under the bench output dir.
+std::string FreshCheckpointDir(const BenchFlags& flags, const char* name) {
+  const std::string dir = flags.out_dir + "/" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+struct ChaosRow {
+  std::string name;
+  double wall_s = 0.0;
+  bool deterministic = false;
+  double worst_dev = 0.0;
+  eval::ScenarioTelemetry telemetry;
+};
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+  const synth::Dataset ds =
+      CheckedValue(synth::FacebookLike(flags.seed + 1), "FacebookLike");
+  PrintDatasetHeader(ds);
+
+  const eval::SweepConfig config = MakeSweepConfig(flags, ds.burn_in);
+  const graph::TargetLabel target = ds.targets[0].target;
+  bool ok = true;
+
+  auto start = std::chrono::steady_clock::now();
+  const eval::SweepResult reference = CheckedValue(
+      eval::RunSweep(ds.graph, ds.labels, target, config),
+      "RunSweep(reference)");
+  const double reference_s = SecondsSince(start);
+  std::printf("\nRunSweep reference            %8.3f s\n", reference_s);
+
+  // ---- 1. Durable-checkpoint overhead, default and tight cadence. ------
+  double durable_s = 0.0, tight_s = 0.0;
+  {
+    eval::SweepConfig durable = config;
+    durable.checkpoint_dir = FreshCheckpointDir(flags, "ckpt_durable");
+    start = std::chrono::steady_clock::now();
+    const eval::SweepResult result = CheckedValue(
+        eval::RunSweep(ds.graph, ds.labels, target, durable),
+        "RunSweep(durable)");
+    durable_s = SecondsSince(start);
+    ok = BitIdentical(result, reference, "durable sweep") && ok;
+    std::printf("durable sweep (cadence 4096)  %8.3f s  (%+.1f%% overhead)\n",
+                durable_s, 100.0 * (durable_s / reference_s - 1.0));
+
+    durable.checkpoint_dir = FreshCheckpointDir(flags, "ckpt_tight");
+    durable.checkpoint_every_steps = 256;
+    start = std::chrono::steady_clock::now();
+    const eval::SweepResult tight = CheckedValue(
+        eval::RunSweep(ds.graph, ds.labels, target, durable),
+        "RunSweep(tight cadence)");
+    tight_s = SecondsSince(start);
+    ok = BitIdentical(tight, reference, "tight-cadence sweep") && ok;
+    std::printf("durable sweep (cadence 256)   %8.3f s  (%+.1f%% overhead)\n",
+                tight_s, 100.0 * (tight_s / reference_s - 1.0));
+  }
+
+  // ---- 2. Kill-and-resume at sweep scale. ------------------------------
+  const int64_t total_tasks = static_cast<int64_t>(config.algorithms.size()) *
+                              static_cast<int64_t>(
+                                  config.sample_fractions.size()) *
+                              config.reps;
+  int64_t killed_at = 0, resumed_from = 0;
+  double resume_s = 0.0;
+  {
+    eval::SweepConfig killed = config;
+    killed.checkpoint_dir = FreshCheckpointDir(flags, "ckpt_kill");
+    killed.checkpoint_every_steps = 64;  // many partial checkpoints in play
+    killed.halt_after_tasks = total_tasks / 3;
+    const eval::SweepResult halted = CheckedValue(
+        eval::RunSweep(ds.graph, ds.labels, target, killed),
+        "RunSweep(halted)");
+    if (!halted.halted) {
+      std::fprintf(stderr, "FAIL: halt_after_tasks did not halt the sweep\n");
+      ok = false;
+    }
+    killed_at = halted.completed_tasks;
+
+    killed.halt_after_tasks = -1;
+    start = std::chrono::steady_clock::now();
+    const eval::SweepResult resumed = CheckedValue(
+        eval::RunSweep(ds.graph, ds.labels, target, killed),
+        "RunSweep(resumed)");
+    resume_s = SecondsSince(start);
+    resumed_from = resumed.resumed_tasks;
+    ok = BitIdentical(resumed, reference, "kill-and-resume sweep") && ok;
+    if (resumed.resumed_tasks == 0) {
+      std::fprintf(stderr, "FAIL: resume run restored no checkpoints\n");
+      ok = false;
+    }
+    std::printf(
+        "kill at %lld/%lld tasks, resume %lld checkpoints  %8.3f s  %s\n",
+        static_cast<long long>(killed_at),
+        static_cast<long long>(total_tasks),
+        static_cast<long long>(resumed_from), resume_s,
+        ok ? "bit-identical" : "DIVERGED");
+  }
+
+  // ---- 3. Chaos presets, each run twice. -------------------------------
+  // The rate-limited clock (the "rate-limited" scenario's pacing) is what
+  // stretches each crawl over the seconds-scale preset schedules; retries
+  // back off far enough to ride out the 2 s outage windows.
+  std::vector<ChaosRow> rows;
+  for (const std::string& name : osn::ChaosNames()) {
+    if (name == "none") continue;
+    osn::Scenario scenario;
+    scenario.name = "chaos-" + name;
+    scenario.rate_limit.requests_per_sec = 50.0;
+    scenario.rate_limit.bucket_capacity = 20;
+    scenario.rate_limit.per_call_latency_us = 2'000;
+    scenario.chaos =
+        CheckedValue(osn::ChaosFromName(name), "ChaosFromName");
+    scenario.retry.max_attempts = 8;
+    scenario.retry.initial_backoff_us = 250'000;
+    scenario.walker_detour = !scenario.chaos.privatizations.empty();
+
+    ChaosRow row;
+    row.name = name;
+    start = std::chrono::steady_clock::now();
+    const eval::SweepResult first = CheckedValue(
+        eval::RunScenarioSweep(ds.graph, ds.labels, target, config, scenario,
+                               {}, &row.telemetry),
+        scenario.name.c_str());
+    row.wall_s = SecondsSince(start);
+    eval::ScenarioTelemetry second_telemetry;
+    const eval::SweepResult second = CheckedValue(
+        eval::RunScenarioSweep(ds.graph, ds.labels, target, config, scenario,
+                               {}, &second_telemetry),
+        scenario.name.c_str());
+    row.deterministic =
+        BitIdentical(second, first, ("chaos '" + name + "'").c_str()) &&
+        row.telemetry.degraded_cells == second_telemetry.degraded_cells &&
+        row.telemetry.aborted_cells == second_telemetry.aborted_cells &&
+        row.telemetry.backoffs == second_telemetry.backoffs &&
+        row.telemetry.shape_drifts == second_telemetry.shape_drifts;
+    row.worst_dev = WorstNrmseDeviation(reference, first);
+    ok = row.deterministic && ok;
+    rows.push_back(row);
+    std::printf(
+        "chaos %-10s %8.3f s  %s  worst NRMSE dev %6.2f%%  backoffs %lld  "
+        "degraded %lld  aborted %lld  drifts %lld\n",
+        row.name.c_str(), row.wall_s,
+        row.deterministic ? "deterministic" : "DIVERGED    ",
+        100.0 * row.worst_dev,
+        static_cast<long long>(row.telemetry.backoffs),
+        static_cast<long long>(row.telemetry.degraded_cells),
+        static_cast<long long>(row.telemetry.aborted_cells),
+        static_cast<long long>(row.telemetry.shape_drifts));
+  }
+
+  // ---- JSON summary. ---------------------------------------------------
+  char buf[1024];
+  std::string json = "{\n  \"bench\": \"resilience\",\n  \"reps\": " +
+                     std::to_string(flags.reps) + ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"reference_seconds\": %.3f,\n"
+                "  \"durable\": {\"wall_seconds\": %.3f, "
+                "\"tight_cadence_wall_seconds\": %.3f, "
+                "\"overhead_pct\": %.1f, \"tight_cadence_overhead_pct\": "
+                "%.1f},\n"
+                "  \"kill_resume\": {\"total_tasks\": %lld, "
+                "\"killed_after_tasks\": %lld, \"resumed_checkpoints\": "
+                "%lld, \"resume_wall_seconds\": %.3f, \"bit_identical\": "
+                "%s},\n"
+                "  \"chaos\": [\n",
+                reference_s, durable_s, tight_s,
+                100.0 * (durable_s / reference_s - 1.0),
+                100.0 * (tight_s / reference_s - 1.0),
+                static_cast<long long>(total_tasks),
+                static_cast<long long>(killed_at),
+                static_cast<long long>(resumed_from), resume_s,
+                ok ? "true" : "false");
+  json += buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ChaosRow& row = rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"wall_seconds\": %.3f, "
+        "\"deterministic\": %s, \"worst_nrmse_rel_deviation\": %.6f, "
+        "\"mean_sim_seconds\": %.6f, \"backoffs\": %lld, "
+        "\"backoff_us\": %lld, \"deadline_exceeded\": %lld, "
+        "\"shape_drifts\": %lld, \"retries\": %lld, "
+        "\"degraded_cells\": %lld, \"aborted_cells\": %lld, "
+        "\"mean_staleness\": %.6f}%s\n",
+        row.name.c_str(), row.wall_s, row.deterministic ? "true" : "false",
+        row.worst_dev, row.telemetry.mean_sim_seconds,
+        static_cast<long long>(row.telemetry.backoffs),
+        static_cast<long long>(row.telemetry.backoff_us),
+        static_cast<long long>(row.telemetry.deadline_exceeded),
+        static_cast<long long>(row.telemetry.shape_drifts),
+        static_cast<long long>(row.telemetry.retries),
+        static_cast<long long>(row.telemetry.degraded_cells),
+        static_cast<long long>(row.telemetry.aborted_cells),
+        row.telemetry.mean_staleness, i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  const std::string path = JsonOutPath(flags, "resilience");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: resilience guarantees violated (see above)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace labelrw::bench
+
+int main(int argc, char** argv) { return labelrw::bench::Main(argc, argv); }

@@ -29,6 +29,7 @@ Result<CountReport> TargetEdgeCounter::Count(
     est.api_budget = options.budget;
     est.burn_in = options.burn_in;
     est.seed = options.seed;
+    est.detour_on_denied = options.detour_on_denied;
     LABELRW_ASSIGN_OR_RETURN(
         estimators::EstimateResult result,
         estimators::Estimate(*options.algorithm, *api_, target, priors_, est));
@@ -47,6 +48,7 @@ Result<CountReport> TargetEdgeCounter::Count(
   pilot.api_budget = pilot_budget;
   pilot.burn_in = options.burn_in;
   pilot.seed = DeriveSeed(options.seed, /*a=*/1);
+  pilot.detour_on_denied = options.detour_on_denied;
   LABELRW_ASSIGN_OR_RETURN(
       estimators::EstimateResult pilot_result,
       estimators::Estimate(estimators::AlgorithmId::kNeighborSampleHH, *api_,
@@ -68,6 +70,7 @@ Result<CountReport> TargetEdgeCounter::Count(
   // The pilot walk already mixed; reuse a short burn-in for the main phase.
   main.burn_in = options.burn_in;
   main.seed = DeriveSeed(options.seed, /*a=*/2);
+  main.detour_on_denied = options.detour_on_denied;
   LABELRW_ASSIGN_OR_RETURN(
       estimators::EstimateResult main_result,
       estimators::Estimate(chosen, *api_, target, priors_, main));

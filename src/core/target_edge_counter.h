@@ -34,6 +34,10 @@ struct CountOptions {
   /// The paper's crossover sits around a fraction of a percent to a few
   /// percent of |E| (Figures 1-2); 0.02 is a serviceable default.
   double rare_threshold = 0.02;
+  /// Walkers sidestep denied (private/deleted) profiles instead of dying
+  /// (rw::WalkParams::detour_on_denied). Required whenever the transport
+  /// can privatize users mid-crawl.
+  bool detour_on_denied = false;
 
   Status Validate() const;
 };

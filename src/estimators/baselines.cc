@@ -64,6 +64,31 @@ void LineGraphBaselineSession::RestoreRollback() {
   weight_sum_ = rollback_.weight_sum;
 }
 
+void LineGraphBaselineSession::SaveDerived(util::ByteWriter& w) const {
+  const rw::EdgeWalk::Checkpoint walk = walk_.Save();
+  w.I64(walk.current.u);
+  w.I64(walk.current.v);
+  w.U8(walk.initialized ? 1 : 0);
+  w.F64(weighted_hits_);
+  w.F64(weight_sum_);
+}
+
+Status LineGraphBaselineSession::RestoreDerived(util::ByteReader& r) {
+  rw::EdgeWalk::Checkpoint walk;
+  int64_t u = -1, v = -1;
+  LABELRW_RETURN_IF_ERROR(r.I64(&u));
+  LABELRW_RETURN_IF_ERROR(r.I64(&v));
+  walk.current = graph::Edge{static_cast<graph::NodeId>(u),
+                             static_cast<graph::NodeId>(v)};
+  uint8_t initialized = 0;
+  LABELRW_RETURN_IF_ERROR(r.U8(&initialized));
+  walk.initialized = initialized != 0;
+  LABELRW_RETURN_IF_ERROR(walk_.Restore(walk));
+  LABELRW_RETURN_IF_ERROR(r.F64(&weighted_hits_));
+  LABELRW_RETURN_IF_ERROR(r.F64(&weight_sum_));
+  return Status::Ok();
+}
+
 void LineGraphBaselineSession::FillSnapshot(EstimateResult* out) const {
   out->samples_used = out->iterations;
   out->estimate = weight_sum_ > 0 ? m_ * weighted_hits_ / weight_sum_ : 0.0;

@@ -48,6 +48,8 @@ class LineGraphBaselineSession final : public EstimatorSession {
   void FillSnapshot(EstimateResult* out) const override;
   void SaveRollback() override;
   void RestoreRollback() override;
+  void SaveDerived(util::ByteWriter& w) const override;
+  Status RestoreDerived(util::ByteReader& r) override;
 
  private:
   LineGraphBaselineSession(AlgorithmId id, osn::OsnApi& api,

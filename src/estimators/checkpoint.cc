@@ -1,0 +1,215 @@
+#include "estimators/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/serialize.h"
+
+namespace labelrw::estimators {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'R', 'W', 'C', 'K', 'P', 'T', '\0'};
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+// Payload section tags, so a restore into a differently composed stack
+// (e.g. client state present but no client passed) fails with a named
+// error instead of misparsing.
+constexpr uint8_t kSectionSession = 1;
+constexpr uint8_t kSectionClient = 2;
+constexpr uint8_t kSectionChaos = 3;
+constexpr uint8_t kSectionEnd = 0;
+
+}  // namespace
+
+Status WriteCheckpointFile(const std::string& path,
+                           const std::string& payload) {
+  util::ByteWriter header;
+  header.Bytes(kMagic, sizeof(kMagic));
+  header.U32(kCheckpointFormatVersion);
+  header.U64(payload.size());
+  header.U64(util::Fnv1a64(payload.data(), payload.size()));
+
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError("cannot open checkpoint temp file for writing: " +
+                         tmp_path);
+  }
+  bool ok = std::fwrite(header.buffer().data(), 1, header.size(), f) ==
+            header.size();
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), f) ==
+                  payload.size());
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    return InternalError("short write while writing checkpoint: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return InternalError("cannot move checkpoint into place: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadCheckpointFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("checkpoint file not found: " + path);
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return InternalError("I/O error reading checkpoint: " + path);
+  }
+
+  if (contents.size() < kHeaderBytes) {
+    return DataLossError(
+        "checkpoint file truncated (shorter than its header): " + path +
+        "; delete it and re-run the crawl from scratch");
+  }
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return InvalidArgumentError("not a labelrw checkpoint file: " + path);
+  }
+  util::ByteReader r(
+      std::string_view(contents).substr(sizeof(kMagic)));
+  uint32_t version = 0;
+  uint64_t payload_size = 0, checksum = 0;
+  LABELRW_RETURN_IF_ERROR(r.U32(&version));
+  LABELRW_RETURN_IF_ERROR(r.U64(&payload_size));
+  LABELRW_RETURN_IF_ERROR(r.U64(&checksum));
+  if (version > kCheckpointFormatVersion) {
+    return FailedPreconditionError(
+        "checkpoint format version " + std::to_string(version) +
+        " is newer than this build supports (" +
+        std::to_string(kCheckpointFormatVersion) +
+        "); it was written by a newer build — re-run the crawl from scratch");
+  }
+  if (payload_size != contents.size() - kHeaderBytes) {
+    return DataLossError(
+        "checkpoint file truncated: header promises " +
+        std::to_string(payload_size) + " payload bytes but " +
+        std::to_string(contents.size() - kHeaderBytes) +
+        " are present; delete it and re-run the crawl from scratch");
+  }
+  const std::string_view payload =
+      std::string_view(contents).substr(kHeaderBytes);
+  if (util::Fnv1a64(payload.data(), payload.size()) != checksum) {
+    return DataLossError(
+        "checkpoint payload checksum mismatch (file corrupt): " + path +
+        "; delete it and re-run the crawl from scratch");
+  }
+  return std::string(payload);
+}
+
+std::string SerializeSessionState(const EstimatorSession& session,
+                                  const osn::OsnClient* client,
+                                  const osn::ChaosTransport* chaos) {
+  util::ByteWriter w;
+  w.U8(kSectionSession);
+  session.SaveState(w);
+  if (client != nullptr) {
+    w.U8(kSectionClient);
+    client->SaveState(w);
+  }
+  if (chaos != nullptr) {
+    w.U8(kSectionChaos);
+    w.U64(chaos->wire_calls());
+    const auto& served = chaos->served_users();  // ordered (std::set)
+    w.U64(served.size());
+    for (const graph::NodeId user : served) w.I64(user);
+  }
+  w.U8(kSectionEnd);
+  return w.TakeBuffer();
+}
+
+Status RestoreSessionState(const std::string& payload,
+                           EstimatorSession* session, osn::OsnClient* client,
+                           const osn::ChaosTransport* chaos) {
+  util::ByteReader r(payload);
+  uint8_t tag = 0;
+  LABELRW_RETURN_IF_ERROR(r.U8(&tag));
+  if (tag != kSectionSession) {
+    return DataLossError("checkpoint payload does not start with a session "
+                         "section");
+  }
+  LABELRW_RETURN_IF_ERROR(session->RestoreState(r));
+  bool restored_client = false;
+  bool restored_chaos = false;
+  for (;;) {
+    LABELRW_RETURN_IF_ERROR(r.U8(&tag));
+    if (tag == kSectionEnd) break;
+    switch (tag) {
+      case kSectionClient:
+        if (client == nullptr) {
+          return FailedPreconditionError(
+              "checkpoint carries OsnClient state but no client was passed "
+              "to restore it into");
+        }
+        LABELRW_RETURN_IF_ERROR(client->RestoreState(r));
+        restored_client = true;
+        break;
+      case kSectionChaos: {
+        if (chaos == nullptr) {
+          return FailedPreconditionError(
+              "checkpoint carries chaos-transport state but no "
+              "ChaosTransport was passed to restore it into");
+        }
+        uint64_t wire_calls = 0;
+        LABELRW_RETURN_IF_ERROR(r.U64(&wire_calls));
+        chaos->RestoreWireCalls(wire_calls);
+        uint64_t served_count = 0;
+        LABELRW_RETURN_IF_ERROR(r.U64(&served_count));
+        for (uint64_t i = 0; i < served_count; ++i) {
+          int64_t user = 0;
+          LABELRW_RETURN_IF_ERROR(r.I64(&user));
+          chaos->MarkServed(static_cast<graph::NodeId>(user));
+        }
+        restored_chaos = true;
+        break;
+      }
+      default:
+        return DataLossError("checkpoint payload has an unknown section tag");
+    }
+  }
+  if (!r.exhausted()) {
+    return DataLossError("checkpoint payload has trailing bytes");
+  }
+  if (client != nullptr && !restored_client) {
+    return FailedPreconditionError(
+        "a client was passed but the checkpoint carries no client state");
+  }
+  if (chaos != nullptr && !restored_chaos) {
+    return FailedPreconditionError(
+        "a ChaosTransport was passed but the checkpoint carries no chaos "
+        "state");
+  }
+  return Status::Ok();
+}
+
+Status SaveSessionCheckpoint(const std::string& path,
+                             const EstimatorSession& session,
+                             const osn::OsnClient* client,
+                             const osn::ChaosTransport* chaos) {
+  return WriteCheckpointFile(path,
+                             SerializeSessionState(session, client, chaos));
+}
+
+Status RestoreSessionCheckpoint(const std::string& path,
+                                EstimatorSession* session,
+                                osn::OsnClient* client,
+                                const osn::ChaosTransport* chaos) {
+  LABELRW_ASSIGN_OR_RETURN(const std::string payload,
+                           ReadCheckpointFile(path));
+  return RestoreSessionState(payload, session, client, chaos);
+}
+
+}  // namespace labelrw::estimators

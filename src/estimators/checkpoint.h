@@ -1,0 +1,82 @@
+// Durable session checkpoints: versioned on-disk serialization of a
+// running EstimatorSession together with its OsnClient session state (and,
+// when chaos is attached, the ChaosTransport wire-call ordinal), so a
+// killed crawl resumes bit-identically from the last checkpoint.
+//
+// File format (all integers little-endian):
+//
+//   [ 8 bytes ] magic "LRWCKPT\0"
+//   [ u32     ] format version (kCheckpointFormatVersion)
+//   [ u64     ] payload length in bytes
+//   [ u64     ] FNV-1a 64 checksum of the payload bytes
+//   [ ...     ] payload
+//
+// The envelope fails closed: a truncated file, a checksum mismatch, or a
+// version from a newer build all surface named errors carrying a re-run
+// hint instead of silently resuming from garbage — mirroring the
+// record/replay trace versioning (osn/record_replay.h) and the store
+// snapshot header (store/format.h).
+//
+// The payload is configuration-free by design: it holds only *dynamic*
+// state (RNG streams, walk position, accumulators, charge/cache/clock
+// ledgers). Restoring requires reconstructing the identical stack —
+// same graph/backend, same CostModel/FaultPolicy/RetryPolicy/
+// RateLimitPolicy, same EstimateOptions — and then calling
+// RestoreSessionCheckpoint on the freshly built objects. This keeps the
+// format small and sidesteps serializing transports, at the cost of the
+// caller owning configuration identity (the eval harness derives both from
+// the same SweepConfig, so this holds by construction).
+
+#ifndef LABELRW_ESTIMATORS_CHECKPOINT_H_
+#define LABELRW_ESTIMATORS_CHECKPOINT_H_
+
+#include <string>
+
+#include "estimators/session.h"
+#include "osn/chaos.h"
+#include "osn/client.h"
+#include "util/status.h"
+
+namespace labelrw::estimators {
+
+/// Version of the checkpoint payload layout. Bump on any layout change;
+/// readers reject newer versions with a re-run hint.
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// Wraps `payload` in the versioned envelope and writes it atomically
+/// (temp file + rename) so a crash mid-write never leaves a torn
+/// checkpoint where a valid one stood.
+Status WriteCheckpointFile(const std::string& path, const std::string& payload);
+
+/// Reads and verifies the envelope; returns the payload. kDataLoss for
+/// truncation/corruption, kFailedPrecondition for a future version.
+Result<std::string> ReadCheckpointFile(const std::string& path);
+
+/// Serializes `session` (+ optional client and chaos state) into a payload
+/// for WriteCheckpointFile. Pass the same optional pointers to restore.
+std::string SerializeSessionState(const EstimatorSession& session,
+                                  const osn::OsnClient* client = nullptr,
+                                  const osn::ChaosTransport* chaos = nullptr);
+
+/// Inverse of SerializeSessionState, into freshly constructed objects (see
+/// the header comment for the configuration-identity contract).
+Status RestoreSessionState(const std::string& payload,
+                           EstimatorSession* session,
+                           osn::OsnClient* client = nullptr,
+                           const osn::ChaosTransport* chaos = nullptr);
+
+/// Convenience: SerializeSessionState + WriteCheckpointFile.
+Status SaveSessionCheckpoint(const std::string& path,
+                             const EstimatorSession& session,
+                             const osn::OsnClient* client = nullptr,
+                             const osn::ChaosTransport* chaos = nullptr);
+
+/// Convenience: ReadCheckpointFile + RestoreSessionState.
+Status RestoreSessionCheckpoint(const std::string& path,
+                                EstimatorSession* session,
+                                osn::OsnClient* client = nullptr,
+                                const osn::ChaosTransport* chaos = nullptr);
+
+}  // namespace labelrw::estimators
+
+#endif  // LABELRW_ESTIMATORS_CHECKPOINT_H_

@@ -83,6 +83,18 @@ class LoopControl {
         start_calls_(api.api_calls()),
         max_iterations_(IterationCap(sample_size, api_budget)) {}
 
+  /// Complete loop state, for durable session checkpoints.
+  struct State {
+    int64_t budget = 0;
+    int64_t start_calls = 0;
+    int64_t max_iterations = 0;
+  };
+  State Save() const { return {budget_, start_calls_, max_iterations_}; }
+  explicit LoopControl(const State& state)
+      : budget_(state.budget),
+        start_calls_(state.start_calls),
+        max_iterations_(state.max_iterations) {}
+
   bool KeepGoing(const osn::OsnApi& api, int64_t iteration) const {
     if (iteration >= max_iterations_) return false;
     if (budget_ > 0 && api.api_calls() - start_calls_ >= budget_) {
@@ -129,6 +141,12 @@ class BatchMeans {
   void Add(double value) { values_.push_back(value); }
 
   int64_t count() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Raw draws in insertion order, for durable session checkpoints.
+  const std::vector<double>& values() const { return values_; }
+  void RestoreValues(std::vector<double> values) {
+    values_ = std::move(values);
+  }
 
   double Mean() const {
     if (values_.empty()) return 0.0;
@@ -184,6 +202,15 @@ class BatchRatio {
   }
 
   int64_t count() const { return static_cast<int64_t>(numerators_.size()); }
+
+  /// Raw draws in insertion order, for durable session checkpoints.
+  const std::vector<double>& numerators() const { return numerators_; }
+  const std::vector<double>& denominators() const { return denominators_; }
+  void RestoreValues(std::vector<double> numerators,
+                     std::vector<double> denominators) {
+    numerators_ = std::move(numerators);
+    denominators_ = std::move(denominators);
+  }
 
   double Ratio() const {
     double num = 0.0, den = 0.0;

@@ -1,5 +1,8 @@
 #include "estimators/neighbor_exploration.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace labelrw::estimators {
 
 NeighborExplorationSession::NeighborExplorationSession(
@@ -92,6 +95,76 @@ void NeighborExplorationSession::RestoreRollback() {
   distinct_ = rollback_.distinct;
 }
 
+void NeighborExplorationSession::SaveDerived(util::ByteWriter& w) const {
+  const rw::NodeWalk::Checkpoint walk = walk_.Save();
+  w.I64(walk.current);
+  w.I64(walk.previous);
+  w.U8(walk.initialized ? 1 : 0);
+  w.I64(stride_);
+  w.I64(retained_);
+  w.I64(explored_nodes_);
+  w.U64(hh_draws_.values().size());
+  for (const double v : hh_draws_.values()) w.F64(v);
+  w.U64(rw_draws_.numerators().size());
+  for (const double v : rw_draws_.numerators()) w.F64(v);
+  for (const double v : rw_draws_.denominators()) w.F64(v);
+  // Sorted so the serialized bytes are a deterministic function of the map.
+  std::vector<std::pair<graph::NodeId, std::pair<int64_t, int64_t>>> nodes(
+      distinct_.begin(), distinct_.end());
+  std::sort(nodes.begin(), nodes.end());
+  w.U64(nodes.size());
+  for (const auto& [u, td] : nodes) {
+    w.I64(u);
+    w.I64(td.first);
+    w.I64(td.second);
+  }
+}
+
+Status NeighborExplorationSession::RestoreDerived(util::ByteReader& r) {
+  rw::NodeWalk::Checkpoint walk;
+  int64_t current = -1, previous = -1;
+  LABELRW_RETURN_IF_ERROR(r.I64(&current));
+  LABELRW_RETURN_IF_ERROR(r.I64(&previous));
+  walk.current = static_cast<graph::NodeId>(current);
+  walk.previous = static_cast<graph::NodeId>(previous);
+  uint8_t initialized = 0;
+  LABELRW_RETURN_IF_ERROR(r.U8(&initialized));
+  walk.initialized = initialized != 0;
+  LABELRW_RETURN_IF_ERROR(walk_.Restore(walk));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stride_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&retained_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&explored_nodes_));
+  uint64_t hh_count = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&hh_count));
+  std::vector<double> hh(hh_count);
+  for (uint64_t i = 0; i < hh_count; ++i) {
+    LABELRW_RETURN_IF_ERROR(r.F64(&hh[i]));
+  }
+  hh_draws_.RestoreValues(std::move(hh));
+  uint64_t rw_count = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&rw_count));
+  std::vector<double> numerators(rw_count), denominators(rw_count);
+  for (uint64_t i = 0; i < rw_count; ++i) {
+    LABELRW_RETURN_IF_ERROR(r.F64(&numerators[i]));
+  }
+  for (uint64_t i = 0; i < rw_count; ++i) {
+    LABELRW_RETURN_IF_ERROR(r.F64(&denominators[i]));
+  }
+  rw_draws_.RestoreValues(std::move(numerators), std::move(denominators));
+  uint64_t node_count = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&node_count));
+  distinct_.clear();
+  for (uint64_t i = 0; i < node_count; ++i) {
+    int64_t u = -1, t_u = 0, degree = 0;
+    LABELRW_RETURN_IF_ERROR(r.I64(&u));
+    LABELRW_RETURN_IF_ERROR(r.I64(&t_u));
+    LABELRW_RETURN_IF_ERROR(r.I64(&degree));
+    distinct_.emplace(static_cast<graph::NodeId>(u),
+                      std::make_pair(t_u, degree));
+  }
+  return Status::Ok();
+}
+
 void NeighborExplorationSession::FillSnapshot(EstimateResult* out) const {
   out->samples_used = retained_;
   out->explored_nodes = explored_nodes_;
@@ -101,8 +174,15 @@ void NeighborExplorationSession::FillSnapshot(EstimateResult* out) const {
       out->std_error = hh_draws_.StdErrorOfMean();
       break;
     case NeEstimatorKind::kHorvitzThompson: {
+      // Sum in ascending node-id order: floating-point addition is not
+      // associative, and the unordered_map's iteration order is not part of
+      // the estimator's state — a checkpoint-restored map would sum in a
+      // different order and break the bit-identical-resume contract.
+      std::vector<std::pair<graph::NodeId, std::pair<int64_t, int64_t>>>
+          nodes(distinct_.begin(), distinct_.end());
+      std::sort(nodes.begin(), nodes.end());
       double sum = 0.0;
-      for (const auto& [u, td] : distinct_) {
+      for (const auto& [u, td] : nodes) {
         const auto [t_u, degree] = td;
         if (t_u == 0) continue;
         const double pr = InclusionProbability(

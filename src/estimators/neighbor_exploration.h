@@ -51,6 +51,8 @@ class NeighborExplorationSession final : public EstimatorSession {
   void FillSnapshot(EstimateResult* out) const override;
   void SaveRollback() override;
   void RestoreRollback() override;
+  void SaveDerived(util::ByteWriter& w) const override;
+  Status RestoreDerived(util::ByteReader& r) override;
 
  private:
   NeighborExplorationSession(AlgorithmId id, NeEstimatorKind kind,

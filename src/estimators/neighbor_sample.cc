@@ -1,5 +1,8 @@
 #include "estimators/neighbor_sample.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace labelrw::estimators {
 
 NeighborSampleSession::NeighborSampleSession(
@@ -74,6 +77,62 @@ void NeighborSampleSession::RestoreRollback() {
   retained_ = rollback_.retained;
   distinct_targets_ = rollback_.distinct_targets;
   draws_ = rollback_.draws;
+}
+
+void NeighborSampleSession::SaveDerived(util::ByteWriter& w) const {
+  const rw::NodeWalk::Checkpoint walk = walk_.Save();
+  w.I64(walk.current);
+  w.I64(walk.previous);
+  w.U8(walk.initialized ? 1 : 0);
+  w.I64(stride_);
+  w.I64(retained_);
+  // Sorted so the serialized bytes are a deterministic function of the set.
+  std::vector<graph::Edge> edges(distinct_targets_.begin(),
+                                 distinct_targets_.end());
+  std::sort(edges.begin(), edges.end(),
+            [](const graph::Edge& a, const graph::Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  w.U64(edges.size());
+  for (const graph::Edge& e : edges) {
+    w.I64(e.u);
+    w.I64(e.v);
+  }
+  w.U64(draws_.values().size());
+  for (const double v : draws_.values()) w.F64(v);
+}
+
+Status NeighborSampleSession::RestoreDerived(util::ByteReader& r) {
+  rw::NodeWalk::Checkpoint walk;
+  int64_t current = -1, previous = -1;
+  LABELRW_RETURN_IF_ERROR(r.I64(&current));
+  LABELRW_RETURN_IF_ERROR(r.I64(&previous));
+  walk.current = static_cast<graph::NodeId>(current);
+  walk.previous = static_cast<graph::NodeId>(previous);
+  uint8_t initialized = 0;
+  LABELRW_RETURN_IF_ERROR(r.U8(&initialized));
+  walk.initialized = initialized != 0;
+  LABELRW_RETURN_IF_ERROR(walk_.Restore(walk));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stride_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&retained_));
+  uint64_t edge_count = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&edge_count));
+  distinct_targets_.clear();
+  for (uint64_t i = 0; i < edge_count; ++i) {
+    int64_t u = -1, v = -1;
+    LABELRW_RETURN_IF_ERROR(r.I64(&u));
+    LABELRW_RETURN_IF_ERROR(r.I64(&v));
+    distinct_targets_.insert(graph::Edge{static_cast<graph::NodeId>(u),
+                                         static_cast<graph::NodeId>(v)});
+  }
+  uint64_t draw_count = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&draw_count));
+  std::vector<double> draws(draw_count);
+  for (uint64_t i = 0; i < draw_count; ++i) {
+    LABELRW_RETURN_IF_ERROR(r.F64(&draws[i]));
+  }
+  draws_.RestoreValues(std::move(draws));
+  return Status::Ok();
 }
 
 void NeighborSampleSession::FillSnapshot(EstimateResult* out) const {

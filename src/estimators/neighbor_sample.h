@@ -48,6 +48,8 @@ class NeighborSampleSession final : public EstimatorSession {
   void FillSnapshot(EstimateResult* out) const override;
   void SaveRollback() override;
   void RestoreRollback() override;
+  void SaveDerived(util::ByteWriter& w) const override;
+  Status RestoreDerived(util::ByteReader& r) override;
 
  private:
   NeighborSampleSession(AlgorithmId id, NsEstimatorKind kind, osn::OsnApi& api,

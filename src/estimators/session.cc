@@ -150,6 +150,67 @@ Status EstimatorSession::Run() {
   return Step(std::numeric_limits<int64_t>::max()).status();
 }
 
+void EstimatorSession::SaveState(util::ByteWriter& w) const {
+  w.I64(static_cast<int64_t>(algorithm_));
+  const Rng::State rng = rng_.SaveState();
+  for (const uint64_t word : rng.s) w.U64(word);
+  w.I64(calls_before_);
+  w.I64(sampling_start_calls_);
+  w.I64(iterations_);
+  w.U8(started_ ? 1 : 0);
+  w.U8(finished_ ? 1 : 0);
+  w.U8(pending_iteration_ ? 1 : 0);
+  w.U8(loop_.has_value() ? 1 : 0);
+  if (loop_.has_value()) {
+    const LoopControl::State loop = loop_->Save();
+    w.I64(loop.budget);
+    w.I64(loop.start_calls);
+    w.I64(loop.max_iterations);
+  }
+  SaveDerived(w);
+}
+
+Status EstimatorSession::RestoreState(util::ByteReader& r) {
+  if (started_ || iterations_ != 0) {
+    return FailedPreconditionError(
+        "EstimatorSession::RestoreState needs a freshly created session");
+  }
+  int64_t algorithm = 0;
+  LABELRW_RETURN_IF_ERROR(r.I64(&algorithm));
+  if (algorithm != static_cast<int64_t>(algorithm_)) {
+    return FailedPreconditionError(
+        "session checkpoint was written by a different algorithm; create "
+        "the session with the checkpointed algorithm id");
+  }
+  Rng::State rng;
+  for (uint64_t& word : rng.s) LABELRW_RETURN_IF_ERROR(r.U64(&word));
+  rng_.RestoreState(rng);
+  LABELRW_RETURN_IF_ERROR(r.I64(&calls_before_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&sampling_start_calls_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&iterations_));
+  uint8_t started = 0, finished = 0, pending = 0, has_loop = 0;
+  LABELRW_RETURN_IF_ERROR(r.U8(&started));
+  LABELRW_RETURN_IF_ERROR(r.U8(&finished));
+  LABELRW_RETURN_IF_ERROR(r.U8(&pending));
+  LABELRW_RETURN_IF_ERROR(r.U8(&has_loop));
+  started_ = started != 0;
+  finished_ = finished != 0;
+  pending_iteration_ = pending != 0;
+  loop_.reset();
+  if (has_loop != 0) {
+    LoopControl::State loop;
+    LABELRW_RETURN_IF_ERROR(r.I64(&loop.budget));
+    LABELRW_RETURN_IF_ERROR(r.I64(&loop.start_calls));
+    LABELRW_RETURN_IF_ERROR(r.I64(&loop.max_iterations));
+    loop_.emplace(loop);
+  }
+  if (started_ && !loop_.has_value()) {
+    return DataLossError(
+        "session checkpoint marks the walk started but has no loop state");
+  }
+  return RestoreDerived(r);
+}
+
 Result<EstimateResult> EstimatorSession::Snapshot() const {
   if (iterations_ == 0) {
     return FailedPreconditionError(std::string(family_) +

@@ -31,6 +31,7 @@
 
 #include "estimators/common.h"
 #include "estimators/estimator.h"
+#include "util/serialize.h"
 
 namespace labelrw::estimators {
 
@@ -111,6 +112,20 @@ class EstimatorSession {
     return 0;
   }
 
+  /// Serializes the complete estimation state — RNG stream, loop control,
+  /// walk position, and accumulators — so a killed process can resume
+  /// bit-identically (estimators/checkpoint.h owns the file format around
+  /// this). Configuration (algorithm, target, options, priors) is NOT
+  /// serialized; RestoreState verifies the algorithm id and expects an
+  /// identically configured session. The paired OsnClient state
+  /// (OsnClient::SaveState) must be captured at the same instant.
+  void SaveState(util::ByteWriter& w) const;
+
+  /// Inverse of SaveState, into a freshly Created session (no Step taken).
+  /// kDataLoss on malformed payloads; kFailedPrecondition on an algorithm
+  /// mismatch.
+  Status RestoreState(util::ByteReader& r);
+
   /// True once the options' limits were reached; Step becomes a no-op.
   bool finished() const { return finished_; }
 
@@ -152,6 +167,12 @@ class EstimatorSession {
   /// Only invoked while set_transactional_stepping(true).
   virtual void SaveRollback() = 0;
   virtual void RestoreRollback() = 0;
+
+  /// Serializes / restores the derived state (walk position + accumulators)
+  /// for durable checkpoints. The base class wraps these in SaveState /
+  /// RestoreState.
+  virtual void SaveDerived(util::ByteWriter& w) const = 0;
+  virtual Status RestoreDerived(util::ByteReader& r) = 0;
 
   osn::OsnApi& api() { return api_; }
   const osn::OsnApi& api() const { return api_; }

@@ -8,12 +8,15 @@
 #include <mutex>
 #include <thread>
 
+#include "estimators/checkpoint.h"
 #include "estimators/session.h"
 #include "graph/oracle.h"
+#include "osn/chaos.h"
 #include "osn/client.h"
 #include "osn/local_api.h"
 #include "rw/walk_batch.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 #include "util/stats.h"
 
 namespace labelrw::eval {
@@ -50,6 +53,15 @@ Status SweepConfig::Validate() const {
   if (burn_in < 0) return InvalidArgumentError("burn_in must be >= 0");
   if (walk_batch_size < 0) {
     return InvalidArgumentError("walk_batch_size must be >= 0 (0 = scalar)");
+  }
+  if (!checkpoint_dir.empty() && walk_batch_size > 0) {
+    return InvalidArgumentError(
+        "checkpoint_dir requires scalar driving (walk_batch_size == 0): "
+        "co-scheduled lanes have no per-task durable state");
+  }
+  if (halt_after_tasks >= 0 && checkpoint_dir.empty()) {
+    return InvalidArgumentError(
+        "halt_after_tasks is a durable-sweep hook; set checkpoint_dir");
   }
   if (protocol == SweepProtocol::kPrefixBudget) {
     for (size_t i = 1; i < sample_fractions.size(); ++i) {
@@ -89,6 +101,9 @@ struct WorkerScratch {
 struct TaskApi {
   std::unique_ptr<osn::LocalGraphApi> local;
   std::unique_ptr<osn::DynamicGraphTransport> dynamic;
+  /// Chaos decorator between the backend and the client when the scenario
+  /// carries a FaultSchedule (its wire-call ordinal joins the checkpoint).
+  std::unique_ptr<osn::ChaosTransport> chaos;
   std::unique_ptr<osn::OsnClient> client;
   osn::OsnApi* api = nullptr;
   /// The backend's raw CSR (api->FastGraphView()), cached here so the
@@ -108,22 +123,39 @@ struct SweepDriver {
   bool drive_rate_limits = false;
   /// Force the walker detour policy on every run (Scenario::walker_detour).
   bool detour_on_denied = false;
+  /// Graceful degradation: a crawl that dies with kUnavailable (outage
+  /// retries exhausted) or kDeadlineExceeded contributes its anytime
+  /// estimate (or is dropped from the cell if it never iterated) instead of
+  /// failing the sweep. Enabled by RunScenarioSweep when the scenario can
+  /// produce persistent faults (chaos schedule / call deadlines).
+  bool degrade_on_outage = false;
   /// Invoked under the merge lock once per completed task.
   std::function<void(const TaskApi&)> on_task_done;
 };
 
 /// Steps `session` to `nested_budget` sampling-phase calls (<= 0: to the
 /// options' own limits), honoring the driver's chunking and strict
-/// rate-limit handling.
+/// rate-limit handling. With `stop_at_iterations` >= 0 the drive also
+/// pauses once the session's iteration count reaches it (the durable
+/// sweep's checkpoint cadence); `*settled` then reports whether the target
+/// (rather than the pause) was reached. Pausing and resuming is invisible
+/// to the session — iteration chunking of any shape lands bit-identically
+/// (session.h contract).
 Status DriveSession(estimators::EstimatorSession& session, TaskApi& task,
-                    const SweepDriver& driver, int64_t nested_budget) {
+                    const SweepDriver& driver, int64_t nested_budget,
+                    int64_t stop_at_iterations = -1, bool* settled = nullptr) {
   constexpr int64_t kUnbounded = std::numeric_limits<int64_t>::max();
+  if (settled != nullptr) *settled = false;
   while (true) {
+    int64_t chunk = driver.step_chunk > 0 ? driver.step_chunk : kUnbounded;
+    if (stop_at_iterations >= 0) {
+      const int64_t left = stop_at_iterations - session.iterations();
+      if (left <= 0) return Status::Ok();
+      chunk = std::min(chunk, left);
+    }
     const Result<int64_t> stepped =
-        nested_budget > 0
-            ? session.StepUntilBudget(nested_budget, driver.step_chunk)
-            : session.Step(driver.step_chunk > 0 ? driver.step_chunk
-                                                 : kUnbounded);
+        nested_budget > 0 ? session.StepUntilBudget(nested_budget, chunk)
+                          : session.Step(chunk);
     if (!stepped.ok()) {
       if (driver.drive_rate_limits && task.client != nullptr &&
           stepped.status().code() == StatusCode::kRateLimited) {
@@ -140,8 +172,89 @@ Status DriveSession(estimators::EstimatorSession& session, TaskApi& task,
       // this cannot perturb the run (that is the point of the test).
       (void)session.Snapshot();
     }
-    if (*stepped == 0 || session.finished()) return Status::Ok();
+    if (*stepped == 0 || session.finished()) {
+      if (settled != nullptr) *settled = true;
+      return Status::Ok();
+    }
   }
+}
+
+/// One (size, rep) coordinate's durable record inside a task checkpoint.
+struct TaskCellEntry {
+  double estimate = 0.0;
+  double calls = 0.0;
+  uint8_t valid = 1;        // 0: the crawl died before its first iteration
+  double staleness = 0.0;   // unconsumed budget fraction when the crawl died
+};
+
+constexpr uint8_t kTaskStatePartial = 1;
+constexpr uint8_t kTaskStateDone = 2;
+
+std::string TaskCheckpointPath(const std::string& dir, int64_t task_id) {
+  return dir + "/task_" + std::to_string(task_id) + ".ckpt";
+}
+
+/// Payload layout of a task checkpoint (inside the estimators/checkpoint.h
+/// envelope): u8 state, u64 completed-entry count, the entries, then — for
+/// partial checkpoints — the bundled session/client/chaos state of the
+/// in-flight crawl.
+std::string SerializeTaskPayload(uint8_t state,
+                                 const std::vector<TaskCellEntry>& entries,
+                                 const estimators::EstimatorSession* session,
+                                 const TaskApi& task) {
+  util::ByteWriter w;
+  w.U8(state);
+  w.U64(entries.size());
+  for (const TaskCellEntry& e : entries) {
+    w.F64(e.estimate);
+    w.F64(e.calls);
+    w.U8(e.valid);
+    w.F64(e.staleness);
+  }
+  std::string payload = w.TakeBuffer();
+  if (state == kTaskStatePartial) {
+    payload += estimators::SerializeSessionState(*session, task.client.get(),
+                                                 task.chaos.get());
+  }
+  return payload;
+}
+
+Status ParseTaskPayload(const std::string& payload, size_t task_sizes,
+                        bool* done, std::vector<TaskCellEntry>* entries,
+                        std::string* session_payload) {
+  util::ByteReader r(payload);
+  uint8_t state = 0;
+  uint64_t count = 0;
+  LABELRW_RETURN_IF_ERROR(r.U8(&state));
+  LABELRW_RETURN_IF_ERROR(r.U64(&count));
+  if ((state != kTaskStatePartial && state != kTaskStateDone) ||
+      count > task_sizes || (state == kTaskStateDone && count != task_sizes)) {
+    return DataLossError(
+        "task checkpoint is inconsistent with the sweep configuration; "
+        "delete the checkpoint directory and re-run from scratch");
+  }
+  entries->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    TaskCellEntry e;
+    LABELRW_RETURN_IF_ERROR(r.F64(&e.estimate));
+    LABELRW_RETURN_IF_ERROR(r.F64(&e.calls));
+    LABELRW_RETURN_IF_ERROR(r.U8(&e.valid));
+    LABELRW_RETURN_IF_ERROR(r.F64(&e.staleness));
+    entries->push_back(e);
+  }
+  *done = state == kTaskStateDone;
+  session_payload->clear();
+  if (!*done) {
+    if (r.remaining() == 0) {
+      return DataLossError(
+          "partial task checkpoint carries no session state; delete the "
+          "checkpoint directory and re-run from scratch");
+    }
+    *session_payload = payload.substr(payload.size() - r.remaining());
+  } else if (r.remaining() != 0) {
+    return DataLossError("task checkpoint payload has trailing bytes");
+  }
+  return Status::Ok();
 }
 
 /// One co-scheduled rep of a walk batch (SweepConfig::walk_batch_size):
@@ -254,6 +367,8 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
   // point sums schedule-dependent). ~16 bytes x algos x sizes x reps.
   std::vector<double> slot_estimates(num_algos * num_sizes * reps, 0.0);
   std::vector<double> slot_calls(num_algos * num_sizes * reps, 0.0);
+  std::vector<uint8_t> slot_valid(num_algos * num_sizes * reps, 1);
+  std::vector<double> slot_staleness(num_algos * num_sizes * reps, 0.0);
   const auto slot = [num_sizes, reps](size_t a, size_t s, size_t rep) {
     return (a * num_sizes + s) * reps + rep;
   };
@@ -277,6 +392,23 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
   std::atomic<int64_t> next_task{0};
   std::mutex merge_mutex;
   Status first_error;
+
+  // Durable-sweep machinery (inert when checkpoint_dir is empty).
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  const int64_t ckpt_every = config.checkpoint_every_steps > 0
+                                 ? config.checkpoint_every_steps
+                                 : 4096;
+  std::atomic<bool> halt{false};
+  std::atomic<int64_t> resumed_tasks{0};
+  std::atomic<int64_t> completed_tasks{0};
+  auto task_completed = [&]() {
+    const int64_t done = completed_tasks.fetch_add(1,
+                                                   std::memory_order_relaxed) +
+                         1;
+    if (config.halt_after_tasks >= 0 && done >= config.halt_after_tasks) {
+      halt.store(true, std::memory_order_relaxed);
+    }
+  };
 
   int threads = config.threads > 0
                     ? config.threads
@@ -326,52 +458,73 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
     driver.on_task_done(task);
   };
 
+  // The scalar worker. One task = one rep: a single (algorithm, size) cell
+  // under the independent protocol, or the full row of nested-budget cells
+  // under prefix-budget (the session's own budget is the largest size and
+  // nested budgets are snapshot points along the way; the prefix seed's
+  // size coordinate is pinned to num_sizes so prefix rep streams are
+  // distinct from any independent-runs stream). With checkpointing on, the
+  // task's durable file is consulted at claim time and rewritten at every
+  // cadence point and at completion.
   auto worker = [&]() {
     WorkerScratch scratch;
     while (true) {
+      if (halt.load(std::memory_order_relaxed)) return;
       const int64_t task_id = next_task.fetch_add(1, std::memory_order_relaxed);
       if (task_id >= total_tasks) return;
-      const auto rep = task_id % config.reps;
+      const auto rep = static_cast<size_t>(task_id % config.reps);
       const auto cell = task_id / config.reps;
+      const auto algo_idx =
+          static_cast<size_t>(prefix ? cell : cell / num_sizes);
+      const size_t first_size =
+          prefix ? 0 : static_cast<size_t>(cell) % num_sizes;
+      const size_t task_sizes = prefix ? num_sizes : 1;
 
-      TaskApi task = driver.make_api(scratch);
+      std::vector<TaskCellEntry> entries;  // completed cells, durable order
+      std::string ckpt_path;
+      std::string session_payload;
 
-      if (prefix) {
-        const auto algo_idx = static_cast<size_t>(cell);
-        // The session's own budget is the largest size; nested budgets are
-        // snapshot points along the way. The seed's size coordinate is
-        // pinned to num_sizes (outside the per-size range) so prefix reps
-        // are distinct from any independent-runs rep stream.
-        const auto options =
-            make_options(algo_idx, num_sizes, rep,
-                         result.sample_sizes[num_sizes - 1]);
-        auto session = estimators::EstimatorSession::Create(
-            config.algorithms[algo_idx], *task.api, target, priors, options);
-        if (!session.ok()) {
-          merge_error(session.status());
+      // Lock-free slot writes: every coordinate is owned by one task.
+      auto merge_entry = [&](size_t k, const TaskCellEntry& e) {
+        const size_t i = slot(algo_idx, first_size + k, rep);
+        slot_estimates[i] = e.estimate;
+        slot_calls[i] = e.calls;
+        slot_valid[i] = e.valid;
+        slot_staleness[i] = e.staleness;
+      };
+
+      if (checkpointing) {
+        ckpt_path = TaskCheckpointPath(config.checkpoint_dir, task_id);
+        Result<std::string> file = estimators::ReadCheckpointFile(ckpt_path);
+        if (file.ok()) {
+          bool done = false;
+          const Status parsed = ParseTaskPayload(*file, task_sizes, &done,
+                                                 &entries, &session_payload);
+          if (!parsed.ok()) {
+            merge_error(parsed);
+            continue;
+          }
+          resumed_tasks.fetch_add(1, std::memory_order_relaxed);
+          for (size_t k = 0; k < entries.size(); ++k) {
+            merge_entry(k, entries[k]);
+          }
+          if (done) {
+            task_completed();
+            continue;
+          }
+        } else if (file.status().code() != StatusCode::kNotFound) {
+          merge_error(file.status());  // fail closed on a corrupt file
           continue;
         }
-        if (driver.drive_rate_limits) {
-          (*session)->set_transactional_stepping(true);
-        }
-        for (size_t size_idx = 0; size_idx < num_sizes; ++size_idx) {
-          const Status run = DriveSession(
-              **session, task, driver, result.sample_sizes[size_idx]);
-          if (!run.ok()) {
-            merge_error(run);
-            break;
-          }
-          merge_cell(algo_idx, size_idx, static_cast<size_t>(rep),
-                     (*session)->Snapshot());
-        }
-        task_done(task);
-        continue;
       }
 
-      const size_t size_idx = static_cast<size_t>(cell) % num_sizes;
-      const size_t algo_idx = static_cast<size_t>(cell) / num_sizes;
-      const auto options = make_options(algo_idx, size_idx, rep,
-                                        result.sample_sizes[size_idx]);
+      TaskApi task = driver.make_api(scratch);
+      const auto options =
+          prefix ? make_options(algo_idx, num_sizes, static_cast<int64_t>(rep),
+                                result.sample_sizes[num_sizes - 1])
+                 : make_options(algo_idx, first_size,
+                                static_cast<int64_t>(rep),
+                                result.sample_sizes[first_size]);
       // The exact Estimate() shim, opened up so the driver can chunk the
       // stepping and absorb strict rate limits: Create + Run + Snapshot.
       auto session = estimators::EstimatorSession::Create(
@@ -383,15 +536,108 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
       if (driver.drive_rate_limits) {
         (*session)->set_transactional_stepping(true);
       }
-      const Status run = DriveSession(**session, task, driver,
-                                      /*nested_budget=*/0);
-      if (!run.ok()) {
-        merge_error(run);
-        continue;
+      if (!session_payload.empty()) {
+        // Identical configuration by construction (same config -> same
+        // options/stack), so the restored crawl continues bit-identically.
+        const Status restored = estimators::RestoreSessionState(
+            session_payload, session->get(), task.client.get(),
+            task.chaos.get());
+        if (!restored.ok()) {
+          merge_error(restored);
+          continue;
+        }
       }
-      merge_cell(algo_idx, size_idx, static_cast<size_t>(rep),
-                 (*session)->Snapshot());
+
+      bool failed = false;
+      bool abandoned = false;
+      // Set once the crawl dies in a tolerated way (persistent outage /
+      // deadline); the remaining cells reuse its last anytime estimate or
+      // are marked lost if it never iterated.
+      bool crawl_dead = false;
+      bool have_dead_snap = false;
+      estimators::EstimateResult dead_snap;
+      for (size_t k = entries.size(); k < task_sizes; ++k) {
+        const int64_t budget = result.sample_sizes[first_size + k];
+        TaskCellEntry entry;
+        if (!crawl_dead) {
+          Status run = Status::Ok();
+          if (checkpointing) {
+            while (true) {
+              bool settled = false;
+              run = DriveSession(**session, task, driver,
+                                 prefix ? budget : 0,
+                                 (*session)->iterations() + ckpt_every,
+                                 &settled);
+              if (!run.ok() || settled) break;
+              const Status wrote = estimators::WriteCheckpointFile(
+                  ckpt_path, SerializeTaskPayload(kTaskStatePartial, entries,
+                                                  session->get(), task));
+              if (!wrote.ok()) {
+                run = wrote;
+                break;
+              }
+              if (halt.load(std::memory_order_relaxed)) {
+                abandoned = true;  // partial state is durable; stop here
+                break;
+              }
+            }
+            if (abandoned) break;
+          } else {
+            run = DriveSession(**session, task, driver, prefix ? budget : 0);
+          }
+          if (run.ok()) {
+            const Result<estimators::EstimateResult> snap =
+                (*session)->Snapshot();
+            if (!snap.ok()) {
+              merge_error(snap.status());
+              failed = true;
+              break;
+            }
+            entry.estimate = snap->estimate;
+            entry.calls = static_cast<double>(snap->api_calls);
+          } else if (driver.degrade_on_outage &&
+                     (run.code() == StatusCode::kUnavailable ||
+                      run.code() == StatusCode::kDeadlineExceeded)) {
+            crawl_dead = true;
+            if ((*session)->iterations() > 0) {
+              const Result<estimators::EstimateResult> snap =
+                  (*session)->Snapshot();
+              if (snap.ok()) {
+                dead_snap = *snap;
+                have_dead_snap = true;
+              }
+            }
+          } else {
+            merge_error(run);
+            failed = true;
+            break;
+          }
+        }
+        if (crawl_dead) {
+          if (have_dead_snap) {
+            entry.estimate = dead_snap.estimate;
+            entry.calls = static_cast<double>(dead_snap.api_calls);
+            entry.staleness = std::max(
+                0.0, 1.0 - entry.calls / static_cast<double>(budget));
+          } else {
+            entry.valid = 0;
+          }
+        }
+        merge_entry(k, entry);
+        entries.push_back(entry);
+      }
+      if (failed || abandoned) continue;
+      if (checkpointing) {
+        const Status wrote = estimators::WriteCheckpointFile(
+            ckpt_path,
+            SerializeTaskPayload(kTaskStateDone, entries, nullptr, task));
+        if (!wrote.ok()) {
+          merge_error(wrote);
+          continue;
+        }
+      }
       task_done(task);
+      task_completed();
     }
   };
 
@@ -474,21 +720,48 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
   for (auto& t : pool) t.join();
   if (!first_error.ok()) return first_error;
 
+  result.resumed_tasks = resumed_tasks.load(std::memory_order_relaxed);
+  result.completed_tasks = completed_tasks.load(std::memory_order_relaxed);
+  result.halted = halt.load(std::memory_order_relaxed) &&
+                  result.completed_tasks < total_tasks;
+
+  // Sequential reduction in slot order: bit-identical for any thread count.
+  // Invalid slots (crawls lost before their first iteration) are excluded;
+  // without degradation every slot is valid and the aggregates match the
+  // pre-resilience reduction exactly.
   result.cells.assign(num_algos, std::vector<CellResult>(num_sizes));
+  double staleness_sum = 0.0;
   for (size_t a = 0; a < num_algos; ++a) {
     for (size_t s = 0; s < num_sizes; ++s) {
       NrmseAccumulator nrmse(static_cast<double>(result.truth));
       RunningStats api_calls;
+      size_t valid = 0;
       for (size_t rep = 0; rep < reps; ++rep) {
-        nrmse.Add(slot_estimates[slot(a, s, rep)]);
-        api_calls.Add(slot_calls[slot(a, s, rep)]);
+        const size_t i = slot(a, s, rep);
+        if (slot_valid[i] == 0) {
+          ++result.aborted_cells;
+          continue;
+        }
+        nrmse.Add(slot_estimates[i]);
+        api_calls.Add(slot_calls[i]);
+        ++valid;
+        if (slot_staleness[i] > 0.0) {
+          ++result.degraded_cells;
+          staleness_sum += slot_staleness[i];
+        }
       }
       CellResult& out = result.cells[a][s];
+      out.availability = static_cast<double>(valid) / static_cast<double>(reps);
+      if (valid == 0) continue;  // nothing usable; availability says why
       out.nrmse = nrmse.Nrmse();
       out.mean_estimate = nrmse.MeanEstimate();
       out.relative_bias = nrmse.RelativeBias();
       out.mean_api_calls = api_calls.mean();
     }
+  }
+  if (result.degraded_cells > 0) {
+    result.mean_staleness =
+        staleness_sum / static_cast<double>(result.degraded_cells);
   }
   return result;
 }
@@ -499,6 +772,14 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
                              const graph::LabelStore& labels,
                              const graph::TargetLabel& target,
                              const SweepConfig& config) {
+  if (!config.checkpoint_dir.empty()) {
+    // Durable sweeps need the OsnClient session stack — its charge, cache,
+    // and clock ledgers are what the checkpoint serializes. The default
+    // Scenario's client is accounting-identical to the direct LocalGraphApi
+    // path (test-enforced in scenario_test.cc), so the results are
+    // bit-identical to this function's fast path.
+    return RunScenarioSweep(graph, labels, target, config, osn::Scenario());
+  }
   SweepDriver driver;
   driver.make_api = [&graph, &labels](WorkerScratch& scratch) {
     TaskApi task;
@@ -519,6 +800,19 @@ Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
                                      const ScenarioRunOptions& run_options,
                                      ScenarioTelemetry* telemetry) {
   LABELRW_RETURN_IF_ERROR(scenario.Validate());
+  if (!config.checkpoint_dir.empty() && scenario.needs_dynamic_transport()) {
+    return InvalidArgumentError(
+        "checkpoint_dir cannot be combined with a mutation schedule: the "
+        "DynamicGraphTransport's churned graph state is not serialized, so "
+        "a resumed crawl would observe a rewound graph");
+  }
+  if ((scenario.has_chaos() || scenario.retry.call_deadline_us > 0) &&
+      config.walk_batch_size > 0) {
+    return InvalidArgumentError(
+        "chaos schedules / call deadlines require scalar driving "
+        "(walk_batch_size == 0): graceful degradation of a dead crawl is "
+        "implemented for the per-task worker only");
+  }
 
   // Static scenarios share one immutable transport; a mutation schedule
   // forces a per-rep DynamicGraphTransport (each rep owns its own timeline,
@@ -529,7 +823,14 @@ Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
   driver.step_chunk = run_options.step_chunk > 0 ? run_options.step_chunk : 0;
   driver.drive_rate_limits =
       scenario.rate_limit.enabled() && !scenario.rate_limit.auto_wait;
-  driver.detour_on_denied = scenario.walker_detour;
+  // Chaos privatization denies profiles mid-crawl; without the detour a
+  // walk dies on the first locked-down neighbor.
+  driver.detour_on_denied =
+      scenario.walker_detour || !scenario.chaos.privatizations.empty();
+  // Chaos outages and call deadlines can kill a crawl for good; ride the
+  // survivors' anytime estimates instead of failing the sweep.
+  driver.degrade_on_outage =
+      scenario.has_chaos() || scenario.retry.call_deadline_us > 0;
   driver.make_api = [&graph, &labels, &scenario,
                      &static_transport](WorkerScratch& scratch) {
     TaskApi task;
@@ -539,12 +840,23 @@ Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
           graph, labels, scenario.mutations);
       transport = task.dynamic.get();
     }
+    if (scenario.has_chaos()) {
+      // One decorator per rep: its wire-call ordinal is rep-local state
+      // (and joins the rep's checkpoint).
+      task.chaos =
+          std::make_unique<osn::ChaosTransport>(*transport, scenario.chaos);
+      transport = task.chaos.get();
+    }
     task.client = std::make_unique<osn::OsnClient>(
         *transport, scenario.cost_model, scenario.faults, /*budget=*/-1,
         &scratch.touched, &scratch.touched_full);
     task.client->ConfigureRateLimit(scenario.rate_limit);
+    task.client->ConfigureRetry(scenario.retry);
     if (task.dynamic != nullptr) {
       task.dynamic->AttachClock(&task.client->clock());
+    }
+    if (task.chaos != nullptr) {
+      task.chaos->AttachClock(&task.client->clock());
     }
     task.api = task.client.get();
     task.prefetch = task.api->FastGraphView();
@@ -566,6 +878,10 @@ Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
       telemetry->rate_limit_stalls += stats.rate_limit_stalls;
       telemetry->stalled_us += stats.stalled_us;
       telemetry->rate_limited_rejections += stats.rate_limited_rejections;
+      telemetry->backoffs += stats.backoffs;
+      telemetry->backoff_us += stats.backoff_us;
+      telemetry->deadline_exceeded += stats.deadline_exceeded;
+      telemetry->shape_drifts += stats.shape_drifts;
       if (task.dynamic != nullptr) {
         telemetry->applied_mutations += task.dynamic->applied_mutations();
       }
@@ -577,9 +893,14 @@ Result<SweepResult> RunScenarioSweep(const graph::Graph& graph,
   LABELRW_ASSIGN_OR_RETURN(
       SweepResult result,
       RunSweepImpl(graph, labels, target, config, driver));
-  if (telemetry != nullptr && tasks_seen > 0) {
-    telemetry->mean_sim_seconds = static_cast<double>(clock_us_sum) / 1e6 /
-                                  static_cast<double>(tasks_seen);
+  if (telemetry != nullptr) {
+    if (tasks_seen > 0) {
+      telemetry->mean_sim_seconds = static_cast<double>(clock_us_sum) / 1e6 /
+                                    static_cast<double>(tasks_seen);
+    }
+    telemetry->degraded_cells = result.degraded_cells;
+    telemetry->aborted_cells = result.aborted_cells;
+    telemetry->mean_staleness = result.mean_staleness;
   }
   return result;
 }

@@ -76,6 +76,29 @@ struct SweepConfig {
   /// with graph size and is largest on store-backed sweeps (batch >= 16;
   /// docs/PERFORMANCE.md §9).
   int64_t walk_batch_size = 0;
+  /// When non-empty, the sweep is durable: every task (one rep) maintains a
+  /// versioned checkpoint file task_<id>.ckpt in this directory
+  /// (estimators/checkpoint.h format), rewritten as a completed record when
+  /// the task finishes. Re-running the identical config over the same
+  /// directory resumes: finished tasks are replayed from their records and
+  /// interrupted ones continue from their last durable state, landing
+  /// bit-identically to an uninterrupted sweep (test-enforced in
+  /// resilience_test.cc). Requires scalar driving (walk_batch_size == 0)
+  /// and, under RunScenarioSweep, a mutation-free scenario. The directory
+  /// must exist and belongs to exactly one (config, graph) pair — the
+  /// checkpoint stores dynamic state only, so resuming under a different
+  /// configuration is undefined.
+  std::string checkpoint_dir;
+  /// Durable-mode checkpoint cadence: a task rewrites its checkpoint every
+  /// this many session iterations (<= 0 picks the 4096 default). Smaller =
+  /// tighter crash window, more I/O; see docs/PERFORMANCE.md §10.
+  int64_t checkpoint_every_steps = 0;
+  /// Crash-injection hook for kill-and-resume tests: once this many tasks
+  /// have completed, the sweep halts — no new tasks are claimed and
+  /// in-flight tasks abandon at their next checkpoint cadence (their
+  /// partial state is durable). -1 (default) never halts. Requires
+  /// checkpoint_dir.
+  int64_t halt_after_tasks = -1;
 
   /// The paper's ten sizes 0.5%|V| .. 5.0%|V|.
   static std::vector<double> PaperFractions();
@@ -89,6 +112,10 @@ struct CellResult {
   double mean_estimate = 0.0;
   double relative_bias = 0.0;
   double mean_api_calls = 0.0;
+  /// Fraction of reps that produced a usable estimate (1.0 when nothing
+  /// degraded). Reps whose crawl died before the first iteration are
+  /// excluded from every other aggregate in this cell.
+  double availability = 1.0;
 };
 
 struct SweepResult {
@@ -99,6 +126,20 @@ struct SweepResult {
   std::vector<std::vector<CellResult>> cells;
   int64_t truth = 0;  // exact F
   SweepProtocol protocol = SweepProtocol::kIndependentRuns;
+  /// Durable-mode bookkeeping (zero unless SweepConfig::checkpoint_dir).
+  int64_t resumed_tasks = 0;    // tasks restored from a checkpoint file
+  int64_t completed_tasks = 0;  // tasks finished by the end of this run
+  /// True when halt_after_tasks fired: the sweep stopped early and the
+  /// aggregates cover only the completed slots. Re-run the same config
+  /// over the same checkpoint_dir to finish.
+  bool halted = false;
+  /// Graceful-degradation tallies (cells whose crawl outlived a persistent
+  /// outage / deadline on its anytime estimate, and cells lost outright).
+  int64_t degraded_cells = 0;
+  int64_t aborted_cells = 0;
+  /// Mean over degraded cells of the unconsumed budget fraction at the
+  /// point the crawl died (0 = died at its budget, ~1 = died immediately).
+  double mean_staleness = 0.0;
 };
 
 /// Runs the sweep for `target` on the labeled graph.
@@ -128,6 +169,14 @@ struct ScenarioTelemetry {
   int64_t applied_mutations = 0;
   /// Mean per-rep simulated crawl duration at completion, in seconds.
   double mean_sim_seconds = 0.0;
+  // Resilience telemetry (osn::RetryPolicy / osn::ChaosTransport).
+  int64_t backoffs = 0;            // retry backoff sleeps taken
+  int64_t backoff_us = 0;          // sim time spent backing off
+  int64_t deadline_exceeded = 0;   // fetches abandoned at their deadline
+  int64_t shape_drifts = 0;        // observed page/batch limit changes
+  int64_t degraded_cells = 0;      // cells served a stale anytime estimate
+  int64_t aborted_cells = 0;       // cells lost before the first iteration
+  double mean_staleness = 0.0;     // see SweepResult::mean_staleness
 };
 
 /// RunSweep under production crawl conditions: every rep crawls through an

@@ -1,0 +1,206 @@
+#include "osn/chaos.h"
+
+#include <utility>
+
+#include "util/rng.h"
+
+namespace labelrw::osn {
+
+namespace {
+
+// Interval lists must be sorted and non-overlapping so "which window is
+// active" has a single deterministic answer.
+template <typename T>
+Status CheckWindows(const std::vector<T>& windows, const char* what) {
+  int64_t prev_end = 0;
+  bool first = true;
+  for (const T& w : windows) {
+    if (w.start_us < 0 || w.end_us <= w.start_us) {
+      return InvalidArgumentError(std::string(what) +
+                                  ": windows need 0 <= start_us < end_us");
+    }
+    if (!first && w.start_us < prev_end) {
+      return InvalidArgumentError(std::string(what) +
+                                  ": windows must be sorted and disjoint");
+    }
+    prev_end = w.end_us;
+    first = false;
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+Status CheckAscending(const std::vector<T>& events, const char* what) {
+  int64_t prev = -1;
+  for (const T& e : events) {
+    if (e.at_us < 0 || e.at_us < prev) {
+      return InvalidArgumentError(
+          std::string(what) + ": events must have ascending at_us >= 0");
+    }
+    prev = e.at_us;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FaultSchedule::Validate() const {
+  LABELRW_RETURN_IF_ERROR(CheckWindows(outages, "FaultSchedule.outages"));
+  LABELRW_RETURN_IF_ERROR(CheckWindows(bursts, "FaultSchedule.bursts"));
+  for (const ErrorBurst& b : bursts) {
+    if (b.error_rate < 0.0 || b.error_rate > 1.0) {
+      return InvalidArgumentError(
+          "FaultSchedule.bursts: error_rate must be in [0, 1]");
+    }
+  }
+  LABELRW_RETURN_IF_ERROR(CheckAscending(drifts, "FaultSchedule.drifts"));
+  for (const ShapeDrift& d : drifts) {
+    if (d.page_size == 0 && d.batch_size == 0) {
+      return InvalidArgumentError(
+          "FaultSchedule.drifts: event changes neither page nor batch size");
+    }
+  }
+  LABELRW_RETURN_IF_ERROR(
+      CheckAscending(privatizations, "FaultSchedule.privatizations"));
+  for (const DegreePrivatization& p : privatizations) {
+    if (p.min_degree < 0) {
+      return InvalidArgumentError(
+          "FaultSchedule.privatizations: min_degree must be >= 0");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<FaultSchedule> ChaosFromName(const std::string& name) {
+  FaultSchedule s;
+  if (name.empty() || name == "none") {
+    return s;
+  }
+  if (name == "outage") {
+    // One hard 2-second outage early in the crawl: exercises backoff,
+    // deadline handling, and graceful degradation.
+    s.outages = {{1'000'000, 3'000'000}};
+    return s;
+  }
+  if (name == "bursts") {
+    // Recurring 500 ms windows of 30% transient errors every 2 sim-seconds
+    // for the first 20: exercises the retry loop without ever making
+    // progress impossible.
+    for (int64_t t = 500'000; t < 20'000'000; t += 2'000'000) {
+      s.bursts.push_back({t, t + 500'000, 0.30});
+    }
+    return s;
+  }
+  if (name == "drift") {
+    // The platform halves its page size at t=2s and its batch limit at
+    // t=4s: exercises mid-crawl shape refresh and cursor invalidation.
+    s.drifts = {{2'000'000, 10, 0}, {4'000'000, 0, 4}};
+    return s;
+  }
+  if (name == "celebrity") {
+    // Degree-correlated privatization: accounts with degree >= 64 lock
+    // down at t=1s, then the threshold drops to 32 at t=5s.
+    s.privatizations = {{1'000'000, 64}, {5'000'000, 32}};
+    return s;
+  }
+  if (name == "storm") {
+    // Everything at once: a short outage, error bursts around it, shape
+    // shrink, and celebrity lockdown. The "production chaos" preset.
+    s.outages = {{2'000'000, 2'800'000}};
+    s.bursts = {{500'000, 1'500'000, 0.20}, {3'000'000, 5'000'000, 0.15}};
+    s.drifts = {{3'500'000, 12, 4}};
+    s.privatizations = {{4'000'000, 96}};
+    return s;
+  }
+  std::string known;
+  for (const std::string& n : ChaosNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return InvalidArgumentError("unknown chaos preset '" + name +
+                              "' (known: " + known + ")");
+}
+
+std::vector<std::string> ChaosNames() {
+  return {"none", "outage", "bursts", "drift", "celebrity", "storm"};
+}
+
+ChaosTransport::ChaosTransport(const Transport& inner, FaultSchedule schedule)
+    : inner_(inner),
+      schedule_(std::move(schedule)),
+      schedule_status_(schedule_.Validate()) {}
+
+Result<UserRecord> ChaosTransport::FetchRecord(graph::NodeId user) const {
+  LABELRW_RETURN_IF_ERROR(schedule_status_);
+  LABELRW_ASSIGN_OR_RETURN(UserRecord record, inner_.FetchRecord(user));
+  const int64_t now = NowUs();
+  // Later entries override earlier ones: find the last due threshold.
+  int64_t min_degree = -1;
+  for (const DegreePrivatization& p : schedule_.privatizations) {
+    if (p.at_us > now) break;
+    min_degree = p.min_degree;
+  }
+  if (min_degree >= 0 && record.degree >= min_degree &&
+      served_.find(user) == served_.end()) {
+    // Same shape as DynamicGraphTransport::Privatize so the client's
+    // CheckAvailable caching and walker detours treat both identically.
+    // Already-served users are grandfathered (see DegreePrivatization):
+    // the crawl holds their data, so lockdown only blocks new contact.
+    return PermissionDeniedError("user profile is private or deleted");
+  }
+  served_.insert(user);
+  return record;
+}
+
+Result<graph::NodeId> ChaosTransport::SampleSeed(Rng& rng) const {
+  LABELRW_RETURN_IF_ERROR(schedule_status_);
+  return inner_.SampleSeed(rng);
+}
+
+Status ChaosTransport::WireCheck() const {
+  LABELRW_RETURN_IF_ERROR(schedule_status_);
+  LABELRW_RETURN_IF_ERROR(inner_.WireCheck());
+  const int64_t now = NowUs();
+  // Ordinal is consumed by every wire call under chaos, success or not, so
+  // the burst stream is a pure function of the call sequence.
+  const uint64_t call = wire_calls_++;
+  for (const OutageWindow& w : schedule_.outages) {
+    if (now < w.start_us) break;
+    if (now < w.end_us) {
+      return UnavailableError("chaos: backend outage window");
+    }
+  }
+  for (const ErrorBurst& b : schedule_.bursts) {
+    if (now < b.start_us) break;
+    if (now < b.end_us) {
+      if (b.error_rate >= 1.0) {
+        return UnavailableError("chaos: transient error burst");
+      }
+      if (b.error_rate > 0.0) {
+        // Stateless Bernoulli: hash (seed, ordinal) to a uniform in [0,1).
+        uint64_t sm = schedule_.seed ^
+                      (0x9e3779b97f4a7c15ULL * (call + 1));
+        const double u =
+            static_cast<double>(SplitMix64(&sm) >> 11) * 0x1.0p-53;
+        if (u < b.error_rate) {
+          return UnavailableError("chaos: transient error burst");
+        }
+      }
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+ApiShape ChaosTransport::CurrentShape() const {
+  ApiShape shape = inner_.CurrentShape();
+  const int64_t now = NowUs();
+  for (const ShapeDrift& d : schedule_.drifts) {
+    if (d.at_us > now) break;
+    if (d.page_size > 0) shape.page_size = d.page_size;
+    if (d.batch_size > 0) shape.batch_size = d.batch_size;
+  }
+  return shape;
+}
+
+}  // namespace labelrw::osn

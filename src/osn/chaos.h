@@ -1,0 +1,167 @@
+// Deterministic chaos engine: ChaosTransport wraps any Transport and
+// applies a FaultSchedule — sim-clock-indexed outage windows, transient
+// error bursts, mid-crawl API shape drift, and degree-correlated
+// privatization — without touching the inner backend.
+//
+// Determinism contract. Every fault decision is a pure function of
+//   (schedule, sim-clock time, wire-call ordinal)
+// and nothing else: no wall clock, no global RNG. Burst failures hash the
+// schedule seed with a per-transport wire-call counter, so two runs with
+// the same schedule, clock trajectory, and call sequence fail on exactly
+// the same attempts. The counter is the only mutable state and is
+// checkpointable (wire_calls / RestoreWireCalls), which keeps kill-resume
+// runs bit-identical to uninterrupted ones.
+//
+// Layering. Outages and bursts surface through Transport::WireCheck, which
+// OsnClient consults once per charged wire call — so they interact with the
+// retry loop, backoff, and charging exactly like FaultPolicy transient
+// errors. Privatization is a *data* fault and lives in FetchRecord
+// (returning kPermissionDenied like DynamicGraphTransport::Privatize), so
+// walker detours and CheckAvailable caching apply unchanged. Shape drift
+// surfaces through CurrentShape and takes effect when OsnClient refreshes
+// at its next public call.
+
+#ifndef LABELRW_OSN_CHAOS_H_
+#define LABELRW_OSN_CHAOS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "osn/sim_clock.h"
+#include "osn/transport.h"
+
+namespace labelrw::osn {
+
+/// Total backend outage over [start_us, end_us): every wire call fails
+/// with kUnavailable until the window closes.
+struct OutageWindow {
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+};
+
+/// Elevated transient-error probability over [start_us, end_us): each wire
+/// call inside the window fails with probability error_rate, decided by a
+/// deterministic hash of (seed, wire-call ordinal).
+struct ErrorBurst {
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  double error_rate = 0.0;
+};
+
+/// From at_us onward the API advertises the given page/batch limits
+/// (<= 0 keeps the previous value). Later entries override earlier ones.
+struct ShapeDrift {
+  int64_t at_us = 0;
+  int64_t page_size = 0;
+  int64_t batch_size = 0;
+};
+
+/// From at_us onward, users with degree >= min_degree become private:
+/// FetchRecord returns kPermissionDenied. Models the empirical pattern of
+/// high-degree accounts locking down first. Later entries override earlier
+/// ones (the last due entry's threshold applies).
+///
+/// Lockdown only blocks *new* contact: users the decorator has already
+/// served stay fetchable (a crawler keeps the data it downloaded; the
+/// client deliberately re-reads through the transport instead of storing
+/// records, so denying a re-read would retroactively confiscate data the
+/// crawl legitimately holds — and strand walks on nodes whose own
+/// neighborhood vanished). The served-set is checkpointed with the
+/// wire-call ordinal, so kill-resume runs keep the identical verdicts.
+struct DegreePrivatization {
+  int64_t at_us = 0;
+  int64_t min_degree = 0;
+};
+
+/// A full deterministic fault plan. All event lists are interpreted against
+/// the attached SimClock; with no clock attached the schedule is evaluated
+/// at t=0 forever.
+struct FaultSchedule {
+  std::vector<OutageWindow> outages;            // ascending, non-overlapping
+  std::vector<ErrorBurst> bursts;               // ascending, non-overlapping
+  std::vector<ShapeDrift> drifts;               // ascending at_us
+  std::vector<DegreePrivatization> privatizations;  // ascending at_us
+  /// Seed for the burst-failure hash stream (independent of every other
+  /// RNG stream in the stack).
+  uint64_t seed = 0xc4a05u;
+
+  bool empty() const {
+    return outages.empty() && bursts.empty() && drifts.empty() &&
+           privatizations.empty();
+  }
+  Status Validate() const;
+};
+
+/// Named chaos presets for the CLI and benchmarks. Times are chosen to bite
+/// under the "production"-style rate-limited clock (per-call latency in the
+/// low-millisecond range). Unknown names return InvalidArgument listing the
+/// available presets.
+Result<FaultSchedule> ChaosFromName(const std::string& name);
+
+/// Names accepted by ChaosFromName, for --help text.
+std::vector<std::string> ChaosNames();
+
+/// Decorator transport applying a FaultSchedule on top of `inner`. Keeps a
+/// reference; `inner` must outlive this object. Thread-compatible like any
+/// Transport, but NOT thread-safe: the wire-call counter mutates per
+/// WireCheck, so each concurrent client needs its own ChaosTransport (the
+/// eval harness builds one per task).
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(const Transport& inner, FaultSchedule schedule);
+
+  /// Attach the sim clock that indexes the schedule (normally the wrapping
+  /// OsnClient's clock, attached after client construction). Without a
+  /// clock the schedule is evaluated at t=0.
+  void AttachClock(const SimClock* clock) { clock_ = clock; }
+
+  // Transport face: data calls forward to the inner backend, with
+  // privatization applied to FetchRecord.
+  Result<UserRecord> FetchRecord(graph::NodeId user) const override;
+  Result<graph::NodeId> SampleSeed(Rng& rng) const override;
+  int64_t num_users() const override { return inner_.num_users(); }
+  GraphPriors TransportPriors() const override {
+    return inner_.TransportPriors();
+  }
+  const graph::Graph* FastGraphView() const override {
+    return inner_.FastGraphView();
+  }
+
+  // Chaos face.
+  Status WireCheck() const override;
+  ApiShape CurrentShape() const override;
+  bool HasWireEffects() const override {
+    return !schedule_.outages.empty() || !schedule_.bursts.empty();
+  }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  /// Wire-call ordinal. Serialized into session checkpoints so burst
+  /// decisions resume exactly where they left off.
+  uint64_t wire_calls() const { return wire_calls_; }
+  void RestoreWireCalls(uint64_t calls) const { wire_calls_ = calls; }
+
+  /// Users this transport has served at least once (privatization
+  /// grandfathers them; see DegreePrivatization). Ordered so serialization
+  /// is a deterministic function of the set. Checkpointed alongside the
+  /// wire-call ordinal.
+  const std::set<graph::NodeId>& served_users() const { return served_; }
+  void MarkServed(graph::NodeId user) const { served_.insert(user); }
+
+ private:
+  int64_t NowUs() const { return clock_ != nullptr ? clock_->now_us() : 0; }
+
+  const Transport& inner_;
+  FaultSchedule schedule_;
+  Status schedule_status_;
+  const SimClock* clock_ = nullptr;
+  // The only mutable state: the burst-hash ordinal and the served-set.
+  mutable uint64_t wire_calls_ = 0;
+  mutable std::set<graph::NodeId> served_;
+};
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_CHAOS_H_

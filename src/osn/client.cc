@@ -20,6 +20,31 @@ Status FaultPolicy::Validate() const {
   return Status::Ok();
 }
 
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 0) {
+    return InvalidArgumentError("RetryPolicy: max_attempts must be >= 0");
+  }
+  if (initial_backoff_us < 0) {
+    return InvalidArgumentError(
+        "RetryPolicy: initial_backoff_us must be >= 0");
+  }
+  if (backoff_multiplier < 1.0) {
+    return InvalidArgumentError(
+        "RetryPolicy: backoff_multiplier must be >= 1");
+  }
+  if (max_backoff_us < initial_backoff_us) {
+    return InvalidArgumentError(
+        "RetryPolicy: max_backoff_us must be >= initial_backoff_us");
+  }
+  if (jitter < 0.0 || jitter >= 1.0) {
+    return InvalidArgumentError("RetryPolicy: jitter must lie in [0, 1)");
+  }
+  if (call_deadline_us < 0) {
+    return InvalidArgumentError("RetryPolicy: call_deadline_us must be >= 0");
+  }
+  return Status::Ok();
+}
+
 OsnClient::OsnClient(const Transport& transport, CostModel cost_model,
                      FaultPolicy faults, int64_t budget, TouchedSet* scratch,
                      TouchedSet* scratch_full)
@@ -29,10 +54,18 @@ OsnClient::OsnClient(const Transport& transport, CostModel cost_model,
       budget_(budget),
       config_status_(faults.Validate()),
       fault_rng_(faults.seed),
+      retry_rng_(RetryPolicy().jitter_seed),
       first_page_(scratch != nullptr ? scratch : &owned_first_page_),
       full_(scratch_full != nullptr ? scratch_full : &owned_full_) {
   first_page_->Reset(transport.num_users());
   full_->Reset(transport.num_users());
+  // Seed the effective shape from the CostModel, overridden by anything the
+  // transport advertises at t=0 (no drift counted for the initial shape).
+  const ApiShape shape = transport.CurrentShape();
+  effective_page_size_ =
+      shape.page_size > 0 ? shape.page_size : cost_model_.page_size;
+  effective_batch_size_ =
+      shape.batch_size > 0 ? shape.batch_size : cost_model_.batch_size;
 }
 
 int64_t OsnClient::remaining_budget() const {
@@ -45,6 +78,32 @@ void OsnClient::ConfigureRateLimit(const RateLimitPolicy& policy) {
   limiter_.reset();
   if (config_status_.ok()) config_status_ = policy.Validate();
   if (config_status_.ok() && policy.enabled()) limiter_.emplace(policy);
+}
+
+void OsnClient::ConfigureRetry(const RetryPolicy& policy) {
+  retry_ = policy;
+  retry_rng_ = Rng(policy.jitter_seed);
+  if (config_status_.ok()) config_status_ = policy.Validate();
+}
+
+void OsnClient::RefreshShape() {
+  const ApiShape shape = transport_.CurrentShape();
+  const int64_t page =
+      shape.page_size > 0 ? shape.page_size : cost_model_.page_size;
+  const int64_t batch =
+      shape.batch_size > 0 ? shape.batch_size : cost_model_.batch_size;
+  if (page != effective_page_size_) {
+    effective_page_size_ = page;
+    ++stats_.shape_drifts;
+    // A page-size change invalidates every outstanding pagination cursor:
+    // partial per-user progress was measured in old-page units. Fully
+    // cached lists and cached profiles stay valid (the data is local).
+    partial_.clear();
+  }
+  if (batch != effective_batch_size_) {
+    effective_batch_size_ = batch;
+    ++stats_.shape_drifts;
+  }
 }
 
 Status OsnClient::AdmitWireCall() {
@@ -81,15 +140,48 @@ bool OsnClient::IsUnavailableUser(graph::NodeId user) const {
   return u < faults_.unavailable_user_rate;
 }
 
+int64_t OsnClient::BackoffDelayUs(int attempt) {
+  double delay = static_cast<double>(retry_.initial_backoff_us);
+  for (int i = 0; i < attempt; ++i) {
+    delay *= retry_.backoff_multiplier;
+    if (delay >= static_cast<double>(retry_.max_backoff_us)) break;
+  }
+  delay = std::min(delay, static_cast<double>(retry_.max_backoff_us));
+  if (retry_.jitter > 0.0) {
+    const double u = retry_rng_.UniformDouble();
+    delay *= 1.0 + retry_.jitter * (2.0 * u - 1.0);
+  }
+  const auto us = static_cast<int64_t>(delay);
+  return us < 1 ? 1 : us;
+}
+
 Status OsnClient::FetchChargedCall() {
   const int64_t cost = cost_model_.page_cost;
+  // With max_attempts unset the legacy fixed loop applies: retry_budget + 1
+  // immediate attempts, no backoff, no deadline — bit-identical to v2.
+  const int max_attempts = retry_.max_attempts > 0
+                               ? retry_.max_attempts
+                               : faults_.retry_budget + 1;
+  // The deadline anchors at the first attempt of the logical fetch and, like
+  // pending_fault_attempts_, survives strict-mode kRateLimited
+  // interruptions: the re-issued fetch keeps the original deadline.
+  if (retry_.call_deadline_us > 0 && pending_deadline_us_ < 0) {
+    pending_deadline_us_ = clock_.now_us() + retry_.call_deadline_us;
+  }
   // Resume from where a strict-mode kRateLimited rejection interrupted the
   // previous attempt run (the session re-issues the same logical fetch):
   // failed attempts before the rejection keep counting against the retry
   // budget, and the fault stream continues where it left off, so the
   // attempt/draw sequence is identical to an uninterrupted run.
-  for (int attempt = pending_fault_attempts_; attempt <= faults_.retry_budget;
+  for (int attempt = pending_fault_attempts_; attempt < max_attempts;
        ++attempt) {
+    if (pending_deadline_us_ >= 0 && clock_.now_us() >= pending_deadline_us_) {
+      ++stats_.deadline_exceeded;
+      pending_fault_attempts_ = 0;
+      pending_deadline_us_ = -1;
+      return DeadlineExceededError(
+          "per-call deadline exceeded while retrying a wire fetch");
+    }
     // Admission precedes the fault draw: a rejected request never reaches
     // the server, so it consumes neither quota nor a fault-stream draw.
     const Status admitted = AdmitWireCall();
@@ -99,8 +191,14 @@ Status OsnClient::FetchChargedCall() {
       }
       return admitted;
     }
-    const bool fails = faults_.transient_error_rate > 0.0 &&
-                       fault_rng_.Bernoulli(faults_.transient_error_rate);
+    // Wire-level chaos (outages, error bursts) precedes the fault-policy
+    // draw; both fail the attempt identically.
+    Status failure = transport_.WireCheck();
+    if (failure.ok() && faults_.transient_error_rate > 0.0 &&
+        fault_rng_.Bernoulli(faults_.transient_error_rate)) {
+      failure = UnavailableError("transient OSN error");
+    }
+    const bool fails = !failure.ok();
     if (!fails || faults_.charge_failed_attempts) {
       if (budget_ >= 0 && api_calls_ + cost > budget_) {
         return ResourceExhaustedError("API budget exhausted");
@@ -109,12 +207,29 @@ Status OsnClient::FetchChargedCall() {
     }
     if (!fails) {
       pending_fault_attempts_ = 0;
+      pending_deadline_us_ = -1;
       return Status::Ok();
     }
+    if (failure.code() != StatusCode::kUnavailable) {
+      // Only kUnavailable verdicts are retryable; anything else the wire
+      // reports propagates immediately.
+      pending_fault_attempts_ = 0;
+      pending_deadline_us_ = -1;
+      return failure;
+    }
     ++stats_.transient_failures;
-    if (attempt < faults_.retry_budget) ++stats_.retries;
+    if (attempt + 1 < max_attempts) {
+      ++stats_.retries;
+      if (retry_.initial_backoff_us > 0) {
+        const int64_t sleep_us = BackoffDelayUs(attempt);
+        ++stats_.backoffs;
+        stats_.backoff_us += sleep_us;
+        clock_.AdvanceUs(sleep_us);
+      }
+    }
   }
   pending_fault_attempts_ = 0;
+  pending_deadline_us_ = -1;
   return UnavailableError("transient OSN error: retry budget exhausted");
 }
 
@@ -187,6 +302,7 @@ Status OsnClient::CheckAvailable(graph::NodeId user) {
 Result<std::span<const graph::NodeId>> OsnClient::GetNeighbors(
     graph::NodeId user) {
   LABELRW_RETURN_IF_ERROR(config_status_);
+  RefreshShape();
   LABELRW_ASSIGN_OR_RETURN(const UserRecord record,
                            transport_.FetchRecord(user));
   LABELRW_RETURN_IF_ERROR(CheckAvailable(user));
@@ -196,6 +312,7 @@ Result<std::span<const graph::NodeId>> OsnClient::GetNeighbors(
 
 Result<int64_t> OsnClient::GetDegree(graph::NodeId user) {
   LABELRW_RETURN_IF_ERROR(config_status_);
+  RefreshShape();
   LABELRW_ASSIGN_OR_RETURN(const UserRecord record,
                            transport_.FetchRecord(user));
   LABELRW_RETURN_IF_ERROR(CheckAvailable(user));
@@ -207,6 +324,7 @@ Result<int64_t> OsnClient::GetDegree(graph::NodeId user) {
 Result<std::span<const graph::Label>> OsnClient::GetLabels(
     graph::NodeId user) {
   LABELRW_RETURN_IF_ERROR(config_status_);
+  RefreshShape();
   LABELRW_ASSIGN_OR_RETURN(const UserRecord record,
                            transport_.FetchRecord(user));
   LABELRW_RETURN_IF_ERROR(CheckAvailable(user));
@@ -232,11 +350,12 @@ Result<graph::NodeId> OsnClient::RandomNode(Rng& rng) {
 Result<OsnClient::NeighborPage> OsnClient::FetchNeighborsPage(
     graph::NodeId user, int64_t cursor) {
   LABELRW_RETURN_IF_ERROR(config_status_);
+  RefreshShape();
   LABELRW_ASSIGN_OR_RETURN(const UserRecord record,
                            transport_.FetchRecord(user));
   LABELRW_RETURN_IF_ERROR(CheckAvailable(user));
 
-  const int64_t p = cost_model_.page_size;
+  const int64_t p = effective_page_size_;
   const int64_t total_pages = PagesForFull(record.degree);
   int64_t page_idx = 0;
   if (p > 0) {
@@ -279,6 +398,7 @@ Result<OsnClient::NeighborPage> OsnClient::FetchNeighborsPage(
 Result<std::vector<OsnClient::UserView>> OsnClient::FetchUsers(
     std::span<const graph::NodeId> users) {
   LABELRW_RETURN_IF_ERROR(config_status_);
+  RefreshShape();
   std::vector<UserView> views;
   views.reserve(users.size());
 
@@ -307,7 +427,7 @@ Result<std::vector<OsnClient::UserView>> OsnClient::FetchUsers(
     to_fetch.push_back(i);
   }
   const int64_t batch =
-      cost_model_.batch_size > 1 ? cost_model_.batch_size : 1;
+      effective_batch_size_ > 1 ? effective_batch_size_ : 1;
   // Charge round trip by round trip, marking each trip's first pages as
   // fetched as soon as it is paid: a strict-mode kRateLimited interruption
   // then resumes with the paid-for pages cached instead of re-charging
@@ -372,6 +492,164 @@ Result<std::vector<OsnClient::UserView>> OsnClient::FetchUsers(
     views.push_back(view);
   }
   return views;
+}
+
+namespace {
+
+void WriteRngState(util::ByteWriter& w, const Rng::State& state) {
+  for (uint64_t word : state.s) w.U64(word);
+}
+
+Status ReadRngState(util::ByteReader& r, Rng* rng) {
+  Rng::State state;
+  for (uint64_t& word : state.s) LABELRW_RETURN_IF_ERROR(r.U64(&word));
+  rng->RestoreState(state);
+  return Status::Ok();
+}
+
+// Cache membership is written as an ascending id list so the serialized
+// bytes are a deterministic function of the cache contents.
+void WriteTouched(util::ByteWriter& w, const TouchedSet& set) {
+  std::vector<int64_t> ids;
+  set.ForEach([&ids](int64_t id) { ids.push_back(id); });
+  w.U64(ids.size());
+  for (const int64_t id : ids) w.I64(id);
+}
+
+Status ReadTouched(util::ByteReader& r, TouchedSet* set, int64_t num_users) {
+  uint64_t count = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t id = 0;
+    LABELRW_RETURN_IF_ERROR(r.I64(&id));
+    if (id < 0 || id >= num_users) {
+      return DataLossError("client checkpoint: cached user id out of range");
+    }
+    set->TestAndSet(id);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void OsnClient::SaveState(util::ByteWriter& w) const {
+  w.I64(api_calls_);
+  w.I64(distinct_fetched_);
+  w.I64(clock_.now_us());
+  w.I64(last_retry_after_us_);
+  w.I64(pending_fault_attempts_);
+  w.I64(pending_deadline_us_);
+  w.I64(effective_page_size_);
+  w.I64(effective_batch_size_);
+  WriteRngState(w, fault_rng_.SaveState());
+  WriteRngState(w, retry_rng_.SaveState());
+  w.I64(stats_.pages_fetched);
+  w.I64(stats_.batch_round_trips);
+  w.I64(stats_.transient_failures);
+  w.I64(stats_.retries);
+  w.I64(stats_.denied_requests);
+  w.I64(stats_.rate_limit_stalls);
+  w.I64(stats_.stalled_us);
+  w.I64(stats_.rate_limited_rejections);
+  w.I64(stats_.backoffs);
+  w.I64(stats_.backoff_us);
+  w.I64(stats_.deadline_exceeded);
+  w.I64(stats_.shape_drifts);
+  w.U8(limiter_.has_value() ? 1 : 0);
+  if (limiter_.has_value()) {
+    const RateLimiter::State limiter = limiter_->SaveState();
+    w.F64(limiter.tokens);
+    w.I64(limiter.last_refill_us);
+    w.U64(limiter.window.size());
+    for (const int64_t t : limiter.window) w.I64(t);
+  }
+  WriteTouched(w, *first_page_);
+  WriteTouched(w, *full_);
+  std::vector<std::pair<graph::NodeId, int64_t>> partial(partial_.begin(),
+                                                         partial_.end());
+  std::sort(partial.begin(), partial.end());
+  w.U64(partial.size());
+  for (const auto& [user, pages] : partial) {
+    w.I64(user);
+    w.I64(pages);
+  }
+}
+
+Status OsnClient::RestoreState(util::ByteReader& r) {
+  LABELRW_RETURN_IF_ERROR(config_status_);
+  LABELRW_RETURN_IF_ERROR(r.I64(&api_calls_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&distinct_fetched_));
+  int64_t now_us = 0;
+  LABELRW_RETURN_IF_ERROR(r.I64(&now_us));
+  if (now_us < clock_.now_us()) {
+    return FailedPreconditionError(
+        "OsnClient::RestoreState needs a fresh client: its clock is already "
+        "past the checkpointed instant");
+  }
+  clock_.AdvanceToUs(now_us);
+  LABELRW_RETURN_IF_ERROR(r.I64(&last_retry_after_us_));
+  int64_t pending_attempts = 0;
+  LABELRW_RETURN_IF_ERROR(r.I64(&pending_attempts));
+  pending_fault_attempts_ = static_cast<int>(pending_attempts);
+  LABELRW_RETURN_IF_ERROR(r.I64(&pending_deadline_us_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&effective_page_size_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&effective_batch_size_));
+  LABELRW_RETURN_IF_ERROR(ReadRngState(r, &fault_rng_));
+  LABELRW_RETURN_IF_ERROR(ReadRngState(r, &retry_rng_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.pages_fetched));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.batch_round_trips));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.transient_failures));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.retries));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.denied_requests));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.rate_limit_stalls));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.stalled_us));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.rate_limited_rejections));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.backoffs));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.backoff_us));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.deadline_exceeded));
+  LABELRW_RETURN_IF_ERROR(r.I64(&stats_.shape_drifts));
+  uint8_t has_limiter = 0;
+  LABELRW_RETURN_IF_ERROR(r.U8(&has_limiter));
+  if (has_limiter != 0) {
+    if (!limiter_.has_value()) {
+      return FailedPreconditionError(
+          "client checkpoint has rate-limiter state but this client has no "
+          "rate limit configured");
+    }
+    RateLimiter::State limiter;
+    LABELRW_RETURN_IF_ERROR(r.F64(&limiter.tokens));
+    LABELRW_RETURN_IF_ERROR(r.I64(&limiter.last_refill_us));
+    uint64_t window_len = 0;
+    LABELRW_RETURN_IF_ERROR(r.U64(&window_len));
+    limiter.window.resize(window_len);
+    for (uint64_t i = 0; i < window_len; ++i) {
+      LABELRW_RETURN_IF_ERROR(r.I64(&limiter.window[i]));
+    }
+    limiter_->RestoreState(limiter);
+  } else if (limiter_.has_value()) {
+    return FailedPreconditionError(
+        "client checkpoint has no rate-limiter state but this client has a "
+        "rate limit configured");
+  }
+  const int64_t num_users = transport_.num_users();
+  first_page_->Reset(num_users);
+  full_->Reset(num_users);
+  LABELRW_RETURN_IF_ERROR(ReadTouched(r, first_page_, num_users));
+  LABELRW_RETURN_IF_ERROR(ReadTouched(r, full_, num_users));
+  partial_.clear();
+  uint64_t partial_count = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&partial_count));
+  for (uint64_t i = 0; i < partial_count; ++i) {
+    int64_t user = 0;
+    int64_t pages = 0;
+    LABELRW_RETURN_IF_ERROR(r.I64(&user));
+    LABELRW_RETURN_IF_ERROR(r.I64(&pages));
+    if (user < 0 || user >= num_users || pages <= 0) {
+      return DataLossError("client checkpoint: bad partial-pagination entry");
+    }
+    partial_[user] = pages;
+  }
+  return Status::Ok();
 }
 
 }  // namespace labelrw::osn

@@ -34,6 +34,7 @@
 #include "osn/sim_clock.h"
 #include "osn/touched_set.h"
 #include "osn/transport.h"
+#include "util/serialize.h"
 
 namespace labelrw::osn {
 
@@ -64,6 +65,40 @@ struct FaultPolicy {
   Status Validate() const;
 };
 
+/// Adaptive retry for failed wire attempts. The default-constructed policy
+/// reproduces the legacy fixed loop bit-for-bit: FaultPolicy::retry_budget
+/// + 1 immediate attempts, no backoff, no deadline, and zero draws from the
+/// jitter stream — so existing runs, golden traces, and replay are
+/// untouched unless a field is set.
+struct RetryPolicy {
+  /// Total attempts per logical fetch. 0 = inherit the legacy
+  /// FaultPolicy::retry_budget + 1.
+  int max_attempts = 0;
+  /// Sim-clock sleep before the first retry; each further retry multiplies
+  /// it by backoff_multiplier (capped at max_backoff_us). 0 disables
+  /// backoff entirely.
+  int64_t initial_backoff_us = 0;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 60'000'000;
+  /// Jitter fraction in [0, 1): each sleep is scaled by a uniform factor in
+  /// [1 - jitter, 1 + jitter), drawn from a dedicated RNG stream (seeded
+  /// below) so enabling jitter never perturbs the estimator's sampling
+  /// stream or the fault stream. Deterministic across runs and checkpoints.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0xbacc0ffULL;
+  /// Per-logical-call deadline on the sim clock: once backoff sleeps (or
+  /// strict-mode stalls) push the clock this far past the first attempt,
+  /// the fetch fails with kDeadlineExceeded instead of retrying further.
+  /// 0 = no deadline.
+  int64_t call_deadline_us = 0;
+
+  bool enabled() const {
+    return max_attempts > 0 || initial_backoff_us > 0 || call_deadline_us > 0;
+  }
+
+  Status Validate() const;
+};
+
 /// Per-session wire diagnostics (distinct from the charged api_calls()).
 struct ClientStats {
   int64_t pages_fetched = 0;       // successful page fetches
@@ -74,6 +109,10 @@ struct ClientStats {
   int64_t rate_limit_stalls = 0;   // auto-wait sleeps taken by the limiter
   int64_t stalled_us = 0;          // sim time spent in those sleeps
   int64_t rate_limited_rejections = 0;  // strict-mode kRateLimited returns
+  int64_t backoffs = 0;            // retry backoff sleeps taken
+  int64_t backoff_us = 0;          // sim time spent backing off
+  int64_t deadline_exceeded = 0;   // fetches abandoned at their deadline
+  int64_t shape_drifts = 0;        // observed page/batch limit changes
 };
 
 class OsnClient final : public OsnApi {
@@ -157,6 +196,13 @@ class OsnClient final : public OsnApi {
   /// invalid policy poisons the session like an invalid FaultPolicy.
   void ConfigureRateLimit(const RateLimitPolicy& policy);
 
+  /// Installs an adaptive retry policy (backoff / jitter / deadline). Call
+  /// before the first request; reseeds the jitter stream. An invalid
+  /// policy poisons the session like an invalid FaultPolicy.
+  void ConfigureRetry(const RetryPolicy& policy);
+
+  const RetryPolicy& retry() const { return retry_; }
+
   /// The session's simulated timeline. Advances on every wire request (per
   /// RateLimitPolicy::per_call_latency_us) and on limiter waits; frozen
   /// while requests are served from the crawler cache.
@@ -182,21 +228,49 @@ class OsnClient final : public OsnApi {
   const ClientStats& stats() const { return stats_; }
   const CostModel& cost_model() const { return cost_model_; }
 
-  /// Pages a full friend-list fetch of a degree-`degree` user costs.
+  /// Pages a full friend-list fetch of a degree-`degree` user costs, under
+  /// the page size the API *currently* advertises (see ApiShape drift).
   int64_t PagesForFull(int64_t degree) const {
-    const int64_t p = cost_model_.page_size;
+    const int64_t p = effective_page_size_;
     if (p <= 0 || degree <= p) return 1;
     return (degree + p - 1) / p;
   }
 
+  /// The page/batch limits currently in effect (CostModel values unless the
+  /// transport's ApiShape overrides them).
+  int64_t effective_page_size() const { return effective_page_size_; }
+  int64_t effective_batch_size() const { return effective_batch_size_; }
+
+  // -------------------------------------------------------------------
+  // Durable checkpointing (estimators/checkpoint.h drives this).
+
+  /// Serializes the complete dynamic session state: accounting, stats,
+  /// cache membership, clock, limiter, RNG streams, and in-flight retry
+  /// state. Configuration (transport, CostModel, FaultPolicy, RetryPolicy,
+  /// RateLimitPolicy, budget) is NOT serialized — restore into a freshly
+  /// constructed client with identical configuration over the same backend.
+  void SaveState(util::ByteWriter& w) const;
+
+  /// Inverse of SaveState. The client must be freshly constructed (clock at
+  /// 0, no requests issued); kDataLoss on malformed payloads.
+  Status RestoreState(util::ByteReader& r);
+
  private:
   /// True when charging must walk pages one wire request at a time (faults
-  /// to draw, a limiter to consult, or a clock to tick) instead of taking
-  /// the bulk-charge fast path.
+  /// to draw, a limiter to consult, a clock to tick, or wire-level chaos to
+  /// observe) instead of taking the bulk-charge fast path.
   bool PerCallAccounting() const {
     return faults_.transient_error_rate > 0.0 || rate_policy_.enabled() ||
-           rate_policy_.per_call_latency_us > 0;
+           rate_policy_.per_call_latency_us > 0 || transport_.HasWireEffects();
   }
+
+  /// Re-reads the transport's advertised ApiShape and applies any drift
+  /// (invalidating pagination cursors on a page-size change). Called at
+  /// every public call boundary.
+  void RefreshShape();
+
+  /// Backoff sleep before retrying a fetch whose `attempt`-th try failed.
+  int64_t BackoffDelayUs(int attempt);
 
   /// Admits one wire request against the rate limiter and ticks the clock.
   /// auto_wait sleeps the clock until admission; strict mode returns
@@ -229,6 +303,8 @@ class OsnClient final : public OsnApi {
   Status config_status_;  // invalid FaultPolicy/RateLimitPolicy surfaces
                           // on every call
   Rng fault_rng_;
+  RetryPolicy retry_;
+  Rng retry_rng_;  // dedicated jitter stream
   RateLimitPolicy rate_policy_;
   std::optional<RateLimiter> limiter_;
   SimClock clock_;
@@ -236,6 +312,12 @@ class OsnClient final : public OsnApi {
   /// Failed attempts of the in-flight fetch when a strict-mode rejection
   /// interrupted it; the retried fetch resumes its retry budget there.
   int pending_fault_attempts_ = 0;
+  /// Absolute sim-clock deadline of the in-flight fetch, or -1 when none is
+  /// armed. Survives strict-mode interruptions like pending_fault_attempts_.
+  int64_t pending_deadline_us_ = -1;
+  /// Page/batch limits currently in effect (see RefreshShape).
+  int64_t effective_page_size_ = 0;
+  int64_t effective_batch_size_ = 1;
 
   int64_t api_calls_ = 0;
   int64_t distinct_fetched_ = 0;

@@ -222,6 +222,8 @@ Result<graph::NodeId> DynamicGraphTransport::SampleSeed(Rng& rng) const {
 Status Scenario::Validate() const {
   LABELRW_RETURN_IF_ERROR(faults.Validate());
   LABELRW_RETURN_IF_ERROR(rate_limit.Validate());
+  LABELRW_RETURN_IF_ERROR(chaos.Validate());
+  LABELRW_RETURN_IF_ERROR(retry.Validate());
   int64_t prev = std::numeric_limits<int64_t>::min();
   for (const GraphMutation& m : mutations) {
     if (m.at_us < prev) {

@@ -27,6 +27,7 @@
 
 #include "graph/graph.h"
 #include "graph/labels.h"
+#include "osn/chaos.h"
 #include "osn/client.h"
 #include "osn/sim_clock.h"
 #include "osn/transport.h"
@@ -143,6 +144,14 @@ struct Scenario {
   /// Mutation schedule, ascending in at_us. Non-empty schedules route the
   /// crawl through a per-session DynamicGraphTransport.
   std::vector<GraphMutation> mutations;
+  /// Clock-scheduled fault injection (osn/chaos.h): outage windows, error
+  /// bursts, API shape drift, degree-correlated privatization. Non-empty
+  /// schedules wrap the crawl's transport in a per-session ChaosTransport.
+  FaultSchedule chaos;
+  /// Adaptive retry for transient wire errors. The default policy is
+  /// bit-identical to the legacy fixed loop driven by faults.retry_budget;
+  /// presets with chaos outages set backoff so crawls ride them out.
+  RetryPolicy retry;
   /// Run every walker with the kPermissionDenied detour policy (a private
   /// neighbor is a rejected proposal; see rw::WalkParams::detour_on_denied
   /// for the bias note). Required for full estimator sweeps whenever
@@ -152,6 +161,7 @@ struct Scenario {
   bool walker_detour = false;
 
   bool needs_dynamic_transport() const { return !mutations.empty(); }
+  bool has_chaos() const { return !chaos.empty(); }
 
   Status Validate() const;
 };

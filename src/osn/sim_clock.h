@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "util/status.h"
 
@@ -89,6 +90,23 @@ class RateLimiter {
   /// microseconds until the earliest instant a retry will be admitted
   /// (always >= 1 when rejected).
   int64_t TryAcquire(int64_t now_us);
+
+  /// Complete dynamic limiter state, for durable session checkpoints. The
+  /// policy itself is configuration and is NOT part of the state; restoring
+  /// into a limiter built from a different policy is the caller's bug.
+  struct State {
+    double tokens = 0.0;
+    int64_t last_refill_us = 0;
+    std::vector<int64_t> window;
+  };
+  State SaveState() const {
+    return {tokens_, last_refill_us_, {window_.begin(), window_.end()}};
+  }
+  void RestoreState(const State& state) {
+    tokens_ = state.tokens;
+    last_refill_us_ = state.last_refill_us;
+    window_.assign(state.window.begin(), state.window.end());
+  }
 
  private:
   RateLimitPolicy policy_;

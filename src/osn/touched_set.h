@@ -51,6 +51,16 @@ class TouchedSet {
 
   int64_t capacity() const { return static_cast<int64_t>(stamps_.size()); }
 
+  /// Visits every present id in ascending order. Used by the checkpoint
+  /// layer to serialize cache membership; ascending order makes the
+  /// serialized bytes deterministic.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < stamps_.size(); ++i) {
+      if (stamps_[i] == epoch_) fn(static_cast<int64_t>(i));
+    }
+  }
+
  private:
   std::vector<uint32_t> stamps_;
   uint32_t epoch_ = 0;  // valid only after Reset

@@ -43,6 +43,15 @@ struct UserRecord {
   std::span<const graph::Label> labels;
 };
 
+/// The API surface parameters the backend currently advertises. A value
+/// <= 0 means "no override": OsnClient keeps using its configured
+/// CostModel value. ChaosTransport uses this to model mid-crawl API shape
+/// drift (a platform shrinking its page size or batch limit under load).
+struct ApiShape {
+  int64_t page_size = 0;
+  int64_t batch_size = 0;
+};
+
 /// Abstract uncharged backend. Implementations must keep returned spans
 /// valid for their own lifetime and must be thread-compatible (const after
 /// construction); all mutable per-crawl state lives in OsnClient.
@@ -70,6 +79,25 @@ class Transport {
   /// stable fully-populated CSR (e.g. a mutating DynamicGraphTransport).
   /// OsnClient forwards this to its batched drivers.
   virtual const graph::Graph* FastGraphView() const { return nullptr; }
+
+  /// Wire-level health probe, consulted by OsnClient once per *charged*
+  /// wire call (after rate-limit admission, before the fault-policy draw).
+  /// A non-OK result fails that attempt exactly like a FaultPolicy
+  /// transient error: it is charged per charge_failed_attempts, consumes a
+  /// retry attempt, and backoff applies. ChaosTransport implements outage
+  /// windows and error bursts here; data backends return OK.
+  virtual Status WireCheck() const { return Status::Ok(); }
+
+  /// The API shape the backend currently advertises (see ApiShape).
+  /// OsnClient refreshes its effective page/batch size from this at every
+  /// public call boundary, so drift takes effect deterministically at the
+  /// sim-clock instant the schedule names.
+  virtual ApiShape CurrentShape() const { return {}; }
+
+  /// True when WireCheck can ever fail. OsnClient ORs this into its
+  /// PerCallAccounting decision so chaos faults are observed per wire call
+  /// even when the bulk charging fast path would otherwise apply.
+  virtual bool HasWireEffects() const { return false; }
 };
 
 }  // namespace labelrw::osn

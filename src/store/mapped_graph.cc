@@ -162,6 +162,7 @@ MappedGraph::~MappedGraph() {
 MappedGraph::MappedGraph(MappedGraph&& other) noexcept
     : map_(std::exchange(other.map_, nullptr)),
       map_bytes_(std::exchange(other.map_bytes_, 0)),
+      path_(std::move(other.path_)),
       header_(other.header_),
       graph_(std::move(other.graph_)),
       labels_(std::move(other.labels_)),
@@ -172,12 +173,32 @@ MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
     if (map_ != nullptr) ::munmap(map_, map_bytes_);
     map_ = std::exchange(other.map_, nullptr);
     map_bytes_ = std::exchange(other.map_bytes_, 0);
+    path_ = std::move(other.path_);
     header_ = other.header_;
     graph_ = std::move(other.graph_);
     labels_ = std::move(other.labels_);
     remap_ = std::exchange(other.remap_, {});
   }
   return *this;
+}
+
+Status MappedGraph::CheckIntact() const {
+  if (map_ == nullptr) {
+    return FailedPreconditionError("CheckIntact: no store is mapped");
+  }
+  struct stat st {};
+  if (::stat(path_.c_str(), &st) != 0) {
+    return DataLossError("store '" + path_ + "' vanished under its mapping: " +
+                         std::strerror(errno));
+  }
+  if (static_cast<uint64_t>(st.st_size) < map_bytes_) {
+    return DataLossError(
+        "store '" + path_ + "' was truncated under its mapping (" +
+        std::to_string(st.st_size) + " bytes on disk, " +
+        std::to_string(map_bytes_) +
+        " mapped); re-create the snapshot and re-open it");
+  }
+  return Status::Ok();
 }
 
 Result<MappedGraph> MappedGraph::Open(const std::string& path,
@@ -208,11 +229,20 @@ Result<MappedGraph> MappedGraph::Open(const std::string& path,
   MappedGraph mapped;
   mapped.map_ = map;
   mapped.map_bytes_ = static_cast<size_t>(file_bytes);
+  mapped.path_ = path;
+  // The fd is closed but the mapping lives on; if the file shrank between
+  // the fstat above and here (snapshot replaced mid-publish), touching the
+  // vanished pages would SIGBUS. Re-stat by path so the race surfaces as a
+  // named kDataLoss error before the first dereference.
+  LABELRW_RETURN_IF_ERROR(mapped.CheckIntact());
   std::memcpy(&mapped.header_, map, sizeof(StoreHeader));
   LABELRW_RETURN_IF_ERROR(ValidateHeader(mapped.header_, file_bytes, path));
   ApplyMapAdvice(map, mapped.map_bytes_, mapped.header_, options, path);
 
   if (options.verify_section_checksums) {
+    // The checksum pass reads every mapped page; verify the file still
+    // backs them all first (same SIGBUS hazard as above, bigger window).
+    LABELRW_RETURN_IF_ERROR(mapped.CheckIntact());
     for (uint32_t s = 0; s < kNumSections; ++s) {
       const SectionDesc& desc = mapped.header_.sections[s];
       const uint64_t actual = Fnv1a64(

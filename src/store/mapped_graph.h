@@ -92,9 +92,19 @@ class MappedGraph {
   const StoreHeader& header() const { return header_; }
   int64_t file_bytes() const { return static_cast<int64_t>(map_bytes_); }
 
+  /// Re-stats the backing file and fails with kDataLoss if it shrank below
+  /// the mapped size since Open. A mapping over a truncated file SIGBUSes
+  /// on the first touch of a vanished page — an uncatchable crash, not an
+  /// error — so Open runs this before its own header/checksum reads, and
+  /// callers that cannot trust the file's stability (live snapshot
+  /// replacement) should run it before deep reads. Best-effort by nature:
+  /// a truncation racing the subsequent reads can still fault.
+  Status CheckIntact() const;
+
  private:
   void* map_ = nullptr;
   size_t map_bytes_ = 0;
+  std::string path_;  // for CheckIntact's re-stat
   StoreHeader header_{};  // copied out of the mapping at open
   graph::Graph graph_;
   graph::LabelStore labels_;

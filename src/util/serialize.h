@@ -1,0 +1,163 @@
+// ByteWriter / ByteReader: tiny little-endian binary (de)serialization
+// helpers used by the durable-checkpoint layer (estimators/checkpoint.h).
+//
+// Design goals, in order:
+//   1. Bit-exactness. Doubles round-trip through std::bit_cast to uint64_t,
+//      so a restored estimator reproduces the exact accumulator bits of the
+//      run that wrote the checkpoint.
+//   2. Portability of the byte stream. All integers are written little-endian
+//      regardless of host order, matching the store snapshot format.
+//   3. Fail-closed reads. Every Read* returns a Status; a truncated buffer
+//      surfaces kDataLoss instead of reading past the end.
+//
+// This header is intentionally independent of store/format.h so the
+// estimator layer does not grow a dependency on the store; the FNV-1a
+// implementation here matches store::Fnv1a64 bit-for-bit by construction
+// (same offset basis / prime).
+
+#ifndef LABELRW_UTIL_SERIALIZE_H_
+#define LABELRW_UTIL_SERIALIZE_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace labelrw::util {
+
+/// FNV-1a 64-bit over an arbitrary byte range. Used to checksum checkpoint
+/// payloads; deliberately the same parameters as store::Fnv1a64 so tooling
+/// can verify either format with one implementation.
+inline uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Append-only little-endian encoder over a std::string buffer.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+  /// Exact-bit double encoding.
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+  void Bytes(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  void Str(std::string_view s) {
+    U64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range. The
+/// underlying buffer must outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* out) {
+    LABELRW_RETURN_IF_ERROR(Need(1));
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status U32(uint32_t* out) {
+    LABELRW_RETURN_IF_ERROR(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status U64(uint64_t* out) {
+    LABELRW_RETURN_IF_ERROR(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status I64(int64_t* out) {
+    uint64_t v = 0;
+    LABELRW_RETURN_IF_ERROR(U64(&v));
+    *out = static_cast<int64_t>(v);
+    return Status::Ok();
+  }
+
+  Status F64(double* out) {
+    uint64_t v = 0;
+    LABELRW_RETURN_IF_ERROR(U64(&v));
+    *out = std::bit_cast<double>(v);
+    return Status::Ok();
+  }
+
+  Status Str(std::string* out) {
+    uint64_t n = 0;
+    LABELRW_RETURN_IF_ERROR(U64(&n));
+    LABELRW_RETURN_IF_ERROR(Need(n));
+    out->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  /// Remaining unread bytes.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(uint64_t n) const {
+    if (n > data_.size() - pos_) {
+      return DataLossError(
+          "serialized payload truncated: needed " + std::to_string(n) +
+          " bytes at offset " + std::to_string(pos_) + " but only " +
+          std::to_string(data_.size() - pos_) + " remain");
+    }
+    return Status::Ok();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace labelrw::util
+
+#endif  // LABELRW_UTIL_SERIALIZE_H_

@@ -25,6 +25,12 @@ namespace labelrw {
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument = 3,
+  /// A per-call deadline elapsed before the operation could complete —
+  /// typically an adaptive-retry loop (osn::RetryPolicy) whose backoff
+  /// sleeps pushed the sim clock past the call deadline during an outage.
+  /// Distinct from kUnavailable (retry *attempts* exhausted) so callers can
+  /// tell backoff exhaustion from a hard server error.
+  kDeadlineExceeded = 4,
   kNotFound = 5,
   kPermissionDenied = 7,
   kOutOfRange = 11,
@@ -33,6 +39,11 @@ enum class StatusCode {
   kUnimplemented = 12,
   kInternal = 13,
   kUnavailable = 14,
+  /// Unrecoverable loss or corruption of durable data: a store snapshot
+  /// truncated underneath its mapping, a checkpoint file whose checksum no
+  /// longer matches. The payload cannot be trusted; the caller must rebuild
+  /// from the original source (re-convert / re-run).
+  kDataLoss = 15,
   /// labelrw extension (outside the gRPC code space): the OSN's rate
   /// limiter rejected the request. Unlike kResourceExhausted (hard budget,
   /// permanent for the session) and kUnavailable (transient error that
@@ -84,6 +95,8 @@ Status InternalError(std::string message);
 Status PermissionDeniedError(std::string message);
 Status UnavailableError(std::string message);
 Status RateLimitedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status DataLossError(std::string message);
 
 /// Value-or-Status. Accessing value() on an error aborts the process (the
 /// caller is expected to check ok() or use LABELRW_ASSIGN_OR_RETURN).

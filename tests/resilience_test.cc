@@ -1,0 +1,672 @@
+// Crash-safe crawl resilience: kill-and-resume bit-identity for every
+// algorithm on both backends, durable sweep halt/resume, deterministic
+// chaos schedules (outages, bursts, shape drift, privatization), adaptive
+// retry/deadline semantics, checkpoint-file corruption handling, and the
+// mapped-store truncation guard.
+//
+// The central contract under test: a crawl checkpointed mid-run, torn
+// down, rebuilt from an identically configured fresh stack, and resumed,
+// must land bit-identically to the uninterrupted run — same estimate
+// bits, same charge ledger, same sim clock, same wire trace.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "estimators/checkpoint.h"
+#include "estimators/estimator.h"
+#include "estimators/session.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "osn/chaos.h"
+#include "osn/client.h"
+#include "osn/local_api.h"
+#include "osn/record_replay.h"
+#include "osn/scenario.h"
+#include "store/mapped_graph.h"
+#include "store/store_transport.h"
+#include "store/store_writer.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = TempPath(name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume bit-identity, all ten algorithms x both backends.
+
+struct ResilienceFixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  graph::TargetLabel target{0, 1};
+  osn::CostModel cost_model;
+  osn::FaultPolicy faults;
+  estimators::EstimateOptions options;
+
+  static ResilienceFixture Make() {
+    ResilienceFixture f;
+    f.graph = testing::RandomConnectedGraph(200, 600, 0x5e11);
+    f.labels = testing::RandomLabels(200, 2, 0x5e12);
+    // Pagination + transient faults so the checkpoint has to carry real
+    // client state (pagination cursors, fault RNG, cache, retries).
+    f.cost_model.page_size = 7;
+    f.faults.transient_error_rate = 0.05;
+    f.faults.retry_budget = 4;
+    f.options.api_budget = 60;
+    f.options.burn_in = 20;
+    f.options.seed = 0xbeef;
+    return f;
+  }
+};
+
+struct RunOutcome {
+  estimators::EstimateResult snapshot;
+  int64_t api_calls = 0;
+  int64_t clock_us = 0;
+  osn::ClientStats stats;
+  std::deque<osn::TraceEvent> events;
+};
+
+void ExpectSameOutcome(const RunOutcome& got, const RunOutcome& want) {
+  EXPECT_EQ(got.snapshot.estimate, want.snapshot.estimate);
+  EXPECT_EQ(got.snapshot.api_calls, want.snapshot.api_calls);
+  EXPECT_EQ(got.snapshot.iterations, want.snapshot.iterations);
+  EXPECT_EQ(got.snapshot.samples_used, want.snapshot.samples_used);
+  EXPECT_EQ(got.api_calls, want.api_calls);
+  EXPECT_EQ(got.clock_us, want.clock_us);
+  EXPECT_EQ(got.stats.pages_fetched, want.stats.pages_fetched);
+  EXPECT_EQ(got.stats.transient_failures, want.stats.transient_failures);
+  EXPECT_EQ(got.stats.retries, want.stats.retries);
+  EXPECT_EQ(got.stats.backoffs, want.stats.backoffs);
+  EXPECT_EQ(got.stats.backoff_us, want.stats.backoff_us);
+  ASSERT_EQ(got.events.size(), want.events.size());
+  for (size_t i = 0; i < got.events.size(); ++i) {
+    const osn::TraceEvent& a = got.events[i];
+    const osn::TraceEvent& b = want.events[i];
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.user, b.user) << "event " << i;
+    EXPECT_EQ(a.status, b.status) << "event " << i;
+    EXPECT_EQ(a.degree, b.degree) << "event " << i;
+    EXPECT_EQ(a.neighbors, b.neighbors) << "event " << i;
+    EXPECT_EQ(a.labels, b.labels) << "event " << i;
+    EXPECT_EQ(a.seed, b.seed) << "event " << i;
+    EXPECT_EQ(a.calls_at, b.calls_at) << "event " << i;
+    EXPECT_EQ(a.clock_us_at, b.clock_us_at) << "event " << i;
+  }
+}
+
+/// Runs `algorithm` over `backend` uninterrupted, journaling every wire
+/// call, and returns the full outcome.
+void RunUninterrupted(const ResilienceFixture& f,
+                      const osn::Transport& backend,
+                      estimators::AlgorithmId algorithm, RunOutcome* out) {
+  osn::RecordingTransport recorder(backend);
+  osn::OsnClient client(recorder, f.cost_model, f.faults);
+  recorder.AttachMeters(&client, &client.clock());
+  ASSERT_OK_AND_ASSIGN(auto session,
+                       estimators::EstimatorSession::Create(
+                           algorithm, client, f.target,
+                           backend.TransportPriors(), f.options));
+  ASSERT_OK(session->Run());
+  ASSERT_OK_AND_ASSIGN(out->snapshot, session->Snapshot());
+  out->api_calls = client.api_calls();
+  out->clock_us = client.clock().now_us();
+  out->stats = client.stats();
+  out->events = recorder.trace().events;
+}
+
+/// Runs partway, serializes, tears the whole stack down, rebuilds a fresh
+/// identically configured stack, restores, and finishes. The stitched
+/// trace (pre-kill events + post-resume events) must equal the
+/// uninterrupted one.
+void RunKilledAndResumed(const ResilienceFixture& f,
+                         const osn::Transport& backend,
+                         estimators::AlgorithmId algorithm, RunOutcome* out) {
+  std::string payload;
+  {
+    osn::RecordingTransport recorder(backend);
+    osn::OsnClient client(recorder, f.cost_model, f.faults);
+    recorder.AttachMeters(&client, &client.clock());
+    ASSERT_OK_AND_ASSIGN(auto session,
+                         estimators::EstimatorSession::Create(
+                             algorithm, client, f.target,
+                             backend.TransportPriors(), f.options));
+    ASSERT_OK_AND_ASSIGN(const int64_t stepped, session->Step(4));
+    (void)stepped;
+    payload = estimators::SerializeSessionState(*session, &client);
+    out->events = recorder.trace().events;
+    // Stack torn down here: the only thing that survives is `payload`.
+  }
+  osn::RecordingTransport recorder(backend);
+  osn::OsnClient client(recorder, f.cost_model, f.faults);
+  recorder.AttachMeters(&client, &client.clock());
+  ASSERT_OK_AND_ASSIGN(auto session,
+                       estimators::EstimatorSession::Create(
+                           algorithm, client, f.target,
+                           backend.TransportPriors(), f.options));
+  ASSERT_OK(estimators::RestoreSessionState(payload, session.get(), &client));
+  ASSERT_OK(session->Run());
+  ASSERT_OK_AND_ASSIGN(out->snapshot, session->Snapshot());
+  out->api_calls = client.api_calls();
+  out->clock_us = client.clock().now_us();
+  out->stats = client.stats();
+  for (const osn::TraceEvent& e : recorder.trace().events) {
+    out->events.push_back(e);
+  }
+}
+
+TEST(KillResumeTest, BitIdenticalOnAllTenAlgorithmsInMemory) {
+  const ResilienceFixture f = ResilienceFixture::Make();
+  const osn::LocalGraphApi backend(f.graph, f.labels);
+  for (const auto algorithm : estimators::AllAlgorithms()) {
+    SCOPED_TRACE(estimators::AlgorithmName(algorithm));
+    RunOutcome full, resumed;
+    RunUninterrupted(f, backend, algorithm, &full);
+    RunKilledAndResumed(f, backend, algorithm, &resumed);
+    ExpectSameOutcome(resumed, full);
+  }
+}
+
+TEST(KillResumeTest, BitIdenticalOnAllTenAlgorithmsStoreBacked) {
+  const ResilienceFixture f = ResilienceFixture::Make();
+  const std::string path = TempPath("labelrw_resilience_store.lrw");
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, path));
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+  const store::StoreTransport backend(mapped);
+  for (const auto algorithm : estimators::AllAlgorithms()) {
+    SCOPED_TRACE(estimators::AlgorithmName(algorithm));
+    RunOutcome full, resumed;
+    RunUninterrupted(f, backend, algorithm, &full);
+    RunKilledAndResumed(f, backend, algorithm, &resumed);
+    ExpectSameOutcome(resumed, full);
+  }
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume under a full chaos schedule: the checkpoint must carry
+// the retry RNG, the backoff/clock trajectory, and the chaos wire-call
+// ordinal, or the resumed burst/backoff decisions diverge.
+
+TEST(KillResumeTest, BitIdenticalUnderChaosRetryAndRateLimit) {
+  ResilienceFixture f = ResilienceFixture::Make();
+  f.options.detour_on_denied = true;  // privatization below
+  f.options.api_budget = 50;
+
+  osn::FaultSchedule schedule;
+  schedule.outages.push_back({20'000, 28'000});
+  schedule.bursts.push_back({40'000, 70'000, 0.3});
+  schedule.drifts.push_back({30'000, /*page_size=*/5, /*batch_size=*/0});
+  schedule.privatizations.push_back({45'000, /*min_degree=*/40});
+
+  osn::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.initial_backoff_us = 2'000;
+  retry.jitter = 0.25;
+
+  osn::RateLimitPolicy rate_limit;
+  rate_limit.requests_per_sec = 500.0;
+  rate_limit.bucket_capacity = 20;
+  rate_limit.per_call_latency_us = 1'000;
+
+  const osn::LocalGraphApi inner(f.graph, f.labels);
+  const auto algorithm = estimators::AlgorithmId::kNeighborExplorationRW;
+
+  auto run = [&](bool kill, RunOutcome* out) {
+    std::string payload;
+    if (kill) {
+      osn::ChaosTransport chaos(inner, schedule);
+      osn::OsnClient client(chaos, f.cost_model, f.faults);
+      client.ConfigureRetry(retry);
+      client.ConfigureRateLimit(rate_limit);
+      chaos.AttachClock(&client.clock());
+      ASSERT_OK_AND_ASSIGN(auto session,
+                           estimators::EstimatorSession::Create(
+                               algorithm, client, f.target, inner.Priors(),
+                               f.options));
+      ASSERT_OK_AND_ASSIGN(const int64_t stepped, session->Step(6));
+      (void)stepped;
+      payload = estimators::SerializeSessionState(*session, &client, &chaos);
+    }
+    osn::ChaosTransport chaos(inner, schedule);
+    osn::OsnClient client(chaos, f.cost_model, f.faults);
+    client.ConfigureRetry(retry);
+    client.ConfigureRateLimit(rate_limit);
+    chaos.AttachClock(&client.clock());
+    ASSERT_OK_AND_ASSIGN(auto session,
+                         estimators::EstimatorSession::Create(
+                             algorithm, client, f.target, inner.Priors(),
+                             f.options));
+    if (kill) {
+      ASSERT_OK(estimators::RestoreSessionState(payload, session.get(),
+                                                &client, &chaos));
+    }
+    ASSERT_OK(session->Run());
+    ASSERT_OK_AND_ASSIGN(out->snapshot, session->Snapshot());
+    out->api_calls = client.api_calls();
+    out->clock_us = client.clock().now_us();
+    out->stats = client.stats();
+  };
+
+  RunOutcome full, resumed;
+  run(/*kill=*/false, &full);
+  run(/*kill=*/true, &resumed);
+  ExpectSameOutcome(resumed, full);
+  // The schedule actually bit: the crawl retried through the outage window
+  // and saw the page-size drift.
+  EXPECT_GT(full.stats.backoffs, 0);
+  EXPECT_GT(full.stats.shape_drifts, 0);
+  EXPECT_EQ(full.stats.shape_drifts, resumed.stats.shape_drifts);
+}
+
+// ---------------------------------------------------------------------------
+// Durable sweeps: halt mid-run, resume over the same directory, land
+// bit-identically to an uninterrupted sweep with no checkpointing at all.
+
+struct SweepFixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  graph::TargetLabel target{0, 1};
+
+  static SweepFixture Make(uint64_t seed, int64_t n = 300) {
+    SweepFixture f;
+    f.graph = testing::RandomConnectedGraph(n, 3 * n, seed);
+    f.labels = testing::RandomLabels(n, 2, seed + 1);
+    return f;
+  }
+};
+
+eval::SweepConfig SmallSweepConfig(eval::SweepProtocol protocol) {
+  eval::SweepConfig config;
+  config.sample_fractions = {0.05, 0.1};
+  config.reps = 3;
+  config.threads = 2;
+  config.seed = 77;
+  config.burn_in = 20;
+  config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
+                       estimators::AlgorithmId::kExRW};
+  config.protocol = protocol;
+  return config;
+}
+
+std::string RenderAll(const eval::SweepResult& result) {
+  return eval::ToCsv(result, "resilience", "(0,1)").ToString() + "\n" +
+         eval::RenderPaperTable(result, "resilience");
+}
+
+TEST(DurableSweepTest, HaltAndResumeLandsBitIdentically) {
+  const SweepFixture f = SweepFixture::Make(41);
+  for (const eval::SweepProtocol protocol :
+       {eval::SweepProtocol::kIndependentRuns,
+        eval::SweepProtocol::kPrefixBudget}) {
+    SCOPED_TRACE(eval::SweepProtocolName(protocol));
+    const eval::SweepConfig plain = SmallSweepConfig(protocol);
+    ASSERT_OK_AND_ASSIGN(const eval::SweepResult reference,
+                         eval::RunSweep(f.graph, f.labels, f.target, plain));
+
+    const std::string dir = TempDir("labelrw_sweep_ckpt");
+    eval::SweepConfig killed = plain;
+    killed.checkpoint_dir = dir;
+    killed.checkpoint_every_steps = 8;  // force mid-task partial checkpoints
+    killed.halt_after_tasks = 3;
+    ASSERT_OK_AND_ASSIGN(const eval::SweepResult halted,
+                         eval::RunSweep(f.graph, f.labels, f.target, killed));
+    EXPECT_TRUE(halted.halted);
+    EXPECT_GE(halted.completed_tasks, 3);
+
+    eval::SweepConfig resumed = killed;
+    resumed.halt_after_tasks = -1;
+    ASSERT_OK_AND_ASSIGN(
+        const eval::SweepResult finished,
+        eval::RunSweep(f.graph, f.labels, f.target, resumed));
+    EXPECT_FALSE(finished.halted);
+    EXPECT_GT(finished.resumed_tasks, 0);
+    EXPECT_EQ(RenderAll(finished), RenderAll(reference));
+
+    // Idempotent: a third run replays every completed record and changes
+    // nothing.
+    ASSERT_OK_AND_ASSIGN(
+        const eval::SweepResult replayed,
+        eval::RunSweep(f.graph, f.labels, f.target, resumed));
+    EXPECT_EQ(replayed.resumed_tasks, replayed.completed_tasks);
+    EXPECT_EQ(RenderAll(replayed), RenderAll(reference));
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(DurableSweepTest, CheckpointConfigIsValidated) {
+  const SweepFixture f = SweepFixture::Make(42, 120);
+  eval::SweepConfig config =
+      SmallSweepConfig(eval::SweepProtocol::kIndependentRuns);
+  config.checkpoint_dir = TempDir("labelrw_sweep_ckpt_invalid");
+  config.walk_batch_size = 8;  // co-scheduled lanes are not checkpointable
+  const auto batch = eval::RunSweep(f.graph, f.labels, f.target, config);
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+
+  config.walk_batch_size = 0;
+  config.checkpoint_dir.clear();
+  config.halt_after_tasks = 2;  // halting requires a durable directory
+  const auto halt = eval::RunSweep(f.graph, f.labels, f.target, config);
+  EXPECT_FALSE(halt.ok());
+  EXPECT_EQ(halt.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos scenarios through the sweep harness: determinism of the full fault
+// plan, and graceful degradation under a persistent outage.
+
+TEST(ChaosSweepTest, OutageScheduleIsDeterministicAndSurvivable) {
+  const SweepFixture f = SweepFixture::Make(43);
+  eval::SweepConfig config =
+      SmallSweepConfig(eval::SweepProtocol::kIndependentRuns);
+
+  osn::Scenario scenario;
+  scenario.name = "chaos-outage";
+  scenario.rate_limit.requests_per_sec = 1000.0;
+  scenario.rate_limit.bucket_capacity = 50;
+  scenario.rate_limit.per_call_latency_us = 2'000;
+  // Permanent outage from 30ms of sim time on: every crawl eventually dies
+  // with retries exhausted and must contribute its anytime estimate.
+  scenario.chaos.outages.push_back({30'000, 1'000'000'000'000});
+  scenario.retry.max_attempts = 3;
+  scenario.retry.initial_backoff_us = 1'000;
+
+  std::string reference;
+  for (int run = 0; run < 2; ++run) {
+    eval::ScenarioTelemetry telemetry;
+    ASSERT_OK_AND_ASSIGN(
+        const eval::SweepResult result,
+        eval::RunScenarioSweep(f.graph, f.labels, f.target, config, scenario,
+                               {}, &telemetry));
+    // Dead crawls degraded to their anytime estimates instead of failing
+    // the sweep.
+    EXPECT_GT(result.degraded_cells + result.aborted_cells, 0);
+    EXPECT_GT(telemetry.backoffs, 0);
+    const std::string rendered =
+        RenderAll(result) + "\ndegraded=" +
+        std::to_string(result.degraded_cells) + " aborted=" +
+        std::to_string(result.aborted_cells) + " staleness=" +
+        std::to_string(result.mean_staleness);
+    if (reference.empty()) {
+      reference = rendered;
+    } else {
+      EXPECT_EQ(rendered, reference);
+    }
+  }
+}
+
+TEST(ChaosSweepTest, ShapeDriftIsDeterministic) {
+  const SweepFixture f = SweepFixture::Make(44);
+  eval::SweepConfig config =
+      SmallSweepConfig(eval::SweepProtocol::kIndependentRuns);
+
+  osn::Scenario scenario;
+  scenario.name = "chaos-drift";
+  scenario.cost_model.page_size = 25;
+  scenario.rate_limit.requests_per_sec = 1000.0;
+  scenario.rate_limit.bucket_capacity = 50;
+  scenario.rate_limit.per_call_latency_us = 1'000;
+  scenario.chaos.drifts.push_back({10'000, /*page_size=*/6, /*batch_size=*/0});
+  scenario.chaos.bursts.push_back({15'000, 25'000, 0.2});
+  scenario.retry.max_attempts = 8;
+  scenario.retry.initial_backoff_us = 500;
+
+  std::string reference;
+  for (int run = 0; run < 2; ++run) {
+    eval::ScenarioTelemetry telemetry;
+    ASSERT_OK_AND_ASSIGN(
+        const eval::SweepResult result,
+        eval::RunScenarioSweep(f.graph, f.labels, f.target, config, scenario,
+                               {}, &telemetry));
+    EXPECT_GT(telemetry.shape_drifts, 0);
+    const std::string rendered = RenderAll(result) + "\ndrifts=" +
+                                 std::to_string(telemetry.shape_drifts) +
+                                 " retries=" +
+                                 std::to_string(telemetry.retries);
+    if (reference.empty()) {
+      reference = rendered;
+    } else {
+      EXPECT_EQ(rendered, reference);
+    }
+  }
+}
+
+TEST(ChaosSweepTest, ChaosPresetsParseAndValidate) {
+  for (const std::string& name : osn::ChaosNames()) {
+    SCOPED_TRACE(name);
+    ASSERT_OK_AND_ASSIGN(const osn::FaultSchedule schedule,
+                         osn::ChaosFromName(name));
+    EXPECT_OK(schedule.Validate());
+  }
+  EXPECT_FALSE(osn::ChaosFromName("no-such-preset").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive retry: per-call deadlines surface the dedicated status code.
+
+TEST(RetryPolicyTest, DeadlineExceededSurfacesWhileBackingOff) {
+  const ResilienceFixture f = ResilienceFixture::Make();
+  osn::FaultSchedule schedule;
+  schedule.outages.push_back({0, 1'000'000'000'000});  // dead from the start
+
+  osn::RetryPolicy retry;
+  retry.max_attempts = 10;
+  retry.initial_backoff_us = 2'000;
+  retry.call_deadline_us = 5'000;
+
+  osn::RateLimitPolicy rate_limit;
+  rate_limit.requests_per_sec = 1000.0;
+  rate_limit.bucket_capacity = 50;
+  rate_limit.per_call_latency_us = 1'000;
+
+  const osn::LocalGraphApi inner(f.graph, f.labels);
+  osn::ChaosTransport chaos(inner, schedule);
+  osn::OsnClient client(chaos, f.cost_model, f.faults);
+  client.ConfigureRetry(retry);
+  client.ConfigureRateLimit(rate_limit);
+  chaos.AttachClock(&client.clock());
+
+  const auto neighbors = client.GetNeighbors(0);
+  ASSERT_FALSE(neighbors.ok());
+  EXPECT_EQ(neighbors.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(client.stats().deadline_exceeded, 0);
+  EXPECT_GT(client.stats().backoffs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-file corruption: the loader fails closed with named errors
+// and a re-run hint, never resuming from garbage (satellite of the
+// envelope contract; mirrors io_fuzzish_test.cc for the text loaders).
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    f_ = ResilienceFixture::Make();
+    backend_ = std::make_unique<osn::LocalGraphApi>(f_.graph, f_.labels);
+    client_ = std::make_unique<osn::OsnClient>(*backend_, f_.cost_model,
+                                               f_.faults);
+    auto session = estimators::EstimatorSession::Create(
+        estimators::AlgorithmId::kExRW, *client_, f_.target,
+        backend_->Priors(), f_.options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    session_ = std::move(*session);
+    ASSERT_TRUE(session_->Step(5).ok());
+    path_ = TempPath("labelrw_ckpt_fuzz.ckpt");
+    ASSERT_TRUE(
+        estimators::SaveSessionCheckpoint(path_, *session_, client_.get())
+            .ok());
+  }
+
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string ReadFile() {
+    std::ifstream in(path_, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    return contents;
+  }
+
+  void WriteFile(const std::string& contents) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+
+  ResilienceFixture f_;
+  std::unique_ptr<osn::LocalGraphApi> backend_;
+  std::unique_ptr<osn::OsnClient> client_;
+  std::unique_ptr<estimators::EstimatorSession> session_;
+  std::string path_;
+};
+
+TEST_F(CheckpointFileTest, RoundTripsWhenIntact) {
+  ASSERT_OK_AND_ASSIGN(const std::string payload,
+                       estimators::ReadCheckpointFile(path_));
+  EXPECT_FALSE(payload.empty());
+  osn::OsnClient fresh_client(*backend_, f_.cost_model, f_.faults);
+  ASSERT_OK_AND_ASSIGN(auto fresh,
+                       estimators::EstimatorSession::Create(
+                           estimators::AlgorithmId::kExRW, fresh_client,
+                           f_.target, backend_->Priors(), f_.options));
+  EXPECT_OK(estimators::RestoreSessionCheckpoint(path_, fresh.get(),
+                                                 &fresh_client));
+  EXPECT_EQ(fresh->iterations(), session_->iterations());
+}
+
+TEST_F(CheckpointFileTest, MissingFileIsNotFound) {
+  const auto missing =
+      estimators::ReadCheckpointFile(TempPath("labelrw_no_such.ckpt"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointFileTest, TruncationIsDataLossWithRerunHint) {
+  const std::string intact = ReadFile();
+  // Every truncation point — inside the header, at the payload boundary,
+  // and mid-payload — must fail closed.
+  for (const size_t keep :
+       {size_t{0}, size_t{5}, size_t{27}, size_t{28}, intact.size() - 1}) {
+    SCOPED_TRACE(keep);
+    WriteFile(intact.substr(0, keep));
+    const auto read = estimators::ReadCheckpointFile(path_);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(read.status().message().find("re-run"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointFileTest, PayloadCorruptionIsDataLoss) {
+  std::string corrupt = ReadFile();
+  corrupt[corrupt.size() / 2] ^= 0x40;  // flip one payload bit
+  WriteFile(corrupt);
+  const auto read = estimators::ReadCheckpointFile(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointFileTest, FutureVersionIsFailedPreconditionWithHint) {
+  std::string future = ReadFile();
+  future[8] = char(0x7f);  // version u32 lives right after the magic
+  WriteFile(future);
+  const auto read = estimators::ReadCheckpointFile(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(read.status().message().find("newer"), std::string::npos);
+}
+
+TEST_F(CheckpointFileTest, ForeignMagicIsInvalidArgument) {
+  std::string foreign = ReadFile();
+  foreign[0] = 'X';
+  WriteFile(foreign);
+  const auto read = estimators::ReadCheckpointFile(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointFileTest, AlgorithmMismatchRefusesToRestore) {
+  osn::OsnClient fresh_client(*backend_, f_.cost_model, f_.faults);
+  ASSERT_OK_AND_ASSIGN(auto wrong,
+                       estimators::EstimatorSession::Create(
+                           estimators::AlgorithmId::kExMHRW, fresh_client,
+                           f_.target, backend_->Priors(), f_.options));
+  const Status restored = estimators::RestoreSessionCheckpoint(
+      path_, wrong.get(), &fresh_client);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointFileTest, ClientSectionMismatchRefusesToRestore) {
+  // The checkpoint carries a client section; restoring without a client to
+  // receive it would silently drop the charge ledger.
+  ASSERT_OK_AND_ASSIGN(auto fresh,
+                       estimators::EstimatorSession::Create(
+                           estimators::AlgorithmId::kExRW, *backend_,
+                           f_.target, backend_->Priors(), f_.options));
+  const Status restored =
+      estimators::RestoreSessionCheckpoint(path_, fresh.get());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Mapped-store truncation guard: a snapshot truncated after Open must
+// surface a named kDataLoss error from CheckIntact, not a SIGBUS on the
+// next page fault.
+
+TEST(StoreTruncationTest, PostOpenTruncateSurfacesDataLoss) {
+  const SweepFixture f = SweepFixture::Make(45, 200);
+  const std::string path = TempPath("labelrw_truncated_store.lrw");
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, path));
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+  EXPECT_OK(mapped.CheckIntact());
+
+  ASSERT_EQ(::truncate(path.c_str(), mapped.file_bytes() / 2), 0);
+  const Status truncated = mapped.CheckIntact();
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.code(), StatusCode::kDataLoss);
+  EXPECT_NE(truncated.message().find("truncated"), std::string::npos);
+
+  // A fresh Open of the truncated file also fails with a named error (the
+  // pre-read stat, not a fault), even with deep verification requested.
+  store::MapOptions deep;
+  deep.verify_section_checksums = true;
+  const auto reopened = store::MappedGraph::Open(path, deep);
+  EXPECT_FALSE(reopened.ok());
+
+  std::filesystem::remove(path);
+}
+
+TEST(StoreTruncationTest, VanishedFileSurfacesDataLoss) {
+  const SweepFixture f = SweepFixture::Make(46, 150);
+  const std::string path = TempPath("labelrw_vanished_store.lrw");
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, path));
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+  ASSERT_TRUE(std::filesystem::remove(path));
+  const Status vanished = mapped.CheckIntact();
+  ASSERT_FALSE(vanished.ok());
+  EXPECT_EQ(vanished.code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace labelrw

@@ -65,4 +65,35 @@ echo "== store bench (bench_store: load speedup + bit-identity guard) =="
 "$BUILD_DIR/bench_store" --out="$BUILD_DIR/bench_results" \
   --json-out="$BUILD_DIR/bench_results"
 
+echo "== chaos smoke (labelrw_cli: halt-checkpoint-resume bit-identity) =="
+# A crawl under the 'storm' fault schedule, killed after 5 iterations
+# (exit 3 = deliberate halt-checkpoint) and resumed, must land on the
+# same estimate as an uninterrupted run.
+CKPT_DIR="$BUILD_DIR/chaos_smoke"
+rm -rf "$CKPT_DIR" && mkdir -p "$CKPT_DIR"
+CHAOS_ARGS=(estimate --store="$STORE_DIR/smoke.lgs" --t1=1 --t2=2
+  --budget=800 --algorithm=NeighborSample-HH --burn-in=100 --seed=7
+  --scenario=production --chaos=storm)
+"$BUILD_DIR/labelrw_cli" "${CHAOS_ARGS[@]}" > "$CKPT_DIR/reference.txt"
+HALT_RC=0
+"$BUILD_DIR/labelrw_cli" "${CHAOS_ARGS[@]}" --checkpoint-dir="$CKPT_DIR" \
+  --halt-after-steps=5 > /dev/null || HALT_RC=$?
+if [[ "$HALT_RC" -ne 3 ]]; then
+  echo "chaos smoke: expected halt-checkpoint exit code 3, got $HALT_RC" >&2
+  exit 1
+fi
+"$BUILD_DIR/labelrw_cli" "${CHAOS_ARGS[@]}" --checkpoint-dir="$CKPT_DIR" \
+  > "$CKPT_DIR/resumed.txt"
+if ! diff <(grep '^estimate' "$CKPT_DIR/reference.txt") \
+          <(grep '^estimate' "$CKPT_DIR/resumed.txt"); then
+  echo "chaos smoke: resumed estimate deviates from uninterrupted run" >&2
+  exit 1
+fi
+
+echo "== resilience bench (bench_resilience: chaos + checkpoint guards) =="
+# Exits nonzero if any chaos preset is nondeterministic, a durable sweep
+# deviates from RunSweep, or kill-and-resume is not bit-identical.
+"$BUILD_DIR/bench_resilience" --reps=6 --out="$BUILD_DIR/bench_results" \
+  --json-out="$BUILD_DIR/bench_results"
+
 echo "OK"

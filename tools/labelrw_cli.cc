@@ -10,10 +10,22 @@
 //            [--algorithm=NAME] [--burn-in=N] [--seed=S]
 //            [--scenario=NAME] [--page-size=P] [--fault-rate=F]
 //            [--private-rate=F] [--retry-budget=R] [--record=TRACE]
+//            [--chaos=NAME] [--checkpoint-dir=D] [--halt-after-steps=N]
 //   estimate --replay=TRACE   (graph-free: config comes from the trace)
 //   bounds   --graph=E --labels=L --t1=A --t2=B [--eps=0.1] [--delta=0.1]
 //   list-algorithms   (also available as --list-algorithms)
 //   list-scenarios    the --scenario presets
+//   list-chaos        the --chaos fault-schedule presets
+//
+// Resilience: --chaos=NAME runs the crawl under a deterministic fault
+// schedule (osn/chaos.h: outage windows, error bursts, API shape drift,
+// degree-correlated privatization). --checkpoint-dir=D makes the crawl
+// durable (requires --algorithm): the session + client (+ chaos) state is
+// saved to D/estimate.ckpt, a crawl killed mid-run resumes bit-identically
+// from it, and --halt-after-steps=N simulates the kill — run N iterations,
+// checkpoint, exit with code 3. Crawl-death exit codes are distinct:
+// 4 = deadline exceeded, 5 = unavailable (outage retries exhausted),
+// 6 = rate-limited, 7 = data loss (corrupt store/checkpoint), 1 = other.
 //
 // Flag values are parsed strictly (util/flags.h): non-numeric or
 // out-of-range values and unknown flags abort with exit code 2 instead of
@@ -42,9 +54,12 @@
 #include <memory>
 
 #include "core/target_edge_counter.h"
+#include "estimators/checkpoint.h"
+#include "estimators/session.h"
 #include "graph/connected.h"
 #include "graph/io.h"
 #include "graph/oracle.h"
+#include "osn/chaos.h"
 #include "osn/client.h"
 #include "osn/local_api.h"
 #include "osn/record_replay.h"
@@ -72,13 +87,16 @@ int Usage() {
       "                   [--budget=K] [--algorithm=NAME] [--burn-in=N]\n"
       "                   [--seed=S] [--scenario=NAME] [--page-size=P]\n"
       "                   [--fault-rate=F] [--private-rate=F]\n"
-      "                   [--retry-budget=R] [--record=TRACE]), or\n"
+      "                   [--retry-budget=R] [--record=TRACE]\n"
+      "                   [--chaos=NAME] [--checkpoint-dir=D]\n"
+      "                   [--halt-after-steps=N]), or\n"
       "                   graph-free re-run of a recorded crawl\n"
       "                   (--replay=TRACE)\n"
       "  bounds           theoretical sample bounds ([--eps=E] "
       "[--delta=D])\n"
       "  list-algorithms  the ten algorithm names --algorithm accepts\n"
       "  list-scenarios   the --scenario presets\n"
+      "  list-chaos       the --chaos fault-schedule presets\n"
       "\n"
       "flag values are checked strictly; unknown flags are rejected.\n");
   return 2;
@@ -97,6 +115,31 @@ int ListScenarios() {
     std::printf("%s\n", name.c_str());
   }
   return 0;
+}
+
+int ListChaos() {
+  for (const std::string& name : osn::ChaosNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+/// Distinct exit codes for the ways a crawl can die, so scripts (and the
+/// check.sh chaos smoke) can branch on the failure mode: 3 is reserved for
+/// the deliberate --halt-after-steps checkpoint-and-exit.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return 4;
+    case StatusCode::kUnavailable:
+      return 5;
+    case StatusCode::kRateLimited:
+      return 6;
+    case StatusCode::kDataLoss:
+      return 7;
+    default:
+      return 1;
+  }
 }
 
 struct Args {
@@ -143,7 +186,8 @@ const std::set<std::string>& KnownFlags(const std::string& command) {
       "graph",     "labels",       "store",     "t1",        "t2",
       "budget",    "algorithm",    "burn-in",   "seed",
       "page-size", "fault-rate",   "private-rate", "retry-budget",
-      "scenario",  "record",       "replay"};
+      "scenario",  "record",       "replay",    "chaos",
+      "checkpoint-dir", "halt-after-steps"};
   static const std::set<std::string> kBounds = {"graph", "labels", "store",
                                                 "t1",    "t2",     "eps",
                                                 "delta"};
@@ -199,7 +243,7 @@ template <typename T>
 T Check(Result<T> result, const char* what) {
   if (!result.ok()) {
     std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
-    std::exit(1);
+    std::exit(ExitCodeFor(result.status()));
   }
   return std::move(result).value();
 }
@@ -311,6 +355,114 @@ void PrintReport(const core::CountReport& report) {
   std::printf("api calls  %s\n", FormatCount(report.api_calls).c_str());
 }
 
+/// The durable estimate path (--checkpoint-dir): one explicit estimator
+/// session over the full client stack, restored from D/estimate.ckpt when
+/// one exists and saved back at --halt-after-steps (exit 3). Completing
+/// removes the checkpoint. Resumes are bit-identical to an uninterrupted
+/// run provided the flags (and graph) are unchanged — the checkpoint holds
+/// dynamic state only (estimators/checkpoint.h).
+int RunCheckpointedEstimate(const Args& args, const LoadedGraph& lg,
+                            const graph::TargetLabel& target,
+                            const osn::Scenario& scenario,
+                            const osn::FaultSchedule& chaos_schedule,
+                            const std::string& checkpoint_dir) {
+  const std::string algorithm = args.Get("algorithm");
+  if (algorithm.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-dir requires --algorithm: the checkpoint is "
+                 "bound to one estimator session, and auto-selection's pilot "
+                 "phase is not resumable\n");
+    return 2;
+  }
+  const estimators::AlgorithmId algo =
+      Check(estimators::AlgorithmFromName(algorithm), "algorithm name");
+
+  osn::LocalGraphApi local(lg.graph, lg.labels);
+  std::optional<osn::ChaosTransport> chaos;
+  const osn::Transport* transport = &local;
+  if (!chaos_schedule.empty()) {
+    chaos.emplace(local, chaos_schedule);
+    transport = &*chaos;
+  }
+  osn::OsnClient client(*transport, scenario.cost_model, scenario.faults);
+  client.ConfigureRateLimit(scenario.rate_limit);
+  const osn::ChaosTransport* chaos_ptr = nullptr;
+  if (chaos.has_value()) {
+    // Chaos runs get backoff deep enough to ride out the presets' outage
+    // windows (deterministic: no jitter draws at jitter == 0).
+    osn::RetryPolicy retry;
+    retry.max_attempts = 8;
+    retry.initial_backoff_us = 250'000;
+    client.ConfigureRetry(retry);
+    chaos->AttachClock(&client.clock());
+    chaos_ptr = &*chaos;
+  }
+
+  estimators::EstimateOptions options;
+  options.api_budget = args.GetInt("budget", lg.graph.num_nodes() / 20, 1);
+  options.burn_in = args.GetInt("burn-in", 300);
+  options.seed = args.GetUint("seed", 42);
+  options.detour_on_denied =
+      scenario.walker_detour || !chaos_schedule.privatizations.empty();
+  auto session =
+      Check(estimators::EstimatorSession::Create(algo, client, target,
+                                                 local.Priors(), options),
+            "creating session");
+
+  const std::string ckpt_path = checkpoint_dir + "/estimate.ckpt";
+  bool resumed = false;
+  const Status restored = estimators::RestoreSessionCheckpoint(
+      ckpt_path, session.get(), &client, chaos_ptr);
+  if (restored.ok()) {
+    resumed = true;
+    std::printf("resumed from %s (%lld iterations done)\n", ckpt_path.c_str(),
+                static_cast<long long>(session->iterations()));
+  } else if (restored.code() != StatusCode::kNotFound) {
+    std::fprintf(stderr, "restoring checkpoint: %s\n",
+                 restored.ToString().c_str());
+    return ExitCodeFor(restored);
+  }
+
+  const int64_t halt_after = args.GetInt("halt-after-steps", 0);
+  if (halt_after > 0) {
+    const Result<int64_t> stepped = session->Step(halt_after);
+    if (!stepped.ok()) {
+      std::fprintf(stderr, "estimate: %s\n",
+                   stepped.status().ToString().c_str());
+      return ExitCodeFor(stepped.status());
+    }
+    if (!session->finished()) {
+      const Status saved = estimators::SaveSessionCheckpoint(
+          ckpt_path, *session, &client, chaos_ptr);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "saving checkpoint: %s\n",
+                     saved.ToString().c_str());
+        return ExitCodeFor(saved);
+      }
+      std::printf("checkpointed %lld iterations to %s; re-run to resume\n",
+                  static_cast<long long>(session->iterations()),
+                  ckpt_path.c_str());
+      return 3;
+    }
+  } else {
+    const Status run = session->Run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "estimate: %s\n", run.ToString().c_str());
+      return ExitCodeFor(run);
+    }
+  }
+
+  const estimators::EstimateResult result =
+      Check(session->Snapshot(), "snapshot");
+  std::printf("estimate   %.0f\n", result.estimate);
+  std::printf("algorithm  %s\n", estimators::AlgorithmName(algo));
+  std::printf("api calls  %s\n", FormatCount(result.api_calls).c_str());
+  if (resumed) std::printf("resumed    yes\n");
+  PrintClientStats(client);
+  std::remove(ckpt_path.c_str());  // complete: the durable state is spent
+  return 0;
+}
+
 /// Re-runs a recorded crawl from the trace alone: transport responses come
 /// from the journal, the client/estimator stack re-executes with the
 /// recorded configuration, and the result is verified against the recorded
@@ -403,13 +555,38 @@ int RunEstimate(const Args& args) {
   }
   const std::string record_path = args.Get("record");
 
+  osn::FaultSchedule chaos_schedule;
+  const std::string chaos_name = args.Get("chaos");
+  if (!chaos_name.empty()) {
+    chaos_schedule = Check(osn::ChaosFromName(chaos_name), "chaos name");
+  }
+  if (!chaos_schedule.empty() && !record_path.empty()) {
+    std::fprintf(stderr,
+                 "--chaos cannot be combined with --record: chaos faults are "
+                 "injected above the wire journal, so the trace would replay "
+                 "without them\n");
+    return 2;
+  }
+  const std::string checkpoint_dir = args.Get("checkpoint-dir");
+  if (!checkpoint_dir.empty() && !record_path.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-dir cannot be combined with --record: the "
+                 "recorder's journal is not part of the checkpoint\n");
+    return 2;
+  }
+  if (!checkpoint_dir.empty()) {
+    return RunCheckpointedEstimate(args, lg, target, scenario, chaos_schedule,
+                                   checkpoint_dir);
+  }
+
   // Construct the client only when needed: its cache bitmaps are O(|V|).
   const bool use_client = scenario.cost_model.page_size > 0 ||
                           scenario.faults.any_faults() ||
                           scenario.rate_limit.enabled() ||
                           scenario.rate_limit.per_call_latency_us > 0 ||
-                          !record_path.empty();
+                          !record_path.empty() || !chaos_schedule.empty();
   std::optional<osn::RecordingTransport> recorder;
+  std::optional<osn::ChaosTransport> chaos;
   std::optional<osn::OsnClient> client;
   if (use_client) {
     const osn::Transport* transport = &local;
@@ -417,8 +594,21 @@ int RunEstimate(const Args& args) {
       recorder.emplace(local);
       transport = &*recorder;
     }
+    if (!chaos_schedule.empty()) {
+      chaos.emplace(*transport, chaos_schedule);
+      transport = &*chaos;
+    }
     client.emplace(*transport, scenario.cost_model, scenario.faults);
     client->ConfigureRateLimit(scenario.rate_limit);
+    if (chaos.has_value()) {
+      // See RunCheckpointedEstimate: enough deterministic backoff to ride
+      // out the presets' outage windows.
+      osn::RetryPolicy retry;
+      retry.max_attempts = 8;
+      retry.initial_backoff_us = 250'000;
+      client->ConfigureRetry(retry);
+      chaos->AttachClock(&client->clock());
+    }
     if (recorder.has_value()) {
       recorder->AttachMeters(&*client, &client->clock());
     }
@@ -431,6 +621,8 @@ int RunEstimate(const Args& args) {
   options.budget = args.GetInt("budget", lg.graph.num_nodes() / 20, 1);
   options.burn_in = args.GetInt("burn-in", 300);
   options.seed = args.GetUint("seed", 42);
+  options.detour_on_denied =
+      scenario.walker_detour || !chaos_schedule.privatizations.empty();
   const std::string algorithm = args.Get("algorithm");
   if (!algorithm.empty()) {
     options.algorithm =
@@ -500,5 +692,6 @@ int main(int argc, char** argv) {
   if (args.command == "bounds") return RunBounds(args);
   if (args.command == "list-algorithms") return ListAlgorithms();
   if (args.command == "list-scenarios") return ListScenarios();
+  if (args.command == "list-chaos") return ListChaos();
   return Usage();
 }
