@@ -1,0 +1,374 @@
+// Crawl-server benchmark: concurrent-session throughput and request
+// latency of the shared-memory serving stack (server/crawl_server.h),
+// plus the cross-backend bit-identity regression guard.
+//
+// The bench shards a monolithic snapshot (--store=S, or a synthesized
+// Facebook-analog when absent), starts an in-process CrawlServer, and
+// measures two things:
+//
+//   * bit-identity   every algorithm's estimate + charge ledger over an
+//                    OsnClient/IpcTransport session must equal the mmap
+//                    store backend exactly — any deviation anywhere in the
+//                    server/worker/protocol stack exits nonzero
+//   * serving sweep  sessions x workers grid (shard count fixed per run):
+//                    every session is a thread fetching uniformly random
+//                    records over its own ShmClient lane; rows report
+//                    aggregate requests/s and p50/p95/p99 round-trip
+//                    latency. The top row sustains --sessions concurrent
+//                    sessions (64 by default — the acceptance floor).
+//
+// Dumps BENCH_server.json (repo root by convention). Exit 1 on any
+// cross-backend deviation or failed fetch.
+//
+// Flags: --store=S --shards=K --sessions=N --fetches=F --workers=W
+//        --seed=N --out=DIR --json-out=DIR
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "estimators/estimator.h"
+#include "osn/client.h"
+#include "osn/ipc_transport.h"
+#include "osn/local_api.h"
+#include "server/crawl_server.h"
+#include "server/shm_client.h"
+#include "store/mapped_graph.h"
+#include "store/shard_writer.h"
+#include "store/store_writer.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace labelrw::bench {
+namespace {
+
+struct ServerBenchFlags {
+  std::string store_path;  // monolithic .lgs; synthesized when empty
+  uint32_t shards = 8;
+  int64_t sessions = 64;   // peak concurrent sessions (acceptance floor)
+  int64_t fetches = 2000;  // requests per session per row
+  uint32_t workers = 0;    // 0 = one per shard
+  uint64_t seed = 42;
+  std::string out_dir = "bench_results";
+  std::string json_dir = ".";
+};
+
+ServerBenchFlags ParseServerFlags(int argc, char** argv) {
+  ServerBenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::fprintf(
+          stderr,
+          "usage: bench_server [--store=S] [--shards=K] [--sessions=N]\n"
+          "  [--fetches=F] [--workers=W] [--seed=N] [--out=DIR]\n"
+          "  [--json-out=DIR]\n"
+          "\n"
+          "  --store=S     monolithic .lgs snapshot to shard and serve\n"
+          "                (default: a synthesized Facebook-analog)\n"
+          "  --shards=K    shard count for the serving store (default 8)\n"
+          "  --sessions=N  peak concurrent sessions (default 64)\n"
+          "  --fetches=F   requests per session per grid row (default "
+          "2000)\n"
+          "  --workers=W   serving worker threads (default 0 = one per "
+          "shard)\n");
+      std::exit(0);
+    } else if (std::strncmp(arg, "--store=", 8) == 0) {
+      flags.store_path = arg + 8;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      flags.shards = static_cast<uint32_t>(
+          flags::ParseIntAtLeastOrDie("--shards", arg + 9, 1));
+    } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
+      flags.sessions = flags::ParseIntAtLeastOrDie("--sessions", arg + 11, 1);
+    } else if (std::strncmp(arg, "--fetches=", 10) == 0) {
+      flags.fetches = flags::ParseIntAtLeastOrDie("--fetches", arg + 10, 1);
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      flags.workers = static_cast<uint32_t>(
+          flags::ParseIntAtLeastOrDie("--workers", arg + 10, 0));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = flags::ParseUintOrDie("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      flags.out_dir = arg + 6;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      flags.json_dir = arg + 11;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(flags.out_dir, ec);
+  std::filesystem::create_directories(flags.json_dir, ec);
+  return flags;
+}
+
+double Percentile(std::vector<double>& sorted_us, double fraction) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      fraction * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[index];
+}
+
+struct GridRow {
+  uint32_t workers = 0;
+  int64_t sessions = 0;
+  double requests_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// One grid row: `sessions` threads, each fetching `fetches` uniformly
+/// random records over its own ShmClient lane. Aborts the bench on any
+/// failed fetch — a served request is never allowed to be lossy.
+GridRow RunServingRow(const std::string& shm_name, uint32_t workers,
+                      int64_t sessions, int64_t fetches, int64_t num_nodes,
+                      uint64_t seed) {
+  // Admit every session before the clock starts: admission is not the
+  // thing under measurement.
+  std::vector<std::unique_ptr<server::ShmClient>> clients;
+  clients.reserve(static_cast<size_t>(sessions));
+  for (int64_t s = 0; s < sessions; ++s) {
+    clients.push_back(
+        CheckedValue(server::ShmClient::Connect(shm_name), "session admit"));
+  }
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(sessions));
+  std::atomic<int64_t> failures{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(sessions));
+  for (int64_t s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      server::ShmClient& client = *clients[static_cast<size_t>(s)];
+      std::vector<double>& lane = latencies[static_cast<size_t>(s)];
+      lane.reserve(static_cast<size_t>(fetches));
+      Rng rng(seed + 0x9e37 * static_cast<uint64_t>(s + 1));
+      std::vector<graph::NodeId> neighbors;
+      std::vector<graph::Label> labels;
+      int64_t degree = 0;
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int64_t i = 0; i < fetches; ++i) {
+        const auto u = static_cast<graph::NodeId>(rng.UniformInt(num_nodes));
+        const auto start = std::chrono::steady_clock::now();
+        const Status status = client.Fetch(u, &neighbors, &labels, &degree);
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (!status.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        lane.push_back(us);
+      }
+    });
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "FAIL: %lld fetches failed at %lld sessions\n",
+                 static_cast<long long>(failures.load()),
+                 static_cast<long long>(sessions));
+    std::exit(1);
+  }
+
+  std::vector<double> merged;
+  merged.reserve(static_cast<size_t>(sessions * fetches));
+  for (const std::vector<double>& lane : latencies) {
+    merged.insert(merged.end(), lane.begin(), lane.end());
+  }
+  std::sort(merged.begin(), merged.end());
+
+  GridRow row;
+  row.workers = workers;
+  row.sessions = sessions;
+  row.requests_per_sec =
+      wall_s > 0
+          ? static_cast<double>(sessions * fetches) / wall_s
+          : 0.0;
+  row.p50_us = Percentile(merged, 0.50);
+  row.p95_us = Percentile(merged, 0.95);
+  row.p99_us = Percentile(merged, 0.99);
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  const ServerBenchFlags flags = ParseServerFlags(argc, argv);
+
+  // --- the serving store: the caller's snapshot, or a Facebook-analog.
+  std::string store_path = flags.store_path;
+  graph::TargetLabel target{1, 2};
+  if (store_path.empty()) {
+    const synth::Dataset ds =
+        CheckedValue(synth::FacebookLike(flags.seed + 1), "dataset");
+    PrintDatasetHeader(ds);
+    store_path = flags.out_dir + "/server_bench.lgs";
+    CheckOk(store::WriteStore(ds.graph, ds.labels, store_path),
+            "store write");
+    target = ds.targets[0].target;
+  }
+
+  const std::string prefix = flags.out_dir + "/server_bench_sharded";
+  const auto shard_start = std::chrono::steady_clock::now();
+  const store::ShardWriteStats shard_stats = CheckedValue(
+      store::WriteShardedStore(store_path, prefix, flags.shards),
+      "shard pass");
+  const double shard_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - shard_start)
+                              .count();
+  std::printf(
+      "sharded %lld nodes / %lld edges into %u shards (%.0f us, "
+      "%lld..%lld nodes per shard)\n",
+      static_cast<long long>(shard_stats.num_nodes),
+      static_cast<long long>(shard_stats.num_edges), shard_stats.num_shards,
+      shard_us, static_cast<long long>(shard_stats.min_shard_nodes),
+      static_cast<long long>(shard_stats.max_shard_nodes));
+
+  const std::string shm_name =
+      "/labelrw-bench-" + std::to_string(::getpid());
+  server::ServerOptions server_options;
+  server_options.manifest_path = shard_stats.manifest_path;
+  server_options.shm_name = shm_name;
+  server_options.num_slots =
+      static_cast<uint32_t>(std::max<int64_t>(flags.sessions + 4, 8));
+  server_options.num_workers = flags.workers;
+  server_options.quiet = true;
+
+  server::CrawlServer crawl_server;
+  CheckOk(crawl_server.Start(server_options), "server start");
+
+  // --- bit-identity guard: OsnClient over an IpcTransport session must
+  // match the mmap store backend on every algorithm, estimate and charge
+  // ledger both. This is the "exits nonzero on any cross-backend
+  // deviation" gate.
+  store::MappedGraph mapped =
+      CheckedValue(store::MappedGraph::Open(store_path), "store open");
+  const int64_t num_nodes = mapped.graph().num_nodes();
+  bool identical = true;
+  {
+    osn::LocalGraphApi store_api(mapped.graph(), mapped.labels());
+    const osn::GraphPriors priors = store_api.Priors();
+    const std::unique_ptr<osn::IpcTransport> ipc =
+        CheckedValue(osn::IpcTransport::Connect(shm_name), "ipc connect");
+    osn::OsnClient ipc_client(*ipc);
+    estimators::EstimateOptions options;
+    options.api_budget = std::max<int64_t>(num_nodes / 100, 200);
+    options.burn_in = 100;
+    options.seed = flags.seed + 7;
+    for (const estimators::AlgorithmId id : estimators::AllAlgorithms()) {
+      const estimators::EstimateResult via_store = CheckedValue(
+          estimators::Estimate(id, store_api, target, priors, options),
+          "store estimate");
+      const estimators::EstimateResult via_ipc = CheckedValue(
+          estimators::Estimate(id, ipc_client, target, priors, options),
+          "ipc estimate");
+      if (via_store.estimate != via_ipc.estimate ||
+          via_store.api_calls != via_ipc.api_calls) {
+        identical = false;
+        std::fprintf(stderr,
+                     "FAIL: %s deviates over ipc (store %.17g/%lld calls, "
+                     "ipc %.17g/%lld calls)\n",
+                     estimators::AlgorithmName(id), via_store.estimate,
+                     static_cast<long long>(via_store.api_calls),
+                     via_ipc.estimate,
+                     static_cast<long long>(via_ipc.api_calls));
+      }
+    }
+    std::printf("estimates bit-identical across store|ipc backends: %s\n",
+                identical ? "yes" : "NO");
+  }
+
+  // --- serving sweep: sessions ladder x {1, auto} workers.
+  std::vector<int64_t> session_grid;
+  for (const int64_t s : {int64_t{1}, int64_t{4}, int64_t{16}, int64_t{64},
+                          flags.sessions}) {
+    if (s <= flags.sessions &&
+        (session_grid.empty() || session_grid.back() < s)) {
+      session_grid.push_back(s);
+    }
+  }
+  std::vector<uint32_t> worker_grid = {1};
+  const uint32_t auto_workers = flags.workers != 0
+                                    ? flags.workers
+                                    : shard_stats.num_shards;
+  if (auto_workers != 1) worker_grid.push_back(auto_workers);
+
+  std::vector<GridRow> rows;
+  for (const uint32_t workers : worker_grid) {
+    crawl_server.Stop();
+    server_options.num_workers = workers;
+    CheckOk(crawl_server.Start(server_options), "server restart");
+    for (const int64_t sessions : session_grid) {
+      const GridRow row =
+          RunServingRow(shm_name, workers, sessions, flags.fetches,
+                        num_nodes, flags.seed);
+      std::printf(
+          "workers %3u  sessions %4lld   %12.0f req/s   p50 %7.1f us   "
+          "p95 %7.1f us   p99 %7.1f us\n",
+          row.workers, static_cast<long long>(row.sessions),
+          row.requests_per_sec, row.p50_us, row.p95_us, row.p99_us);
+      rows.push_back(row);
+    }
+  }
+  const server::ServerStats stats = crawl_server.stats();
+  std::printf("server totals: %llu requests, %llu sessions admitted\n",
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.sessions_admitted));
+
+  // --- machine-readable summary.
+  std::string json = "{\n  \"bench\": \"server\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"nodes\": %lld,\n  \"edges\": %lld,\n"
+                "  \"shards\": %u,\n  \"shard_pass_us\": %.0f,\n"
+                "  \"fetches_per_session\": %lld,\n"
+                "  \"peak_sessions\": %lld,\n"
+                "  \"estimates_bit_identical\": %s,\n  \"rows\": [\n",
+                static_cast<long long>(shard_stats.num_nodes),
+                static_cast<long long>(shard_stats.num_edges),
+                shard_stats.num_shards, shard_us,
+                static_cast<long long>(flags.fetches),
+                static_cast<long long>(flags.sessions),
+                identical ? "true" : "false");
+  json += buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workers\": %u, \"sessions\": %lld, "
+                  "\"requests_per_sec\": %.0f, \"p50_us\": %.1f, "
+                  "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                  rows[i].workers,
+                  static_cast<long long>(rows[i].sessions),
+                  rows[i].requests_per_sec, rows[i].p50_us, rows[i].p95_us,
+                  rows[i].p99_us, i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  const std::string json_path = flags.json_dir + "/BENCH_server.json";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace labelrw::bench
+
+int main(int argc, char** argv) { return labelrw::bench::Main(argc, argv); }

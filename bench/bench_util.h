@@ -31,6 +31,7 @@
 
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "osn/ipc_transport.h"
 #include "store/mapped_graph.h"
 #include "store/store_writer.h"
 #include "synth/datasets.h"
@@ -43,6 +44,7 @@ namespace labelrw::bench {
 enum class BenchBackend {
   kMemory,  // the generated in-memory Graph/LabelStore (default)
   kStore,   // snapshot round-trip: sweep over mmap-backed zero-copy views
+  kIpc,     // every record served by a labelrw_serverd daemon (--server)
 };
 
 struct BenchFlags {
@@ -54,6 +56,8 @@ struct BenchFlags {
   std::string json_dir = ".";
   uint64_t seed = 42;
   BenchBackend backend = BenchBackend::kMemory;
+  /// The shm name of the serving daemon (--backend=ipc only).
+  std::string server;
   eval::SweepProtocol protocol = eval::SweepProtocol::kIndependentRuns;
 };
 
@@ -73,8 +77,12 @@ inline void PrintUsage(const char* prog) {
       "  --seed=N      base RNG seed (default 42)\n"
       "  --out=DIR     directory for raw CSV dumps (default bench_results)\n"
       "  --json-out=D  directory for the BENCH_*.json summary (default .)\n"
-      "  --backend=B   'memory' (default) or 'store' (sweep over an\n"
-      "                mmap-backed snapshot of the dataset)\n"
+      "  --backend=B   'memory' (default), 'store' (sweep over an\n"
+      "                mmap-backed snapshot of the dataset), or 'ipc'\n"
+      "                (records served by a labelrw_serverd daemon;\n"
+      "                requires --server=/name and a daemon serving the\n"
+      "                SAME dataset — any mismatch skews the tables)\n"
+      "  --server=S    the daemon's shm name for --backend=ipc\n"
       "  --protocol=P  'independent' (default) or 'prefix' (one walk per\n"
       "                rep fills all nested budget cells)\n"
       "  --help        this message\n",
@@ -110,12 +118,17 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
         flags.backend = BenchBackend::kMemory;
       } else if (std::strcmp(value, "store") == 0) {
         flags.backend = BenchBackend::kStore;
+      } else if (std::strcmp(value, "ipc") == 0) {
+        flags.backend = BenchBackend::kIpc;
       } else {
         std::fprintf(stderr,
-                     "--backend must be 'memory' or 'store' (got '%s')\n",
+                     "--backend must be 'memory', 'store', or 'ipc' "
+                     "(got '%s')\n",
                      value);
         std::exit(2);
       }
+    } else if (std::strncmp(arg, "--server=", 9) == 0) {
+      flags.server = arg + 9;
     } else if (std::strncmp(arg, "--protocol=", 11) == 0) {
       const char* value = arg + 11;
       if (std::strcmp(value, "independent") == 0) {
@@ -134,6 +147,12 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       PrintUsage(argv[0]);
       std::exit(2);
     }
+  }
+  if (flags.backend == BenchBackend::kIpc && flags.server.empty()) {
+    std::fprintf(stderr,
+                 "--backend=ipc requires --server=/name (a running "
+                 "labelrw_serverd daemon)\n");
+    std::exit(2);
   }
   std::error_code ec;
   std::filesystem::create_directories(flags.out_dir, ec);
@@ -200,8 +219,21 @@ inline BackendView MakeBackendView(const synth::Dataset& dataset,
     view.mapped =
         CheckedValue(store::MappedGraph::Open(path), "store open");
     std::printf("backend: mmap store %s\n", path.c_str());
+  } else if (flags.backend == BenchBackend::kIpc) {
+    // The in-memory dataset stays the truth/grid source; the sweep's reads
+    // go to the daemon (one IpcTransport session per rep).
+    std::printf("backend: crawl server at shm '%s'\n", flags.server.c_str());
   }
   return view;
+}
+
+/// One fresh crawl-server session per rep (eval::RunTransportSweep).
+inline eval::TransportFactory IpcTransportFactory(const std::string& server) {
+  return [server]() -> Result<std::unique_ptr<osn::Transport>> {
+    auto transport = osn::IpcTransport::Connect(server);
+    if (!transport.ok()) return transport.status();
+    return std::unique_ptr<osn::Transport>(std::move(*transport));
+  };
 }
 
 /// Runs the paper's 0.5%..5% sweep for one dataset/target and prints the
@@ -216,7 +248,12 @@ inline void RunAndPrintPaperTable(const synth::Dataset& dataset,
   const eval::SweepConfig config = MakeSweepConfig(flags, dataset.burn_in);
 
   const eval::SweepResult result = CheckedValue(
-      eval::RunSweep(view.graph(), view.labels(), target.target, config),
+      flags.backend == BenchBackend::kIpc
+          ? eval::RunTransportSweep(view.graph(), view.labels(),
+                                    target.target, config,
+                                    IpcTransportFactory(flags.server))
+          : eval::RunSweep(view.graph(), view.labels(), target.target,
+                           config),
       "RunSweep");
 
   char caption[256];

@@ -104,8 +104,14 @@ struct TaskApi {
   /// Chaos decorator between the backend and the client when the scenario
   /// carries a FaultSchedule (its wire-call ordinal joins the checkpoint).
   std::unique_ptr<osn::ChaosTransport> chaos;
+  /// Factory-built backend of a transport sweep (RunTransportSweep).
+  /// Declared before `client` so the client — which holds a reference into
+  /// it — is destroyed first.
+  std::unique_ptr<osn::Transport> owned;
   std::unique_ptr<osn::OsnClient> client;
   osn::OsnApi* api = nullptr;
+  /// Why `api` is nullptr (a failed transport factory); Ok otherwise.
+  Status error;
   /// The backend's raw CSR (api->FastGraphView()), cached here so the
   /// batched driver's prefetch rounds skip the virtual call. nullptr on
   /// backends without a stable CSR (dynamic transports).
@@ -519,6 +525,12 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
       }
 
       TaskApi task = driver.make_api(scratch);
+      if (task.api == nullptr) {
+        merge_error(task.error.ok()
+                        ? InternalError("make_api produced no access stack")
+                        : task.error);
+        continue;
+      }
       const auto options =
           prefix ? make_options(algo_idx, num_sizes, static_cast<int64_t>(rep),
                                 result.sample_sizes[num_sizes - 1])
@@ -665,6 +677,14 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
         BatchLane lane;
         lane.rep = rep;
         lane.task = driver.make_api(scratch[static_cast<size_t>(rep - rep0)]);
+        if (lane.task.api == nullptr) {
+          merge_error(lane.task.error.ok()
+                          ? InternalError("make_api produced no access stack")
+                          : lane.task.error);
+          lane.failed = true;
+          lanes.push_back(std::move(lane));
+          continue;
+        }
         const auto options =
             prefix ? make_options(algo_idx, num_sizes, rep,
                                   result.sample_sizes[num_sizes - 1])
@@ -786,6 +806,41 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
     task.local = std::make_unique<osn::LocalGraphApi>(
         graph, labels, osn::CostModel(), /*budget=*/-1, &scratch.touched);
     task.api = task.local.get();
+    task.prefetch = task.api->FastGraphView();
+    return task;
+  };
+  return RunSweepImpl(graph, labels, target, config, driver);
+}
+
+Result<SweepResult> RunTransportSweep(const graph::Graph& graph,
+                                      const graph::LabelStore& labels,
+                                      const graph::TargetLabel& target,
+                                      const SweepConfig& config,
+                                      const TransportFactory& factory) {
+  if (!factory) {
+    return InvalidArgumentError("RunTransportSweep: null transport factory");
+  }
+  if (!config.checkpoint_dir.empty()) {
+    return InvalidArgumentError(
+        "RunTransportSweep does not support checkpoint_dir: a factory "
+        "transport's wire state is not serialized");
+  }
+  SweepDriver driver;
+  driver.make_api = [&factory](WorkerScratch& scratch) {
+    TaskApi task;
+    Result<std::unique_ptr<osn::Transport>> transport = factory();
+    if (!transport.ok()) {
+      task.error = transport.status();
+      return task;
+    }
+    task.owned = std::move(*transport);
+    // The default-scenario client stack: accounting-identical to the direct
+    // LocalGraphApi path (scenario_test.cc), so the transport is the only
+    // variable between this sweep and RunSweep.
+    task.client = std::make_unique<osn::OsnClient>(
+        *task.owned, osn::CostModel(), osn::FaultPolicy(), /*budget=*/-1,
+        &scratch.touched, &scratch.touched_full);
+    task.api = task.client.get();
     task.prefetch = task.api->FastGraphView();
     return task;
   };

@@ -11,12 +11,15 @@
 #define LABELRW_EVAL_EXPERIMENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "estimators/estimator.h"
 #include "graph/graph.h"
 #include "graph/labels.h"
 #include "osn/scenario.h"
+#include "osn/transport.h"
 #include "util/status.h"
 
 namespace labelrw::eval {
@@ -147,6 +150,24 @@ Result<SweepResult> RunSweep(const graph::Graph& graph,
                              const graph::LabelStore& labels,
                              const graph::TargetLabel& target,
                              const SweepConfig& config);
+
+/// Builds one fresh osn::Transport per task (one rep). Called from worker
+/// threads; each returned transport is owned by its task and dropped when
+/// the task completes. Failures fail the sweep with the factory's status.
+using TransportFactory =
+    std::function<Result<std::unique_ptr<osn::Transport>>()>;
+
+/// RunSweep with every rep's reads served by a caller-supplied transport
+/// (e.g. an osn::IpcTransport session against a crawl-server daemon).
+/// `graph`/`labels` supply only the ground truth and the sample-size grid —
+/// no record is read from them — so the cell tables are bit-identical to
+/// RunSweep whenever the transport serves the same data (test-enforced in
+/// tests/ipc_transport_test.cc, guarded at scale by bench/bench_server.cc).
+Result<SweepResult> RunTransportSweep(const graph::Graph& graph,
+                                      const graph::LabelStore& labels,
+                                      const graph::TargetLabel& target,
+                                      const SweepConfig& config,
+                                      const TransportFactory& factory);
 
 /// Scenario-sweep driving knobs beyond the Scenario itself.
 struct ScenarioRunOptions {

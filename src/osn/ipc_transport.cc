@@ -1,0 +1,93 @@
+#include "osn/ipc_transport.h"
+
+#include <utility>
+
+namespace labelrw::osn {
+
+Result<std::unique_ptr<IpcTransport>> IpcTransport::Connect(
+    const std::string& shm_name, const Options& options) {
+  auto transport = std::unique_ptr<IpcTransport>(new IpcTransport());
+  transport->shm_name_ = shm_name;
+  transport->options_ = options;
+  LABELRW_ASSIGN_OR_RETURN(
+      transport->channel_,
+      server::ShmClient::Connect(shm_name, options.channel));
+  const server::ServerInfo& info = transport->channel_->info();
+  transport->priors_.num_nodes = info.num_nodes;
+  transport->priors_.num_edges = info.num_edges;
+  transport->priors_.max_degree = info.max_degree;
+  transport->priors_.max_line_degree = info.max_line_degree;
+  transport->max_label_row_ = info.max_label_row;
+  transport->fingerprint_ = info.store_fingerprint;
+  return transport;
+}
+
+Status IpcTransport::EnsureConnectedLocked() const {
+  if (channel_ != nullptr && channel_->ServerAlive()) return Status::Ok();
+  channel_.reset();
+  LABELRW_ASSIGN_OR_RETURN(
+      channel_, server::ShmClient::Connect(shm_name_, options_.channel));
+  if (channel_->info().store_fingerprint != fingerprint_) {
+    channel_.reset();
+    // Not retryable: the daemon came back serving different data. Spans
+    // already handed out describe the old store; the session must not mix
+    // the two.
+    return FailedPreconditionError(
+        "ipc: restarted crawl server at '" + shm_name_ +
+        "' serves a different store than this session started on");
+  }
+  return Status::Ok();
+}
+
+Status IpcTransport::WireCheck() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnsureConnectedLocked();
+}
+
+Result<UserRecord> IpcTransport::FetchRecord(graph::NodeId user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(user);
+  if (it != records_.end()) {
+    UserRecord record;
+    record.degree = it->second.degree;
+    record.neighbors = it->second.neighbors;
+    record.labels = it->second.labels;
+    return record;
+  }
+  // Same local precheck as every other backend: an out-of-range id is a
+  // data answer (NotFound), not a wire effect — no round trip, no retry.
+  if (user < 0 || user >= priors_.num_nodes) {
+    return NotFoundError("FetchRecord: unknown user");
+  }
+  LABELRW_RETURN_IF_ERROR(EnsureConnectedLocked());
+
+  CachedRecord fetched;
+  const Status status = channel_->Fetch(user, &fetched.neighbors,
+                                        &fetched.labels, &fetched.degree);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kUnavailable) {
+      // Drop the dead lane now so the next call (or WireCheck) reconnects
+      // instead of re-timing-out on it.
+      channel_.reset();
+    }
+    return status;
+  }
+  const auto [inserted, ok] = records_.emplace(user, std::move(fetched));
+  (void)ok;
+  UserRecord record;
+  record.degree = inserted->second.degree;
+  record.neighbors = inserted->second.neighbors;
+  record.labels = inserted->second.labels;
+  return record;
+}
+
+Result<graph::NodeId> IpcTransport::SampleSeed(Rng& rng) const {
+  if (priors_.num_nodes == 0) {
+    return FailedPreconditionError("SampleSeed: empty graph");
+  }
+  // Same draw as LocalGraphApi/StoreTransport, so ipc-backed crawls share
+  // the other substrates' seed stream bit-for-bit.
+  return static_cast<graph::NodeId>(rng.UniformInt(priors_.num_nodes));
+}
+
+}  // namespace labelrw::osn

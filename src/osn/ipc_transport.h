@@ -1,0 +1,98 @@
+// IpcTransport: the crawl-server-backed osn::Transport.
+//
+// The fourth wire backend, next to LocalGraphApi (in-memory),
+// DynamicGraphTransport (time-evolving), and StoreTransport (mmap): records
+// come from a labelrw_serverd daemon over the shared-memory protocol of
+// server/shm_protocol.h. One daemon maps the sharded store once; every
+// IpcTransport costs one session slot, so N concurrent crawl processes
+// share the physical mapping instead of each paying for their own.
+//
+// The Transport contract requires returned spans to stay valid for the
+// transport's lifetime, so every fetched record is interned in a
+// never-evicting arena (node-based map: rehashing moves no element). The
+// arena doubles as the crawler-side record cache a real deployment would
+// keep; OsnClient's own cache sits above it and keeps charged-call
+// accounting identical to the other backends.
+//
+// Server death surfaces as kUnavailable — the one retryable code — from
+// FetchRecord and WireCheck; the transport then reconnects lazily on the
+// next call, refusing (kFailedPrecondition) if the restarted daemon serves
+// a different store (fingerprint mismatch). HasWireEffects() is true so
+// OsnClient consults WireCheck per charged wire call, exactly like
+// ChaosTransport; the per-call accounting path is charge-identical to the
+// bulk path, keeping all ten algorithms bit-identical across
+// memory/store/ipc (test-enforced in tests/ipc_transport_test.cc).
+//
+// Thread-compatibility: the protocol session is one turn-based lane, so
+// the transport serializes wire calls behind an internal mutex. Use one
+// IpcTransport per crawl session (they are cheap: one slot each).
+
+#ifndef LABELRW_OSN_IPC_TRANSPORT_H_
+#define LABELRW_OSN_IPC_TRANSPORT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "osn/transport.h"
+#include "server/shm_client.h"
+
+namespace labelrw::osn {
+
+class IpcTransport final : public Transport {
+ public:
+  struct Options {
+    server::ShmClientOptions channel;
+  };
+
+  /// Connects one session to the daemon serving `shm_name`. kUnavailable
+  /// when no live daemon serves the name; kResourceExhausted when its
+  /// session slots are full.
+  static Result<std::unique_ptr<IpcTransport>> Connect(
+      const std::string& shm_name, const Options& options = {});
+
+  Result<UserRecord> FetchRecord(graph::NodeId user) const override;
+  Result<graph::NodeId> SampleSeed(Rng& rng) const override;
+  int64_t num_users() const override { return priors_.num_nodes; }
+  GraphPriors TransportPriors() const override { return priors_; }
+  /// No whole-graph CSR exists client-side; batched drivers fall back to
+  /// the span path.
+  const graph::Graph* FastGraphView() const override { return nullptr; }
+  /// Liveness probe + lazy reconnect; kUnavailable while the daemon is
+  /// down. Consulted by OsnClient once per charged wire call.
+  Status WireCheck() const override;
+  bool HasWireEffects() const override { return true; }
+
+  /// Identity of the store behind the serving daemon.
+  uint64_t store_fingerprint() const { return fingerprint_; }
+
+ private:
+  IpcTransport() = default;
+
+  /// Reconnects if the channel is gone. Caller holds mu_.
+  Status EnsureConnectedLocked() const;
+
+  struct CachedRecord {
+    int64_t degree = 0;
+    std::vector<graph::NodeId> neighbors;
+    std::vector<graph::Label> labels;
+  };
+
+  std::string shm_name_;
+  Options options_;
+  GraphPriors priors_;
+  int64_t max_label_row_ = 0;
+  uint64_t fingerprint_ = 0;
+
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<server::ShmClient> channel_;
+  /// Never-evicting record arena: unordered_map's node-based storage keeps
+  /// every CachedRecord's address (and so every handed-out span) stable.
+  mutable std::unordered_map<graph::NodeId, CachedRecord> records_;
+};
+
+}  // namespace labelrw::osn
+
+#endif  // LABELRW_OSN_IPC_TRANSPORT_H_

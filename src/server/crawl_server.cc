@@ -1,0 +1,335 @@
+#include "server/crawl_server.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <new>
+
+#include "util/log.h"
+
+namespace labelrw::server {
+namespace {
+
+/// Worker poll tick: the upper bound on how stale a missed doorbell wakeup
+/// can go, and the reaper's scan cadence.
+constexpr int64_t kWorkerTickNs = 100'000'000;  // 100ms
+
+Status ShmError(const std::string& what, const std::string& name) {
+  return InternalError("crawl server: " + what + " for shm object '" + name +
+                       "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status CrawlServer::Start(const ServerOptions& options) {
+  if (running_) {
+    return FailedPreconditionError("crawl server: already running");
+  }
+  if (options.num_slots == 0 || options.num_slots > 4096) {
+    return InvalidArgumentError(
+        "crawl server: num_slots must be in [1, 4096]");
+  }
+  if (options.shm_name.empty() || options.shm_name[0] != '/') {
+    return InvalidArgumentError(
+        "crawl server: shm_name must be a POSIX shm name starting with '/'");
+  }
+  options_ = options;
+
+  LABELRW_ASSIGN_OR_RETURN(
+      store_,
+      store::ShardedMappedGraph::Open(options.manifest_path,
+                                      options.map_options));
+  if (options_.num_workers == 0) options_.num_workers = store_.num_shards();
+  options_.num_workers = std::clamp<uint32_t>(options_.num_workers, 1, 256);
+
+  const uint64_t payload_capacity =
+      ShmPayloadCapacity(store_.max_degree(), store_.max_label_row());
+  slab_bytes_ = ShmSlabBytes(options_.num_slots, payload_capacity);
+
+  // A stale slab from a crashed daemon is reclaimed; a *live* one is not —
+  // two servers on one name would hand the same slot to two sessions.
+  int fd = ::shm_open(options_.shm_name.c_str(), O_RDWR, 0);
+  if (fd >= 0) {
+    void* peek = ::mmap(nullptr, sizeof(ShmHeader), PROT_READ, MAP_SHARED,
+                        fd, 0);
+    ::close(fd);
+    if (peek != MAP_FAILED) {
+      const auto* old = static_cast<const ShmHeader*>(peek);
+      const bool live = std::memcmp(old->magic, kShmMagic,
+                                    sizeof(kShmMagic)) == 0 &&
+                        old->alive.load(std::memory_order_acquire) != 0 &&
+                        ShmPidAlive(old->server_pid);
+      ::munmap(peek, sizeof(ShmHeader));
+      if (live) {
+        return FailedPreconditionError(
+            "crawl server: shm object '" + options_.shm_name +
+            "' is already served by a live daemon");
+      }
+    }
+    ::shm_unlink(options_.shm_name.c_str());
+  }
+
+  fd = ::shm_open(options_.shm_name.c_str(), O_CREAT | O_EXCL | O_RDWR,
+                  0600);
+  if (fd < 0) return ShmError("shm_open", options_.shm_name);
+  if (::ftruncate(fd, static_cast<off_t>(slab_bytes_)) != 0) {
+    ::close(fd);
+    ::shm_unlink(options_.shm_name.c_str());
+    return ShmError("ftruncate", options_.shm_name);
+  }
+  slab_ = ::mmap(nullptr, slab_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                 fd, 0);
+  ::close(fd);
+  if (slab_ == MAP_FAILED) {
+    slab_ = nullptr;
+    ::shm_unlink(options_.shm_name.c_str());
+    return ShmError("mmap", options_.shm_name);
+  }
+
+  // ftruncate hands back zero pages; placement-new makes the atomics'
+  // lifetimes formal without touching the zeroed payload region.
+  header_ = new (slab_) ShmHeader();
+  for (uint32_t i = 0; i < options_.num_slots; ++i) {
+    new (ShmSlotAt(slab_, i)) SessionSlot();
+  }
+  std::memcpy(header_->magic, kShmMagic, sizeof(kShmMagic));
+  header_->version = kShmProtocolVersion;
+  header_->num_slots = options_.num_slots;
+  header_->slab_bytes = slab_bytes_;
+  header_->payload_capacity = payload_capacity;
+  header_->server_pid = static_cast<int32_t>(::getpid());
+  header_->num_nodes = store_.num_nodes();
+  header_->num_edges = store_.num_edges();
+  header_->max_degree = store_.max_degree();
+  header_->max_line_degree = store_.max_line_degree();
+  header_->max_label_row = store_.max_label_row();
+  header_->store_fingerprint = store_.fingerprint();
+  header_->num_shards = store_.num_shards();
+  header_->hash_seed = store_.hash_seed();
+  header_->heartbeat_us.store(ShmNowUs(), std::memory_order_relaxed);
+  // The publish: clients check alive after validating the magic, so every
+  // field above must be in place before this store.
+  header_->alive.store(1, std::memory_order_release);
+
+  running_ = true;
+  workers_.reserve(options_.num_workers);
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  if (!options_.quiet) {
+    LABELRW_ILOG(
+        "crawl server: serving '%s' (%u shards, %lld nodes) on shm '%s' "
+        "(%u slots, %u workers, %.1f MiB slab)",
+        options_.manifest_path.c_str(), store_.num_shards(),
+        static_cast<long long>(store_.num_nodes()),
+        options_.shm_name.c_str(), options_.num_slots, options_.num_workers,
+        static_cast<double>(slab_bytes_) / (1024.0 * 1024.0));
+  }
+  return Status::Ok();
+}
+
+void CrawlServer::Stop() {
+  if (!running_) return;
+  header_->alive.store(0, std::memory_order_release);
+  FutexWakeAll(&header_->doorbell);
+  for (uint32_t i = 0; i < options_.num_slots; ++i) {
+    FutexWakeAll(&ShmSlotAt(slab_, i)->resp_seq);
+  }
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  ::munmap(slab_, slab_bytes_);
+  slab_ = nullptr;
+  header_ = nullptr;
+  ::shm_unlink(options_.shm_name.c_str());
+  running_ = false;
+  if (!options_.quiet) {
+    LABELRW_ILOG("crawl server: stopped (%llu requests served)",
+                 static_cast<unsigned long long>(
+                     requests_served_.load(std::memory_order_relaxed)));
+  }
+}
+
+ServerStats CrawlServer::stats() const {
+  ServerStats stats;
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.sessions_admitted =
+      sessions_admitted_.load(std::memory_order_relaxed);
+  stats.sessions_reaped_dead =
+      sessions_reaped_dead_.load(std::memory_order_relaxed);
+  stats.sessions_reaped_idle =
+      sessions_reaped_idle_.load(std::memory_order_relaxed);
+  if (running_) {
+    for (uint32_t i = 0; i < options_.num_slots; ++i) {
+      if (ShmSlotAt(slab_, i)->state.load(std::memory_order_acquire) ==
+          kSlotActive) {
+        ++stats.active_sessions;
+      }
+    }
+  }
+  return stats;
+}
+
+void CrawlServer::ResetSlot(SessionSlot* slot) {
+  slot->client_pid.store(0, std::memory_order_relaxed);
+  slot->last_active_us.store(0, std::memory_order_relaxed);
+  slot->opcode = kOpNone;
+  // Quiesce the turn counters, then free. Order matters: once state reads
+  // kSlotFree a connecting client may claim the slot, and from that moment
+  // every cell belongs to the new session.
+  slot->resp_seq.store(slot->req_seq.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+  slot->state.store(kSlotFree, std::memory_order_release);
+}
+
+void CrawlServer::ServeSlot(uint32_t i) {
+  SessionSlot* slot = ShmSlotAt(slab_, i);
+  const uint32_t req = slot->req_seq.load(std::memory_order_acquire);
+  const uint32_t opcode = slot->opcode;
+  slot->last_active_us.store(ShmNowUs(), std::memory_order_relaxed);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (opcode == kOpGoodbye) {
+    // Fire-and-forget: the client is already gone. ResetSlot hands the
+    // slot back to admission; no response, no wake.
+    ResetSlot(slot);
+    return;
+  }
+
+  switch (opcode) {
+    case kOpHello: {
+      if (slot->state.load(std::memory_order_acquire) == kSlotHandshake) {
+        slot->status_code = static_cast<int32_t>(StatusCode::kOk);
+        slot->state.store(kSlotActive, std::memory_order_release);
+        sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        slot->status_code =
+            static_cast<int32_t>(StatusCode::kFailedPrecondition);
+      }
+      break;
+    }
+    case kOpFetchRecord: {
+      if (slot->state.load(std::memory_order_acquire) != kSlotActive) {
+        slot->status_code =
+            static_cast<int32_t>(StatusCode::kFailedPrecondition);
+        break;
+      }
+      const graph::NodeId u = slot->user;
+      if (!store_.IsValidNode(u)) {
+        slot->status_code = static_cast<int32_t>(StatusCode::kNotFound);
+        break;
+      }
+      const std::span<const graph::NodeId> neighbors =
+          store_.NeighborsFast(u);
+      const std::span<const graph::Label> labels = store_.LabelsFast(u);
+      char* payload = ShmPayloadAt(slab_, *header_, i);
+      std::memcpy(payload, neighbors.data(),
+                  neighbors.size() * sizeof(graph::NodeId));
+      std::memcpy(payload + neighbors.size() * sizeof(graph::NodeId),
+                  labels.data(), labels.size() * sizeof(graph::Label));
+      slot->degree = static_cast<int64_t>(neighbors.size());
+      slot->n_neighbors = static_cast<uint32_t>(neighbors.size());
+      slot->n_labels = static_cast<uint32_t>(labels.size());
+      slot->status_code = static_cast<int32_t>(StatusCode::kOk);
+      break;
+    }
+    default:
+      slot->status_code = static_cast<int32_t>(StatusCode::kUnimplemented);
+      break;
+  }
+
+  slot->resp_seq.store(req, std::memory_order_release);
+  FutexWakeAll(&slot->resp_seq);
+}
+
+void CrawlServer::ReapPass(int64_t now_us) {
+  const int64_t idle_us = options_.idle_timeout_ms * 1'000;
+  for (uint32_t i = 0; i < options_.num_slots; ++i) {
+    SessionSlot* slot = ShmSlotAt(slab_, i);
+    if (slot->state.load(std::memory_order_acquire) == kSlotFree) continue;
+    uint32_t zero = 0;
+    if (!slot->claimed.compare_exchange_strong(zero, 1,
+                                               std::memory_order_acq_rel)) {
+      continue;
+    }
+    if (slot->state.load(std::memory_order_acquire) != kSlotFree) {
+      const int32_t pid = slot->client_pid.load(std::memory_order_relaxed);
+      const bool pending =
+          slot->req_seq.load(std::memory_order_acquire) !=
+          slot->resp_seq.load(std::memory_order_relaxed);
+      if (!ShmPidAlive(pid)) {
+        // The dead client may have died mid-request; quiescing the turn
+        // counters inside ResetSlot retires that request too.
+        ResetSlot(slot);
+        sessions_reaped_dead_.fetch_add(1, std::memory_order_relaxed);
+      } else if (idle_us > 0 && !pending &&
+                 now_us - slot->last_active_us.load(
+                              std::memory_order_relaxed) >
+                     idle_us) {
+        ResetSlot(slot);
+        sessions_reaped_idle_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    slot->claimed.store(0, std::memory_order_release);
+  }
+}
+
+void CrawlServer::WorkerLoop(uint32_t worker_index) {
+  const uint32_t num_workers = options_.num_workers;
+  while (header_->alive.load(std::memory_order_acquire) != 0) {
+    // The ticket is read BEFORE the scan: a request posted during the scan
+    // bumps the doorbell past it, so the wait below returns immediately
+    // instead of losing the wakeup.
+    const uint32_t ticket = header_->doorbell.load(std::memory_order_acquire);
+    bool saw_pending = false;
+    // Pass 0 takes only this worker's preferred slots (fetches routing to
+    // its shards); pass 1 takes anything still pending — locality without
+    // cross-worker stalls.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (uint32_t i = 0; i < options_.num_slots; ++i) {
+        SessionSlot* slot = ShmSlotAt(slab_, i);
+        if (slot->req_seq.load(std::memory_order_acquire) ==
+            slot->resp_seq.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        saw_pending = true;
+        if (pass == 0 && num_workers > 1) {
+          // Peek is unguarded: a stale read only misroutes the preference,
+          // never the request (the claimed owner re-reads everything).
+          const bool preferred =
+              slot->opcode == kOpFetchRecord
+                  ? store_.ShardOf(slot->user) % num_workers == worker_index
+                  : worker_index == 0;
+          if (!preferred) continue;
+        }
+        uint32_t zero = 0;
+        if (!slot->claimed.compare_exchange_strong(
+                zero, 1, std::memory_order_acq_rel)) {
+          continue;
+        }
+        if (slot->req_seq.load(std::memory_order_acquire) !=
+            slot->resp_seq.load(std::memory_order_relaxed)) {
+          ServeSlot(i);
+        }
+        slot->claimed.store(0, std::memory_order_release);
+      }
+    }
+    if (worker_index == 0) {
+      const int64_t now_us = ShmNowUs();
+      header_->heartbeat_us.store(now_us, std::memory_order_relaxed);
+      ReapPass(now_us);
+    }
+    // saw_pending covers the claim-lost case too: another worker holds the
+    // slot, so spin once more instead of sleeping on a doorbell that will
+    // never ring again for that request.
+    if (!saw_pending) {
+      FutexWait(&header_->doorbell, ticket, kWorkerTickNs);
+    }
+  }
+}
+
+}  // namespace labelrw::server

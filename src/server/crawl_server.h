@@ -1,0 +1,107 @@
+// CrawlServer: the long-lived serving side of the shared-memory crawl
+// protocol (server/shm_protocol.h).
+//
+// Start() opens a sharded store (store/sharded_graph.h), mmaps every shard
+// once, creates the shm slab, and spins up a worker pool that drains the
+// session slots' request queue. One process serves every concurrent
+// OsnClient session on the machine; clients cost one slot each, not one
+// store mapping each.
+//
+// Workers prefer requests whose node routes to "their" shard
+// (ShardOf(user) % num_workers == worker_index) and fall back to any
+// pending request on a second pass — locality when the partition is
+// balanced, no stalls when it is not. A reaper pass piggybacked on worker 0
+// reclaims slots whose client died (pid gone) or went idle past the
+// timeout, so leaked sessions never brown out admission.
+//
+// Stop() is clean-shutdown: alive goes 0, workers drain and exit, waiting
+// clients observe the flag during their next wait tick and surface
+// kUnavailable, and the shm name is unlinked. Destruction implies Stop().
+//
+// tools/labelrw_serverd.cc wraps this in a daemon; tests embed it
+// in-process.
+
+#ifndef LABELRW_SERVER_CRAWL_SERVER_H_
+#define LABELRW_SERVER_CRAWL_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/shm_protocol.h"
+#include "store/sharded_graph.h"
+#include "util/status.h"
+
+namespace labelrw::server {
+
+struct ServerOptions {
+  /// The sharded store to serve: `<prefix>.manifest` or a bare prefix.
+  std::string manifest_path;
+  /// POSIX shm object name ("/labelrw-crawl" style; leading '/' required).
+  std::string shm_name;
+  /// Concurrent session capacity. Admission beyond this fails with
+  /// kResourceExhausted at the client until a slot frees.
+  uint32_t num_slots = 64;
+  /// Worker threads draining requests. 0 = one per shard.
+  uint32_t num_workers = 0;
+  /// Reclaim an admitted session with no traffic for this long. 0 disables.
+  int64_t idle_timeout_ms = 30'000;
+  /// Passed through to the shard mappings (store/mapped_graph.h).
+  store::MapOptions map_options;
+  /// Suppress startup/shutdown log lines (tests).
+  bool quiet = false;
+};
+
+struct ServerStats {
+  uint64_t requests_served = 0;
+  uint64_t sessions_admitted = 0;
+  uint64_t sessions_reaped_dead = 0;  // client pid vanished
+  uint64_t sessions_reaped_idle = 0;  // idle_timeout_ms expired
+  uint32_t active_sessions = 0;
+};
+
+class CrawlServer {
+ public:
+  CrawlServer() = default;
+  ~CrawlServer() { Stop(); }
+  CrawlServer(const CrawlServer&) = delete;
+  CrawlServer& operator=(const CrawlServer&) = delete;
+
+  /// Opens the store, creates the slab, starts the workers. Fails closed on
+  /// a bad store, an un-creatable shm object, or zero slots.
+  Status Start(const ServerOptions& options);
+
+  /// Clean shutdown; idempotent. Safe to call on a never-started server.
+  void Stop();
+
+  bool running() const { return running_; }
+  const store::ShardedMappedGraph& store() const { return store_; }
+
+  /// Point-in-time counters (relaxed reads; exact only when quiescent).
+  ServerStats stats() const;
+
+ private:
+  void WorkerLoop(uint32_t worker_index);
+  void ReapPass(int64_t now_us);
+  /// Serves slot `i`'s pending request. Caller holds the `claimed` guard.
+  void ServeSlot(uint32_t i);
+  void ResetSlot(SessionSlot* slot);
+
+  ServerOptions options_;
+  store::ShardedMappedGraph store_;
+  void* slab_ = nullptr;
+  uint64_t slab_bytes_ = 0;
+  ShmHeader* header_ = nullptr;
+  bool running_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> sessions_admitted_{0};
+  std::atomic<uint64_t> sessions_reaped_dead_{0};
+  std::atomic<uint64_t> sessions_reaped_idle_{0};
+};
+
+}  // namespace labelrw::server
+
+#endif  // LABELRW_SERVER_CRAWL_SERVER_H_

@@ -1,0 +1,222 @@
+#include "server/shm_client.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace labelrw::server {
+namespace {
+
+/// Client wait tick: liveness re-check cadence while blocked on a turn.
+constexpr int64_t kClientTickNs = 50'000'000;  // 50ms
+
+Status ServerGoneError(const std::string& what) {
+  return UnavailableError("ipc: crawl server " + what +
+                          "; retry after the daemon is restarted");
+}
+
+Status StatusFromSlotCode(int32_t code) {
+  const auto status_code = static_cast<StatusCode>(code);
+  switch (status_code) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kNotFound:
+      return NotFoundError("FetchRecord: unknown user");
+    case StatusCode::kFailedPrecondition:
+      return FailedPreconditionError(
+          "ipc: crawl server rejected the request (session not admitted)");
+    default:
+      return Status(status_code,
+                    "ipc: crawl server returned " +
+                        std::string(StatusCodeName(status_code)));
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShmClient>> ShmClient::Connect(
+    const std::string& shm_name, const ShmClientOptions& options) {
+  const int fd = ::shm_open(shm_name.c_str(), O_RDWR, 0);
+  if (fd < 0) {
+    return UnavailableError("ipc: no crawl server at shm '" + shm_name +
+                            "' (" + std::strerror(errno) +
+                            "); start labelrw_serverd first");
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return InternalError("ipc: cannot stat shm '" + shm_name +
+                         "': " + std::strerror(errno));
+  }
+  const auto mapped_bytes = static_cast<uint64_t>(st.st_size);
+  if (mapped_bytes < sizeof(ShmHeader)) {
+    ::close(fd);
+    return UnavailableError("ipc: shm '" + shm_name +
+                            "' is smaller than the protocol header (daemon "
+                            "still initializing or not a crawl server)");
+  }
+  void* slab = ::mmap(nullptr, mapped_bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (slab == MAP_FAILED) {
+    return InternalError("ipc: cannot map shm '" + shm_name +
+                         "': " + std::strerror(errno));
+  }
+
+  auto client = std::unique_ptr<ShmClient>(new ShmClient());
+  client->slab_ = slab;
+  client->slab_bytes_ = mapped_bytes;
+  client->header_ = static_cast<ShmHeader*>(slab);
+  ShmHeader* header = client->header_;
+
+  if (std::memcmp(header->magic, kShmMagic, sizeof(kShmMagic)) != 0) {
+    return InvalidArgumentError("ipc: shm '" + shm_name +
+                                "' is not a labelrw crawl server slab");
+  }
+  if (header->version != kShmProtocolVersion) {
+    return FailedPreconditionError(
+        "ipc: crawl server speaks protocol version " +
+        std::to_string(header->version) + ", this build speaks " +
+        std::to_string(kShmProtocolVersion));
+  }
+  if (header->alive.load(std::memory_order_acquire) == 0 ||
+      !ShmPidAlive(header->server_pid)) {
+    return ServerGoneError("at shm '" + shm_name + "' is not alive");
+  }
+  if (header->num_slots == 0 ||
+      ShmSlabBytes(header->num_slots, header->payload_capacity) >
+          mapped_bytes) {
+    return InvalidArgumentError("ipc: shm '" + shm_name +
+                                "' header describes a slab larger than the "
+                                "object (corrupt or torn)");
+  }
+
+  // Admission: claim any free slot. The last_active stamp must land before
+  // the reaper's next pass can see a fresh handshake slot as idle.
+  for (uint32_t i = 0; i < header->num_slots; ++i) {
+    SessionSlot* slot = ShmSlotAt(slab, i);
+    uint32_t free_state = kSlotFree;
+    if (!slot->state.compare_exchange_strong(free_state, kSlotHandshake,
+                                             std::memory_order_acq_rel)) {
+      continue;
+    }
+    slot->last_active_us.store(ShmNowUs(), std::memory_order_relaxed);
+    slot->client_pid.store(static_cast<int32_t>(::getpid()),
+                           std::memory_order_release);
+    client->slot_ = slot;
+    client->payload_ = ShmPayloadAt(slab, *header, i);
+
+    slot->opcode = kOpHello;
+    const Status admitted = client->PostAndWait(options.connect_timeout_ms);
+    if (!admitted.ok()) {
+      // The hello may still be pending server-side; hand the slot back via
+      // goodbye (fire-and-forget works whether or not anyone drains it —
+      // the reaper retires our pid's slots once this process exits).
+      slot->opcode = kOpGoodbye;
+      slot->req_seq.fetch_add(1, std::memory_order_release);
+      header->doorbell.fetch_add(1, std::memory_order_release);
+      FutexWakeAll(&header->doorbell);
+      client->slot_ = nullptr;  // destructor must not re-post goodbye
+      return admitted;
+    }
+
+    client->options_ = options;
+    client->info_.num_nodes = header->num_nodes;
+    client->info_.num_edges = header->num_edges;
+    client->info_.max_degree = header->max_degree;
+    client->info_.max_line_degree = header->max_line_degree;
+    client->info_.max_label_row = header->max_label_row;
+    client->info_.store_fingerprint = header->store_fingerprint;
+    client->info_.num_shards = header->num_shards;
+    client->info_.hash_seed = header->hash_seed;
+    return client;
+  }
+  return ResourceExhaustedError(
+      "ipc: crawl server at shm '" + shm_name + "' has no free session slot (" +
+      std::to_string(header->num_slots) + " in use)");
+}
+
+ShmClient::~ShmClient() {
+  if (slot_ != nullptr) {
+    slot_->opcode = kOpGoodbye;
+    slot_->req_seq.fetch_add(1, std::memory_order_release);
+    header_->doorbell.fetch_add(1, std::memory_order_release);
+    FutexWakeAll(&header_->doorbell);
+  }
+  if (slab_ != nullptr) ::munmap(slab_, slab_bytes_);
+}
+
+bool ShmClient::ServerAlive() const {
+  return header_ != nullptr &&
+         header_->alive.load(std::memory_order_acquire) != 0 &&
+         ShmPidAlive(header_->server_pid);
+}
+
+Status ShmClient::PostAndWait(int64_t timeout_ms) {
+  SessionSlot* slot = slot_;
+  const uint32_t req =
+      slot->req_seq.fetch_add(1, std::memory_order_release) + 1;
+  header_->doorbell.fetch_add(1, std::memory_order_release);
+  FutexWakeAll(&header_->doorbell);
+
+  const int64_t deadline_us = ShmNowUs() + timeout_ms * 1'000;
+  for (;;) {
+    const uint32_t resp = slot->resp_seq.load(std::memory_order_acquire);
+    if (resp == req) break;
+    if (!ServerAlive()) return ServerGoneError("died mid-request");
+    if (ShmNowUs() > deadline_us) {
+      return ServerGoneError("did not answer within " +
+                             std::to_string(timeout_ms) + "ms");
+    }
+    FutexWait(&slot->resp_seq, resp, kClientTickNs);
+  }
+  return StatusFromSlotCode(slot->status_code);
+}
+
+Status ShmClient::Fetch(graph::NodeId u,
+                        std::vector<graph::NodeId>* neighbors,
+                        std::vector<graph::Label>* labels, int64_t* degree) {
+  SessionSlot* slot = slot_;
+  if (slot == nullptr) {
+    return FailedPreconditionError("ipc: Fetch on a disconnected session");
+  }
+  // Reap guard: if the server retired this session (idle timeout) or a
+  // restarted daemon re-dealt the slot, our writes would land in someone
+  // else's lane. The in-flight-request rule keeps the reaper off a busy
+  // slot, so checking right before the post closes the window.
+  if (slot->state.load(std::memory_order_acquire) != kSlotActive ||
+      slot->client_pid.load(std::memory_order_acquire) !=
+          static_cast<int32_t>(::getpid())) {
+    slot_ = nullptr;  // lane lost; do not goodbye someone else's slot
+    return ServerGoneError("reclaimed this session's slot");
+  }
+
+  slot->opcode = kOpFetchRecord;
+  slot->user = u;
+  LABELRW_RETURN_IF_ERROR(PostAndWait(options_.request_timeout_ms));
+
+  const uint32_t n_neighbors = slot->n_neighbors;
+  const uint32_t n_labels = slot->n_labels;
+  const uint64_t bytes =
+      static_cast<uint64_t>(n_neighbors) * sizeof(graph::NodeId) +
+      static_cast<uint64_t>(n_labels) * sizeof(graph::Label);
+  if (bytes > header_->payload_capacity) {
+    return DataLossError("ipc: response larger than the slot payload "
+                         "(corrupt slab)");
+  }
+  *degree = slot->degree;
+  neighbors->resize(n_neighbors);
+  std::memcpy(neighbors->data(), payload_,
+              n_neighbors * sizeof(graph::NodeId));
+  labels->resize(n_labels);
+  std::memcpy(labels->data(), payload_ + n_neighbors * sizeof(graph::NodeId),
+              n_labels * sizeof(graph::Label));
+  return Status::Ok();
+}
+
+}  // namespace labelrw::server

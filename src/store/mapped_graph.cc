@@ -19,53 +19,16 @@ namespace {
 /// Notes a denied mapping advice once per process per kind: containers
 /// without THP-for-files, locked-memory limits, and non-Linux kernels are
 /// expected environments, not errors — the mapping works either way, only
-/// the TLB/fault behavior differs.
-void NoteAdviceUnavailable(std::atomic<bool>* warned, const char* what,
-                           const std::string& path, int err) {
+/// the TLB/fault behavior differs. `quiet` callers skip the note without
+/// consuming the once-per-process budget.
+void NoteAdviceUnavailable(std::atomic<bool>* warned, bool quiet,
+                           const char* what, const std::string& path,
+                           int err) {
+  if (quiet) return;
   if (warned->exchange(true)) return;
   LABELRW_ILOG("store '%s': %s unavailable (%s); mapping stays fully "
                "functional without it",
                path.c_str(), what, std::strerror(err));
-}
-
-/// Applies MapOptions' memory-system advice to a validated mapping.
-/// Best-effort by design: every failure degrades to the plain mapping.
-void ApplyMapAdvice(void* map, size_t bytes, const StoreHeader& header,
-                    const MapOptions& options, const std::string& path) {
-  static std::atomic<bool> warned_huge{false};
-  static std::atomic<bool> warned_willneed{false};
-  static std::atomic<bool> warned_mlock{false};
-  if (options.huge_pages) {
-#ifdef MADV_HUGEPAGE
-    if (::madvise(map, bytes, MADV_HUGEPAGE) != 0) {
-      NoteAdviceUnavailable(&warned_huge, "madvise(MADV_HUGEPAGE)", path,
-                            errno);
-    }
-#else
-    NoteAdviceUnavailable(&warned_huge, "madvise(MADV_HUGEPAGE)", path,
-                          ENOTSUP);
-#endif
-  }
-  if (options.willneed) {
-#ifdef MADV_WILLNEED
-    if (::madvise(map, bytes, MADV_WILLNEED) != 0) {
-      NoteAdviceUnavailable(&warned_willneed, "madvise(MADV_WILLNEED)", path,
-                            errno);
-    }
-#else
-    NoteAdviceUnavailable(&warned_willneed, "madvise(MADV_WILLNEED)", path,
-                          ENOTSUP);
-#endif
-  }
-  if (options.lock_offsets) {
-    const SectionDesc& offsets = header.sections[kSectionCsrOffsets];
-    if (offsets.byte_size > 0 &&
-        ::mlock(static_cast<const char*>(map) + offsets.file_offset,
-                offsets.byte_size) != 0) {
-      NoteAdviceUnavailable(&warned_mlock, "mlock(offsets section)", path,
-                            errno);
-    }
-  }
 }
 
 Status TruncatedError(const std::string& path, const std::string& what) {
@@ -155,6 +118,62 @@ std::span<const T> SectionSpan(const void* map, const SectionDesc& desc) {
 
 }  // namespace
 
+const char* MapAdviceState(bool requested, bool applied) {
+  if (!requested) return "off";
+  return applied ? "applied" : "denied";
+}
+
+MapReport ApplyMapAdvice(void* map, size_t bytes,
+                         uint64_t offsets_file_offset,
+                         uint64_t offsets_byte_size, const MapOptions& options,
+                         const std::string& path) {
+  static std::atomic<bool> warned_huge{false};
+  static std::atomic<bool> warned_willneed{false};
+  static std::atomic<bool> warned_mlock{false};
+  MapReport report;
+  report.huge_pages_requested = options.huge_pages;
+  report.willneed_requested = options.willneed;
+  report.lock_offsets_requested = options.lock_offsets;
+  if (options.huge_pages) {
+#ifdef MADV_HUGEPAGE
+    report.huge_pages_applied = ::madvise(map, bytes, MADV_HUGEPAGE) == 0;
+    if (!report.huge_pages_applied) {
+      NoteAdviceUnavailable(&warned_huge, options.quiet,
+                            "madvise(MADV_HUGEPAGE)", path, errno);
+    }
+#else
+    NoteAdviceUnavailable(&warned_huge, options.quiet,
+                          "madvise(MADV_HUGEPAGE)", path, ENOTSUP);
+#endif
+  }
+  if (options.willneed) {
+#ifdef MADV_WILLNEED
+    report.willneed_applied = ::madvise(map, bytes, MADV_WILLNEED) == 0;
+    if (!report.willneed_applied) {
+      NoteAdviceUnavailable(&warned_willneed, options.quiet,
+                            "madvise(MADV_WILLNEED)", path, errno);
+    }
+#else
+    NoteAdviceUnavailable(&warned_willneed, options.quiet,
+                          "madvise(MADV_WILLNEED)", path, ENOTSUP);
+#endif
+  }
+  if (options.lock_offsets) {
+    if (offsets_byte_size > 0) {
+      report.lock_offsets_applied =
+          ::mlock(static_cast<const char*>(map) + offsets_file_offset,
+                  offsets_byte_size) == 0;
+      if (!report.lock_offsets_applied) {
+        NoteAdviceUnavailable(&warned_mlock, options.quiet,
+                              "mlock(offsets section)", path, errno);
+      }
+    } else {
+      report.lock_offsets_applied = true;  // nothing to pin
+    }
+  }
+  return report;
+}
+
 MappedGraph::~MappedGraph() {
   if (map_ != nullptr) ::munmap(map_, map_bytes_);
 }
@@ -164,6 +183,7 @@ MappedGraph::MappedGraph(MappedGraph&& other) noexcept
       map_bytes_(std::exchange(other.map_bytes_, 0)),
       path_(std::move(other.path_)),
       header_(other.header_),
+      map_report_(other.map_report_),
       graph_(std::move(other.graph_)),
       labels_(std::move(other.labels_)),
       remap_(std::exchange(other.remap_, {})) {}
@@ -175,6 +195,7 @@ MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
     map_bytes_ = std::exchange(other.map_bytes_, 0);
     path_ = std::move(other.path_);
     header_ = other.header_;
+    map_report_ = other.map_report_;
     graph_ = std::move(other.graph_);
     labels_ = std::move(other.labels_);
     remap_ = std::exchange(other.remap_, {});
@@ -237,7 +258,11 @@ Result<MappedGraph> MappedGraph::Open(const std::string& path,
   LABELRW_RETURN_IF_ERROR(mapped.CheckIntact());
   std::memcpy(&mapped.header_, map, sizeof(StoreHeader));
   LABELRW_RETURN_IF_ERROR(ValidateHeader(mapped.header_, file_bytes, path));
-  ApplyMapAdvice(map, mapped.map_bytes_, mapped.header_, options, path);
+  const SectionDesc& csr_offsets =
+      mapped.header_.sections[kSectionCsrOffsets];
+  mapped.map_report_ =
+      ApplyMapAdvice(map, mapped.map_bytes_, csr_offsets.file_offset,
+                     csr_offsets.byte_size, options, path);
 
   if (options.verify_section_checksums) {
     // The checksum pass reads every mapped page; verify the file still

@@ -57,10 +57,40 @@ struct MapOptions {
   /// every step's pointer chase can never take a major fault. Subject to
   /// RLIMIT_MEMLOCK; denial degrades gracefully with a logged note.
   bool lock_offsets = false;
+  /// Suppress the one-time "advice unavailable" log notes. Long-lived
+  /// daemons and batch passes that open many mappings own their startup
+  /// logs; they read the MapReport instead of scraping stderr.
+  bool quiet = false;
 };
 
 /// Pre-MapOptions spelling, kept for existing call sites.
 using MappedGraphOptions = MapOptions;
+
+/// What actually took effect when a mapping's MapOptions were applied —
+/// requested vs. applied per advice kind, so tools can print the effective
+/// flags ("huge_pages=denied") instead of the requested ones.
+struct MapReport {
+  bool huge_pages_requested = false;
+  bool huge_pages_applied = false;
+  bool willneed_requested = false;
+  bool willneed_applied = false;
+  bool lock_offsets_requested = false;
+  bool lock_offsets_applied = false;
+};
+
+/// Human-readable state of one advice kind: "applied", "denied", or "off".
+const char* MapAdviceState(bool requested, bool applied);
+
+/// Applies MapOptions' memory-system advice to an arbitrary read-only
+/// mapping. Best-effort by design: every failure degrades to the plain
+/// mapping and is recorded in the returned MapReport (and, unless
+/// options.quiet, noted once per process per kind). `offsets_file_offset` /
+/// `offsets_byte_size` name the region `lock_offsets` pins; pass 0/0 to
+/// skip. Shared by MappedGraph and the sharded store's per-shard mappings.
+MapReport ApplyMapAdvice(void* map, size_t bytes,
+                         uint64_t offsets_file_offset,
+                         uint64_t offsets_byte_size, const MapOptions& options,
+                         const std::string& path);
 
 class MappedGraph {
  public:
@@ -92,6 +122,9 @@ class MappedGraph {
   const StoreHeader& header() const { return header_; }
   int64_t file_bytes() const { return static_cast<int64_t>(map_bytes_); }
 
+  /// Which mapping advice actually took effect at Open.
+  const MapReport& map_report() const { return map_report_; }
+
   /// Re-stats the backing file and fails with kDataLoss if it shrank below
   /// the mapped size since Open. A mapping over a truncated file SIGBUSes
   /// on the first touch of a vanished page — an uncatchable crash, not an
@@ -106,6 +139,7 @@ class MappedGraph {
   size_t map_bytes_ = 0;
   std::string path_;  // for CheckIntact's re-stat
   StoreHeader header_{};  // copied out of the mapping at open
+  MapReport map_report_{};
   graph::Graph graph_;
   graph::LabelStore labels_;
   std::span<const graph::NodeId> remap_;

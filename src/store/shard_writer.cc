@@ -1,0 +1,272 @@
+#include "store/shard_writer.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "graph/oracle.h"
+#include "store/mapped_graph.h"
+#include "store/sharded_format.h"
+
+namespace labelrw::store {
+namespace {
+
+Status WriteError(const std::string& path) {
+  return InternalError("cannot write shard store file '" + path +
+                       "': " + std::strerror(errno));
+}
+
+/// Appends `size` bytes at the current position, advancing `*pos` and
+/// chaining `*checksum` (when given) over the payload.
+Status WriteBytes(std::FILE* f, const void* data, size_t size, uint64_t* pos,
+                  uint64_t* checksum, const std::string& path) {
+  if (size == 0) return Status::Ok();
+  if (std::fwrite(data, 1, size, f) != size) return WriteError(path);
+  *pos += size;
+  if (checksum != nullptr) *checksum = Fnv1a64(data, size, *checksum);
+  return Status::Ok();
+}
+
+/// Zero-pads up to the next kSectionAlignment boundary.
+Status PadToAlignment(std::FILE* f, uint64_t* pos, const std::string& path) {
+  static const char kZeros[kSectionAlignment] = {};
+  const uint64_t target = AlignUp(*pos);
+  if (target > *pos) {
+    const size_t pad = static_cast<size_t>(target - *pos);
+    if (std::fwrite(kZeros, 1, pad, f) != pad) return WriteError(path);
+    *pos = target;
+  }
+  return Status::Ok();
+}
+
+/// RAII close + error-path unlink, so a failed pass never leaves a torn
+/// shard file behind that a later open could misread as truncation.
+struct OutputFile {
+  std::FILE* f = nullptr;
+  std::string path;
+  bool keep = false;
+
+  ~OutputFile() {
+    if (f != nullptr) std::fclose(f);
+    if (!keep) std::remove(path.c_str());
+  }
+};
+
+}  // namespace
+
+Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
+                                          const std::string& out_prefix,
+                                          uint32_t num_shards,
+                                          const ShardWriteOptions& options) {
+  if (num_shards == 0) {
+    return InvalidArgumentError("shard pass: num_shards must be >= 1");
+  }
+  if (num_shards > 4096) {
+    return InvalidArgumentError(
+        "shard pass: num_shards above 4096 is not supported (one file and "
+        "one mapping per shard)");
+  }
+
+  MapOptions map_options;
+  map_options.huge_pages = false;  // one streaming pass; THP buys nothing
+  map_options.quiet = true;
+  LABELRW_ASSIGN_OR_RETURN(const MappedGraph mapped,
+                           MappedGraph::Open(store_path, map_options));
+  const graph::Graph& g = mapped.graph();
+  const graph::LabelStore& labels = mapped.labels();
+  const std::span<const graph::NodeId> remap = mapped.remap();
+  const bool has_remap = !remap.empty();
+  const int64_t n = g.num_nodes();
+
+  // The O(|E|) maxima scans, while the CSR is still contiguous.
+  const graph::DegreeStats degree_stats = graph::ComputeDegreeStats(g);
+  int64_t max_label_row = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    max_label_row = std::max(
+        max_label_row, static_cast<int64_t>(labels.labels(u).size()));
+  }
+
+  std::vector<ManifestShardEntry> entries(num_shards);
+  ShardWriteStats stats;
+  stats.num_shards = num_shards;
+  stats.num_nodes = n;
+  stats.num_edges = g.num_edges();
+  stats.has_remap = has_remap;
+  stats.min_shard_nodes = n;
+  stats.max_shard_nodes = 0;
+
+  std::vector<graph::NodeId> owners;
+  std::vector<int64_t> local_offsets;
+  std::vector<int64_t> local_label_offsets;
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    owners.clear();
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (ShardOfNode(u, options.hash_seed, num_shards) == k) {
+        owners.push_back(u);
+      }
+    }
+    const auto n_k = static_cast<int64_t>(owners.size());
+    local_offsets.assign(1, 0);
+    local_label_offsets.assign(1, 0);
+    int64_t local_max_degree = 0;
+    for (const graph::NodeId u : owners) {
+      const int64_t d = g.degree(u);
+      local_max_degree = std::max(local_max_degree, d);
+      local_offsets.push_back(local_offsets.back() + d);
+      local_label_offsets.push_back(
+          local_label_offsets.back() +
+          static_cast<int64_t>(labels.labels(u).size()));
+    }
+
+    ShardHeader header{};
+    std::memcpy(header.magic, kShardMagic, sizeof(kShardMagic));
+    header.format_version = kShardFormatVersion;
+    header.endian_tag = kEndianTag;
+    header.header_bytes = sizeof(ShardHeader);
+    header.flags = has_remap ? kShardFlagHasRemap : 0;
+    header.shard_index = k;
+    header.num_shards = num_shards;
+    header.hash_seed = options.hash_seed;
+    header.global_num_nodes = n;
+    header.global_num_edges = g.num_edges();
+    header.local_num_nodes = n_k;
+    header.local_adjacency_entries = local_offsets.back();
+    header.local_label_entries = local_label_offsets.back();
+    header.local_max_degree = local_max_degree;
+    header.offset_width = sizeof(int64_t);
+    header.node_id_width = sizeof(graph::NodeId);
+    header.label_width = sizeof(graph::Label);
+
+    OutputFile out;
+    out.path = ShardFilePath(out_prefix, k);
+    out.f = std::fopen(out.path.c_str(), "wb");
+    if (out.f == nullptr) return WriteError(out.path);
+
+    // Header placeholder; rewritten with the final checksums at the end.
+    uint64_t pos = 0;
+    LABELRW_RETURN_IF_ERROR(
+        WriteBytes(out.f, &header, sizeof(header), &pos, nullptr, out.path));
+
+    const auto begin_section = [&](ShardSectionId id,
+                                   uint64_t byte_size) -> Status {
+      LABELRW_RETURN_IF_ERROR(PadToAlignment(out.f, &pos, out.path));
+      SectionDesc& desc = header.sections[id];
+      desc.file_offset = byte_size > 0 ? pos : 0;
+      desc.byte_size = byte_size;
+      desc.checksum = 0xcbf29ce484222325ULL;  // FNV-1a basis; chained below
+      return Status::Ok();
+    };
+    const auto write_into = [&](ShardSectionId id, const void* data,
+                                size_t size) -> Status {
+      return WriteBytes(out.f, data, size, &pos,
+                        &header.sections[id].checksum, out.path);
+    };
+
+    LABELRW_RETURN_IF_ERROR(begin_section(
+        kShardSectionOwners, owners.size() * sizeof(graph::NodeId)));
+    LABELRW_RETURN_IF_ERROR(write_into(kShardSectionOwners, owners.data(),
+                                       owners.size() * sizeof(graph::NodeId)));
+
+    LABELRW_RETURN_IF_ERROR(begin_section(
+        kShardSectionCsrOffsets, local_offsets.size() * sizeof(int64_t)));
+    LABELRW_RETURN_IF_ERROR(
+        write_into(kShardSectionCsrOffsets, local_offsets.data(),
+                   local_offsets.size() * sizeof(int64_t)));
+
+    LABELRW_RETURN_IF_ERROR(begin_section(
+        kShardSectionAdjacency,
+        static_cast<uint64_t>(header.local_adjacency_entries) *
+            sizeof(graph::NodeId)));
+    for (const graph::NodeId u : owners) {
+      const std::span<const graph::NodeId> row = g.neighbors(u);
+      LABELRW_RETURN_IF_ERROR(write_into(kShardSectionAdjacency, row.data(),
+                                         row.size() * sizeof(graph::NodeId)));
+    }
+
+    LABELRW_RETURN_IF_ERROR(
+        begin_section(kShardSectionLabelOffsets,
+                      local_label_offsets.size() * sizeof(int64_t)));
+    LABELRW_RETURN_IF_ERROR(
+        write_into(kShardSectionLabelOffsets, local_label_offsets.data(),
+                   local_label_offsets.size() * sizeof(int64_t)));
+
+    LABELRW_RETURN_IF_ERROR(begin_section(
+        kShardSectionLabels,
+        static_cast<uint64_t>(header.local_label_entries) *
+            sizeof(graph::Label)));
+    for (const graph::NodeId u : owners) {
+      const std::span<const graph::Label> row = labels.labels(u);
+      LABELRW_RETURN_IF_ERROR(write_into(kShardSectionLabels, row.data(),
+                                         row.size() * sizeof(graph::Label)));
+    }
+
+    LABELRW_RETURN_IF_ERROR(begin_section(
+        kShardSectionRemap,
+        has_remap ? owners.size() * sizeof(graph::NodeId) : 0));
+    if (has_remap) {
+      for (const graph::NodeId u : owners) {
+        LABELRW_RETURN_IF_ERROR(write_into(kShardSectionRemap, &remap[u],
+                                           sizeof(graph::NodeId)));
+      }
+    }
+
+    header.header_checksum = ShardHeaderChecksum(header);
+    if (std::fseek(out.f, 0, SEEK_SET) != 0 ||
+        std::fwrite(&header, 1, sizeof(header), out.f) != sizeof(header) ||
+        std::fflush(out.f) != 0) {
+      return WriteError(out.path);
+    }
+    std::fclose(out.f);
+    out.f = nullptr;
+    out.keep = true;
+
+    ManifestShardEntry& entry = entries[k];
+    entry.local_num_nodes = n_k;
+    entry.local_adjacency_entries = header.local_adjacency_entries;
+    entry.local_label_entries = header.local_label_entries;
+    entry.file_bytes = pos;
+    entry.shard_header_checksum = header.header_checksum;
+
+    stats.min_shard_nodes = std::min(stats.min_shard_nodes, n_k);
+    stats.max_shard_nodes = std::max(stats.max_shard_nodes, n_k);
+  }
+
+  ManifestHeader manifest{};
+  std::memcpy(manifest.magic, kManifestMagic, sizeof(kManifestMagic));
+  manifest.format_version = kShardFormatVersion;
+  manifest.endian_tag = kEndianTag;
+  manifest.header_bytes = sizeof(ManifestHeader);
+  manifest.flags = has_remap ? kShardFlagHasRemap : 0;
+  manifest.num_shards = num_shards;
+  manifest.hash_seed = options.hash_seed;
+  manifest.num_nodes = n;
+  manifest.num_edges = g.num_edges();
+  manifest.max_degree = degree_stats.max_degree;
+  manifest.max_line_degree = degree_stats.max_line_degree;
+  manifest.num_label_entries =
+      static_cast<int64_t>(labels.csr_labels().size());
+  manifest.max_label_row = max_label_row;
+  manifest.entries_checksum =
+      Fnv1a64(entries.data(), entries.size() * sizeof(ManifestShardEntry));
+  manifest.header_checksum = ManifestHeaderChecksum(manifest);
+
+  OutputFile out;
+  out.path = ManifestFilePath(out_prefix);
+  out.f = std::fopen(out.path.c_str(), "wb");
+  if (out.f == nullptr) return WriteError(out.path);
+  if (std::fwrite(&manifest, 1, sizeof(manifest), out.f) != sizeof(manifest) ||
+      std::fwrite(entries.data(), sizeof(ManifestShardEntry), entries.size(),
+                  out.f) != entries.size() ||
+      std::fflush(out.f) != 0) {
+    return WriteError(out.path);
+  }
+  std::fclose(out.f);
+  out.f = nullptr;
+  out.keep = true;
+
+  stats.manifest_path = out.path;
+  return stats;
+}
+
+}  // namespace labelrw::store

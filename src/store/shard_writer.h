@@ -1,0 +1,50 @@
+// The shard pass: splits one monolithic .lgs snapshot into a sharded store
+// (store/sharded_format.h) — K shard files plus a manifest.
+//
+// The pass mmaps the source snapshot (zero-copy, pages stream through once
+// per shard), assigns every node to ShardOfNode(u, seed, K), and writes each
+// shard's owned CSR rows with per-section FNV-1a checksums. Global degree
+// maxima (max_degree, max_line_degree) are computed here — where the
+// contiguous CSR makes the O(|E|) scan cheap — and recorded in the manifest
+// so serving processes can publish GraphPriors without re-deriving them.
+//
+// Peak memory is O(num_nodes / K) per shard (the owners + local offset
+// arrays); adjacency and label payloads stream from the mapping to the
+// output file without materializing.
+
+#ifndef LABELRW_STORE_SHARD_WRITER_H_
+#define LABELRW_STORE_SHARD_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace labelrw::store {
+
+struct ShardWriteOptions {
+  /// The partitioner seed recorded in the manifest. Any fixed value works;
+  /// changing it re-deals every node.
+  uint64_t hash_seed = 0x5ca1ab1e;
+};
+
+struct ShardWriteStats {
+  uint32_t num_shards = 0;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t min_shard_nodes = 0;  // smallest shard's owner count
+  int64_t max_shard_nodes = 0;  // largest shard's owner count
+  bool has_remap = false;
+  std::string manifest_path;
+};
+
+/// Splits the snapshot at `store_path` into `num_shards` shard files named
+/// `<out_prefix>.shard<k>.lgs` plus `<out_prefix>.manifest`, overwriting.
+Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
+                                          const std::string& out_prefix,
+                                          uint32_t num_shards,
+                                          const ShardWriteOptions& options = {});
+
+}  // namespace labelrw::store
+
+#endif  // LABELRW_STORE_SHARD_WRITER_H_

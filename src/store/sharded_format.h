@@ -1,0 +1,200 @@
+// On-disk layout of the hash-partitioned ("sharded") graph store.
+//
+// A sharded store is one manifest file plus `num_shards` shard files:
+//
+//   <prefix>.manifest       global counts, hash seed, per-shard digest table
+//   <prefix>.shard<k>.lgs   the CSR rows of every node u with
+//                           ShardOfNode(u, seed, K) == k
+//
+// Shard files follow the monolithic snapshot's conventions (store/format.h):
+// fixed FNV-1a-protected header, kSectionAlignment-aligned sections, element
+// widths recorded explicitly — but they carry a *subset* of the node rows,
+// so they get their own magic and header type instead of overloading
+// StoreHeader (whose validation rightly insists that the adjacency section
+// holds exactly 2·|E| entries; a shard's owned-degree sum can be anything).
+//
+// Shard sections, in file order:
+//
+//   [owners]          local_num_nodes x NodeId   owned global ids, ascending
+//   [csr offsets]     (local_num_nodes+1) x i64  local CSR row starts
+//   [adjacency]       local_adjacency x NodeId   neighbor *global* ids
+//   [label offsets]   (local_num_nodes+1) x i64  local label row starts
+//   [labels]          local_labels x Label       per-node sorted labels
+//   [remap] (opt)     local_num_nodes x NodeId   original ids of the owners
+//
+// The partition function is pure arithmetic over (node id, seed): any
+// process that knows the manifest routes a node to its shard without
+// touching a directory service — the property the crawl-server workers and
+// `ShardedMappedGraph` both rely on.
+//
+// The manifest binds the set together: it records every shard's header
+// checksum, so a shard file swapped in from a different run (same node
+// counts, different seed or data) fails closed at open time instead of
+// serving the wrong rows.
+
+#ifndef LABELRW_STORE_SHARDED_FORMAT_H_
+#define LABELRW_STORE_SHARDED_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "store/format.h"
+
+namespace labelrw::store {
+
+/// First bytes of every shard file / manifest file.
+inline constexpr char kShardMagic[8] = {'L', 'R', 'W', 'G',
+                                        'S', 'H', 'R', 'D'};
+inline constexpr char kManifestMagic[8] = {'L', 'R', 'W', 'G',
+                                           'S', 'M', 'A', 'N'};
+
+/// The sharded-store format this build reads and writes.
+inline constexpr uint32_t kShardFormatVersion = 1;
+
+/// ShardHeader/ManifestHeader::flags bits.
+inline constexpr uint32_t kShardFlagHasRemap = 1u << 0;
+
+/// Shard section table slots, in file order.
+enum ShardSectionId : uint32_t {
+  kShardSectionOwners = 0,
+  kShardSectionCsrOffsets = 1,
+  kShardSectionAdjacency = 2,
+  kShardSectionLabelOffsets = 3,
+  kShardSectionLabels = 4,
+  kShardSectionRemap = 5,
+  kNumShardSections = 6,
+};
+
+struct ShardHeader {
+  char magic[8] = {};
+  uint32_t format_version = 0;
+  uint32_t endian_tag = 0;
+  uint32_t header_bytes = 0;  // sizeof(ShardHeader) at write time
+  uint32_t flags = 0;
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+  uint64_t hash_seed = 0;
+  int64_t global_num_nodes = 0;
+  int64_t global_num_edges = 0;
+  int64_t local_num_nodes = 0;         // owners of this shard
+  int64_t local_adjacency_entries = 0; // sum of owned degrees
+  int64_t local_label_entries = 0;
+  int64_t local_max_degree = 0;        // max degree among owners
+  uint32_t offset_width = 0;
+  uint32_t node_id_width = 0;
+  uint32_t label_width = 0;
+  uint32_t reserved = 0;
+  SectionDesc sections[kNumShardSections] = {};
+  /// FNV-1a 64 over every header byte before this field.
+  uint64_t header_checksum = 0;
+};
+
+static_assert(sizeof(ShardHeader) ==
+                  8 + 6 * sizeof(uint32_t) + sizeof(uint64_t) +
+                      6 * sizeof(int64_t) + 4 * sizeof(uint32_t) +
+                      kNumShardSections * sizeof(SectionDesc) +
+                      sizeof(uint64_t),
+              "ShardHeader must stay tightly packed (no padding): the "
+              "header checksum and the manifest binding depend on a stable "
+              "byte layout");
+static_assert(sizeof(ShardHeader) < kSectionAlignment,
+              "shard header must fit in front of the first aligned section");
+
+/// One shard's digest in the manifest, in shard-index order right after the
+/// ManifestHeader.
+struct ManifestShardEntry {
+  int64_t local_num_nodes = 0;
+  int64_t local_adjacency_entries = 0;
+  int64_t local_label_entries = 0;
+  uint64_t file_bytes = 0;
+  /// The shard file's ShardHeader::header_checksum: a shard whose header
+  /// (and therefore whose section checksums) does not match the manifest is
+  /// rejected at open.
+  uint64_t shard_header_checksum = 0;
+};
+
+static_assert(sizeof(ManifestShardEntry) == 5 * sizeof(uint64_t),
+              "ManifestShardEntry must stay tightly packed");
+
+struct ManifestHeader {
+  char magic[8] = {};
+  uint32_t format_version = 0;
+  uint32_t endian_tag = 0;
+  uint32_t header_bytes = 0;  // sizeof(ManifestHeader) at write time
+  uint32_t flags = 0;
+  uint32_t num_shards = 0;
+  uint32_t reserved = 0;
+  uint64_t hash_seed = 0;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t max_degree = 0;
+  /// Degree maxima of the *line graph*, precomputed at shard time so a
+  /// serving process can publish GraphPriors without an O(|E|) cross-shard
+  /// scan at startup.
+  int64_t max_line_degree = 0;
+  int64_t num_label_entries = 0;
+  /// Largest per-node label row, for sizing fixed response buffers.
+  int64_t max_label_row = 0;
+  /// FNV-1a 64 over the num_shards ManifestShardEntry records that follow
+  /// the header in the file.
+  uint64_t entries_checksum = 0;
+  /// FNV-1a 64 over every header byte before this field.
+  uint64_t header_checksum = 0;
+};
+
+static_assert(sizeof(ManifestHeader) ==
+                  8 + 6 * sizeof(uint32_t) + sizeof(uint64_t) +
+                      6 * sizeof(int64_t) + 2 * sizeof(uint64_t),
+              "ManifestHeader must stay tightly packed");
+
+/// The checksums stored in the headers' trailing fields.
+inline uint64_t ShardHeaderChecksum(const ShardHeader& header) {
+  return Fnv1a64(&header, offsetof(ShardHeader, header_checksum));
+}
+inline uint64_t ManifestHeaderChecksum(const ManifestHeader& header) {
+  return Fnv1a64(&header, offsetof(ManifestHeader, header_checksum));
+}
+
+/// The deterministic partitioner: a SplitMix64-style avalanche over
+/// (node id, seed). Pure arithmetic — every process that knows the seed and
+/// shard count computes the same owner for a node, forever.
+inline uint64_t ShardHashOfNode(graph::NodeId node, uint64_t seed) {
+  uint64_t x =
+      static_cast<uint64_t>(static_cast<uint32_t>(node)) + seed +
+      0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint32_t ShardOfNode(graph::NodeId node, uint64_t seed,
+                            uint32_t num_shards) {
+  return static_cast<uint32_t>(ShardHashOfNode(node, seed) % num_shards);
+}
+
+/// File naming convention of a sharded store rooted at `prefix`.
+inline std::string ShardFilePath(const std::string& prefix, uint32_t shard) {
+  return prefix + ".shard" + std::to_string(shard) + ".lgs";
+}
+inline std::string ManifestFilePath(const std::string& prefix) {
+  return prefix + ".manifest";
+}
+
+/// The prefix a manifest path implies (inverse of ManifestFilePath), or the
+/// path itself when it does not end in ".manifest" (callers may pass a bare
+/// prefix).
+inline std::string PrefixFromManifestPath(const std::string& manifest_path) {
+  constexpr const char kSuffix[] = ".manifest";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  if (manifest_path.size() > kSuffixLen &&
+      manifest_path.compare(manifest_path.size() - kSuffixLen, kSuffixLen,
+                            kSuffix) == 0) {
+    return manifest_path.substr(0, manifest_path.size() - kSuffixLen);
+  }
+  return manifest_path;
+}
+
+}  // namespace labelrw::store
+
+#endif  // LABELRW_STORE_SHARDED_FORMAT_H_

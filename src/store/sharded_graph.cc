@@ -1,0 +1,510 @@
+#include "store/sharded_graph.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace labelrw::store {
+namespace {
+
+Status ReadManifest(const std::string& path, ManifestHeader* header,
+                    std::vector<ManifestShardEntry>* entries) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open shard manifest '" + path +
+                         "': " + std::strerror(errno));
+  }
+  const bool header_read =
+      std::fread(header, 1, sizeof(*header), f) == sizeof(*header);
+  if (!header_read) {
+    std::fclose(f);
+    return InvalidArgumentError("shard manifest '" + path +
+                                "' is truncated (smaller than the header)");
+  }
+  if (std::memcmp(header->magic, kManifestMagic, sizeof(kManifestMagic)) !=
+      0) {
+    std::fclose(f);
+    return InvalidArgumentError("'" + path +
+                                "' is not a labelrw shard manifest "
+                                "(bad magic)");
+  }
+  if (header->endian_tag != kEndianTag) {
+    std::fclose(f);
+    return InvalidArgumentError(
+        "shard manifest '" + path +
+        "' was written on a host with a different byte order");
+  }
+  if (header->format_version != kShardFormatVersion) {
+    std::fclose(f);
+    return FailedPreconditionError(
+        "sharded-store format version " +
+        std::to_string(header->format_version) +
+        " does not match this build's version " +
+        std::to_string(kShardFormatVersion) +
+        "; re-shard the snapshot with tools/graphstore_cli shard");
+  }
+  if (ManifestHeaderChecksum(*header) != header->header_checksum) {
+    std::fclose(f);
+    return InvalidArgumentError("shard manifest '" + path +
+                                "' has a corrupt header (checksum mismatch)");
+  }
+  if (header->header_bytes != sizeof(ManifestHeader)) {
+    std::fclose(f);
+    return InvalidArgumentError("shard manifest '" + path +
+                                "' has an unexpected header size");
+  }
+  if (header->num_shards < 1 || header->num_shards > 4096) {
+    std::fclose(f);
+    return InvalidArgumentError("shard manifest '" + path +
+                                "' names an unsupported shard count");
+  }
+  if (header->num_nodes < 0 || header->num_edges < 0 ||
+      header->max_degree < 0 || header->max_line_degree < 0 ||
+      header->num_label_entries < 0 || header->max_label_row < 0) {
+    std::fclose(f);
+    return InvalidArgumentError("shard manifest '" + path +
+                                "' has negative counts");
+  }
+  entries->assign(header->num_shards, ManifestShardEntry{});
+  const size_t read = std::fread(entries->data(), sizeof(ManifestShardEntry),
+                                 entries->size(), f);
+  char extra = 0;
+  const bool trailing = std::fread(&extra, 1, 1, f) == 1;
+  std::fclose(f);
+  if (read != entries->size()) {
+    return InvalidArgumentError("shard manifest '" + path +
+                                "' is truncated (missing shard entries)");
+  }
+  if (trailing) {
+    return InvalidArgumentError("shard manifest '" + path +
+                                "' has trailing bytes");
+  }
+  if (Fnv1a64(entries->data(),
+              entries->size() * sizeof(ManifestShardEntry)) !=
+      header->entries_checksum) {
+    return InvalidArgumentError(
+        "shard manifest '" + path +
+        "' has a corrupt shard table (checksum mismatch)");
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+std::span<const T> SectionSpan(const void* map, const SectionDesc& desc) {
+  if (desc.byte_size == 0) return {};
+  return std::span<const T>(
+      reinterpret_cast<const T*>(static_cast<const char*>(map) +
+                                 desc.file_offset),
+      desc.byte_size / sizeof(T));
+}
+
+/// Shard-header sanity against its manifest digest. Order mirrors the
+/// monolithic ValidateHeader: magic and version diagnose before the
+/// checksum, so a foreign file reports the right hint.
+Status ValidateShardHeader(const ShardHeader& header,
+                           const ManifestHeader& manifest,
+                           const ManifestShardEntry& entry, uint32_t index,
+                           uint64_t file_bytes, const std::string& path) {
+  if (std::memcmp(header.magic, kShardMagic, sizeof(kShardMagic)) != 0) {
+    return InvalidArgumentError("'" + path +
+                                "' is not a labelrw graph shard (bad magic)");
+  }
+  if (header.endian_tag != kEndianTag) {
+    return InvalidArgumentError(
+        "shard '" + path +
+        "' was written on a host with a different byte order");
+  }
+  if (header.format_version != kShardFormatVersion) {
+    return FailedPreconditionError(
+        "shard format version " + std::to_string(header.format_version) +
+        " does not match this build's version " +
+        std::to_string(kShardFormatVersion) +
+        "; re-shard the snapshot with tools/graphstore_cli shard");
+  }
+  if (ShardHeaderChecksum(header) != header.header_checksum) {
+    return InvalidArgumentError("shard '" + path +
+                                "' has a corrupt header (checksum mismatch)");
+  }
+  if (header.header_bytes != sizeof(ShardHeader)) {
+    return InvalidArgumentError("shard '" + path +
+                                "' has an unexpected header size");
+  }
+  if (header.offset_width != sizeof(int64_t) ||
+      header.node_id_width != sizeof(graph::NodeId) ||
+      header.label_width != sizeof(graph::Label)) {
+    return InvalidArgumentError(
+        "shard '" + path +
+        "' element widths do not match this build (offset/node-id/label "
+        "widths must be 8/4/4 bytes)");
+  }
+  if (header.local_num_nodes < 0 || header.local_adjacency_entries < 0 ||
+      header.local_label_entries < 0 || header.local_max_degree < 0) {
+    return InvalidArgumentError("shard '" + path + "' has negative counts");
+  }
+  // The manifest binding: index, partition parameters, global counts, local
+  // counts, and the header digest itself must all agree. A shard file from
+  // a different shard pass (other seed, other source snapshot) fails here
+  // instead of serving foreign rows.
+  if (header.shard_index != index || header.num_shards != manifest.num_shards ||
+      header.hash_seed != manifest.hash_seed ||
+      header.global_num_nodes != manifest.num_nodes ||
+      header.global_num_edges != manifest.num_edges ||
+      (header.flags & kShardFlagHasRemap) !=
+          (manifest.flags & kShardFlagHasRemap)) {
+    return InvalidArgumentError(
+        "shard '" + path +
+        "' does not belong to this manifest (partition parameters differ)");
+  }
+  if (header.local_num_nodes != entry.local_num_nodes ||
+      header.local_adjacency_entries != entry.local_adjacency_entries ||
+      header.local_label_entries != entry.local_label_entries ||
+      header.header_checksum != entry.shard_header_checksum) {
+    return InvalidArgumentError(
+        "shard '" + path +
+        "' does not match the manifest's digest for shard " +
+        std::to_string(index) +
+        "; re-run the shard pass to regenerate a consistent set");
+  }
+  if (file_bytes != entry.file_bytes) {
+    return InvalidArgumentError(
+        "shard '" + path + "' has " + std::to_string(file_bytes) +
+        " bytes but the manifest records " + std::to_string(entry.file_bytes) +
+        " (truncated or rewritten)");
+  }
+
+  const auto n_k = static_cast<uint64_t>(header.local_num_nodes);
+  const uint64_t expected[kNumShardSections] = {
+      n_k * sizeof(graph::NodeId),
+      (n_k + 1) * sizeof(int64_t),
+      static_cast<uint64_t>(header.local_adjacency_entries) *
+          sizeof(graph::NodeId),
+      (n_k + 1) * sizeof(int64_t),
+      static_cast<uint64_t>(header.local_label_entries) *
+          sizeof(graph::Label),
+      (header.flags & kShardFlagHasRemap) != 0 ? n_k * sizeof(graph::NodeId)
+                                               : 0,
+  };
+  for (uint32_t s = 0; s < kNumShardSections; ++s) {
+    const SectionDesc& desc = header.sections[s];
+    if (desc.byte_size != expected[s]) {
+      return InvalidArgumentError(
+          "shard '" + path + "' section " + std::to_string(s) +
+          " has an inconsistent size for the header's counts");
+    }
+    if (desc.byte_size == 0) continue;
+    if (desc.file_offset % kSectionAlignment != 0 ||
+        desc.file_offset < sizeof(ShardHeader)) {
+      return InvalidArgumentError("shard '" + path + "' section " +
+                                  std::to_string(s) + " is misaligned");
+    }
+    if (desc.file_offset > file_bytes ||
+        desc.byte_size > file_bytes - desc.file_offset) {
+      return InvalidArgumentError("shard '" + path + "' is truncated: section " +
+                                  std::to_string(s) +
+                                  " extends past the end of the file");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ShardedMappedGraph::Shard::~Shard() {
+  if (map != nullptr) ::munmap(map, map_bytes);
+}
+
+int64_t ShardedMappedGraph::LocalIndex(const Shard& shard, graph::NodeId u) {
+  const auto it =
+      std::lower_bound(shard.owners.begin(), shard.owners.end(), u);
+  if (it == shard.owners.end() || *it != u) return -1;
+  return it - shard.owners.begin();
+}
+
+int64_t ShardedMappedGraph::DegreeFast(graph::NodeId u) const {
+  const Shard& shard = *shards_[ShardOf(u)];
+  const int64_t i = LocalIndex(shard, u);
+  return i < 0 ? 0 : shard.offsets[i + 1] - shard.offsets[i];
+}
+
+std::span<const graph::NodeId> ShardedMappedGraph::NeighborsFast(
+    graph::NodeId u) const {
+  const Shard& shard = *shards_[ShardOf(u)];
+  const int64_t i = LocalIndex(shard, u);
+  if (i < 0) return {};
+  return shard.adjacency.subspan(
+      static_cast<size_t>(shard.offsets[i]),
+      static_cast<size_t>(shard.offsets[i + 1] - shard.offsets[i]));
+}
+
+std::span<const graph::Label> ShardedMappedGraph::LabelsFast(
+    graph::NodeId u) const {
+  const Shard& shard = *shards_[ShardOf(u)];
+  const int64_t i = LocalIndex(shard, u);
+  if (i < 0) return {};
+  return shard.labels.subspan(
+      static_cast<size_t>(shard.label_offsets[i]),
+      static_cast<size_t>(shard.label_offsets[i + 1] -
+                          shard.label_offsets[i]));
+}
+
+graph::NodeId ShardedMappedGraph::OriginalIdOf(graph::NodeId u) const {
+  const Shard& shard = *shards_[ShardOf(u)];
+  if (shard.remap.empty()) return u;
+  const int64_t i = LocalIndex(shard, u);
+  return i < 0 ? u : shard.remap[static_cast<size_t>(i)];
+}
+
+Result<ShardedMappedGraph> ShardedMappedGraph::Open(
+    const std::string& manifest_path, const MapOptions& options) {
+  ShardedMappedGraph sharded;
+  sharded.prefix_ = PrefixFromManifestPath(manifest_path);
+
+  std::vector<ManifestShardEntry> entries;
+  LABELRW_RETURN_IF_ERROR(ReadManifest(ManifestFilePath(sharded.prefix_),
+                                       &sharded.manifest_, &entries));
+
+  sharded.shards_.reserve(sharded.manifest_.num_shards);
+  for (uint32_t k = 0; k < sharded.manifest_.num_shards; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->path = ShardFilePath(sharded.prefix_, k);
+
+    const int fd = ::open(shard->path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return NotFoundError("cannot open shard '" + shard->path +
+                           "': " + std::strerror(errno));
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return InternalError("cannot stat shard '" + shard->path +
+                           "': " + std::strerror(errno));
+    }
+    const auto file_bytes = static_cast<uint64_t>(st.st_size);
+    if (file_bytes < sizeof(ShardHeader)) {
+      ::close(fd);
+      return InvalidArgumentError("shard '" + shard->path +
+                                  "' is truncated (smaller than the header)");
+    }
+    void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+      return InternalError("cannot map shard '" + shard->path +
+                           "': " + std::strerror(errno));
+    }
+    shard->map = map;
+    shard->map_bytes = static_cast<size_t>(file_bytes);
+
+    std::memcpy(&shard->header, map, sizeof(ShardHeader));
+    LABELRW_RETURN_IF_ERROR(ValidateShardHeader(shard->header,
+                                                sharded.manifest_, entries[k],
+                                                k, file_bytes, shard->path));
+    ApplyMapAdvice(map, shard->map_bytes,
+                   shard->header.sections[kShardSectionCsrOffsets].file_offset,
+                   shard->header.sections[kShardSectionCsrOffsets].byte_size,
+                   options, shard->path);
+
+    if (options.verify_section_checksums) {
+      for (uint32_t s = 0; s < kNumShardSections; ++s) {
+        const SectionDesc& desc = shard->header.sections[s];
+        const uint64_t actual = Fnv1a64(
+            static_cast<const char*>(map) + desc.file_offset, desc.byte_size);
+        if (actual != desc.checksum) {
+          return InvalidArgumentError(
+              "shard '" + shard->path + "' section " + std::to_string(s) +
+              " is corrupt (checksum mismatch)");
+        }
+      }
+    }
+
+    shard->owners = SectionSpan<graph::NodeId>(
+        map, shard->header.sections[kShardSectionOwners]);
+    shard->offsets = SectionSpan<int64_t>(
+        map, shard->header.sections[kShardSectionCsrOffsets]);
+    shard->adjacency = SectionSpan<graph::NodeId>(
+        map, shard->header.sections[kShardSectionAdjacency]);
+    shard->label_offsets = SectionSpan<int64_t>(
+        map, shard->header.sections[kShardSectionLabelOffsets]);
+    shard->labels = SectionSpan<graph::Label>(
+        map, shard->header.sections[kShardSectionLabels]);
+    shard->remap = SectionSpan<graph::NodeId>(
+        map, shard->header.sections[kShardSectionRemap]);
+
+    // Front/back anchors (same role as the monolithic open): with monotone
+    // offsets — VerifyShardedStore's deep pass — these bound every local
+    // row inside its section.
+    if (shard->offsets.front() != 0 ||
+        shard->offsets.back() !=
+            static_cast<int64_t>(shard->adjacency.size())) {
+      return InvalidArgumentError(
+          "shard '" + shard->path +
+          "' CSR offsets do not close over the adjacency section");
+    }
+    if (shard->label_offsets.front() != 0 ||
+        shard->label_offsets.back() !=
+            static_cast<int64_t>(shard->labels.size())) {
+      return InvalidArgumentError(
+          "shard '" + shard->path +
+          "' label offsets do not close over the label section");
+    }
+    shard->local_view = graph::Graph::FromExternal(
+        shard->offsets, shard->adjacency, shard->header.local_max_degree);
+    sharded.shards_.push_back(std::move(shard));
+  }
+  return sharded;
+}
+
+Status VerifyShardedStoreImpl(const ShardedMappedGraph& store) {
+  const ManifestHeader& manifest = store.manifest_;
+  int64_t total_nodes = 0;
+  int64_t total_adjacency = 0;
+  int64_t total_labels = 0;
+  int64_t max_degree = 0;
+  int64_t max_label_row = 0;
+  for (uint32_t k = 0; k < manifest.num_shards; ++k) {
+    const ShardedMappedGraph::Shard& shard = *store.shards_[k];
+    const std::string& path = shard.path;
+    const auto n_k = static_cast<int64_t>(shard.owners.size());
+
+    graph::NodeId prev_owner = -1;
+    for (int64_t i = 0; i < n_k; ++i) {
+      const graph::NodeId u = shard.owners[static_cast<size_t>(i)];
+      if (u < 0 || u >= manifest.num_nodes) {
+        return InvalidArgumentError("shard '" + path +
+                                    "' owner id out of range at row " +
+                                    std::to_string(i));
+      }
+      if (u <= prev_owner) {
+        return InvalidArgumentError(
+            "shard '" + path + "' owner list is not strictly sorted at row " +
+            std::to_string(i));
+      }
+      prev_owner = u;
+      if (ShardOfNode(u, manifest.hash_seed, manifest.num_shards) != k) {
+        return InvalidArgumentError(
+            "shard '" + path + "' owns node " + std::to_string(u) +
+            " which the partitioner assigns elsewhere");
+      }
+    }
+
+    int64_t local_max_degree = 0;
+    for (int64_t i = 0; i < n_k; ++i) {
+      const int64_t begin = shard.offsets[static_cast<size_t>(i)];
+      const int64_t end = shard.offsets[static_cast<size_t>(i) + 1];
+      if (begin > end) {
+        return InvalidArgumentError("shard '" + path +
+                                    "' CSR offsets are not monotone at row " +
+                                    std::to_string(i));
+      }
+      local_max_degree = std::max(local_max_degree, end - begin);
+      const graph::NodeId u = shard.owners[static_cast<size_t>(i)];
+      graph::NodeId prev = -1;
+      for (int64_t j = begin; j < end; ++j) {
+        const graph::NodeId v = shard.adjacency[static_cast<size_t>(j)];
+        if (v < 0 || v >= manifest.num_nodes) {
+          return InvalidArgumentError("shard '" + path +
+                                      "' adjacency id out of range at row " +
+                                      std::to_string(i));
+        }
+        if (v <= prev) {
+          return InvalidArgumentError(
+              "shard '" + path +
+              "' adjacency row is not strictly sorted at row " +
+              std::to_string(i));
+        }
+        if (v == u) {
+          return InvalidArgumentError("shard '" + path +
+                                      "' contains a self-loop at node " +
+                                      std::to_string(u));
+        }
+        prev = v;
+      }
+    }
+    if (local_max_degree != shard.header.local_max_degree) {
+      return InvalidArgumentError(
+          "shard '" + path + "' header local_max_degree " +
+          std::to_string(shard.header.local_max_degree) +
+          " does not match the adjacency (" +
+          std::to_string(local_max_degree) + ")");
+    }
+
+    for (int64_t i = 0; i < n_k; ++i) {
+      const int64_t begin = shard.label_offsets[static_cast<size_t>(i)];
+      const int64_t end = shard.label_offsets[static_cast<size_t>(i) + 1];
+      if (begin > end) {
+        return InvalidArgumentError(
+            "shard '" + path + "' label offsets are not monotone at row " +
+            std::to_string(i));
+      }
+      max_label_row = std::max(max_label_row, end - begin);
+      graph::Label prev = -1;
+      for (int64_t j = begin; j < end; ++j) {
+        const graph::Label l = shard.labels[static_cast<size_t>(j)];
+        if (l < 0 || l <= prev) {
+          return InvalidArgumentError(
+              "shard '" + path +
+              "' label row is not sorted/deduplicated at row " +
+              std::to_string(i));
+        }
+        prev = l;
+      }
+    }
+
+    total_nodes += n_k;
+    total_adjacency += static_cast<int64_t>(shard.adjacency.size());
+    total_labels += static_cast<int64_t>(shard.labels.size());
+    max_degree = std::max(max_degree, local_max_degree);
+  }
+
+  // Conservation laws: together with the per-owner partitioner check and
+  // strictly sorted owner lists, these prove every node is owned by exactly
+  // one shard and no row was dropped or duplicated.
+  if (total_nodes != manifest.num_nodes) {
+    return InvalidArgumentError(
+        "sharded store owner counts sum to " + std::to_string(total_nodes) +
+        " but the manifest records " + std::to_string(manifest.num_nodes) +
+        " nodes");
+  }
+  if (total_adjacency != 2 * manifest.num_edges) {
+    return InvalidArgumentError(
+        "sharded store adjacency entries sum to " +
+        std::to_string(total_adjacency) + " but the manifest records " +
+        std::to_string(manifest.num_edges) + " edges");
+  }
+  if (total_labels != manifest.num_label_entries) {
+    return InvalidArgumentError(
+        "sharded store label entries sum to " + std::to_string(total_labels) +
+        " but the manifest records " +
+        std::to_string(manifest.num_label_entries));
+  }
+  if (max_degree != manifest.max_degree) {
+    return InvalidArgumentError(
+        "sharded store max degree " + std::to_string(max_degree) +
+        " does not match the manifest's " +
+        std::to_string(manifest.max_degree));
+  }
+  if (max_label_row != manifest.max_label_row) {
+    return InvalidArgumentError(
+        "sharded store max label row " + std::to_string(max_label_row) +
+        " does not match the manifest's " +
+        std::to_string(manifest.max_label_row));
+  }
+  return Status::Ok();
+}
+
+Status VerifyShardedStore(const std::string& manifest_path) {
+  MapOptions options;
+  options.verify_section_checksums = true;
+  options.huge_pages = false;
+  options.quiet = true;
+  LABELRW_ASSIGN_OR_RETURN(const ShardedMappedGraph store,
+                           ShardedMappedGraph::Open(manifest_path, options));
+  return VerifyShardedStoreImpl(store);
+}
+
+}  // namespace labelrw::store

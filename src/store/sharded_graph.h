@@ -1,0 +1,133 @@
+// ShardedMappedGraph: the zero-copy read path of the sharded store
+// (store/sharded_format.h).
+//
+// Open() reads the manifest, mmaps every shard file, and validates each
+// shard header against the manifest's digest table — all O(1) per shard
+// (no section payload is touched; pages fault in lazily as reads route to
+// them, exactly like MappedGraph). Reads route by the deterministic
+// partitioner: ShardOf(u) names the shard, a binary search over that
+// shard's sorted owner array names the local row, and the spans returned
+// by NeighborsFast/LabelsFast point straight into the shard's mapping —
+// byte-identical to the monolithic store's rows (test-enforced in
+// tests/sharded_store_test.cc).
+//
+// There is no contiguous global CSR across the mappings, so there is no
+// whole-graph FastGraphView; per-shard local CSR views (ShardGraphView)
+// serve iteration and prefetching within one shard — the crawl-server
+// workers' access pattern.
+
+#ifndef LABELRW_STORE_SHARDED_GRAPH_H_
+#define LABELRW_STORE_SHARDED_GRAPH_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "store/mapped_graph.h"
+#include "store/sharded_format.h"
+
+namespace labelrw::store {
+
+class ShardedMappedGraph {
+ public:
+  /// Opens `<prefix>.manifest` (or a bare prefix) plus every shard file next
+  /// to it. Fails closed on a missing/truncated/corrupt manifest or shard,
+  /// and on any shard whose header does not match the manifest's digest.
+  static Result<ShardedMappedGraph> Open(const std::string& manifest_path,
+                                         const MapOptions& options = {});
+
+  ShardedMappedGraph() = default;
+  ShardedMappedGraph(ShardedMappedGraph&&) noexcept = default;
+  ShardedMappedGraph& operator=(ShardedMappedGraph&&) noexcept = default;
+  ShardedMappedGraph(const ShardedMappedGraph&) = delete;
+  ShardedMappedGraph& operator=(const ShardedMappedGraph&) = delete;
+
+  int64_t num_nodes() const { return manifest_.num_nodes; }
+  int64_t num_edges() const { return manifest_.num_edges; }
+  int64_t max_degree() const { return manifest_.max_degree; }
+  int64_t max_line_degree() const { return manifest_.max_line_degree; }
+  int64_t max_label_row() const { return manifest_.max_label_row; }
+  uint32_t num_shards() const { return manifest_.num_shards; }
+  uint64_t hash_seed() const { return manifest_.hash_seed; }
+  bool has_remap() const {
+    return (manifest_.flags & kShardFlagHasRemap) != 0;
+  }
+
+  /// The manifest's header checksum: a stable identity token for "this
+  /// exact sharded store". The crawl server publishes it so a reconnecting
+  /// client can detect that the daemon now serves different data.
+  uint64_t fingerprint() const { return manifest_.header_checksum; }
+
+  bool IsValidNode(graph::NodeId u) const {
+    return u >= 0 && u < manifest_.num_nodes;
+  }
+  uint32_t ShardOf(graph::NodeId u) const {
+    return ShardOfNode(u, manifest_.hash_seed, manifest_.num_shards);
+  }
+
+  /// Row reads, routed by partition. `u` must be a valid node id.
+  int64_t DegreeFast(graph::NodeId u) const;
+  std::span<const graph::NodeId> NeighborsFast(graph::NodeId u) const;
+  std::span<const graph::Label> LabelsFast(graph::NodeId u) const;
+
+  /// Original id of `u` (the remap section); `u` itself when absent.
+  graph::NodeId OriginalIdOf(graph::NodeId u) const;
+
+  /// Shard `k`'s owned global node ids, ascending.
+  std::span<const graph::NodeId> ShardOwners(uint32_t k) const {
+    return shards_[k]->owners;
+  }
+
+  /// Shard `k`'s local CSR as a Graph view: node ids are *local* row
+  /// indices (positions in ShardOwners), adjacency entries are *global*
+  /// ids. For per-shard iteration and software prefetching only — never
+  /// hand it to an estimator expecting a global graph.
+  const graph::Graph& ShardGraphView(uint32_t k) const {
+    return shards_[k]->local_view;
+  }
+
+ private:
+  struct Shard {
+    ~Shard();
+    void* map = nullptr;
+    size_t map_bytes = 0;
+    std::string path;
+    ShardHeader header{};
+    std::span<const graph::NodeId> owners;
+    std::span<const int64_t> offsets;          // local CSR row starts
+    std::span<const graph::NodeId> adjacency;  // global neighbor ids
+    std::span<const int64_t> label_offsets;
+    std::span<const graph::Label> labels;
+    std::span<const graph::NodeId> remap;
+    graph::Graph local_view;  // FromExternal over offsets/adjacency
+  };
+
+  /// The owner row of `u` inside its shard, or -1 when `u` is not owned
+  /// (only possible on a corrupt store; Open's digest checks make it
+  /// unreachable for files the shard pass wrote).
+  static int64_t LocalIndex(const Shard& shard, graph::NodeId u);
+
+  ManifestHeader manifest_{};
+  std::string prefix_;
+  // unique_ptr keeps every Shard's address (the spans' backing storage
+  // lifetime anchor) stable across vector growth and moves of *this.
+  std::vector<std::unique_ptr<Shard>> shards_;  // by shard index
+
+  friend Status VerifyShardedStoreImpl(const ShardedMappedGraph& store);
+};
+
+/// Deep verification of a sharded store: manifest integrity, every shard's
+/// header + section checksums, structural invariants (sorted in-range
+/// owners that hash to their shard, monotone local offsets closing over
+/// the payload sections, in-range neighbor ids, sorted label rows), and
+/// the cross-shard conservation laws (owner counts, adjacency entries, and
+/// label entries sum to the manifest's global counts). Reads every file in
+/// full.
+Status VerifyShardedStore(const std::string& manifest_path);
+
+}  // namespace labelrw::store
+
+#endif  // LABELRW_STORE_SHARDED_GRAPH_H_

@@ -1,0 +1,372 @@
+// End-to-end tests for the shared-memory crawl server stack
+// (server/crawl_server.h, server/shm_client.h, osn/ipc_transport.h):
+// record identity against the store backend, the full ten-algorithm sweep
+// bit-identity gate, session admission and slot reclamation after a client
+// crash, and server-restart recovery through the OsnClient retry path.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "eval/experiment.h"
+#include "osn/client.h"
+#include "osn/ipc_transport.h"
+#include "osn/local_api.h"
+#include "server/crawl_server.h"
+#include "server/shm_client.h"
+#include "store/mapped_graph.h"
+#include "store/shard_writer.h"
+#include "store/sharded_graph.h"
+#include "store/store_transport.h"
+#include "store/store_writer.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::RandomLabels;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("labelrw_ipc_test_") + name))
+      .string();
+}
+
+/// Unique-per-process shm names so parallel ctest invocations of this
+/// binary never collide on /dev/shm.
+std::string ShmName(const char* tag) {
+  return "/labelrw-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid());
+}
+
+/// A monolithic snapshot + its sharded twin + a running in-process server.
+class ServedStore {
+ public:
+  ServedStore(const char* name, int64_t n, int64_t extra_edges,
+              uint32_t num_shards, uint64_t seed = 21)
+      : graph_(RandomConnectedGraph(n, extra_edges, seed)),
+        labels_(RandomLabels(n, 4, seed + 1)) {
+    store_path_ = TempPath((std::string(name) + ".lgs").c_str());
+    prefix_ = TempPath(name);
+    num_shards_ = num_shards;
+    EXPECT_OK(store::WriteStore(graph_, labels_, store_path_));
+    auto stats = store::WriteShardedStore(store_path_, prefix_, num_shards);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    manifest_path_ = stats->manifest_path;
+  }
+
+  ~ServedStore() {
+    std::remove(store_path_.c_str());
+    std::remove(manifest_path_.c_str());
+    for (uint32_t k = 0; k < num_shards_; ++k) {
+      std::remove(store::ShardFilePath(prefix_, k).c_str());
+    }
+  }
+
+  server::ServerOptions Options(const std::string& shm_name) const {
+    server::ServerOptions options;
+    options.manifest_path = manifest_path_;
+    options.shm_name = shm_name;
+    options.quiet = true;
+    return options;
+  }
+
+  const graph::Graph& graph() const { return graph_; }
+  const graph::LabelStore& labels() const { return labels_; }
+  const std::string& store_path() const { return store_path_; }
+  const std::string& manifest_path() const { return manifest_path_; }
+
+ private:
+  graph::Graph graph_;
+  graph::LabelStore labels_;
+  std::string store_path_;
+  std::string prefix_;
+  std::string manifest_path_;
+  uint32_t num_shards_ = 0;
+};
+
+/// Spins until `predicate` holds or ~5s pass (the reaper ticks at 100ms).
+template <typename Pred>
+bool WaitFor(Pred predicate) {
+  for (int i = 0; i < 250; ++i) {
+    if (predicate()) return true;
+    ::usleep(20'000);
+  }
+  return predicate();
+}
+
+TEST(ShmClient, ConnectWithoutServerIsUnavailable) {
+  const auto result = server::ShmClient::Connect(ShmName("nosrv"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ShmClient, ServesExactRowsAndRejectsUnknownIds) {
+  const ServedStore served("rows", 600, 1200, 3);
+  const std::string shm = ShmName("rows");
+  server::CrawlServer crawl_server;
+  ASSERT_OK(crawl_server.Start(served.Options(shm)));
+
+  ASSERT_OK_AND_ASSIGN(const std::unique_ptr<server::ShmClient> client,
+                       server::ShmClient::Connect(shm));
+  EXPECT_EQ(client->info().num_nodes, served.graph().num_nodes());
+  EXPECT_EQ(client->info().num_edges, served.graph().num_edges());
+  EXPECT_TRUE(client->ServerAlive());
+
+  std::vector<graph::NodeId> neighbors;
+  std::vector<graph::Label> labels;
+  int64_t degree = 0;
+  for (graph::NodeId u = 0; u < served.graph().num_nodes(); u += 7) {
+    ASSERT_OK(client->Fetch(u, &neighbors, &labels, &degree));
+    const auto expected_row = served.graph().neighbors(u);
+    ASSERT_EQ(degree, served.graph().degree(u)) << "node " << u;
+    ASSERT_EQ(neighbors.size(), expected_row.size()) << "node " << u;
+    for (size_t i = 0; i < expected_row.size(); ++i) {
+      ASSERT_EQ(neighbors[i], expected_row[i]) << "node " << u;
+    }
+    const auto expected_labels = served.labels().labels(u);
+    ASSERT_EQ(labels.size(), expected_labels.size()) << "node " << u;
+    for (size_t i = 0; i < expected_labels.size(); ++i) {
+      ASSERT_EQ(labels[i], expected_labels[i]) << "node " << u;
+    }
+  }
+  const Status unknown =
+      client->Fetch(served.graph().num_nodes() + 5, &neighbors, &labels,
+                    &degree);
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound);
+  const Status negative = client->Fetch(-1, &neighbors, &labels, &degree);
+  EXPECT_EQ(negative.code(), StatusCode::kNotFound);
+  EXPECT_GT(crawl_server.stats().requests_served, 0u);
+}
+
+TEST(ShmClient, AdmissionFailsWhenSlotsAreFull) {
+  const ServedStore served("full", 100, 80, 2);
+  const std::string shm = ShmName("full");
+  server::ServerOptions options = served.Options(shm);
+  options.num_slots = 1;
+  server::CrawlServer crawl_server;
+  ASSERT_OK(crawl_server.Start(options));
+
+  ASSERT_OK_AND_ASSIGN(const std::unique_ptr<server::ShmClient> first,
+                       server::ShmClient::Connect(shm));
+  server::ShmClientOptions client_options;
+  client_options.connect_timeout_ms = 200;
+  const auto second = server::ShmClient::Connect(shm, client_options);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+}
+
+// A client that dies without a goodbye (child process hard-exits holding
+// its slot) must be reaped by pid liveness, freeing the slot for the next
+// session — leaked sessions never brown out admission.
+TEST(CrawlServer, DeadClientSlotIsReaped) {
+  const ServedStore served("reap", 200, 160, 2);
+  const std::string shm = ShmName("reap");
+  server::ServerOptions options = served.Options(shm);
+  options.num_slots = 1;  // the dead session holds the ONLY slot
+  server::CrawlServer crawl_server;
+  ASSERT_OK(crawl_server.Start(options));
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // In the child: admit a session, touch it, and die without a goodbye.
+    auto session = server::ShmClient::Connect(shm);
+    if (!session.ok()) ::_exit(1);
+    std::vector<graph::NodeId> neighbors;
+    std::vector<graph::Label> labels;
+    int64_t degree = 0;
+    if (!(*session)->Fetch(0, &neighbors, &labels, &degree).ok()) ::_exit(2);
+    (*session).release();  // leak: no destructor, no goodbye
+    ::_exit(0);
+  }
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+  ASSERT_TRUE(WIFEXITED(wait_status));
+  ASSERT_EQ(WEXITSTATUS(wait_status), 0);
+
+  ASSERT_TRUE(WaitFor(
+      [&] { return crawl_server.stats().sessions_reaped_dead >= 1; }))
+      << "reaper never reclaimed the dead client's slot";
+  // The reclaimed slot admits a fresh session.
+  ASSERT_OK_AND_ASSIGN(const std::unique_ptr<server::ShmClient> next,
+                       server::ShmClient::Connect(shm));
+  EXPECT_TRUE(next->ServerAlive());
+}
+
+TEST(CrawlServer, IdleSessionIsReaped) {
+  const ServedStore served("idle", 100, 80, 1);
+  const std::string shm = ShmName("idle");
+  server::ServerOptions options = served.Options(shm);
+  options.idle_timeout_ms = 200;
+  server::CrawlServer crawl_server;
+  ASSERT_OK(crawl_server.Start(options));
+  ASSERT_OK_AND_ASSIGN(const std::unique_ptr<server::ShmClient> client,
+                       server::ShmClient::Connect(shm));
+  ASSERT_TRUE(WaitFor(
+      [&] { return crawl_server.stats().sessions_reaped_idle >= 1; }))
+      << "idle reaper never fired";
+}
+
+// IpcTransport must hand out records identical to StoreTransport over the
+// same snapshot — the wire layer adds no transformation.
+TEST(IpcTransport, RecordsMatchStoreTransport) {
+  const ServedStore served("records", 500, 900, 4);
+  const std::string shm = ShmName("records");
+  server::CrawlServer crawl_server;
+  ASSERT_OK(crawl_server.Start(served.Options(shm)));
+
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(served.store_path()));
+  const store::StoreTransport store_transport(mapped);
+  ASSERT_OK_AND_ASSIGN(const std::unique_ptr<osn::IpcTransport> ipc,
+                       osn::IpcTransport::Connect(shm));
+
+  const osn::GraphPriors sp = store_transport.TransportPriors();
+  const osn::GraphPriors ip = ipc->TransportPriors();
+  EXPECT_EQ(sp.num_nodes, ip.num_nodes);
+  EXPECT_EQ(sp.num_edges, ip.num_edges);
+  EXPECT_EQ(sp.max_degree, ip.max_degree);
+  EXPECT_EQ(sp.max_line_degree, ip.max_line_degree);
+
+  for (graph::NodeId u = 0; u < served.graph().num_nodes(); u += 3) {
+    ASSERT_OK_AND_ASSIGN(const osn::UserRecord via_store,
+                         store_transport.FetchRecord(u));
+    ASSERT_OK_AND_ASSIGN(const osn::UserRecord via_ipc, ipc->FetchRecord(u));
+    ASSERT_EQ(via_ipc.degree, via_store.degree) << "node " << u;
+    ASSERT_EQ(via_ipc.neighbors.size(), via_store.neighbors.size());
+    for (size_t i = 0; i < via_store.neighbors.size(); ++i) {
+      ASSERT_EQ(via_ipc.neighbors[i], via_store.neighbors[i]);
+    }
+    ASSERT_EQ(via_ipc.labels.size(), via_store.labels.size());
+    for (size_t i = 0; i < via_store.labels.size(); ++i) {
+      ASSERT_EQ(via_ipc.labels[i], via_store.labels[i]);
+    }
+  }
+  // Same seed stream (the bit-identity contract includes seed sampling).
+  Rng rng_a(7), rng_b(7);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId a,
+                         store_transport.SampleSeed(rng_a));
+    ASSERT_OK_AND_ASSIGN(const graph::NodeId b, ipc->SampleSeed(rng_b));
+    ASSERT_EQ(a, b);
+  }
+  const auto unknown = ipc->FetchRecord(served.graph().num_nodes() + 1);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+// The acceptance gate: the full sweep harness over IpcTransport sessions
+// produces cell tables bit-identical to the in-memory run for all ten
+// algorithms. Any deviation in estimates, api-call accounting, or seed
+// streams anywhere in the server/client/transport stack fails this.
+TEST(IpcTransport, SweepBitIdenticalOnAllTenAlgorithms) {
+  const ServedStore served("sweep", 1200, 2400, 3);
+  const std::string shm = ShmName("sweep");
+  server::CrawlServer crawl_server;
+  ASSERT_OK(crawl_server.Start(served.Options(shm)));
+
+  eval::SweepConfig config;
+  config.sample_fractions = {0.01, 0.03};
+  config.reps = 3;
+  config.threads = 2;
+  config.seed = 777;
+  config.burn_in = 40;
+  config.algorithms = estimators::AllAlgorithms();
+  const graph::TargetLabel target{1, 2};
+
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult memory_result,
+      eval::RunSweep(served.graph(), served.labels(), target, config));
+  const eval::TransportFactory factory =
+      [&shm]() -> Result<std::unique_ptr<osn::Transport>> {
+    auto transport = osn::IpcTransport::Connect(shm);
+    if (!transport.ok()) return transport.status();
+    return std::unique_ptr<osn::Transport>(std::move(*transport));
+  };
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult ipc_result,
+      eval::RunTransportSweep(served.graph(), served.labels(), target, config,
+                              factory));
+
+  ASSERT_EQ(memory_result.truth, ipc_result.truth);
+  ASSERT_EQ(memory_result.cells.size(), ipc_result.cells.size());
+  for (size_t a = 0; a < memory_result.cells.size(); ++a) {
+    for (size_t s = 0; s < memory_result.cells[a].size(); ++s) {
+      const eval::CellResult& mem = memory_result.cells[a][s];
+      const eval::CellResult& ipc = ipc_result.cells[a][s];
+      EXPECT_EQ(mem.nrmse, ipc.nrmse)
+          << estimators::AlgorithmName(config.algorithms[a]) << " size " << s;
+      EXPECT_EQ(mem.mean_estimate, ipc.mean_estimate);
+      EXPECT_EQ(mem.relative_bias, ipc.relative_bias);
+      EXPECT_EQ(mem.mean_api_calls, ipc.mean_api_calls);
+      EXPECT_EQ(mem.availability, ipc.availability);
+    }
+  }
+  EXPECT_GT(crawl_server.stats().requests_served, 0u);
+}
+
+// Daemon restart under a live session: the next call surfaces kUnavailable
+// through the retry policy (never a hang), and once a daemon serving the
+// SAME store returns, the transport reconnects and serves again. A daemon
+// serving a DIFFERENT store is refused as kFailedPrecondition — silently
+// mixing stores mid-crawl would corrupt the estimate.
+TEST(IpcTransport, ServerRestartSurfacesUnavailableThenRecovers) {
+  const ServedStore served("restart", 400, 700, 2);
+  const std::string shm = ShmName("restart");
+  auto server_a = std::make_unique<server::CrawlServer>();
+  ASSERT_OK(server_a->Start(served.Options(shm)));
+
+  ASSERT_OK_AND_ASSIGN(const std::unique_ptr<osn::IpcTransport> ipc,
+                       osn::IpcTransport::Connect(shm));
+  osn::OsnClient client(*ipc);
+  osn::RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_us = 1'000;  // sim-clock backoff: no real sleeping
+  client.ConfigureRetry(retry);
+
+  ASSERT_OK_AND_ASSIGN(const auto row_before, client.GetNeighbors(10));
+  const std::vector<graph::NodeId> expected(row_before.begin(),
+                                            row_before.end());
+
+  server_a->Stop();
+  const auto down = client.GetNeighbors(20);  // uncached: must hit the wire
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.status().code(), StatusCode::kUnavailable)
+      << down.status().ToString();
+
+  // Same store, same shm name: the transport reconnects lazily and the
+  // session continues (fresh slot on the new daemon).
+  server::CrawlServer server_b;
+  ASSERT_OK(server_b.Start(served.Options(shm)));
+  ASSERT_OK_AND_ASSIGN(const auto row_after, client.GetNeighbors(20));
+  EXPECT_EQ(row_after.size(),
+            static_cast<size_t>(served.graph().degree(20)));
+  // The pre-restart record is still served (client cache) and unchanged.
+  ASSERT_OK_AND_ASSIGN(const auto row_cached, client.GetNeighbors(10));
+  ASSERT_EQ(row_cached.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(row_cached[i], expected[i]);
+  }
+  server_b.Stop();
+
+  // Different store behind the same name: refused, not silently mixed.
+  const ServedStore other("restart_other", 400, 700, 2, /*seed=*/97);
+  server::CrawlServer server_c;
+  ASSERT_OK(server_c.Start(other.Options(shm)));
+  const auto mixed = client.GetNeighbors(30);
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kFailedPrecondition)
+      << mixed.status().ToString();
+}
+
+}  // namespace
+}  // namespace labelrw

@@ -1,0 +1,256 @@
+// Unit tests for the sharded store (store/sharded_format.h,
+// store/shard_writer.h, store/sharded_graph.h): partitioner determinism,
+// byte-identity of every routed row against the monolithic snapshot,
+// fail-closed behavior on truncated/missing/mismatched shard files, and
+// the deep structural verifier.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/mapped_graph.h"
+#include "store/shard_writer.h"
+#include "store/sharded_format.h"
+#include "store/sharded_graph.h"
+#include "store/store_writer.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::RandomLabels;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("labelrw_sharded_test_") + name))
+      .string();
+}
+
+void RemoveShardedStore(const std::string& prefix, uint32_t num_shards) {
+  std::remove(store::ManifestFilePath(prefix).c_str());
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    std::remove(store::ShardFilePath(prefix, k).c_str());
+  }
+}
+
+/// Builds a monolithic snapshot and its sharded twin in the temp dir.
+struct ShardedFixture {
+  std::string store_path;
+  std::string prefix;
+  uint32_t num_shards = 0;
+  store::ShardWriteStats stats;
+};
+
+ShardedFixture MakeShardedFixture(const char* name, int64_t n,
+                                  int64_t extra_edges, uint32_t num_shards,
+                                  uint64_t seed = 11) {
+  ShardedFixture f;
+  f.store_path = TempPath((std::string(name) + ".lgs").c_str());
+  f.prefix = TempPath(name);
+  f.num_shards = num_shards;
+  const graph::Graph g = RandomConnectedGraph(n, extra_edges, seed);
+  const graph::LabelStore labels = RandomLabels(n, 4, seed + 1);
+  EXPECT_OK(store::WriteStore(g, labels, f.store_path));
+  auto stats = store::WriteShardedStore(f.store_path, f.prefix, num_shards);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  if (stats.ok()) f.stats = *stats;
+  return f;
+}
+
+TEST(ShardPartitioner, DeterministicInRangeAndSeedSensitive) {
+  const uint64_t seed = 0x5ca1ab1e;
+  const uint32_t k = 8;
+  int64_t moved = 0;
+  std::vector<int64_t> counts(k, 0);
+  for (graph::NodeId u = 0; u < 10000; ++u) {
+    const uint32_t shard = store::ShardOfNode(u, seed, k);
+    ASSERT_LT(shard, k);
+    ASSERT_EQ(shard, store::ShardOfNode(u, seed, k));  // pure function
+    ++counts[shard];
+    if (shard != store::ShardOfNode(u, seed + 1, k)) ++moved;
+  }
+  // The avalanche mix spreads dense ids near-uniformly: every shard gets
+  // within 3x of its fair share, and a reseed re-deals most nodes.
+  for (uint32_t s = 0; s < k; ++s) {
+    EXPECT_GT(counts[s], 10000 / k / 3) << "shard " << s;
+    EXPECT_LT(counts[s], 3 * 10000 / k) << "shard " << s;
+  }
+  EXPECT_GT(moved, 10000 / 2);
+}
+
+// The acceptance gate for the read path: every routed row — degree,
+// neighbor span, label span — equals the monolithic store's row exactly,
+// and the owner arrays partition the node set.
+TEST(ShardedStore, RowsByteIdenticalToMonolithicStore) {
+  const ShardedFixture f = MakeShardedFixture("identity", 3000, 6000, 5);
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mono,
+                       store::MappedGraph::Open(f.store_path));
+  ASSERT_OK_AND_ASSIGN(
+      const store::ShardedMappedGraph sharded,
+      store::ShardedMappedGraph::Open(f.stats.manifest_path));
+
+  EXPECT_EQ(sharded.num_nodes(), mono.graph().num_nodes());
+  EXPECT_EQ(sharded.num_edges(), mono.graph().num_edges());
+  EXPECT_EQ(sharded.max_degree(), mono.graph().max_degree());
+  EXPECT_EQ(sharded.num_shards(), f.num_shards);
+
+  int64_t owned_total = 0;
+  for (uint32_t k = 0; k < sharded.num_shards(); ++k) {
+    owned_total += static_cast<int64_t>(sharded.ShardOwners(k).size());
+    for (const graph::NodeId u : sharded.ShardOwners(k)) {
+      ASSERT_EQ(sharded.ShardOf(u), k);
+    }
+  }
+  EXPECT_EQ(owned_total, sharded.num_nodes());
+
+  for (graph::NodeId u = 0; u < sharded.num_nodes(); ++u) {
+    const auto mono_row = mono.graph().neighbors(u);
+    const auto shard_row = sharded.NeighborsFast(u);
+    ASSERT_EQ(sharded.DegreeFast(u), mono.graph().degree(u)) << "node " << u;
+    ASSERT_EQ(shard_row.size(), mono_row.size()) << "node " << u;
+    for (size_t i = 0; i < mono_row.size(); ++i) {
+      ASSERT_EQ(shard_row[i], mono_row[i]) << "node " << u << " slot " << i;
+    }
+    const auto mono_labels = mono.labels().labels(u);
+    const auto shard_labels = sharded.LabelsFast(u);
+    ASSERT_EQ(shard_labels.size(), mono_labels.size()) << "node " << u;
+    for (size_t i = 0; i < mono_labels.size(); ++i) {
+      ASSERT_EQ(shard_labels[i], mono_labels[i]) << "node " << u;
+    }
+  }
+  ASSERT_OK(store::VerifyShardedStore(f.stats.manifest_path));
+  std::remove(f.store_path.c_str());
+  RemoveShardedStore(f.prefix, f.num_shards);
+}
+
+// More shards than a tiny graph has nodes: some shards own nothing, and the
+// store must still round-trip (the empty-shard CSR is offsets == [0]).
+TEST(ShardedStore, EmptyShardsAreValid) {
+  const ShardedFixture f = MakeShardedFixture("sparse", 5, 3, 16);
+  ASSERT_OK_AND_ASSIGN(
+      const store::ShardedMappedGraph sharded,
+      store::ShardedMappedGraph::Open(f.stats.manifest_path));
+  int64_t empty = 0;
+  for (uint32_t k = 0; k < sharded.num_shards(); ++k) {
+    if (sharded.ShardOwners(k).empty()) ++empty;
+  }
+  EXPECT_GT(empty, 0);  // 16 shards over 5 nodes
+  EXPECT_EQ(f.stats.min_shard_nodes, 0);
+  ASSERT_OK(store::VerifyShardedStore(f.stats.manifest_path));
+  std::remove(f.store_path.c_str());
+  RemoveShardedStore(f.prefix, f.num_shards);
+}
+
+TEST(ShardedStore, RemapSectionRoutesThrough) {
+  const graph::Graph g = RandomConnectedGraph(50, 40, 3);
+  const graph::LabelStore labels = RandomLabels(50, 2, 4);
+  std::vector<graph::NodeId> remap(50);
+  for (size_t i = 0; i < remap.size(); ++i) {
+    remap[i] = static_cast<graph::NodeId>(1000 + i);
+  }
+  const std::string store_path = TempPath("remap.lgs");
+  store::StoreWriteOptions options;
+  options.remap = remap;
+  ASSERT_OK(store::WriteStore(g, labels, store_path, options));
+  const std::string prefix = TempPath("remap");
+  ASSERT_OK_AND_ASSIGN(const store::ShardWriteStats stats,
+                       store::WriteShardedStore(store_path, prefix, 3));
+  EXPECT_TRUE(stats.has_remap);
+  ASSERT_OK_AND_ASSIGN(const store::ShardedMappedGraph sharded,
+                       store::ShardedMappedGraph::Open(stats.manifest_path));
+  ASSERT_TRUE(sharded.has_remap());
+  for (graph::NodeId u = 0; u < 50; ++u) {
+    EXPECT_EQ(sharded.OriginalIdOf(u), remap[u]);
+  }
+  std::remove(store_path.c_str());
+  RemoveShardedStore(prefix, 3);
+}
+
+class ShardedRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeShardedFixture("robust", 400, 800, 3);
+  }
+  void TearDown() override {
+    std::remove(fixture_.store_path.c_str());
+    RemoveShardedStore(fixture_.prefix, fixture_.num_shards);
+  }
+  ShardedFixture fixture_;
+};
+
+TEST_F(ShardedRobustnessTest, TruncatedShardFailsClosed) {
+  const std::string shard1 = store::ShardFilePath(fixture_.prefix, 1);
+  const auto full_size = std::filesystem::file_size(shard1);
+  std::filesystem::resize_file(shard1, full_size / 2);
+  const auto result =
+      store::ShardedMappedGraph::Open(fixture_.stats.manifest_path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ShardedRobustnessTest, MissingShardFailsClosed) {
+  std::remove(store::ShardFilePath(fixture_.prefix, 2).c_str());
+  const auto result =
+      store::ShardedMappedGraph::Open(fixture_.stats.manifest_path);
+  ASSERT_FALSE(result.ok());
+}
+
+// A shard file from a *different* sharded store (same shape, different
+// data) must be rejected by the manifest's per-shard digest binding.
+TEST_F(ShardedRobustnessTest, ForeignShardFileFailsClosed) {
+  const ShardedFixture other =
+      MakeShardedFixture("robust_other", 400, 800, 3, /*seed=*/99);
+  std::filesystem::copy_file(
+      store::ShardFilePath(other.prefix, 1),
+      store::ShardFilePath(fixture_.prefix, 1),
+      std::filesystem::copy_options::overwrite_existing);
+  const auto result =
+      store::ShardedMappedGraph::Open(fixture_.stats.manifest_path);
+  ASSERT_FALSE(result.ok());
+  std::remove(other.store_path.c_str());
+  RemoveShardedStore(other.prefix, other.num_shards);
+}
+
+TEST_F(ShardedRobustnessTest, CorruptManifestFailsClosed) {
+  const std::string manifest = fixture_.stats.manifest_path;
+  std::FILE* file = std::fopen(manifest.c_str(), "r+b");
+  ASSERT_NE(file, nullptr);
+  // Flip a byte inside the entry table (past the header checksum).
+  ASSERT_EQ(std::fseek(file, sizeof(store::ManifestHeader) + 4, SEEK_SET), 0);
+  const char bogus = 0x7f;
+  ASSERT_EQ(std::fwrite(&bogus, 1, 1, file), 1u);
+  std::fclose(file);
+  const auto result = store::ShardedMappedGraph::Open(manifest);
+  ASSERT_FALSE(result.ok());
+}
+
+// Payload corruption under an untouched header: the lazy open (which reads
+// no payload) accepts it, the deep verifier does not.
+TEST_F(ShardedRobustnessTest, VerifierCatchesPayloadCorruption) {
+  const std::string shard0 = store::ShardFilePath(fixture_.prefix, 0);
+  std::FILE* file = std::fopen(shard0.c_str(), "r+b");
+  ASSERT_NE(file, nullptr);
+  store::ShardHeader header;
+  ASSERT_EQ(std::fread(&header, 1, sizeof(header), file), sizeof(header));
+  const store::SectionDesc& adj =
+      header.sections[store::kShardSectionAdjacency];
+  ASSERT_GT(adj.byte_size, 0u);
+  graph::NodeId entry = 0;
+  ASSERT_EQ(std::fseek(file, static_cast<long>(adj.file_offset), SEEK_SET), 0);
+  ASSERT_EQ(std::fread(&entry, 1, sizeof(entry), file), sizeof(entry));
+  const graph::NodeId bogus = entry == 0 ? 1 : 0;  // in-range, but changed
+  ASSERT_EQ(std::fseek(file, static_cast<long>(adj.file_offset), SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&bogus, 1, sizeof(bogus), file), sizeof(bogus));
+  std::fclose(file);
+  EXPECT_TRUE(
+      store::ShardedMappedGraph::Open(fixture_.stats.manifest_path).ok());
+  EXPECT_FALSE(store::VerifyShardedStore(fixture_.stats.manifest_path).ok());
+}
+
+}  // namespace
+}  // namespace labelrw

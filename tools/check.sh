@@ -90,6 +90,55 @@ if ! diff <(grep '^estimate' "$CKPT_DIR/reference.txt") \
   exit 1
 fi
 
+echo "== server smoke (shard -> serve -> estimate over ipc) =="
+# Shard the smoke snapshot, serve it from a labelrw_serverd daemon, and
+# require the estimate fetched over the shared-memory transport to be
+# bit-identical to the mmap store backend. Also checks the documented
+# exit code 8 (no daemon at the shm name) and a clean daemon shutdown.
+SERVER_DIR="$BUILD_DIR/server_smoke"
+rm -rf "$SERVER_DIR" && mkdir -p "$SERVER_DIR"
+SHM_NAME="/labelrw-check-$$"
+"$BUILD_DIR/graphstore_cli" shard --store="$STORE_DIR/smoke.lgs" \
+  --out="$SERVER_DIR/smoke" --shards=4
+"$BUILD_DIR/graphstore_cli" verify --manifest="$SERVER_DIR/smoke.manifest"
+NO_SERVER_RC=0
+"$BUILD_DIR/labelrw_cli" estimate --backend=ipc --server="$SHM_NAME" \
+  --t1=1 --t2=2 --budget=500 --algorithm=NeighborSample-HH \
+  --burn-in=200 --seed=7 > /dev/null 2>&1 || NO_SERVER_RC=$?
+if [[ "$NO_SERVER_RC" -ne 8 ]]; then
+  echo "server smoke: expected exit 8 with no daemon, got $NO_SERVER_RC" >&2
+  exit 1
+fi
+"$BUILD_DIR/labelrw_serverd" --manifest="$SERVER_DIR/smoke.manifest" \
+  --shm="$SHM_NAME" --ready-file="$SERVER_DIR/ready" --quiet &
+SERVERD_PID=$!
+for _ in $(seq 1 100); do
+  [[ -e "$SERVER_DIR/ready" ]] && break
+  sleep 0.1
+done
+if [[ ! -e "$SERVER_DIR/ready" ]]; then
+  echo "server smoke: daemon never became ready" >&2
+  kill "$SERVERD_PID" 2>/dev/null || true
+  exit 1
+fi
+IPC_ARGS=(estimate --t1=1 --t2=2 --budget=500
+  --algorithm=NeighborSample-HH --burn-in=200 --seed=7)
+"$BUILD_DIR/labelrw_cli" "${IPC_ARGS[@]}" --backend=ipc \
+  --server="$SHM_NAME" > "$SERVER_DIR/via_ipc.txt"
+"$BUILD_DIR/labelrw_cli" "${IPC_ARGS[@]}" --backend=store \
+  --store="$STORE_DIR/smoke.lgs" > "$SERVER_DIR/via_store.txt"
+if ! diff <(grep '^estimate' "$SERVER_DIR/via_ipc.txt") \
+          <(grep '^estimate' "$SERVER_DIR/via_store.txt"); then
+  echo "server smoke: ipc estimate deviates from the store backend" >&2
+  kill "$SERVERD_PID" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$SERVERD_PID"
+wait "$SERVERD_PID" || {
+  echo "server smoke: daemon did not exit cleanly on SIGTERM" >&2
+  exit 1
+}
+
 echo "== resilience bench (bench_resilience: chaos + checkpoint guards) =="
 # Exits nonzero if any chaos preset is nondeterministic, a durable sweep
 # deviates from RunSweep, or kill-and-resume is not bit-identical.

@@ -12,8 +12,16 @@
 //            StreamingStoreBuilder — million-node snapshots build without
 //            materializing the edge list; nodes get deterministic hash
 //            labels in {1..C} so estimation targets exist out of the box
-//   info    --store=S     header dump (counts, sections, checksums)
-//   verify  --store=S     deep verification: checksums + CSR invariants
+//   shard   --store=S --out=P --shards=K [--seed=H]
+//            snapshot -> hash-partitioned sharded store: P.shard<k>.lgs
+//            files + P.manifest (store/sharded_format.h), the unit
+//            labelrw_serverd serves
+//   info    --store=S     header dump (counts, sections, checksums) plus
+//                         the mapping advice that actually took effect
+//   verify  --store=S | --manifest=P
+//            deep verification: checksums + CSR invariants; with
+//            --manifest, the sharded-store invariants (per-shard checksums,
+//            partitioner ownership, cross-shard conservation laws)
 //
 // Flag values parse strictly (util/flags.h): unknown flags and non-numeric
 // values exit 2.
@@ -29,6 +37,8 @@
 #include "graph/labels.h"
 #include "store/format.h"
 #include "store/mapped_graph.h"
+#include "store/shard_writer.h"
+#include "store/sharded_graph.h"
 #include "store/store_writer.h"
 #include "synth/generators.h"
 #include "util/flags.h"
@@ -47,8 +57,11 @@ int Usage() {
       "--out=S)\n"
       "  synth     streamed synthetic snapshot (--nodes=N [--attach=K]\n"
       "            [--seed=S] [--label-classes=C] [--batch=B] --out=S)\n"
-      "  info      header dump (--store=S)\n"
-      "  verify    checksums + structural invariants (--store=S)\n"
+      "  shard     snapshot -> sharded store (--store=S --out=P --shards=K\n"
+      "            [--seed=H])\n"
+      "  info      header dump + effective mapping flags (--store=S)\n"
+      "  verify    checksums + structural invariants (--store=S, or\n"
+      "            --manifest=P for a sharded store)\n"
       "\n"
       "flag values are checked strictly; unknown flags are rejected.\n");
   return 2;
@@ -206,6 +219,30 @@ int RunSynth(int argc, char** argv) {
   return 0;
 }
 
+int RunShard(int argc, char** argv) {
+  Flag store_flag{"--store"}, out_flag{"--out"}, shards_flag{"--shards"},
+      seed_flag{"--seed"};
+  ParseFlags(argc, argv, {&store_flag, &out_flag, &shards_flag, &seed_flag});
+  const std::string store_path = RequireValue(store_flag);
+  const std::string out_prefix = RequireValue(out_flag);
+  const int64_t shards = flags::ParseIntAtLeastOrDie(
+      "--shards", RequireValue(shards_flag).c_str(), 1);
+  store::ShardWriteOptions options;
+  if (seed_flag.set) {
+    options.hash_seed = flags::ParseUintOrDie("--seed", seed_flag.value.c_str());
+  }
+  const store::ShardWriteStats stats =
+      Check(store::WriteShardedStore(store_path, out_prefix,
+                                     static_cast<uint32_t>(shards), options),
+            "shard pass");
+  std::printf("wrote %s: %u shards over %" PRId64 " nodes / %" PRId64
+              " edges (shard sizes %" PRId64 "..%" PRId64 " nodes%s)\n",
+              stats.manifest_path.c_str(), stats.num_shards, stats.num_nodes,
+              stats.num_edges, stats.min_shard_nodes, stats.max_shard_nodes,
+              stats.has_remap ? ", remap carried" : "");
+  return 0;
+}
+
 int RunInfo(int argc, char** argv) {
   Flag store_flag{"--store"};
   ParseFlags(argc, argv, {&store_flag});
@@ -213,6 +250,14 @@ int RunInfo(int argc, char** argv) {
       Check(store::MappedGraph::Open(RequireValue(store_flag)),
             "opening store");
   const store::StoreHeader& h = mapped.header();
+  const store::MapReport& advice = mapped.map_report();
+  std::printf("mapping          huge_pages=%s willneed=%s lock_offsets=%s\n",
+              store::MapAdviceState(advice.huge_pages_requested,
+                                    advice.huge_pages_applied),
+              store::MapAdviceState(advice.willneed_requested,
+                                    advice.willneed_applied),
+              store::MapAdviceState(advice.lock_offsets_requested,
+                                    advice.lock_offsets_applied));
   std::printf("format version   %u\n", h.format_version);
   std::printf("file bytes       %" PRId64 "\n", mapped.file_bytes());
   std::printf("nodes            %" PRId64 "\n", h.num_nodes);
@@ -236,8 +281,25 @@ int RunInfo(int argc, char** argv) {
 }
 
 int RunVerify(int argc, char** argv) {
-  Flag store_flag{"--store"};
-  ParseFlags(argc, argv, {&store_flag});
+  Flag store_flag{"--store"}, manifest_flag{"--manifest"};
+  ParseFlags(argc, argv, {&store_flag, &manifest_flag});
+  if (store_flag.set == manifest_flag.set) {
+    std::fprintf(stderr,
+                 "verify needs exactly one of --store or --manifest\n");
+    return 2;
+  }
+  if (manifest_flag.set) {
+    const std::string path = RequireValue(manifest_flag);
+    const Status status = store::VerifyShardedStore(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: OK (manifest + per-shard checksums, partitioner "
+                "ownership, conservation laws)\n",
+                path.c_str());
+    return 0;
+  }
   const std::string path = RequireValue(store_flag);
   const Status status = store::VerifyStoreFile(path);
   if (!status.ok()) {
@@ -258,6 +320,7 @@ int main(int argc, char** argv) {
   }
   if (command == "convert") return RunConvert(argc, argv);
   if (command == "synth") return RunSynth(argc, argv);
+  if (command == "shard") return RunShard(argc, argv);
   if (command == "info") return RunInfo(argc, argv);
   if (command == "verify") return RunVerify(argc, argv);
   return Usage();

@@ -12,6 +12,9 @@
 //            [--private-rate=F] [--retry-budget=R] [--record=TRACE]
 //            [--chaos=NAME] [--checkpoint-dir=D] [--halt-after-steps=N]
 //   estimate --replay=TRACE   (graph-free: config comes from the trace)
+//   estimate --backend=ipc --server=/name --t1=A --t2=B ...
+//            (graph-free: every record comes from a labelrw_serverd
+//            daemon over shared memory; see docs/API.md §Server)
 //   bounds   --graph=E --labels=L --t1=A --t2=B [--eps=0.1] [--delta=0.1]
 //   list-algorithms   (also available as --list-algorithms)
 //   list-scenarios    the --scenario presets
@@ -25,7 +28,10 @@
 // from it, and --halt-after-steps=N simulates the kill — run N iterations,
 // checkpoint, exit with code 3. Crawl-death exit codes are distinct:
 // 4 = deadline exceeded, 5 = unavailable (outage retries exhausted),
-// 6 = rate-limited, 7 = data loss (corrupt store/checkpoint), 1 = other.
+// 6 = rate-limited, 7 = data loss (corrupt store/checkpoint),
+// 8 = no crawl server at --server connect time (distinct from 5 so
+// scripts can tell "daemon never started" from "daemon died mid-crawl"),
+// 1 = other.
 //
 // Flag values are parsed strictly (util/flags.h): non-numeric or
 // out-of-range values and unknown flags abort with exit code 2 instead of
@@ -61,6 +67,7 @@
 #include "graph/oracle.h"
 #include "osn/chaos.h"
 #include "osn/client.h"
+#include "osn/ipc_transport.h"
 #include "osn/local_api.h"
 #include "osn/record_replay.h"
 #include "osn/scenario.h"
@@ -91,7 +98,9 @@ int Usage() {
       "                   [--chaos=NAME] [--checkpoint-dir=D]\n"
       "                   [--halt-after-steps=N]), or\n"
       "                   graph-free re-run of a recorded crawl\n"
-      "                   (--replay=TRACE)\n"
+      "                   (--replay=TRACE), or a crawl against a running\n"
+      "                   labelrw_serverd daemon (--backend=ipc\n"
+      "                   --server=/name; exit 8 = no server there)\n"
       "  bounds           theoretical sample bounds ([--eps=E] "
       "[--delta=D])\n"
       "  list-algorithms  the ten algorithm names --algorithm accepts\n"
@@ -187,7 +196,7 @@ const std::set<std::string>& KnownFlags(const std::string& command) {
       "budget",    "algorithm",    "burn-in",   "seed",
       "page-size", "fault-rate",   "private-rate", "retry-budget",
       "scenario",  "record",       "replay",    "chaos",
-      "checkpoint-dir", "halt-after-steps"};
+      "checkpoint-dir", "halt-after-steps", "backend", "server"};
   static const std::set<std::string> kBounds = {"graph", "labels", "store",
                                                 "t1",    "t2",     "eps",
                                                 "delta"};
@@ -513,26 +522,10 @@ int RunReplay(const std::string& trace_path) {
   return 0;
 }
 
-int RunEstimate(const Args& args) {
-  const std::string replay_path = args.Get("replay");
-  if (!replay_path.empty()) {
-    if (args.flags.size() > 1) {
-      std::fprintf(stderr,
-                   "--replay re-runs the recorded configuration and accepts "
-                   "no other flags\n");
-      return 2;
-    }
-    return RunReplay(replay_path);
-  }
-
-  const LoadedGraph lg = Load(args);
-  const graph::TargetLabel target = TargetFrom(args);
-  osn::LocalGraphApi local(lg.graph, lg.labels);
-
-  // --scenario sets the crawl conditions; the individual client flags
-  // override the preset's knobs. Anything non-baseline routes access
-  // through the session layer; otherwise the v1 fast path serves directly
-  // (identical accounting).
+/// Crawl conditions from the flags: --scenario picks the preset, the
+/// individual client flags override its knobs (shared by the local-graph
+/// and ipc estimate paths).
+osn::Scenario ScenarioFromFlags(const Args& args) {
   osn::Scenario scenario;
   const std::string scenario_name = args.Get("scenario");
   if (!scenario_name.empty()) {
@@ -553,13 +546,140 @@ int RunEstimate(const Args& args) {
     scenario.faults.retry_budget =
         static_cast<int>(args.GetInt("retry-budget", 0));
   }
-  const std::string record_path = args.Get("record");
+  return scenario;
+}
 
-  osn::FaultSchedule chaos_schedule;
+osn::FaultSchedule ChaosFromFlags(const Args& args) {
   const std::string chaos_name = args.Get("chaos");
-  if (!chaos_name.empty()) {
-    chaos_schedule = Check(osn::ChaosFromName(chaos_name), "chaos name");
+  if (chaos_name.empty()) return {};
+  return Check(osn::ChaosFromName(chaos_name), "chaos name");
+}
+
+/// The --backend=ipc estimate: every record is served by a labelrw_serverd
+/// daemon over the shared-memory protocol, so no graph is loaded here at
+/// all — priors (and the default budget) come from the server's hello
+/// block. The full client stack (scenario knobs, chaos schedules, retry)
+/// layers over the wire unchanged. Connect-time "no server" exits 8,
+/// distinct from mid-crawl unavailability (5).
+int RunIpcEstimate(const Args& args) {
+  const std::string server = args.Get("server");
+  if (server.empty()) {
+    std::fprintf(stderr,
+                 "--backend=ipc requires --server=/name (the shm name "
+                 "labelrw_serverd serves on)\n");
+    return 2;
   }
+  if (args.Has("graph") || args.Has("labels") || args.Has("store")) {
+    std::fprintf(stderr,
+                 "--backend=ipc serves every record from the daemon; it "
+                 "cannot be combined with --graph/--labels/--store\n");
+    return 2;
+  }
+  if (args.Has("record") || args.Has("checkpoint-dir")) {
+    std::fprintf(stderr,
+                 "--record/--checkpoint-dir are not supported over "
+                 "--backend=ipc: run them against --store on the same "
+                 "snapshot (bit-identical results)\n");
+    return 2;
+  }
+  const graph::TargetLabel target = TargetFrom(args);
+  const osn::Scenario scenario = ScenarioFromFlags(args);
+  const osn::FaultSchedule chaos_schedule = ChaosFromFlags(args);
+
+  Result<std::unique_ptr<osn::IpcTransport>> connected =
+      osn::IpcTransport::Connect(server);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connecting to crawl server: %s\n",
+                 connected.status().ToString().c_str());
+    return connected.status().code() == StatusCode::kUnavailable
+               ? 8
+               : ExitCodeFor(connected.status());
+  }
+  const std::unique_ptr<osn::IpcTransport> ipc = std::move(*connected);
+
+  const osn::Transport* transport = ipc.get();
+  std::optional<osn::ChaosTransport> chaos;
+  if (!chaos_schedule.empty()) {
+    chaos.emplace(*transport, chaos_schedule);
+    transport = &*chaos;
+  }
+  osn::OsnClient client(*transport, scenario.cost_model, scenario.faults);
+  client.ConfigureRateLimit(scenario.rate_limit);
+  if (chaos.has_value()) {
+    // See RunCheckpointedEstimate: enough deterministic backoff to ride
+    // out the presets' outage windows.
+    osn::RetryPolicy retry;
+    retry.max_attempts = 8;
+    retry.initial_backoff_us = 250'000;
+    client.ConfigureRetry(retry);
+    chaos->AttachClock(&client.clock());
+  }
+
+  const osn::GraphPriors priors = ipc->TransportPriors();
+  core::TargetEdgeCounter counter(&client, priors);
+  core::CountOptions options;
+  options.budget = args.GetInt("budget", priors.num_nodes / 20, 1);
+  options.burn_in = args.GetInt("burn-in", 300);
+  options.seed = args.GetUint("seed", 42);
+  options.detour_on_denied =
+      scenario.walker_detour || !chaos_schedule.privatizations.empty();
+  const std::string algorithm = args.Get("algorithm");
+  if (!algorithm.empty()) {
+    options.algorithm =
+        Check(estimators::AlgorithmFromName(algorithm), "algorithm name");
+  }
+  const core::CountReport report =
+      Check(counter.Count(target, options), "estimate");
+  PrintReport(report);
+  PrintClientStats(client);
+  return 0;
+}
+
+int RunEstimate(const Args& args) {
+  const std::string replay_path = args.Get("replay");
+  if (!replay_path.empty()) {
+    if (args.flags.size() > 1) {
+      std::fprintf(stderr,
+                   "--replay re-runs the recorded configuration and accepts "
+                   "no other flags\n");
+      return 2;
+    }
+    return RunReplay(replay_path);
+  }
+
+  const std::string backend = args.Get("backend");
+  if (backend == "ipc") return RunIpcEstimate(args);
+  if (args.Has("server")) {
+    std::fprintf(stderr, "--server requires --backend=ipc\n");
+    return 2;
+  }
+  if (backend == "store" && !args.Has("store")) {
+    std::fprintf(stderr, "--backend=store requires --store=S\n");
+    return 2;
+  }
+  if (backend == "memory" && !args.Has("graph")) {
+    std::fprintf(stderr, "--backend=memory requires --graph=E\n");
+    return 2;
+  }
+  if (!backend.empty() && backend != "store" && backend != "memory") {
+    std::fprintf(stderr,
+                 "unknown --backend '%s' (memory, store, or ipc)\n",
+                 backend.c_str());
+    return 2;
+  }
+
+  const LoadedGraph lg = Load(args);
+  const graph::TargetLabel target = TargetFrom(args);
+  osn::LocalGraphApi local(lg.graph, lg.labels);
+
+  // --scenario sets the crawl conditions; the individual client flags
+  // override the preset's knobs. Anything non-baseline routes access
+  // through the session layer; otherwise the v1 fast path serves directly
+  // (identical accounting).
+  const std::string scenario_name = args.Get("scenario");
+  const osn::Scenario scenario = ScenarioFromFlags(args);
+  const std::string record_path = args.Get("record");
+  const osn::FaultSchedule chaos_schedule = ChaosFromFlags(args);
   if (!chaos_schedule.empty() && !record_path.empty()) {
     std::fprintf(stderr,
                  "--chaos cannot be combined with --record: chaos faults are "

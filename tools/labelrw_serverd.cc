@@ -1,0 +1,145 @@
+// labelrw_serverd: the crawl-server daemon (server/crawl_server.h).
+//
+// Maps a sharded store once and serves every concurrent OsnClient session
+// on the machine over the shared-memory protocol of server/shm_protocol.h:
+//
+//   graphstore_cli shard --store=g.lgs --out=g --shards=8
+//   labelrw_serverd --manifest=g.manifest --shm=/labelrw &
+//   labelrw_cli estimate --backend=ipc --server=/labelrw ...   # x N
+//
+// Runs in the foreground until SIGINT/SIGTERM, then shuts down cleanly:
+// in-flight requests drain, waiting clients observe kUnavailable, the shm
+// name is unlinked. --ready-file names a file created (with the shm name as
+// its contents) only after the slab is live — scripts poll it instead of
+// racing the startup.
+//
+// Exit codes: 0 clean shutdown, 1 startup failure, 2 usage.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/crawl_server.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace labelrw;
+
+std::atomic<int> g_signal{0};
+
+void OnSignal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: labelrw_serverd --manifest=P --shm=/name [flags]\n"
+      "\n"
+      "flags:\n"
+      "  --manifest=P       sharded store manifest (or bare prefix)\n"
+      "  --shm=/name        POSIX shm name to serve on (leading '/')\n"
+      "  --slots=N          concurrent session capacity (default 64)\n"
+      "  --workers=N        worker threads (default: one per shard)\n"
+      "  --idle-timeout-ms=T  reclaim idle sessions after T ms (default\n"
+      "                     30000; 0 disables)\n"
+      "  --ready-file=F     create F once serving (startup handshake for\n"
+      "                     scripts)\n"
+      "  --quiet            suppress startup/shutdown log lines\n");
+  return 2;
+}
+
+struct Flag {
+  const char* name;
+  std::string value;
+  bool set = false;
+};
+
+void ParseFlags(int argc, char** argv, std::vector<Flag*> known) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage();
+      std::exit(0);
+    }
+    const char* eq = std::strchr(arg, '=');
+    const size_t name_len =
+        eq != nullptr ? static_cast<size_t>(eq - arg) : std::strlen(arg);
+    Flag* match = nullptr;
+    for (Flag* flag : known) {
+      if (name_len == std::strlen(flag->name) &&
+          std::strncmp(arg, flag->name, name_len) == 0) {
+        match = flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+    match->value = eq != nullptr ? eq + 1 : "1";
+    match->set = true;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flag manifest_flag{"--manifest"}, shm_flag{"--shm"}, slots_flag{"--slots"},
+      workers_flag{"--workers"}, idle_flag{"--idle-timeout-ms"},
+      ready_flag{"--ready-file"}, quiet_flag{"--quiet"};
+  ParseFlags(argc, argv,
+             {&manifest_flag, &shm_flag, &slots_flag, &workers_flag,
+              &idle_flag, &ready_flag, &quiet_flag});
+  if (!manifest_flag.set || !shm_flag.set) return Usage();
+
+  server::ServerOptions options;
+  options.manifest_path = manifest_flag.value;
+  options.shm_name = shm_flag.value;
+  if (slots_flag.set) {
+    options.num_slots = static_cast<uint32_t>(flags::ParseIntAtLeastOrDie(
+        "--slots", slots_flag.value.c_str(), 1));
+  }
+  if (workers_flag.set) {
+    options.num_workers = static_cast<uint32_t>(flags::ParseIntAtLeastOrDie(
+        "--workers", workers_flag.value.c_str(), 1));
+  }
+  if (idle_flag.set) {
+    options.idle_timeout_ms =
+        flags::ParseIntAtLeastOrDie("--idle-timeout-ms",
+                                    idle_flag.value.c_str(), 0);
+  }
+  options.quiet = quiet_flag.set;
+
+  server::CrawlServer crawl_server;
+  const Status started = crawl_server.Start(options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "labelrw_serverd: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  if (ready_flag.set) {
+    std::FILE* f = std::fopen(ready_flag.value.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%s\n", options.shm_name.c_str());
+      std::fclose(f);
+    }
+  }
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  while (g_signal.load(std::memory_order_relaxed) == 0) {
+    ::usleep(100'000);
+  }
+  crawl_server.Stop();
+  if (ready_flag.set) std::remove(ready_flag.value.c_str());
+  return 0;
+}
