@@ -243,9 +243,12 @@ double FindStepsPerSec(const std::vector<RunResult>& results,
 
 void WriteJson(const std::vector<RunResult>& results, const PerfFlags& flags,
                const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Atomic dump: stream into <path>.tmp, rename over the tracked file only
+  // once complete (see WriteFileAtomic in bench_util.h).
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::fprintf(stderr, "cannot open %s\n", tmp_path.c_str());
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"bench\": \"perf_steps\",\n  \"seed\": %llu,\n",
@@ -274,7 +277,12 @@ void WriteJson(const std::vector<RunResult>& results, const PerfFlags& flags,
     first = false;
   }
   std::fprintf(f, "\n  }\n}\n");
-  std::fclose(f);
+  if (std::fclose(f) != 0 ||
+      std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
   std::printf("wrote %s\n", path.c_str());
 }
 

@@ -284,10 +284,7 @@ int Main(int argc, char** argv) {
   json += "  ]\n}\n";
 
   const std::string path = JsonOutPath(flags, "resilience");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f != nullptr) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
+  if (WriteFileAtomic(path, json)) {
     std::printf("wrote %s\n", path.c_str());
   }
 

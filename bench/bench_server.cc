@@ -18,10 +18,11 @@
 //                    sessions (64 by default — the acceptance floor).
 //
 // Dumps BENCH_server.json (repo root by convention). Exit 1 on any
-// cross-backend deviation or failed fetch.
+// cross-backend deviation, failed fetch, or (with --min-rps) a best
+// peak-session throughput below the floor.
 //
 // Flags: --store=S --shards=K --sessions=N --fetches=F --workers=W
-//        --seed=N --out=DIR --json-out=DIR
+//        --seed=N --out=DIR --json-out=DIR --min-rps=X
 
 #include <unistd.h>
 
@@ -57,6 +58,7 @@ struct ServerBenchFlags {
   int64_t fetches = 2000;  // requests per session per row
   uint32_t workers = 0;    // 0 = one per shard
   uint64_t seed = 42;
+  double min_rps = 0.0;    // acceptance floor for peak-session req/s
   std::string out_dir = "bench_results";
   std::string json_dir = ".";
 };
@@ -79,7 +81,10 @@ ServerBenchFlags ParseServerFlags(int argc, char** argv) {
           "  --fetches=F   requests per session per grid row (default "
           "2000)\n"
           "  --workers=W   serving worker threads (default 0 = one per "
-          "shard)\n");
+          "shard)\n"
+          "  --min-rps=X   exit nonzero if the best peak-session row "
+          "falls\n"
+          "                below X requests/s (default 0 = no floor)\n");
       std::exit(0);
     } else if (std::strncmp(arg, "--store=", 8) == 0) {
       flags.store_path = arg + 8;
@@ -95,6 +100,9 @@ ServerBenchFlags ParseServerFlags(int argc, char** argv) {
           flags::ParseIntAtLeastOrDie("--workers", arg + 10, 0));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       flags.seed = flags::ParseUintOrDie("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--min-rps=", 10) == 0) {
+      flags.min_rps = flags::ParseDoubleInRangeOrDie("--min-rps", arg + 10,
+                                                     0.0, 1e12);
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       flags.out_dir = arg + 6;
     } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
@@ -329,6 +337,18 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.requests_served),
               static_cast<unsigned long long>(stats.sessions_admitted));
 
+  // Best requests/s across worker configs at the peak session count — the
+  // row the acceptance floor gates on.
+  double peak_rps = 0.0;
+  for (const GridRow& row : rows) {
+    if (row.sessions == flags.sessions && row.requests_per_sec > peak_rps) {
+      peak_rps = row.requests_per_sec;
+    }
+  }
+  std::printf("best %lld-session throughput: %.0f req/s (floor %.0f)\n",
+              static_cast<long long>(flags.sessions), peak_rps,
+              flags.min_rps);
+
   // --- machine-readable summary.
   std::string json = "{\n  \"bench\": \"server\",\n";
   char buf[512];
@@ -356,16 +376,26 @@ int Main(int argc, char** argv) {
                   rows[i].p99_us, i + 1 < rows.size() ? "," : "");
     json += buf;
   }
-  json += "  ]\n}\n";
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"peak_session_requests_per_sec\": %.0f,\n"
+                "  \"min_rps\": %.0f\n}\n",
+                peak_rps, flags.min_rps);
+  json += buf;
   const std::string json_path = flags.json_dir + "/BENCH_server.json";
-  std::FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f != nullptr) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
+  if (WriteFileAtomic(json_path, json)) {
     std::printf("wrote %s\n", json_path.c_str());
   }
 
-  return identical ? 0 : 1;
+  if (!identical) return 1;
+  if (flags.min_rps > 0.0 && peak_rps < flags.min_rps) {
+    std::fprintf(stderr,
+                 "FAIL: best %lld-session throughput %.0f req/s is below "
+                 "the %.0f req/s acceptance floor\n",
+                 static_cast<long long>(flags.sessions), peak_rps,
+                 flags.min_rps);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace

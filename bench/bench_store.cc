@@ -207,10 +207,7 @@ int Main(int argc, char** argv) {
                 memory_steps_s, mapped_steps_s, identical ? "true" : "false");
   json += buf;
   const std::string json_path = JsonOutPath(flags, "store");
-  std::FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f != nullptr) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
+  if (WriteFileAtomic(json_path, json)) {
     std::printf("wrote %s\n", json_path.c_str());
   }
 

@@ -85,10 +85,7 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(flags.reps), independent_s, prefix_s,
                 speedup, worst_dev);
   const std::string path = JsonOutPath(flags, "sweep_protocol");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f != nullptr) {
-    std::fputs(json, f);
-    std::fclose(f);
+  if (WriteFileAtomic(path, json)) {
     std::printf("  wrote %s\n", path.c_str());
   }
   return 0;

@@ -67,6 +67,33 @@ inline std::string JsonOutPath(const BenchFlags& flags, const char* name) {
   return flags.json_dir + "/BENCH_" + name + ".json";
 }
 
+/// Atomic whole-file write: the content lands in `<path>.tmp` first and is
+/// renamed over `path` only after a complete flush, so a bench killed
+/// mid-dump can never leave a truncated BENCH_*.json behind — the previous
+/// version survives intact (rename(2) is atomic within a filesystem).
+inline bool WriteFileAtomic(const std::string& path,
+                            const std::string& content) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", tmp_path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || written != content.size() || !flushed) {
+    std::remove(tmp_path.c_str());
+    std::fprintf(stderr, "short write while writing %s\n", tmp_path.c_str());
+    return false;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    std::fprintf(stderr, "cannot rename %s into place\n", tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
 inline void PrintUsage(const char* prog) {
   std::fprintf(
       stderr,

@@ -19,13 +19,23 @@
 // memory-bound moves. The store mapping is opened with the default
 // MapOptions (huge pages on, graceful fallback).
 //
-// Exits nonzero if (a) WalkBatch positions deviate bit-wise from scalar
-// walkers, (b) sweep estimates at walk_batch_size=16 deviate bit-wise from
-// the scalar sweep on either backend, or (c) the store-backed mdrw speedup
-// at batch 16 falls below --min-speedup (default 1.5x, the acceptance
-// floor; pass --min-speedup=0 for smoke runs on cache-resident graphs
-// where memory-level parallelism has nothing to hide). Dumps
-// BENCH_walk_batch.json (repo root by convention).
+// With --reorder the sort-the-misses engine (rw/access_engine.h) is also
+// measured at every batch size: each round queues the walkers' frontier
+// CSR offsets, sorts them into address order, and services the batch in
+// locality order while walkers resume out of order. Reorder bit-identity
+// (positions vs scalar, sweep estimates vs scalar) is guarded on every
+// run, --reorder or not — it is cheap and it is the engine's contract.
+//
+// Exits nonzero if (a) WalkBatch positions (interleaved or reorder)
+// deviate bit-wise from scalar walkers, (b) sweep estimates at
+// walk_batch_size=16 (interleaved and reorder) deviate bit-wise from the
+// scalar sweep on either backend, (c) the store-backed mdrw speedup at
+// batch 16 falls below --min-speedup (default 1.5x, the acceptance floor;
+// pass --min-speedup=0 for smoke runs on cache-resident graphs where
+// memory-level parallelism has nothing to hide), or (d) --reorder is set
+// and the best store-backed reorder speedup over scalar at batch 64 falls
+// below --min-reorder-speedup. Dumps BENCH_walk_batch.json (repo root by
+// convention).
 //
 // Extra flags (on top of bench_util.h's):
 //   --nodes=N        synthetic graph size when no store is given (default
@@ -34,7 +44,15 @@
 //   --moves=N        memory-bound moves per measurement (default 400,000)
 //   --store=PATH     benchmark an existing .lgs snapshot instead of
 //                    synthesizing one (falls back to $LABELRW_STORE_PATH)
+//   --passes=N       measurement passes per (mode, batch size) point; the
+//                    reported number is the best pass (default 3 — single
+//                    ~100ms passes are hostage to scheduler noise on
+//                    shared hosts, and max-of-N is the standard throughput
+//                    estimator under asymmetric noise)
 //   --min-speedup=X  acceptance floor for store mdrw at batch 16
+//   --reorder        also measure BatchMode::kReorder at every batch size
+//   --min-reorder-speedup=X  acceptance floor for the best store-backed
+//                    reorder-vs-scalar speedup at batch 64 (default 0)
 
 #include <chrono>
 #include <cstdio>
@@ -153,9 +171,10 @@ double MeasureScalar(const graph::Graph& g, const graph::LabelStore& labels,
 
 double MeasureBatch(const graph::Graph& g, const graph::LabelStore& labels,
                     rw::WalkParams params, int64_t batch_size,
-                    int64_t iters_each, uint64_t seed) {
+                    int64_t iters_each, uint64_t seed,
+                    rw::BatchMode mode = rw::BatchMode::kInterleaved) {
   osn::LocalGraphApi api(g, labels);
-  rw::WalkBatch batch(&api, params, WalkerSeeds(seed, batch_size));
+  rw::WalkBatch batch(&api, params, WalkerSeeds(seed, batch_size), mode);
   CheckOk(batch.ResetRandom(), "batch reset");
   const auto start = std::chrono::steady_clock::now();
   CheckOk(batch.Advance(iters_each), "batch advance");
@@ -164,8 +183,8 @@ double MeasureBatch(const graph::Graph& g, const graph::LabelStore& labels,
                   : 0.0;
 }
 
-/// Positions after interleaved stepping must equal scalar stepping walker
-/// by walker (same seeds, fresh APIs on both sides).
+/// Positions after batched stepping (interleaved AND reorder) must equal
+/// scalar stepping walker by walker (same seeds, fresh APIs everywhere).
 bool WalkIdentity(const graph::Graph& g, const graph::LabelStore& labels,
                   rw::WalkParams params, int64_t iters_each, uint64_t seed) {
   const std::vector<uint64_t> seeds = WalkerSeeds(seed, kScalarWalkers);
@@ -173,6 +192,12 @@ bool WalkIdentity(const graph::Graph& g, const graph::LabelStore& labels,
   rw::WalkBatch batch(&batch_api, params, seeds);
   CheckOk(batch.ResetRandom(), "identity batch reset");
   CheckOk(batch.Advance(iters_each), "identity batch advance");
+
+  osn::LocalGraphApi reorder_api(g, labels);
+  rw::WalkBatch reorder(&reorder_api, params, seeds,
+                        rw::BatchMode::kReorder);
+  CheckOk(reorder.ResetRandom(), "identity reorder reset");
+  CheckOk(reorder.Advance(iters_each), "identity reorder advance");
 
   osn::LocalGraphApi scalar_api(g, labels);
   for (int i = 0; i < kScalarWalkers; ++i) {
@@ -186,6 +211,14 @@ bool WalkIdentity(const graph::Graph& g, const graph::LabelStore& labels,
                    "(scalar %d, batched %d)\n",
                    rw::WalkKindName(params.kind), i, walk.current(),
                    batch.walker(static_cast<size_t>(i)).current());
+      return false;
+    }
+    if (walk.current() != reorder.walker(static_cast<size_t>(i)).current()) {
+      std::fprintf(stderr,
+                   "FAIL: %s walker %d deviates under reorder "
+                   "(scalar %d, reordered %d)\n",
+                   rw::WalkKindName(params.kind), i, walk.current(),
+                   reorder.walker(static_cast<size_t>(i)).current());
       return false;
     }
   }
@@ -215,12 +248,22 @@ bool SweepIdentity(const graph::Graph& g, const graph::LabelStore& labels,
   config.walk_batch_size = 16;
   const eval::SweepResult batched = CheckedValue(
       eval::RunSweep(g, labels, target, config), "batched sweep");
+  config.walk_reorder = true;
+  const eval::SweepResult reordered = CheckedValue(
+      eval::RunSweep(g, labels, target, config), "reordered sweep");
   const std::string a = eval::ToCsv(scalar, "walk_batch", "(1,2)").ToString();
   const std::string b = eval::ToCsv(batched, "walk_batch", "(1,2)").ToString();
+  const std::string c =
+      eval::ToCsv(reordered, "walk_batch", "(1,2)").ToString();
   if (a != b) {
     std::fprintf(stderr,
                  "FAIL: walk_batch_size=16 sweep deviates from the scalar "
                  "sweep\n");
+    return false;
+  }
+  if (a != c) {
+    std::fprintf(stderr,
+                 "FAIL: walk_reorder sweep deviates from the scalar sweep\n");
     return false;
   }
   return true;
@@ -231,14 +274,16 @@ struct CellResult {
   std::string algorithm;
   double scalar_steps_s = 0.0;
   std::vector<double> batched_steps_s;
+  std::vector<double> reorder_steps_s;  // empty unless --reorder
   double speedup_at_16 = 0.0;
+  double reorder_speedup_at_64 = 0.0;
 };
 
 /// All measurements and guards for one backend.
 void RunBackend(const char* backend, const graph::Graph& g,
                 const graph::LabelStore& labels, const BenchFlags& flags,
-                int64_t target_moves, std::vector<CellResult>* results,
-                bool* identity) {
+                int64_t target_moves, bool reorder, int64_t passes,
+                std::vector<CellResult>* results, bool* identity) {
   std::printf("--- backend %s: |V|=%lld |E|=%lld max_degree=%lld\n", backend,
               static_cast<long long>(g.num_nodes()),
               static_cast<long long>(g.num_edges()),
@@ -254,22 +299,51 @@ void RunBackend(const char* backend, const graph::Graph& g,
     (void)MeasureBatch(g, labels, params, 32, total_iters / 32,
                        flags.seed + 100);
 
+    // Best pass of `passes` per point: single ~100ms passes swing +-40%
+    // under host scheduler noise; the max is the least-interfered pass.
+    const auto best_of = [passes](auto&& measure) {
+      double best = 0.0;
+      for (int64_t p = 0; p < passes; ++p) {
+        const double got = measure();
+        if (got > best) best = got;
+      }
+      return best;
+    };
+
     CellResult cell;
     cell.backend = backend;
     cell.algorithm = algo.name;
-    cell.scalar_steps_s = MeasureScalar(
-        g, labels, params, total_iters / kScalarWalkers, flags.seed + 1);
+    cell.scalar_steps_s = best_of([&] {
+      return MeasureScalar(g, labels, params, total_iters / kScalarWalkers,
+                           flags.seed + 1);
+    });
     std::printf("%-7s scalar      %14.0f iter/s\n", algo.name,
                 cell.scalar_steps_s);
     for (const int64_t b : kBatchSizes) {
-      const double steps_s = MeasureBatch(g, labels, params, b,
-                                          total_iters / b, flags.seed + 1);
+      const double steps_s = best_of([&] {
+        return MeasureBatch(g, labels, params, b, total_iters / b,
+                            flags.seed + 1);
+      });
       cell.batched_steps_s.push_back(steps_s);
       const double speedup =
           cell.scalar_steps_s > 0 ? steps_s / cell.scalar_steps_s : 0.0;
       if (b == 16) cell.speedup_at_16 = speedup;
       std::printf("%-7s batch %-5lld %14.0f iter/s   (%.2fx)\n", algo.name,
                   static_cast<long long>(b), steps_s, speedup);
+    }
+    if (reorder) {
+      for (const int64_t b : kBatchSizes) {
+        const double steps_s = best_of([&] {
+          return MeasureBatch(g, labels, params, b, total_iters / b,
+                              flags.seed + 1, rw::BatchMode::kReorder);
+        });
+        cell.reorder_steps_s.push_back(steps_s);
+        const double speedup =
+            cell.scalar_steps_s > 0 ? steps_s / cell.scalar_steps_s : 0.0;
+        if (b == 64) cell.reorder_speedup_at_64 = speedup;
+        std::printf("%-7s reord %-5lld %14.0f iter/s   (%.2fx)\n", algo.name,
+                    static_cast<long long>(b), steps_s, speedup);
+      }
     }
     *identity = WalkIdentity(g, labels, params, 4 * ipm, flags.seed + 2) &&
                 *identity;
@@ -282,6 +356,9 @@ int Main(int argc, char** argv) {
   int64_t attach = 8;
   int64_t moves = 400'000;
   double min_speedup = 1.5;
+  double min_reorder_speedup = 0.0;
+  int64_t passes = 3;
+  bool reorder = false;
   std::string store_path;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
@@ -297,6 +374,13 @@ int Main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
       min_speedup = flags::ParseDoubleInRangeOrDie("--min-speedup",
                                                    argv[i] + 14, 0.0, 100.0);
+    } else if (std::strncmp(argv[i], "--passes=", 9) == 0) {
+      passes = flags::ParseIntAtLeastOrDie("--passes", argv[i] + 9, 1);
+    } else if (std::strcmp(argv[i], "--reorder") == 0) {
+      reorder = true;
+    } else if (std::strncmp(argv[i], "--min-reorder-speedup=", 22) == 0) {
+      min_reorder_speedup = flags::ParseDoubleInRangeOrDie(
+          "--min-reorder-speedup", argv[i] + 22, 0.0, 100.0);
     } else {
       rest.push_back(argv[i]);
     }
@@ -341,10 +425,10 @@ int Main(int argc, char** argv) {
 
   bool walk_identity = true;
   std::vector<CellResult> results;
-  RunBackend("memory", mem_graph, mem_labels, flags, moves, &results,
-             &walk_identity);
-  RunBackend("store", mapped.graph(), mapped.labels(), flags, moves,
+  RunBackend("memory", mem_graph, mem_labels, flags, moves, reorder, passes,
              &results, &walk_identity);
+  RunBackend("store", mapped.graph(), mapped.labels(), flags, moves, reorder,
+             passes, &results, &walk_identity);
 
   std::printf("--- sweep identity guards (walk_batch_size 16 vs scalar)\n");
   bool estimate_identity =
@@ -352,9 +436,16 @@ int Main(int argc, char** argv) {
       SweepIdentity(mapped.graph(), mapped.labels(), flags);
 
   double store_mdrw_speedup = 0.0;
+  double best_reorder_speedup = 0.0;
+  const char* best_reorder_algo = "";
   for (const CellResult& cell : results) {
     if (cell.backend == "store" && cell.algorithm == "mdrw") {
       store_mdrw_speedup = cell.speedup_at_16;
+    }
+    if (cell.backend == "store" &&
+        cell.reorder_speedup_at_64 > best_reorder_speedup) {
+      best_reorder_speedup = cell.reorder_speedup_at_64;
+      best_reorder_algo = cell.algorithm.c_str();
     }
   }
   std::printf("walk positions bit-identical:  %s\n",
@@ -363,6 +454,11 @@ int Main(int argc, char** argv) {
               estimate_identity ? "yes" : "NO");
   std::printf("store mdrw speedup at batch 16: %.2fx (floor %.2fx)\n",
               store_mdrw_speedup, min_speedup);
+  if (reorder) {
+    std::printf(
+        "best store reorder speedup at batch 64: %.2fx (%s, floor %.2fx)\n",
+        best_reorder_speedup, best_reorder_algo, min_reorder_speedup);
+  }
 
   std::string json = "{\n  \"bench\": \"walk_batch\",\n";
   char buf[512];
@@ -388,24 +484,39 @@ int Main(int argc, char** argv) {
                     cell.batched_steps_s[b]);
       json += buf;
     }
-    std::snprintf(buf, sizeof(buf), "], \"speedup_at_16\": %.2f}%s\n",
+    json += "]";
+    if (!cell.reorder_steps_s.empty()) {
+      json += ", \"reorder_steps_per_sec\": [";
+      for (size_t b = 0; b < cell.reorder_steps_s.size(); ++b) {
+        std::snprintf(buf, sizeof(buf), "%s%.0f", b > 0 ? ", " : "",
+                      cell.reorder_steps_s[b]);
+        json += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "], \"reorder_speedup_at_64\": %.2f",
+                    cell.reorder_speedup_at_64);
+      json += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ", \"speedup_at_16\": %.2f}%s\n",
                   cell.speedup_at_16, i + 1 < results.size() ? "," : "");
     json += buf;
   }
   std::snprintf(buf, sizeof(buf),
                 "  ],\n  \"walk_bit_identical\": %s,\n"
                 "  \"estimates_bit_identical\": %s,\n"
+                "  \"passes\": %lld,\n"
                 "  \"store_mdrw_speedup_at_16\": %.2f,\n"
-                "  \"min_speedup\": %.2f\n}\n",
+                "  \"min_speedup\": %.2f,\n"
+                "  \"reorder\": %s,\n"
+                "  \"best_store_reorder_speedup_at_64\": %.2f,\n"
+                "  \"min_reorder_speedup\": %.2f\n}\n",
                 walk_identity ? "true" : "false",
-                estimate_identity ? "true" : "false", store_mdrw_speedup,
-                min_speedup);
+                estimate_identity ? "true" : "false",
+                static_cast<long long>(passes), store_mdrw_speedup,
+                min_speedup, reorder ? "true" : "false",
+                best_reorder_speedup, min_reorder_speedup);
   json += buf;
   const std::string json_path = JsonOutPath(flags, "walk_batch");
-  std::FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f != nullptr) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
+  if (WriteFileAtomic(json_path, json)) {
     std::printf("wrote %s\n", json_path.c_str());
   }
 
@@ -415,6 +526,14 @@ int Main(int argc, char** argv) {
                  "FAIL: store mdrw speedup %.2fx at batch 16 is below the "
                  "%.2fx acceptance floor\n",
                  store_mdrw_speedup, min_speedup);
+    return 1;
+  }
+  if (reorder && min_reorder_speedup > 0.0 &&
+      best_reorder_speedup < min_reorder_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: best store reorder speedup %.2fx at batch 64 is "
+                 "below the %.2fx acceptance floor\n",
+                 best_reorder_speedup, min_reorder_speedup);
     return 1;
   }
   return 0;

@@ -54,6 +54,10 @@ Status SweepConfig::Validate() const {
   if (walk_batch_size < 0) {
     return InvalidArgumentError("walk_batch_size must be >= 0 (0 = scalar)");
   }
+  if (walk_reorder && walk_batch_size <= 0) {
+    return InvalidArgumentError(
+        "walk_reorder reorders co-scheduled lanes; set walk_batch_size > 0");
+  }
   if (!checkpoint_dir.empty() && walk_batch_size > 0) {
     return InvalidArgumentError(
         "checkpoint_dir requires scalar driving (walk_batch_size == 0): "
@@ -276,56 +280,108 @@ struct BatchLane {
 };
 
 /// Drives every live lane to `nested_budget` (<= 0: the options' own
-/// limits) in interleaved rounds: first every lane's walk-frontier rows
-/// are prefetched (offsets, then adjacency — two sweeps so the dependent
-/// loads overlap across lanes; see rw/walk_batch.h), then each lane steps
-/// one iteration. Per-lane work is exactly DriveSession with step chunk 1,
-/// so results are bit-identical to scalar driving; a kRateLimited lane
-/// advances its own clock and retries next round without stalling the
-/// others. Lane errors are reported through `merge_error` and disable the
-/// lane; the block keeps driving its siblings (matching the scalar
-/// worker, which keeps claiming tasks after an error).
+/// limits) one iteration per round. In kInterleaved mode, first every
+/// lane's walk-frontier rows are prefetched (offsets, then adjacency —
+/// two sweeps so the dependent loads overlap across lanes; see
+/// rw/walk_batch.h), then each lane steps in lane order. In kReorder
+/// mode the lanes are queued into an AccessEngine keyed by where their
+/// frontier row lives and stepped in locality order behind the engine's
+/// prefetch pipeline. Per-lane work is exactly DriveSession with step
+/// chunk 1 either way, so results are bit-identical to scalar driving —
+/// a lane's trajectory depends only on its own streams, never on its
+/// position within the round; a kRateLimited lane advances its own clock
+/// and retries next round without stalling the others. Lane errors are
+/// reported through `merge_error` and disable the lane; the block keeps
+/// driving its siblings (matching the scalar worker, which keeps
+/// claiming tasks after an error).
 template <typename MergeError>
 void DriveLanes(std::vector<BatchLane>& lanes, const SweepDriver& driver,
-                int64_t nested_budget, const MergeError& merge_error) {
+                int64_t nested_budget, rw::BatchMode mode,
+                const MergeError& merge_error) {
   for (BatchLane& lane : lanes) lane.settled = lane.failed;
+  rw::AccessEngine engine;  // reorder-mode scratch, reused across rounds
+  bool any_live = false;
+  auto step_lane = [&](BatchLane& lane) {
+    const Result<int64_t> stepped =
+        nested_budget > 0 ? lane.session->StepUntilBudget(nested_budget, 1)
+                          : lane.session->Step(1);
+    if (!stepped.ok()) {
+      if (driver.drive_rate_limits && lane.task.client != nullptr &&
+          stepped.status().code() == StatusCode::kRateLimited) {
+        lane.task.client->mutable_clock().AdvanceUs(
+            lane.task.client->last_retry_after_us());
+        any_live = true;  // the rolled-back iteration retries next round
+        return;
+      }
+      merge_error(stepped.status());
+      lane.failed = true;
+      lane.settled = true;
+      return;
+    }
+    if (*stepped == 0 || lane.session->finished()) {
+      lane.settled = true;
+    } else {
+      any_live = true;
+    }
+  };
   while (true) {
-    bool any_live = false;
-    for (BatchLane& lane : lanes) {
-      if (lane.settled || lane.task.prefetch == nullptr) continue;
-      lane.frontier_n = lane.session->WalkFrontier(lane.frontier);
-      for (int k = 0; k < lane.frontier_n; ++k) {
-        rw::PrefetchCsrOffsets(*lane.task.prefetch, lane.frontier[k]);
-      }
-    }
-    for (const BatchLane& lane : lanes) {
-      if (lane.settled || lane.task.prefetch == nullptr) continue;
-      for (int k = 0; k < lane.frontier_n; ++k) {
-        rw::PrefetchCsrRow(*lane.task.prefetch, lane.frontier[k]);
-      }
-    }
+    any_live = false;
     for (BatchLane& lane : lanes) {
       if (lane.settled) continue;
-      const Result<int64_t> stepped =
-          nested_budget > 0 ? lane.session->StepUntilBudget(nested_budget, 1)
-                            : lane.session->Step(1);
-      if (!stepped.ok()) {
-        if (driver.drive_rate_limits && lane.task.client != nullptr &&
-            stepped.status().code() == StatusCode::kRateLimited) {
-          lane.task.client->mutable_clock().AdvanceUs(
-              lane.task.client->last_retry_after_us());
-          any_live = true;  // the rolled-back iteration retries next round
-          continue;
-        }
-        merge_error(stepped.status());
-        lane.failed = true;
-        lane.settled = true;
-        continue;
+      if (mode == rw::BatchMode::kReorder || lane.task.prefetch != nullptr) {
+        lane.frontier_n = lane.session->WalkFrontier(lane.frontier);
       }
-      if (*stepped == 0 || lane.session->finished()) {
-        lane.settled = true;
-      } else {
-        any_live = true;
+      if (mode == rw::BatchMode::kInterleaved &&
+          lane.task.prefetch != nullptr) {
+        for (int k = 0; k < lane.frontier_n; ++k) {
+          rw::PrefetchCsrOffsets(*lane.task.prefetch, lane.frontier[k]);
+        }
+      }
+    }
+    if (mode == rw::BatchMode::kReorder) {
+      engine.Clear();
+      engine.Reserve(lanes.size());
+      for (size_t i = 0; i < lanes.size(); ++i) {
+        const BatchLane& lane = lanes[i];
+        if (lane.settled) continue;
+        const graph::NodeId anchor =
+            lane.frontier_n > 0 ? lane.frontier[0] : 0;
+        engine.Add(rw::CsrLocalityKey(lane.task.prefetch, anchor),
+                   static_cast<uint32_t>(i));
+      }
+      engine.SortByLocality();
+      // Phased: a session step costs orders of magnitude more than a
+      // prefetch, and a lane group is tens of entries, so the whole-queue
+      // lead is both cache-safe and the maximal overlap.
+      (void)engine.ServiceAllPhased(
+          [&](uint32_t tag) {
+            const BatchLane& lane = lanes[tag];
+            if (lane.task.prefetch == nullptr) return;
+            for (int k = 0; k < lane.frontier_n; ++k) {
+              rw::PrefetchCsrOffsets(*lane.task.prefetch, lane.frontier[k]);
+            }
+          },
+          [&](uint32_t tag) {
+            const BatchLane& lane = lanes[tag];
+            if (lane.task.prefetch == nullptr) return;
+            for (int k = 0; k < lane.frontier_n; ++k) {
+              rw::PrefetchCsrRow(*lane.task.prefetch, lane.frontier[k]);
+            }
+          },
+          [&](uint32_t tag) {
+            step_lane(lanes[tag]);
+            return Status::Ok();  // lane errors are merged, not propagated
+          });
+    } else {
+      for (const BatchLane& lane : lanes) {
+        if (lane.settled || lane.task.prefetch == nullptr) continue;
+        for (int k = 0; k < lane.frontier_n; ++k) {
+          rw::PrefetchCsrRow(*lane.task.prefetch, lane.frontier[k]);
+        }
+      }
+      for (BatchLane& lane : lanes) {
+        if (lane.settled) continue;
+        step_lane(lane);
       }
     }
     if (!any_live) return;
@@ -705,9 +761,12 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
         lanes.push_back(std::move(lane));
       }
 
+      const rw::BatchMode mode = config.walk_reorder
+                                     ? rw::BatchMode::kReorder
+                                     : rw::BatchMode::kInterleaved;
       if (prefix) {
         for (size_t s = 0; s < num_sizes; ++s) {
-          DriveLanes(lanes, driver, result.sample_sizes[s], merge_error);
+          DriveLanes(lanes, driver, result.sample_sizes[s], mode, merge_error);
           for (const BatchLane& lane : lanes) {
             if (lane.failed) continue;
             merge_cell(algo_idx, s, static_cast<size_t>(lane.rep),
@@ -715,7 +774,7 @@ Result<SweepResult> RunSweepImpl(const graph::Graph& graph,
           }
         }
       } else {
-        DriveLanes(lanes, driver, /*nested_budget=*/0, merge_error);
+        DriveLanes(lanes, driver, /*nested_budget=*/0, mode, merge_error);
         for (const BatchLane& lane : lanes) {
           if (lane.failed) continue;
           merge_cell(algo_idx, size_idx, static_cast<size_t>(lane.rep),

@@ -79,6 +79,15 @@ struct SweepConfig {
   /// with graph size and is largest on store-backed sweeps (batch >= 16;
   /// docs/PERFORMANCE.md §9).
   int64_t walk_batch_size = 0;
+  /// Reorder the co-scheduled lanes each round by where their next walk
+  /// step's CSR row lives (rw/access_engine.h) instead of stepping them in
+  /// lane order: the sorted service pass turns the batch's random gathers
+  /// into near-sequential ones. Requires walk_batch_size > 0. Service
+  /// order within a round is invisible to any one lane (each owns its
+  /// seed-derived streams), so results stay bit-identical to scalar
+  /// driving (test-enforced in access_engine_test.cc); the win over plain
+  /// interleaving grows with batch size (docs/PERFORMANCE.md §12).
+  bool walk_reorder = false;
   /// When non-empty, the sweep is durable: every task (one rep) maintains a
   /// versioned checkpoint file task_<id>.ckpt in this directory
   /// (estimators/checkpoint.h format), rewritten as a completed record when

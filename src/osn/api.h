@@ -102,6 +102,16 @@ class OsnApi {
   /// lifetime — mutating backends (e.g. DynamicGraphTransport) must return
   /// nullptr (the default), which degrades to plain interleaving.
   virtual const graph::Graph* FastGraphView() const { return nullptr; }
+
+  /// Fast batch hook #2: request any per-user bookkeeping a fetch of
+  /// `user` will touch (e.g. LocalGraphApi's crawl-cache stamp — 4 bytes
+  /// per node, a dependent random access as real as the CSR row's) into
+  /// cache. Purely advisory and side-effect-free; the default is a no-op.
+  /// Batched drivers call this alongside their CSR prefetches so a
+  /// step's *entire* miss set is in flight before the step runs.
+  virtual void PrefetchUser(graph::NodeId user) const {
+    (void)user;
+  }
 };
 
 }  // namespace labelrw::osn

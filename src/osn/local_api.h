@@ -69,6 +69,10 @@ class LocalGraphApi final : public OsnApi, public Transport {
   /// same hook): the backing CSR, in-memory or mmap-backed alike.
   const graph::Graph* FastGraphView() const override { return &graph_; }
 
+  void PrefetchUser(graph::NodeId user) const override {
+    touched_->Prefetch(user);
+  }
+
   // -------------------------------------------------------------------
   // Non-virtual fast path.
   //

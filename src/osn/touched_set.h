@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/prefetch.h"
+
 namespace labelrw::osn {
 
 /// Set of "touched" ids in [0, n). Reset is O(1) amortized; Test/Insert are
@@ -40,6 +42,17 @@ class TouchedSet {
 
   bool Test(int64_t i) const {
     return stamps_[static_cast<size_t>(i)] == epoch_;
+  }
+
+  /// Requests `i`'s stamp into cache ahead of a Test/TestAndSet. The
+  /// stamp array is 4 bytes per node — megabytes on a million-node graph
+  /// — so a charge's stamp read is a third dependent random access next
+  /// to a walk step's CSR offset and row; the batched walk paths
+  /// prefetch it alongside those (via osn::OsnApi::PrefetchUser).
+  void Prefetch(int64_t i) const {
+    if (i >= 0 && static_cast<size_t>(i) < stamps_.size()) {
+      LABELRW_PREFETCH_READ(stamps_.data() + i);
+    }
   }
 
   /// Inserts `i`; returns true iff it was already present.

@@ -1,0 +1,15 @@
+#include "rw/access_engine.h"
+
+#include <algorithm>
+
+namespace labelrw::rw {
+
+void AccessEngine::SortByLocality() {
+  std::sort(queue_.begin(), queue_.end(),
+            [](const AccessRequest& a, const AccessRequest& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.tag < b.tag;
+            });
+}
+
+}  // namespace labelrw::rw

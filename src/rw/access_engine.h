@@ -1,0 +1,150 @@
+// AccessEngine: sort the misses, not just overlap them.
+//
+// WalkBatch (rw/walk_batch.h) overlaps the dependent CSR misses of N
+// walkers by interleaving them round-robin — memory-level parallelism,
+// but the requests still hit DRAM in *walker* order, which on a
+// million-node CSR is indistinguishable from random: every access opens
+// a fresh row/TLB entry. The stronger move (DX100's decoupled
+// address-generation/data-consumption design) is to split each round in
+// two: first *generate* every walker's next CSR address into a queue,
+// then sort the queue by where the data actually lives, service it in
+// that order with a software-prefetch pipeline, and resume the walkers
+// out of order.
+//
+// Reordering is free precisely because each consumer owns its Rng: a
+// walker's trajectory depends only on its own stream and position, never
+// on *when* within the round it steps, so any service permutation
+// replays the scalar path bit-for-bit (test-enforced in
+// tests/access_engine_test.cc across all ten algorithms and backends).
+//
+// The engine is deliberately tiny and single-threaded: a queue of
+// (locality key, consumer tag) pairs, a sort, and a pipelined drain.
+// Both ends of the system wire it in:
+//   - WalkBatch/EdgeWalkBatch reorder mode sorts walker frontiers by CSR
+//     adjacency offset each round (rw/walk_batch.cc);
+//   - the crawl server's workers drain all pending session slots per
+//     doorbell wake and serve them in (shard, row) order
+//     (server/crawl_server.cc) — the multi-threaded, per-shard-affinity
+//     variant of the same loop.
+
+#ifndef LABELRW_RW_ACCESS_ENGINE_H_
+#define LABELRW_RW_ACCESS_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace labelrw::rw {
+
+/// One queued indirect access: where the data lives (`key`, any
+/// monotone function of the target address) and who asked (`tag`, the
+/// caller's consumer index).
+struct AccessRequest {
+  uint64_t key = 0;
+  uint32_t tag = 0;
+};
+
+/// The locality key of node `u`'s adjacency row: its CSR adjacency
+/// offset, so ascending keys are ascending addresses in the mapped
+/// store. Without a raw CSR view the node id itself is the best
+/// available proxy (and still a deterministic total order).
+inline uint64_t CsrLocalityKey(const graph::Graph* csr, graph::NodeId u) {
+  if (csr == nullptr || u < 0 || u >= csr->num_nodes()) {
+    return static_cast<uint64_t>(static_cast<uint32_t>(u));
+  }
+  return static_cast<uint64_t>(csr->csr_offsets()[u]);
+}
+
+/// A shard-aware key for sharded stores: major order by shard, minor by
+/// `row` (a within-shard address proxy, e.g. the global node id — shard
+/// owner arrays are sorted ascending, so ascending id is ascending local
+/// row). Keeps one shard's mapping hot before moving to the next.
+inline uint64_t ShardLocalityKey(uint32_t shard, uint32_t row) {
+  return (static_cast<uint64_t>(shard) << 32) | row;
+}
+
+class AccessEngine {
+ public:
+  void Clear() { queue_.clear(); }
+  void Reserve(size_t n) { queue_.reserve(n); }
+  void Add(uint64_t key, uint32_t tag) { queue_.push_back({key, tag}); }
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  std::span<const AccessRequest> requests() const { return queue_; }
+
+  /// Sorts the queue into service order. Ties break on tag, so the
+  /// service order is a pure function of the queued (key, tag) set —
+  /// deterministic regardless of insertion order.
+  void SortByLocality();
+
+  /// Drains the sorted queue through a two-stage prefetch pipeline:
+  /// `far(tag)` is issued kFarLead requests ahead (request the offset
+  /// pair), `near(tag)` kNearLead ahead (offsets now resident; request
+  /// the adjacency row), `consume(tag)` (returning Status) runs when
+  /// both have had time to resolve. With the queue sorted, neighboring
+  /// requests share pages, so the pipeline's misses coalesce instead of
+  /// each opening a fresh row.
+  template <typename PrefetchFar, typename PrefetchNear, typename Consume>
+  Status ServiceAll(PrefetchFar&& far, PrefetchNear&& near,
+                    Consume&& consume) {
+    const size_t n = queue_.size();
+    for (size_t i = 0; i < n && i < kFarLead; ++i) far(queue_[i].tag);
+    for (size_t i = 0; i < n && i < kNearLead; ++i) near(queue_[i].tag);
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kFarLead < n) far(queue_[i + kFarLead].tag);
+      if (i + kNearLead < n) near(queue_[i + kNearLead].tag);
+      LABELRW_RETURN_IF_ERROR(consume(queue_[i].tag));
+    }
+    return Status::Ok();
+  }
+
+  /// The phased variant: walks the sorted queue in kPhaseChunk-sized
+  /// chunks, each a full `far` pass, a full `near` pass, then the
+  /// consumes. Same stage ordering guarantee as ServiceAll (far(t)
+  /// before near(t) before consume(t)), but with the prefetch lead
+  /// stretched to a whole chunk — the right shape when consumers are
+  /// expensive relative to a prefetch (a full walk step): every consume
+  /// in a chunk runs behind 16 already-issued prefetch pairs. The chunk
+  /// bound matters as much as the lead: a core retires only ~10-16
+  /// outstanding line fills at once, so issuing a 64-entry batch's
+  /// prefetches back-to-back would overflow the fill buffers and drop
+  /// the tail on the floor. For long queues whose consumers are cheap —
+  /// the crawl server drains up to the whole slot array — prefer
+  /// ServiceAll's sliding lead.
+  template <typename PrefetchFar, typename PrefetchNear, typename Consume>
+  Status ServiceAllPhased(PrefetchFar&& far, PrefetchNear&& near,
+                          Consume&& consume) {
+    const size_t n = queue_.size();
+    for (size_t base = 0; base < n; base += kPhaseChunk) {
+      const size_t end =
+          base + kPhaseChunk < n ? base + kPhaseChunk : n;
+      for (size_t i = base; i < end; ++i) far(queue_[i].tag);
+      for (size_t i = base; i < end; ++i) near(queue_[i].tag);
+      for (size_t i = base; i < end; ++i) {
+        LABELRW_RETURN_IF_ERROR(consume(queue_[i].tag));
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Pipeline lead distances: far enough for a DRAM miss to resolve
+  /// before the near stage reads the offsets, short enough that the
+  /// prefetched lines are still resident at consume time.
+  static constexpr size_t kFarLead = 12;
+  static constexpr size_t kNearLead = 4;
+
+  /// Phased-service chunk: large enough that a chunk's worth of prefetch
+  /// lead hides a DRAM round trip behind each consume, small enough that
+  /// one chunk's prefetch burst fits the core's line-fill buffers.
+  static constexpr size_t kPhaseChunk = 16;
+
+ private:
+  std::vector<AccessRequest> queue_;
+};
+
+}  // namespace labelrw::rw
+
+#endif  // LABELRW_RW_ACCESS_ENGINE_H_

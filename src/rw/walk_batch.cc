@@ -23,11 +23,35 @@ inline void PrefetchFrontierRow(const graph::Graph& g, const EdgeWalk& w) {
   PrefetchCsrRow(g, w.current().v);
 }
 
+// The API's per-user bookkeeping (LocalGraphApi's crawl-cache stamp) is a
+// third dependent random access per step, as real a miss as the CSR row —
+// request it in the same far stage.
+inline void PrefetchFrontierUser(const osn::OsnApi& api, const NodeWalk& w) {
+  api.PrefetchUser(w.current());
+}
+inline void PrefetchFrontierUser(const osn::OsnApi& api, const EdgeWalk& w) {
+  api.PrefetchUser(w.current().u);
+  api.PrefetchUser(w.current().v);
+}
+
+// The reorder sort key of a walker's frontier: where its next step's
+// primary CSR row lives. An edge walker always reads u's row (v's is the
+// far half of the line neighborhood), so u is the locality anchor.
+inline uint64_t FrontierKey(const graph::Graph* csr, const NodeWalk& w) {
+  return CsrLocalityKey(csr, w.current());
+}
+inline uint64_t FrontierKey(const graph::Graph* csr, const EdgeWalk& w) {
+  return CsrLocalityKey(csr, w.current().u);
+}
+
 template <typename Walker>
-Status StepAllImpl(const graph::Graph* csr, std::vector<Walker>& walkers,
-                   std::vector<Rng>& rngs) {
+Status StepAllImpl(const osn::OsnApi& api, const graph::Graph* csr,
+                   std::vector<Walker>& walkers, std::vector<Rng>& rngs) {
   if (csr != nullptr) {
-    for (const Walker& w : walkers) PrefetchFrontierOffsets(*csr, w);
+    for (const Walker& w : walkers) {
+      PrefetchFrontierOffsets(*csr, w);
+      PrefetchFrontierUser(api, w);
+    }
     for (const Walker& w : walkers) PrefetchFrontierRow(*csr, w);
   }
   for (size_t i = 0; i < walkers.size(); ++i) {
@@ -36,8 +60,61 @@ Status StepAllImpl(const graph::Graph* csr, std::vector<Walker>& walkers,
   return Status::Ok();
 }
 
+// One reorder round over the walkers `live` admits: queue every frontier,
+// sort by CSR locality, then run `step` per walker in sorted order behind
+// whole-batch phased prefetches (a walk step is expensive next to a
+// prefetch, and a batch is tens of walkers, so the full-queue lead both
+// fits in cache and maximizes overlap — see ServiceAllPhased). Each
+// walker still draws only from its own Rng, so the permutation is
+// invisible to its trajectory.
+template <typename Walker, typename Live, typename StepOne>
+Status ReorderRound(AccessEngine& engine, const osn::OsnApi& api,
+                    const graph::Graph* csr, std::vector<Walker>& walkers,
+                    Live&& live, StepOne&& step) {
+  engine.Clear();
+  engine.Reserve(walkers.size());
+  // Address generation reads csr_offsets[u] per walker (the sort key), so
+  // it has its own miss chain — overlap it with a bounded prefetch lead
+  // (bounded for the same fill-buffer reason as kPhaseChunk).
+  constexpr size_t kGenLead = AccessEngine::kPhaseChunk;
+  const size_t n = walkers.size();
+  if (csr != nullptr) {
+    for (size_t i = 0; i < n && i < kGenLead; ++i) {
+      if (live(i)) PrefetchFrontierOffsets(*csr, walkers[i]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (csr != nullptr && i + kGenLead < n && live(i + kGenLead)) {
+      PrefetchFrontierOffsets(*csr, walkers[i + kGenLead]);
+    }
+    if (live(i)) {
+      engine.Add(FrontierKey(csr, walkers[i]), static_cast<uint32_t>(i));
+    }
+  }
+  engine.SortByLocality();
+  return engine.ServiceAllPhased(
+      [&](uint32_t tag) {
+        if (csr != nullptr) PrefetchFrontierOffsets(*csr, walkers[tag]);
+        PrefetchFrontierUser(api, walkers[tag]);
+      },
+      [&](uint32_t tag) {
+        if (csr != nullptr) PrefetchFrontierRow(*csr, walkers[tag]);
+      },
+      [&](uint32_t tag) { return step(tag); });
+}
+
 template <typename Walker>
-Status AdvanceCollapsedImpl(const graph::Graph* csr,
+Status ReorderStepAllImpl(AccessEngine& engine, const osn::OsnApi& api,
+                          const graph::Graph* csr,
+                          std::vector<Walker>& walkers,
+                          std::vector<Rng>& rngs) {
+  return ReorderRound(
+      engine, api, csr, walkers, [](size_t) { return true; },
+      [&](uint32_t tag) { return walkers[tag].Step(rngs[tag]).status(); });
+}
+
+template <typename Walker>
+Status AdvanceCollapsedImpl(const osn::OsnApi& api, const graph::Graph* csr,
                             std::vector<Walker>& walkers,
                             std::vector<Rng>& rngs,
                             std::vector<int64_t>& remaining, int64_t steps) {
@@ -49,7 +126,10 @@ Status AdvanceCollapsedImpl(const graph::Graph* csr,
     bool any = false;
     if (csr != nullptr) {
       for (size_t i = 0; i < walkers.size(); ++i) {
-        if (remaining[i] > 0) PrefetchFrontierOffsets(*csr, walkers[i]);
+        if (remaining[i] > 0) {
+          PrefetchFrontierOffsets(*csr, walkers[i]);
+          PrefetchFrontierUser(api, walkers[i]);
+        }
       }
       for (size_t i = 0; i < walkers.size(); ++i) {
         if (remaining[i] > 0) PrefetchFrontierRow(*csr, walkers[i]);
@@ -68,16 +148,53 @@ Status AdvanceCollapsedImpl(const graph::Graph* csr,
 }
 
 template <typename Walker>
-Status AdvanceImpl(const WalkParams& params, const graph::Graph* csr,
-                   std::vector<Walker>& walkers, std::vector<Rng>& rngs,
-                   std::vector<int64_t>& remaining, int64_t steps) {
+Status ReorderAdvanceCollapsedImpl(AccessEngine& engine,
+                                   const osn::OsnApi& api,
+                                   const graph::Graph* csr,
+                                   std::vector<Walker>& walkers,
+                                   std::vector<Rng>& rngs,
+                                   std::vector<int64_t>& remaining,
+                                   int64_t steps) {
+  for (auto& r : remaining) r = steps;
+  while (true) {
+    bool any = false;
+    LABELRW_RETURN_IF_ERROR(ReorderRound(
+        engine, api, csr, walkers,
+        [&](size_t i) { return remaining[i] > 0; },
+        [&](uint32_t tag) -> Status {
+          LABELRW_ASSIGN_OR_RETURN(
+              const int64_t consumed,
+              walkers[tag].CollapsedSegment(remaining[tag], rngs[tag]));
+          remaining[tag] -= consumed;
+          any = any || remaining[tag] > 0;
+          return Status::Ok();
+        }));
+    if (!any) return Status::Ok();
+  }
+}
+
+template <typename Walker>
+Status AdvanceImpl(const WalkParams& params, const osn::OsnApi& api,
+                   const graph::Graph* csr, BatchMode mode,
+                   AccessEngine& engine, std::vector<Walker>& walkers,
+                   std::vector<Rng>& rngs, std::vector<int64_t>& remaining,
+                   int64_t steps) {
   if (steps <= 0) return Status::Ok();
   if (params.collapse_self_loops && (params.kind == WalkKind::kMaxDegree ||
                                      params.kind == WalkKind::kGmd)) {
-    return AdvanceCollapsedImpl(csr, walkers, rngs, remaining, steps);
+    if (mode == BatchMode::kReorder) {
+      return ReorderAdvanceCollapsedImpl(engine, api, csr, walkers, rngs,
+                                         remaining, steps);
+    }
+    return AdvanceCollapsedImpl(api, csr, walkers, rngs, remaining, steps);
   }
   for (int64_t t = 0; t < steps; ++t) {
-    LABELRW_RETURN_IF_ERROR(StepAllImpl(csr, walkers, rngs));
+    if (mode == BatchMode::kReorder) {
+      LABELRW_RETURN_IF_ERROR(
+          ReorderStepAllImpl(engine, api, csr, walkers, rngs));
+    } else {
+      LABELRW_RETURN_IF_ERROR(StepAllImpl(api, csr, walkers, rngs));
+    }
   }
   return Status::Ok();
 }
@@ -106,8 +223,8 @@ Status ResetImpl(std::vector<Walker>& walkers, std::span<const Start> starts,
 }  // namespace
 
 WalkBatch::WalkBatch(osn::OsnApi* api, WalkParams params,
-                     std::span<const uint64_t> seeds)
-    : api_(api), params_(params), csr_(api->FastGraphView()) {
+                     std::span<const uint64_t> seeds, BatchMode mode)
+    : api_(api), params_(params), csr_(api->FastGraphView()), mode_(mode) {
   walkers_.reserve(seeds.size());
   rngs_.reserve(seeds.size());
   for (const uint64_t seed : seeds) {
@@ -123,15 +240,21 @@ Status WalkBatch::Reset(std::span<const graph::NodeId> starts) {
   return ResetImpl(walkers_, starts, "WalkBatch");
 }
 
-Status WalkBatch::StepAll() { return StepAllImpl(csr_, walkers_, rngs_); }
+Status WalkBatch::StepAll() {
+  if (mode_ == BatchMode::kReorder) {
+    return ReorderStepAllImpl(engine_, *api_, csr_, walkers_, rngs_);
+  }
+  return StepAllImpl(*api_, csr_, walkers_, rngs_);
+}
 
 Status WalkBatch::Advance(int64_t steps) {
-  return AdvanceImpl(params_, csr_, walkers_, rngs_, remaining_, steps);
+  return AdvanceImpl(params_, *api_, csr_, mode_, engine_, walkers_, rngs_,
+                     remaining_, steps);
 }
 
 EdgeWalkBatch::EdgeWalkBatch(osn::OsnApi* api, WalkParams params,
-                             std::span<const uint64_t> seeds)
-    : api_(api), params_(params), csr_(api->FastGraphView()) {
+                             std::span<const uint64_t> seeds, BatchMode mode)
+    : api_(api), params_(params), csr_(api->FastGraphView()), mode_(mode) {
   walkers_.reserve(seeds.size());
   rngs_.reserve(seeds.size());
   for (const uint64_t seed : seeds) {
@@ -149,10 +272,16 @@ Status EdgeWalkBatch::Reset(std::span<const graph::Edge> starts) {
   return ResetImpl(walkers_, starts, "EdgeWalkBatch");
 }
 
-Status EdgeWalkBatch::StepAll() { return StepAllImpl(csr_, walkers_, rngs_); }
+Status EdgeWalkBatch::StepAll() {
+  if (mode_ == BatchMode::kReorder) {
+    return ReorderStepAllImpl(engine_, *api_, csr_, walkers_, rngs_);
+  }
+  return StepAllImpl(*api_, csr_, walkers_, rngs_);
+}
 
 Status EdgeWalkBatch::Advance(int64_t steps) {
-  return AdvanceImpl(params_, csr_, walkers_, rngs_, remaining_, steps);
+  return AdvanceImpl(params_, *api_, csr_, mode_, engine_, walkers_, rngs_,
+                     remaining_, steps);
 }
 
 }  // namespace labelrw::rw

@@ -32,19 +32,32 @@
 
 #include "graph/graph.h"
 #include "osn/api.h"
+#include "rw/access_engine.h"
 #include "rw/edge_walk.h"
 #include "rw/node_walk.h"
 #include "rw/walk.h"
+#include "util/prefetch.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace labelrw::rw {
 
-#if defined(__GNUC__) || defined(__clang__)
-#define LABELRW_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 3)
-#else
-#define LABELRW_PREFETCH_READ(addr) ((void)sizeof(addr))
-#endif
+/// How a batch schedules its walkers within a round.
+///
+/// kInterleaved (PR 5): walkers step in index order each round, with the
+/// whole frontier software-prefetched up front — misses overlap but
+/// still hit DRAM in walker order.
+///
+/// kReorder: each round queues every walker's frontier into an
+/// AccessEngine, sorts by CSR adjacency offset, and steps the walkers in
+/// locality order behind a prefetch pipeline. Per-walker trajectories
+/// are bit-identical either way (each walker owns its Rng); only the
+/// order walkers step *within* a round — invisible to any one walker —
+/// and the memory-system timing change.
+enum class BatchMode {
+  kInterleaved,
+  kReorder,
+};
 
 /// Phase 1 of a prefetch round: request node `u`'s CSR offset pair. Cheap
 /// (two addresses, usually one cache line); issue for every walker before
@@ -86,12 +99,14 @@ class WalkBatch {
  public:
   /// `api` must outlive the batch. One walker per entry of `seeds`.
   WalkBatch(osn::OsnApi* api, WalkParams params,
-            std::span<const uint64_t> seeds);
+            std::span<const uint64_t> seeds,
+            BatchMode mode = BatchMode::kInterleaved);
 
   size_t size() const { return walkers_.size(); }
   NodeWalk& walker(size_t i) { return walkers_[i]; }
   const NodeWalk& walker(size_t i) const { return walkers_[i]; }
   Rng& rng(size_t i) { return rngs_[i]; }
+  BatchMode mode() const { return mode_; }
 
   /// Seeds every walker at a random accessible start, in walker order,
   /// each from its own stream (walker i lands where scalar walker i with
@@ -115,9 +130,11 @@ class WalkBatch {
   osn::OsnApi* api_;
   WalkParams params_;
   const graph::Graph* csr_;  // prefetch view; nullptr = no prefetching
+  BatchMode mode_;
   std::vector<NodeWalk> walkers_;
   std::vector<Rng> rngs_;
   std::vector<int64_t> remaining_;  // scratch for AdvanceCollapsed
+  AccessEngine engine_;             // scratch for kReorder rounds
 };
 
 /// The edge-space twin: N line-graph walkers, interleaved. A walker's
@@ -126,12 +143,14 @@ class WalkBatch {
 class EdgeWalkBatch {
  public:
   EdgeWalkBatch(osn::OsnApi* api, WalkParams params,
-                std::span<const uint64_t> seeds);
+                std::span<const uint64_t> seeds,
+                BatchMode mode = BatchMode::kInterleaved);
 
   size_t size() const { return walkers_.size(); }
   EdgeWalk& walker(size_t i) { return walkers_[i]; }
   const EdgeWalk& walker(size_t i) const { return walkers_[i]; }
   Rng& rng(size_t i) { return rngs_[i]; }
+  BatchMode mode() const { return mode_; }
 
   Status ResetRandom();
   Status Reset(std::span<const graph::Edge> starts);
@@ -142,9 +161,11 @@ class EdgeWalkBatch {
   osn::OsnApi* api_;
   WalkParams params_;
   const graph::Graph* csr_;
+  BatchMode mode_;
   std::vector<EdgeWalk> walkers_;
   std::vector<Rng> rngs_;
   std::vector<int64_t> remaining_;
+  AccessEngine engine_;
 };
 
 }  // namespace labelrw::rw

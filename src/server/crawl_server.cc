@@ -186,7 +186,7 @@ void CrawlServer::ResetSlot(SessionSlot* slot) {
   slot->state.store(kSlotFree, std::memory_order_release);
 }
 
-void CrawlServer::ServeSlot(uint32_t i) {
+void CrawlServer::ServeControl(uint32_t i) {
   SessionSlot* slot = ShmSlotAt(slab_, i);
   const uint32_t req = slot->req_seq.load(std::memory_order_acquire);
   const uint32_t opcode = slot->opcode;
@@ -213,28 +213,14 @@ void CrawlServer::ServeSlot(uint32_t i) {
       break;
     }
     case kOpFetchRecord: {
+      // Only the reject arms: a serviceable fetch goes through
+      // ServeFetchBatch instead of this inline path.
       if (slot->state.load(std::memory_order_acquire) != kSlotActive) {
         slot->status_code =
             static_cast<int32_t>(StatusCode::kFailedPrecondition);
-        break;
-      }
-      const graph::NodeId u = slot->user;
-      if (!store_.IsValidNode(u)) {
+      } else {
         slot->status_code = static_cast<int32_t>(StatusCode::kNotFound);
-        break;
       }
-      const std::span<const graph::NodeId> neighbors =
-          store_.NeighborsFast(u);
-      const std::span<const graph::Label> labels = store_.LabelsFast(u);
-      char* payload = ShmPayloadAt(slab_, *header_, i);
-      std::memcpy(payload, neighbors.data(),
-                  neighbors.size() * sizeof(graph::NodeId));
-      std::memcpy(payload + neighbors.size() * sizeof(graph::NodeId),
-                  labels.data(), labels.size() * sizeof(graph::Label));
-      slot->degree = static_cast<int64_t>(neighbors.size());
-      slot->n_neighbors = static_cast<uint32_t>(neighbors.size());
-      slot->n_labels = static_cast<uint32_t>(labels.size());
-      slot->status_code = static_cast<int32_t>(StatusCode::kOk);
       break;
     }
     default:
@@ -244,6 +230,60 @@ void CrawlServer::ServeSlot(uint32_t i) {
 
   slot->resp_seq.store(req, std::memory_order_release);
   FutexWakeAll(&slot->resp_seq);
+}
+
+void CrawlServer::ServeFetchBatch(FetchBatch& batch) {
+  // Sort the drained fetches by (shard, node id): shard owner arrays are
+  // ascending, so this is ascending row address within each mapping — one
+  // near-sequential sweep per shard instead of |batch| isolated misses.
+  // Tags index batch.slots.
+  batch.engine.Clear();
+  batch.engine.Reserve(batch.slots.size());
+  batch.refs.assign(batch.slots.size(), store::ShardedMappedGraph::RowRef{});
+  for (size_t idx = 0; idx < batch.slots.size(); ++idx) {
+    const SessionSlot* slot = ShmSlotAt(slab_, batch.slots[idx]);
+    batch.engine.Add(
+        rw::ShardLocalityKey(store_.ShardOf(slot->user),
+                             static_cast<uint32_t>(slot->user)),
+        static_cast<uint32_t>(idx));
+  }
+  batch.engine.SortByLocality();
+  const int64_t now_us = ShmNowUs();
+  (void)batch.engine.ServiceAll(
+      [&](uint32_t tag) {
+        // Far stage: resolve the owner row (binary searches also run in
+        // sorted order, so they walk warming regions of the owner arrays)
+        // and request its offset cells.
+        const SessionSlot* slot = ShmSlotAt(slab_, batch.slots[tag]);
+        batch.refs[tag] = store_.Resolve(slot->user);
+        store_.PrefetchRowOffsets(batch.refs[tag]);
+      },
+      [&](uint32_t tag) { store_.PrefetchRowPayload(batch.refs[tag]); },
+      [&](uint32_t tag) {
+        const uint32_t i = batch.slots[tag];
+        SessionSlot* slot = ShmSlotAt(slab_, i);
+        const uint32_t req = slot->req_seq.load(std::memory_order_acquire);
+        const std::span<const graph::NodeId> neighbors =
+            store_.NeighborsAt(batch.refs[tag]);
+        const std::span<const graph::Label> labels =
+            store_.LabelsAt(batch.refs[tag]);
+        char* payload = ShmPayloadAt(slab_, *header_, i);
+        std::memcpy(payload, neighbors.data(),
+                    neighbors.size() * sizeof(graph::NodeId));
+        std::memcpy(payload + neighbors.size() * sizeof(graph::NodeId),
+                    labels.data(), labels.size() * sizeof(graph::Label));
+        slot->degree = static_cast<int64_t>(neighbors.size());
+        slot->n_neighbors = static_cast<uint32_t>(neighbors.size());
+        slot->n_labels = static_cast<uint32_t>(labels.size());
+        slot->status_code = static_cast<int32_t>(StatusCode::kOk);
+        slot->last_active_us.store(now_us, std::memory_order_relaxed);
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        slot->resp_seq.store(req, std::memory_order_release);
+        FutexWakeAll(&slot->resp_seq);
+        slot->claimed.store(0, std::memory_order_release);
+        return Status::Ok();
+      });
+  batch.slots.clear();
 }
 
 void CrawlServer::ReapPass(int64_t now_us) {
@@ -280,15 +320,20 @@ void CrawlServer::ReapPass(int64_t now_us) {
 
 void CrawlServer::WorkerLoop(uint32_t worker_index) {
   const uint32_t num_workers = options_.num_workers;
+  FetchBatch batch;
+  batch.slots.reserve(options_.num_slots);
   while (header_->alive.load(std::memory_order_acquire) != 0) {
     // The ticket is read BEFORE the scan: a request posted during the scan
     // bumps the doorbell past it, so the wait below returns immediately
     // instead of losing the wakeup.
     const uint32_t ticket = header_->doorbell.load(std::memory_order_acquire);
     bool saw_pending = false;
-    // Pass 0 takes only this worker's preferred slots (fetches routing to
-    // its shards); pass 1 takes anything still pending — locality without
-    // cross-worker stalls.
+    // Drain, don't pick: one wake claims every pending slot this worker
+    // can take. Pass 0 takes only its preferred slots (fetches routing to
+    // its shards); pass 1 takes anything still pending — locality when the
+    // partition is balanced, no cross-worker stalls when it is not.
+    // Control ops are answered inline; serviceable fetches accumulate
+    // (claims held) and are served in one sorted pass below.
     for (int pass = 0; pass < 2; ++pass) {
       for (uint32_t i = 0; i < options_.num_slots; ++i) {
         SessionSlot* slot = ShmSlotAt(slab_, i);
@@ -311,13 +356,22 @@ void CrawlServer::WorkerLoop(uint32_t worker_index) {
                 zero, 1, std::memory_order_acq_rel)) {
           continue;
         }
-        if (slot->req_seq.load(std::memory_order_acquire) !=
+        if (slot->req_seq.load(std::memory_order_acquire) ==
             slot->resp_seq.load(std::memory_order_relaxed)) {
-          ServeSlot(i);
+          slot->claimed.store(0, std::memory_order_release);
+          continue;
         }
-        slot->claimed.store(0, std::memory_order_release);
+        if (slot->opcode == kOpFetchRecord &&
+            slot->state.load(std::memory_order_acquire) == kSlotActive &&
+            store_.IsValidNode(slot->user)) {
+          batch.slots.push_back(i);  // claim rides along to the batch pass
+        } else {
+          ServeControl(i);
+          slot->claimed.store(0, std::memory_order_release);
+        }
       }
     }
+    if (!batch.slots.empty()) ServeFetchBatch(batch);
     if (worker_index == 0) {
       const int64_t now_us = ShmNowUs();
       header_->heartbeat_us.store(now_us, std::memory_order_relaxed);

@@ -7,12 +7,19 @@
 // OsnClient session on the machine; clients cost one slot each, not one
 // store mapping each.
 //
-// Workers prefer requests whose node routes to "their" shard
-// (ShardOf(user) % num_workers == worker_index) and fall back to any
-// pending request on a second pass — locality when the partition is
-// balanced, no stalls when it is not. A reaper pass piggybacked on worker 0
-// reclaims slots whose client died (pid gone) or went idle past the
-// timeout, so leaked sessions never brown out admission.
+// Workers drain and batch: one doorbell wake claims EVERY pending slot the
+// worker can take (preferring requests whose node routes to "their" shard —
+// ShardOf(user) % num_workers == worker_index — and falling back to any
+// pending request on a second pass), then serves the claimed fetches in one
+// sorted pass. The batch is ordered by (shard, node id) through
+// rw::AccessEngine — shard owner arrays are sorted, so ascending id is
+// ascending row address within a shard — and serviced behind a two-phase
+// software-prefetch pipeline (resolve + offsets, then payload), so a burst
+// of 64 sessions' random gathers becomes a near-sequential sweep per
+// mapping instead of 64 isolated misses. Admission/goodbye ops are served
+// inline during the drain. A reaper pass piggybacked on worker 0 reclaims
+// slots whose client died (pid gone) or went idle past the timeout, so
+// leaked sessions never brown out admission.
 //
 // Stop() is clean-shutdown: alive goes 0, workers drain and exit, waiting
 // clients observe the flag during their next wait tick and surface
@@ -29,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "rw/access_engine.h"
 #include "server/shm_protocol.h"
 #include "store/sharded_graph.h"
 #include "util/status.h"
@@ -82,10 +90,24 @@ class CrawlServer {
   ServerStats stats() const;
 
  private:
+  /// Per-worker reusable batch state: the slots claimed for this drain
+  /// (claims held until their response is published), the locality-sort
+  /// queue, and the resolved owner rows, indexed by queue tag.
+  struct FetchBatch {
+    std::vector<uint32_t> slots;
+    std::vector<store::ShardedMappedGraph::RowRef> refs;
+    rw::AccessEngine engine;
+  };
+
   void WorkerLoop(uint32_t worker_index);
   void ReapPass(int64_t now_us);
-  /// Serves slot `i`'s pending request. Caller holds the `claimed` guard.
-  void ServeSlot(uint32_t i);
+  /// Serves slot `i`'s pending non-fetch request (hello/goodbye/rejects)
+  /// inline. Caller holds — and keeps — the `claimed` guard.
+  void ServeControl(uint32_t i);
+  /// Serves every claimed fetch in `batch` in (shard, node) order behind
+  /// the prefetch pipeline, publishing each response and releasing its
+  /// claim. Clears `batch.slots`.
+  void ServeFetchBatch(FetchBatch& batch);
   void ResetSlot(SessionSlot* slot);
 
   ServerOptions options_;

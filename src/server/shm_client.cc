@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -166,14 +167,22 @@ Status ShmClient::PostAndWait(int64_t timeout_ms) {
 
   const int64_t deadline_us = ShmNowUs() + timeout_ms * 1'000;
   for (;;) {
+    // Predicate first: a response that landed while the previous wait was
+    // interrupted or woken spuriously is consumed before any liveness or
+    // deadline verdict — a signal mid-wait can never turn a served
+    // request into kUnavailable.
     const uint32_t resp = slot->resp_seq.load(std::memory_order_acquire);
     if (resp == req) break;
     if (!ServerAlive()) return ServerGoneError("died mid-request");
-    if (ShmNowUs() > deadline_us) {
+    const int64_t remaining_ns = (deadline_us - ShmNowUs()) * 1'000;
+    if (remaining_ns <= 0) {
       return ServerGoneError("did not answer within " +
                              std::to_string(timeout_ms) + "ms");
     }
-    FutexWait(&slot->resp_seq, resp, kClientTickNs);
+    // Each wait is clamped to the time left, so EINTR/spurious wakes
+    // re-arm only what remains: the loop's total blocking time is bounded
+    // by the deadline no matter how many signals land (FutexWaitResult).
+    FutexWait(&slot->resp_seq, resp, std::min(kClientTickNs, remaining_ns));
   }
   return StatusFromSlotCode(slot->status_code);
 }

@@ -151,15 +151,43 @@ inline char* ShmPayloadAt(void* base, const ShmHeader& header,
          index * header.payload_capacity;
 }
 
-/// Shared-process futex wait: returns when *word != expected, on wake, on
-/// timeout, or on EINTR — callers always re-check their predicate.
-inline void FutexWait(std::atomic<uint32_t>* word, uint32_t expected,
-                      int64_t timeout_ns) {
+/// Why a FutexWait returned. Every cause — including a wake that turns
+/// out to be spurious — requires the caller to re-check its predicate;
+/// the distinction exists so wait loops can bound their *total* blocking
+/// time instead of re-arming a full tick after every signal.
+enum class FutexWaitResult {
+  kChanged,      // *word != expected at syscall entry (EAGAIN)
+  kWoken,        // FUTEX_WAKE delivered — possibly spurious
+  kTimeout,      // the bounded wait expired (ETIMEDOUT)
+  kInterrupted,  // a signal landed mid-wait (EINTR)
+};
+
+/// Shared-process futex wait, bounded by `timeout_ns`: returns when
+/// *word != expected, on wake, on timeout, or when a signal interrupts
+/// the sleep. A non-positive timeout does not block at all (reported as
+/// kTimeout) — callers clamp their tick to the time left before their
+/// deadline, so "no time left" must not become an unbounded wait.
+inline FutexWaitResult FutexWait(std::atomic<uint32_t>* word,
+                                 uint32_t expected, int64_t timeout_ns) {
+  if (timeout_ns <= 0) return FutexWaitResult::kTimeout;
   timespec ts;
   ts.tv_sec = timeout_ns / 1'000'000'000;
   ts.tv_nsec = timeout_ns % 1'000'000'000;
-  ::syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAIT,
-            expected, &ts, nullptr, 0);
+  const long rc = ::syscall(SYS_futex, reinterpret_cast<uint32_t*>(word),
+                            FUTEX_WAIT, expected, &ts, nullptr, 0);
+  if (rc == 0) return FutexWaitResult::kWoken;
+  switch (errno) {
+    case EAGAIN:
+      return FutexWaitResult::kChanged;
+    case EINTR:
+      return FutexWaitResult::kInterrupted;
+    case ETIMEDOUT:
+      return FutexWaitResult::kTimeout;
+    default:
+      // Unknown failure: report as a (spurious) wake; the caller's
+      // predicate re-check and deadline clamp keep the loop bounded.
+      return FutexWaitResult::kWoken;
+  }
 }
 
 inline void FutexWakeAll(std::atomic<uint32_t>* word) {

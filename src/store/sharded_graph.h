@@ -28,6 +28,7 @@
 #include "graph/labels.h"
 #include "store/mapped_graph.h"
 #include "store/sharded_format.h"
+#include "util/prefetch.h"
 
 namespace labelrw::store {
 
@@ -72,6 +73,74 @@ class ShardedMappedGraph {
   int64_t DegreeFast(graph::NodeId u) const;
   std::span<const graph::NodeId> NeighborsFast(graph::NodeId u) const;
   std::span<const graph::Label> LabelsFast(graph::NodeId u) const;
+
+  /// A node's owner row, resolved once. The *At readers and Prefetch*
+  /// hooks below reuse the resolution, so a batched pass (the crawl
+  /// server's sorted fetch loop) pays one owner binary search per
+  /// request instead of one per section read. local == -1 means the
+  /// node is not owned (corrupt store); the readers then return empty.
+  struct RowRef {
+    uint32_t shard = 0;
+    int64_t local = -1;
+  };
+  RowRef Resolve(graph::NodeId u) const {
+    RowRef ref;
+    ref.shard = ShardOf(u);
+    ref.local = LocalIndex(*shards_[ref.shard], u);
+    return ref;
+  }
+  std::span<const graph::NodeId> NeighborsAt(const RowRef& ref) const {
+    if (ref.local < 0) return {};
+    const Shard& shard = *shards_[ref.shard];
+    return shard.adjacency.subspan(
+        static_cast<size_t>(shard.offsets[ref.local]),
+        static_cast<size_t>(shard.offsets[ref.local + 1] -
+                            shard.offsets[ref.local]));
+  }
+  std::span<const graph::Label> LabelsAt(const RowRef& ref) const {
+    if (ref.local < 0) return {};
+    const Shard& shard = *shards_[ref.shard];
+    return shard.labels.subspan(
+        static_cast<size_t>(shard.label_offsets[ref.local]),
+        static_cast<size_t>(shard.label_offsets[ref.local + 1] -
+                            shard.label_offsets[ref.local]));
+  }
+
+  /// Two-phase software prefetch of a resolved row, mirroring
+  /// rw::PrefetchCsrOffsets/PrefetchCsrRow: request the offset cells
+  /// first (adjacency and label rows), then — after those had time to
+  /// resolve — the leading payload lines plus each row's tail.
+  void PrefetchRowOffsets(const RowRef& ref) const {
+    if (ref.local < 0) return;
+    const Shard& shard = *shards_[ref.shard];
+    LABELRW_PREFETCH_READ(shard.offsets.data() + ref.local);
+    LABELRW_PREFETCH_READ(shard.offsets.data() + ref.local + 1);
+    LABELRW_PREFETCH_READ(shard.label_offsets.data() + ref.local);
+    LABELRW_PREFETCH_READ(shard.label_offsets.data() + ref.local + 1);
+  }
+  void PrefetchRowPayload(const RowRef& ref) const {
+    if (ref.local < 0) return;
+    const Shard& shard = *shards_[ref.shard];
+    constexpr int64_t kIdsPerLine = 64 / sizeof(graph::NodeId);
+    constexpr int64_t kLeadLines = 4;
+    const int64_t begin = shard.offsets[ref.local];
+    const int64_t end = shard.offsets[ref.local + 1];
+    if (end > begin) {
+      const graph::NodeId* base = shard.adjacency.data();
+      for (int64_t j = begin;
+           j < end && j < begin + kLeadLines * kIdsPerLine; j += kIdsPerLine) {
+        LABELRW_PREFETCH_READ(base + j);
+      }
+      LABELRW_PREFETCH_READ(base + end - 1);
+    }
+    const int64_t lbegin = shard.label_offsets[ref.local];
+    const int64_t lend = shard.label_offsets[ref.local + 1];
+    if (lend > lbegin) {
+      const graph::Label* base = shard.labels.data();
+      LABELRW_PREFETCH_READ(base + lbegin);
+      LABELRW_PREFETCH_READ(base + lend - 1);
+    }
+  }
 
   /// Original id of `u` (the remap section); `u` itself when absent.
   graph::NodeId OriginalIdOf(graph::NodeId u) const;

@@ -1,0 +1,16 @@
+// Software-prefetch request macro shared by the batched access paths
+// (rw/walk_batch.h rounds, rw/access_engine.h pipelines, the sharded
+// store's row prefetch hooks). A request, not a load: architecturally a
+// no-op, so issuing it for any address — even a bad guess — is always
+// correct; it only warms the cache for a later real read.
+
+#ifndef LABELRW_UTIL_PREFETCH_H_
+#define LABELRW_UTIL_PREFETCH_H_
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LABELRW_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define LABELRW_PREFETCH_READ(addr) ((void)sizeof(addr))
+#endif
+
+#endif  // LABELRW_UTIL_PREFETCH_H_

@@ -1,0 +1,485 @@
+// The sort-the-misses engine's contract (rw/access_engine.h): locality
+// reordering may change the order walkers are serviced within a round —
+// and therefore the order their cache misses land — but never a single
+// drawn bit of any walker's stream. Covered here:
+//
+//   * the engine itself: deterministic sort order, far/near/consume
+//     pipeline ordering, every tag serviced exactly once
+//   * BatchMode::kReorder vs scalar vs interleaved at the rw layer, for
+//     every walk kind, node and edge walks, naive and collapsed
+//   * the full sweep harness under walk_reorder for all ten algorithms on
+//     the in-memory, mmap-store, and shared-memory IPC backends
+//   * detour_on_denied and strict-rate-limit transactional stepping under
+//     reorder
+//   * kill-resume: a checkpoint taken mid-round restores into a fresh
+//     reorder batch and replays the identical trajectory
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "graph/oracle.h"
+#include "osn/client.h"
+#include "osn/ipc_transport.h"
+#include "osn/local_api.h"
+#include "osn/scenario.h"
+#include "rw/access_engine.h"
+#include "rw/walk_batch.h"
+#include "server/crawl_server.h"
+#include "store/mapped_graph.h"
+#include "store/shard_writer.h"
+#include "store/store_writer.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::RandomLabels;
+
+constexpr size_t kWalkers = 8;
+
+std::vector<uint64_t> Seeds(uint64_t base) {
+  std::vector<uint64_t> seeds;
+  for (size_t i = 0; i < kWalkers; ++i) seeds.push_back(base + i);
+  return seeds;
+}
+
+struct Fixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  graph::TargetLabel target{0, 1};
+
+  static Fixture Make(uint64_t seed, int64_t n = 400) {
+    Fixture f;
+    f.graph = RandomConnectedGraph(n, 3 * n, seed);
+    f.labels = RandomLabels(n, 2, seed + 1);
+    return f;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The engine itself.
+
+TEST(AccessEngineTest, ServicesEveryTagInKeyOrderWithPipelinedPrefetch) {
+  rw::AccessEngine engine;
+  // Shuffled keys, including duplicates (tag breaks the tie).
+  const uint64_t keys[] = {90, 10, 50, 10, 70, 50, 0, 90};
+  for (uint32_t tag = 0; tag < 8; ++tag) engine.Add(keys[tag], tag);
+  engine.SortByLocality();
+
+  std::vector<uint32_t> far_order, near_order, consume_order;
+  ASSERT_OK(engine.ServiceAll(
+      [&](uint32_t tag) { far_order.push_back(tag); },
+      [&](uint32_t tag) { near_order.push_back(tag); },
+      [&](uint32_t tag) {
+        consume_order.push_back(tag);
+        return Status::Ok();
+      }));
+
+  // Consumed in ascending (key, tag) order, each tag exactly once.
+  const std::vector<uint32_t> expected = {6, 1, 3, 2, 5, 4, 0, 7};
+  ASSERT_EQ(consume_order, expected);
+  ASSERT_EQ(far_order, expected);
+  ASSERT_EQ(near_order, expected);
+  // Pipeline ordering: for every tag, far precedes near precedes consume.
+  for (size_t i = 0; i < expected.size(); ++i) {
+    size_t far_at = 0, near_at = 0;
+    for (size_t j = 0; j < far_order.size(); ++j) {
+      if (far_order[j] == expected[i]) far_at = j;
+      if (near_order[j] == expected[i]) near_at = j;
+    }
+    // far_order and near_order are both the sorted order here, but the
+    // engine interleaves the calls; what matters is the relative position
+    // of each stage for the same tag, which ServiceAll guarantees by
+    // construction (kNearLead < kFarLead). Verify the lead constants hold.
+    EXPECT_LE(far_at, i + rw::AccessEngine::kFarLead);
+    EXPECT_LE(near_at, i + rw::AccessEngine::kNearLead);
+  }
+}
+
+TEST(AccessEngineTest, ConsumeErrorStopsServiceAndPropagates) {
+  rw::AccessEngine engine;
+  for (uint32_t tag = 0; tag < 6; ++tag) engine.Add(tag, tag);
+  engine.SortByLocality();
+  int consumed = 0;
+  const Status status = engine.ServiceAll(
+      [](uint32_t) {}, [](uint32_t) {},
+      [&](uint32_t tag) {
+        ++consumed;
+        return tag == 3 ? InternalError("boom") : Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(consumed, 4);  // tags 0..3, then stop
+}
+
+TEST(AccessEngineTest, ClearResetsTheQueue) {
+  rw::AccessEngine engine;
+  engine.Add(5, 0);
+  ASSERT_EQ(engine.size(), 1u);
+  engine.Clear();
+  EXPECT_TRUE(engine.empty());
+  int consumed = 0;
+  ASSERT_OK(engine.ServiceAll([](uint32_t) {}, [](uint32_t) {},
+                              [&](uint32_t) {
+                                ++consumed;
+                                return Status::Ok();
+                              }));
+  EXPECT_EQ(consumed, 0);
+}
+
+TEST(AccessEngineTest, CsrLocalityKeyIsMonotoneInAddress) {
+  const Fixture f = Fixture::Make(31);
+  // Ascending node id means ascending CSR offset, so the key must be
+  // non-decreasing; out-of-range nodes fall back to the id itself.
+  uint64_t previous = 0;
+  for (graph::NodeId u = 0; u < f.graph.num_nodes(); ++u) {
+    const uint64_t key = rw::CsrLocalityKey(&f.graph, u);
+    ASSERT_GE(key, previous) << "node " << u;
+    previous = key;
+  }
+  EXPECT_EQ(rw::CsrLocalityKey(nullptr, 17), 17u);
+}
+
+// ---------------------------------------------------------------------------
+// rw layer: BatchMode::kReorder vs scalar vs interleaved.
+
+std::vector<rw::WalkKind> NodeKinds() {
+  return {rw::WalkKind::kSimple,        rw::WalkKind::kMetropolisHastings,
+          rw::WalkKind::kMaxDegree,     rw::WalkKind::kRcmh,
+          rw::WalkKind::kGmd,           rw::WalkKind::kNonBacktracking};
+}
+
+TEST(ReorderBatchTest, NodeBatchMatchesScalarAndInterleavedForEveryKind) {
+  const Fixture f = Fixture::Make(61);
+  for (const rw::WalkKind kind : NodeKinds()) {
+    for (const bool collapse : {false, true}) {
+      SCOPED_TRACE(std::string(rw::WalkKindName(kind)) +
+                   (collapse ? "/collapsed" : "/naive"));
+      rw::WalkParams params;
+      params.kind = kind;
+      params.max_degree_prior = f.graph.max_degree();
+      params.collapse_self_loops = collapse;
+
+      const std::vector<uint64_t> seeds = Seeds(7100);
+      osn::LocalGraphApi reorder_api(f.graph, f.labels);
+      rw::WalkBatch reorder(&reorder_api, params, seeds,
+                            rw::BatchMode::kReorder);
+      ASSERT_EQ(reorder.mode(), rw::BatchMode::kReorder);
+      ASSERT_OK(reorder.ResetRandom());
+
+      osn::LocalGraphApi interleaved_api(f.graph, f.labels);
+      rw::WalkBatch interleaved(&interleaved_api, params, seeds);
+      ASSERT_OK(interleaved.ResetRandom());
+
+      std::vector<std::unique_ptr<osn::LocalGraphApi>> apis;
+      std::vector<rw::NodeWalk> walks;
+      std::vector<Rng> rngs;
+      for (size_t i = 0; i < kWalkers; ++i) {
+        apis.push_back(
+            std::make_unique<osn::LocalGraphApi>(f.graph, f.labels));
+        walks.emplace_back(apis.back().get(), params);
+        rngs.emplace_back(seeds[i]);
+        ASSERT_OK(walks[i].ResetRandom(rngs[i]));
+      }
+
+      for (const int64_t chunk : {int64_t{1}, int64_t{17}, int64_t{64}}) {
+        ASSERT_OK(reorder.Advance(chunk));
+        ASSERT_OK(interleaved.Advance(chunk));
+        for (size_t i = 0; i < kWalkers; ++i) {
+          ASSERT_OK(walks[i].Advance(chunk, rngs[i]));
+          ASSERT_EQ(reorder.walker(i).current(), walks[i].current())
+              << "walker " << i << " chunk " << chunk;
+          ASSERT_EQ(reorder.walker(i).current(),
+                    interleaved.walker(i).current())
+              << "walker " << i << " chunk " << chunk;
+          const Rng::State a = reorder.rng(i).SaveState();
+          const Rng::State b = rngs[i].SaveState();
+          for (int w = 0; w < 4; ++w) ASSERT_EQ(a.s[w], b.s[w]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ReorderBatchTest, EdgeBatchMatchesScalarForEveryKind) {
+  const Fixture f = Fixture::Make(62);
+  const graph::DegreeStats stats = graph::ComputeDegreeStats(f.graph);
+  for (const rw::WalkKind kind :
+       {rw::WalkKind::kSimple, rw::WalkKind::kMetropolisHastings,
+        rw::WalkKind::kMaxDegree, rw::WalkKind::kRcmh, rw::WalkKind::kGmd}) {
+    for (const bool collapse : {false, true}) {
+      SCOPED_TRACE(std::string(rw::WalkKindName(kind)) +
+                   (collapse ? "/collapsed" : "/naive"));
+      rw::WalkParams params;
+      params.kind = kind;
+      params.max_degree_prior = stats.max_line_degree;
+      params.collapse_self_loops = collapse;
+
+      const std::vector<uint64_t> seeds = Seeds(9100);
+      osn::LocalGraphApi batch_api(f.graph, f.labels);
+      rw::EdgeWalkBatch batch(&batch_api, params, seeds,
+                              rw::BatchMode::kReorder);
+      ASSERT_OK(batch.ResetRandom());
+
+      std::vector<std::unique_ptr<osn::LocalGraphApi>> apis;
+      std::vector<rw::EdgeWalk> walks;
+      std::vector<Rng> rngs;
+      for (size_t i = 0; i < kWalkers; ++i) {
+        apis.push_back(
+            std::make_unique<osn::LocalGraphApi>(f.graph, f.labels));
+        walks.emplace_back(apis.back().get(), params);
+        rngs.emplace_back(seeds[i]);
+        ASSERT_OK(walks[i].ResetRandom(rngs[i]));
+      }
+      for (const int64_t chunk : {int64_t{1}, int64_t{13}, int64_t{48}}) {
+        ASSERT_OK(batch.Advance(chunk));
+        for (size_t i = 0; i < kWalkers; ++i) {
+          ASSERT_OK(walks[i].Advance(chunk, rngs[i]));
+          ASSERT_EQ(batch.walker(i).current(), walks[i].current())
+              << "walker " << i << " chunk " << chunk;
+        }
+      }
+    }
+  }
+}
+
+// Private-profile detours under reorder: rejected proposals must land
+// identically even though the probes are issued in locality order.
+TEST(ReorderBatchTest, DetourOnDeniedMatchesScalar) {
+  const Fixture f = Fixture::Make(63);
+  osn::LocalGraphApi transport(f.graph, f.labels);
+  osn::FaultPolicy faults;
+  faults.unavailable_user_rate = 0.1;  // deterministic per (seed, user)
+  for (const rw::WalkKind kind :
+       {rw::WalkKind::kSimple, rw::WalkKind::kMetropolisHastings,
+        rw::WalkKind::kGmd}) {
+    SCOPED_TRACE(rw::WalkKindName(kind));
+    rw::WalkParams params;
+    params.kind = kind;
+    params.max_degree_prior = f.graph.max_degree();
+    params.detour_on_denied = true;
+
+    const std::vector<uint64_t> seeds = Seeds(4300);
+    osn::OsnClient batch_client(transport, osn::CostModel(), faults);
+    rw::WalkBatch batch(&batch_client, params, seeds,
+                        rw::BatchMode::kReorder);
+    ASSERT_OK(batch.ResetRandom());
+
+    std::vector<std::unique_ptr<osn::OsnClient>> clients;
+    std::vector<rw::NodeWalk> walks;
+    std::vector<Rng> rngs;
+    for (size_t i = 0; i < kWalkers; ++i) {
+      clients.push_back(std::make_unique<osn::OsnClient>(
+          transport, osn::CostModel(), faults));
+      walks.emplace_back(clients.back().get(), params);
+      rngs.emplace_back(seeds[i]);
+      ASSERT_OK(walks[i].ResetRandom(rngs[i]));
+    }
+    ASSERT_OK(batch.Advance(96));
+    for (size_t i = 0; i < kWalkers; ++i) {
+      ASSERT_OK(walks[i].Advance(96, rngs[i]));
+      ASSERT_EQ(batch.walker(i).current(), walks[i].current()) << i;
+    }
+  }
+}
+
+// Kill-resume through a mid-round checkpoint: freeze every walker's
+// position + RNG state partway through a reorder run, "restart" into a
+// fresh reorder batch (fresh engine, fresh API), and the continuation must
+// replay the uninterrupted trajectory bit-for-bit.
+TEST(ReorderBatchTest, MidRoundCheckpointRestoresIdenticalTrajectory) {
+  const Fixture f = Fixture::Make(64);
+  rw::WalkParams params;
+  params.kind = rw::WalkKind::kMaxDegree;  // collapsed path: segments
+  params.max_degree_prior = f.graph.max_degree();
+  params.collapse_self_loops = true;
+
+  const std::vector<uint64_t> seeds = Seeds(6400);
+  osn::LocalGraphApi api_a(f.graph, f.labels);
+  rw::WalkBatch original(&api_a, params, seeds, rw::BatchMode::kReorder);
+  ASSERT_OK(original.ResetRandom());
+  // An odd split so the checkpoint lands mid-round relative to the later
+  // chunks: 37 iterations in, then freeze.
+  ASSERT_OK(original.Advance(37));
+
+  std::vector<rw::NodeWalk::Checkpoint> positions;
+  std::vector<Rng::State> states;
+  for (size_t i = 0; i < kWalkers; ++i) {
+    positions.push_back(original.walker(i).Save());
+    states.push_back(original.rng(i).SaveState());
+  }
+
+  // The "killed and restarted" batch: same seeds only to size the lanes;
+  // every lane is then overwritten from the checkpoint.
+  osn::LocalGraphApi api_b(f.graph, f.labels);
+  rw::WalkBatch resumed(&api_b, params, seeds, rw::BatchMode::kReorder);
+  for (size_t i = 0; i < kWalkers; ++i) {
+    ASSERT_OK(resumed.walker(i).Restore(positions[i]));
+    resumed.rng(i).RestoreState(states[i]);
+  }
+
+  ASSERT_OK(original.Advance(55));
+  ASSERT_OK(resumed.Advance(55));
+  for (size_t i = 0; i < kWalkers; ++i) {
+    ASSERT_EQ(resumed.walker(i).current(), original.walker(i).current())
+        << "walker " << i;
+    const Rng::State a = resumed.rng(i).SaveState();
+    const Rng::State b = original.rng(i).SaveState();
+    for (int w = 0; w < 4; ++w) ASSERT_EQ(a.s[w], b.s[w]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep harness: walk_reorder on the memory, store, and IPC backends.
+
+std::string RenderAll(const eval::SweepResult& result) {
+  return eval::ToCsv(result, "reorder", "(0,1)").ToString() + "\n" +
+         eval::RenderPaperTable(result, "reorder");
+}
+
+eval::SweepConfig SmallConfig() {
+  eval::SweepConfig config;
+  config.sample_fractions = {0.05, 0.15};
+  config.reps = 8;
+  config.threads = 2;
+  config.seed = 78;
+  config.burn_in = 20;
+  config.algorithms = estimators::AllAlgorithms();
+  return config;
+}
+
+TEST(ReorderSweepTest, ReorderRequiresBatching) {
+  eval::SweepConfig config = SmallConfig();
+  config.walk_reorder = true;
+  config.walk_batch_size = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.walk_batch_size = 16;
+  EXPECT_OK(config.Validate());
+}
+
+TEST(ReorderSweepTest, AllTenAlgorithmsIdenticalOnMemoryBackend) {
+  const Fixture f = Fixture::Make(65, 300);
+  for (const eval::SweepProtocol protocol :
+       {eval::SweepProtocol::kIndependentRuns,
+        eval::SweepProtocol::kPrefixBudget}) {
+    SCOPED_TRACE(eval::SweepProtocolName(protocol));
+    eval::SweepConfig config = SmallConfig();
+    config.protocol = protocol;
+    ASSERT_OK_AND_ASSIGN(const eval::SweepResult scalar,
+                         eval::RunSweep(f.graph, f.labels, f.target, config));
+    config.walk_batch_size = 16;
+    config.walk_reorder = true;
+    ASSERT_OK_AND_ASSIGN(
+        const eval::SweepResult reordered,
+        eval::RunSweep(f.graph, f.labels, f.target, config));
+    ASSERT_EQ(RenderAll(reordered), RenderAll(scalar));
+  }
+}
+
+TEST(ReorderSweepTest, AllTenAlgorithmsIdenticalOnStoreBackend) {
+  const Fixture f = Fixture::Make(66, 300);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "access_engine_test.lgs")
+          .string();
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, path));
+  ASSERT_OK_AND_ASSIGN(const store::MappedGraph mapped,
+                       store::MappedGraph::Open(path));
+
+  eval::SweepConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(const eval::SweepResult memory,
+                       eval::RunSweep(f.graph, f.labels, f.target, config));
+  config.walk_batch_size = 16;
+  config.walk_reorder = true;
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult reordered,
+      eval::RunSweep(mapped.graph(), mapped.labels(), f.target, config));
+  ASSERT_EQ(RenderAll(reordered), RenderAll(memory));
+  std::remove(path.c_str());
+}
+
+TEST(ReorderSweepTest, AllTenAlgorithmsIdenticalOnIpcBackend) {
+  const Fixture f = Fixture::Make(67, 600);
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() / "access_engine_ipc.lgs")
+          .string();
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "access_engine_ipc").string();
+  ASSERT_OK(store::WriteStore(f.graph, f.labels, store_path));
+  ASSERT_OK_AND_ASSIGN(const store::ShardWriteStats stats,
+                       store::WriteShardedStore(store_path, prefix, 3));
+
+  const std::string shm =
+      "/labelrw-test-reorder-" + std::to_string(::getpid());
+  server::ServerOptions options;
+  options.manifest_path = stats.manifest_path;
+  options.shm_name = shm;
+  options.quiet = true;
+  server::CrawlServer crawl_server;
+  ASSERT_OK(crawl_server.Start(options));
+
+  eval::SweepConfig config = SmallConfig();
+  config.sample_fractions = {0.05};
+  config.reps = 4;
+  ASSERT_OK_AND_ASSIGN(const eval::SweepResult memory,
+                       eval::RunSweep(f.graph, f.labels, f.target, config));
+  config.walk_batch_size = 16;
+  config.walk_reorder = true;
+  const eval::TransportFactory factory =
+      [&shm]() -> Result<std::unique_ptr<osn::Transport>> {
+    auto transport = osn::IpcTransport::Connect(shm);
+    if (!transport.ok()) return transport.status();
+    return std::unique_ptr<osn::Transport>(std::move(*transport));
+  };
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult reordered,
+      eval::RunTransportSweep(f.graph, f.labels, f.target, config, factory));
+  ASSERT_EQ(RenderAll(reordered), RenderAll(memory));
+
+  crawl_server.Stop();
+  std::remove(store_path.c_str());
+  std::remove(stats.manifest_path.c_str());
+  for (uint32_t k = 0; k < 3; ++k) {
+    std::remove(store::ShardFilePath(prefix, k).c_str());
+  }
+}
+
+// Strict rate limits force transactional stepping with mid-iteration
+// rollbacks; a reordered lane must absorb its own kRateLimited retries
+// without perturbing itself or its siblings.
+TEST(ReorderSweepTest, StrictRateLimitScenarioIdenticalUnderReorder) {
+  const Fixture f = Fixture::Make(68, 300);
+  osn::Scenario scenario;
+  scenario.name = "strict-reorder";
+  scenario.cost_model.page_size = 7;
+  scenario.rate_limit.requests_per_sec = 2000.0;
+  scenario.rate_limit.bucket_capacity = 3;
+  scenario.rate_limit.per_call_latency_us = 250;
+  scenario.rate_limit.auto_wait = false;
+  scenario.faults.unavailable_user_rate = 0.05;
+  scenario.walker_detour = true;
+
+  eval::SweepConfig config = SmallConfig();
+  config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
+                       estimators::AlgorithmId::kNeighborExplorationRW,
+                       estimators::AlgorithmId::kExMDRW};
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult scalar,
+      eval::RunScenarioSweep(f.graph, f.labels, f.target, config, scenario));
+  config.walk_batch_size = 16;
+  config.walk_reorder = true;
+  ASSERT_OK_AND_ASSIGN(
+      const eval::SweepResult reordered,
+      eval::RunScenarioSweep(f.graph, f.labels, f.target, config, scenario));
+  ASSERT_EQ(RenderAll(reordered), RenderAll(scalar));
+}
+
+}  // namespace
+}  // namespace labelrw

@@ -1,0 +1,238 @@
+// Signal-resilience tests for the shared-memory wait loops
+// (server/shm_protocol.h FutexWait, server/shm_client.h PostAndWait):
+// a client process bombarded with SIGUSR1 — every futex sleep cut short
+// by EINTR — must neither fail a request spuriously nor extend its wait
+// past the request deadline. Spurious wakes and signal interruptions are
+// re-checked against the response predicate; only real deadline overruns
+// surface as errors.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "server/crawl_server.h"
+#include "server/shm_client.h"
+#include "store/shard_writer.h"
+#include "store/store_writer.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::RandomLabels;
+
+void IgnoreSignal(int) {}
+
+/// Installs a SIGUSR1 handler WITHOUT SA_RESTART, so every blocking
+/// syscall in this process — the futex waits included — returns EINTR
+/// instead of being transparently restarted by the kernel.
+void ArmInterruptingHandler() {
+  struct sigaction action = {};
+  action.sa_handler = IgnoreSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately not SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &action, nullptr), 0);
+}
+
+struct ServedFixture {
+  graph::Graph graph;
+  graph::LabelStore labels;
+  std::string store_path;
+  std::string prefix;
+  std::string manifest_path;
+
+  static ServedFixture Make(const char* name, uint64_t seed) {
+    ServedFixture f;
+    f.graph = RandomConnectedGraph(400, 1200, seed);
+    f.labels = RandomLabels(400, 3, seed + 1);
+    const auto dir = std::filesystem::temp_directory_path();
+    f.store_path = (dir / (std::string("labelrw_sig_") + name + ".lgs"))
+                       .string();
+    f.prefix = (dir / (std::string("labelrw_sig_") + name)).string();
+    EXPECT_OK(store::WriteStore(f.graph, f.labels, f.store_path));
+    auto stats = store::WriteShardedStore(f.store_path, f.prefix, 2);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    f.manifest_path = stats->manifest_path;
+    return f;
+  }
+
+  ~ServedFixture() {
+    std::remove(store_path.c_str());
+    std::remove(manifest_path.c_str());
+    for (uint32_t k = 0; k < 2; ++k) {
+      std::remove(store::ShardFilePath(prefix, k).c_str());
+    }
+  }
+};
+
+/// Reaps `child` with a deadline; kills it on overrun so a hung wait loop
+/// fails the test instead of hanging ctest.
+int WaitForChild(pid_t child, int timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(timeout_seconds);
+  int wait_status = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const pid_t done = ::waitpid(child, &wait_status, WNOHANG);
+    if (done == child) {
+      return WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 100;
+    }
+    ::usleep(10'000);
+  }
+  ::kill(child, SIGKILL);
+  ::waitpid(child, &wait_status, 0);
+  return 101;  // hung past the deadline
+}
+
+// A client under a continuous SIGUSR1 storm completes every fetch: EINTR
+// from the futex sleep is a retry signal, never a spurious failure.
+TEST(ShmSignalTest, FetchLoopSurvivesSignalStorm) {
+  const ServedFixture served = ServedFixture::Make("storm", 19);
+  const std::string shm =
+      "/labelrw-sigtest-storm-" + std::to_string(::getpid());
+  server::ServerOptions options;
+  options.manifest_path = served.manifest_path;
+  options.shm_name = shm;
+  options.quiet = true;
+  server::CrawlServer crawl_server;
+  ASSERT_OK(crawl_server.Start(options));
+
+  // Arm before fork: the disposition is inherited, so the storm can never
+  // catch the child in the default-terminate window right after fork.
+  ArmInterruptingHandler();
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    auto session = server::ShmClient::Connect(shm);
+    if (!session.ok()) ::_exit(2);
+    std::vector<graph::NodeId> neighbors;
+    std::vector<graph::Label> labels;
+    int64_t degree = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const auto u =
+          static_cast<graph::NodeId>(i % served.graph.num_nodes());
+      const Status status =
+          (*session)->Fetch(u, &neighbors, &labels, &degree);
+      if (!status.ok()) ::_exit(3);
+      if (degree != served.graph.degree(u)) ::_exit(4);
+    }
+    ::_exit(0);
+  }
+
+  // Storm the child until it exits: the signal rate (~every 200us) is far
+  // above the 50ms futex tick, so nearly every sleep is interrupted.
+  int exit_code = -1;
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    int wait_status = 0;
+    for (;;) {
+      const pid_t done = ::waitpid(child, &wait_status, WNOHANG);
+      if (done == child) {
+        exit_code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 100;
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        ::kill(child, SIGKILL);
+        ::waitpid(child, &wait_status, 0);
+        exit_code = 101;
+        break;
+      }
+      ::kill(child, SIGUSR1);
+      ::usleep(200);
+    }
+  }
+  EXPECT_EQ(exit_code, 0) << "child exit code " << exit_code
+                          << " (2=connect 3=fetch 4=row 101=hang)";
+}
+
+// With the server gone, a stormed client must still fail within the
+// request deadline — interruptions may not extend the wait unboundedly,
+// and the failure is a clean kUnavailable, not a hang.
+TEST(ShmSignalTest, DeadlineHoldsUnderSignalStorm) {
+  const ServedFixture served = ServedFixture::Make("deadline", 23);
+  const std::string shm =
+      "/labelrw-sigtest-deadline-" + std::to_string(::getpid());
+  server::ServerOptions options;
+  options.manifest_path = served.manifest_path;
+  options.shm_name = shm;
+  options.quiet = true;
+  auto crawl_server = std::make_unique<server::CrawlServer>();
+  ASSERT_OK(crawl_server->Start(options));
+
+  int ready_pipe[2];
+  ASSERT_EQ(::pipe(ready_pipe), 0);
+  ArmInterruptingHandler();
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(ready_pipe[0]);
+    server::ShmClientOptions client_options;
+    client_options.request_timeout_ms = 2'000;
+    auto session = server::ShmClient::Connect(shm, client_options);
+    if (!session.ok()) ::_exit(2);
+    std::vector<graph::NodeId> neighbors;
+    std::vector<graph::Label> labels;
+    int64_t degree = 0;
+    if (!(*session)->Fetch(0, &neighbors, &labels, &degree).ok()) ::_exit(3);
+    // Tell the parent we're connected; it stops the server, then storms.
+    const char byte = 'r';
+    if (::write(ready_pipe[1], &byte, 1) != 1) ::_exit(4);
+    // Keep fetching until the server's death surfaces. Every attempt must
+    // resolve (ok, or unavailable once the server is gone) — a hang here
+    // trips the parent's kill deadline instead.
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      const Status status =
+          (*session)->Fetch(1, &neighbors, &labels, &degree);
+      if (!status.ok()) {
+        ::_exit(status.code() == StatusCode::kUnavailable ? 0 : 5);
+      }
+      if (std::chrono::steady_clock::now() - start >
+          std::chrono::seconds(30)) {
+        ::_exit(6);  // server never died from our point of view
+      }
+    }
+  }
+  ::close(ready_pipe[1]);
+  char byte = 0;
+  ASSERT_EQ(::read(ready_pipe[0], &byte, 1), 1);
+  ::close(ready_pipe[0]);
+  crawl_server->Stop();
+
+  // Storm while the child discovers the dead server.
+  int exit_code = -1;
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    int wait_status = 0;
+    for (;;) {
+      const pid_t done = ::waitpid(child, &wait_status, WNOHANG);
+      if (done == child) {
+        exit_code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 100;
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        ::kill(child, SIGKILL);
+        ::waitpid(child, &wait_status, 0);
+        exit_code = 101;
+        break;
+      }
+      ::kill(child, SIGUSR1);
+      ::usleep(200);
+    }
+  }
+  EXPECT_EQ(exit_code, 0) << "child exit code " << exit_code
+                          << " (2=connect 3=first-fetch 5=wrong-code "
+                             "6=no-failure 101=hang)";
+}
+
+}  // namespace
+}  // namespace labelrw

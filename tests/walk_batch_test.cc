@@ -332,6 +332,39 @@ TEST(WalkBatchSweepTest, StrictRateLimitScenarioIdenticalUnderBatching) {
   }
 }
 
+// Regression: reps that don't divide the batch size leave a short tail
+// group of lanes. The tail must run exactly the leftover reps — no dead
+// padding lanes consuming Rng draws, no skipped reps — so the rendered
+// table is identical to the scalar run for every (reps mod batch) shape.
+TEST(WalkBatchSweepTest, RaggedTailLanesMatchScalar) {
+  const Fixture f = Fixture::Make(58, 300);
+  for (const eval::SweepProtocol protocol :
+       {eval::SweepProtocol::kIndependentRuns,
+        eval::SweepProtocol::kPrefixBudget}) {
+    SCOPED_TRACE(eval::SweepProtocolName(protocol));
+    eval::SweepConfig config = SmallConfig(protocol);
+    config.reps = 5;  // deliberately indivisible by every batch below
+    config.algorithms = {estimators::AlgorithmId::kNeighborSampleHH,
+                         estimators::AlgorithmId::kExMDRW};
+    ASSERT_OK_AND_ASSIGN(const eval::SweepResult scalar,
+                         eval::RunSweep(f.graph, f.labels, f.target, config));
+    const std::string reference = RenderAll(scalar);
+    for (const int64_t batch : {int64_t{2}, int64_t{3}, int64_t{4},
+                                int64_t{16}}) {
+      for (const bool reorder : {false, true}) {
+        eval::SweepConfig batched = config;
+        batched.walk_batch_size = batch;
+        batched.walk_reorder = reorder;
+        ASSERT_OK_AND_ASSIGN(
+            const eval::SweepResult result,
+            eval::RunSweep(f.graph, f.labels, f.target, batched));
+        ASSERT_EQ(RenderAll(result), reference)
+            << "batch=" << batch << " reorder=" << reorder;
+      }
+    }
+  }
+}
+
 TEST(WalkBatchSweepTest, NegativeBatchSizeIsRejected) {
   eval::SweepConfig config = SmallConfig(eval::SweepProtocol::kIndependentRuns);
   config.walk_batch_size = -1;

@@ -50,13 +50,15 @@ printf '0 1\n0 2\n1 2\n' > "$STORE_DIR/tiny.txt"
   --out="$STORE_DIR/tiny.lgs"
 "$BUILD_DIR/graphstore_cli" verify --store="$STORE_DIR/tiny.lgs"
 
-echo "== batch smoke (bench_walk_batch: scalar-vs-batch identity) =="
+echo "== batch smoke (bench_walk_batch: scalar-vs-batch-vs-reorder identity) =="
 # Small synthetic store; the graph is cache-resident so memory-level
 # parallelism has nothing to hide — --min-speedup=0 keeps only the
-# bit-identity guards (walk positions and walk_batch_size=16 sweep
-# estimates vs scalar) as the pass/fail signal.
+# bit-identity guards (interleaved AND reorder walk positions, plus
+# walk_batch_size=16 interleaved/reorder sweep estimates vs scalar) as
+# the pass/fail signal. --reorder also exercises the sort-the-misses
+# measurement path end to end.
 "$BUILD_DIR/bench_walk_batch" --nodes=20000 --moves=20000 --min-speedup=0 \
-  --store="$STORE_DIR/smoke.lgs" \
+  --reorder --passes=1 --store="$STORE_DIR/smoke.lgs" \
   --out="$BUILD_DIR/bench_results" --json-out="$BUILD_DIR/bench_results"
 
 echo "== store bench (bench_store: load speedup + bit-identity guard) =="
