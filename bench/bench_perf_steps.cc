@@ -251,7 +251,10 @@ void WriteJson(const std::vector<RunResult>& results, const PerfFlags& flags,
     std::fprintf(stderr, "cannot open %s\n", tmp_path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"perf_steps\",\n  \"seed\": %llu,\n",
+  std::fprintf(f,
+               "{\n  \"schema_version\": %d,\n  \"bench\": \"perf_steps\",\n"
+               "  \"seed\": %llu,\n",
+               kBenchSchemaVersion,
                static_cast<unsigned long long>(flags.seed));
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {

@@ -237,7 +237,8 @@ int Main(int argc, char** argv) {
 
   // ---- JSON summary. ---------------------------------------------------
   char buf[1024];
-  std::string json = "{\n  \"bench\": \"resilience\",\n  \"reps\": " +
+  std::string json = "{\n" + JsonSchemaVersionField() +
+                     "  \"bench\": \"resilience\",\n  \"reps\": " +
                      std::to_string(flags.reps) + ",\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"reference_seconds\": %.3f,\n"

@@ -141,7 +141,8 @@ int Main(int argc, char** argv) {
         static_cast<long long>(row.telemetry.applied_mutations));
   }
 
-  std::string json = "{\n  \"bench\": \"scenarios\",\n  \"reps\": " +
+  std::string json = "{\n" + JsonSchemaVersionField() +
+                     "  \"bench\": \"scenarios\",\n  \"reps\": " +
                      std::to_string(flags.reps) +
                      ",\n  \"reference_seconds\": " +
                      std::to_string(reference_s) + ",\n  \"scenarios\": [\n";

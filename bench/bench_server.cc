@@ -350,7 +350,8 @@ int Main(int argc, char** argv) {
               flags.min_rps);
 
   // --- machine-readable summary.
-  std::string json = "{\n  \"bench\": \"server\",\n";
+  std::string json =
+      "{\n" + JsonSchemaVersionField() + "  \"bench\": \"server\",\n";
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "  \"nodes\": %lld,\n  \"edges\": %lld,\n"

@@ -188,7 +188,8 @@ int Main(int argc, char** argv) {
               probes.size(), identical ? "yes" : "NO");
 
   std::string json =
-      "{\n  \"bench\": \"store\",\n  \"dataset\": \"" + ds.name +
+      "{\n" + JsonSchemaVersionField() +
+      "  \"bench\": \"store\",\n  \"dataset\": \"" + ds.name +
       "\",\n  \"nodes\": " + std::to_string(ds.graph.num_nodes()) +
       ",\n  \"edges\": " + std::to_string(ds.graph.num_edges()) + ",\n";
   char buf[512];

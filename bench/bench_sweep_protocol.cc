@@ -75,6 +75,7 @@ int Main(int argc, char** argv) {
   char json[512];
   std::snprintf(json, sizeof(json),
                 "{\n"
+                "  \"schema_version\": %d,\n"
                 "  \"bench\": \"sweep_protocol\",\n"
                 "  \"reps\": %lld,\n"
                 "  \"independent_seconds\": %.3f,\n"
@@ -82,8 +83,8 @@ int Main(int argc, char** argv) {
                 "  \"speedup\": %.3f,\n"
                 "  \"worst_nrmse_rel_deviation\": %.4f\n"
                 "}\n",
-                static_cast<long long>(flags.reps), independent_s, prefix_s,
-                speedup, worst_dev);
+                kBenchSchemaVersion, static_cast<long long>(flags.reps),
+                independent_s, prefix_s, speedup, worst_dev);
   const std::string path = JsonOutPath(flags, "sweep_protocol");
   if (WriteFileAtomic(path, json)) {
     std::printf("  wrote %s\n", path.c_str());

@@ -1,0 +1,627 @@
+// Multi-tenant traffic benchmark: the (tenant count x quota scale x
+// admission policy) sweep over the discrete-event TrafficEngine
+// (traffic/engine.h, eval/traffic_sweep.h), with a built-in cross-thread
+// determinism guard.
+//
+// Matrix semantics (DX100-style rerun control): every cell's result lands
+// in its own JSON fragment under --out; re-running the bench skips cells
+// whose fragment already exists (pass --force to redo everything), so an
+// interrupted or extended matrix fills in incrementally. BENCH_traffic.json
+// is re-assembled from all fragments on every run.
+//
+// Determinism guard: each pending cell batch is run once per thread count
+// in --threads-check (default "1,2") and the per-tenant table hashes
+// (TrafficReport::table_hash — every counter and percentile bit of every
+// row) must agree exactly; any deviation exits nonzero. One engine is
+// always single-threaded — the thread counts only shard cells across sweep
+// workers — so this guards the whole claim chain from event loop to
+// histogram.
+//
+// Backends: 'memory' (default; synthesized Facebook-analog), 'store' (a
+// streamed --nodes Barabasi-Albert snapshot served zero-copy through
+// store::StoreTransport — the 10k-tenant acceptance configuration), or
+// 'ipc' (per-session osn::IpcTransport connections against a running
+// labelrw_serverd; the daemon must serve the same synthesized dataset).
+//
+// Floors: every cell must complete at least --min-completed sessions
+// (default 1); exit 1 on any floor miss or determinism deviation.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/traffic_sweep.h"
+#include "graph/oracle.h"
+#include "osn/local_api.h"
+#include "store/mapped_graph.h"
+#include "store/store_writer.h"
+#include "store/store_transport.h"
+#include "synth/datasets.h"
+#include "synth/generators.h"
+#include "util/flags.h"
+
+namespace labelrw::bench {
+namespace {
+
+struct TrafficBenchFlags {
+  std::vector<int64_t> tenants = {100, 1000, 10000};
+  std::vector<double> quotas = {1.0, 0.5};
+  std::vector<int64_t> slots = {32};
+  int64_t queue_depth = 16384;
+  traffic::OverflowPolicy overflow = traffic::OverflowPolicy::kReject;
+  std::string scenario = "steady";
+  int64_t sessions_per_tenant = 1;
+  int64_t session_budget = 150;
+  int64_t burn_in = 50;
+  int priority_classes = 2;
+  int64_t shared_buckets = 1;
+  int64_t step_chunk = 16;
+  std::vector<int> threads_check = {1, 2};
+  bool force = false;
+  int64_t min_completed = 1;
+  int64_t nodes = 1'000'000;  // --backend=store synthesis size
+  std::string store_path;
+  uint64_t seed = 42;
+  BenchBackend backend = BenchBackend::kMemory;
+  std::string server;
+  std::string out_dir = "bench_results";
+  std::string json_dir = ".";
+};
+
+std::vector<int64_t> ParseInt64List(const char* flag, const char* value,
+                                    int64_t min_value) {
+  std::vector<int64_t> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(flags::ParseIntAtLeastOrDie(flag, item.c_str(), min_value));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s needs at least one value\n", flag);
+    std::exit(2);
+  }
+  return out;
+}
+
+std::vector<double> ParseDoubleList(const char* flag, const char* value) {
+  std::vector<double> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(
+        flags::ParseDoubleInRangeOrDie(flag, item.c_str(), 1e-6, 1e6));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s needs at least one value\n", flag);
+    std::exit(2);
+  }
+  return out;
+}
+
+void PrintTrafficUsage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_traffic [--tenants=CSV] [--quota=CSV] [--slots=CSV]\n"
+      "  [--queue=N] [--overflow=P] [--scenario=S] [--sessions=N]\n"
+      "  [--budget=N] [--burn-in=N] [--threads-check=CSV] [--force]\n"
+      "  [--min-completed=N] [--backend=B] [--nodes=N] [--store=PATH]\n"
+      "  [--server=S] [--seed=N] [--out=DIR] [--json-out=DIR]\n"
+      "\n"
+      "  --tenants=CSV   tenant counts (default 100,1000,10000)\n"
+      "  --quota=CSV     shared-quota scales (default 1.0,0.5)\n"
+      "  --slots=CSV     admission max_in_flight values (default 32)\n"
+      "  --queue=N       admission queue depth (default 16384)\n"
+      "  --overflow=P    'reject' (default) or 'shed'\n"
+      "  --scenario=S    traffic preset: steady, diurnal, hotspot,\n"
+      "                  noisy-neighbor, storm (default steady)\n"
+      "  --sessions=N    sessions per tenant (default 1)\n"
+      "  --budget=N      sampling budget per session (default 150)\n"
+      "  --burn-in=N     burn-in steps per session (default 50)\n"
+      "  --threads-check=CSV  sweep worker thread counts whose per-tenant\n"
+      "                  tables must be bit-identical (default 1,2)\n"
+      "  --force         redo cells whose fragment already exists\n"
+      "  --min-completed=N  per-cell completed-sessions floor (default 1)\n"
+      "  --backend=B     'memory' (default), 'store', or 'ipc'\n"
+      "  --nodes=N       store synthesis size (default 1000000)\n"
+      "  --store=PATH    existing .lgs snapshot (skips synthesis)\n"
+      "  --server=S      daemon shm name for --backend=ipc\n");
+}
+
+TrafficBenchFlags ParseTrafficFlags(int argc, char** argv) {
+  TrafficBenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintTrafficUsage();
+      std::exit(0);
+    } else if (std::strncmp(arg, "--tenants=", 10) == 0) {
+      flags.tenants = ParseInt64List("--tenants", arg + 10, 1);
+    } else if (std::strncmp(arg, "--quota=", 8) == 0) {
+      flags.quotas = ParseDoubleList("--quota", arg + 8);
+    } else if (std::strncmp(arg, "--slots=", 8) == 0) {
+      flags.slots = ParseInt64List("--slots", arg + 8, 1);
+    } else if (std::strncmp(arg, "--queue=", 8) == 0) {
+      flags.queue_depth = flags::ParseIntAtLeastOrDie("--queue", arg + 8, 0);
+    } else if (std::strncmp(arg, "--overflow=", 11) == 0) {
+      flags.overflow = CheckedValue(
+          traffic::OverflowPolicyFromName(arg + 11), "--overflow");
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      flags.scenario = arg + 11;
+    } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
+      flags.sessions_per_tenant =
+          flags::ParseIntAtLeastOrDie("--sessions", arg + 11, 1);
+    } else if (std::strncmp(arg, "--budget=", 9) == 0) {
+      flags.session_budget =
+          flags::ParseIntAtLeastOrDie("--budget", arg + 9, 1);
+    } else if (std::strncmp(arg, "--burn-in=", 10) == 0) {
+      flags.burn_in = flags::ParseIntAtLeastOrDie("--burn-in", arg + 10, 0);
+    } else if (std::strncmp(arg, "--threads-check=", 16) == 0) {
+      flags.threads_check.clear();
+      for (const int64_t t :
+           ParseInt64List("--threads-check", arg + 16, 1)) {
+        flags.threads_check.push_back(static_cast<int>(t));
+      }
+    } else if (std::strcmp(arg, "--force") == 0) {
+      flags.force = true;
+    } else if (std::strncmp(arg, "--min-completed=", 16) == 0) {
+      flags.min_completed =
+          flags::ParseIntAtLeastOrDie("--min-completed", arg + 16, 0);
+    } else if (std::strncmp(arg, "--nodes=", 8) == 0) {
+      flags.nodes = flags::ParseIntAtLeastOrDie("--nodes", arg + 8, 1000);
+    } else if (std::strncmp(arg, "--store=", 8) == 0) {
+      flags.store_path = arg + 8;
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      const char* value = arg + 10;
+      if (std::strcmp(value, "memory") == 0) {
+        flags.backend = BenchBackend::kMemory;
+      } else if (std::strcmp(value, "store") == 0) {
+        flags.backend = BenchBackend::kStore;
+      } else if (std::strcmp(value, "ipc") == 0) {
+        flags.backend = BenchBackend::kIpc;
+      } else {
+        std::fprintf(stderr, "--backend must be memory, store, or ipc\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--server=", 9) == 0) {
+      flags.server = arg + 9;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = flags::ParseUintOrDie("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      flags.out_dir = arg + 6;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      flags.json_dir = arg + 11;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      PrintTrafficUsage();
+      std::exit(2);
+    }
+  }
+  if (flags.backend == BenchBackend::kIpc && flags.server.empty()) {
+    std::fprintf(stderr, "--backend=ipc requires --server=/name\n");
+    std::exit(2);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(flags.out_dir, ec);
+  std::filesystem::create_directories(flags.json_dir, ec);
+  return flags;
+}
+
+/// Stable identity of one cell, used for the fragment filename and the
+/// "key" field. Quota is fixed-point (x 1e6) so the name never depends on
+/// printf float formatting.
+std::string CellKey(const eval::TrafficCellSpec& spec) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "t%lld_q%lld_s%lld_d%lld_%s",
+                static_cast<long long>(spec.tenants),
+                static_cast<long long>(std::llround(spec.quota_scale * 1e6)),
+                static_cast<long long>(spec.admission.max_in_flight),
+                static_cast<long long>(spec.admission.max_queue_depth),
+                traffic::OverflowPolicyName(spec.admission.overflow));
+  return buf;
+}
+
+std::string FragmentPath(const TrafficBenchFlags& flags,
+                         const eval::TrafficCellSpec& spec) {
+  return flags.out_dir + "/traffic_cell_" + CellKey(spec) + ".json";
+}
+
+/// Minimal scan for an integer field in a fragment this bench wrote
+/// itself; -1 when absent (the fragment is then treated as stale).
+int64_t FindJsonInt(const std::string& text, const std::string& field) {
+  const std::string needle = "\"" + field + "\":";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+/// One cell's JSON object (the fragment body; also spliced verbatim into
+/// BENCH_traffic.json's cells array). The full per-tenant table goes to
+/// CSV — here we keep the global percentiles, a fixed sample of tenant
+/// rows, and the table hash that covers every row bit-for-bit.
+std::string CellJson(const eval::TrafficCell& cell) {
+  const traffic::TrafficReport& r = cell.report;
+  std::string json = "{\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"key\": \"%s\",\n"
+                "  \"tenants\": %lld,\n"
+                "  \"quota_scale\": %.6f,\n"
+                "  \"max_in_flight\": %lld,\n"
+                "  \"max_queue_depth\": %lld,\n"
+                "  \"overflow\": \"%s\",\n",
+                CellKey(eval::TrafficCellSpec{cell.tenants, cell.quota_scale,
+                                              cell.admission})
+                    .c_str(),
+                static_cast<long long>(cell.tenants), cell.quota_scale,
+                static_cast<long long>(cell.admission.max_in_flight),
+                static_cast<long long>(cell.admission.max_queue_depth),
+                traffic::OverflowPolicyName(cell.admission.overflow));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"submitted\": %lld,\n  \"admitted\": %lld,\n"
+                "  \"completed\": %lld,\n  \"rejected\": %lld,\n"
+                "  \"shed\": %lld,\n  \"aborted\": %lld,\n"
+                "  \"rate_limited\": %lld,\n  \"api_calls\": %lld,\n"
+                "  \"events\": %lld,\n  \"queue_peak\": %lld,\n"
+                "  \"end_time_us\": %lld,\n",
+                static_cast<long long>(r.submitted),
+                static_cast<long long>(r.admitted),
+                static_cast<long long>(r.completed),
+                static_cast<long long>(r.rejected),
+                static_cast<long long>(r.shed),
+                static_cast<long long>(r.aborted),
+                static_cast<long long>(r.rate_limited),
+                static_cast<long long>(r.total_api_calls),
+                static_cast<long long>(r.events_processed),
+                static_cast<long long>(r.queue_peak),
+                static_cast<long long>(r.end_time_us));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"p50_latency_us\": %.1f,\n  \"p90_latency_us\": %.1f,\n"
+                "  \"p99_latency_us\": %.1f,\n  \"p50_tte_us\": %.1f,\n"
+                "  \"p99_tte_us\": %.1f,\n  \"p50_freshness_us\": %.1f,\n"
+                "  \"p99_freshness_us\": %.1f,\n  \"nrmse\": %.6f,\n"
+                "  \"table_hash\": \"%016" PRIx64 "\",\n",
+                r.latency.Percentile(0.50), r.latency.Percentile(0.90),
+                r.latency.Percentile(0.99), r.time_to_estimate.Percentile(0.50),
+                r.time_to_estimate.Percentile(0.99),
+                r.freshness.Percentile(0.50), r.freshness.Percentile(0.99),
+                r.nrmse, r.table_hash);
+  json += buf;
+  // A fixed-size per-tenant sample (the full table is in the CSV dump).
+  const size_t sample = std::min<size_t>(r.tenants.size(), 8);
+  json += "  \"tenant_sample\": [\n";
+  for (size_t i = 0; i < sample; ++i) {
+    const traffic::TenantTelemetry& t = r.tenants[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"tenant\": %lld, \"priority\": %d, "
+                  "\"completed\": %lld, \"p50_latency_us\": %.1f, "
+                  "\"p99_latency_us\": %.1f, \"p50_freshness_us\": %.1f, "
+                  "\"p99_freshness_us\": %.1f, \"nrmse\": %.6f}%s\n",
+                  static_cast<long long>(t.tenant), t.priority,
+                  static_cast<long long>(t.completed), t.p50_latency_us,
+                  t.p99_latency_us, t.p50_freshness_us, t.p99_freshness_us,
+                  t.nrmse, i + 1 < sample ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}";
+  return json;
+}
+
+/// The full per-tenant SLO table of one cell, as CSV in the output dir.
+void WriteCellCsv(const TrafficBenchFlags& flags,
+                  const eval::TrafficCell& cell,
+                  const eval::TrafficCellSpec& spec) {
+  std::string csv =
+      "tenant,priority,submitted,admitted,completed,rejected,shed,aborted,"
+      "rate_limited,api_calls,p50_latency_us,p90_latency_us,p99_latency_us,"
+      "p50_tte_us,p99_tte_us,p50_freshness_us,p99_freshness_us,"
+      "mean_estimate,nrmse\n";
+  char buf[512];
+  for (const traffic::TenantTelemetry& t : cell.report.tenants) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%lld,%d,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,"
+        "%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.6f,%.6f\n",
+        static_cast<long long>(t.tenant), t.priority,
+        static_cast<long long>(t.submitted),
+        static_cast<long long>(t.admitted),
+        static_cast<long long>(t.completed),
+        static_cast<long long>(t.rejected), static_cast<long long>(t.shed),
+        static_cast<long long>(t.aborted),
+        static_cast<long long>(t.rate_limited),
+        static_cast<long long>(t.api_calls), t.p50_latency_us,
+        t.p90_latency_us, t.p99_latency_us, t.p50_tte_us, t.p99_tte_us,
+        t.p50_freshness_us, t.p99_freshness_us, t.mean_estimate, t.nrmse);
+    csv += buf;
+  }
+  const std::string path =
+      flags.out_dir + "/traffic_table_" + CellKey(spec) + ".csv";
+  if (!WriteFileAtomic(path, csv)) std::exit(1);
+}
+
+/// Deterministic node labels in {1..2} (same derivation as the walk-batch
+/// bench and graphstore_cli synth), so snapshots carry target (1,2).
+graph::LabelStore HashLabels(int64_t num_nodes, uint64_t seed) {
+  graph::LabelStoreBuilder builder(num_nodes);
+  for (int64_t u = 0; u < num_nodes; ++u) {
+    uint64_t x = static_cast<uint64_t>(u) + seed * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    (void)builder.AddLabel(static_cast<graph::NodeId>(u),
+                           static_cast<graph::Label>(x % 2) + 1);
+  }
+  return builder.Build();
+}
+
+int Main(int argc, char** argv) {
+  const TrafficBenchFlags flags = ParseTrafficFlags(argc, argv);
+
+  // --- backend + ground truth -----------------------------------------
+  std::optional<synth::Dataset> dataset;
+  std::optional<store::MappedGraph> mapped;
+  std::unique_ptr<osn::LocalGraphApi> local;
+  std::unique_ptr<store::StoreTransport> store_transport;
+  eval::TrafficBackend backend;
+  graph::TargetLabel target;
+  double truth = 0.0;
+
+  if (flags.backend == BenchBackend::kStore) {
+    std::string store_path = flags.store_path;
+    if (store_path.empty()) {
+      store_path = flags.out_dir + "/traffic_bench.lgs";
+      if (!std::filesystem::exists(store_path)) {
+        std::printf("synthesizing %lld-node store %s ...\n",
+                    static_cast<long long>(flags.nodes), store_path.c_str());
+        store::StreamingStoreBuilder::Options options;
+        options.min_nodes = flags.nodes;
+        store::StreamingStoreBuilder builder(store_path, options);
+        CheckOk(synth::StreamBarabasiAlbert(
+                    flags.nodes, 8, flags.seed, int64_t{1} << 20,
+                    [&builder](std::span<const graph::Edge> edges) {
+                      return builder.AddEdgeBatch(edges);
+                    }),
+                "streaming generator");
+        const graph::LabelStore labels = HashLabels(flags.nodes, flags.seed);
+        CheckOk(builder.Finish(&labels).status(), "finishing store");
+      }
+    }
+    mapped = CheckedValue(store::MappedGraph::Open(store_path), "store open");
+    store_transport = std::make_unique<store::StoreTransport>(*mapped);
+    backend.transport = store_transport.get();
+    target = graph::TargetLabel{1, 2};
+    truth = static_cast<double>(
+        graph::CountTargetEdges(mapped->graph(), mapped->labels(), target));
+    std::printf("backend: mmap store %s (%lld nodes, %lld edges, F=%.0f)\n",
+                store_path.c_str(),
+                static_cast<long long>(mapped->graph().num_nodes()),
+                static_cast<long long>(mapped->graph().num_edges()), truth);
+  } else {
+    dataset = CheckedValue(synth::FacebookLike(flags.seed + 1001),
+                           "dataset generation");
+    local = std::make_unique<osn::LocalGraphApi>(dataset->graph,
+                                                 dataset->labels);
+    backend.transport = local.get();
+    target = dataset->targets[0].target;
+    truth = static_cast<double>(dataset->targets[0].count);
+    if (flags.backend == BenchBackend::kIpc) {
+      // Priors and truth come from the local dataset; every admitted
+      // session crawls the daemon (which must serve the same dataset).
+      const std::string server = flags.server;
+      backend.factory = [server]() -> Result<std::unique_ptr<osn::Transport>> {
+        auto transport = osn::IpcTransport::Connect(server);
+        if (!transport.ok()) return transport.status();
+        return std::unique_ptr<osn::Transport>(std::move(*transport));
+      };
+      std::printf("backend: crawl server at shm '%s'\n", server.c_str());
+    } else {
+      std::printf("backend: in-memory %s (F=%.0f)\n", dataset->name.c_str(),
+                  truth);
+    }
+  }
+
+  // --- sweep config ----------------------------------------------------
+  eval::TrafficSweepConfig config;
+  config.tenant_counts = flags.tenants;
+  config.quota_scales = flags.quotas;
+  config.admissions.clear();
+  for (const int64_t slots : flags.slots) {
+    traffic::AdmissionPolicy policy;
+    policy.max_in_flight = slots;
+    policy.max_queue_depth = flags.queue_depth;
+    policy.overflow = flags.overflow;
+    config.admissions.push_back(policy);
+  }
+  config.scenario = CheckedValue(osn::TrafficScenarioFromName(flags.scenario),
+                                 "traffic scenario");
+  config.sessions_per_tenant = flags.sessions_per_tenant;
+  config.session_budget = flags.session_budget;
+  config.burn_in = flags.burn_in;
+  config.seed = flags.seed;
+  config.priority_classes = flags.priority_classes;
+  config.step_chunk = flags.step_chunk;
+  config.shared_buckets = flags.shared_buckets;
+  config.truth = truth;
+
+  // --- cell list + rerun control ---------------------------------------
+  std::vector<eval::TrafficCellSpec> all_specs;
+  for (const int64_t tenants : config.tenant_counts) {
+    for (const double quota : config.quota_scales) {
+      for (const traffic::AdmissionPolicy& admission : config.admissions) {
+        all_specs.push_back(eval::TrafficCellSpec{tenants, quota, admission});
+      }
+    }
+  }
+  std::vector<eval::TrafficCellSpec> pending;
+  std::vector<std::string> cached_fragments;  // spliced into the final JSON
+  int64_t floor_misses = 0;
+  for (const eval::TrafficCellSpec& spec : all_specs) {
+    const std::string path = FragmentPath(flags, spec);
+    if (!flags.force && std::filesystem::exists(path)) {
+      std::ifstream in(path);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const std::string text = buffer.str();
+      const int64_t completed = FindJsonInt(text, "completed");
+      if (completed >= 0) {
+        if (completed < flags.min_completed) {
+          std::fprintf(stderr, "FLOOR: cached cell %s completed %lld < %lld\n",
+                       CellKey(spec).c_str(),
+                       static_cast<long long>(completed),
+                       static_cast<long long>(flags.min_completed));
+          ++floor_misses;
+        }
+        cached_fragments.push_back(text);
+        std::printf("cached  %s (completed %lld)\n", CellKey(spec).c_str(),
+                    static_cast<long long>(completed));
+        continue;
+      }
+      std::printf("stale fragment %s, re-running\n", path.c_str());
+    }
+    pending.push_back(spec);
+  }
+
+  // --- run pending cells once per checked thread count ------------------
+  const graph::TargetLabel run_target = target;
+  std::optional<eval::TrafficSweepResult> reference;
+  int64_t determinism_failures = 0;
+  if (!pending.empty()) {
+    for (size_t ti = 0; ti < flags.threads_check.size(); ++ti) {
+      eval::TrafficSweepConfig run_config = config;
+      run_config.threads = flags.threads_check[ti];
+      std::printf("running %zu cells at %d sweep thread(s) ...\n",
+                  pending.size(), run_config.threads);
+      eval::TrafficSweepResult result = CheckedValue(
+          eval::RunTrafficCells(backend, run_target, run_config, pending),
+          "traffic sweep");
+      if (!reference.has_value()) {
+        reference = std::move(result);
+        continue;
+      }
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const uint64_t want = reference->cells[i].report.table_hash;
+        const uint64_t got = result.cells[i].report.table_hash;
+        if (want != got) {
+          std::fprintf(stderr,
+                       "DETERMINISM: cell %s table_hash %016" PRIx64
+                       " at %d thread(s) != %016" PRIx64 " at %d thread(s)\n",
+                       CellKey(pending[i]).c_str(), got,
+                       flags.threads_check[ti], want, flags.threads_check[0]);
+          ++determinism_failures;
+        }
+      }
+    }
+  }
+
+  // --- fragments, CSV tables, console summary ---------------------------
+  std::vector<std::string> fresh_fragments;
+  if (reference.has_value()) {
+    std::printf(
+        "%-28s %10s %10s %10s %12s %12s %8s\n", "cell", "completed",
+        "rejected", "shed", "p50_lat_ms", "p99_lat_ms", "nrmse");
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const eval::TrafficCell& cell = reference->cells[i];
+      const traffic::TrafficReport& r = cell.report;
+      if (r.completed < flags.min_completed) {
+        std::fprintf(stderr, "FLOOR: cell %s completed %lld < %lld\n",
+                     CellKey(pending[i]).c_str(),
+                     static_cast<long long>(r.completed),
+                     static_cast<long long>(flags.min_completed));
+        ++floor_misses;
+      }
+      std::printf("%-28s %10lld %10lld %10lld %12.1f %12.1f %8.4f\n",
+                  CellKey(pending[i]).c_str(),
+                  static_cast<long long>(r.completed),
+                  static_cast<long long>(r.rejected),
+                  static_cast<long long>(r.shed),
+                  r.latency.Percentile(0.50) / 1000.0,
+                  r.latency.Percentile(0.99) / 1000.0, r.nrmse);
+      const std::string fragment = CellJson(cell);
+      fresh_fragments.push_back(fragment);
+      if (!WriteFileAtomic(FragmentPath(flags, pending[i]), fragment)) {
+        return 1;
+      }
+      WriteCellCsv(flags, cell, pending[i]);
+    }
+  }
+
+  // --- BENCH_traffic.json: re-assembled from every fragment --------------
+  std::string json = "{\n" + JsonSchemaVersionField() +
+                     "  \"bench\": \"traffic\",\n";
+  {
+    char buf[512];
+    const char* backend_name = flags.backend == BenchBackend::kStore ? "store"
+                               : flags.backend == BenchBackend::kIpc
+                                   ? "ipc"
+                                   : "memory";
+    std::string threads_list;
+    for (size_t i = 0; i < flags.threads_check.size(); ++i) {
+      if (i > 0) threads_list += ", ";
+      threads_list += std::to_string(flags.threads_check[i]);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  \"backend\": \"%s\",\n  \"scenario\": \"%s\",\n"
+                  "  \"seed\": %llu,\n  \"truth\": %.0f,\n"
+                  "  \"threads_check\": [%s],\n"
+                  "  \"determinism_failures\": %lld,\n  \"cells\": [\n",
+                  backend_name, flags.scenario.c_str(),
+                  static_cast<unsigned long long>(flags.seed), truth,
+                  threads_list.c_str(),
+                  static_cast<long long>(determinism_failures));
+    json += buf;
+  }
+  std::vector<const std::string*> fragments;
+  for (const std::string& f : cached_fragments) fragments.push_back(&f);
+  for (const std::string& f : fresh_fragments) fragments.push_back(&f);
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    json += *fragments[i];
+    json += i + 1 < fragments.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  const std::string json_path = flags.json_dir + "/BENCH_traffic.json";
+  if (!WriteFileAtomic(json_path, json)) return 1;
+  std::printf("wrote %s (%zu cells: %zu cached, %zu fresh)\n",
+              json_path.c_str(), fragments.size(), cached_fragments.size(),
+              fresh_fragments.size());
+
+  if (determinism_failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld cross-thread-count table deviations\n",
+                 static_cast<long long>(determinism_failures));
+    return 1;
+  }
+  if (floor_misses > 0) {
+    std::fprintf(stderr, "FAIL: %lld cells under the completed floor\n",
+                 static_cast<long long>(floor_misses));
+    return 1;
+  }
+  std::printf("per-tenant tables bit-identical across thread counts {%s}\n",
+              [&flags] {
+                std::string s;
+                for (size_t i = 0; i < flags.threads_check.size(); ++i) {
+                  if (i > 0) s += ",";
+                  s += std::to_string(flags.threads_check[i]);
+                }
+                return s;
+              }()
+                  .c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace labelrw::bench
+
+int main(int argc, char** argv) {
+  return labelrw::bench::Main(argc, argv);
+}

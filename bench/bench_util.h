@@ -67,6 +67,18 @@ inline std::string JsonOutPath(const BenchFlags& flags, const char* name) {
   return flags.json_dir + "/BENCH_" + name + ".json";
 }
 
+/// Version of the BENCH_*.json summary layout, stamped by every writer as
+/// the first field so trajectory tooling can key its parser off it. Bump on
+/// any cross-bench layout change (v2 added the field itself, alongside the
+/// traffic bench).
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// The shared opening every BENCH_*.json emits right after "{".
+inline std::string JsonSchemaVersionField() {
+  return "  \"schema_version\": " + std::to_string(kBenchSchemaVersion) +
+         ",\n";
+}
+
 /// Atomic whole-file write: the content lands in `<path>.tmp` first and is
 /// renamed over `path` only after a complete flush, so a bench killed
 /// mid-dump can never leave a truncated BENCH_*.json behind — the previous

@@ -460,7 +460,8 @@ int Main(int argc, char** argv) {
         best_reorder_speedup, best_reorder_algo, min_reorder_speedup);
   }
 
-  std::string json = "{\n  \"bench\": \"walk_batch\",\n";
+  std::string json =
+      "{\n" + JsonSchemaVersionField() + "  \"bench\": \"walk_batch\",\n";
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "  \"store_nodes\": %lld,\n  \"store_edges\": %lld,\n"

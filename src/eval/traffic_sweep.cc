@@ -1,0 +1,158 @@
+#include "eval/traffic_sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+namespace labelrw::eval {
+
+namespace {
+
+/// The scenario for one cell: the shared-bucket policy scaled by the cell's
+/// quota knob. Scaling rounds capacity/quota to >= 1 so a tiny scale still
+/// leaves a functioning (just brutally contended) key.
+osn::Scenario ScaledScenario(const osn::Scenario& base, double quota_scale) {
+  osn::Scenario s = base;
+  if (s.rate_limit.requests_per_sec > 0.0) {
+    s.rate_limit.requests_per_sec *= quota_scale;
+    s.rate_limit.bucket_capacity = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::llround(static_cast<double>(s.rate_limit.bucket_capacity) *
+                            quota_scale)));
+  }
+  if (s.rate_limit.window_quota > 0) {
+    s.rate_limit.window_quota = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::llround(static_cast<double>(s.rate_limit.window_quota) *
+                            quota_scale)));
+  }
+  return s;
+}
+
+traffic::TrafficConfig CellConfig(const TrafficSweepConfig& config,
+                                  const TrafficCellSpec& spec) {
+  traffic::TrafficConfig c;
+  c.tenants = spec.tenants;
+  c.sessions_per_tenant = config.sessions_per_tenant;
+  c.session_budget = config.session_budget;
+  c.burn_in = config.burn_in;
+  c.algorithm = config.algorithm;
+  // Every cell derives its own seed from its coordinates, so cells are
+  // independent replicas rather than shifted copies of one another.
+  c.seed = DeriveSeed(config.seed, static_cast<uint64_t>(spec.tenants),
+                      static_cast<uint64_t>(
+                          std::llround(spec.quota_scale * 1'000'000.0)),
+                      static_cast<uint64_t>(spec.admission.max_in_flight));
+  c.priority_classes = config.priority_classes;
+  c.step_chunk = config.step_chunk;
+  c.max_sim_us = config.max_sim_us;
+  c.shared_buckets = config.shared_buckets;
+  c.scenario = ScaledScenario(config.scenario, spec.quota_scale);
+  c.admission = spec.admission;
+  c.truth = config.truth;
+  return c;
+}
+
+}  // namespace
+
+Status TrafficSweepConfig::Validate() const {
+  if (tenant_counts.empty() || quota_scales.empty() || admissions.empty()) {
+    return InvalidArgumentError(
+        "TrafficSweepConfig: tenant_counts, quota_scales, and admissions "
+        "must each be non-empty");
+  }
+  for (const int64_t n : tenant_counts) {
+    if (n < 1) {
+      return InvalidArgumentError(
+          "TrafficSweepConfig: tenant counts must be >= 1");
+    }
+  }
+  for (const double q : quota_scales) {
+    if (q <= 0.0) {
+      return InvalidArgumentError(
+          "TrafficSweepConfig: quota scales must be > 0");
+    }
+  }
+  for (const traffic::AdmissionPolicy& a : admissions) {
+    LABELRW_RETURN_IF_ERROR(a.Validate());
+  }
+  LABELRW_RETURN_IF_ERROR(scenario.Validate());
+  return Status::Ok();
+}
+
+Result<TrafficSweepResult> RunTrafficCells(
+    const TrafficBackend& backend, const graph::TargetLabel& target,
+    const TrafficSweepConfig& config,
+    const std::vector<TrafficCellSpec>& cells) {
+  LABELRW_RETURN_IF_ERROR(config.Validate());
+  if (backend.transport == nullptr) {
+    return InvalidArgumentError(
+        "RunTrafficCells: backend.transport is required (priors at least)");
+  }
+
+  TrafficSweepResult result;
+  result.cells.resize(cells.size());
+  if (cells.empty()) return result;
+
+  int threads = config.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(cells.size()));
+
+  std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  Status first_error;  // by completion order; any error fails the sweep
+
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      const TrafficCellSpec& spec = cells[i];
+      traffic::TrafficEngine engine(*backend.transport, target,
+                                    CellConfig(config, spec),
+                                    backend.factory);
+      Result<traffic::TrafficReport> report = engine.Run();
+      if (!report.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = report.status();
+        return;
+      }
+      TrafficCell& cell = result.cells[i];
+      cell.tenants = spec.tenants;
+      cell.quota_scale = spec.quota_scale;
+      cell.admission = spec.admission;
+      cell.report = std::move(report).value();
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  LABELRW_RETURN_IF_ERROR(first_error);
+  return result;
+}
+
+Result<TrafficSweepResult> RunTrafficSweep(const TrafficBackend& backend,
+                                           const graph::TargetLabel& target,
+                                           const TrafficSweepConfig& config) {
+  std::vector<TrafficCellSpec> cells;
+  for (const int64_t tenants : config.tenant_counts) {
+    for (const double quota : config.quota_scales) {
+      for (const traffic::AdmissionPolicy& admission : config.admissions) {
+        cells.push_back(TrafficCellSpec{tenants, quota, admission});
+      }
+    }
+  }
+  return RunTrafficCells(backend, target, config, cells);
+}
+
+}  // namespace labelrw::eval

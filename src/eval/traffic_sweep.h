@@ -1,0 +1,97 @@
+// RunTrafficSweep: the (tenant count × quota scale × admission policy)
+// sweep over the multi-tenant traffic engine.
+//
+// Each cell is one complete TrafficEngine simulation — single-threaded and
+// deterministic by construction (traffic/engine.h). The sweep parallelizes
+// ONLY across cells: workers claim cell indices from an atomic counter and
+// write into preassigned slots, so the result vector is bit-identical for
+// any thread count or schedule — the same slot discipline as
+// eval::RunSweep, test-enforced in tests/traffic_determinism_test.cc and
+// guarded at scale by bench/bench_traffic.cc (which exits nonzero on any
+// cross-thread-count deviation in the per-tenant tables).
+
+#ifndef LABELRW_EVAL_TRAFFIC_SWEEP_H_
+#define LABELRW_EVAL_TRAFFIC_SWEEP_H_
+
+#include <vector>
+
+#include "traffic/engine.h"
+
+namespace labelrw::eval {
+
+struct TrafficBackend {
+  /// Serves every session's reads (and the engine's priors). Required.
+  const osn::Transport* transport = nullptr;
+  /// When set, every admitted session crawls through factory() instead
+  /// (e.g. one osn::IpcTransport session per slot against labelrw_serverd);
+  /// `transport` then supplies priors only. Must be thread-safe to call
+  /// from sweep workers.
+  traffic::SessionTransportFactory factory;
+};
+
+struct TrafficSweepConfig {
+  std::vector<int64_t> tenant_counts = {100};
+  /// Multiplies the scenario's shared-bucket refill rate, burst capacity,
+  /// and rolling-window quota: quota 0.5 = the same tenant population on
+  /// half the API key.
+  std::vector<double> quota_scales = {1.0};
+  std::vector<traffic::AdmissionPolicy> admissions = {{}};
+  /// Crawl conditions + load shape, usually a TrafficScenarioFromName
+  /// preset. rate_limit is the shared-bucket policy the quota scales act
+  /// on.
+  osn::Scenario scenario;
+  int64_t sessions_per_tenant = 1;
+  int64_t session_budget = 150;
+  int64_t burn_in = 50;
+  estimators::AlgorithmId algorithm =
+      estimators::AlgorithmId::kNeighborSampleHH;
+  uint64_t seed = 42;
+  int priority_classes = 2;
+  int64_t step_chunk = 16;
+  int64_t shared_buckets = 1;
+  int64_t max_sim_us = 4'000'000'000'000;
+  /// Worker threads across cells; <= 0 = hardware concurrency. Never
+  /// affects any result bit.
+  int threads = 0;
+  /// Ground truth for NRMSE (<= 0 = truth-free).
+  double truth = 0.0;
+
+  Status Validate() const;
+};
+
+/// One sweep cell: its coordinates and the engine's full report.
+struct TrafficCell {
+  int64_t tenants = 0;
+  double quota_scale = 1.0;
+  traffic::AdmissionPolicy admission;
+  traffic::TrafficReport report;
+};
+
+struct TrafficSweepResult {
+  /// Cells in deterministic order: tenant_counts-major, then quota_scales,
+  /// then admissions.
+  std::vector<TrafficCell> cells;
+};
+
+/// Runs the full cross product.
+Result<TrafficSweepResult> RunTrafficSweep(const TrafficBackend& backend,
+                                           const graph::TargetLabel& target,
+                                           const TrafficSweepConfig& config);
+
+/// Coordinates of one cell, for callers that run an explicit subset (the
+/// bench's rerun control skips cells whose result fragment already exists).
+struct TrafficCellSpec {
+  int64_t tenants = 0;
+  double quota_scale = 1.0;
+  traffic::AdmissionPolicy admission;
+};
+
+/// Runs exactly `cells` (in the given order; parallel across them).
+Result<TrafficSweepResult> RunTrafficCells(
+    const TrafficBackend& backend, const graph::TargetLabel& target,
+    const TrafficSweepConfig& config,
+    const std::vector<TrafficCellSpec>& cells);
+
+}  // namespace labelrw::eval
+
+#endif  // LABELRW_EVAL_TRAFFIC_SWEEP_H_

@@ -76,8 +76,17 @@ int64_t OsnClient::remaining_budget() const {
 void OsnClient::ConfigureRateLimit(const RateLimitPolicy& policy) {
   rate_policy_ = policy;
   limiter_.reset();
+  shared_limiter_ = nullptr;
   if (config_status_.ok()) config_status_ = policy.Validate();
   if (config_status_.ok() && policy.enabled()) limiter_.emplace(policy);
+}
+
+void OsnClient::AttachSharedLimiter(const RateLimitPolicy& policy,
+                                    RateLimiter* limiter) {
+  rate_policy_ = policy;
+  limiter_.reset();
+  shared_limiter_ = limiter;
+  if (config_status_.ok()) config_status_ = policy.Validate();
 }
 
 void OsnClient::ConfigureRetry(const RetryPolicy& policy) {
@@ -107,8 +116,13 @@ void OsnClient::RefreshShape() {
 }
 
 Status OsnClient::AdmitWireCall() {
-  if (limiter_.has_value()) {
-    int64_t wait = limiter_->TryAcquire(clock_.now_us());
+  if (clock_.saturated()) return SimClockOverflowError();
+  RateLimiter* limiter =
+      shared_limiter_ != nullptr
+          ? shared_limiter_
+          : (limiter_.has_value() ? &*limiter_ : nullptr);
+  if (limiter != nullptr) {
+    int64_t wait = limiter->TryAcquire(clock_.now_us());
     if (wait > 0) {
       if (!rate_policy_.auto_wait) {
         ++stats_.rate_limited_rejections;
@@ -119,14 +133,26 @@ Status OsnClient::AdmitWireCall() {
       ++stats_.rate_limit_stalls;
       stats_.stalled_us += wait;
       clock_.AdvanceUs(wait);
-      wait = limiter_->TryAcquire(clock_.now_us());
-      if (wait > 0) {
+      if (clock_.saturated()) return SimClockOverflowError();
+      wait = limiter->TryAcquire(clock_.now_us());
+      if (wait > 0 && shared_limiter_ == nullptr) {
+        // A private limiter must clear after its advertised wait; a shared
+        // one may have been drained by a contending session in the
+        // meantime — the auto-wait loop in the caller simply sleeps again.
         return InternalError(
             "rate limiter did not clear after its advertised wait");
+      }
+      while (wait > 0) {
+        ++stats_.rate_limit_stalls;
+        stats_.stalled_us += wait;
+        clock_.AdvanceUs(wait);
+        if (clock_.saturated()) return SimClockOverflowError();
+        wait = limiter->TryAcquire(clock_.now_us());
       }
     }
   }
   clock_.AdvanceUs(rate_policy_.per_call_latency_us);
+  if (clock_.saturated()) return SimClockOverflowError();
   return Status::Ok();
 }
 

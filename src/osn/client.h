@@ -196,6 +196,17 @@ class OsnClient final : public OsnApi {
   /// invalid policy poisons the session like an invalid FaultPolicy.
   void ConfigureRateLimit(const RateLimitPolicy& policy);
 
+  /// Points this session at an externally owned RateLimiter shared by many
+  /// sessions (one API key's bucket/quota contended by all tenants of a
+  /// traffic simulation; see traffic/engine.h). `policy` supplies the
+  /// per-session knobs — auto_wait, per_call_latency_us — and must be the
+  /// policy the shared limiter was built from; the limiter's dynamic state
+  /// lives with its owner (it is NOT serialized by SaveState — the owner
+  /// checkpoints it once, not once per attached session). The limiter must
+  /// outlive the client. Replaces any previously configured owned limiter.
+  void AttachSharedLimiter(const RateLimitPolicy& policy,
+                           RateLimiter* limiter);
+
   /// Installs an adaptive retry policy (backoff / jitter / deadline). Call
   /// before the first request; reseeds the jitter stream. An invalid
   /// policy poisons the session like an invalid FaultPolicy.
@@ -307,6 +318,9 @@ class OsnClient final : public OsnApi {
   Rng retry_rng_;  // dedicated jitter stream
   RateLimitPolicy rate_policy_;
   std::optional<RateLimiter> limiter_;
+  /// Externally owned shared bucket (AttachSharedLimiter); wins over
+  /// limiter_ when set. Never serialized with the session.
+  RateLimiter* shared_limiter_ = nullptr;
   SimClock clock_;
   int64_t last_retry_after_us_ = 0;
   /// Failed attempts of the in-flight fetch when a strict-mode rejection

@@ -219,11 +219,40 @@ Result<graph::NodeId> DynamicGraphTransport::SampleSeed(Rng& rng) const {
   return static_cast<graph::NodeId>(rng.UniformInt(num_users()));
 }
 
+Status TrafficPattern::Validate() const {
+  if (!closed_loop && arrivals_per_sec <= 0.0) {
+    return InvalidArgumentError(
+        "TrafficPattern: open-loop arrivals_per_sec must be > 0");
+  }
+  if (closed_loop && think_time_us < 1) {
+    return InvalidArgumentError(
+        "TrafficPattern: closed-loop think_time_us must be >= 1");
+  }
+  if (ramp_period_us < 0 || ramp_amplitude < 0.0 || ramp_amplitude >= 1.0) {
+    return InvalidArgumentError(
+        "TrafficPattern: ramp_period_us must be >= 0 and ramp_amplitude in "
+        "[0, 1)");
+  }
+  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0 ||
+      hotspot_multiplier <= 0.0 || hotspot_len_us < 0 ||
+      hotspot_start_us < 0) {
+    return InvalidArgumentError(
+        "TrafficPattern: hotspot_fraction in [0, 1], multiplier > 0, and "
+        "non-negative window");
+  }
+  if (noisy_multiplier <= 0.0) {
+    return InvalidArgumentError(
+        "TrafficPattern: noisy_multiplier must be > 0");
+  }
+  return Status::Ok();
+}
+
 Status Scenario::Validate() const {
   LABELRW_RETURN_IF_ERROR(faults.Validate());
   LABELRW_RETURN_IF_ERROR(rate_limit.Validate());
   LABELRW_RETURN_IF_ERROR(chaos.Validate());
   LABELRW_RETURN_IF_ERROR(retry.Validate());
+  LABELRW_RETURN_IF_ERROR(traffic.Validate());
   int64_t prev = std::numeric_limits<int64_t>::min();
   for (const GraphMutation& m : mutations) {
     if (m.at_us < prev) {
@@ -299,6 +328,75 @@ Result<Scenario> ScenarioFromName(const std::string& name) {
 std::vector<std::string> ScenarioNames() {
   return {"baseline", "paginated",    "flaky",     "private",
           "rate-limited", "quota", "production"};
+}
+
+namespace {
+
+/// The crawl conditions every traffic preset shares: one strict shared
+/// token bucket (the API key all tenants contend for — strict mode hands
+/// the retry schedule to the engine's event loop) plus a rolling per-hour
+/// quota and wire latency per charged call.
+Scenario TrafficBase(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  s.rate_limit.requests_per_sec = 2000.0;
+  s.rate_limit.bucket_capacity = 200;
+  s.rate_limit.window_quota = 5'000'000;
+  s.rate_limit.window_us = 3'600'000'000;
+  s.rate_limit.per_call_latency_us = 1000;
+  s.rate_limit.auto_wait = false;
+  s.traffic.arrivals_per_sec = 0.5;
+  return s;
+}
+
+}  // namespace
+
+Result<Scenario> TrafficScenarioFromName(const std::string& name) {
+  if (name == "steady") return TrafficBase(name);
+  if (name == "diurnal") {
+    Scenario s = TrafficBase(name);
+    s.traffic.ramp_period_us = 20'000'000;
+    s.traffic.ramp_amplitude = 0.8;
+    return s;
+  }
+  if (name == "hotspot") {
+    Scenario s = TrafficBase(name);
+    s.traffic.hotspot_fraction = 0.05;
+    s.traffic.hotspot_multiplier = 16.0;
+    s.traffic.hotspot_start_us = 5'000'000;
+    s.traffic.hotspot_len_us = 5'000'000;
+    return s;
+  }
+  if (name == "noisy-neighbor") {
+    Scenario s = TrafficBase(name);
+    s.traffic.noisy_multiplier = 64.0;
+    return s;
+  }
+  if (name == "storm") {
+    Scenario s = TrafficBase(name);
+    LABELRW_ASSIGN_OR_RETURN(s.chaos, ChaosFromName("storm"));
+    // Backoff retries ride out the storm's outage windows instead of
+    // aborting sessions on the first kUnavailable.
+    s.retry.max_attempts = 10;
+    s.retry.initial_backoff_us = 50'000;
+    s.retry.backoff_multiplier = 2.0;
+    s.retry.max_backoff_us = 5'000'000;
+    // The storm schedule privatizes profiles mid-crawl; without the walker
+    // detour every walk dies on its first private neighbor.
+    s.walker_detour = true;
+    return s;
+  }
+  std::string known;
+  for (const std::string& preset : TrafficScenarioNames()) {
+    if (!known.empty()) known += ", ";
+    known += preset;
+  }
+  return NotFoundError("unknown traffic preset: " + name +
+                       " (try one of: " + known + ")");
+}
+
+std::vector<std::string> TrafficScenarioNames() {
+  return {"steady", "diurnal", "hotspot", "noisy-neighbor", "storm"};
 }
 
 }  // namespace labelrw::osn

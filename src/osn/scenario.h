@@ -134,6 +134,41 @@ class DynamicGraphTransport final : public Transport {
   Status schedule_status_;
 };
 
+/// Load shape of a multi-tenant traffic simulation (traffic/engine.h): how
+/// each tenant's arrival process paces new estimation sessions over
+/// simulated time. Rates compose multiplicatively — diurnal modulation ×
+/// hot-spot boost × noisy-neighbor boost — and every modulation is
+/// piecewise-linear integer arithmetic (no transcendentals beyond the
+/// exponential inter-arrival draw), so a pattern evaluates identically on
+/// every platform. The pattern is pure data; the engine owns the RNG.
+struct TrafficPattern {
+  /// Mean session arrivals per simulated second per tenant (the base rate of
+  /// the open-loop Poisson process). Must be > 0 in open-loop mode.
+  double arrivals_per_sec = 1.0;
+  /// Closed-loop mode: instead of a Poisson clock, a tenant submits its next
+  /// session an exponential think time (mean think_time_us) after its
+  /// previous session reaches a terminal state (completed, rejected, shed,
+  /// or aborted).
+  bool closed_loop = false;
+  int64_t think_time_us = 1'000'000;
+  /// Diurnal ramp: triangle-wave rate modulation with this period, scaling
+  /// the base rate between (1 - amplitude) and (1 + amplitude). 0 = off.
+  int64_t ramp_period_us = 0;
+  double ramp_amplitude = 0.0;  // in [0, 1)
+  /// Hot-spot burst: the first ceil(hotspot_fraction * tenants) tenants run
+  /// at hotspot_multiplier × the base rate during
+  /// [hotspot_start_us, hotspot_start_us + hotspot_len_us).
+  double hotspot_fraction = 0.0;
+  double hotspot_multiplier = 1.0;
+  int64_t hotspot_start_us = 0;
+  int64_t hotspot_len_us = 0;
+  /// Noisy neighbor: tenant 0 runs at this multiple of the base rate for
+  /// the whole simulation. 1 = off.
+  double noisy_multiplier = 1.0;
+
+  Status Validate() const;
+};
+
 /// A named bundle of crawl conditions. Every knob defaults to the paper's
 /// idealized crawl, so Scenario() == the bit-exact baseline.
 struct Scenario {
@@ -159,6 +194,10 @@ struct Scenario {
   /// without it, walks abort on the first private profile they step
   /// toward.
   bool walker_detour = false;
+  /// Multi-tenant load shape (traffic/engine.h). Ignored by the
+  /// single-session sweep harness; the traffic engine reads it as the
+  /// arrival process of every tenant.
+  TrafficPattern traffic;
 
   bool needs_dynamic_transport() const { return !mutations.empty(); }
   bool has_chaos() const { return !chaos.empty(); }
@@ -179,6 +218,22 @@ Result<Scenario> ScenarioFromName(const std::string& name);
 
 /// Names ScenarioFromName accepts, in display order.
 std::vector<std::string> ScenarioNames();
+
+/// Traffic presets for the multi-tenant engine (traffic/engine.h): each one
+/// is a full Scenario — shared-bucket rate limit, per-call latency, retry,
+/// chaos where noted — plus the TrafficPattern load shape:
+///   steady          Poisson arrivals at a flat base rate
+///   diurnal         steady + triangle-wave ramp (0.2x .. 1.8x over 20 s)
+///   hotspot         steady + the first 5% of tenants burst 16x for 5 s
+///   noisy-neighbor  steady + tenant 0 runs 64x hot the whole time
+///   storm           steady + the "storm" chaos schedule (osn/chaos.h) and
+///                   backoff retries riding out its outages
+/// The bucket scales with nothing: quota is an API-key property, so the same
+/// preset at 10x the tenants is 10x as contended (the sweep's point).
+Result<Scenario> TrafficScenarioFromName(const std::string& name);
+
+/// Names TrafficScenarioFromName accepts, in display order.
+std::vector<std::string> TrafficScenarioNames();
 
 }  // namespace labelrw::osn
 

@@ -33,10 +33,15 @@ int64_t RateLimiter::TryAcquire(int64_t now_us) {
     const double capacity = static_cast<double>(
         policy_.bucket_capacity < 1 ? 1 : policy_.bucket_capacity);
     const double rate_per_us = policy_.requests_per_sec / 1e6;
+    // A shared bucket sees each session's own clock, so timestamps may
+    // regress between calls; a refill never runs backwards (elapsed clamps
+    // to 0 and last_refill_us_ never retreats). Exact no-op for the
+    // monotone stream of a single session.
+    const int64_t elapsed =
+        now_us > last_refill_us_ ? now_us - last_refill_us_ : 0;
     tokens_ = std::min(
-        capacity,
-        tokens_ + static_cast<double>(now_us - last_refill_us_) * rate_per_us);
-    last_refill_us_ = now_us;
+        capacity, tokens_ + static_cast<double>(elapsed) * rate_per_us);
+    if (now_us > last_refill_us_) last_refill_us_ = now_us;
     if (tokens_ < 1.0) {
       const auto wait =
           static_cast<int64_t>(std::ceil((1.0 - tokens_) / rate_per_us));
@@ -57,7 +62,13 @@ int64_t RateLimiter::TryAcquire(int64_t now_us) {
 
   if (retry_after > 0) return retry_after;
   if (policy_.requests_per_sec > 0.0) tokens_ -= 1.0;
-  if (policy_.window_quota > 0) window_.push_back(now_us);
+  if (policy_.window_quota > 0) {
+    // Sorted insert so the age-out scan above stays correct under the
+    // cross-session timestamp jitter of a shared bucket; push_back for the
+    // monotone single-session stream (upper_bound lands at end()).
+    window_.insert(std::upper_bound(window_.begin(), window_.end(), now_us),
+                   now_us);
+  }
   return 0;
 }
 

@@ -25,30 +25,58 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "util/status.h"
 
 namespace labelrw::osn {
 
-/// Simulated microsecond clock. Starts at 0; only ever moves forward.
+/// Simulated microsecond clock. Starts at 0; only ever moves forward —
+/// monotonicity is structural (negative/past advances are no-ops) and
+/// overflow saturates instead of wrapping: large backoff+outage sums can
+/// otherwise push an int64 microsecond timeline negative silently. A
+/// saturated clock is a poisoned timeline; OsnClient surfaces it as a named
+/// error (SimClockOverflowError) on the next wire admission.
 class SimClock {
  public:
   int64_t now_us() const { return now_us_; }
 
-  /// Advances by `us` (negative deltas are ignored).
+  /// Advances by `us` (negative deltas are ignored; overflow saturates).
   void AdvanceUs(int64_t us) {
-    if (us > 0) now_us_ += us;
+    if (us <= 0) return;
+    if (us > std::numeric_limits<int64_t>::max() - now_us_) {
+      now_us_ = std::numeric_limits<int64_t>::max();
+      saturated_ = true;
+      return;
+    }
+    now_us_ += us;
   }
 
-  /// Advances to absolute time `t_us`; a no-op if `t_us` is in the past.
+  /// Advances to absolute time `t_us`; a no-op if `t_us` is in the past
+  /// (monotone advance by construction).
   void AdvanceToUs(int64_t t_us) {
     if (t_us > now_us_) now_us_ = t_us;
   }
 
+  /// True once an advance overflowed int64 microseconds. The clock pins at
+  /// the maximum; no further arithmetic on this timeline is meaningful.
+  bool saturated() const { return saturated_; }
+
  private:
   int64_t now_us_ = 0;
+  bool saturated_ = false;
 };
+
+/// The named error a saturated SimClock surfaces (satellite of the traffic
+/// engine: ~292k simulated years fit in int64 microseconds, so a saturation
+/// always means a runaway backoff/outage loop, not a legitimate crawl).
+inline Status SimClockOverflowError() {
+  return OutOfRangeError(
+      "SimClock overflow: the simulated timeline saturated int64 "
+      "microseconds (runaway backoff/outage accumulation); the session's "
+      "clock arithmetic is no longer meaningful");
+}
 
 /// Server-side pacing of a crawl session. Disabled by default (both limiter
 /// dimensions off, zero latency) so existing runs are untouched.
@@ -79,6 +107,15 @@ struct RateLimitPolicy {
 /// Deterministic token bucket + rolling window over a SimClock timeline.
 /// Rejected probes consume neither tokens nor quota, so probing the limiter
 /// is free and a retry at (now + retry-after) succeeds.
+///
+/// Sharing: one RateLimiter may be referenced by many OsnClients
+/// (OsnClient::AttachSharedLimiter) to model tenants contending for one
+/// API key's bucket/quota. Each session keeps its own clock, so the
+/// timestamp stream a shared bucket sees is only approximately ordered;
+/// TryAcquire therefore clamps against regression (never refills backwards,
+/// keeps the window deque sorted). Both guards are exact no-ops for the
+/// monotone stream a single session produces — the legacy per-client path
+/// stays bit-for-bit (test-enforced in shared_limiter_test.cc).
 class RateLimiter {
  public:
   explicit RateLimiter(const RateLimitPolicy& policy) : policy_(policy) {

@@ -1,0 +1,139 @@
+#include "traffic/admission.h"
+
+#include <algorithm>
+
+namespace labelrw::traffic {
+
+const char* OverflowPolicyName(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kReject:
+      return "reject";
+    case OverflowPolicy::kShedOldest:
+      return "shed";
+  }
+  return "unknown";
+}
+
+Result<OverflowPolicy> OverflowPolicyFromName(const std::string& name) {
+  if (name == "reject") return OverflowPolicy::kReject;
+  if (name == "shed" || name == "shed-oldest") {
+    return OverflowPolicy::kShedOldest;
+  }
+  return InvalidArgumentError("unknown overflow policy '" + name +
+                              "' (available: reject, shed)");
+}
+
+Status AdmissionPolicy::Validate() const {
+  if (max_in_flight < 1) {
+    return InvalidArgumentError(
+        "AdmissionPolicy::max_in_flight must be >= 1");
+  }
+  if (max_queue_depth < 0) {
+    return InvalidArgumentError(
+        "AdmissionPolicy::max_queue_depth must be >= 0");
+  }
+  return Status::Ok();
+}
+
+AdmissionController::AdmissionController(const AdmissionPolicy& policy,
+                                         int priority_classes)
+    : policy_(policy),
+      queues_(static_cast<size_t>(std::max(priority_classes, 1))) {}
+
+EnqueueOutcome AdmissionController::Enqueue(const QueuedRequest& request,
+                                            int priority) {
+  EnqueueOutcome out;
+  const int cls = std::clamp(priority, 0, static_cast<int>(queues_.size()) - 1);
+  if (depth_ >= policy_.max_queue_depth) {
+    if (policy_.overflow == OverflowPolicy::kReject) {
+      ++rejected_;
+      out.kind = EnqueueOutcome::Kind::kRejected;
+      return out;
+    }
+    // Shed the oldest request of the least important backlogged class. With
+    // max_queue_depth == 0 there is nothing to shed and the newcomer is
+    // simply rejected.
+    for (size_t q = queues_.size(); q-- > 0;) {
+      if (queues_[q].empty()) continue;
+      out.victim = queues_[q].front();
+      queues_[q].pop_front();
+      --depth_;
+      ++shed_;
+      out.kind = EnqueueOutcome::Kind::kShed;
+      break;
+    }
+    if (out.kind != EnqueueOutcome::Kind::kShed) {
+      ++rejected_;
+      out.kind = EnqueueOutcome::Kind::kRejected;
+      return out;
+    }
+  }
+  queues_[static_cast<size_t>(cls)].push_back(request);
+  ++depth_;
+  peak_ = std::max(peak_, depth_);
+  return out;
+}
+
+std::optional<QueuedRequest> AdmissionController::PopNext() {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    QueuedRequest request = queue.front();
+    queue.pop_front();
+    --depth_;
+    return request;
+  }
+  return std::nullopt;
+}
+
+void AdmissionController::SaveState(util::ByteWriter& w) const {
+  w.U64(queues_.size());
+  for (const auto& queue : queues_) {
+    w.U64(queue.size());
+    for (const QueuedRequest& request : queue) {
+      w.I64(request.tenant);
+      w.I64(request.session_seq);
+      w.I64(request.arrival_us);
+    }
+  }
+  w.I64(in_flight_);
+  w.I64(peak_);
+  w.I64(rejected_);
+  w.I64(shed_);
+}
+
+Status AdmissionController::RestoreState(util::ByteReader& r) {
+  uint64_t classes = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&classes));
+  if (classes != queues_.size()) {
+    return FailedPreconditionError(
+        "admission checkpoint was written with " + std::to_string(classes) +
+        " priority classes but this controller has " +
+        std::to_string(queues_.size()));
+  }
+  depth_ = 0;
+  for (auto& queue : queues_) {
+    queue.clear();
+    uint64_t n = 0;
+    LABELRW_RETURN_IF_ERROR(r.U64(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      QueuedRequest request;
+      LABELRW_RETURN_IF_ERROR(r.I64(&request.tenant));
+      LABELRW_RETURN_IF_ERROR(r.I64(&request.session_seq));
+      LABELRW_RETURN_IF_ERROR(r.I64(&request.arrival_us));
+      queue.push_back(request);
+      ++depth_;
+    }
+  }
+  LABELRW_RETURN_IF_ERROR(r.I64(&in_flight_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&peak_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&rejected_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&shed_));
+  if (depth_ > policy_.max_queue_depth || in_flight_ < 0 ||
+      in_flight_ > policy_.max_in_flight) {
+    return DataLossError(
+        "admission checkpoint exceeds the controller's configured bounds");
+  }
+  return Status::Ok();
+}
+
+}  // namespace labelrw::traffic

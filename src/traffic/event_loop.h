@@ -1,0 +1,83 @@
+// EventLoop: the deterministic discrete-event core of the traffic engine.
+//
+// A binary min-heap of (sim_time, tenant, tie_break) events. The comparator
+// is a *total* order — time, then tenant id, then a monotonically assigned
+// sequence number — so the pop order is a pure function of the pushed set,
+// never of heap internals or insertion timing. That totality is what makes
+// the whole simulation replayable: the engine's event trace is identical
+// across runs, thread counts (each simulation is single-threaded; sweeps
+// parallelize across cells), and kill-resume boundaries (the heap vector
+// serializes verbatim and re-heapifies to the same order).
+
+#ifndef LABELRW_TRAFFIC_EVENT_LOOP_H_
+#define LABELRW_TRAFFIC_EVENT_LOOP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace labelrw::traffic {
+
+enum class EventKind : uint8_t {
+  /// A tenant's arrival process fires: submit one session request.
+  kArrival = 0,
+  /// An in-flight session slot gets its next stepping quantum.
+  kStep = 1,
+};
+
+struct Event {
+  int64_t at_us = 0;
+  EventKind kind = EventKind::kArrival;
+  /// The tenant this event belongs to (second comparator key, so same-time
+  /// events interleave in stable tenant order).
+  int64_t tenant = 0;
+  /// kStep: the session-slot index. kArrival: unused (0).
+  int64_t arg = 0;
+  /// Monotone push ordinal; the final tie-break.
+  uint64_t seq = 0;
+};
+
+/// "Later" ordering for a std::*_heap min-heap.
+inline bool EventAfter(const Event& a, const Event& b) {
+  if (a.at_us != b.at_us) return a.at_us > b.at_us;
+  if (a.tenant != b.tenant) return a.tenant > b.tenant;
+  return a.seq > b.seq;
+}
+
+class EventLoop {
+ public:
+  void Push(int64_t at_us, EventKind kind, int64_t tenant, int64_t arg) {
+    heap_.push_back(Event{at_us, kind, tenant, arg, next_seq_++});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter);
+  }
+
+  Event Pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter);
+    const Event e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Raw heap vector, for checkpoint serialization. The vector is a valid
+  /// heap; restoring it verbatim reproduces the identical pop order (the
+  /// comparator is total, so the heap shape is irrelevant to the order).
+  const std::vector<Event>& heap() const { return heap_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+  void Restore(std::vector<Event> events, uint64_t next_seq) {
+    heap_ = std::move(events);
+    std::make_heap(heap_.begin(), heap_.end(), EventAfter);
+    next_seq_ = next_seq;
+  }
+
+ private:
+  std::vector<Event> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace labelrw::traffic
+
+#endif  // LABELRW_TRAFFIC_EVENT_LOOP_H_

@@ -1,0 +1,95 @@
+#include "traffic/tenant.h"
+
+#include <cmath>
+
+namespace labelrw::traffic {
+
+double ArrivalRatePerSec(const osn::TrafficPattern& pattern, int64_t tenant,
+                         int64_t tenants_total, int64_t at_us) {
+  double rate = pattern.arrivals_per_sec;
+  if (pattern.ramp_period_us > 0 && pattern.ramp_amplitude > 0.0) {
+    // Triangle wave through [-1, +1]: starts at -1 (trough), peaks at the
+    // half period. Piecewise linear so the modulation is exact arithmetic.
+    const int64_t phase = at_us % pattern.ramp_period_us;
+    const double x = static_cast<double>(phase) /
+                     static_cast<double>(pattern.ramp_period_us);
+    const double tri = x < 0.5 ? 4.0 * x - 1.0 : 3.0 - 4.0 * x;
+    rate *= 1.0 + pattern.ramp_amplitude * tri;
+  }
+  if (pattern.hotspot_len_us > 0 && pattern.hotspot_multiplier != 1.0 &&
+      pattern.hotspot_fraction > 0.0) {
+    const auto hot = static_cast<int64_t>(
+        std::ceil(pattern.hotspot_fraction * static_cast<double>(tenants_total)));
+    if (tenant < hot && at_us >= pattern.hotspot_start_us &&
+        at_us < pattern.hotspot_start_us + pattern.hotspot_len_us) {
+      rate *= pattern.hotspot_multiplier;
+    }
+  }
+  if (tenant == 0) rate *= pattern.noisy_multiplier;
+  return rate;
+}
+
+int64_t ExponentialDelayUs(Rng& rng, double rate_per_sec) {
+  // Draw unconditionally so a momentarily-zero rate (diurnal trough with
+  // amplitude -> 1) still consumes exactly one uniform: the tenant's stream
+  // position stays a pure function of its draw count.
+  const double u = rng.UniformDouble();
+  if (rate_per_sec <= 0.0) return 3'600'000'000;  // probe again in an hour
+  const double us = -std::log(1.0 - u) * 1e6 / rate_per_sec;
+  if (us < 1.0) return 1;
+  if (us > 3.6e9) return 3'600'000'000;  // cap one draw at an hour
+  return static_cast<int64_t>(us);
+}
+
+int64_t ThinkDelayUs(Rng& rng, const osn::TrafficPattern& pattern) {
+  const double u = rng.UniformDouble();
+  const double us =
+      -std::log(1.0 - u) * static_cast<double>(pattern.think_time_us);
+  if (us < 1.0) return 1;
+  if (us > 3.6e9) return 3'600'000'000;
+  return static_cast<int64_t>(us);
+}
+
+void TenantState::SaveState(util::ByteWriter& w) const {
+  const Rng::State rng = arrival_rng.SaveState();
+  for (int i = 0; i < 4; ++i) w.U64(rng.s[i]);
+  w.I64(submitted);
+  w.I64(admitted);
+  w.I64(completed);
+  w.I64(rejected);
+  w.I64(shed);
+  w.I64(aborted);
+  w.I64(rate_limited);
+  w.I64(api_calls);
+  w.I64(last_completion_us);
+  w.F64(last_estimate);
+  w.F64(sum_estimate);
+  w.F64(sum_sq_error);
+  latency.SaveState(w);
+  time_to_estimate.SaveState(w);
+  freshness.SaveState(w);
+}
+
+Status TenantState::RestoreState(util::ByteReader& r) {
+  Rng::State rng{};
+  for (int i = 0; i < 4; ++i) LABELRW_RETURN_IF_ERROR(r.U64(&rng.s[i]));
+  arrival_rng.RestoreState(rng);
+  LABELRW_RETURN_IF_ERROR(r.I64(&submitted));
+  LABELRW_RETURN_IF_ERROR(r.I64(&admitted));
+  LABELRW_RETURN_IF_ERROR(r.I64(&completed));
+  LABELRW_RETURN_IF_ERROR(r.I64(&rejected));
+  LABELRW_RETURN_IF_ERROR(r.I64(&shed));
+  LABELRW_RETURN_IF_ERROR(r.I64(&aborted));
+  LABELRW_RETURN_IF_ERROR(r.I64(&rate_limited));
+  LABELRW_RETURN_IF_ERROR(r.I64(&api_calls));
+  LABELRW_RETURN_IF_ERROR(r.I64(&last_completion_us));
+  LABELRW_RETURN_IF_ERROR(r.F64(&last_estimate));
+  LABELRW_RETURN_IF_ERROR(r.F64(&sum_estimate));
+  LABELRW_RETURN_IF_ERROR(r.F64(&sum_sq_error));
+  LABELRW_RETURN_IF_ERROR(latency.RestoreState(r));
+  LABELRW_RETURN_IF_ERROR(time_to_estimate.RestoreState(r));
+  LABELRW_RETURN_IF_ERROR(freshness.RestoreState(r));
+  return Status::Ok();
+}
+
+}  // namespace labelrw::traffic

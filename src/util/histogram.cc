@@ -1,0 +1,123 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace labelrw::util {
+
+int LogHistogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  if (value < kSubBuckets) return static_cast<int>(value);  // exact 1..7
+  const int e = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int sub = static_cast<int>((value >> (e - 3)) & 7);
+  return (e - 2) * kSubBuckets + sub;
+}
+
+int64_t LogHistogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int e = index / kSubBuckets + 2;
+  const int sub = index % kSubBuckets;
+  return static_cast<int64_t>(kSubBuckets + sub) << (e - 3);
+}
+
+void LogHistogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  const int idx = BucketIndex(value);
+  if (static_cast<size_t>(idx) >= buckets_.size()) {
+    buckets_.resize(static_cast<size_t>(idx) + 1, 0);
+  }
+  ++buckets_[static_cast<size_t>(idx)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double LogHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The rank-q observation in the sorted sample, 1-based.
+  double target = q * static_cast<double>(count_);
+  if (target < 1.0) target = 1.0;
+  int64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint32_t n = buckets_[i];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= target) {
+      const int64_t lower = BucketLowerBound(static_cast<int>(i));
+      const int64_t upper = BucketLowerBound(static_cast<int>(i) + 1);
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(n);
+      double value = static_cast<double>(lower) +
+                     frac * static_cast<double>(upper - lower);
+      // The true extremes are tracked exactly; never report beyond them.
+      value = std::min(value, static_cast<double>(max_));
+      value = std::max(value, static_cast<double>(min_));
+      return value;
+    }
+    cum += n;
+  }
+  return static_cast<double>(max_);
+}
+
+void LogHistogram::SaveState(ByteWriter& w) const {
+  w.I64(count_);
+  w.I64(sum_);
+  w.I64(min_);
+  w.I64(max_);
+  uint64_t nonzero = 0;
+  for (const uint32_t n : buckets_) {
+    if (n != 0) ++nonzero;
+  }
+  w.U64(nonzero);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    w.U32(static_cast<uint32_t>(i));
+    w.U32(buckets_[i]);
+  }
+}
+
+Status LogHistogram::RestoreState(ByteReader& r) {
+  buckets_.clear();
+  LABELRW_RETURN_IF_ERROR(r.I64(&count_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&sum_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&min_));
+  LABELRW_RETURN_IF_ERROR(r.I64(&max_));
+  uint64_t nonzero = 0;
+  LABELRW_RETURN_IF_ERROR(r.U64(&nonzero));
+  int64_t total = 0;
+  for (uint64_t k = 0; k < nonzero; ++k) {
+    uint32_t index = 0;
+    uint32_t n = 0;
+    LABELRW_RETURN_IF_ERROR(r.U32(&index));
+    LABELRW_RETURN_IF_ERROR(r.U32(&n));
+    if (index > 512 || n == 0) {
+      return DataLossError("LogHistogram: bad bucket entry in checkpoint");
+    }
+    if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+    buckets_[index] = n;
+    total += n;
+  }
+  if (total != count_) {
+    return DataLossError(
+        "LogHistogram: bucket counts disagree with the stored total");
+  }
+  return Status::Ok();
+}
+
+}  // namespace labelrw::util

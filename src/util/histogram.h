@@ -1,0 +1,78 @@
+// LogHistogram: a log-bucketed latency histogram for per-tenant SLO
+// telemetry (traffic/engine.h).
+//
+// Values (simulated microseconds, but any non-negative int64) land in
+// geometric buckets: one bucket for 0, then kSubBuckets linear sub-buckets
+// per power-of-two octave, giving a fixed relative resolution of
+// ~100/kSubBuckets percent across the whole range — the classic HDR-style
+// layout, sized so a tenant's three histograms cost ~3 KB, which is what
+// lets 10,000 tenants carry full latency/freshness/time-to-estimate
+// distributions (not just means) in ~30 MB.
+//
+// Everything is integer-derived and allocation order independent:
+// percentile queries interpolate inside the winning bucket on exact bucket
+// boundaries, so Add-order, Merge-order, and thread count can never perturb
+// a reported percentile — the bit-identity the traffic determinism suite
+// hashes (tests/traffic_determinism_test.cc).
+
+#ifndef LABELRW_UTIL_HISTOGRAM_H_
+#define LABELRW_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace labelrw::util {
+
+class LogHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave: ~12.5% relative bucket
+  /// width. 8 * 63 octaves + the zero bucket = 505 buckets max; the count
+  /// vector grows lazily to the highest bucket actually touched.
+  static constexpr int kSubBuckets = 8;
+
+  /// Records one value. Negative values clamp to 0 (bucket 0 also holds
+  /// exact zeros — a cache-served call with no wire latency).
+  void Add(int64_t value);
+
+  /// Adds `other`'s counts into this histogram (same bucketing by
+  /// construction). Commutative and associative, like RunningStats::Merge.
+  void Merge(const LogHistogram& other);
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ > 0 ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// The q-th percentile (q in [0, 1]), linearly interpolated inside the
+  /// winning bucket. 0 on an empty histogram. Deterministic: depends only
+  /// on the bucket counts, never on insertion order.
+  double Percentile(double q) const;
+
+  /// Serialization for engine checkpoints (traffic/engine.h): bucket counts
+  /// as a sparse (index, count) list plus the exact scalar tallies.
+  void SaveState(ByteWriter& w) const;
+  Status RestoreState(ByteReader& r);
+
+  /// Bucket index of `value` — exposed for tests.
+  static int BucketIndex(int64_t value);
+  /// Inclusive lower bound of bucket `index`.
+  static int64_t BucketLowerBound(int index);
+
+ private:
+  std::vector<uint32_t> buckets_;  // grows lazily; index per BucketIndex
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace labelrw::util
+
+#endif  // LABELRW_UTIL_HISTOGRAM_H_

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kRateLimited:
       return "RATE_LIMITED";
+    case StatusCode::kAdmissionRejected:
+      return "ADMISSION_REJECTED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
     case StatusCode::kDataLoss:
@@ -73,6 +75,9 @@ Status UnavailableError(std::string message) {
 }
 Status RateLimitedError(std::string message) {
   return Status(StatusCode::kRateLimited, std::move(message));
+}
+Status AdmissionRejectedError(std::string message) {
+  return Status(StatusCode::kAdmissionRejected, std::move(message));
 }
 Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));

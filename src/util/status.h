@@ -51,6 +51,12 @@ enum class StatusCode {
   /// advertised retry-after interval passes — see
   /// osn::OsnClient::last_retry_after_us().
   kRateLimited = 20,
+  /// labelrw extension: the traffic engine's admission controller refused
+  /// to start (or shed) a crawl session — the in-flight cap and the queue
+  /// depth bound were both exhausted. Unlike kRateLimited (retry the same
+  /// request after a wait), an admission-rejected session never ran at all;
+  /// the tenant must submit a new request. See traffic/admission.h.
+  kAdmissionRejected = 21,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -95,6 +101,7 @@ Status InternalError(std::string message);
 Status PermissionDeniedError(std::string message);
 Status UnavailableError(std::string message);
 Status RateLimitedError(std::string message);
+Status AdmissionRejectedError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status DataLossError(std::string message);
 

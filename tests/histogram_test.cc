@@ -1,0 +1,156 @@
+// util::LogHistogram: bucket geometry, percentile interpolation,
+// merge/order independence, and checkpoint round-trips — the properties the
+// per-tenant SLO telemetry of the traffic engine leans on
+// (traffic/engine.h).
+
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace labelrw::util {
+namespace {
+
+TEST(LogHistogramTest, SmallValuesGetExactBuckets) {
+  // Below 2^3 every value has its own bucket, so small latencies are exact.
+  for (int64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(LogHistogram::BucketLowerBound(LogHistogram::BucketIndex(v)), v)
+        << "value " << v;
+  }
+}
+
+TEST(LogHistogramTest, BucketLowerBoundIsTightEverywhere) {
+  // Every value lands in a bucket whose [lower, next-lower) range holds it.
+  std::vector<int64_t> probes = {0, 1, 7, 8, 9, 100, 1023, 1024, 1025};
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    // Shift by at least 2 so probes stay in [0, 2^62): the histogram clamps
+    // negatives on Add, and the bucket above 2^62 has no finite upper bound.
+    probes.push_back(static_cast<int64_t>(rng.NextU64() >> (2 + i % 40)));
+  }
+  for (const int64_t v : probes) {
+    const int idx = LogHistogram::BucketIndex(v);
+    EXPECT_LE(LogHistogram::BucketLowerBound(idx), v) << "value " << v;
+    EXPECT_GT(LogHistogram::BucketLowerBound(idx + 1), v) << "value " << v;
+  }
+}
+
+TEST(LogHistogramTest, RelativeResolutionIsBounded) {
+  // Bucket width / lower bound <= 1/kSubBuckets for every octave bucket.
+  for (int64_t v = 8; v < (int64_t{1} << 40); v *= 3) {
+    const int idx = LogHistogram::BucketIndex(v);
+    const int64_t lo = LogHistogram::BucketLowerBound(idx);
+    const int64_t hi = LogHistogram::BucketLowerBound(idx + 1);
+    EXPECT_LE(static_cast<double>(hi - lo),
+              static_cast<double>(lo) / LogHistogram::kSubBuckets + 1.0)
+        << "value " << v;
+  }
+}
+
+TEST(LogHistogramTest, CountSumMinMaxAreExact) {
+  LogHistogram h;
+  h.Add(10);
+  h.Add(1000);
+  h.Add(0);
+  h.Add(-5);  // clamps to 0
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 1010);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 1010.0 / 4.0);
+}
+
+TEST(LogHistogramTest, PercentilesOfEmptyAndSingleton) {
+  LogHistogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  h.Add(42);
+  // A singleton's every percentile is the value itself (clamped to
+  // [min, max], not the bucket edge).
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 42.0);
+}
+
+TEST(LogHistogramTest, PercentilesTrackExactRanksWithinBucketWidth) {
+  LogHistogram h;
+  std::vector<int64_t> values;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(1'000'000));
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.01, 0.25, 0.50, 0.90, 0.99}) {
+    const double exact = static_cast<double>(
+        values[static_cast<size_t>(q * static_cast<double>(values.size() - 1))]);
+    const double got = h.Percentile(q);
+    // One bucket of relative error (~12.5%) plus interpolation slack.
+    EXPECT_NEAR(got, exact, exact * 0.15 + 8.0) << "q " << q;
+  }
+}
+
+TEST(LogHistogramTest, AddOrderNeverMattersAndMergeMatchesPooled) {
+  Rng rng(23);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextU64() % 100'000'000));
+  }
+  LogHistogram forward, backward, merged_a, merged_b;
+  for (const int64_t v : values) forward.Add(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    backward.Add(*it);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i % 2 == 0 ? merged_a : merged_b).Add(values[i]);
+  }
+  merged_a.Merge(merged_b);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(forward.Percentile(q), backward.Percentile(q)) << q;
+    EXPECT_EQ(forward.Percentile(q), merged_a.Percentile(q)) << q;
+  }
+  EXPECT_EQ(forward.count(), merged_a.count());
+  EXPECT_EQ(forward.sum(), merged_a.sum());
+  EXPECT_EQ(forward.min(), merged_a.min());
+  EXPECT_EQ(forward.max(), merged_a.max());
+}
+
+TEST(LogHistogramTest, SaveRestoreRoundTripsExactly) {
+  LogHistogram h;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    h.Add(static_cast<int64_t>(rng.NextU64() % 10'000'000));
+  }
+  ByteWriter w;
+  h.SaveState(w);
+  ByteReader r(w.buffer());
+  LogHistogram restored;
+  ASSERT_OK(restored.RestoreState(r));
+  EXPECT_EQ(restored.count(), h.count());
+  EXPECT_EQ(restored.sum(), h.sum());
+  EXPECT_EQ(restored.min(), h.min());
+  EXPECT_EQ(restored.max(), h.max());
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_EQ(restored.Percentile(q), h.Percentile(q)) << q;
+  }
+}
+
+TEST(LogHistogramTest, RestoreRejectsTruncatedPayload) {
+  LogHistogram h;
+  h.Add(123456);
+  ByteWriter w;
+  h.SaveState(w);
+  std::string truncated(w.buffer().substr(0, w.buffer().size() / 2));
+  ByteReader r(truncated);
+  LogHistogram restored;
+  EXPECT_FALSE(restored.RestoreState(r).ok());
+}
+
+}  // namespace
+}  // namespace labelrw::util

@@ -1,0 +1,268 @@
+// Shared-bucket rate limiting (osn::RateLimiter + OsnClient::
+// AttachSharedLimiter): the refactor that generalized the per-client
+// limiter into a shareable one must keep single-session accounting
+// bit-for-bit. Three guards:
+//
+//   1. A golden TryAcquire trace — exact admission/retry-after values for a
+//      known policy over a known timestamp stream, frozen here so any
+//      arithmetic change in the limiter is a loud diff, not a silent drift.
+//   2. Owned-vs-attached bit-identity — the same crawl through
+//      ConfigureRateLimit (owned limiter) and through AttachSharedLimiter
+//      (externally owned limiter built from the same policy) must agree on
+//      every charge, stall, clock microsecond, and result bit.
+//   3. Out-of-order safety — the regression clamps that make a bucket
+//      shareable across per-session clocks (refills never run backwards,
+//      the quota window stays sorted) hold under adversarial timestamp
+//      streams, and are no-ops for monotone streams.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "osn/client.h"
+#include "osn/local_api.h"
+#include "osn/sim_clock.h"
+#include "tests/test_util.h"
+
+namespace labelrw::osn {
+namespace {
+
+using ::labelrw::testing::MakeGraph;
+using ::labelrw::testing::RandomConnectedGraph;
+using ::labelrw::testing::RandomLabels;
+
+TEST(SharedLimiterTest, GoldenTokenBucketTrace) {
+  // 2 tokens capacity, 1 token per second. The exact trace below is frozen:
+  // a change to refill or retry-after arithmetic must update this test
+  // consciously.
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 1.0;
+  policy.bucket_capacity = 2;
+  RateLimiter limiter(policy);
+
+  EXPECT_EQ(limiter.TryAcquire(0), 0);          // burst token 1
+  EXPECT_EQ(limiter.TryAcquire(0), 0);          // burst token 2
+  EXPECT_EQ(limiter.TryAcquire(0), 1'000'000);  // empty: 1s to next token
+  EXPECT_EQ(limiter.TryAcquire(500'000), 500'000);   // halfway there
+  EXPECT_EQ(limiter.TryAcquire(1'000'000), 0);       // refilled
+  EXPECT_EQ(limiter.TryAcquire(1'000'000), 1'000'000);
+  // 3 seconds idle refills to capacity (2), not beyond.
+  EXPECT_EQ(limiter.TryAcquire(4'000'000), 0);
+  EXPECT_EQ(limiter.TryAcquire(4'000'000), 0);
+  EXPECT_EQ(limiter.TryAcquire(4'000'000), 1'000'000);
+}
+
+TEST(SharedLimiterTest, GoldenWindowQuotaTrace) {
+  RateLimitPolicy policy;
+  policy.window_quota = 2;
+  policy.window_us = 10'000'000;  // 10 s window
+  RateLimiter limiter(policy);
+
+  EXPECT_EQ(limiter.TryAcquire(0), 0);
+  EXPECT_EQ(limiter.TryAcquire(1'000'000), 0);
+  // Window full; the earliest admission leaves the window at t=10s
+  // (first admission at 0 ages out), so retry-after is 9s + 1us slack.
+  const int64_t retry = limiter.TryAcquire(2'000'000);
+  EXPECT_GE(retry, 8'000'000);
+  EXPECT_LE(retry, 8'000'001);
+  EXPECT_EQ(limiter.TryAcquire(2'000'000 + retry), 0);
+  // Rejected probes consumed nothing: still exactly quota admissions in
+  // any 10 s span.
+  EXPECT_GT(limiter.TryAcquire(2'000'000 + retry), 0);
+}
+
+TEST(SharedLimiterTest, RejectedProbesAreFree) {
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 1.0;
+  policy.bucket_capacity = 1;
+  RateLimiter limiter(policy);
+  EXPECT_EQ(limiter.TryAcquire(0), 0);
+  // Hammering the empty bucket at the same instant always quotes the same
+  // retry-after — probes don't consume tokens or shift the refill clock.
+  const int64_t first = limiter.TryAcquire(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(limiter.TryAcquire(1), first);
+  }
+  EXPECT_EQ(limiter.TryAcquire(1 + first), 0);
+}
+
+TEST(SharedLimiterTest, OutOfOrderTimestampsNeverRefillBackwards) {
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 1.0;
+  policy.bucket_capacity = 1;
+  RateLimiter limiter(policy);
+  EXPECT_EQ(limiter.TryAcquire(10'000'000), 0);  // bucket empty at t=10s
+  // A session whose clock lags (t=0) probes the shared bucket: the refill
+  // must not run backwards (elapsed clamps to 0), so the lagging probes are
+  // rejected without minting tokens or moving the refill origin.
+  EXPECT_GT(limiter.TryAcquire(0), 0);
+  EXPECT_GT(limiter.TryAcquire(1'000'000), 0);
+  EXPECT_GT(limiter.TryAcquire(9'999'999), 0);
+  // One real second after the drain, exactly one token exists again.
+  EXPECT_EQ(limiter.TryAcquire(11'000'000), 0);
+  EXPECT_GT(limiter.TryAcquire(11'000'000), 0);
+}
+
+TEST(SharedLimiterTest, OutOfOrderWindowInsertKeepsQuotaExact) {
+  RateLimitPolicy policy;
+  policy.window_quota = 3;
+  policy.window_us = 10'000'000;
+  RateLimiter limiter(policy);
+  // Admissions arrive out of order (two sessions, skewed clocks).
+  EXPECT_EQ(limiter.TryAcquire(5'000'000), 0);
+  EXPECT_EQ(limiter.TryAcquire(1'000'000), 0);  // earlier than the last
+  EXPECT_EQ(limiter.TryAcquire(3'000'000), 0);  // in between
+  // Window holds {1s, 3s, 5s}; a 4th admission at 6s must wait for the
+  // oldest (1s) to age out at 11s.
+  const int64_t retry = limiter.TryAcquire(6'000'000);
+  EXPECT_GE(retry, 5'000'000);
+  EXPECT_LE(retry, 5'000'001);
+  EXPECT_EQ(limiter.TryAcquire(6'000'000 + retry), 0);
+}
+
+TEST(SharedLimiterTest, SaveRestoreRoundTripsSharedState) {
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 2.0;
+  policy.bucket_capacity = 3;
+  policy.window_quota = 100;
+  RateLimiter limiter(policy);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(limiter.TryAcquire(i * 100'000), 0);
+  }
+  const RateLimiter::State state = limiter.SaveState();
+  RateLimiter restored(policy);
+  restored.RestoreState(state);
+  // Identical quotes from here on.
+  for (const int64_t t : {300'000, 500'000, 900'000, 2'000'000}) {
+    EXPECT_EQ(restored.TryAcquire(t), limiter.TryAcquire(t)) << t;
+  }
+}
+
+/// Drives one paginated crawl over `client` and returns its charge trace:
+/// (api_calls, clock) after every fetch. The crawl itself is deterministic
+/// in `seed`.
+std::vector<std::pair<int64_t, int64_t>> CrawlTrace(OsnClient& client,
+                                                    int64_t num_nodes,
+                                                    uint64_t seed) {
+  std::vector<std::pair<int64_t, int64_t>> trace;
+  Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.UniformInt(num_nodes));
+    const auto got = client.GetNeighbors(u);
+    EXPECT_TRUE(got.ok()) << got.status().ToString();
+    trace.emplace_back(client.api_calls(), client.clock().now_us());
+  }
+  return trace;
+}
+
+TEST(SharedLimiterTest, AttachedLimiterIsBitIdenticalToOwnedForOneSession) {
+  const graph::Graph g = RandomConnectedGraph(300, 900, 77);
+  const graph::LabelStore labels = RandomLabels(300, 2, 78);
+  const LocalGraphApi transport(g, labels);
+
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 50.0;
+  policy.bucket_capacity = 10;
+  policy.window_quota = 10'000;
+  policy.per_call_latency_us = 1'000;
+  policy.auto_wait = true;  // the single-session crawler-politeness mode
+
+  // Owned path: the legacy per-client limiter.
+  OsnClient owned(transport);
+  owned.ConfigureRateLimit(policy);
+  const auto owned_trace = CrawlTrace(owned, g.num_nodes(), 42);
+
+  // Attached path: an external limiter built from the same policy.
+  RateLimiter shared(policy);
+  OsnClient attached(transport);
+  attached.AttachSharedLimiter(policy, &shared);
+  const auto attached_trace = CrawlTrace(attached, g.num_nodes(), 42);
+
+  // Bit-for-bit: every charge and every clock microsecond.
+  ASSERT_EQ(owned_trace.size(), attached_trace.size());
+  for (size_t i = 0; i < owned_trace.size(); ++i) {
+    EXPECT_EQ(owned_trace[i].first, attached_trace[i].first) << "fetch " << i;
+    EXPECT_EQ(owned_trace[i].second, attached_trace[i].second)
+        << "fetch " << i;
+  }
+  EXPECT_EQ(owned.stats().rate_limit_stalls,
+            attached.stats().rate_limit_stalls);
+  EXPECT_EQ(owned.stats().stalled_us, attached.stats().stalled_us);
+  EXPECT_EQ(owned.stats().pages_fetched, attached.stats().pages_fetched);
+}
+
+TEST(SharedLimiterTest, StrictModeAttachedMatchesOwned) {
+  const graph::Graph g = RandomConnectedGraph(200, 600, 79);
+  const graph::LabelStore labels = RandomLabels(200, 2, 80);
+  const LocalGraphApi transport(g, labels);
+
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 100.0;
+  policy.bucket_capacity = 5;
+  policy.per_call_latency_us = 500;
+  policy.auto_wait = false;  // strict: kRateLimited + retry-after
+
+  const auto drive = [&](OsnClient& client) {
+    std::vector<int64_t> trace;
+    Rng rng(99);
+    for (int i = 0; i < 300; ++i) {
+      const auto u = static_cast<graph::NodeId>(rng.UniformInt(g.num_nodes()));
+      auto got = client.GetNeighbors(u);
+      if (!got.ok()) {
+        EXPECT_EQ(got.status().code(), StatusCode::kRateLimited)
+            << got.status().ToString();
+        trace.push_back(-client.last_retry_after_us());
+        client.mutable_clock().AdvanceUs(client.last_retry_after_us());
+        got = client.GetNeighbors(u);
+        EXPECT_TRUE(got.ok()) << got.status().ToString();
+      }
+      trace.push_back(client.api_calls());
+      trace.push_back(client.clock().now_us());
+    }
+    return trace;
+  };
+
+  OsnClient owned(transport);
+  owned.ConfigureRateLimit(policy);
+  const auto owned_trace = drive(owned);
+
+  RateLimiter shared(policy);
+  OsnClient attached(transport);
+  attached.AttachSharedLimiter(policy, &shared);
+  const auto attached_trace = drive(attached);
+
+  EXPECT_EQ(owned_trace, attached_trace);
+  EXPECT_EQ(owned.stats().rate_limited_rejections,
+            attached.stats().rate_limited_rejections);
+}
+
+TEST(SharedLimiterTest, TwoSessionsContendForOneBucket) {
+  const graph::Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const graph::LabelStore labels = RandomLabels(4, 2, 5);
+  const LocalGraphApi transport(g, labels);
+
+  RateLimitPolicy policy;
+  policy.requests_per_sec = 1.0;
+  policy.bucket_capacity = 2;
+  policy.auto_wait = false;
+  RateLimiter shared(policy);
+
+  OsnClient a(transport), b(transport);
+  a.AttachSharedLimiter(policy, &shared);
+  b.AttachSharedLimiter(policy, &shared);
+
+  // A burns the whole burst; B is rejected at its own t=0 even though B
+  // never issued a request — the bucket is genuinely shared.
+  ASSERT_TRUE(a.GetNeighbors(0).ok());
+  ASSERT_TRUE(a.GetNeighbors(1).ok());
+  const auto rejected = b.GetNeighbors(2);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kRateLimited);
+  EXPECT_GT(b.last_retry_after_us(), 0);
+  // B pays the quoted wait on its own clock and gets through.
+  b.mutable_clock().AdvanceUs(b.last_retry_after_us());
+  EXPECT_TRUE(b.GetNeighbors(2).ok());
+}
+
+}  // namespace
+}  // namespace labelrw::osn

@@ -1,0 +1,221 @@
+// Satellite 3: the traffic engine's determinism contract, test-enforced.
+//
+//   1. Cross-thread-count bit-identity — RunTrafficSweep produces the
+//      identical per-tenant tables (every counter, every percentile bit,
+//      the FNV table hash) for sweep worker counts {1, 2, 8}, at several
+//      tenant scales. One simulation is single-threaded by construction;
+//      the sweep's atomic-claim + preassigned-slot discipline keeps the
+//      cell order and contents thread-count independent. (bench_traffic
+//      re-checks the same property at 10k tenants against the store
+//      backend and exits nonzero on deviation.)
+//   2. Kill-and-resume bit-identity — an engine halted mid-storm by the
+//      halt_after_events hook, checkpointed, and restored into a freshly
+//      constructed engine finishes with a report bit-identical to an
+//      uninterrupted run: same table hash, same counters, same NRMSE bits,
+//      same end time.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "eval/traffic_sweep.h"
+#include "osn/local_api.h"
+#include "osn/scenario.h"
+#include "synth/datasets.h"
+#include "tests/test_util.h"
+#include "traffic/engine.h"
+
+namespace labelrw::traffic {
+namespace {
+
+struct Fixture {
+  synth::Dataset ds;
+  std::unique_ptr<osn::LocalGraphApi> transport;
+
+  static Fixture Make() {
+    Fixture f;
+    auto got = synth::FacebookLike(1001);
+    EXPECT_TRUE(got.ok());
+    f.ds = std::move(got).value();
+    f.transport =
+        std::make_unique<osn::LocalGraphApi>(f.ds.graph, f.ds.labels);
+    return f;
+  }
+};
+
+void ExpectReportsIdentical(const TrafficReport& a, const TrafficReport& b) {
+  EXPECT_EQ(a.table_hash, b.table_hash);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.rate_limited, b.rate_limited);
+  EXPECT_EQ(a.total_api_calls, b.total_api_calls);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.queue_peak, b.queue_peak);
+  EXPECT_EQ(a.end_time_us, b.end_time_us);
+  // Bit equality, not approximate: the runs must be the same computation.
+  EXPECT_EQ(a.nrmse, b.nrmse);
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (size_t i = 0; i < a.tenants.size(); ++i) {
+    const TenantTelemetry& ra = a.tenants[i];
+    const TenantTelemetry& rb = b.tenants[i];
+    EXPECT_EQ(ra.completed, rb.completed) << "tenant " << ra.tenant;
+    EXPECT_EQ(ra.api_calls, rb.api_calls) << "tenant " << ra.tenant;
+    EXPECT_EQ(ra.p99_latency_us, rb.p99_latency_us) << "tenant " << ra.tenant;
+    EXPECT_EQ(ra.mean_estimate, rb.mean_estimate) << "tenant " << ra.tenant;
+  }
+}
+
+TEST(TrafficDeterminism, SweepTablesBitIdenticalAcrossThreadCounts) {
+  Fixture f = Fixture::Make();
+  ASSERT_OK_AND_ASSIGN(const osn::Scenario scenario,
+                       osn::TrafficScenarioFromName("hotspot"));
+  // Several scales, two quota levels, two admission shapes: 12 cells. The
+  // 10k-tenant point lives in bench_traffic (minutes, not unit-test time).
+  eval::TrafficSweepConfig config;
+  config.tenant_counts = {10, 100, 300};
+  config.quota_scales = {1.0, 0.25};
+  AdmissionPolicy tight;
+  tight.max_in_flight = 4;
+  tight.max_queue_depth = 8;
+  tight.overflow = OverflowPolicy::kShedOldest;
+  config.admissions = {{}, tight};
+  config.scenario = scenario;
+  config.session_budget = 80;
+  config.burn_in = 20;
+  config.seed = 99;
+  config.truth = static_cast<double>(f.ds.targets[0].count);
+
+  eval::TrafficBackend backend;
+  backend.transport = f.transport.get();
+
+  std::vector<eval::TrafficSweepResult> results;
+  for (const int threads : {1, 2, 8}) {
+    config.threads = threads;
+    ASSERT_OK_AND_ASSIGN(
+        eval::TrafficSweepResult r,
+        eval::RunTrafficSweep(backend, f.ds.targets[0].target, config));
+    results.push_back(std::move(r));
+  }
+  ASSERT_EQ(results[0].cells.size(), 12u);
+  for (size_t t = 1; t < results.size(); ++t) {
+    ASSERT_EQ(results[t].cells.size(), results[0].cells.size());
+    for (size_t c = 0; c < results[0].cells.size(); ++c) {
+      const eval::TrafficCell& base = results[0].cells[c];
+      const eval::TrafficCell& other = results[t].cells[c];
+      EXPECT_EQ(base.tenants, other.tenants);
+      EXPECT_EQ(base.quota_scale, other.quota_scale);
+      ExpectReportsIdentical(base.report, other.report);
+    }
+  }
+  // The interesting cells actually exercised contention paths.
+  int64_t any_shed = 0, any_rate_limited = 0;
+  for (const eval::TrafficCell& cell : results[0].cells) {
+    any_shed += cell.report.shed;
+    any_rate_limited += cell.report.rate_limited;
+  }
+  EXPECT_GT(any_rate_limited, 0);
+  EXPECT_GT(any_shed, 0);
+}
+
+TEST(TrafficDeterminism, KillAndResumeMidStormIsBitIdentical) {
+  Fixture f = Fixture::Make();
+  ASSERT_OK_AND_ASSIGN(const osn::Scenario scenario,
+                       osn::TrafficScenarioFromName("storm"));
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "labelrw_traffic_resume.ckpt")
+          .string();
+
+  TrafficConfig config;
+  config.tenants = 40;
+  config.sessions_per_tenant = 2;
+  config.session_budget = 80;
+  config.burn_in = 20;
+  config.seed = 1234;
+  config.scenario = scenario;
+  config.admission.max_in_flight = 6;
+  config.admission.max_queue_depth = 16;
+  config.admission.overflow = OverflowPolicy::kShedOldest;
+  config.truth = static_cast<double>(f.ds.targets[0].count);
+
+  // Reference: one uninterrupted run.
+  TrafficEngine reference(*f.transport, f.ds.targets[0].target, config);
+  ASSERT_OK_AND_ASSIGN(const TrafficReport uninterrupted, reference.Run());
+  ASSERT_FALSE(uninterrupted.halted);
+  ASSERT_GT(uninterrupted.events_processed, 2000);
+
+  // Kill mid-storm (mid-chaos-outage territory, sessions in flight,
+  // queues non-empty), then resume in a fresh engine.
+  TrafficConfig halted_config = config;
+  halted_config.checkpoint_path = ckpt;
+  halted_config.halt_after_events = uninterrupted.events_processed / 2;
+  TrafficEngine first(*f.transport, f.ds.targets[0].target, halted_config);
+  ASSERT_OK_AND_ASSIGN(const TrafficReport partial, first.Run());
+  ASSERT_TRUE(partial.halted);
+  ASSERT_LT(partial.completed, uninterrupted.completed);
+
+  TrafficConfig resume_config = config;
+  resume_config.checkpoint_path = ckpt;
+  TrafficEngine second(*f.transport, f.ds.targets[0].target, resume_config);
+  ASSERT_OK(second.RestoreFromFile(ckpt));
+  ASSERT_OK_AND_ASSIGN(const TrafficReport resumed, second.Run());
+  EXPECT_FALSE(resumed.halted);
+
+  ExpectReportsIdentical(uninterrupted, resumed);
+  std::remove(ckpt.c_str());
+}
+
+TEST(TrafficDeterminism, PeriodicCheckpointsResumeFromAnyBoundary) {
+  Fixture f = Fixture::Make();
+  ASSERT_OK_AND_ASSIGN(const osn::Scenario scenario,
+                       osn::TrafficScenarioFromName("noisy-neighbor"));
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "labelrw_traffic_periodic.ckpt")
+          .string();
+
+  TrafficConfig config;
+  config.tenants = 12;
+  config.sessions_per_tenant = 2;
+  config.session_budget = 60;
+  config.burn_in = 20;
+  config.seed = 5;
+  config.scenario = scenario;
+  config.truth = static_cast<double>(f.ds.targets[0].count);
+
+  TrafficEngine reference(*f.transport, f.ds.targets[0].target, config);
+  ASSERT_OK_AND_ASSIGN(const TrafficReport uninterrupted, reference.Run());
+
+  // Three different kill points, all resuming from periodic checkpoints.
+  ASSERT_GT(uninterrupted.events_processed, 30);
+  for (const int64_t halt_at :
+       {int64_t{17}, uninterrupted.events_processed / 3,
+        uninterrupted.events_processed - 9}) {
+    TrafficConfig halted_config = config;
+    halted_config.checkpoint_path = ckpt;
+    halted_config.checkpoint_every_events = 64;
+    halted_config.halt_after_events = halt_at;
+    TrafficEngine first(*f.transport, f.ds.targets[0].target, halted_config);
+    ASSERT_OK_AND_ASSIGN(const TrafficReport partial, first.Run());
+    ASSERT_TRUE(partial.halted) << halt_at;
+
+    TrafficConfig resume_config = config;
+    resume_config.checkpoint_path = ckpt;
+    TrafficEngine second(*f.transport, f.ds.targets[0].target, resume_config);
+    ASSERT_OK(second.RestoreFromFile(ckpt));
+    ASSERT_OK_AND_ASSIGN(const TrafficReport resumed, second.Run());
+    EXPECT_EQ(resumed.table_hash, uninterrupted.table_hash) << halt_at;
+    EXPECT_EQ(resumed.completed, uninterrupted.completed) << halt_at;
+    EXPECT_EQ(resumed.nrmse, uninterrupted.nrmse) << halt_at;
+    EXPECT_EQ(resumed.end_time_us, uninterrupted.end_time_us) << halt_at;
+  }
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace labelrw::traffic

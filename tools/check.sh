@@ -141,6 +141,41 @@ wait "$SERVERD_PID" || {
   exit 1
 }
 
+echo "== traffic smoke (bench_traffic: 1k tenants, cross-thread identity) =="
+# One 1,000-tenant cell of the multi-tenant traffic engine against the
+# smoke store, run at sweep worker counts {1,2,4}; exits nonzero if the
+# per-tenant SLO tables deviate across thread counts or nothing completes.
+TRAFFIC_DIR="$BUILD_DIR/traffic_smoke"
+rm -rf "$TRAFFIC_DIR" && mkdir -p "$TRAFFIC_DIR"
+"$BUILD_DIR/bench_traffic" --backend=store --store="$STORE_DIR/smoke.lgs" \
+  --tenants=1000 --quota=1.0 --threads-check=1,2,4 --budget=100 \
+  --burn-in=30 --out="$TRAFFIC_DIR" --json-out="$TRAFFIC_DIR"
+
+echo "== traffic CLI smoke (labelrw_cli traffic: halt-resume identity) =="
+# A 50-tenant storm simulation killed mid-run (exit 3) and resumed must
+# land on the identical per-tenant table hash as an uninterrupted run.
+TRAFFIC_CLI_DIR="$BUILD_DIR/traffic_cli_smoke"
+rm -rf "$TRAFFIC_CLI_DIR" && mkdir -p "$TRAFFIC_CLI_DIR"
+TRAFFIC_ARGS=(traffic --store="$STORE_DIR/smoke.lgs" --t1=1 --t2=2
+  --tenants=50 --traffic-scenario=storm --budget=80 --burn-in=20)
+"$BUILD_DIR/labelrw_cli" "${TRAFFIC_ARGS[@]}" \
+  > "$TRAFFIC_CLI_DIR/reference.txt"
+TRAFFIC_HALT_RC=0
+"$BUILD_DIR/labelrw_cli" "${TRAFFIC_ARGS[@]}" \
+  --checkpoint-dir="$TRAFFIC_CLI_DIR" --halt-after-events=2000 \
+  > /dev/null || TRAFFIC_HALT_RC=$?
+if [[ "$TRAFFIC_HALT_RC" -ne 3 ]]; then
+  echo "traffic smoke: expected halt-checkpoint exit 3, got $TRAFFIC_HALT_RC" >&2
+  exit 1
+fi
+"$BUILD_DIR/labelrw_cli" "${TRAFFIC_ARGS[@]}" \
+  --checkpoint-dir="$TRAFFIC_CLI_DIR" > "$TRAFFIC_CLI_DIR/resumed.txt"
+if ! diff <(grep '^table hash' "$TRAFFIC_CLI_DIR/reference.txt") \
+          <(grep '^table hash' "$TRAFFIC_CLI_DIR/resumed.txt"); then
+  echo "traffic smoke: resumed run deviates from uninterrupted run" >&2
+  exit 1
+fi
+
 echo "== resilience bench (bench_resilience: chaos + checkpoint guards) =="
 # Exits nonzero if any chaos preset is nondeterministic, a durable sweep
 # deviates from RunSweep, or kill-and-resume is not bit-identical.

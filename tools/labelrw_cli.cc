@@ -31,7 +31,8 @@
 // 6 = rate-limited, 7 = data loss (corrupt store/checkpoint),
 // 8 = no crawl server at --server connect time (distinct from 5 so
 // scripts can tell "daemon never started" from "daemon died mid-crawl"),
-// 1 = other.
+// 9 = admission rejected (the traffic command's admission control refused
+// every session), 1 = other.
 //
 // Flag values are parsed strictly (util/flags.h): non-numeric or
 // out-of-range values and unknown flags abort with exit code 2 instead of
@@ -49,6 +50,7 @@
 // graph/io.h). The graph is reduced to its largest connected component, as
 // in the paper's preprocessing.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,6 +75,7 @@
 #include "osn/scenario.h"
 #include "store/mapped_graph.h"
 #include "theory/bounds.h"
+#include "traffic/engine.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -103,9 +106,20 @@ int Usage() {
       "                   --server=/name; exit 8 = no server there)\n"
       "  bounds           theoretical sample bounds ([--eps=E] "
       "[--delta=D])\n"
+      "  traffic          multi-tenant traffic simulation (--graph --labels\n"
+      "                   --t1 --t2 [--tenants=N] [--sessions=K]\n"
+      "                   [--budget=B] [--burn-in=N] [--seed=S]\n"
+      "                   [--traffic-scenario=NAME] [--quota-scale=F]\n"
+      "                   [--slots=N] [--queue=N]\n"
+      "                   [--overflow=reject|shed-oldest]\n"
+      "                   [--priority-classes=N] [--checkpoint-dir=D]\n"
+      "                   [--halt-after-events=N]), or against a daemon\n"
+      "                   (--backend=ipc --server=/name [--truth=F]);\n"
+      "                   exit 9 = admission rejected every session\n"
       "  list-algorithms  the ten algorithm names --algorithm accepts\n"
       "  list-scenarios   the --scenario presets\n"
       "  list-chaos       the --chaos fault-schedule presets\n"
+      "  list-traffic-scenarios  the --traffic-scenario load presets\n"
       "\n"
       "flag values are checked strictly; unknown flags are rejected.\n");
   return 2;
@@ -133,6 +147,13 @@ int ListChaos() {
   return 0;
 }
 
+int ListTrafficScenarios() {
+  for (const std::string& name : osn::TrafficScenarioNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
 /// Distinct exit codes for the ways a crawl can die, so scripts (and the
 /// check.sh chaos smoke) can branch on the failure mode: 3 is reserved for
 /// the deliberate --halt-after-steps checkpoint-and-exit.
@@ -146,6 +167,8 @@ int ExitCodeFor(const Status& status) {
       return 6;
     case StatusCode::kDataLoss:
       return 7;
+    case StatusCode::kAdmissionRejected:
+      return 9;
     default:
       return 1;
   }
@@ -200,11 +223,21 @@ const std::set<std::string>& KnownFlags(const std::string& command) {
   static const std::set<std::string> kBounds = {"graph", "labels", "store",
                                                 "t1",    "t2",     "eps",
                                                 "delta"};
+  static const std::set<std::string> kTraffic = {
+      "graph",       "labels",           "store",
+      "t1",          "t2",               "tenants",
+      "sessions",    "budget",           "burn-in",
+      "seed",        "algorithm",        "traffic-scenario",
+      "quota-scale", "slots",            "queue",
+      "overflow",    "priority-classes", "step-chunk",
+      "truth",       "checkpoint-dir",   "halt-after-events",
+      "backend",     "server"};
   static const std::set<std::string> kNone = {};
   if (command == "stats") return kCommon;
   if (command == "truth") return kTarget;
   if (command == "estimate") return kEstimate;
   if (command == "bounds") return kBounds;
+  if (command == "traffic") return kTraffic;
   return kNone;
 }
 
@@ -783,6 +816,185 @@ int RunEstimate(const Args& args) {
   return 0;
 }
 
+/// The multi-tenant traffic simulation (traffic/engine.h): one
+/// TrafficEngine run over the local graph/store — or against a running
+/// labelrw_serverd daemon with --backend=ipc, where every admitted session
+/// opens its own shm connection — printing the global SLO telemetry and
+/// the determinism table hash. --checkpoint-dir makes the run durable:
+/// a run killed at --halt-after-events=N (exit 3) resumes bit-identically.
+/// A run whose every session was refused by admission control exits 9.
+int RunTraffic(const Args& args) {
+  Result<osn::Scenario> preset =
+      osn::TrafficScenarioFromName(args.Get("traffic-scenario", "steady"));
+  if (!preset.ok()) {
+    std::fprintf(stderr, "traffic scenario: %s\n",
+                 preset.status().ToString().c_str());
+    return 2;
+  }
+
+  traffic::TrafficConfig config;
+  config.scenario = std::move(*preset);
+  config.tenants = args.GetInt("tenants", 100, 1);
+  config.sessions_per_tenant = args.GetInt("sessions", 1, 1);
+  config.session_budget = args.GetInt("budget", 150, 1);
+  config.burn_in = args.GetInt("burn-in", 50);
+  config.seed = args.GetUint("seed", 42);
+  config.priority_classes =
+      static_cast<int>(args.GetInt("priority-classes", 2, 1));
+  config.step_chunk = args.GetInt("step-chunk", 16, 1);
+  config.admission.max_in_flight = args.GetInt("slots", 16, 1);
+  config.admission.max_queue_depth = args.GetInt("queue", 64);
+  config.admission.overflow = Check(
+      traffic::OverflowPolicyFromName(args.Get("overflow", "reject")),
+      "overflow policy");
+  const std::string algorithm = args.Get("algorithm");
+  if (!algorithm.empty()) {
+    config.algorithm =
+        Check(estimators::AlgorithmFromName(algorithm), "algorithm name");
+  }
+
+  // The quota knob scales the shared bucket the same way the sweep's cells
+  // do: refill rate, burst capacity, and rolling-window quota together.
+  const double quota_scale = args.GetDouble("quota-scale", 1.0, 1e-6, 1e6);
+  osn::RateLimitPolicy& rl = config.scenario.rate_limit;
+  if (rl.requests_per_sec > 0.0) {
+    rl.requests_per_sec *= quota_scale;
+    rl.bucket_capacity = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               static_cast<double>(rl.bucket_capacity) * quota_scale)));
+  }
+  if (rl.window_quota > 0) {
+    rl.window_quota = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               static_cast<double>(rl.window_quota) * quota_scale)));
+  }
+
+  const std::string checkpoint_dir = args.Get("checkpoint-dir");
+  const int64_t halt_after = args.GetInt("halt-after-events", 0);
+  if (!checkpoint_dir.empty()) {
+    config.checkpoint_path = checkpoint_dir + "/traffic.ckpt";
+    if (halt_after > 0) config.halt_after_events = halt_after;
+  } else if (halt_after > 0) {
+    std::fprintf(stderr, "--halt-after-events requires --checkpoint-dir\n");
+    return 2;
+  }
+
+  // Backend: the local graph serves everything, or --backend=ipc opens one
+  // shm connection per in-flight slot against a labelrw_serverd daemon
+  // (the shared connection then supplies priors only).
+  std::optional<LoadedGraph> lg;
+  std::optional<osn::LocalGraphApi> local;
+  std::unique_ptr<osn::IpcTransport> ipc;
+  traffic::SessionTransportFactory factory;
+  const osn::Transport* transport = nullptr;
+  graph::TargetLabel target{};
+  const std::string backend = args.Get("backend");
+  if (backend == "ipc") {
+    const std::string server = args.Get("server");
+    if (server.empty()) {
+      std::fprintf(stderr, "--backend=ipc requires --server=/name\n");
+      return 2;
+    }
+    Result<std::unique_ptr<osn::IpcTransport>> connected =
+        osn::IpcTransport::Connect(server);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connecting to crawl server: %s\n",
+                   connected.status().ToString().c_str());
+      return connected.status().code() == StatusCode::kUnavailable
+                 ? 8
+                 : ExitCodeFor(connected.status());
+    }
+    ipc = std::move(*connected);
+    transport = ipc.get();
+    factory = [server]() -> Result<std::unique_ptr<osn::Transport>> {
+      LABELRW_ASSIGN_OR_RETURN(std::unique_ptr<osn::IpcTransport> session,
+                               osn::IpcTransport::Connect(server));
+      return std::unique_ptr<osn::Transport>(std::move(session));
+    };
+    target = TargetFrom(args);
+    config.truth = args.GetDouble("truth", 0.0, 0.0, 1e18);
+  } else if (backend.empty() || backend == "memory" || backend == "store") {
+    lg.emplace(Load(args));
+    target = TargetFrom(args);
+    local.emplace(lg->graph, lg->labels);
+    transport = &*local;
+    config.truth =
+        args.Has("truth")
+            ? args.GetDouble("truth", 0.0, 0.0, 1e18)
+            : static_cast<double>(
+                  graph::CountTargetEdges(lg->graph, lg->labels, target));
+  } else {
+    std::fprintf(stderr, "unknown --backend '%s' (memory, store, or ipc)\n",
+                 backend.c_str());
+    return 2;
+  }
+
+  traffic::TrafficEngine engine(*transport, target, config,
+                                std::move(factory));
+  bool resumed = false;
+  if (!config.checkpoint_path.empty()) {
+    const Status restored = engine.RestoreFromFile(config.checkpoint_path);
+    if (restored.ok()) {
+      resumed = true;
+      std::printf("resumed from %s\n", config.checkpoint_path.c_str());
+    } else if (restored.code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "restoring checkpoint: %s\n",
+                   restored.ToString().c_str());
+      return ExitCodeFor(restored);
+    }
+  }
+
+  const traffic::TrafficReport report = Check(engine.Run(), "traffic run");
+  std::printf("tenants        %s (%s sessions submitted)\n",
+              FormatCount(config.tenants).c_str(),
+              FormatCount(report.submitted).c_str());
+  std::printf("completed      %s  rejected %s  shed %s  aborted %s\n",
+              FormatCount(report.completed).c_str(),
+              FormatCount(report.rejected).c_str(),
+              FormatCount(report.shed).c_str(),
+              FormatCount(report.aborted).c_str());
+  std::printf("rate-limited   %s rescheduled rejections\n",
+              FormatCount(report.rate_limited).c_str());
+  std::printf("api calls      %s\n",
+              FormatCount(report.total_api_calls).c_str());
+  std::printf("events         %s (queue peak %s)\n",
+              FormatCount(report.events_processed).c_str(),
+              FormatCount(report.queue_peak).c_str());
+  std::printf("sim time       %.3f s\n",
+              static_cast<double>(report.end_time_us) / 1e6);
+  std::printf("latency        p50 %.3f s  p99 %.3f s\n",
+              report.latency.Percentile(0.5) / 1e6,
+              report.latency.Percentile(0.99) / 1e6);
+  std::printf("time-to-est    p50 %.3f s  p99 %.3f s\n",
+              report.time_to_estimate.Percentile(0.5) / 1e6,
+              report.time_to_estimate.Percentile(0.99) / 1e6);
+  std::printf("freshness      p50 %.3f s  p99 %.3f s\n",
+              report.freshness.Percentile(0.5) / 1e6,
+              report.freshness.Percentile(0.99) / 1e6);
+  if (config.truth > 0.0) std::printf("nrmse          %.4f\n", report.nrmse);
+  std::printf("table hash     %016llx\n",
+              static_cast<unsigned long long>(report.table_hash));
+  if (resumed) std::printf("resumed        yes\n");
+  if (report.halted) {
+    std::printf("halted after %s events; checkpointed to %s; re-run to "
+                "resume\n",
+                FormatCount(report.events_processed).c_str(),
+                config.checkpoint_path.c_str());
+    return 3;
+  }
+  if (!config.checkpoint_path.empty()) {
+    std::remove(config.checkpoint_path.c_str());
+  }
+  if (report.completed == 0 && report.rejected > 0) {
+    const Status starved = AdmissionRejectedError(
+        "admission control rejected every session (slots/queue too small "
+        "for the arrival rate)");
+    std::fprintf(stderr, "traffic: %s\n", starved.ToString().c_str());
+    return ExitCodeFor(starved);
+  }
+  return 0;
+}
+
 int RunBounds(const Args& args) {
   const LoadedGraph lg = Load(args);
   const graph::TargetLabel target = TargetFrom(args);
@@ -810,8 +1022,10 @@ int main(int argc, char** argv) {
   if (args.command == "truth") return RunTruth(args);
   if (args.command == "estimate") return RunEstimate(args);
   if (args.command == "bounds") return RunBounds(args);
+  if (args.command == "traffic") return RunTraffic(args);
   if (args.command == "list-algorithms") return ListAlgorithms();
   if (args.command == "list-scenarios") return ListScenarios();
   if (args.command == "list-chaos") return ListChaos();
+  if (args.command == "list-traffic-scenarios") return ListTrafficScenarios();
   return Usage();
 }
