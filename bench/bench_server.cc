@@ -17,12 +17,22 @@
 //                    latency. The top row sustains --sessions concurrent
 //                    sessions (64 by default — the acceptance floor).
 //
-// Dumps BENCH_server.json (repo root by convention). Exit 1 on any
-// cross-backend deviation, failed fetch, or (with --min-rps) a best
-// peak-session throughput below the floor.
+// With --chaos a third phase runs the availability-under-chaos gate: the
+// store is sharded WITH replicas, a fleet of --sessions estimator sessions
+// runs once fault-free and once while the bench downs a shard's primary
+// mid-run (failover to the replica) and then kills and restarts the daemon
+// under the live fleet (reconnect-and-resume). Every session must complete
+// and every estimate + charge ledger must be bit-identical to the
+// fault-free fleet — availability work is never allowed to buy its nines
+// with accuracy.
 //
-// Flags: --store=S --shards=K --sessions=N --fetches=F --workers=W
-//        --seed=N --out=DIR --json-out=DIR --min-rps=X
+// Dumps BENCH_server.json (repo root by convention). Exit 1 on any
+// cross-backend deviation, failed fetch, chaos determinism failure, or
+// (with --min-rps) a best peak-session throughput below the floor.
+//
+// Flags: --store=S --shards=K --replicas=R --sessions=N --fetches=F
+//        --workers=W --seed=N --out=DIR --json-out=DIR --min-rps=X
+//        --chaos
 
 #include <unistd.h>
 
@@ -31,6 +41,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +55,7 @@
 #include "server/shm_client.h"
 #include "store/mapped_graph.h"
 #include "store/shard_writer.h"
+#include "store/sharded_graph.h"
 #include "store/store_writer.h"
 #include "synth/datasets.h"
 #include "util/rng.h"
@@ -54,11 +66,13 @@ namespace {
 struct ServerBenchFlags {
   std::string store_path;  // monolithic .lgs; synthesized when empty
   uint32_t shards = 8;
+  uint32_t replicas = 0;   // per-shard replica files (chaos forces >= 1)
   int64_t sessions = 64;   // peak concurrent sessions (acceptance floor)
   int64_t fetches = 2000;  // requests per session per row
   uint32_t workers = 0;    // 0 = one per shard
   uint64_t seed = 42;
   double min_rps = 0.0;    // acceptance floor for peak-session req/s
+  bool chaos = false;      // availability-under-chaos gate
   std::string out_dir = "bench_results";
   std::string json_dir = ".";
 };
@@ -82,6 +96,13 @@ ServerBenchFlags ParseServerFlags(int argc, char** argv) {
           "2000)\n"
           "  --workers=W   serving worker threads (default 0 = one per "
           "shard)\n"
+          "  --replicas=R  per-shard replica files (default 0; --chaos "
+          "forces\n"
+          "                at least 1 so failover has somewhere to go)\n"
+          "  --chaos       run the availability-under-chaos gate: a shard\n"
+          "                outage plus a daemon kill-and-restart under a\n"
+          "                live session fleet, with estimates required\n"
+          "                bit-identical to the fault-free fleet\n"
           "  --min-rps=X   exit nonzero if the best peak-session row "
           "falls\n"
           "                below X requests/s (default 0 = no floor)\n");
@@ -98,6 +119,11 @@ ServerBenchFlags ParseServerFlags(int argc, char** argv) {
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
       flags.workers = static_cast<uint32_t>(
           flags::ParseIntAtLeastOrDie("--workers", arg + 10, 0));
+    } else if (std::strncmp(arg, "--replicas=", 11) == 0) {
+      flags.replicas = static_cast<uint32_t>(
+          flags::ParseIntAtLeastOrDie("--replicas", arg + 11, 0));
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      flags.chaos = true;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       flags.seed = flags::ParseUintOrDie("--seed", arg + 7);
     } else if (std::strncmp(arg, "--min-rps=", 10) == 0) {
@@ -214,6 +240,157 @@ GridRow RunServingRow(const std::string& shm_name, uint32_t workers,
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// Availability-under-chaos gate (--chaos)
+// ---------------------------------------------------------------------------
+
+struct FleetSession {
+  bool completed = false;
+  double estimate = 0.0;
+  int64_t api_calls = 0;
+};
+
+struct FleetOutcome {
+  std::vector<FleetSession> sessions;
+  // Summed transport fault counters across the fleet.
+  uint64_t reconnects = 0;
+  uint64_t reconnect_attempts = 0;
+  uint64_t fetch_retries = 0;
+};
+
+/// Runs `sessions` concurrent estimator sessions, each over its own
+/// IpcTransport with reconnect-and-resume enabled. Session s runs algorithm
+/// s mod |algorithms| on seed `seed + s` — the chaos and fault-free fleets
+/// call this with identical parameters, so any estimate difference between
+/// them is a determinism failure in the serving stack, not in the fleet.
+FleetOutcome RunEstimatorFleet(const std::string& shm_name, int64_t sessions,
+                               const graph::TargetLabel& target,
+                               uint64_t seed) {
+  FleetOutcome outcome;
+  outcome.sessions.resize(static_cast<size_t>(sessions));
+  std::mutex mu;  // guards the summed counters
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(sessions));
+  const std::vector<estimators::AlgorithmId> algorithms =
+      estimators::AllAlgorithms();
+  for (int64_t s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      osn::IpcTransport::Options transport_options;
+      transport_options.reconnect.max_attempts = 100;
+      transport_options.reconnect.initial_backoff_us = 5'000;
+      transport_options.reconnect.max_backoff_us = 100'000;
+      auto connected =
+          osn::IpcTransport::Connect(shm_name, transport_options);
+      if (!connected.ok()) return;  // left as completed=false
+      const std::unique_ptr<osn::IpcTransport> ipc =
+          std::move(connected).value();
+      osn::OsnClient client(*ipc);
+      estimators::EstimateOptions options;
+      options.api_budget = 400;
+      options.burn_in = 50;
+      options.seed = seed + static_cast<uint64_t>(s);
+      const auto result = estimators::Estimate(
+          algorithms[static_cast<size_t>(s) % algorithms.size()], client,
+          target, ipc->TransportPriors(), options);
+      const osn::IpcTransportStats stats = ipc->ipc_stats();
+      std::lock_guard<std::mutex> lock(mu);
+      outcome.reconnects += stats.reconnects;
+      outcome.reconnect_attempts += stats.reconnect_attempts;
+      outcome.fetch_retries += stats.fetch_retries;
+      if (!result.ok()) return;
+      FleetSession& session = outcome.sessions[static_cast<size_t>(s)];
+      session.completed = true;
+      session.estimate = result->estimate;
+      session.api_calls = result->api_calls;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return outcome;
+}
+
+struct ChaosOutcome {
+  int64_t sessions = 0;
+  int64_t completed = 0;
+  int64_t determinism_failures = 0;
+  uint64_t reconnects = 0;
+  uint64_t reconnect_attempts = 0;
+  uint64_t fetch_retries = 0;
+  uint64_t fetches_failed_over = 0;
+  uint64_t fetches_shard_unavailable = 0;
+  double availability = 0.0;
+};
+
+/// The chaos phase: a fault-free fleet fixes the expected bits, then the
+/// same fleet re-runs while this thread downs shard 0's primary (reads fail
+/// over to the replica), lifts the outage, and finally kills and restarts
+/// the daemon under the live fleet (sessions reconnect and resume). The
+/// injected faults are real — what must NOT change is any session's
+/// estimate or charge ledger.
+ChaosOutcome RunChaosPhase(server::CrawlServer& crawl_server,
+                           const server::ServerOptions& server_options,
+                           const std::string& shm_name,
+                           const graph::TargetLabel& target,
+                           int64_t sessions, uint64_t seed) {
+  const FleetOutcome baseline =
+      RunEstimatorFleet(shm_name, sessions, target, seed);
+  for (int64_t s = 0; s < sessions; ++s) {
+    if (!baseline.sessions[static_cast<size_t>(s)].completed) {
+      std::fprintf(stderr,
+                   "FAIL: fault-free fleet session %lld did not complete\n",
+                   static_cast<long long>(s));
+      std::exit(1);
+    }
+  }
+
+  ChaosOutcome outcome;
+  outcome.sessions = sessions;
+  std::thread chaos([&] {
+    ::usleep(20'000);  // let the fleet get into its walks
+    store::ShardFaultSchedule schedule;
+    schedule.outages.push_back(
+        store::ShardOutage{/*shard=*/0, /*start_us=*/1'000,
+                           /*end_us=*/2'000});
+    CheckOk(crawl_server.SetShardFaultSchedule(schedule), "fault schedule");
+    crawl_server.AdvanceShardFaultClock(1'500);  // primary down: fail over
+    ::usleep(40'000);
+    crawl_server.AdvanceShardFaultClock(2'500);  // outage window passed
+    const server::ServerStats mid = crawl_server.stats();
+    outcome.fetches_failed_over = mid.fetches_failed_over;
+    outcome.fetches_shard_unavailable = mid.fetches_shard_unavailable;
+    ::usleep(20'000);
+    crawl_server.Stop();  // daemon death under the live fleet
+    ::usleep(20'000);
+    CheckOk(crawl_server.Start(server_options), "chaos restart");
+  });
+  const FleetOutcome chaotic =
+      RunEstimatorFleet(shm_name, sessions, target, seed);
+  chaos.join();
+
+  outcome.reconnects = chaotic.reconnects;
+  outcome.reconnect_attempts = chaotic.reconnect_attempts;
+  outcome.fetch_retries = chaotic.fetch_retries;
+  for (int64_t s = 0; s < sessions; ++s) {
+    const FleetSession& want = baseline.sessions[static_cast<size_t>(s)];
+    const FleetSession& got = chaotic.sessions[static_cast<size_t>(s)];
+    if (!got.completed) continue;
+    ++outcome.completed;
+    if (got.estimate != want.estimate || got.api_calls != want.api_calls) {
+      ++outcome.determinism_failures;
+      std::fprintf(stderr,
+                   "FAIL: chaos session %lld deviates (fault-free "
+                   "%.17g/%lld calls, chaos %.17g/%lld calls)\n",
+                   static_cast<long long>(s), want.estimate,
+                   static_cast<long long>(want.api_calls), got.estimate,
+                   static_cast<long long>(got.api_calls));
+    }
+  }
+  outcome.availability =
+      sessions > 0 ? static_cast<double>(outcome.completed) /
+                         static_cast<double>(sessions)
+                   : 0.0;
+  return outcome;
+}
+
 int Main(int argc, char** argv) {
   const ServerBenchFlags flags = ParseServerFlags(argc, argv);
 
@@ -231,9 +408,13 @@ int Main(int argc, char** argv) {
   }
 
   const std::string prefix = flags.out_dir + "/server_bench_sharded";
+  store::ShardWriteOptions shard_options;
+  shard_options.num_replicas =
+      flags.chaos ? std::max<uint32_t>(flags.replicas, 1) : flags.replicas;
   const auto shard_start = std::chrono::steady_clock::now();
   const store::ShardWriteStats shard_stats = CheckedValue(
-      store::WriteShardedStore(store_path, prefix, flags.shards),
+      store::WriteShardedStore(store_path, prefix, flags.shards,
+                               shard_options),
       "shard pass");
   const double shard_us = std::chrono::duration<double, std::micro>(
                               std::chrono::steady_clock::now() - shard_start)
@@ -300,6 +481,25 @@ int Main(int argc, char** argv) {
                 identical ? "yes" : "NO");
   }
 
+  // --- availability-under-chaos gate (--chaos).
+  ChaosOutcome chaos;
+  if (flags.chaos) {
+    chaos = RunChaosPhase(crawl_server, server_options, shm_name, target,
+                          flags.sessions, flags.seed + 101);
+    std::printf(
+        "chaos: %lld/%lld sessions completed, %lld determinism failures, "
+        "%llu failovers, %llu reconnects (%llu attempts), %llu fetch "
+        "retries, availability %.4f\n",
+        static_cast<long long>(chaos.completed),
+        static_cast<long long>(chaos.sessions),
+        static_cast<long long>(chaos.determinism_failures),
+        static_cast<unsigned long long>(chaos.fetches_failed_over),
+        static_cast<unsigned long long>(chaos.reconnects),
+        static_cast<unsigned long long>(chaos.reconnect_attempts),
+        static_cast<unsigned long long>(chaos.fetch_retries),
+        chaos.availability);
+  }
+
   // --- serving sweep: sessions ladder x {1, auto} workers.
   std::vector<int64_t> session_grid;
   for (const int64_t s : {int64_t{1}, int64_t{4}, int64_t{16}, int64_t{64},
@@ -355,17 +555,37 @@ int Main(int argc, char** argv) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "  \"nodes\": %lld,\n  \"edges\": %lld,\n"
-                "  \"shards\": %u,\n  \"shard_pass_us\": %.0f,\n"
+                "  \"shards\": %u,\n  \"replicas\": %u,\n"
+                "  \"shard_pass_us\": %.0f,\n"
                 "  \"fetches_per_session\": %lld,\n"
                 "  \"peak_sessions\": %lld,\n"
-                "  \"estimates_bit_identical\": %s,\n  \"rows\": [\n",
+                "  \"estimates_bit_identical\": %s,\n",
                 static_cast<long long>(shard_stats.num_nodes),
                 static_cast<long long>(shard_stats.num_edges),
-                shard_stats.num_shards, shard_us,
+                shard_stats.num_shards, shard_options.num_replicas, shard_us,
                 static_cast<long long>(flags.fetches),
                 static_cast<long long>(flags.sessions),
                 identical ? "true" : "false");
   json += buf;
+  if (flags.chaos) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"chaos\": {\"sessions\": %lld, \"completed\": %lld, "
+        "\"availability\": %.6f, \"determinism_failures\": %lld, "
+        "\"fetches_failed_over\": %llu, \"fetches_shard_unavailable\": "
+        "%llu, \"reconnects\": %llu, \"reconnect_attempts\": %llu, "
+        "\"fetch_retries\": %llu},\n",
+        static_cast<long long>(chaos.sessions),
+        static_cast<long long>(chaos.completed), chaos.availability,
+        static_cast<long long>(chaos.determinism_failures),
+        static_cast<unsigned long long>(chaos.fetches_failed_over),
+        static_cast<unsigned long long>(chaos.fetches_shard_unavailable),
+        static_cast<unsigned long long>(chaos.reconnects),
+        static_cast<unsigned long long>(chaos.reconnect_attempts),
+        static_cast<unsigned long long>(chaos.fetch_retries));
+    json += buf;
+  }
+  json += "  \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
                   "    {\"workers\": %u, \"sessions\": %lld, "
@@ -388,6 +608,16 @@ int Main(int argc, char** argv) {
   }
 
   if (!identical) return 1;
+  if (flags.chaos && (chaos.completed != chaos.sessions ||
+                      chaos.determinism_failures != 0)) {
+    std::fprintf(stderr,
+                 "FAIL: chaos fleet %lld/%lld complete with %lld "
+                 "determinism failures\n",
+                 static_cast<long long>(chaos.completed),
+                 static_cast<long long>(chaos.sessions),
+                 static_cast<long long>(chaos.determinism_failures));
+    return 1;
+  }
   if (flags.min_rps > 0.0 && peak_rps < flags.min_rps) {
     std::fprintf(stderr,
                  "FAIL: best %lld-session throughput %.0f req/s is below "

@@ -286,6 +286,26 @@ std::string CellJson(const eval::TrafficCell& cell) {
                 static_cast<long long>(r.queue_peak),
                 static_cast<long long>(r.end_time_us));
   json += buf;
+  // Availability SLO axes, derived from the counters above: `availability`
+  // counts every submitted session against the ones that delivered an
+  // estimate, while `served_availability` excludes sessions the admission
+  // policy intentionally turned away (rejected/shed) — the fault-caused
+  // gap between the two is load shedding, not serving failures.
+  const int64_t policy_declined = r.rejected + r.shed;
+  const double availability =
+      r.submitted > 0
+          ? static_cast<double>(r.completed) / static_cast<double>(r.submitted)
+          : 0.0;
+  const double served_availability =
+      r.submitted > policy_declined
+          ? static_cast<double>(r.completed) /
+                static_cast<double>(r.submitted - policy_declined)
+          : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "  \"availability\": %.6f,\n"
+                "  \"served_availability\": %.6f,\n",
+                availability, served_availability);
+  json += buf;
   std::snprintf(buf, sizeof(buf),
                 "  \"p50_latency_us\": %.1f,\n  \"p90_latency_us\": %.1f,\n"
                 "  \"p99_latency_us\": %.1f,\n  \"p50_tte_us\": %.1f,\n"
@@ -528,8 +548,8 @@ int Main(int argc, char** argv) {
   std::vector<std::string> fresh_fragments;
   if (reference.has_value()) {
     std::printf(
-        "%-28s %10s %10s %10s %12s %12s %8s\n", "cell", "completed",
-        "rejected", "shed", "p50_lat_ms", "p99_lat_ms", "nrmse");
+        "%-28s %10s %10s %10s %8s %12s %12s %8s\n", "cell", "completed",
+        "rejected", "shed", "avail", "p50_lat_ms", "p99_lat_ms", "nrmse");
     for (size_t i = 0; i < pending.size(); ++i) {
       const eval::TrafficCell& cell = reference->cells[i];
       const traffic::TrafficReport& r = cell.report;
@@ -540,11 +560,14 @@ int Main(int argc, char** argv) {
                      static_cast<long long>(flags.min_completed));
         ++floor_misses;
       }
-      std::printf("%-28s %10lld %10lld %10lld %12.1f %12.1f %8.4f\n",
+      std::printf("%-28s %10lld %10lld %10lld %8.4f %12.1f %12.1f %8.4f\n",
                   CellKey(pending[i]).c_str(),
                   static_cast<long long>(r.completed),
                   static_cast<long long>(r.rejected),
                   static_cast<long long>(r.shed),
+                  r.submitted > 0 ? static_cast<double>(r.completed) /
+                                        static_cast<double>(r.submitted)
+                                  : 0.0,
                   r.latency.Percentile(0.50) / 1000.0,
                   r.latency.Percentile(0.99) / 1000.0, r.nrmse);
       const std::string fragment = CellJson(cell);

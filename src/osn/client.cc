@@ -236,9 +236,11 @@ Status OsnClient::FetchChargedCall() {
       pending_deadline_us_ = -1;
       return Status::Ok();
     }
-    if (failure.code() != StatusCode::kUnavailable) {
-      // Only kUnavailable verdicts are retryable; anything else the wire
-      // reports propagates immediately.
+    if (failure.code() != StatusCode::kUnavailable &&
+        failure.code() != StatusCode::kShardUnavailable) {
+      // Only unavailability verdicts — the whole server (kUnavailable) or
+      // one shard of it (kShardUnavailable) — are retryable; anything else
+      // the wire reports propagates immediately.
       pending_fault_attempts_ = 0;
       pending_deadline_us_ = -1;
       return failure;

@@ -1,8 +1,27 @@
 #include "osn/ipc_transport.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <utility>
 
 namespace labelrw::osn {
+namespace {
+
+/// One backoff step: sleep the current delay, then grow it toward the cap.
+void BackoffStep(const ReconnectPolicy& policy, int64_t* backoff_us) {
+  const int64_t delay =
+      std::clamp<int64_t>(*backoff_us, 0, policy.max_backoff_us);
+  if (delay > 0) ::usleep(static_cast<useconds_t>(delay));
+  const double next = static_cast<double>(*backoff_us) *
+                      (policy.backoff_multiplier > 1.0
+                           ? policy.backoff_multiplier
+                           : 1.0);
+  *backoff_us = std::min<int64_t>(static_cast<int64_t>(next),
+                                  policy.max_backoff_us);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<IpcTransport>> IpcTransport::Connect(
     const std::string& shm_name, const Options& options) {
@@ -25,18 +44,38 @@ Result<std::unique_ptr<IpcTransport>> IpcTransport::Connect(
 Status IpcTransport::EnsureConnectedLocked() const {
   if (channel_ != nullptr && channel_->ServerAlive()) return Status::Ok();
   channel_.reset();
-  LABELRW_ASSIGN_OR_RETURN(
-      channel_, server::ShmClient::Connect(shm_name_, options_.channel));
-  if (channel_->info().store_fingerprint != fingerprint_) {
-    channel_.reset();
-    // Not retryable: the daemon came back serving different data. Spans
-    // already handed out describe the old store; the session must not mix
-    // the two.
-    return FailedPreconditionError(
-        "ipc: restarted crawl server at '" + shm_name_ +
-        "' serves a different store than this session started on");
+  const ReconnectPolicy& policy = options_.reconnect;
+  const uint32_t attempts = std::max<uint32_t>(policy.max_attempts, 1);
+  int64_t backoff_us = policy.initial_backoff_us;
+  Status last = Status::Ok();
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) BackoffStep(policy, &backoff_us);
+    ++stats_.reconnect_attempts;
+    Result<std::unique_ptr<server::ShmClient>> connected =
+        server::ShmClient::Connect(shm_name_, options_.channel);
+    if (connected.ok()) {
+      if (connected.value()->info().store_fingerprint != fingerprint_) {
+        // Not retryable: the daemon came back serving different data. Spans
+        // already handed out describe the old store; the session must not
+        // mix the two — refuse, never resume silently.
+        return FailedPreconditionError(
+            "ipc: restarted crawl server at '" + shm_name_ +
+            "' serves a different store than this session started on");
+      }
+      channel_ = std::move(connected).value();
+      ++stats_.reconnects;
+      return Status::Ok();
+    }
+    last = connected.status();
+    if (last.code() == StatusCode::kFailedPrecondition ||
+        last.code() == StatusCode::kInvalidArgument ||
+        last.code() == StatusCode::kInternal) {
+      // Wrong protocol version / not a crawl-server slab / unmappable:
+      // waiting will not fix these.
+      break;
+    }
   }
-  return Status::Ok();
+  return last;
 }
 
 Status IpcTransport::WireCheck() const {
@@ -59,19 +98,43 @@ Result<UserRecord> IpcTransport::FetchRecord(graph::NodeId user) const {
   if (user < 0 || user >= priors_.num_nodes) {
     return NotFoundError("FetchRecord: unknown user");
   }
-  LABELRW_RETURN_IF_ERROR(EnsureConnectedLocked());
-
+  // Reconnect-and-resume loop: a fetch interrupted by daemon death
+  // (kUnavailable) reconnects and re-posts; one that hit a partial outage
+  // (kShardUnavailable) keeps the session and re-posts after backoff,
+  // giving the shard's primary or a replica time to come back. Both are
+  // uncharged internal retries — the charged-call stream above this layer
+  // never sees them, which is what keeps mid-crawl restarts bit-invisible
+  // to the estimate.
+  const ReconnectPolicy& policy = options_.reconnect;
+  const uint32_t attempts = std::max<uint32_t>(policy.max_attempts, 1);
+  int64_t backoff_us = policy.initial_backoff_us;
   CachedRecord fetched;
-  const Status status = channel_->Fetch(user, &fetched.neighbors,
-                                        &fetched.labels, &fetched.degree);
-  if (!status.ok()) {
-    if (status.code() == StatusCode::kUnavailable) {
-      // Drop the dead lane now so the next call (or WireCheck) reconnects
-      // instead of re-timing-out on it.
-      channel_.reset();
+  Status status = Status::Ok();
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.fetch_retries;
+      BackoffStep(policy, &backoff_us);
     }
-    return status;
+    status = EnsureConnectedLocked();
+    if (status.ok()) {
+      fetched = CachedRecord{};
+      status = channel_->Fetch(user, &fetched.neighbors, &fetched.labels,
+                               &fetched.degree);
+      if (status.ok()) break;
+      if (status.code() == StatusCode::kUnavailable) {
+        // Drop the dead lane now so the retry (or WireCheck) reconnects
+        // instead of re-timing-out on it.
+        channel_.reset();
+      }
+    }
+    if (status.code() != StatusCode::kUnavailable &&
+        status.code() != StatusCode::kShardUnavailable) {
+      // kFailedPrecondition (fingerprint changed) and every data answer
+      // break out immediately — only fault codes are retried here.
+      return status;
+    }
   }
+  if (!status.ok()) return status;
   const auto [inserted, ok] = records_.emplace(user, std::move(fetched));
   (void)ok;
   UserRecord record;

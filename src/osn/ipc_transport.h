@@ -14,10 +14,16 @@
 // keep; OsnClient's own cache sits above it and keeps charged-call
 // accounting identical to the other backends.
 //
-// Server death surfaces as kUnavailable — the one retryable code — from
-// FetchRecord and WireCheck; the transport then reconnects lazily on the
-// next call, refusing (kFailedPrecondition) if the restarted daemon serves
-// a different store (fingerprint mismatch). HasWireEffects() is true so
+// Reconnect-and-resume: when the daemon dies (or drains) mid-crawl, the
+// transport re-enters connect under its ReconnectPolicy — wall-clock
+// backoff, bounded attempts — re-verifies the store fingerprint, and
+// re-posts the interrupted fetch, so a daemon restart is invisible to the
+// estimate (FetchRecord is uncharged data-plane: internal retries change
+// no charged-call accounting, and the arena keeps every span handed out
+// before the crash valid — bit-identity is test-enforced). A restarted
+// daemon serving a *different* store refuses with kFailedPrecondition,
+// never resumes silently. With attempts exhausted the failure surfaces as
+// kUnavailable — the code osn::RetryPolicy retries. HasWireEffects() is true so
 // OsnClient consults WireCheck per charged wire call, exactly like
 // ChaosTransport; the per-call accounting path is charge-identical to the
 // bulk path, keeping all ten algorithms bit-identical across
@@ -41,10 +47,33 @@
 
 namespace labelrw::osn {
 
+/// How hard the transport fights to re-establish its session after the
+/// daemon dies (or drains) mid-crawl. Backoff is wall-clock (::usleep):
+/// daemon restarts are real-time events, unlike the sim-clock RetryPolicy
+/// above this layer. max_attempts = 1 keeps the pre-reconnect behavior —
+/// one try, the failure surfaces to the caller.
+struct ReconnectPolicy {
+  /// Connect attempts per reconnect episode (and fetch attempts per
+  /// FetchRecord call). Must be >= 1.
+  uint32_t max_attempts = 1;
+  int64_t initial_backoff_us = 50'000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 1'000'000;
+};
+
+/// Fault counters of one transport (read under the same lock as the wire
+/// calls; exact).
+struct IpcTransportStats {
+  uint64_t reconnects = 0;          // sessions re-established after a death
+  uint64_t reconnect_attempts = 0;  // connect tries while disconnected
+  uint64_t fetch_retries = 0;       // fetches re-posted after a fault
+};
+
 class IpcTransport final : public Transport {
  public:
   struct Options {
     server::ShmClientOptions channel;
+    ReconnectPolicy reconnect;
   };
 
   /// Connects one session to the daemon serving `shm_name`. kUnavailable
@@ -68,6 +97,11 @@ class IpcTransport final : public Transport {
   /// Identity of the store behind the serving daemon.
   uint64_t store_fingerprint() const { return fingerprint_; }
 
+  IpcTransportStats ipc_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
  private:
   IpcTransport() = default;
 
@@ -88,6 +122,7 @@ class IpcTransport final : public Transport {
 
   mutable std::mutex mu_;
   mutable std::unique_ptr<server::ShmClient> channel_;
+  mutable IpcTransportStats stats_;
   /// Never-evicting record arena: unordered_map's node-based storage keeps
   /// every CachedRecord's address (and so every handed-out span) stable.
   mutable std::unordered_map<graph::NodeId, CachedRecord> records_;

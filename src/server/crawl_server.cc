@@ -133,6 +133,31 @@ Status CrawlServer::Start(const ServerOptions& options) {
   return Status::Ok();
 }
 
+bool CrawlServer::Drain(int64_t timeout_ms) {
+  if (!running_) return true;
+  header_->draining.store(1, std::memory_order_release);
+  // Wake every waiting client: their next predicate re-check sees the flag
+  // and stops posting. Workers keep serving what is already in flight.
+  for (uint32_t i = 0; i < options_.num_slots; ++i) {
+    FutexWakeAll(&ShmSlotAt(slab_, i)->resp_seq);
+  }
+  const int64_t deadline_us = ShmNowUs() + timeout_ms * 1'000;
+  for (;;) {
+    bool pending = false;
+    for (uint32_t i = 0; i < options_.num_slots; ++i) {
+      SessionSlot* slot = ShmSlotAt(slab_, i);
+      if (slot->req_seq.load(std::memory_order_acquire) !=
+          slot->resp_seq.load(std::memory_order_relaxed)) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) return true;
+    if (ShmNowUs() >= deadline_us) return false;
+    ::usleep(1'000);
+  }
+}
+
 void CrawlServer::Stop() {
   if (!running_) return;
   header_->alive.store(0, std::memory_order_release);
@@ -163,7 +188,12 @@ ServerStats CrawlServer::stats() const {
       sessions_reaped_dead_.load(std::memory_order_relaxed);
   stats.sessions_reaped_idle =
       sessions_reaped_idle_.load(std::memory_order_relaxed);
+  stats.fetches_shard_unavailable =
+      fetches_shard_unavailable_.load(std::memory_order_relaxed);
   if (running_) {
+    stats.fetches_failed_over = store_.fault_stats().failover_reads;
+    stats.draining =
+        header_->draining.load(std::memory_order_acquire) != 0;
     for (uint32_t i = 0; i < options_.num_slots; ++i) {
       if (ShmSlotAt(slab_, i)->state.load(std::memory_order_acquire) ==
           kSlotActive) {
@@ -202,7 +232,12 @@ void CrawlServer::ServeControl(uint32_t i) {
 
   switch (opcode) {
     case kOpHello: {
-      if (slot->state.load(std::memory_order_acquire) == kSlotHandshake) {
+      if (header_->draining.load(std::memory_order_acquire) != 0) {
+        // A draining daemon admits nobody: the connecting client retries
+        // against the successor via its reconnect backoff.
+        slot->status_code = static_cast<int32_t>(StatusCode::kUnavailable);
+      } else if (slot->state.load(std::memory_order_acquire) ==
+                 kSlotHandshake) {
         slot->status_code = static_cast<int32_t>(StatusCode::kOk);
         slot->state.store(kSlotActive, std::memory_order_release);
         sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -263,6 +298,23 @@ void CrawlServer::ServeFetchBatch(FetchBatch& batch) {
         const uint32_t i = batch.slots[tag];
         SessionSlot* slot = ShmSlotAt(slab_, i);
         const uint32_t req = slot->req_seq.load(std::memory_order_acquire);
+        if (batch.refs[tag].shard_down) {
+          // Every copy of the owning shard is down: a typed error frame —
+          // the client's retry machinery treats kShardUnavailable like
+          // kUnavailable — instead of a wedged slot or a bogus empty row.
+          slot->degree = 0;
+          slot->n_neighbors = 0;
+          slot->n_labels = 0;
+          slot->status_code =
+              static_cast<int32_t>(StatusCode::kShardUnavailable);
+          slot->last_active_us.store(now_us, std::memory_order_relaxed);
+          requests_served_.fetch_add(1, std::memory_order_relaxed);
+          fetches_shard_unavailable_.fetch_add(1, std::memory_order_relaxed);
+          slot->resp_seq.store(req, std::memory_order_release);
+          FutexWakeAll(&slot->resp_seq);
+          slot->claimed.store(0, std::memory_order_release);
+          return Status::Ok();
+        }
         const std::span<const graph::NodeId> neighbors =
             store_.NeighborsAt(batch.refs[tag]);
         const std::span<const graph::Label> labels =

@@ -67,6 +67,12 @@ struct ServerStats {
   uint64_t sessions_reaped_dead = 0;  // client pid vanished
   uint64_t sessions_reaped_idle = 0;  // idle_timeout_ms expired
   uint32_t active_sessions = 0;
+  /// Fault-tolerance axis (store::ShardFaultStats plus the typed error
+  /// frames): reads served by a replica after the primary went down, and
+  /// fetches answered kShardUnavailable because every copy was down.
+  uint64_t fetches_failed_over = 0;
+  uint64_t fetches_shard_unavailable = 0;
+  bool draining = false;
 };
 
 class CrawlServer {
@@ -83,8 +89,26 @@ class CrawlServer {
   /// Clean shutdown; idempotent. Safe to call on a never-started server.
   void Stop();
 
+  /// Graceful drain for shutdown: publishes the slab's `draining` flag so
+  /// clients stop posting new work (they see kUnavailable and fail over to
+  /// the reconnect path), then waits up to `timeout_ms` for every in-flight
+  /// request to be answered. Returns true when the slab went quiescent,
+  /// false on timeout — the caller Stop()s either way, the bool is for the
+  /// shutdown log line. No-op (true) on a non-running server.
+  bool Drain(int64_t timeout_ms);
+
   bool running() const { return running_; }
   const store::ShardedMappedGraph& store() const { return store_; }
+
+  /// Chaos hooks, forwarded to the store's shard health machinery
+  /// (store/sharded_graph.h): install a deterministic outage schedule and
+  /// advance its clock. Benches drive these; production servers never do.
+  Status SetShardFaultSchedule(store::ShardFaultSchedule schedule) {
+    return store_.AttachFaultSchedule(std::move(schedule));
+  }
+  void AdvanceShardFaultClock(int64_t now_us) {
+    store_.AdvanceFaultClock(now_us);
+  }
 
   /// Point-in-time counters (relaxed reads; exact only when quiescent).
   ServerStats stats() const;
@@ -122,6 +146,7 @@ class CrawlServer {
   std::atomic<uint64_t> sessions_admitted_{0};
   std::atomic<uint64_t> sessions_reaped_dead_{0};
   std::atomic<uint64_t> sessions_reaped_idle_{0};
+  std::atomic<uint64_t> fetches_shard_unavailable_{0};
 };
 
 }  // namespace labelrw::server

@@ -89,6 +89,10 @@ Result<std::unique_ptr<ShmClient>> ShmClient::Connect(
       !ShmPidAlive(header->server_pid)) {
     return ServerGoneError("at shm '" + shm_name + "' is not alive");
   }
+  if (header->draining.load(std::memory_order_acquire) != 0) {
+    return ServerGoneError("at shm '" + shm_name +
+                           "' is draining for shutdown");
+  }
   if (header->num_slots == 0 ||
       ShmSlabBytes(header->num_slots, header->payload_capacity) >
           mapped_bytes) {
@@ -203,6 +207,13 @@ Status ShmClient::Fetch(graph::NodeId u,
           static_cast<int32_t>(::getpid())) {
     slot_ = nullptr;  // lane lost; do not goodbye someone else's slot
     return ServerGoneError("reclaimed this session's slot");
+  }
+
+  // A draining daemon answers what is already in flight but takes nothing
+  // new; refusing here (kUnavailable) routes this fetch to the transport's
+  // reconnect path against the successor daemon.
+  if (header_->draining.load(std::memory_order_acquire) != 0) {
+    return ServerGoneError("is draining for shutdown");
   }
 
   slot->opcode = kOpFetchRecord;

@@ -48,7 +48,10 @@
 namespace labelrw::server {
 
 inline constexpr char kShmMagic[8] = {'L', 'R', 'W', 'G', 'S', 'H', 'M', '1'};
-inline constexpr uint32_t kShmProtocolVersion = 1;
+/// v2 turned the header's reserved cell into the `draining` flag (graceful
+/// shutdown). The slab is ephemeral per-daemon state — no cross-version
+/// compatibility to keep — so the version simply gates mixed builds.
+inline constexpr uint32_t kShmProtocolVersion = 2;
 
 /// SessionSlot::state values.
 enum SlotState : uint32_t {
@@ -90,7 +93,11 @@ struct ShmHeader {
   int64_t max_label_row = 0;
   uint64_t store_fingerprint = 0;  // ShardedMappedGraph::fingerprint()
   uint32_t num_shards = 0;
-  uint32_t reserved = 0;
+  /// 1 while the daemon drains for shutdown: in-flight requests finish,
+  /// but clients must stop posting new work (Fetch/Connect return
+  /// kUnavailable, which the transport's reconnect path retries against
+  /// the successor daemon).
+  std::atomic<uint32_t> draining{0};
   uint64_t hash_seed = 0;
 };
 

@@ -53,6 +53,49 @@ struct OutputFile {
   }
 };
 
+/// Byte-copy of a finished shard file: replicas must be exact copies so the
+/// primary's manifest digest (header checksum + file_bytes) validates them.
+Status CopyFile(const std::string& from, const std::string& to) {
+  std::FILE* src = std::fopen(from.c_str(), "rb");
+  if (src == nullptr) {
+    return InternalError("cannot reopen shard '" + from +
+                         "' for replication: " + std::strerror(errno));
+  }
+  OutputFile out;
+  out.path = to;
+  out.f = std::fopen(to.c_str(), "wb");
+  if (out.f == nullptr) {
+    std::fclose(src);
+    return WriteError(to);
+  }
+  std::vector<char> buf(1 << 20);
+  for (;;) {
+    const size_t got = std::fread(buf.data(), 1, buf.size(), src);
+    if (got == 0) break;
+    if (std::fwrite(buf.data(), 1, got, out.f) != got) {
+      std::fclose(src);
+      return WriteError(to);
+    }
+  }
+  const bool read_ok = std::ferror(src) == 0;
+  std::fclose(src);
+  if (!read_ok) {
+    return InternalError("cannot read shard '" + from +
+                         "' during replication");
+  }
+  if (std::fflush(out.f) != 0) return WriteError(to);
+  out.keep = true;
+  return Status::Ok();
+}
+
+/// The path recorded in the manifest's replica table: relative to the
+/// manifest's directory (shard files always sit next to the manifest).
+std::string ReplicaTablePath(const std::string& full_path) {
+  const size_t slash = full_path.find_last_of('/');
+  return slash == std::string::npos ? full_path
+                                    : full_path.substr(slash + 1);
+}
+
 }  // namespace
 
 Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
@@ -66,6 +109,11 @@ Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
     return InvalidArgumentError(
         "shard pass: num_shards above 4096 is not supported (one file and "
         "one mapping per shard)");
+  }
+  if (options.num_replicas > 8) {
+    return InvalidArgumentError(
+        "shard pass: num_replicas above 8 is not supported (each replica "
+        "duplicates the full store on disk)");
   }
 
   MapOptions map_options;
@@ -88,8 +136,12 @@ Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
   }
 
   std::vector<ManifestShardEntry> entries(num_shards);
+  std::vector<ManifestReplicaEntry> replica_entries;
+  replica_entries.reserve(static_cast<size_t>(num_shards) *
+                          options.num_replicas);
   ShardWriteStats stats;
   stats.num_shards = num_shards;
+  stats.num_replicas = options.num_replicas;
   stats.num_nodes = n;
   stats.num_edges = g.num_edges();
   stats.has_remap = has_remap;
@@ -228,6 +280,20 @@ Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
     entry.file_bytes = pos;
     entry.shard_header_checksum = header.header_checksum;
 
+    for (uint32_t r = 0; r < options.num_replicas; ++r) {
+      const std::string replica_path = ShardReplicaFilePath(out_prefix, k, r);
+      LABELRW_RETURN_IF_ERROR(CopyFile(out.path, replica_path));
+      ManifestReplicaEntry replica{};
+      const std::string table_path = ReplicaTablePath(replica_path);
+      if (table_path.empty() || table_path.size() >= sizeof(replica.path)) {
+        return InvalidArgumentError(
+            "shard pass: replica path '" + table_path +
+            "' does not fit the manifest's replica table (255 bytes max)");
+      }
+      std::memcpy(replica.path, table_path.data(), table_path.size());
+      replica_entries.push_back(replica);
+    }
+
     stats.min_shard_nodes = std::min(stats.min_shard_nodes, n_k);
     stats.max_shard_nodes = std::max(stats.max_shard_nodes, n_k);
   }
@@ -239,6 +305,7 @@ Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
   manifest.header_bytes = sizeof(ManifestHeader);
   manifest.flags = has_remap ? kShardFlagHasRemap : 0;
   manifest.num_shards = num_shards;
+  manifest.num_replicas = options.num_replicas;
   manifest.hash_seed = options.hash_seed;
   manifest.num_nodes = n;
   manifest.num_edges = g.num_edges();
@@ -249,6 +316,12 @@ Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
   manifest.max_label_row = max_label_row;
   manifest.entries_checksum =
       Fnv1a64(entries.data(), entries.size() * sizeof(ManifestShardEntry));
+  if (!replica_entries.empty()) {
+    manifest.entries_checksum =
+        Fnv1a64(replica_entries.data(),
+                replica_entries.size() * sizeof(ManifestReplicaEntry),
+                manifest.entries_checksum);
+  }
   manifest.header_checksum = ManifestHeaderChecksum(manifest);
 
   OutputFile out;
@@ -258,6 +331,10 @@ Result<ShardWriteStats> WriteShardedStore(const std::string& store_path,
   if (std::fwrite(&manifest, 1, sizeof(manifest), out.f) != sizeof(manifest) ||
       std::fwrite(entries.data(), sizeof(ManifestShardEntry), entries.size(),
                   out.f) != entries.size() ||
+      (!replica_entries.empty() &&
+       std::fwrite(replica_entries.data(), sizeof(ManifestReplicaEntry),
+                   replica_entries.size(),
+                   out.f) != replica_entries.size()) ||
       std::fflush(out.f) != 0) {
     return WriteError(out.path);
   }

@@ -26,10 +26,16 @@ struct ShardWriteOptions {
   /// The partitioner seed recorded in the manifest. Any fixed value works;
   /// changing it re-deals every node.
   uint64_t hash_seed = 0x5ca1ab1e;
+  /// Replica copies written per shard (`<prefix>.shard<k>.r<r>.lgs`,
+  /// byte-identical to the primary) and recorded in the manifest's replica
+  /// table, so the serving tier can fail reads over when a shard's primary
+  /// goes down (store/sharded_graph.h). 0 = no replicas.
+  uint32_t num_replicas = 0;
 };
 
 struct ShardWriteStats {
   uint32_t num_shards = 0;
+  uint32_t num_replicas = 0;
   int64_t num_nodes = 0;
   int64_t num_edges = 0;
   int64_t min_shard_nodes = 0;  // smallest shard's owner count

@@ -31,6 +31,15 @@
 // checksum, so a shard file swapped in from a different run (same node
 // counts, different seed or data) fails closed at open time instead of
 // serving the wrong rows.
+//
+// Replicas (optional): a shard pass run with num_replicas = R > 0 writes R
+// byte-identical copies of every shard file (`<prefix>.shard<k>.r<r>.lgs`)
+// and appends a table of num_shards x R ManifestReplicaEntry path records
+// after the shard entries. Because replicas are exact copies, the primary's
+// digest (header checksum + file_bytes) validates every copy at open; the
+// serving tier fails reads over to the lowest live copy when a
+// ShardFaultSchedule (store/sharded_graph.h) takes the primary down. A
+// manifest with no replicas is byte-identical to the pre-replica format.
 
 #ifndef LABELRW_STORE_SHARDED_FORMAT_H_
 #define LABELRW_STORE_SHARDED_FORMAT_H_
@@ -117,6 +126,19 @@ struct ManifestShardEntry {
 static_assert(sizeof(ManifestShardEntry) == 5 * sizeof(uint64_t),
               "ManifestShardEntry must stay tightly packed");
 
+/// One replica file's path record. Replica entries follow the shard entries
+/// in replica-major order: shard 0's replicas 0..R-1, then shard 1's, ...
+/// Paths are NUL-terminated, relative to the manifest's directory unless
+/// absolute, and must be unique across the whole store (primaries
+/// included) — a manifest listing the same file twice fails closed.
+struct ManifestReplicaEntry {
+  char path[256] = {};
+};
+
+static_assert(sizeof(ManifestReplicaEntry) == 256,
+              "ManifestReplicaEntry must stay fixed-size: the replica table "
+              "is read with one positional fread and checksummed bytewise");
+
 struct ManifestHeader {
   char magic[8] = {};
   uint32_t format_version = 0;
@@ -124,7 +146,10 @@ struct ManifestHeader {
   uint32_t header_bytes = 0;  // sizeof(ManifestHeader) at write time
   uint32_t flags = 0;
   uint32_t num_shards = 0;
-  uint32_t reserved = 0;
+  /// Replica copies per shard (0 = none). Occupies the original reserved
+  /// cell, so pre-replica manifests read back as num_replicas = 0 with the
+  /// same bytes and the same header checksum.
+  uint32_t num_replicas = 0;
   uint64_t hash_seed = 0;
   int64_t num_nodes = 0;
   int64_t num_edges = 0;
@@ -137,7 +162,9 @@ struct ManifestHeader {
   /// Largest per-node label row, for sizing fixed response buffers.
   int64_t max_label_row = 0;
   /// FNV-1a 64 over the num_shards ManifestShardEntry records that follow
-  /// the header in the file.
+  /// the header in the file, chained over the num_shards * num_replicas
+  /// ManifestReplicaEntry records after them (identical to the plain
+  /// shard-table digest when num_replicas is 0).
   uint64_t entries_checksum = 0;
   /// FNV-1a 64 over every header byte before this field.
   uint64_t header_checksum = 0;
@@ -176,6 +203,14 @@ inline uint32_t ShardOfNode(graph::NodeId node, uint64_t seed,
 /// File naming convention of a sharded store rooted at `prefix`.
 inline std::string ShardFilePath(const std::string& prefix, uint32_t shard) {
   return prefix + ".shard" + std::to_string(shard) + ".lgs";
+}
+/// Default replica naming; the manifest's replica table is authoritative
+/// (replicas may live on other disks), this is just what the shard pass
+/// writes.
+inline std::string ShardReplicaFilePath(const std::string& prefix,
+                                        uint32_t shard, uint32_t replica) {
+  return prefix + ".shard" + std::to_string(shard) + ".r" +
+         std::to_string(replica) + ".lgs";
 }
 inline std::string ManifestFilePath(const std::string& prefix) {
   return prefix + ".manifest";

@@ -13,8 +13,20 @@
 namespace labelrw::store {
 namespace {
 
+/// A replica-table path resolved against the manifest's directory (replica
+/// entries are relative unless absolute; shard files sit next to the
+/// manifest).
+std::string ResolveReplicaPath(const std::string& manifest_path,
+                               const std::string& rel) {
+  if (!rel.empty() && rel[0] == '/') return rel;
+  const size_t slash = manifest_path.find_last_of('/');
+  if (slash == std::string::npos) return rel;
+  return manifest_path.substr(0, slash + 1) + rel;
+}
+
 Status ReadManifest(const std::string& path, ManifestHeader* header,
-                    std::vector<ManifestShardEntry>* entries) {
+                    std::vector<ManifestShardEntry>* entries,
+                    std::vector<ManifestReplicaEntry>* replicas) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return NotFoundError("cannot open shard manifest '" + path +
@@ -71,9 +83,22 @@ Status ReadManifest(const std::string& path, ManifestHeader* header,
     return InvalidArgumentError("shard manifest '" + path +
                                 "' has negative counts");
   }
+  if (header->num_replicas > 8) {
+    std::fclose(f);
+    return InvalidArgumentError("shard manifest '" + path +
+                                "' names an unsupported replica count");
+  }
   entries->assign(header->num_shards, ManifestShardEntry{});
   const size_t read = std::fread(entries->data(), sizeof(ManifestShardEntry),
                                  entries->size(), f);
+  replicas->assign(static_cast<size_t>(header->num_shards) *
+                       header->num_replicas,
+                   ManifestReplicaEntry{});
+  const size_t replica_read =
+      replicas->empty()
+          ? 0
+          : std::fread(replicas->data(), sizeof(ManifestReplicaEntry),
+                       replicas->size(), f);
   char extra = 0;
   const bool trailing = std::fread(&extra, 1, 1, f) == 1;
   std::fclose(f);
@@ -81,16 +106,59 @@ Status ReadManifest(const std::string& path, ManifestHeader* header,
     return InvalidArgumentError("shard manifest '" + path +
                                 "' is truncated (missing shard entries)");
   }
+  if (replica_read != replicas->size()) {
+    return InvalidArgumentError(
+        "shard manifest '" + path +
+        "' is truncated (replica table shorter than num_shards x "
+        "num_replicas)");
+  }
   if (trailing) {
     return InvalidArgumentError("shard manifest '" + path +
                                 "' has trailing bytes");
   }
-  if (Fnv1a64(entries->data(),
-              entries->size() * sizeof(ManifestShardEntry)) !=
-      header->entries_checksum) {
+  uint64_t entries_checksum =
+      Fnv1a64(entries->data(), entries->size() * sizeof(ManifestShardEntry));
+  if (!replicas->empty()) {
+    entries_checksum =
+        Fnv1a64(replicas->data(),
+                replicas->size() * sizeof(ManifestReplicaEntry),
+                entries_checksum);
+  }
+  if (entries_checksum != header->entries_checksum) {
     return InvalidArgumentError(
         "shard manifest '" + path +
         "' has a corrupt shard table (checksum mismatch)");
+  }
+  // Replica paths must be well-formed and name distinct files — a table
+  // that routes two copies (or a copy and its primary) at the same file
+  // would make "failover" a read of the same bytes that just went down.
+  const std::string prefix = PrefixFromManifestPath(path);
+  std::vector<std::string> seen;
+  for (uint32_t k = 0; k < header->num_shards; ++k) {
+    seen.push_back(ShardFilePath(prefix, k));
+  }
+  for (size_t i = 0; i < replicas->size(); ++i) {
+    const ManifestReplicaEntry& entry = (*replicas)[i];
+    const size_t len = ::strnlen(entry.path, sizeof(entry.path));
+    if (len == sizeof(entry.path)) {
+      return InvalidArgumentError(
+          "shard manifest '" + path + "' replica entry " + std::to_string(i) +
+          " is not NUL-terminated");
+    }
+    if (len == 0) {
+      return InvalidArgumentError("shard manifest '" + path +
+                                  "' replica entry " + std::to_string(i) +
+                                  " has an empty path");
+    }
+    seen.push_back(ResolveReplicaPath(path, std::string(entry.path, len)));
+  }
+  std::vector<std::string> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return InvalidArgumentError(
+        "shard manifest '" + path +
+        "' lists the same file for two store copies (duplicate replica "
+        "path)");
   }
   return Status::Ok();
 }
@@ -227,14 +295,14 @@ int64_t ShardedMappedGraph::LocalIndex(const Shard& shard, graph::NodeId u) {
 }
 
 int64_t ShardedMappedGraph::DegreeFast(graph::NodeId u) const {
-  const Shard& shard = *shards_[ShardOf(u)];
+  const Shard& shard = FastShard(ShardOf(u));
   const int64_t i = LocalIndex(shard, u);
   return i < 0 ? 0 : shard.offsets[i + 1] - shard.offsets[i];
 }
 
 std::span<const graph::NodeId> ShardedMappedGraph::NeighborsFast(
     graph::NodeId u) const {
-  const Shard& shard = *shards_[ShardOf(u)];
+  const Shard& shard = FastShard(ShardOf(u));
   const int64_t i = LocalIndex(shard, u);
   if (i < 0) return {};
   return shard.adjacency.subspan(
@@ -244,7 +312,7 @@ std::span<const graph::NodeId> ShardedMappedGraph::NeighborsFast(
 
 std::span<const graph::Label> ShardedMappedGraph::LabelsFast(
     graph::NodeId u) const {
-  const Shard& shard = *shards_[ShardOf(u)];
+  const Shard& shard = FastShard(ShardOf(u));
   const int64_t i = LocalIndex(shard, u);
   if (i < 0) return {};
   return shard.labels.subspan(
@@ -254,109 +322,256 @@ std::span<const graph::Label> ShardedMappedGraph::LabelsFast(
 }
 
 graph::NodeId ShardedMappedGraph::OriginalIdOf(graph::NodeId u) const {
-  const Shard& shard = *shards_[ShardOf(u)];
+  const Shard& shard = FastShard(ShardOf(u));
   if (shard.remap.empty()) return u;
   const int64_t i = LocalIndex(shard, u);
   return i < 0 ? u : shard.remap[static_cast<size_t>(i)];
+}
+
+Result<std::unique_ptr<ShardedMappedGraph::Shard>>
+ShardedMappedGraph::OpenShardFile(const std::string& path,
+                                  const ManifestHeader& manifest,
+                                  const ManifestShardEntry& entry,
+                                  uint32_t index, const MapOptions& options) {
+  auto shard = std::make_unique<Shard>();
+  shard->path = path;
+
+  const int fd = ::open(shard->path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return NotFoundError("cannot open shard '" + shard->path +
+                         "': " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return InternalError("cannot stat shard '" + shard->path +
+                         "': " + std::strerror(errno));
+  }
+  const auto file_bytes = static_cast<uint64_t>(st.st_size);
+  if (file_bytes < sizeof(ShardHeader)) {
+    ::close(fd);
+    return InvalidArgumentError("shard '" + shard->path +
+                                "' is truncated (smaller than the header)");
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return InternalError("cannot map shard '" + shard->path +
+                         "': " + std::strerror(errno));
+  }
+  shard->map = map;
+  shard->map_bytes = static_cast<size_t>(file_bytes);
+
+  std::memcpy(&shard->header, map, sizeof(ShardHeader));
+  LABELRW_RETURN_IF_ERROR(ValidateShardHeader(
+      shard->header, manifest, entry, index, file_bytes, shard->path));
+  ApplyMapAdvice(map, shard->map_bytes,
+                 shard->header.sections[kShardSectionCsrOffsets].file_offset,
+                 shard->header.sections[kShardSectionCsrOffsets].byte_size,
+                 options, shard->path);
+
+  if (options.verify_section_checksums) {
+    for (uint32_t s = 0; s < kNumShardSections; ++s) {
+      const SectionDesc& desc = shard->header.sections[s];
+      const uint64_t actual = Fnv1a64(
+          static_cast<const char*>(map) + desc.file_offset, desc.byte_size);
+      if (actual != desc.checksum) {
+        return InvalidArgumentError(
+            "shard '" + shard->path + "' section " + std::to_string(s) +
+            " is corrupt (checksum mismatch)");
+      }
+    }
+  }
+
+  shard->owners = SectionSpan<graph::NodeId>(
+      map, shard->header.sections[kShardSectionOwners]);
+  shard->offsets = SectionSpan<int64_t>(
+      map, shard->header.sections[kShardSectionCsrOffsets]);
+  shard->adjacency = SectionSpan<graph::NodeId>(
+      map, shard->header.sections[kShardSectionAdjacency]);
+  shard->label_offsets = SectionSpan<int64_t>(
+      map, shard->header.sections[kShardSectionLabelOffsets]);
+  shard->labels = SectionSpan<graph::Label>(
+      map, shard->header.sections[kShardSectionLabels]);
+  shard->remap = SectionSpan<graph::NodeId>(
+      map, shard->header.sections[kShardSectionRemap]);
+
+  // Front/back anchors (same role as the monolithic open): with monotone
+  // offsets — VerifyShardedStore's deep pass — these bound every local
+  // row inside its section.
+  if (shard->offsets.front() != 0 ||
+      shard->offsets.back() !=
+          static_cast<int64_t>(shard->adjacency.size())) {
+    return InvalidArgumentError(
+        "shard '" + shard->path +
+        "' CSR offsets do not close over the adjacency section");
+  }
+  if (shard->label_offsets.front() != 0 ||
+      shard->label_offsets.back() !=
+          static_cast<int64_t>(shard->labels.size())) {
+    return InvalidArgumentError(
+        "shard '" + shard->path +
+        "' label offsets do not close over the label section");
+  }
+  shard->local_view = graph::Graph::FromExternal(
+      shard->offsets, shard->adjacency, shard->header.local_max_degree);
+  return shard;
 }
 
 Result<ShardedMappedGraph> ShardedMappedGraph::Open(
     const std::string& manifest_path, const MapOptions& options) {
   ShardedMappedGraph sharded;
   sharded.prefix_ = PrefixFromManifestPath(manifest_path);
+  const std::string manifest_file = ManifestFilePath(sharded.prefix_);
 
   std::vector<ManifestShardEntry> entries;
-  LABELRW_RETURN_IF_ERROR(ReadManifest(ManifestFilePath(sharded.prefix_),
-                                       &sharded.manifest_, &entries));
+  std::vector<ManifestReplicaEntry> replica_entries;
+  LABELRW_RETURN_IF_ERROR(ReadManifest(manifest_file, &sharded.manifest_,
+                                       &entries, &replica_entries));
 
   sharded.shards_.reserve(sharded.manifest_.num_shards);
+  sharded.replicas_.resize(sharded.manifest_.num_shards);
   for (uint32_t k = 0; k < sharded.manifest_.num_shards; ++k) {
-    auto shard = std::make_unique<Shard>();
-    shard->path = ShardFilePath(sharded.prefix_, k);
-
-    const int fd = ::open(shard->path.c_str(), O_RDONLY);
-    if (fd < 0) {
-      return NotFoundError("cannot open shard '" + shard->path +
-                           "': " + std::strerror(errno));
-    }
-    struct stat st {};
-    if (::fstat(fd, &st) != 0) {
-      ::close(fd);
-      return InternalError("cannot stat shard '" + shard->path +
-                           "': " + std::strerror(errno));
-    }
-    const auto file_bytes = static_cast<uint64_t>(st.st_size);
-    if (file_bytes < sizeof(ShardHeader)) {
-      ::close(fd);
-      return InvalidArgumentError("shard '" + shard->path +
-                                  "' is truncated (smaller than the header)");
-    }
-    void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);
-    if (map == MAP_FAILED) {
-      return InternalError("cannot map shard '" + shard->path +
-                           "': " + std::strerror(errno));
-    }
-    shard->map = map;
-    shard->map_bytes = static_cast<size_t>(file_bytes);
-
-    std::memcpy(&shard->header, map, sizeof(ShardHeader));
-    LABELRW_RETURN_IF_ERROR(ValidateShardHeader(shard->header,
-                                                sharded.manifest_, entries[k],
-                                                k, file_bytes, shard->path));
-    ApplyMapAdvice(map, shard->map_bytes,
-                   shard->header.sections[kShardSectionCsrOffsets].file_offset,
-                   shard->header.sections[kShardSectionCsrOffsets].byte_size,
-                   options, shard->path);
-
-    if (options.verify_section_checksums) {
-      for (uint32_t s = 0; s < kNumShardSections; ++s) {
-        const SectionDesc& desc = shard->header.sections[s];
-        const uint64_t actual = Fnv1a64(
-            static_cast<const char*>(map) + desc.file_offset, desc.byte_size);
-        if (actual != desc.checksum) {
-          return InvalidArgumentError(
-              "shard '" + shard->path + "' section " + std::to_string(s) +
-              " is corrupt (checksum mismatch)");
-        }
-      }
-    }
-
-    shard->owners = SectionSpan<graph::NodeId>(
-        map, shard->header.sections[kShardSectionOwners]);
-    shard->offsets = SectionSpan<int64_t>(
-        map, shard->header.sections[kShardSectionCsrOffsets]);
-    shard->adjacency = SectionSpan<graph::NodeId>(
-        map, shard->header.sections[kShardSectionAdjacency]);
-    shard->label_offsets = SectionSpan<int64_t>(
-        map, shard->header.sections[kShardSectionLabelOffsets]);
-    shard->labels = SectionSpan<graph::Label>(
-        map, shard->header.sections[kShardSectionLabels]);
-    shard->remap = SectionSpan<graph::NodeId>(
-        map, shard->header.sections[kShardSectionRemap]);
-
-    // Front/back anchors (same role as the monolithic open): with monotone
-    // offsets — VerifyShardedStore's deep pass — these bound every local
-    // row inside its section.
-    if (shard->offsets.front() != 0 ||
-        shard->offsets.back() !=
-            static_cast<int64_t>(shard->adjacency.size())) {
-      return InvalidArgumentError(
-          "shard '" + shard->path +
-          "' CSR offsets do not close over the adjacency section");
-    }
-    if (shard->label_offsets.front() != 0 ||
-        shard->label_offsets.back() !=
-            static_cast<int64_t>(shard->labels.size())) {
-      return InvalidArgumentError(
-          "shard '" + shard->path +
-          "' label offsets do not close over the label section");
-    }
-    shard->local_view = graph::Graph::FromExternal(
-        shard->offsets, shard->adjacency, shard->header.local_max_degree);
+    LABELRW_ASSIGN_OR_RETURN(
+        std::unique_ptr<Shard> shard,
+        OpenShardFile(ShardFilePath(sharded.prefix_, k), sharded.manifest_,
+                      entries[k], k, options));
     sharded.shards_.push_back(std::move(shard));
+    // Every replica is validated against the same digest as its primary:
+    // a replica that is not byte-identical fails the header checksum /
+    // file_bytes binding here instead of serving divergent rows after a
+    // failover.
+    for (uint32_t r = 0; r < sharded.manifest_.num_replicas; ++r) {
+      const ManifestReplicaEntry& entry =
+          replica_entries[static_cast<size_t>(k) *
+                              sharded.manifest_.num_replicas +
+                          r];
+      const std::string replica_path = ResolveReplicaPath(
+          manifest_file,
+          std::string(entry.path,
+                      ::strnlen(entry.path, sizeof(entry.path))));
+      LABELRW_ASSIGN_OR_RETURN(
+          std::unique_ptr<Shard> replica,
+          OpenShardFile(replica_path, sharded.manifest_, entries[k], k,
+                        options));
+      sharded.replicas_[k].push_back(std::move(replica));
+    }
   }
   return sharded;
+}
+
+Status ShardFaultSchedule::Validate(uint32_t num_shards) const {
+  uint32_t prev_shard = 0;
+  int64_t prev_end = -1;
+  for (size_t i = 0; i < outages.size(); ++i) {
+    const ShardOutage& w = outages[i];
+    if (w.shard >= num_shards) {
+      return InvalidArgumentError(
+          "shard fault schedule: outage " + std::to_string(i) +
+          " names shard " + std::to_string(w.shard) + " of a " +
+          std::to_string(num_shards) + "-shard store");
+    }
+    if (w.start_us < 0 || w.end_us <= w.start_us) {
+      return InvalidArgumentError(
+          "shard fault schedule: outage " + std::to_string(i) +
+          " has an empty or negative window");
+    }
+    if (i > 0) {
+      if (w.shard < prev_shard ||
+          (w.shard == prev_shard && w.start_us < prev_end)) {
+        return InvalidArgumentError(
+            "shard fault schedule: outages must be sorted by (shard, start) "
+            "with disjoint windows per shard (violated at " +
+            std::to_string(i) + ")");
+      }
+    }
+    prev_shard = w.shard;
+    prev_end = w.end_us;
+  }
+  return Status::Ok();
+}
+
+bool ShardFaultSchedule::PrimaryDownAt(uint32_t shard, int64_t now_us) const {
+  for (const ShardOutage& w : outages) {
+    if (w.shard != shard) continue;
+    if (now_us >= w.start_us && now_us < w.end_us) return true;
+  }
+  return false;
+}
+
+Status ShardedMappedGraph::AttachFaultSchedule(ShardFaultSchedule schedule) {
+  LABELRW_RETURN_IF_ERROR(schedule.Validate(manifest_.num_shards));
+  fault_schedule_ = std::move(schedule);
+  AdvanceFaultClock(0);
+  return Status::Ok();
+}
+
+void ShardedMappedGraph::AdvanceFaultClock(int64_t now_us) const {
+  for (const ShardOutage& w : fault_schedule_.outages) {
+    const Shard& shard = *shards_[w.shard];
+    const bool down = fault_schedule_.PrimaryDownAt(w.shard, now_us);
+    uint32_t mask = shard.down_mask.load(std::memory_order_relaxed);
+    const uint32_t want = down ? (mask | 1u) : (mask & ~1u);
+    if (want != mask) {
+      // CAS loop: the primary bit must not clobber concurrent SetCopyDown
+      // flips of replica bits.
+      while (!shard.down_mask.compare_exchange_weak(
+          mask, down ? (mask | 1u) : (mask & ~1u),
+          std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      }
+    }
+  }
+}
+
+void ShardedMappedGraph::SetCopyDown(uint32_t shard, uint32_t copy,
+                                     bool down) const {
+  if (shard >= shards_.size()) return;
+  const uint32_t copies =
+      1 + static_cast<uint32_t>(replicas_[shard].size());
+  if (copy >= copies) return;
+  const uint32_t bit = 1u << copy;
+  if (down) {
+    shards_[shard]->down_mask.fetch_or(bit, std::memory_order_acq_rel);
+  } else {
+    shards_[shard]->down_mask.fetch_and(~bit, std::memory_order_acq_rel);
+  }
+}
+
+ShardFaultStats ShardedMappedGraph::fault_stats() const {
+  ShardFaultStats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    stats.failover_reads +=
+        shard->failover_reads.load(std::memory_order_relaxed);
+    stats.unavailable_reads +=
+        shard->unavailable_reads.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+Status ShardedMappedGraph::CheckIntact() const {
+  const auto check = [](const Shard& shard) -> Status {
+    struct stat st {};
+    if (::stat(shard.path.c_str(), &st) != 0) {
+      return DataLossError("sharded store file '" + shard.path +
+                           "' vanished after open: " + std::strerror(errno));
+    }
+    if (static_cast<uint64_t>(st.st_size) < shard.map_bytes) {
+      return DataLossError(
+          "sharded store file '" + shard.path + "' shrank from " +
+          std::to_string(shard.map_bytes) + " to " +
+          std::to_string(st.st_size) +
+          " bytes after open; reads through the mapping would fault "
+          "(SIGBUS)");
+    }
+    return Status::Ok();
+  };
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    LABELRW_RETURN_IF_ERROR(check(*shards_[k]));
+    for (const std::unique_ptr<Shard>& replica : replicas_[k]) {
+      LABELRW_RETURN_IF_ERROR(check(*replica));
+    }
+  }
+  return Status::Ok();
 }
 
 Status VerifyShardedStoreImpl(const ShardedMappedGraph& store) {
@@ -459,6 +674,21 @@ Status VerifyShardedStoreImpl(const ShardedMappedGraph& store) {
     total_adjacency += static_cast<int64_t>(shard.adjacency.size());
     total_labels += static_cast<int64_t>(shard.labels.size());
     max_degree = std::max(max_degree, local_max_degree);
+
+    // Replica copies must be byte-identical to the primary — the whole
+    // failover story (the manifest digest validating every copy, either
+    // copy serving the same rows) rests on it. Open proved headers and
+    // sizes match; the deep pass proves the payload does too.
+    for (size_t r = 0; r < store.replicas_[k].size(); ++r) {
+      const ShardedMappedGraph::Shard& replica = *store.replicas_[k][r];
+      if (replica.map_bytes != shard.map_bytes ||
+          std::memcmp(replica.map, shard.map, shard.map_bytes) != 0) {
+        return InvalidArgumentError(
+            "replica '" + replica.path +
+            "' is not byte-identical to its primary '" + path +
+            "'; failover would serve divergent rows");
+      }
+    }
   }
 
   // Conservation laws: together with the per-owner partitioner check and

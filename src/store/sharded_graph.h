@@ -15,10 +15,24 @@
 // whole-graph FastGraphView; per-shard local CSR views (ShardGraphView)
 // serve iteration and prefetching within one shard — the crawl-server
 // workers' access pattern.
+//
+// Fault tolerance: when the manifest carries replicas, every copy of every
+// shard is mapped and validated at open. Per-shard health is a bitmask of
+// down copies (bit 0 = primary, bit r+1 = replica r); reads route to the
+// lowest live copy, so a down primary fails over deterministically —
+// replica 0, then 1, ... — and serves byte-identical rows. A
+// ShardFaultSchedule drives the primary bit as a pure function of
+// (schedule, sim time), the same discipline as osn/chaos.h: embedders call
+// AdvanceFaultClock at their sim-clock edges and two runs with the same
+// schedule see the same outage at the same instant. A shard with every
+// copy down surfaces kShardUnavailable through Resolve (RowRef::shard_down)
+// — the crawl server turns that into a typed error frame instead of
+// wedging the session.
 
 #ifndef LABELRW_STORE_SHARDED_GRAPH_H_
 #define LABELRW_STORE_SHARDED_GRAPH_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -31,6 +45,37 @@
 #include "util/prefetch.h"
 
 namespace labelrw::store {
+
+/// One outage window of one shard's primary copy, half-open
+/// [start_us, end_us) on the simulated timeline.
+struct ShardOutage {
+  uint32_t shard = 0;
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+};
+
+/// Deterministic shard fault schedule: whether a shard's primary is down at
+/// time T is a pure function of (schedule, T) — no RNG, no wall clock — so
+/// a chaos run is exactly reproducible and a resumed run re-derives the
+/// same health state from the same clock. Replicas never fail by schedule;
+/// SetCopyDown exists for tests and benches that need to kill them too.
+struct ShardFaultSchedule {
+  std::vector<ShardOutage> outages;
+
+  bool empty() const { return outages.empty(); }
+  /// Fail-closed validation: windows must be well-formed (0 <= start <
+  /// end), name a shard below `num_shards`, and be sorted by
+  /// (shard, start_us) with disjoint windows per shard.
+  Status Validate(uint32_t num_shards) const;
+  /// Pure lookup: is `shard`'s primary inside an outage window at `now_us`?
+  bool PrimaryDownAt(uint32_t shard, int64_t now_us) const;
+};
+
+/// Aggregate failover counters (relaxed reads; exact when quiescent).
+struct ShardFaultStats {
+  uint64_t failover_reads = 0;     // reads served by a non-primary copy
+  uint64_t unavailable_reads = 0;  // reads that found every copy down
+};
 
 class ShardedMappedGraph {
  public:
@@ -52,6 +97,7 @@ class ShardedMappedGraph {
   int64_t max_line_degree() const { return manifest_.max_line_degree; }
   int64_t max_label_row() const { return manifest_.max_label_row; }
   uint32_t num_shards() const { return manifest_.num_shards; }
+  uint32_t num_replicas() const { return manifest_.num_replicas; }
   uint64_t hash_seed() const { return manifest_.hash_seed; }
   bool has_remap() const {
     return (manifest_.flags & kShardFlagHasRemap) != 0;
@@ -75,23 +121,36 @@ class ShardedMappedGraph {
   std::span<const graph::Label> LabelsFast(graph::NodeId u) const;
 
   /// A node's owner row, resolved once. The *At readers and Prefetch*
-  /// hooks below reuse the resolution, so a batched pass (the crawl
-  /// server's sorted fetch loop) pays one owner binary search per
-  /// request instead of one per section read. local == -1 means the
-  /// node is not owned (corrupt store); the readers then return empty.
+  /// hooks below reuse the resolution — including which copy served it,
+  /// so one fetch never straddles a mid-batch health flip — and a batched
+  /// pass (the crawl server's sorted fetch loop) pays one owner binary
+  /// search per request instead of one per section read. local == -1
+  /// means the node is not owned (corrupt store); the readers then
+  /// return empty. shard_down means every copy of the owning shard is
+  /// down: the readers return empty and the caller should surface
+  /// kShardUnavailable instead of "empty row".
   struct RowRef {
     uint32_t shard = 0;
+    /// Copy that resolved the row: 0 = primary, r+1 = replica r.
+    uint32_t copy = 0;
     int64_t local = -1;
+    bool shard_down = false;
   };
   RowRef Resolve(graph::NodeId u) const {
     RowRef ref;
     ref.shard = ShardOf(u);
-    ref.local = LocalIndex(*shards_[ref.shard], u);
+    const int64_t live = LiveCopy(ref.shard);
+    if (live < 0) {
+      ref.shard_down = true;
+      return ref;
+    }
+    ref.copy = static_cast<uint32_t>(live);
+    ref.local = LocalIndex(CopyAt(ref.shard, ref.copy), u);
     return ref;
   }
   std::span<const graph::NodeId> NeighborsAt(const RowRef& ref) const {
     if (ref.local < 0) return {};
-    const Shard& shard = *shards_[ref.shard];
+    const Shard& shard = CopyAt(ref.shard, ref.copy);
     return shard.adjacency.subspan(
         static_cast<size_t>(shard.offsets[ref.local]),
         static_cast<size_t>(shard.offsets[ref.local + 1] -
@@ -99,7 +158,7 @@ class ShardedMappedGraph {
   }
   std::span<const graph::Label> LabelsAt(const RowRef& ref) const {
     if (ref.local < 0) return {};
-    const Shard& shard = *shards_[ref.shard];
+    const Shard& shard = CopyAt(ref.shard, ref.copy);
     return shard.labels.subspan(
         static_cast<size_t>(shard.label_offsets[ref.local]),
         static_cast<size_t>(shard.label_offsets[ref.local + 1] -
@@ -112,7 +171,7 @@ class ShardedMappedGraph {
   /// resolve — the leading payload lines plus each row's tail.
   void PrefetchRowOffsets(const RowRef& ref) const {
     if (ref.local < 0) return;
-    const Shard& shard = *shards_[ref.shard];
+    const Shard& shard = CopyAt(ref.shard, ref.copy);
     LABELRW_PREFETCH_READ(shard.offsets.data() + ref.local);
     LABELRW_PREFETCH_READ(shard.offsets.data() + ref.local + 1);
     LABELRW_PREFETCH_READ(shard.label_offsets.data() + ref.local);
@@ -120,7 +179,7 @@ class ShardedMappedGraph {
   }
   void PrefetchRowPayload(const RowRef& ref) const {
     if (ref.local < 0) return;
-    const Shard& shard = *shards_[ref.shard];
+    const Shard& shard = CopyAt(ref.shard, ref.copy);
     constexpr int64_t kIdsPerLine = 64 / sizeof(graph::NodeId);
     constexpr int64_t kLeadLines = 4;
     const int64_t begin = shard.offsets[ref.local];
@@ -158,6 +217,37 @@ class ShardedMappedGraph {
     return shards_[k]->local_view;
   }
 
+  // --- shard health / fault injection -----------------------------------
+
+  /// Installs the deterministic outage schedule (validated against this
+  /// store's shard count) and applies it at time 0. Pass an empty schedule
+  /// to clear.
+  Status AttachFaultSchedule(ShardFaultSchedule schedule);
+
+  /// Re-derives every scheduled shard's primary-down bit from the schedule
+  /// at sim time `now_us`. Thread-safe against concurrent reads: a read
+  /// that resolved before the flip finishes on the copy it resolved to
+  /// (all copies are byte-identical, so either answer is the same bytes).
+  void AdvanceFaultClock(int64_t now_us) const;
+
+  /// Manual health override for tests and chaos benches: copy 0 is the
+  /// primary, copy r+1 is replica r. Out-of-range copies are ignored.
+  void SetCopyDown(uint32_t shard, uint32_t copy, bool down) const;
+
+  /// True when every copy of shard `k` is down (reads surface
+  /// kShardUnavailable until a copy comes back).
+  bool ShardDown(uint32_t k) const {
+    return LiveCopyPeek(k) < 0;
+  }
+
+  ShardFaultStats fault_stats() const;
+
+  /// Post-open integrity guard, mirroring MappedGraph::CheckIntact: re-stat
+  /// every mapped file (primaries and replicas). A file that vanished or
+  /// shrank beneath its mapping turns future reads into SIGBUS, so the
+  /// caller gets kDataLoss now instead of a crash later.
+  Status CheckIntact() const;
+
  private:
   struct Shard {
     ~Shard();
@@ -172,6 +262,14 @@ class ShardedMappedGraph {
     std::span<const graph::Label> labels;
     std::span<const graph::NodeId> remap;
     graph::Graph local_view;  // FromExternal over offsets/adjacency
+
+    // Health state lives in the primary's Shard object (stable address
+    // behind unique_ptr, so the atomics never move). Bit c of down_mask =
+    // copy c down. The counters are written on the read path, hence
+    // mutable + relaxed.
+    mutable std::atomic<uint32_t> down_mask{0};
+    mutable std::atomic<uint64_t> failover_reads{0};
+    mutable std::atomic<uint64_t> unavailable_reads{0};
   };
 
   /// The owner row of `u` inside its shard, or -1 when `u` is not owned
@@ -179,11 +277,64 @@ class ShardedMappedGraph {
   /// unreachable for files the shard pass wrote).
   static int64_t LocalIndex(const Shard& shard, graph::NodeId u);
 
+  /// Maps and validates one shard file (primary or replica) against the
+  /// manifest digest for shard `index`.
+  static Result<std::unique_ptr<Shard>> OpenShardFile(
+      const std::string& path, const ManifestHeader& manifest,
+      const ManifestShardEntry& entry, uint32_t index,
+      const MapOptions& options);
+
+  const Shard& CopyAt(uint32_t k, uint32_t copy) const {
+    return copy == 0 ? *shards_[k] : *replicas_[k][copy - 1];
+  }
+
+  /// Lowest live copy of shard `k` (-1 when all are down), without
+  /// touching the counters.
+  int64_t LiveCopyPeek(uint32_t k) const {
+    const uint32_t mask =
+        shards_[k]->down_mask.load(std::memory_order_acquire);
+    if (mask == 0) return 0;  // fast path: healthy shard, primary serves
+    const uint32_t copies =
+        1 + (k < replicas_.size()
+                 ? static_cast<uint32_t>(replicas_[k].size())
+                 : 0);
+    for (uint32_t c = 0; c < copies; ++c) {
+      if ((mask & (1u << c)) == 0) return c;
+    }
+    return -1;
+  }
+
+  /// Routing decision of one read: LiveCopyPeek plus the failover /
+  /// unavailable accounting.
+  int64_t LiveCopy(uint32_t k) const {
+    const int64_t c = LiveCopyPeek(k);
+    if (c > 0) {
+      shards_[k]->failover_reads.fetch_add(1, std::memory_order_relaxed);
+    } else if (c < 0) {
+      shards_[k]->unavailable_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    return c;
+  }
+
+  /// The copy the Fast readers use: the live copy, or the primary when
+  /// every copy is down (the Fast span readers have no error channel; the
+  /// mapping is still intact — outages are simulated — so serving the
+  /// primary's bytes keeps them total. Error-aware callers go through
+  /// Resolve, which does surface shard_down).
+  const Shard& FastShard(uint32_t k) const {
+    const int64_t c = LiveCopy(k);
+    return c <= 0 ? *shards_[k] : CopyAt(k, static_cast<uint32_t>(c));
+  }
+
   ManifestHeader manifest_{};
   std::string prefix_;
+  ShardFaultSchedule fault_schedule_;
   // unique_ptr keeps every Shard's address (the spans' backing storage
   // lifetime anchor) stable across vector growth and moves of *this.
   std::vector<std::unique_ptr<Shard>> shards_;  // by shard index
+  /// replicas_[k][r] is shard k's replica r, mapped and validated against
+  /// the same manifest digest as the primary (byte-identical files).
+  std::vector<std::vector<std::unique_ptr<Shard>>> replicas_;
 
   friend Status VerifyShardedStoreImpl(const ShardedMappedGraph& store);
 };

@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kShardUnavailable:
+      return "SHARD_UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -84,6 +86,9 @@ Status DeadlineExceededError(std::string message) {
 }
 Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status ShardUnavailableError(std::string message) {
+  return Status(StatusCode::kShardUnavailable, std::move(message));
 }
 
 }  // namespace labelrw

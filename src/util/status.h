@@ -57,6 +57,14 @@ enum class StatusCode {
   /// request after a wait), an admission-rejected session never ran at all;
   /// the tenant must submit a new request. See traffic/admission.h.
   kAdmissionRejected = 21,
+  /// labelrw extension: the serving tier lost every copy (primary +
+  /// replicas) of the store shard owning the requested node — a partial
+  /// outage. Unlike kUnavailable (the whole daemon is gone), the session
+  /// and every other shard keep serving; the request succeeds verbatim
+  /// once the shard's outage window closes or a replica comes back, so
+  /// retry loops treat it exactly like kUnavailable. See
+  /// store/sharded_graph.h (ShardFaultSchedule).
+  kShardUnavailable = 22,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -104,6 +112,7 @@ Status RateLimitedError(std::string message);
 Status AdmissionRejectedError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status DataLossError(std::string message);
+Status ShardUnavailableError(std::string message);
 
 /// Value-or-Status. Accessing value() on an error aborts the process (the
 /// caller is expected to check ok() or use LABELRW_ASSIGN_OR_RETURN).

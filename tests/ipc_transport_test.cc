@@ -12,9 +12,11 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "estimators/estimator.h"
+#include "estimators/session.h"
 #include "eval/experiment.h"
 #include "osn/client.h"
 #include "osn/ipc_transport.h"
@@ -366,6 +368,178 @@ TEST(IpcTransport, ServerRestartSurfacesUnavailableThenRecovers) {
   ASSERT_FALSE(mixed.ok());
   EXPECT_EQ(mixed.status().code(), StatusCode::kFailedPrecondition)
       << mixed.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect-and-resume matrix: the transport's own ReconnectPolicy (not the
+// OsnClient retry loop above it — FetchRecord errors bypass that) must make
+// a daemon restart invisible: kill between fetches, kill with the daemon
+// returning mid-backoff, and kill mid-estimator-run must all resume with
+// exact rows and bit-identical estimates; a restart onto a DIFFERENT store
+// must refuse with kFailedPrecondition, never resume silently.
+// ---------------------------------------------------------------------------
+
+osn::IpcTransport::Options ReconnectOptions(uint32_t attempts,
+                                            int64_t backoff_us = 2'000) {
+  osn::IpcTransport::Options options;
+  options.reconnect.max_attempts = attempts;
+  options.reconnect.initial_backoff_us = backoff_us;
+  options.reconnect.max_backoff_us = 50'000;
+  return options;
+}
+
+// Daemon killed between fetches: the next (uncached) fetch reconnects to
+// the replacement daemon and returns the exact row — no caller-visible
+// error, one reconnect episode in the stats.
+TEST(IpcTransportReconnect, KilledBetweenFetchesResumesTransparently) {
+  const ServedStore served("rc_pages", 400, 700, 2);
+  const std::string shm = ShmName("rc_pages");
+  auto server_a = std::make_unique<server::CrawlServer>();
+  ASSERT_OK(server_a->Start(served.Options(shm)));
+
+  ASSERT_OK_AND_ASSIGN(
+      const std::unique_ptr<osn::IpcTransport> ipc,
+      osn::IpcTransport::Connect(shm, ReconnectOptions(/*attempts=*/8)));
+  for (graph::NodeId u = 0; u < 40; u += 4) {
+    ASSERT_OK(ipc->FetchRecord(u).status());
+  }
+
+  server_a->Stop();
+  server::CrawlServer server_b;
+  ASSERT_OK(server_b.Start(served.Options(shm)));
+
+  for (graph::NodeId u = 100; u < 140; u += 4) {  // never fetched: must
+    ASSERT_OK_AND_ASSIGN(const osn::UserRecord record,  // cross the wire
+                         ipc->FetchRecord(u));
+    const auto expected = served.graph().neighbors(u);
+    ASSERT_EQ(record.degree, served.graph().degree(u)) << "node " << u;
+    ASSERT_EQ(record.neighbors.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(record.neighbors[i], expected[i]) << "node " << u;
+    }
+  }
+  const osn::IpcTransportStats stats = ipc->ipc_stats();
+  EXPECT_EQ(stats.reconnects, 1u);
+  EXPECT_GE(stats.reconnect_attempts, 1u);
+}
+
+// Daemon killed and the replacement arrives only while the transport is
+// mid-backoff: the bounded retry loop must pick it up instead of failing
+// on the first dead attempt.
+TEST(IpcTransportReconnect, DaemonReturningDuringBackoffIsPickedUp) {
+  const ServedStore served("rc_backoff", 300, 500, 2);
+  const std::string shm = ShmName("rc_backoff");
+  auto server_a = std::make_unique<server::CrawlServer>();
+  ASSERT_OK(server_a->Start(served.Options(shm)));
+
+  ASSERT_OK_AND_ASSIGN(
+      const std::unique_ptr<osn::IpcTransport> ipc,
+      osn::IpcTransport::Connect(
+          shm, ReconnectOptions(/*attempts=*/50, /*backoff_us=*/10'000)));
+  ASSERT_OK(ipc->FetchRecord(1).status());
+
+  server_a->Stop();
+  server::CrawlServer server_b;
+  std::thread restarter([&] {
+    ::usleep(120'000);  // several backoff steps pass with no daemon at all
+    ASSERT_OK(server_b.Start(served.Options(shm)));
+  });
+  const auto record = ipc->FetchRecord(200);
+  restarter.join();
+  ASSERT_OK(record.status());
+  EXPECT_EQ(record->degree, served.graph().degree(200));
+  const osn::IpcTransportStats stats = ipc->ipc_stats();
+  EXPECT_EQ(stats.reconnects, 1u);
+  EXPECT_GT(stats.reconnect_attempts, 1u);  // some attempts found no daemon
+}
+
+// The replacement daemon serves a different store: resuming would splice
+// rows from two snapshots into one walk. Refuse with kFailedPrecondition —
+// and keep refusing; reconnect never silently "recovers" onto it.
+TEST(IpcTransportReconnect, FingerprintChangeRefusesResume) {
+  const ServedStore served("rc_fp", 300, 500, 2);
+  const ServedStore other("rc_fp_other", 300, 500, 2, /*seed=*/97);
+  const std::string shm = ShmName("rc_fp");
+  auto server_a = std::make_unique<server::CrawlServer>();
+  ASSERT_OK(server_a->Start(served.Options(shm)));
+
+  ASSERT_OK_AND_ASSIGN(
+      const std::unique_ptr<osn::IpcTransport> ipc,
+      osn::IpcTransport::Connect(shm, ReconnectOptions(/*attempts=*/8)));
+  ASSERT_OK(ipc->FetchRecord(1).status());
+
+  server_a->Stop();
+  server::CrawlServer server_b;
+  ASSERT_OK(server_b.Start(other.Options(shm)));
+
+  const auto refused = ipc->FetchRecord(2);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition)
+      << refused.status().ToString();
+  const auto still_refused = ipc->FetchRecord(3);
+  ASSERT_FALSE(still_refused.ok());
+  EXPECT_EQ(still_refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ipc->ipc_stats().reconnects, 0u);
+}
+
+// The headline contract: a daemon restart in the middle of an estimator
+// session changes NOTHING — estimate, charged api calls, and iteration
+// count are bit-identical to the uninterrupted run, for every algorithm.
+// The session surface gives a deterministic injection point (step a few
+// iterations, restart the daemon, run to completion).
+TEST(IpcTransportReconnect, MidRunRestartKeepsEstimatesBitIdentical) {
+  const ServedStore served("rc_bits", 800, 1500, 3);
+  const std::string shm = ShmName("rc_bits");
+  const graph::TargetLabel target{1, 2};
+  estimators::EstimateOptions options;
+  options.api_budget = 250;
+  options.burn_in = 30;
+  options.seed = 555;
+
+  for (const estimators::AlgorithmId algorithm :
+       estimators::AllAlgorithms()) {
+    // Fault-free reference run.
+    estimators::EstimateResult reference;
+    {
+      server::CrawlServer crawl_server;
+      ASSERT_OK(crawl_server.Start(served.Options(shm)));
+      ASSERT_OK_AND_ASSIGN(const std::unique_ptr<osn::IpcTransport> ipc,
+                           osn::IpcTransport::Connect(shm));
+      osn::OsnClient client(*ipc);
+      ASSERT_OK_AND_ASSIGN(
+          reference,
+          estimators::Estimate(algorithm, client, target,
+                               ipc->TransportPriors(), options));
+    }
+
+    // Same run with the daemon killed and replaced five iterations in.
+    auto server_a = std::make_unique<server::CrawlServer>();
+    ASSERT_OK(server_a->Start(served.Options(shm)));
+    ASSERT_OK_AND_ASSIGN(
+        const std::unique_ptr<osn::IpcTransport> ipc,
+        osn::IpcTransport::Connect(shm, ReconnectOptions(/*attempts=*/10)));
+    osn::OsnClient client(*ipc);
+    ASSERT_OK_AND_ASSIGN(
+        const std::unique_ptr<estimators::EstimatorSession> session,
+        estimators::EstimatorSession::Create(algorithm, client, target,
+                                             ipc->TransportPriors(), options));
+    ASSERT_OK(session->Step(5).status());
+    server_a->Stop();
+    server::CrawlServer server_b;
+    ASSERT_OK(server_b.Start(served.Options(shm)));
+    ASSERT_OK(session->Run());
+    ASSERT_OK_AND_ASSIGN(const estimators::EstimateResult chaos,
+                         session->Snapshot());
+
+    EXPECT_EQ(chaos.estimate, reference.estimate)
+        << estimators::AlgorithmName(algorithm);
+    EXPECT_EQ(chaos.api_calls, reference.api_calls)
+        << estimators::AlgorithmName(algorithm);
+    EXPECT_EQ(chaos.iterations, reference.iterations)
+        << estimators::AlgorithmName(algorithm);
+    EXPECT_EQ(ipc->ipc_stats().reconnects, 1u)
+        << estimators::AlgorithmName(algorithm);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// Fuzz-ish robustness tests for the sharded-manifest loader
+// (store/sharded_graph.cc ReadManifest): a replica-bearing manifest
+// truncated at EVERY byte boundary must fail closed — never crash, never
+// open — and structural lies (replica-table/count mismatches, duplicate
+// replica paths, trailing bytes) must each be rejected with a named
+// reason. The loader is the serving tier's front door; these are the
+// inputs a torn copy, a bad rsync, or a hand-edited manifest produce.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/shard_writer.h"
+#include "store/sharded_format.h"
+#include "store/sharded_graph.h"
+#include "store/store_writer.h"
+#include "tests/test_util.h"
+
+namespace labelrw {
+namespace {
+
+using testing::RandomConnectedGraph;
+using testing::RandomLabels;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("labelrw_manifest_fuzz_") + name))
+      .string();
+}
+
+std::vector<char> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::fseek(f, 0, SEEK_END);
+  std::vector<char> bytes(static_cast<size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::vector<char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+/// A 2-shard, 1-replica store in the temp dir; `manifest_bytes` is the
+/// pristine manifest image tests mutate and write back.
+class ManifestFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_path_ = TempPath("src.lgs");
+    prefix_ = TempPath("store");
+    const graph::Graph g = RandomConnectedGraph(200, 400, 23);
+    const graph::LabelStore labels = RandomLabels(200, 3, 24);
+    ASSERT_OK(store::WriteStore(g, labels, store_path_));
+    store::ShardWriteOptions options;
+    options.num_replicas = 1;
+    ASSERT_OK_AND_ASSIGN(
+        const store::ShardWriteStats stats,
+        store::WriteShardedStore(store_path_, prefix_, 2, options));
+    manifest_path_ = stats.manifest_path;
+    pristine_ = ReadFile(manifest_path_);
+    // Layout sanity: header + 2 shard entries + 2 replica entries.
+    ASSERT_EQ(pristine_.size(),
+              sizeof(store::ManifestHeader) +
+                  2 * sizeof(store::ManifestShardEntry) +
+                  2 * sizeof(store::ManifestReplicaEntry));
+  }
+
+  void TearDown() override {
+    std::remove(store_path_.c_str());
+    std::remove(manifest_path_.c_str());
+    for (uint32_t k = 0; k < 2; ++k) {
+      std::remove(store::ShardFilePath(prefix_, k).c_str());
+      std::remove(store::ShardReplicaFilePath(prefix_, k, 0).c_str());
+    }
+  }
+
+  /// Re-seals a mutated manifest image: recomputes entries_checksum over
+  /// the (possibly edited) tables and the header checksum over the
+  /// (possibly edited) header, so the test reaches the *structural* check
+  /// it aims at instead of tripping the checksum guards first.
+  static void Reseal(std::vector<char>* bytes) {
+    auto* header = reinterpret_cast<store::ManifestHeader*>(bytes->data());
+    const size_t entries_offset = sizeof(store::ManifestHeader);
+    const size_t entries_bytes =
+        header->num_shards * sizeof(store::ManifestShardEntry);
+    uint64_t checksum =
+        store::Fnv1a64(bytes->data() + entries_offset, entries_bytes);
+    const size_t replica_bytes =
+        static_cast<size_t>(header->num_shards) * header->num_replicas *
+        sizeof(store::ManifestReplicaEntry);
+    if (replica_bytes > 0 &&
+        entries_offset + entries_bytes + replica_bytes <= bytes->size()) {
+      checksum = store::Fnv1a64(
+          bytes->data() + entries_offset + entries_bytes, replica_bytes,
+          checksum);
+    }
+    header->entries_checksum = checksum;
+    header->header_checksum = store::ManifestHeaderChecksum(*header);
+  }
+
+  store::ManifestReplicaEntry* ReplicaEntryAt(std::vector<char>* bytes,
+                                              size_t index) {
+    auto* header = reinterpret_cast<store::ManifestHeader*>(bytes->data());
+    return reinterpret_cast<store::ManifestReplicaEntry*>(
+               bytes->data() + sizeof(store::ManifestHeader) +
+               header->num_shards * sizeof(store::ManifestShardEntry)) +
+           index;
+  }
+
+  std::string store_path_;
+  std::string prefix_;
+  std::string manifest_path_;
+  std::vector<char> pristine_;
+};
+
+TEST_F(ManifestFuzzTest, PristineManifestOpens) {
+  ASSERT_OK(store::ShardedMappedGraph::Open(manifest_path_).status());
+}
+
+// Truncation sweep: the manifest cut at every byte boundary. Every prefix
+// must be rejected (no crash, no partial open) — the header guard catches
+// cuts inside the header, the entry-count guard cuts inside the shard
+// table, and the replica-table guard cuts inside the replica table.
+TEST_F(ManifestFuzzTest, TruncatedAtEveryByteFailsClosed) {
+  for (size_t cut = 0; cut < pristine_.size(); ++cut) {
+    std::vector<char> truncated(pristine_.begin(),
+                                pristine_.begin() + cut);
+    WriteFile(manifest_path_, truncated);
+    const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+    ASSERT_FALSE(result.ok()) << "cut at byte " << cut << " opened";
+    ASSERT_NE(result.status().message().find("truncated"),
+              std::string::npos)
+        << "cut at byte " << cut << ": " << result.status().ToString();
+  }
+  WriteFile(manifest_path_, pristine_);
+  ASSERT_OK(store::ShardedMappedGraph::Open(manifest_path_).status());
+}
+
+TEST_F(ManifestFuzzTest, TrailingBytesRejected) {
+  std::vector<char> padded = pristine_;
+  padded.push_back(0x5a);
+  WriteFile(manifest_path_, padded);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing bytes"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+// num_replicas raised without the files (or table rows) to back it: the
+// table is now shorter than num_shards x num_replicas.
+TEST_F(ManifestFuzzTest, ReplicaCountLargerThanTableRejected) {
+  std::vector<char> lying = pristine_;
+  reinterpret_cast<store::ManifestHeader*>(lying.data())->num_replicas = 2;
+  Reseal(&lying);
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("replica table"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+// num_replicas lowered below the table on disk: the extra replica entries
+// become trailing bytes.
+TEST_F(ManifestFuzzTest, ReplicaCountSmallerThanTableRejected) {
+  std::vector<char> lying = pristine_;
+  reinterpret_cast<store::ManifestHeader*>(lying.data())->num_replicas = 0;
+  Reseal(&lying);
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing bytes"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ManifestFuzzTest, UnsupportedReplicaCountRejected) {
+  std::vector<char> lying = pristine_;
+  reinterpret_cast<store::ManifestHeader*>(lying.data())->num_replicas = 200;
+  Reseal(&lying);
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unsupported replica count"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+// A replica entry routed at its own primary: "failover" to the same bytes
+// that just went down is no failover at all.
+TEST_F(ManifestFuzzTest, DuplicateReplicaPathRejected) {
+  std::vector<char> lying = pristine_;
+  store::ManifestReplicaEntry* entry = ReplicaEntryAt(&lying, 0);
+  std::memset(entry->path, 0, sizeof(entry->path));
+  const std::string primary_name =
+      std::filesystem::path(store::ShardFilePath(prefix_, 0))
+          .filename()
+          .string();
+  std::memcpy(entry->path, primary_name.c_str(), primary_name.size());
+  Reseal(&lying);
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate replica path"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ManifestFuzzTest, TwoReplicaEntriesSamePathRejected) {
+  std::vector<char> lying = pristine_;
+  *ReplicaEntryAt(&lying, 1) = *ReplicaEntryAt(&lying, 0);
+  Reseal(&lying);
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate replica path"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ManifestFuzzTest, EmptyReplicaPathRejected) {
+  std::vector<char> lying = pristine_;
+  std::memset(ReplicaEntryAt(&lying, 0)->path, 0,
+              sizeof(store::ManifestReplicaEntry::path));
+  Reseal(&lying);
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("empty path"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ManifestFuzzTest, UnterminatedReplicaPathRejected) {
+  std::vector<char> lying = pristine_;
+  std::memset(ReplicaEntryAt(&lying, 0)->path, 'a',
+              sizeof(store::ManifestReplicaEntry::path));
+  Reseal(&lying);
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("not NUL-terminated"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+// An edited replica table under a stale entries_checksum (no Reseal): the
+// chained digest must catch it before any path is trusted.
+TEST_F(ManifestFuzzTest, EditedReplicaTableWithoutResealRejected) {
+  std::vector<char> lying = pristine_;
+  ReplicaEntryAt(&lying, 0)->path[0] ^= 1;
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+// A replica entry pointing at a file that does not exist: NotFound with
+// the resolved path named, not a crash or a silent skip.
+TEST_F(ManifestFuzzTest, MissingReplicaFileRejected) {
+  std::vector<char> lying = pristine_;
+  store::ManifestReplicaEntry* entry = ReplicaEntryAt(&lying, 0);
+  std::memset(entry->path, 0, sizeof(entry->path));
+  const char kGone[] = "no_such_replica.lgs";
+  std::memcpy(entry->path, kGone, sizeof(kGone));
+  Reseal(&lying);
+  WriteFile(manifest_path_, lying);
+  const auto result = store::ShardedMappedGraph::Open(manifest_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound)
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace labelrw

@@ -12,10 +12,11 @@
 //            StreamingStoreBuilder — million-node snapshots build without
 //            materializing the edge list; nodes get deterministic hash
 //            labels in {1..C} so estimation targets exist out of the box
-//   shard   --store=S --out=P --shards=K [--seed=H]
+//   shard   --store=S --out=P --shards=K [--seed=H] [--replicas=R]
 //            snapshot -> hash-partitioned sharded store: P.shard<k>.lgs
 //            files + P.manifest (store/sharded_format.h), the unit
-//            labelrw_serverd serves
+//            labelrw_serverd serves; --replicas writes R byte-identical
+//            copies per shard (P.shard<k>.r<r>.lgs) for serve-time failover
 //   info    --store=S     header dump (counts, sections, checksums) plus
 //                         the mapping advice that actually took effect
 //   verify  --store=S | --manifest=P
@@ -58,7 +59,7 @@ int Usage() {
       "  synth     streamed synthetic snapshot (--nodes=N [--attach=K]\n"
       "            [--seed=S] [--label-classes=C] [--batch=B] --out=S)\n"
       "  shard     snapshot -> sharded store (--store=S --out=P --shards=K\n"
-      "            [--seed=H])\n"
+      "            [--seed=H] [--replicas=R])\n"
       "  info      header dump + effective mapping flags (--store=S)\n"
       "  verify    checksums + structural invariants (--store=S, or\n"
       "            --manifest=P for a sharded store)\n"
@@ -221,8 +222,9 @@ int RunSynth(int argc, char** argv) {
 
 int RunShard(int argc, char** argv) {
   Flag store_flag{"--store"}, out_flag{"--out"}, shards_flag{"--shards"},
-      seed_flag{"--seed"};
-  ParseFlags(argc, argv, {&store_flag, &out_flag, &shards_flag, &seed_flag});
+      seed_flag{"--seed"}, replicas_flag{"--replicas"};
+  ParseFlags(argc, argv, {&store_flag, &out_flag, &shards_flag, &seed_flag,
+                          &replicas_flag});
   const std::string store_path = RequireValue(store_flag);
   const std::string out_prefix = RequireValue(out_flag);
   const int64_t shards = flags::ParseIntAtLeastOrDie(
@@ -231,14 +233,20 @@ int RunShard(int argc, char** argv) {
   if (seed_flag.set) {
     options.hash_seed = flags::ParseUintOrDie("--seed", seed_flag.value.c_str());
   }
+  if (replicas_flag.set) {
+    options.num_replicas = static_cast<uint32_t>(flags::ParseIntAtLeastOrDie(
+        "--replicas", replicas_flag.value.c_str(), 0));
+  }
   const store::ShardWriteStats stats =
       Check(store::WriteShardedStore(store_path, out_prefix,
                                      static_cast<uint32_t>(shards), options),
             "shard pass");
-  std::printf("wrote %s: %u shards over %" PRId64 " nodes / %" PRId64
-              " edges (shard sizes %" PRId64 "..%" PRId64 " nodes%s)\n",
-              stats.manifest_path.c_str(), stats.num_shards, stats.num_nodes,
-              stats.num_edges, stats.min_shard_nodes, stats.max_shard_nodes,
+  std::printf("wrote %s: %u shards x %u replica(s) over %" PRId64
+              " nodes / %" PRId64 " edges (shard sizes %" PRId64 "..%" PRId64
+              " nodes%s)\n",
+              stats.manifest_path.c_str(), stats.num_shards,
+              stats.num_replicas, stats.num_nodes, stats.num_edges,
+              stats.min_shard_nodes, stats.max_shard_nodes,
               stats.has_remap ? ", remap carried" : "");
   return 0;
 }

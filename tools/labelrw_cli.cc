@@ -169,6 +169,8 @@ int ExitCodeFor(const Status& status) {
       return 7;
     case StatusCode::kAdmissionRejected:
       return 9;
+    case StatusCode::kShardUnavailable:
+      return 10;
     default:
       return 1;
   }
